@@ -1,0 +1,191 @@
+//! ANT (MICRO'22): adaptive selection among INT, flint, and PoT.
+//!
+//! ANT packages a small set of fixed data types and picks, per quantization
+//! unit, the one minimizing MSE: INT for uniform, PoT for Laplace, flint
+//! for Gaussian distributions. In its original form the unit is a tensor
+//! (activations) or channel (weights); the paper's Sec. VII-D extension
+//! applies it per group for weights, while activations can still only pick
+//! one type per tensor because ANT has no real-time type-selection
+//! hardware.
+
+use mant_numerics::{flint4_grid, int4_grid, int8_grid, pot4_grid, uniform_symmetric_grid, Grid};
+use mant_quant::quantizer::fake_quantize_group;
+use mant_quant::{FakeQuantizer, Granularity};
+use mant_tensor::Matrix;
+
+/// The ANT quantizer.
+#[derive(Clone, Debug)]
+pub struct AntQuantizer {
+    bits: u8,
+    granularity: Granularity,
+}
+
+impl AntQuantizer {
+    /// 4-bit ANT selecting per `granularity` unit.
+    pub fn w4(granularity: Granularity) -> Self {
+        AntQuantizer {
+            bits: 4,
+            granularity,
+        }
+    }
+
+    /// 8-bit ANT. The paper notes 8-bit ANT degenerates to INT ("ANT*"):
+    /// its 8-bit mode does not adaptively select types.
+    pub fn w8(granularity: Granularity) -> Self {
+        AntQuantizer {
+            bits: 8,
+            granularity,
+        }
+    }
+
+    /// The candidate grids for this bit width.
+    fn candidate_grids(&self) -> Vec<Grid> {
+        if self.bits == 8 {
+            vec![int8_grid()]
+        } else {
+            vec![int4_grid(), flint4_grid(), pot4_grid()]
+        }
+    }
+
+    /// Quantizes one unit with the best of the candidate grids.
+    fn quantize_unit(grids: &[Grid], unit: &[f32], out: &mut [f32]) {
+        let mut best_err = f64::INFINITY;
+        let mut tmp = vec![0.0f32; unit.len()];
+        for grid in grids {
+            fake_quantize_group(grid, unit, &mut tmp);
+            let err: f64 = unit
+                .iter()
+                .zip(tmp.iter())
+                .map(|(&a, &b)| {
+                    let d = f64::from(a - b);
+                    d * d
+                })
+                .sum();
+            if err < best_err {
+                best_err = err;
+                out.copy_from_slice(&tmp);
+            }
+        }
+    }
+}
+
+impl FakeQuantizer for AntQuantizer {
+    fn name(&self) -> String {
+        match self.granularity {
+            Granularity::Group(g) => format!("ANT{}-g{g}", self.bits),
+            Granularity::Channel => format!("ANT{}-ch", self.bits),
+            Granularity::Tensor => format!("ANT{}-t", self.bits),
+        }
+    }
+
+    fn bits_per_element(&self, inner_dim: usize) -> f64 {
+        // Scale (16b) + 2-bit type selector per unit.
+        f64::from(self.bits) + self.granularity.scale_bits_per_element(inner_dim, 1) * 18.0 / 16.0
+    }
+
+    fn fake_quantize(&self, w: &Matrix) -> Matrix {
+        let grids = self.candidate_grids();
+        let mut out = w.clone();
+        match self.granularity {
+            Granularity::Tensor => {
+                let unit = w.as_slice().to_vec();
+                Self::quantize_unit(&grids, &unit, out.as_mut_slice());
+            }
+            _ => {
+                let span = self
+                    .granularity
+                    .span(w.cols())
+                    .expect("granularity must divide inner dim");
+                for r in 0..w.rows() {
+                    let row = w.row(r).to_vec();
+                    let orow = out.row_mut(r);
+                    for (gin, gout) in
+                        row.chunks_exact(span).zip(orow.chunks_exact_mut(span))
+                    {
+                        Self::quantize_unit(&grids, gin, gout);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The grid sets ANT can express, exposed for analysis binaries.
+pub fn ant4_grids() -> [(&'static str, Grid); 3] {
+    [
+        ("int4", int4_grid()),
+        ("flint4", flint4_grid()),
+        ("pot4", pot4_grid()),
+    ]
+}
+
+/// 16-bit symmetric reference grid (what ANT/OliVe use for the layers they
+/// leave unquantized).
+pub fn int16_grid() -> Grid {
+    uniform_symmetric_grid(32767)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mant_quant::GridQuantizer;
+    use mant_tensor::{mse, DistributionKind, TensorGenerator};
+
+    #[test]
+    fn ant_beats_single_type_on_mixed_data() {
+        let mut g = TensorGenerator::new(91);
+        // Alternate Laplace and uniform groups: no single type fits both.
+        let mut data = Vec::new();
+        for i in 0..32 {
+            let kind = if i % 2 == 0 {
+                DistributionKind::Laplace
+            } else {
+                DistributionKind::Uniform
+            };
+            for _ in 0..64 {
+                data.push(g.sample(kind, 0.1));
+            }
+        }
+        let w = Matrix::from_vec(8, 256, data);
+        let ant = AntQuantizer::w4(Granularity::Group(64));
+        let int4 = GridQuantizer::new("int4", int4_grid(), 4, Granularity::Group(64));
+        let err_ant = mse(w.as_slice(), ant.fake_quantize(&w).as_slice());
+        let err_int = mse(w.as_slice(), int4.fake_quantize(&w).as_slice());
+        assert!(err_ant < err_int, "ANT {err_ant} vs INT {err_int}");
+    }
+
+    #[test]
+    fn ant8_is_int8() {
+        let mut g = TensorGenerator::new(92);
+        let w = g.matrix(4, 64, DistributionKind::Gaussian, 1.0);
+        let ant8 = AntQuantizer::w8(Granularity::Channel);
+        let int8 = GridQuantizer::new("int8", int8_grid(), 8, Granularity::Channel);
+        assert_eq!(
+            ant8.fake_quantize(&w).as_slice(),
+            int8.fake_quantize(&w).as_slice()
+        );
+    }
+
+    #[test]
+    fn tensor_granularity_selects_one_type() {
+        let mut g = TensorGenerator::new(93);
+        let w = g.matrix(2, 128, DistributionKind::Laplace, 0.5);
+        let ant = AntQuantizer::w4(Granularity::Tensor);
+        let q = ant.fake_quantize(&w);
+        assert_eq!(q.shape(), w.shape());
+        // Tensor-wise is worse than group-wise ANT on diverse data.
+        let diverse = g.group_diverse_matrix(4, 256, 64, 0.1);
+        let tq = AntQuantizer::w4(Granularity::Tensor).fake_quantize(&diverse);
+        let gq = AntQuantizer::w4(Granularity::Group(64)).fake_quantize(&diverse);
+        let errt = mse(diverse.as_slice(), tq.as_slice());
+        let errg = mse(diverse.as_slice(), gq.as_slice());
+        assert!(errg < errt, "group {errg} vs tensor {errt}");
+    }
+
+    #[test]
+    fn names_and_bits() {
+        assert_eq!(AntQuantizer::w4(Granularity::Group(64)).name(), "ANT4-g64");
+        assert!(AntQuantizer::w4(Granularity::Group(64)).bits_per_element(4096) > 4.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! BitFusion (ISCA'18): the plain mixed-precision INT baseline.
+//!
+//! BitFusion contributes composable low-bit PEs, not a data type: its
+//! quantization is plain symmetric INT at whatever bit width accuracy
+//! requires (8 and 16 bits for LLMs, per the paper's Fig. 12 discussion).
+
+use mant_numerics::uniform_symmetric_grid;
+use mant_quant::quantizer::fake_quantize_group;
+use mant_quant::{FakeQuantizer, Granularity};
+use mant_tensor::Matrix;
+
+/// Plain symmetric INT quantizer at an arbitrary bit width.
+#[derive(Clone, Debug)]
+pub struct BitFusionQuantizer {
+    bits: u8,
+    granularity: Granularity,
+}
+
+impl BitFusionQuantizer {
+    /// Creates an INT quantizer with `bits ∈ [2, 16]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is outside `[2, 16]`.
+    pub fn new(bits: u8, granularity: Granularity) -> Self {
+        assert!((2..=16).contains(&bits), "bits must be in [2, 16]");
+        BitFusionQuantizer { bits, granularity }
+    }
+
+    /// The symmetric integer maximum, `2^(bits−1) − 1`.
+    pub fn int_max(&self) -> u32 {
+        (1u32 << (self.bits - 1)) - 1
+    }
+}
+
+impl FakeQuantizer for BitFusionQuantizer {
+    fn name(&self) -> String {
+        format!("INT{}", self.bits)
+    }
+
+    fn bits_per_element(&self, inner_dim: usize) -> f64 {
+        f64::from(self.bits) + self.granularity.scale_bits_per_element(inner_dim, 1)
+    }
+
+    fn fake_quantize(&self, w: &Matrix) -> Matrix {
+        let grid = uniform_symmetric_grid(self.int_max());
+        let mut out = w.clone();
+        match self.granularity {
+            Granularity::Tensor => {
+                let unit = w.as_slice().to_vec();
+                fake_quantize_group(&grid, &unit, out.as_mut_slice());
+            }
+            _ => {
+                let span = self
+                    .granularity
+                    .span(w.cols())
+                    .expect("granularity must divide inner dim");
+                for r in 0..w.rows() {
+                    let row = w.row(r).to_vec();
+                    let orow = out.row_mut(r);
+                    for (gin, gout) in
+                        row.chunks_exact(span).zip(orow.chunks_exact_mut(span))
+                    {
+                        fake_quantize_group(&grid, gin, gout);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mant_tensor::{mse, DistributionKind, TensorGenerator};
+
+    #[test]
+    fn int_max_values() {
+        assert_eq!(BitFusionQuantizer::new(4, Granularity::Tensor).int_max(), 7);
+        assert_eq!(BitFusionQuantizer::new(8, Granularity::Tensor).int_max(), 127);
+        assert_eq!(
+            BitFusionQuantizer::new(16, Granularity::Tensor).int_max(),
+            32767
+        );
+    }
+
+    #[test]
+    fn error_shrinks_with_bits() {
+        let mut g = TensorGenerator::new(141);
+        let w = g.matrix(4, 128, DistributionKind::Gaussian, 1.0);
+        let mut last = f64::INFINITY;
+        for bits in [4u8, 8, 16] {
+            let q = BitFusionQuantizer::new(bits, Granularity::Channel);
+            let err = mse(w.as_slice(), q.fake_quantize(&w).as_slice());
+            assert!(err < last, "INT{bits} error {err} not below {last}");
+            last = err;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bits must be in")]
+    fn rejects_bad_bits() {
+        let _ = BitFusionQuantizer::new(1, Granularity::Tensor);
+    }
+
+    #[test]
+    fn int16_near_lossless() {
+        let mut g = TensorGenerator::new(142);
+        let w = g.matrix(2, 64, DistributionKind::Gaussian, 1.0);
+        let q = BitFusionQuantizer::new(16, Granularity::Channel);
+        let err = mse(w.as_slice(), q.fake_quantize(&w).as_slice());
+        let power = mse(w.as_slice(), &vec![0.0; w.len()]);
+        assert!(err / power < 1e-7);
+    }
+}

@@ -1,0 +1,155 @@
+//! GOBO (MICRO'20): codebook quantization with an FP16 outlier set.
+//!
+//! GOBO clusters the bulk of a tensor's weights with k-means (3–4 bits of
+//! centroid indices) and stores the few percent of outlier weights
+//! uncompressed. High adaptivity, but dequantization is a codebook lookup
+//! to FP16 before any arithmetic — the "low computation efficiency" row of
+//! the paper's Tbl. I.
+
+use mant_quant::{FakeQuantizer, Granularity};
+use mant_tensor::Matrix;
+
+use crate::kmeans::{kmeans_1d, nearest_centroid};
+
+/// The GOBO quantizer.
+#[derive(Clone, Debug)]
+pub struct GoboQuantizer {
+    bits: u8,
+    granularity: Granularity,
+    outlier_fraction: f64,
+}
+
+impl GoboQuantizer {
+    /// GOBO with `bits` of centroid index (2^bits centroids) at the given
+    /// clustering granularity, keeping `outlier_fraction` of the largest
+    /// magnitudes in FP16 (GOBO's paper uses ~0.1–1%).
+    pub fn new(bits: u8, granularity: Granularity, outlier_fraction: f64) -> Self {
+        GoboQuantizer {
+            bits,
+            granularity,
+            outlier_fraction,
+        }
+    }
+
+    fn quantize_unit(&self, unit: &[f32], out: &mut [f32]) {
+        let n = unit.len();
+        if n == 0 {
+            return;
+        }
+        // Split outliers by magnitude rank.
+        let keep = ((n as f64 * self.outlier_fraction).ceil() as usize).min(n);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| {
+            unit[b]
+                .abs()
+                .partial_cmp(&unit[a].abs())
+                .expect("finite weights")
+        });
+        let outliers: Vec<usize> = order[..keep].to_vec();
+        let mut is_outlier = vec![false; n];
+        for &i in &outliers {
+            is_outlier[i] = true;
+        }
+        let bulk: Vec<f32> = unit
+            .iter()
+            .zip(is_outlier.iter())
+            .filter(|&(_, &o)| !o)
+            .map(|(&v, _)| v)
+            .collect();
+        let centroids = kmeans_1d(&bulk, 1usize << self.bits, 25);
+        for (i, (&x, o)) in unit.iter().zip(out.iter_mut()).enumerate() {
+            *o = if is_outlier[i] {
+                x // stored in FP16: effectively exact here
+            } else {
+                nearest_centroid(&centroids, x)
+            };
+        }
+    }
+}
+
+impl FakeQuantizer for GoboQuantizer {
+    fn name(&self) -> String {
+        format!("GOBO{}", self.bits)
+    }
+
+    fn bits_per_element(&self, inner_dim: usize) -> f64 {
+        let span = match self.granularity.span(inner_dim) {
+            Ok(s) => s,
+            Err(_) => return f64::NAN,
+        };
+        // Index bits + amortized codebook + FP16 outliers.
+        f64::from(self.bits)
+            + (f64::from(1u32 << self.bits) * 16.0) / span as f64
+            + self.outlier_fraction * 16.0
+    }
+
+    fn fake_quantize(&self, w: &Matrix) -> Matrix {
+        let mut out = w.clone();
+        match self.granularity {
+            Granularity::Tensor => {
+                let unit = w.as_slice().to_vec();
+                self.quantize_unit(&unit, out.as_mut_slice());
+            }
+            _ => {
+                let span = self
+                    .granularity
+                    .span(w.cols())
+                    .expect("granularity must divide inner dim");
+                for r in 0..w.rows() {
+                    let row = w.row(r).to_vec();
+                    let orow = out.row_mut(r);
+                    for (gin, gout) in
+                        row.chunks_exact(span).zip(orow.chunks_exact_mut(span))
+                    {
+                        self.quantize_unit(gin, gout);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mant_numerics::int4_grid;
+    use mant_quant::GridQuantizer;
+    use mant_tensor::{mse, DistributionKind, TensorGenerator};
+
+    #[test]
+    fn outliers_survive_exactly() {
+        let mut data = vec![0.1f32; 63];
+        data.push(50.0);
+        let w = Matrix::from_vec(1, 64, data);
+        let q = GoboQuantizer::new(3, Granularity::Tensor, 0.02).fake_quantize(&w);
+        assert_eq!(q[(0, 63)], 50.0);
+    }
+
+    #[test]
+    fn adapts_better_than_int_on_gaussian() {
+        let mut g = TensorGenerator::new(121);
+        let w = g.matrix(4, 256, DistributionKind::Gaussian, 0.3);
+        let gobo = GoboQuantizer::new(4, Granularity::Channel, 0.01);
+        let int4 = GridQuantizer::new("int4", int4_grid(), 4, Granularity::Channel);
+        let err_g = mse(w.as_slice(), gobo.fake_quantize(&w).as_slice());
+        let err_i = mse(w.as_slice(), int4.fake_quantize(&w).as_slice());
+        assert!(err_g < err_i, "GOBO {err_g} vs INT4 {err_i}");
+    }
+
+    #[test]
+    fn storage_overhead_grows_with_granularity() {
+        // Per-group codebooks are the cost the paper highlights: a 16-entry
+        // FP16 codebook per 64-group doubles the effective bits.
+        let per_group = GoboQuantizer::new(4, Granularity::Group(64), 0.0);
+        let per_channel = GoboQuantizer::new(4, Granularity::Channel, 0.0);
+        assert!(per_group.bits_per_element(4096) > per_channel.bits_per_element(4096) + 3.0);
+    }
+
+    #[test]
+    fn empty_and_shape() {
+        let w = Matrix::zeros(2, 32);
+        let q = GoboQuantizer::new(3, Granularity::Group(16), 0.01);
+        assert_eq!(q.fake_quantize(&w).shape(), (2, 32));
+    }
+}

@@ -1,0 +1,182 @@
+//! 1-D k-means (Lloyd's algorithm) and the per-group clustering oracle.
+
+use mant_quant::FakeQuantizer;
+use mant_tensor::Matrix;
+
+/// Runs 1-D k-means with deterministic quantile initialization.
+///
+/// Returns the sorted centroids (fewer than `k` if the data has fewer
+/// distinct values). Empty data yields an empty vector.
+pub fn kmeans_1d(data: &[f32], k: usize, max_iters: usize) -> Vec<f32> {
+    if data.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let mut sorted: Vec<f32> = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+    sorted.dedup();
+    if sorted.len() <= k {
+        return sorted;
+    }
+    // Quantile initialization: evenly spaced order statistics.
+    let mut centroids: Vec<f32> = (0..k)
+        .map(|i| sorted[i * (sorted.len() - 1) / (k - 1).max(1)])
+        .collect();
+    centroids.dedup();
+
+    let mut assign = vec![0usize; data.len()];
+    for _ in 0..max_iters {
+        // Assignment step (centroids sorted → nearest by scan).
+        let mut changed = false;
+        for (i, &x) in data.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f32::INFINITY;
+            for (j, &c) in centroids.iter().enumerate() {
+                let d = (x - c).abs();
+                if d < best_d {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            if assign[i] != best {
+                assign[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, &x) in data.iter().enumerate() {
+            sums[assign[i]] += f64::from(x);
+            counts[assign[i]] += 1;
+        }
+        for (j, c) in centroids.iter_mut().enumerate() {
+            if counts[j] > 0 {
+                *c = (sums[j] / counts[j] as f64) as f32;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    centroids.sort_by(|a, b| a.partial_cmp(b).expect("finite centroids"));
+    centroids
+}
+
+/// Quantizes `x` to its nearest centroid.
+pub fn nearest_centroid(centroids: &[f32], x: f32) -> f32 {
+    let mut best = centroids.first().copied().unwrap_or(0.0);
+    let mut best_d = f32::INFINITY;
+    for &c in centroids {
+        let d = (x - c).abs();
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    best
+}
+
+/// The "Ideal" adaptive method of Fig. 2: an independent k-means codebook
+/// per group. Accuracy-optimal, but each group must store its centroids —
+/// a 16-entry × 8-bit codebook per 128-element group is effectively 6-bit
+/// storage, which is why the paper calls it impractical.
+#[derive(Clone, Debug)]
+pub struct IdealKMeansQuantizer {
+    group_size: usize,
+    centroids_per_group: usize,
+}
+
+impl IdealKMeansQuantizer {
+    /// Creates the oracle with `centroids_per_group` clusters (16 for the
+    /// paper's 4-bit comparison).
+    pub fn new(group_size: usize, centroids_per_group: usize) -> Self {
+        IdealKMeansQuantizer {
+            group_size,
+            centroids_per_group,
+        }
+    }
+}
+
+impl FakeQuantizer for IdealKMeansQuantizer {
+    fn name(&self) -> String {
+        format!("Ideal-kmeans-g{}", self.group_size)
+    }
+
+    fn bits_per_element(&self, _inner_dim: usize) -> f64 {
+        // log2(centroids) index bits + codebook amortized over the group.
+        (self.centroids_per_group as f64).log2()
+            + (self.centroids_per_group as f64 * 8.0) / self.group_size as f64
+    }
+
+    fn fake_quantize(&self, w: &Matrix) -> Matrix {
+        assert_eq!(w.cols() % self.group_size, 0, "group size must divide cols");
+        let mut out = w.clone();
+        for r in 0..w.rows() {
+            let row = w.row(r).to_vec();
+            let orow = out.row_mut(r);
+            for (gin, gout) in row
+                .chunks_exact(self.group_size)
+                .zip(orow.chunks_exact_mut(self.group_size))
+            {
+                let centroids = kmeans_1d(gin, self.centroids_per_group, 25);
+                for (o, &x) in gout.iter_mut().zip(gin.iter()) {
+                    *o = nearest_centroid(&centroids, x);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mant_tensor::{mse, TensorGenerator};
+
+    #[test]
+    fn kmeans_recovers_clusters() {
+        let data = [0.0f32, 0.1, -0.1, 5.0, 5.1, 4.9, -5.0, -5.1, -4.9];
+        let c = kmeans_1d(&data, 3, 50);
+        assert_eq!(c.len(), 3);
+        assert!((c[0] + 5.0).abs() < 0.1);
+        assert!(c[1].abs() < 0.1);
+        assert!((c[2] - 5.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn kmeans_degenerate_inputs() {
+        assert!(kmeans_1d(&[], 4, 10).is_empty());
+        assert!(kmeans_1d(&[1.0], 0, 10).is_empty());
+        // Fewer distinct values than k: returns the distinct values.
+        assert_eq!(kmeans_1d(&[2.0, 2.0, 3.0], 8, 10), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn nearest_centroid_picks_closest() {
+        let c = [-1.0f32, 0.0, 2.0];
+        assert_eq!(nearest_centroid(&c, 0.9), 0.0);
+        assert_eq!(nearest_centroid(&c, 1.1), 2.0);
+        assert_eq!(nearest_centroid(&[], 5.0), 0.0);
+    }
+
+    #[test]
+    fn ideal_oracle_beats_everything_reasonable() {
+        // Fig. 2: per-group clustering is the accuracy-optimal method.
+        let mut g = TensorGenerator::new(81);
+        let w = g.group_diverse_matrix(8, 256, 64, 0.02);
+        let oracle = IdealKMeansQuantizer::new(64, 16);
+        let q = oracle.fake_quantize(&w);
+        let err = mse(w.as_slice(), q.as_slice());
+        let power = mse(w.as_slice(), &vec![0.0; w.len()]);
+        assert!(err / power < 0.01, "oracle relative error {}", err / power);
+    }
+
+    #[test]
+    fn ideal_effective_bits_match_paper() {
+        // 16 centroids × 8 bits per 128-group ≈ 6-bit quantization (Sec. III-A).
+        let q = IdealKMeansQuantizer::new(128, 16);
+        assert!((q.bits_per_element(4096) - 5.0).abs() < 0.01);
+        let q64 = IdealKMeansQuantizer::new(64, 16);
+        assert_eq!(q64.bits_per_element(4096), 6.0);
+    }
+}

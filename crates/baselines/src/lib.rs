@@ -1,0 +1,39 @@
+//! Baseline quantizers for the M-ANT evaluation (paper Sec. VII).
+//!
+//! Every method the paper compares against, implemented behind the same
+//! [`FakeQuantizer`](mant_quant::FakeQuantizer) interface as MANT itself:
+//!
+//! - [`AntQuantizer`]: ANT (MICRO'22) — adaptive selection among
+//!   INT4 / flint4 / PoT4 per tensor, channel, or group;
+//! - [`OliveQuantizer`]: OliVe (ISCA'23) — outlier-victim pairs with the
+//!   outlier stored in `abfloat`;
+//! - [`TenderQuantizer`]: Tender (ISCA'24) — channel chunks whose group
+//!   scales are power-of-two multiples of a chunk base scale, enabling
+//!   shift-based requantization;
+//! - [`GoboQuantizer`]: GOBO (MICRO'20) — k-means codebooks with a small
+//!   FP16 outlier set;
+//! - [`MokeyQuantizer`]: Mokey (ISCA'22) — one "golden dictionary"
+//!   codebook shared by the whole tensor;
+//! - [`BitFusionQuantizer`]: plain symmetric INT at 4/8/16 bits;
+//! - [`MxfpQuantizer`]: MXFP4 — E2M1 elements under an E8M0 (power-of-two)
+//!   shared scale;
+//! - [`IdealKMeansQuantizer`]: the per-group clustering oracle of Fig. 2
+//!   ("Ideal"), accuracy-optimal but needing per-group codebooks.
+
+pub mod ant;
+pub mod bitfusion;
+pub mod gobo;
+pub mod kmeans;
+pub mod mokey;
+pub mod mxfp;
+pub mod olive;
+pub mod tender;
+
+pub use ant::AntQuantizer;
+pub use bitfusion::BitFusionQuantizer;
+pub use gobo::GoboQuantizer;
+pub use kmeans::{kmeans_1d, IdealKMeansQuantizer};
+pub use mokey::MokeyQuantizer;
+pub use mxfp::MxfpQuantizer;
+pub use olive::OliveQuantizer;
+pub use tender::TenderQuantizer;

@@ -1,0 +1,140 @@
+//! Mokey (ISCA'22): the golden-dictionary codebook.
+//!
+//! Mokey quantizes via clustering like GOBO, but amortizes the codebook by
+//! building one "golden dictionary" shared across all tensors, with each
+//! quantization unit mapping onto it through a scale. The paper's Tbl. I
+//! rates this *low* adaptivity: one dictionary is effectively a single data
+//! type.
+
+use mant_quant::{FakeQuantizer, Granularity};
+use mant_tensor::{abs_max, Matrix};
+
+use crate::kmeans::{kmeans_1d, nearest_centroid};
+
+/// The Mokey quantizer.
+#[derive(Clone, Debug)]
+pub struct MokeyQuantizer {
+    bits: u8,
+    granularity: Granularity,
+    dictionary: Vec<f32>,
+}
+
+impl MokeyQuantizer {
+    /// Builds the golden dictionary from calibration samples (normalized to
+    /// unit max) with `2^bits` entries; scales are applied per
+    /// `granularity` unit at quantization time.
+    pub fn from_calibration(bits: u8, granularity: Granularity, calibration: &[f32]) -> Self {
+        let amax = abs_max(calibration).max(f32::MIN_POSITIVE);
+        let normalized: Vec<f32> = calibration.iter().map(|&v| v / amax).collect();
+        let dictionary = kmeans_1d(&normalized, 1usize << bits, 30);
+        MokeyQuantizer {
+            bits,
+            granularity,
+            dictionary,
+        }
+    }
+
+    /// The shared dictionary (normalized to the calibration max).
+    pub fn dictionary(&self) -> &[f32] {
+        &self.dictionary
+    }
+}
+
+impl FakeQuantizer for MokeyQuantizer {
+    fn name(&self) -> String {
+        format!("Mokey{}", self.bits)
+    }
+
+    fn bits_per_element(&self, inner_dim: usize) -> f64 {
+        // Dictionary is global (amortized to ~0); scales per unit.
+        f64::from(self.bits) + self.granularity.scale_bits_per_element(inner_dim, 1)
+    }
+
+    fn fake_quantize(&self, w: &Matrix) -> Matrix {
+        let dict_max = abs_max(&self.dictionary).max(f32::MIN_POSITIVE);
+        let mut out = w.clone();
+        let quantize_unit = |unit: &[f32], out: &mut [f32]| {
+            let amax = abs_max(unit);
+            if amax == 0.0 {
+                out.fill(0.0);
+                return;
+            }
+            let scale = amax / dict_max;
+            for (o, &x) in out.iter_mut().zip(unit.iter()) {
+                *o = nearest_centroid(&self.dictionary, x / scale) * scale;
+            }
+        };
+        match self.granularity {
+            Granularity::Tensor => {
+                let unit = w.as_slice().to_vec();
+                quantize_unit(&unit, out.as_mut_slice());
+            }
+            _ => {
+                let span = self
+                    .granularity
+                    .span(w.cols())
+                    .expect("granularity must divide inner dim");
+                for r in 0..w.rows() {
+                    let row = w.row(r).to_vec();
+                    let orow = out.row_mut(r);
+                    for (gin, gout) in
+                        row.chunks_exact(span).zip(orow.chunks_exact_mut(span))
+                    {
+                        quantize_unit(gin, gout);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::IdealKMeansQuantizer;
+    use mant_tensor::{mse, DistributionKind, TensorGenerator};
+
+    fn calibration() -> Vec<f32> {
+        let mut g = TensorGenerator::new(131);
+        (0..4096)
+            .map(|_| g.sample(DistributionKind::Gaussian, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn dictionary_size_bounded() {
+        let q = MokeyQuantizer::from_calibration(4, Granularity::Channel, &calibration());
+        assert!(q.dictionary().len() <= 16);
+        assert!(q.dictionary().len() >= 8);
+    }
+
+    #[test]
+    fn single_dictionary_loses_to_per_group_clustering() {
+        // Tbl. I's adaptivity story: golden dictionary < per-group k-means.
+        let q = MokeyQuantizer::from_calibration(4, Granularity::Group(64), &calibration());
+        let oracle = IdealKMeansQuantizer::new(64, 16);
+        let mut g = TensorGenerator::new(132);
+        let w = g.group_diverse_matrix(8, 256, 64, 0.02);
+        let err_m = mse(w.as_slice(), q.fake_quantize(&w).as_slice());
+        let err_o = mse(w.as_slice(), oracle.fake_quantize(&w).as_slice());
+        assert!(err_o < err_m, "oracle {err_o} vs Mokey {err_m}");
+    }
+
+    #[test]
+    fn fits_gaussian_data_well() {
+        let q = MokeyQuantizer::from_calibration(4, Granularity::Channel, &calibration());
+        let mut g = TensorGenerator::new(133);
+        let w = g.matrix(4, 128, DistributionKind::Gaussian, 0.7);
+        let err = mse(w.as_slice(), q.fake_quantize(&w).as_slice());
+        let power = mse(w.as_slice(), &vec![0.0; w.len()]);
+        assert!(err / power < 0.02, "relative error {}", err / power);
+    }
+
+    #[test]
+    fn zero_unit_stays_zero() {
+        let q = MokeyQuantizer::from_calibration(4, Granularity::Tensor, &calibration());
+        let w = Matrix::zeros(2, 8);
+        assert!(q.fake_quantize(&w).as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,173 @@
+//! Tender (ISCA'24): channel decomposition with shift-related group scales.
+//!
+//! Tender partitions channels into chunks by magnitude and constrains the
+//! scales of the groups inside a chunk to be 1-bit shifts of a shared base
+//! scale. Requantization between groups then reduces to a shift folded
+//! into the accumulator, avoiding per-group FP multipliers. The accuracy
+//! effect we model: each group's scale is the chunk base scale divided by
+//! the largest power of two that still covers the group's max — a
+//! "progressive" range that beats one flat scale but cannot beat truly
+//! per-group FP16 scales.
+
+use mant_quant::FakeQuantizer;
+use mant_tensor::{abs_max, Matrix};
+
+/// The Tender quantizer.
+#[derive(Clone, Debug)]
+pub struct TenderQuantizer {
+    bits: u8,
+    /// Sub-groups per chunk whose scales are power-of-two related.
+    group_size: usize,
+}
+
+impl TenderQuantizer {
+    /// 4-bit Tender with the given intra-chunk group size (each row is one
+    /// chunk; groups inside it get shift-related scales).
+    pub fn w4(group_size: usize) -> Self {
+        TenderQuantizer {
+            bits: 4,
+            group_size,
+        }
+    }
+
+    /// 8-bit Tender.
+    pub fn w8(group_size: usize) -> Self {
+        TenderQuantizer {
+            bits: 8,
+            group_size,
+        }
+    }
+
+    fn int_max(&self) -> f32 {
+        if self.bits == 8 {
+            127.0
+        } else {
+            7.0
+        }
+    }
+}
+
+impl FakeQuantizer for TenderQuantizer {
+    fn name(&self) -> String {
+        format!("Tender{}-g{}", self.bits, self.group_size)
+    }
+
+    fn bits_per_element(&self, _inner_dim: usize) -> f64 {
+        // One FP16 base scale per chunk (row) + 4-bit shift exponent per group.
+        f64::from(self.bits) + 4.0 / self.group_size as f64
+    }
+
+    fn fake_quantize(&self, w: &Matrix) -> Matrix {
+        assert!(
+            self.group_size > 0 && w.cols() % self.group_size == 0,
+            "group size must divide the inner dimension"
+        );
+        let imax = self.int_max();
+        let mut out = w.clone();
+        for r in 0..w.rows() {
+            let row = w.row(r).to_vec();
+            // Chunk base scale covers the loudest group.
+            let base = abs_max(&row) / imax;
+            let orow = out.row_mut(r);
+            if base == 0.0 {
+                orow.fill(0.0);
+                continue;
+            }
+            for (gin, gout) in row
+                .chunks_exact(self.group_size)
+                .zip(orow.chunks_exact_mut(self.group_size))
+            {
+                let gmax = abs_max(gin);
+                // Largest shift k with gmax ≤ imax · base / 2^k (capped at
+                // 15, the 4-bit shift field).
+                let mut k = 0u32;
+                while k < 15 && gmax <= imax * base / 2.0f32.powi(k as i32 + 1) {
+                    k += 1;
+                }
+                let scale = (base / 2.0f32.powi(k as i32)).max(f32::MIN_POSITIVE);
+                for (o, &x) in gout.iter_mut().zip(gin.iter()) {
+                    *o = (x / scale).round().clamp(-imax, imax) * scale;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mant_numerics::int4_grid;
+    use mant_quant::{Granularity, GridQuantizer};
+    use mant_tensor::{mse, TensorGenerator};
+
+    #[test]
+    fn beats_channel_int_on_outlier_rows() {
+        // A row with one loud group: Tender shifts the quiet groups' scales
+        // down; channel-wise INT4 cannot.
+        let mut g = TensorGenerator::new(111);
+        let mut data = Vec::new();
+        for i in 0..8 {
+            let s = if i == 0 { 8.0 } else { 0.05 };
+            for _ in 0..32 {
+                data.push(g.sample(mant_tensor::DistributionKind::Gaussian, s));
+            }
+        }
+        let w = Matrix::from_vec(1, 256, data);
+        let tender = TenderQuantizer::w4(32);
+        let int4 = GridQuantizer::new("int4-ch", int4_grid(), 4, Granularity::Channel);
+        let qt = tender.fake_quantize(&w);
+        let qi = int4.fake_quantize(&w);
+        // The loud group quantizes identically either way; Tender's win is
+        // on the quiet groups, whose scales shift down by 2^k.
+        let err_t = mse(&w.as_slice()[32..], &qt.as_slice()[32..]);
+        let err_i = mse(&w.as_slice()[32..], &qi.as_slice()[32..]);
+        assert!(err_t < err_i / 4.0, "Tender {err_t} vs channel INT4 {err_i}");
+    }
+
+    #[test]
+    fn loses_to_free_group_scales() {
+        // Shift-constrained scales give up to 2× range slack per group vs a
+        // free FP16 group scale, so group-wise INT4 should be at least as
+        // good on smooth data.
+        let mut g = TensorGenerator::new(112);
+        let w = g.group_diverse_matrix(8, 256, 32, 0.02);
+        let tender = TenderQuantizer::w4(32);
+        let int4g = GridQuantizer::new("int4-g32", int4_grid(), 4, Granularity::Group(32));
+        let err_t = mse(w.as_slice(), tender.fake_quantize(&w).as_slice());
+        let err_i = mse(w.as_slice(), int4g.fake_quantize(&w).as_slice());
+        assert!(err_i <= err_t * 1.05, "free scales {err_i} vs Tender {err_t}");
+    }
+
+    #[test]
+    fn zero_row_stays_zero() {
+        let w = Matrix::zeros(2, 64);
+        let q = TenderQuantizer::w4(32).fake_quantize(&w);
+        assert!(q.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn scale_shift_is_power_of_two() {
+        // Reconstructed values of a quiet group must be representable as
+        // (int · base / 2^k): check divisibility structurally by verifying
+        // error shrinks ~2^k vs channel scale.
+        let mut data = vec![0.0f32; 64];
+        data[0] = 7.0; // loud group sets base = 1.0
+        for (i, v) in data.iter_mut().enumerate().skip(32) {
+            *v = ((i % 5) as f32 - 2.0) * 0.05; // quiet group, max 0.1 ≤ 7/64
+        }
+        let w = Matrix::from_vec(1, 64, data.clone());
+        let q = TenderQuantizer::w4(32).fake_quantize(&w);
+        // Quiet group scale is base/2^k ≥ 0.1/7 → error < 0.01 per element.
+        for (o, x) in q.row(0)[32..].iter().zip(&data[32..]) {
+            assert!((o - x).abs() < 0.01, "{o} vs {x}");
+        }
+    }
+
+    #[test]
+    fn name_and_bits() {
+        let q = TenderQuantizer::w8(64);
+        assert_eq!(q.name(), "Tender8-g64");
+        assert!((q.bits_per_element(4096) - 8.0625).abs() < 1e-9);
+    }
+}

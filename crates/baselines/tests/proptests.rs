@@ -1,0 +1,87 @@
+//! Property-based tests of the baseline quantizers.
+
+use mant_baselines::{
+    AntQuantizer, BitFusionQuantizer, GoboQuantizer, IdealKMeansQuantizer, MxfpQuantizer,
+    OliveQuantizer, TenderQuantizer,
+};
+use mant_quant::{FakeQuantizer, Granularity};
+use mant_tensor::Matrix;
+use proptest::prelude::*;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-100.0f32..100.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+fn all_quantizers() -> Vec<Box<dyn FakeQuantizer>> {
+    vec![
+        Box::new(AntQuantizer::w4(Granularity::Group(32))),
+        Box::new(OliveQuantizer::w4(Granularity::Group(32))),
+        Box::new(TenderQuantizer::w4(32)),
+        Box::new(GoboQuantizer::new(3, Granularity::Group(32), 0.02)),
+        Box::new(BitFusionQuantizer::new(4, Granularity::Group(32))),
+        Box::new(MxfpQuantizer::new(32)),
+        Box::new(IdealKMeansQuantizer::new(32, 16)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every baseline preserves shape and produces finite values.
+    #[test]
+    fn shape_and_finiteness(w in matrix(3, 64)) {
+        for q in all_quantizers() {
+            let out = q.fake_quantize(&w);
+            prop_assert_eq!(out.shape(), w.shape(), "{}", q.name());
+            prop_assert!(out.as_slice().iter().all(|v| v.is_finite()), "{}", q.name());
+        }
+    }
+
+    /// No baseline inflates a group's max magnitude by more than 2×
+    /// (MXFP's E8M0 rounds the scale up a binade; everything else stays
+    /// within the group range).
+    #[test]
+    fn bounded_range(w in matrix(2, 64)) {
+        for q in all_quantizers() {
+            let out = q.fake_quantize(&w);
+            for r in 0..w.rows() {
+                for g in 0..2 {
+                    let orig = &w.row(r)[g * 32..(g + 1) * 32];
+                    let quant = &out.row(r)[g * 32..(g + 1) * 32];
+                    let amax = orig.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                    for &v in quant {
+                        prop_assert!(
+                            v.abs() <= amax * 2.0 + 1e-4,
+                            "{}: {} exceeds 2x group max {}",
+                            q.name(), v, amax
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Zero input stays exactly zero for every baseline.
+    #[test]
+    fn zero_preserved(rows in 1usize..4) {
+        let w = Matrix::zeros(rows, 64);
+        for q in all_quantizers() {
+            let out = q.fake_quantize(&w);
+            prop_assert!(out.as_slice().iter().all(|&v| v == 0.0), "{}", q.name());
+        }
+    }
+
+    /// INT at more bits never increases the error (monotone precision).
+    #[test]
+    fn int_bits_monotone(w in matrix(2, 32)) {
+        let mut last = f64::INFINITY;
+        for bits in [2u8, 4, 8, 12] {
+            let q = BitFusionQuantizer::new(bits, Granularity::Group(32));
+            let out = q.fake_quantize(&w);
+            let err = mant_tensor::mse(w.as_slice(), out.as_slice());
+            prop_assert!(err <= last + 1e-12, "INT{bits}: {err} > {last}");
+            last = err;
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! Benchmarks the accelerator simulator itself (a full Fig. 13-style
+//! model run should be microseconds — it is an analytical model).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mant_model::ModelConfig;
+use mant_sim::{run_model, AcceleratorConfig, EnergyModel};
+
+fn bench_accel_sim(c: &mut Criterion) {
+    let cfg = ModelConfig::llama_7b();
+    let em = EnergyModel::default();
+    let mant = AcceleratorConfig::mant();
+
+    let mut g = c.benchmark_group("simulator");
+    g.bench_function("run_model_llama7b_8k", |b| {
+        b.iter(|| black_box(run_model(black_box(&mant), &em, &cfg, 8192)))
+    });
+    g.bench_function("paper_set_seq_sweep", |b| {
+        b.iter(|| {
+            for acc in AcceleratorConfig::paper_set() {
+                for seq in [2048usize, 8192, 32768, 131072] {
+                    black_box(run_model(&acc, &em, &cfg, seq));
+                }
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_accel_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Per-format encode/decode microbenchmarks (the Tbl. I efficiency rows).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mant_baselines::kmeans_1d;
+use mant_numerics::{int4_grid, nf4_paper_grid, Mant};
+use mant_tensor::TensorGenerator;
+
+fn bench_datatypes(c: &mut Criterion) {
+    let mut gen = TensorGenerator::new(1004);
+    let data: Vec<f32> = (0..64).map(|_| gen.standard_normal() * 40.0).collect();
+    let mant = Mant::new(17).expect("17 < 128");
+    let int4 = int4_grid();
+    let nf4 = nf4_paper_grid();
+
+    let mut g = c.benchmark_group("encode_group64");
+    g.bench_function("mant_encode", |b| {
+        b.iter(|| {
+            for &x in black_box(&data) {
+                black_box(mant.encode(x));
+            }
+        })
+    });
+    g.bench_function("int4_round", |b| {
+        b.iter(|| {
+            for &x in black_box(&data) {
+                black_box(int4.encode(x / 6.0));
+            }
+        })
+    });
+    g.bench_function("nf4_lookup", |b| {
+        b.iter(|| {
+            for &x in black_box(&data) {
+                black_box(nf4.encode(x / 40.0));
+            }
+        })
+    });
+    g.bench_function("kmeans_codebook_build", |b| {
+        b.iter(|| black_box(kmeans_1d(black_box(&data), 16, 25)))
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_datatypes
+}
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Benchmarks offline MSE coefficient search vs the real-time variance
+//! mapping (the Sec. V-C trade-off: search is accurate but "intolerable in
+//! a real-time scenario"; variance lookup is streaming-cheap).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mant_quant::{select_group_dtype, CandidateSet, VarianceMap};
+use mant_tensor::{RunningGroupStats, TensorGenerator};
+
+fn bench_encode_search(c: &mut Criterion) {
+    let mut gen = TensorGenerator::new(1002);
+    let group: Vec<f32> = (0..64).map(|_| gen.standard_normal() * 0.3).collect();
+    let set = CandidateSet::paper();
+    let vmap = VarianceMap::analytic(&set).expect("paper set is non-empty");
+
+    let mut g = c.benchmark_group("dtype_selection_per_group64");
+    g.bench_function("mse_search", |b| {
+        b.iter(|| black_box(select_group_dtype(black_box(&group), &set).expect("non-empty set")))
+    });
+    g.bench_function("variance_map", |b| {
+        b.iter(|| {
+            let mut stats = RunningGroupStats::new();
+            stats.extend_from_slice(black_box(&group));
+            black_box(vmap.select_for(&stats))
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_encode_search
+}
+criterion_main!(benches);

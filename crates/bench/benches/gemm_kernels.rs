@@ -1,0 +1,42 @@
+//! Benchmarks the paper's computational claim (Tbl. I / Eq. (5)): fused
+//! decode-and-compute MANT GEMM vs dequantize-then-FP32-GEMM vs plain FP32.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mant_quant::{
+    dequant_then_gemm, mant_gemm, quantize_activations_int8, MantWeightQuantizer,
+};
+use mant_tensor::{gemm, TensorGenerator};
+
+fn bench_gemm_kernels(c: &mut Criterion) {
+    let mut gen = TensorGenerator::new(1001);
+    let m = 8;
+    let k = 512;
+    let n = 128;
+    let g = 64;
+    let x = gen.activation_matrix(m, k, 1.0, 0.01, 15.0);
+    let w = gen.group_diverse_matrix(n, k, g, 0.02);
+    let xq = quantize_activations_int8(&x, g).expect("valid group size");
+    let wq = MantWeightQuantizer::new(g).quantize(&w).expect("valid group size");
+    let wt = w.transpose();
+
+    let mut group = c.benchmark_group("gemm_8x512x128");
+    group.bench_function("fused_mant_int", |b| {
+        b.iter(|| black_box(mant_gemm(black_box(&xq), black_box(&wq)).expect("shapes agree")))
+    });
+    group.bench_function("dequant_then_f32", |b| {
+        b.iter(|| black_box(dequant_then_gemm(black_box(&xq), black_box(&wq))))
+    });
+    group.bench_function("f32_reference", |b| {
+        b.iter(|| black_box(gemm(black_box(&x), black_box(&wt))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_gemm_kernels
+}
+criterion_main!(benches);

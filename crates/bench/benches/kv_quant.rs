@@ -1,0 +1,35 @@
+//! Benchmarks the real-time KV-cache engines: spatial K quantization and
+//! two-phase temporal V quantization (Fig. 8's datapath, in software).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use mant_quant::{CandidateSet, KCacheQuantizer, VCacheQuantizer, VarianceMap};
+use mant_tensor::TensorGenerator;
+
+fn bench_kv_quant(c: &mut Criterion) {
+    let dim = 4096;
+    let g = 64;
+    let vmap = VarianceMap::analytic(&CandidateSet::paper()).expect("non-empty set");
+    let mut gen = TensorGenerator::new(1003);
+    let k_vec: Vec<f32> = (0..dim).map(|_| gen.standard_normal()).collect();
+    let v_vec: Vec<f32> = (0..dim).map(|_| gen.standard_normal()).collect();
+
+    let mut group = c.benchmark_group("kv_push_dim4096");
+    group.bench_function("k_spatial_push", |b| {
+        let mut kq = KCacheQuantizer::new(dim, g, vmap.clone()).expect("g divides dim");
+        b.iter(|| kq.push(black_box(&k_vec)))
+    });
+    group.bench_function("v_temporal_push", |b| {
+        let mut vq = VCacheQuantizer::new(dim, g, vmap.clone()).expect("positive g");
+        b.iter(|| vq.push(black_box(&v_vec)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_kv_quant
+}
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! Regenerates Fig. 5: MANT approximating Float (a=17) and NF (a=25).
+
+use mant_bench::experiments::fig05::fig05;
+use mant_bench::Table;
+
+fn main() {
+    println!("Fig. 5 — using different a in MANT for data type approximation\n");
+    for p in fig05() {
+        println!(
+            "target {} — paper a = {}, least-squares fit a = {} (mean |err| {:.4})",
+            p.target, p.paper_a, p.fitted_a, p.mean_abs_err
+        );
+        let mut t = Table::new(["code i", "MANT(a)", "target"]);
+        for (i, m, tgt) in p.curve {
+            t.row([i.to_string(), format!("{m:.4}"), format!("{tgt:.4}")]);
+        }
+        println!("{}", t.render());
+    }
+}

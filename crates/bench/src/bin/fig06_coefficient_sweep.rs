@@ -1,0 +1,26 @@
+//! Regenerates Fig. 6: grid distribution vs coefficient a.
+
+use mant_bench::experiments::fig06::fig06;
+use mant_bench::Table;
+
+fn main() {
+    println!("Fig. 6 — normalized 4-bit grids across coefficient a");
+    println!("(positive halves shown; variance is the shape statistic)\n");
+    let mut t = Table::new(["grid", "variance", "positive points"]);
+    for row in fig06() {
+        let pos: Vec<String> = row
+            .points
+            .iter()
+            .filter(|&&p| p >= 0.0)
+            .map(|p| format!("{p:.3}"))
+            .collect();
+        t.row([
+            row.label,
+            format!("{:.4}", row.variance),
+            pos.join(" "),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Paper: a=0 ≡ PoT, a≈17 ≈ float, a≈25 ≈ NF, large a → INT-like;");
+    println!("the distribution morphs smoothly, saturating beyond a ≈ 128.");
+}

@@ -1,0 +1,42 @@
+//! Regenerates Fig. 12: linear-layer speedup and energy breakdown.
+
+use mant_bench::experiments::fig12::{fig12, fig12_geomean_speedups, fig12_models};
+use mant_bench::Table;
+
+fn main() {
+    println!("Fig. 12 — linear layer, seq 2048, batch 1, iso-area accelerators");
+    println!("(speedup and energy normalized to BitFusion)\n");
+    let cells = fig12();
+    let mut t = Table::new([
+        "model",
+        "accelerator",
+        "speedup",
+        "E core",
+        "E buffer",
+        "E dram",
+        "E static",
+        "E total",
+    ]);
+    for m in fig12_models() {
+        for c in cells.iter().filter(|c| c.model == m.name) {
+            let (core, buf, dram, st) = c.energy_breakdown;
+            t.row([
+                c.model.clone(),
+                c.accelerator.clone(),
+                format!("{:.2}", c.speedup),
+                format!("{core:.3}"),
+                format!("{buf:.3}"),
+                format!("{dram:.3}"),
+                format!("{st:.3}"),
+                format!("{:.3}", core + buf + dram + st),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("Geomean MANT speedup over each baseline:");
+    for (base, s) in fig12_geomean_speedups() {
+        println!("  vs {base:<10} {s:.2}x");
+    }
+    println!("\nPaper: 1.83x (Tender), 1.96x (OliVe), 2.00x (ANT*), 4.93x (BitFusion);");
+    println!("energy reductions 1.39/1.54/1.57/4.16x, dominated by static energy.");
+}

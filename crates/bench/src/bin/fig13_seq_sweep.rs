@@ -1,0 +1,29 @@
+//! Regenerates Fig. 13: all-layer speedup/energy vs sequence length.
+
+use mant_bench::experiments::fig13::{fig13, mant_speedup_over, SEQ_LENGTHS};
+use mant_bench::Table;
+
+fn main() {
+    println!("Fig. 13 — all layers (linear + attention), LLaMA-7B, 2K–128K");
+    println!("(speedup/energy normalized to BitFusion; baselines run FP16 attention)\n");
+    let cells = fig13();
+    let mut t = Table::new(["seq", "accelerator", "speedup", "attn frac", "E total"]);
+    for &seq in &SEQ_LENGTHS {
+        for c in cells.iter().filter(|c| c.seq == seq) {
+            t.row([
+                format!("{}K", seq / 1024),
+                c.accelerator.clone(),
+                format!("{:.2}", c.speedup),
+                format!("{:.2}", c.attention_fraction),
+                format!("{:.3}", c.energy),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("MANT speedup over OliVe by sequence length:");
+    for (seq, s) in mant_speedup_over("OliVe") {
+        println!("  {:>4}K: {s:.2}x", seq / 1024);
+    }
+    println!("\nPaper: 2.04–4.54x over OliVe; at 128K OliVe is only 1.15x over");
+    println!("BitFusion because unquantized attention dominates everyone.");
+}

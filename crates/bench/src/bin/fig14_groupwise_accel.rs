@@ -1,0 +1,26 @@
+//! Regenerates Fig. 14: group-wise MANT vs group-ANT vs group-INT.
+
+use mant_bench::experiments::fig14::{fig14, fig14_geomeans, fig14_models};
+use mant_bench::Table;
+
+fn main() {
+    println!("Fig. 14 — group-wise comparison at G-64 (linear layers, seq 2048)");
+    println!("(speedup and energy normalized to group-wise INT)\n");
+    let cells = fig14();
+    let mut t = Table::new(["model", "accelerator", "speedup", "E total"]);
+    for m in fig14_models() {
+        for c in cells.iter().filter(|c| c.model == m.name) {
+            t.row([
+                c.model.clone(),
+                c.accelerator.clone(),
+                format!("{:.2}", c.speedup),
+                format!("{:.3}", c.energy),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    let (speedup, energy) = fig14_geomeans();
+    println!("Geomean MANT over group-ANT: {speedup:.2}x speedup, {energy:.2}x energy efficiency");
+    println!("\nPaper: 1.70x speedup and 1.55x energy efficiency over group ANT");
+    println!("(ANT pays 4/8 mixing for PPL parity plus unfused per-group scales).");
+}

@@ -1,0 +1,35 @@
+//! Regenerates Tbl. I: the adaptive-accelerator feature matrix.
+
+use mant_bench::experiments::tbl1::tbl1;
+use mant_bench::Table;
+
+fn main() {
+    println!("Tbl. I — features of DNN accelerators with adaptive data types\n");
+    let mut t = Table::new([
+        "architecture",
+        "encode",
+        "enc. effi.",
+        "comp. type",
+        "bits",
+        "comp. effi.",
+        "decode",
+        "dec. effi.",
+        "adaptivity",
+    ]);
+    for r in tbl1() {
+        t.row([
+            r.architecture,
+            r.encode.0,
+            r.encode.1,
+            r.computation.0,
+            r.computation.1,
+            r.computation.2,
+            r.decode.0,
+            r.decode.1,
+            r.adaptivity,
+        ]);
+    }
+    println!("{}", t.render());
+    println!("MANT combines search+map encoding with integer computation and");
+    println!("calculation-based decoding — high efficiency AND high adaptivity.");
+}

@@ -1,0 +1,234 @@
+//! Shared accuracy-experiment machinery: method definitions, evaluation.
+
+use mant_baselines::{AntQuantizer, BitFusionQuantizer, OliveQuantizer, TenderQuantizer};
+use mant_core::Pipeline;
+use mant_model::{ActMode, KvMode, ModelConfig};
+use mant_quant::Granularity;
+
+/// Default evaluation-stream length for the experiment binaries.
+pub const EVAL_TOKENS: usize = 32;
+
+/// One (weights, activations, KV) quantization configuration of Tbl. II.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Method {
+    /// Unquantized reference.
+    Fp16,
+    /// ANT W4A4: channel-wise adaptive weights, tensor-wise INT4 acts.
+    AntW4A4,
+    /// OliVe W4A4: channel-wise outlier-victim weights, OliVe-paired acts.
+    OliveW4A4,
+    /// Tender W4A4: chunk-shift weights, chunk-wise INT4 acts.
+    TenderW4A4,
+    /// MANT W4A4: group-wise MANT weights, group-wise INT4 acts.
+    MantW4A4,
+    /// ANT* W8A8 (non-adaptive INT8).
+    AntW8A8,
+    /// OliVe W8A8.
+    OliveW8A8,
+    /// Tender W8A8.
+    TenderW8A8,
+    /// MANT W4A8 (the paper's headline configuration).
+    MantW4A8,
+    /// MANT W4A8 with 4-bit MANT KV cache and INT8 attention activations.
+    MantW4A8Kv4,
+}
+
+impl Method {
+    /// All Tbl. II rows, in the paper's order.
+    pub const TABLE2: [Method; 10] = [
+        Method::Fp16,
+        Method::AntW4A4,
+        Method::OliveW4A4,
+        Method::TenderW4A4,
+        Method::MantW4A4,
+        Method::AntW8A8,
+        Method::OliveW8A8,
+        Method::TenderW8A8,
+        Method::MantW4A8,
+        Method::MantW4A8Kv4,
+    ];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Fp16 => "FP16",
+            Method::AntW4A4 => "ANT",
+            Method::OliveW4A4 => "OliVe",
+            Method::TenderW4A4 => "Tender",
+            Method::MantW4A4 => "MANT",
+            Method::AntW8A8 => "ANT*",
+            Method::OliveW8A8 => "OliVe",
+            Method::TenderW8A8 => "Tender",
+            Method::MantW4A8 => "MANT",
+            Method::MantW4A8Kv4 => "MANT",
+        }
+    }
+
+    /// The "Linear (bit)" columns of Tbl. II, `(act, weight)`.
+    pub fn linear_bits(&self) -> (u8, u8) {
+        match self {
+            Method::Fp16 => (16, 16),
+            Method::AntW4A4 | Method::OliveW4A4 | Method::TenderW4A4 | Method::MantW4A4 => (4, 4),
+            Method::AntW8A8 | Method::OliveW8A8 | Method::TenderW8A8 => (8, 8),
+            Method::MantW4A8 | Method::MantW4A8Kv4 => (8, 4),
+        }
+    }
+
+    /// The "Atten. (bit)" columns, `(act, kv)`.
+    pub fn attention_bits(&self) -> (u8, u8) {
+        match self {
+            Method::MantW4A8Kv4 => (8, 4),
+            _ => (16, 16),
+        }
+    }
+
+    /// Evaluates this method's perplexity proxy on the pipeline's model.
+    pub fn evaluate(&self, pipe: &Pipeline, eval_tokens: usize) -> f64 {
+        let g = 64;
+        let (quantized, act, kv) = match self {
+            Method::Fp16 => (pipe.reference().clone(), ActMode::None, KvMode::Fp16),
+            Method::AntW4A4 => (
+                pipe.quantize_with(&AntQuantizer::w4(Granularity::Channel)),
+                ActMode::IntTensor { bits: 4 },
+                KvMode::Fp16,
+            ),
+            Method::OliveW4A4 => (
+                pipe.quantize_with(&OliveQuantizer::w4(Granularity::Channel)),
+                ActMode::OliveTensor { bits: 4 },
+                KvMode::Fp16,
+            ),
+            Method::TenderW4A4 => (
+                pipe.quantize_with(&TenderQuantizer::w4(g)),
+                ActMode::SortedGroup { bits: 4, group: g },
+                KvMode::Fp16,
+            ),
+            Method::MantW4A4 => (
+                pipe.quantize_w4(g),
+                ActMode::IntGroup { bits: 4, group: g },
+                KvMode::Fp16,
+            ),
+            Method::AntW8A8 => (
+                pipe.quantize_with(&BitFusionQuantizer::new(8, Granularity::Channel)),
+                ActMode::IntTensor { bits: 8 },
+                KvMode::Fp16,
+            ),
+            Method::OliveW8A8 => (
+                pipe.quantize_with(&OliveQuantizer::w8(Granularity::Channel)),
+                ActMode::OliveTensor { bits: 8 },
+                KvMode::Fp16,
+            ),
+            Method::TenderW8A8 => (
+                pipe.quantize_with(&TenderQuantizer::w8(g)),
+                ActMode::SortedGroup { bits: 8, group: g },
+                KvMode::Fp16,
+            ),
+            Method::MantW4A8 => (
+                pipe.quantize_w4(g),
+                ActMode::IntGroup { bits: 8, group: g },
+                KvMode::Fp16,
+            ),
+            Method::MantW4A8Kv4 => (
+                pipe.quantize_w4(g),
+                ActMode::IntGroup { bits: 8, group: g },
+                KvMode::Mant4 { group: g },
+            ),
+        };
+        pipe.evaluate(&quantized, act, kv, eval_tokens).ppl
+    }
+}
+
+/// Total relative weight-space MSE over all quantized linear weights —
+/// the noise-free metric underlying the accuracy tables (the PPL proxy on
+/// a small model adds eval noise on top of this).
+pub fn weight_rel_mse(
+    reference: &mant_model::TransformerModel,
+    quantized: &mant_model::TransformerModel,
+) -> f64 {
+    use mant_tensor::mse;
+    let mut err = 0.0f64;
+    let mut power = 0.0f64;
+    for (r, q) in reference
+        .weights
+        .layers
+        .iter()
+        .zip(quantized.weights.layers.iter())
+    {
+        for (wr, wq) in [
+            (&r.wq, &q.wq),
+            (&r.wk, &q.wk),
+            (&r.wv, &q.wv),
+            (&r.wo, &q.wo),
+            (&r.w_up, &q.w_up),
+            (&r.w_down, &q.w_down),
+        ] {
+            let n = wr.len() as f64;
+            err += mse(wr.as_slice(), wq.as_slice()) * n;
+            power += mse(wr.as_slice(), &vec![0.0; wr.len()]) * n;
+        }
+    }
+    err / power.max(f64::MIN_POSITIVE)
+}
+
+/// Deterministic seed for a model name (so every experiment binary sees
+/// the same synthetic checkpoint per model).
+pub fn model_seed(cfg: &ModelConfig) -> u64 {
+    cfg.name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+        })
+}
+
+/// Builds the calibrated pipeline for one model's sim proxy.
+pub fn proxy_pipeline(cfg: &ModelConfig) -> Pipeline {
+    let mut pipe = Pipeline::new(&cfg.sim_proxy(), model_seed(cfg));
+    pipe.calibrate(48);
+    pipe
+}
+
+/// The Tbl. II model list.
+pub fn table2_models() -> Vec<ModelConfig> {
+    vec![
+        ModelConfig::llama_7b(),
+        ModelConfig::llama_13b(),
+        ModelConfig::llama_30b(),
+        ModelConfig::llama_65b(),
+        ModelConfig::llama2_7b(),
+        ModelConfig::llama2_13b(),
+        ModelConfig::opt_6_7b(),
+        ModelConfig::opt_13b(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeds_differ_per_model() {
+        assert_ne!(
+            model_seed(&ModelConfig::llama_7b()),
+            model_seed(&ModelConfig::opt_6_7b())
+        );
+        assert_eq!(
+            model_seed(&ModelConfig::llama_7b()),
+            model_seed(&ModelConfig::llama_7b())
+        );
+    }
+
+    #[test]
+    fn method_metadata() {
+        assert_eq!(Method::MantW4A8.linear_bits(), (8, 4));
+        assert_eq!(Method::MantW4A8Kv4.attention_bits(), (8, 4));
+        assert_eq!(Method::Fp16.linear_bits(), (16, 16));
+        assert_eq!(Method::TABLE2.len(), 10);
+    }
+
+    #[test]
+    fn fp16_is_the_floor() {
+        let pipe = proxy_pipeline(&ModelConfig::llama_7b());
+        let fp = Method::Fp16.evaluate(&pipe, 8);
+        let mant = Method::MantW4A8.evaluate(&pipe, 8);
+        assert!(mant >= fp, "MANT {mant} below FP16 {fp}");
+    }
+}

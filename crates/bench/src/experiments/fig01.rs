@@ -1,0 +1,74 @@
+//! Fig. 1: perplexity vs quantization granularity (INT4 weights).
+
+use mant_model::{ActMode, KvMode, ModelConfig};
+use mant_quant::Granularity;
+
+use super::accuracy::proxy_pipeline;
+use mant_baselines::BitFusionQuantizer;
+
+/// One bar of Fig. 1.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig01Row {
+    /// Granularity label ("FP16", "Channel", "G-128", …).
+    pub granularity: String,
+    /// Perplexity proxy.
+    pub ppl: f64,
+    /// Average stored bits per element (the paper quotes 4.125 for G-128).
+    pub bits_per_element: f64,
+}
+
+/// Computes Fig. 1 on the LLaMA-7B proxy.
+pub fn fig01(eval_tokens: usize) -> Vec<Fig01Row> {
+    let pipe = proxy_pipeline(&ModelConfig::llama_7b());
+    let inner = pipe.reference().config.hidden;
+    let mut rows = vec![Fig01Row {
+        granularity: "FP16".to_owned(),
+        ppl: pipe
+            .evaluate(pipe.reference(), ActMode::None, KvMode::Fp16, eval_tokens)
+            .ppl,
+        bits_per_element: 16.0,
+    }];
+    let grans = [
+        ("Channel", Granularity::Channel),
+        ("G-128", Granularity::Group(128)),
+        ("G-64", Granularity::Group(64)),
+        ("G-32", Granularity::Group(32)),
+    ];
+    for (label, g) in grans {
+        let q = BitFusionQuantizer::new(4, g);
+        let quantized = pipe.quantize_with(&q);
+        let rep = pipe.evaluate(&quantized, ActMode::None, KvMode::Fp16, eval_tokens);
+        rows.push(Fig01Row {
+            granularity: label.to_owned(),
+            ppl: rep.ppl,
+            bits_per_element: mant_quant::FakeQuantizer::bits_per_element(&q, inner),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_quantization_recovers_channel_loss() {
+        let rows = fig01(12);
+        assert_eq!(rows.len(), 5);
+        let ppl = |label: &str| rows.iter().find(|r| r.granularity == label).unwrap().ppl;
+        // Fig. 1's shape: channel-wise is the worst; groups recover most of
+        // the loss; smaller groups monotonically improve.
+        assert!(ppl("Channel") > ppl("G-128"), "channel should be worst");
+        assert!(ppl("G-128") >= ppl("G-32") * 0.99);
+        assert!(ppl("G-32") >= ppl("FP16"));
+        // Metadata overhead: G-32 costs 4× the scale bits of G-128.
+        let bits = |label: &str| {
+            rows.iter()
+                .find(|r| r.granularity == label)
+                .unwrap()
+                .bits_per_element
+        };
+        assert!((bits("G-128") - 4.125).abs() < 1e-9);
+        assert!((bits("G-32") - 4.5).abs() < 1e-9);
+    }
+}

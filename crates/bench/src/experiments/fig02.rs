@@ -1,0 +1,71 @@
+//! Fig. 2: PPL loss of INT vs ANT vs the per-group clustering oracle.
+
+use mant_baselines::{AntQuantizer, BitFusionQuantizer, IdealKMeansQuantizer};
+use mant_model::{ActMode, KvMode, ModelConfig};
+use mant_quant::{FakeQuantizer, Granularity};
+
+use super::accuracy::proxy_pipeline;
+
+/// One bar of Fig. 2.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig02Row {
+    /// Method label.
+    pub method: String,
+    /// PPL loss over the FP floor.
+    pub ppl_loss: f64,
+    /// Relative weight-space MSE across all quantized linear weights —
+    /// the noise-free adaptivity metric underlying the PPL bar.
+    pub weight_rel_mse: f64,
+}
+
+/// Computes Fig. 2 (group size 128, LLaMA-7B proxy, 4-bit weights).
+pub fn fig02(eval_tokens: usize) -> Vec<Fig02Row> {
+    let pipe = proxy_pipeline(&ModelConfig::llama_7b());
+    let g = 128;
+    let methods: Vec<(&str, Box<dyn FakeQuantizer>)> = vec![
+        (
+            "INT",
+            Box::new(BitFusionQuantizer::new(4, Granularity::Group(g))),
+        ),
+        ("ANT", Box::new(AntQuantizer::w4(Granularity::Group(g)))),
+        ("Ideal", Box::new(IdealKMeansQuantizer::new(g, 16))),
+    ];
+    methods
+        .into_iter()
+        .map(|(name, q)| {
+            let quantized = pipe.quantize_with(q.as_ref());
+            let rep = pipe.evaluate(&quantized, ActMode::None, KvMode::Fp16, eval_tokens);
+            Fig02Row {
+                method: name.to_owned(),
+                ppl_loss: rep.loss(),
+                weight_rel_mse: super::accuracy::weight_rel_mse(pipe.reference(), &quantized),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptivity_ordering_matches_paper() {
+        // Fig. 2: INT (0.404) > ANT (0.218) > Ideal (0.074). The ordering
+        // is asserted on the weight-space MSE, which is what adaptivity
+        // buys directly; per-seed PPL-proxy deltas at this model scale are
+        // noisier than the ANT↔Ideal gap (see EXPERIMENTS.md).
+        let rows = fig02(24);
+        let m = |name: &str| {
+            rows.iter()
+                .find(|r| r.method == name)
+                .unwrap()
+                .weight_rel_mse
+        };
+        assert!(m("ANT") < m("INT"), "INT {} ANT {}", m("INT"), m("ANT"));
+        assert!(m("Ideal") < m("ANT"), "ANT {} Ideal {}", m("ANT"), m("Ideal"));
+        // PPL losses exist and are non-degenerate.
+        for r in &rows {
+            assert!(r.ppl_loss.is_finite());
+        }
+    }
+}

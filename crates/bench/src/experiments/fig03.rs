@@ -1,0 +1,172 @@
+//! Fig. 3: CDF diversity at tensor / channel / group level.
+
+use mant_model::{ModelConfig, TransformerModel};
+use mant_tensor::{abs_max, empirical_cdf};
+
+use super::accuracy::model_seed;
+
+/// One CDF curve: samples of F(x) on a fixed x-grid over [-1, 1].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CdfCurve {
+    /// Which unit produced it ("tensor 3", "channel 7", "group 12").
+    pub label: String,
+    /// CDF values at [`cdf_grid`] points.
+    pub values: Vec<f64>,
+}
+
+/// Curves for one aggregation level.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig03Level {
+    /// "tensor", "channel", or "group".
+    pub level: String,
+    /// 16 sampled curves (matching the paper's 16-sample panels).
+    pub curves: Vec<CdfCurve>,
+    /// Diversity score: mean absolute CDF spread across curves.
+    pub spread: f64,
+}
+
+/// The x-grid the CDFs are evaluated on.
+pub fn cdf_grid() -> Vec<f32> {
+    (0..41).map(|i| -1.0 + i as f32 * 0.05).collect()
+}
+
+/// Computes Fig. 3 for the Q-projection weights of the LLaMA-7B proxy.
+pub fn fig03() -> Vec<Fig03Level> {
+    let model = TransformerModel::synthesize(
+        &ModelConfig::llama_7b().sim_proxy(),
+        model_seed(&ModelConfig::llama_7b()),
+    );
+    let grid = cdf_grid();
+    let mut levels = Vec::new();
+
+    // Tensor level: 16 distinct weight tensors (the sim proxy has fewer
+    // layers than the paper's 16-layer sample, so sample across
+    // projections, the LM head, and the embedding).
+    let mut tensors: Vec<(String, Vec<f32>)> = model
+        .weights
+        .layers
+        .iter()
+        .enumerate()
+        .flat_map(|(li, l)| {
+            [
+                (format!("wq L{li}"), l.wq.as_slice().to_vec()),
+                (format!("wk L{li}"), l.wk.as_slice().to_vec()),
+                (format!("wv L{li}"), l.wv.as_slice().to_vec()),
+                (format!("wo L{li}"), l.wo.as_slice().to_vec()),
+                (format!("w_gate L{li}"), l.w_gate.as_slice().to_vec()),
+                (format!("w_up L{li}"), l.w_up.as_slice().to_vec()),
+                (format!("w_down L{li}"), l.w_down.as_slice().to_vec()),
+            ]
+        })
+        .take(14)
+        .collect();
+    tensors.push((
+        "lm_head".to_owned(),
+        model.weights.lm_head.as_slice().to_vec(),
+    ));
+    tensors.push((
+        "embedding".to_owned(),
+        model.weights.embedding.as_slice().to_vec(),
+    ));
+    tensors.truncate(16);
+    levels.push(level_curves("tensor", tensors, &grid));
+
+    // Channel level: 16 strided rows of one tensor.
+    let wq = &model.weights.layers[0].wq;
+    let channels: Vec<(String, Vec<f32>)> = (0..16)
+        .map(|i| {
+            let r = i * wq.rows() / 16;
+            (format!("row {r}"), wq.row(r).to_vec())
+        })
+        .collect();
+    levels.push(level_curves("channel", channels, &grid));
+
+    // Group level: 16 strided 64-element groups of one tensor.
+    let total_groups = wq.len() / 64;
+    let groups: Vec<(String, Vec<f32>)> = (0..16)
+        .map(|i| {
+            let g = i * total_groups / 16;
+            (
+                format!("group {g}"),
+                wq.as_slice()[g * 64..(g + 1) * 64].to_vec(),
+            )
+        })
+        .collect();
+    levels.push(level_curves("group", groups, &grid));
+    levels
+}
+
+fn level_curves(level: &str, units: Vec<(String, Vec<f32>)>, grid: &[f32]) -> Fig03Level {
+    let curves: Vec<CdfCurve> = units
+        .into_iter()
+        .map(|(label, data)| {
+            let amax = abs_max(&data).max(f32::MIN_POSITIVE);
+            let normalized: Vec<f32> = data.iter().map(|&v| v / amax).collect();
+            CdfCurve {
+                label,
+                values: empirical_cdf(&normalized, grid),
+            }
+        })
+        .collect();
+    let spread = cdf_spread(&curves);
+    Fig03Level {
+        level: level.to_owned(),
+        curves,
+        spread,
+    }
+}
+
+/// Mean absolute deviation of the curves from their pointwise mean — the
+/// quantitative form of "groups can have markedly different distributions".
+fn cdf_spread(curves: &[CdfCurve]) -> f64 {
+    if curves.is_empty() {
+        return 0.0;
+    }
+    let pts = curves[0].values.len();
+    let mut spread = 0.0;
+    for p in 0..pts {
+        let mean: f64 =
+            curves.iter().map(|c| c.values[p]).sum::<f64>() / curves.len() as f64;
+        spread += curves
+            .iter()
+            .map(|c| (c.values[p] - mean).abs())
+            .sum::<f64>()
+            / curves.len() as f64;
+    }
+    spread / pts as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_level_diversity_exceeds_tensor_level() {
+        // Takeaway 1: diversity at the group level is significantly higher
+        // than at the tensor level.
+        let levels = fig03();
+        let spread = |l: &str| levels.iter().find(|x| x.level == l).unwrap().spread;
+        assert!(
+            spread("group") > 2.0 * spread("tensor"),
+            "group {} vs tensor {}",
+            spread("group"),
+            spread("tensor")
+        );
+        assert!(spread("channel") >= spread("tensor") * 0.8);
+    }
+
+    #[test]
+    fn curves_are_valid_cdfs() {
+        for level in fig03() {
+            assert_eq!(level.curves.len(), 16);
+            for c in &level.curves {
+                assert_eq!(c.values.len(), cdf_grid().len());
+                assert!(c.values.first().unwrap() < &0.2);
+                assert!((c.values.last().unwrap() - 1.0).abs() < 1e-9);
+                for w in c.values.windows(2) {
+                    assert!(w[1] >= w[0]);
+                }
+            }
+        }
+    }
+}

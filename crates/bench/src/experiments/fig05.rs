@@ -1,0 +1,95 @@
+//! Fig. 5: MANT approximating Float (a = 17) and NormalFloat (a = 25).
+
+use mant_numerics::nf::nf4_paper_levels;
+use mant_numerics::{fp4_e2m1_grid, Mant};
+
+/// One approximation panel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig05Panel {
+    /// Target type name.
+    pub target: String,
+    /// The paper's coefficient for this target.
+    pub paper_a: u32,
+    /// The coefficient our least-squares fit selects.
+    pub fitted_a: u32,
+    /// `(code, mant_value, target_value)` normalized curves at `paper_a`.
+    pub curve: Vec<(u8, f32, f32)>,
+    /// Mean absolute approximation error at `paper_a`.
+    pub mean_abs_err: f64,
+}
+
+/// Computes both panels of Fig. 5.
+pub fn fig05() -> Vec<Fig05Panel> {
+    let float4: Vec<f32> = fp4_e2m1_grid()
+        .points()
+        .iter()
+        .copied()
+        .filter(|&p| p >= 0.0)
+        .collect();
+    let float4_norm: Vec<f32> = float4.iter().map(|&v| v / 6.0).collect();
+    let nf = nf4_paper_levels().to_vec();
+    vec![
+        panel("Float (E2M1)", 17, &float4_norm),
+        panel("NF", 25, &nf),
+    ]
+}
+
+fn panel(target: &str, paper_a: u32, levels: &[f32]) -> Fig05Panel {
+    let fitted = Mant::approximate(levels);
+    let mant = Mant::new(paper_a).expect("paper coefficients are in range");
+    let max = mant.max_level() as f32;
+    let curve: Vec<(u8, f32, f32)> = (0..8u8)
+        .map(|i| {
+            let mv = mant.level(i) as f32 / max;
+            let tv = levels.get(i as usize).copied().unwrap_or(1.0);
+            (i, mv, tv)
+        })
+        .collect();
+    let mean_abs_err = curve
+        .iter()
+        .map(|&(_, m, t)| f64::from((m - t).abs()))
+        .sum::<f64>()
+        / curve.len() as f64;
+    Fig05Panel {
+        target: target.to_owned(),
+        paper_a,
+        fitted_a: fitted.coefficient(),
+        curve,
+        mean_abs_err,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_land_near_paper_coefficients() {
+        let panels = fig05();
+        let float_panel = &panels[0];
+        let nf_panel = &panels[1];
+        assert!(
+            (14..=20).contains(&float_panel.fitted_a),
+            "float fit a = {}",
+            float_panel.fitted_a
+        );
+        assert!(
+            (21..=29).contains(&nf_panel.fitted_a),
+            "NF fit a = {}",
+            nf_panel.fitted_a
+        );
+    }
+
+    #[test]
+    fn approximation_errors_small() {
+        for p in fig05() {
+            assert!(
+                p.mean_abs_err < 0.03,
+                "{}: error {}",
+                p.target,
+                p.mean_abs_err
+            );
+            assert_eq!(p.curve.len(), 8);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Fig. 6: how the grid distribution morphs with the coefficient `a`.
+
+use mant_numerics::{int4_grid, nf4_paper_grid, pot4_grid, Grid, Mant};
+
+/// One normalized grid in the sweep.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig06Row {
+    /// Coefficient label.
+    pub label: String,
+    /// Normalized grid points in [-1, 1] (16 of them).
+    pub points: Vec<f32>,
+    /// Variance of the normalized points (the monotone shape statistic).
+    pub variance: f64,
+}
+
+/// The paper's sweep values plus the reference types they match.
+pub fn fig06() -> Vec<Fig06Row> {
+    let mut rows: Vec<Fig06Row> = [0u32, 17, 25, 60, 125]
+        .iter()
+        .map(|&a| {
+            let m = Mant::new(a).expect("sweep values are in range");
+            let grid = m.grid().normalized();
+            Fig06Row {
+                label: format!("a={a}"),
+                variance: grid_variance(&grid),
+                points: grid.points().to_vec(),
+            }
+        })
+        .collect();
+    for (label, grid) in [
+        ("PoT", pot4_grid()),
+        ("NF4", nf4_paper_grid()),
+        ("INT", int4_grid()),
+    ] {
+        let n = grid.normalized();
+        rows.push(Fig06Row {
+            label: label.to_owned(),
+            variance: grid_variance(&n),
+            points: n.points().to_vec(),
+        });
+    }
+    rows
+}
+
+fn grid_variance(grid: &Grid) -> f64 {
+    let pts = grid.points();
+    let n = pts.len() as f64;
+    let mean: f64 = pts.iter().map(|&p| f64::from(p)).sum::<f64>() / n;
+    pts.iter()
+        .map(|&p| (f64::from(p) - mean) * (f64::from(p) - mean))
+        .sum::<f64>()
+        / n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variance_increases_smoothly_with_a() {
+        let rows = fig06();
+        let var = |l: &str| rows.iter().find(|r| r.label == l).unwrap().variance;
+        assert!(var("a=0") < var("a=17"));
+        assert!(var("a=17") < var("a=25"));
+        assert!(var("a=25") < var("a=60"));
+        assert!(var("a=60") < var("a=125"));
+    }
+
+    #[test]
+    fn endpoints_match_reference_types() {
+        let rows = fig06();
+        let var = |l: &str| rows.iter().find(|r| r.label == l).unwrap().variance;
+        // a = 0 is PoT-like; a = 125 approaches (but does not exceed) INT.
+        assert!((var("a=0") - var("PoT")).abs() < 0.02);
+        assert!((var("a=25") - var("NF4")).abs() < 0.05);
+        assert!(var("a=125") < var("INT"));
+        assert!(var("INT") - var("a=125") < 0.08);
+    }
+
+    #[test]
+    fn all_grids_have_16ish_points() {
+        for r in fig06() {
+            assert!(r.points.len() >= 15, "{}: {}", r.label, r.points.len());
+        }
+    }
+}

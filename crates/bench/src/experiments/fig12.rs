@@ -1,0 +1,135 @@
+//! Fig. 12: linear-layer speedup and energy breakdown at iso-area.
+
+use mant_model::ModelConfig;
+use mant_sim::{run_linear, AcceleratorConfig, EnergyModel, LayerRun};
+
+use crate::table::geomean;
+
+/// One accelerator's result on one model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig12Cell {
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Model name.
+    pub model: String,
+    /// Speedup over BitFusion (the paper's slowest baseline).
+    pub speedup: f64,
+    /// Energy normalized to BitFusion, split `(core, buffer, dram, static)`.
+    pub energy_breakdown: (f64, f64, f64, f64),
+}
+
+/// The Fig. 12 model list.
+pub fn fig12_models() -> Vec<ModelConfig> {
+    vec![
+        ModelConfig::llama_7b(),
+        ModelConfig::llama_65b(),
+        ModelConfig::opt_6_7b(),
+        ModelConfig::opt_13b(),
+    ]
+}
+
+/// Computes Fig. 12 (sequence length 2048, batch 1, Sec. VII-A).
+pub fn fig12() -> Vec<Fig12Cell> {
+    let em = EnergyModel::default();
+    let accs = AcceleratorConfig::paper_set();
+    let mut cells = Vec::new();
+    for cfg in fig12_models() {
+        let runs: Vec<(String, LayerRun)> = accs
+            .iter()
+            .map(|acc| (acc.name.clone(), run_linear(acc, &em, &cfg, 2048)))
+            .collect();
+        let bitfusion = runs
+            .iter()
+            .find(|(n, _)| n == "BitFusion")
+            .expect("paper set contains BitFusion")
+            .1;
+        let base_energy = bitfusion.energy.total();
+        for (name, run) in runs {
+            cells.push(Fig12Cell {
+                accelerator: name,
+                model: cfg.name.clone(),
+                speedup: run.speedup_over(&bitfusion),
+                energy_breakdown: (
+                    run.energy.core / base_energy,
+                    run.energy.buffer / base_energy,
+                    run.energy.dram / base_energy,
+                    run.energy.static_ / base_energy,
+                ),
+            });
+        }
+    }
+    cells
+}
+
+/// Geomean speedup of MANT over each baseline across the Fig. 12 models.
+pub fn fig12_geomean_speedups() -> Vec<(String, f64)> {
+    let cells = fig12();
+    let models: Vec<String> = fig12_models().iter().map(|m| m.name.clone()).collect();
+    ["Tender", "OliVe", "ANT*", "BitFusion"]
+        .iter()
+        .map(|&base| {
+            let ratios: Vec<f64> = models
+                .iter()
+                .map(|m| {
+                    let mant = cell(&cells, "MANT", m).speedup;
+                    let b = cell(&cells, base, m).speedup;
+                    mant / b
+                })
+                .collect();
+            (base.to_owned(), geomean(&ratios))
+        })
+        .collect()
+}
+
+fn cell<'c>(cells: &'c [Fig12Cell], acc: &str, model: &str) -> &'c Fig12Cell {
+    cells
+        .iter()
+        .find(|c| c.accelerator == acc && c.model == model)
+        .expect("cell exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_speedups_match_paper_band() {
+        // Paper: MANT over Tender 1.83×, OliVe 1.96×, ANT* 2.00×,
+        // BitFusion 4.93× (linear layer).
+        let g = fig12_geomean_speedups();
+        let s = |n: &str| g.iter().find(|(b, _)| b == n).unwrap().1;
+        assert!((1.4..=2.2).contains(&s("Tender")), "Tender {}", s("Tender"));
+        assert!((1.6..=2.3).contains(&s("OliVe")), "OliVe {}", s("OliVe"));
+        assert!((1.7..=2.3).contains(&s("ANT*")), "ANT* {}", s("ANT*"));
+        assert!((3.5..=6.0).contains(&s("BitFusion")), "BitFusion {}", s("BitFusion"));
+        // Ordering: Tender < OliVe ≤ ANT* < BitFusion.
+        assert!(s("Tender") < s("OliVe"));
+        assert!(s("OliVe") <= s("ANT*") * 1.01);
+        assert!(s("ANT*") < s("BitFusion"));
+    }
+
+    #[test]
+    fn mant_energy_lowest_with_static_dominated_savings() {
+        let cells = fig12();
+        for model in fig12_models() {
+            let mant = cell(&cells, "MANT", &model.name);
+            for base in ["Tender", "OliVe", "ANT*", "BitFusion"] {
+                let b = cell(&cells, base, &model.name);
+                let mant_total: f64 = sum4(mant.energy_breakdown);
+                let b_total: f64 = sum4(b.energy_breakdown);
+                assert!(
+                    mant_total < b_total,
+                    "{}: MANT {mant_total} vs {base} {b_total}",
+                    model.name
+                );
+            }
+            // Static energy falls with execution time (Fig. 12's analysis).
+            let tender = cell(&cells, "Tender", &model.name);
+            assert!(mant.energy_breakdown.3 < tender.energy_breakdown.3);
+        }
+    }
+
+    fn sum4(t: (f64, f64, f64, f64)) -> f64 {
+        t.0 + t.1 + t.2 + t.3
+    }
+}

@@ -1,0 +1,121 @@
+//! Fig. 13: all-layer speedup/energy vs sequence length (2K–128K).
+
+use mant_model::ModelConfig;
+use mant_sim::{run_model, AcceleratorConfig, EnergyModel};
+
+/// One accelerator at one sequence length.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig13Cell {
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Sequence length.
+    pub seq: usize,
+    /// Speedup over BitFusion (linear + attention combined).
+    pub speedup: f64,
+    /// Fraction of the runtime spent in attention.
+    pub attention_fraction: f64,
+    /// Total energy normalized to BitFusion.
+    pub energy: f64,
+}
+
+/// The paper's sequence sweep.
+pub const SEQ_LENGTHS: [usize; 4] = [2048, 8192, 32768, 131072];
+
+/// Computes Fig. 13 on LLaMA-7B.
+pub fn fig13() -> Vec<Fig13Cell> {
+    let em = EnergyModel::default();
+    let cfg = ModelConfig::llama_7b();
+    let accs = AcceleratorConfig::paper_set();
+    let mut cells = Vec::new();
+    for &seq in &SEQ_LENGTHS {
+        let runs: Vec<_> = accs
+            .iter()
+            .map(|acc| (acc.name.clone(), run_model(acc, &em, &cfg, seq)))
+            .collect();
+        let bitfusion = runs
+            .iter()
+            .find(|(n, _)| n == "BitFusion")
+            .expect("set contains BitFusion")
+            .1;
+        let base_total = bitfusion.total();
+        for (name, run) in runs {
+            let total = run.total();
+            cells.push(Fig13Cell {
+                accelerator: name,
+                seq,
+                speedup: total.speedup_over(&base_total),
+                attention_fraction: run.attention.cycles as f64 / total.cycles.max(1) as f64,
+                energy: total.energy.total() / base_total.energy.total(),
+            });
+        }
+    }
+    cells
+}
+
+/// MANT's speedup over a given baseline at each sequence length.
+pub fn mant_speedup_over(baseline: &str) -> Vec<(usize, f64)> {
+    let cells = fig13();
+    SEQ_LENGTHS
+        .iter()
+        .map(|&seq| {
+            let mant = get(&cells, "MANT", seq).speedup;
+            let base = get(&cells, baseline, seq).speedup;
+            (seq, mant / base)
+        })
+        .collect()
+}
+
+fn get<'c>(cells: &'c [Fig13Cell], acc: &str, seq: usize) -> &'c Fig13Cell {
+    cells
+        .iter()
+        .find(|c| c.accelerator == acc && c.seq == seq)
+        .expect("cell exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_over_olive_grows_with_seq() {
+        // Paper: 2.04–4.54× over OliVe from 2K to 128K.
+        let s = mant_speedup_over("OliVe");
+        assert!(s.windows(2).all(|w| w[1].1 >= w[0].1), "{s:?}");
+        assert!((1.5..=3.0).contains(&s[0].1), "2K: {}", s[0].1);
+        assert!((3.0..=9.0).contains(&s[3].1), "128K: {}", s[3].1);
+    }
+
+    #[test]
+    fn baselines_converge_at_long_seq() {
+        // Paper: at 128K OliVe is only 1.15× and Tender 1.17× over
+        // BitFusion — unquantized attention equalizes everyone.
+        let cells = fig13();
+        for base in ["Tender", "OliVe", "ANT*"] {
+            let s = get(&cells, base, 131072).speedup;
+            assert!((1.0..=1.6).contains(&s), "{base} at 128K: {s}");
+        }
+        let mant = get(&cells, "MANT", 131072).speedup;
+        assert!(mant > 3.0, "MANT at 128K: {mant}");
+    }
+
+    #[test]
+    fn attention_fraction_grows_for_baselines() {
+        let cells = fig13();
+        let frac_2k = get(&cells, "OliVe", 2048).attention_fraction;
+        let frac_128k = get(&cells, "OliVe", 131072).attention_fraction;
+        assert!(frac_2k < 0.5, "2K attention fraction {frac_2k}");
+        assert!(frac_128k > 0.85, "128K attention fraction {frac_128k}");
+    }
+
+    #[test]
+    fn mant_energy_reduction_band() {
+        // Paper: 1.76–4.12× energy reduction vs OliVe across seq lengths.
+        let cells = fig13();
+        for &seq in &SEQ_LENGTHS {
+            let mant = get(&cells, "MANT", seq).energy;
+            let olive = get(&cells, "OliVe", seq).energy;
+            let reduction = olive / mant;
+            assert!((1.3..=6.0).contains(&reduction), "seq {seq}: {reduction}");
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Fig. 14: group-wise (G-64) MANT vs group-ANT vs group-INT.
+
+use mant_model::ModelConfig;
+use mant_sim::{run_linear, AcceleratorConfig, EnergyModel};
+
+use crate::table::geomean;
+
+/// One accelerator's result on one model (all group-wise at G-64).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig14Cell {
+    /// Accelerator name.
+    pub accelerator: String,
+    /// Model name.
+    pub model: String,
+    /// Speedup over group-wise INT.
+    pub speedup: f64,
+    /// Energy normalized to group-wise INT.
+    pub energy: f64,
+}
+
+/// The Fig. 14 model list (same as Fig. 12).
+pub fn fig14_models() -> Vec<ModelConfig> {
+    vec![
+        ModelConfig::llama_7b(),
+        ModelConfig::llama_65b(),
+        ModelConfig::opt_6_7b(),
+        ModelConfig::opt_13b(),
+    ]
+}
+
+/// Computes Fig. 14 (linear layers, seq 2048, group size 64).
+pub fn fig14() -> Vec<Fig14Cell> {
+    let em = EnergyModel::default();
+    let accs = [
+        AcceleratorConfig::mant(),
+        AcceleratorConfig::ant_group(64),
+        AcceleratorConfig::int_group(64),
+    ];
+    let mut cells = Vec::new();
+    for cfg in fig14_models() {
+        let runs: Vec<_> = accs
+            .iter()
+            .map(|acc| (acc.name.clone(), run_linear(acc, &em, &cfg, 2048)))
+            .collect();
+        let int = runs
+            .iter()
+            .find(|(n, _)| n == "INT-group")
+            .expect("set contains INT-group")
+            .1;
+        for (name, run) in runs {
+            cells.push(Fig14Cell {
+                accelerator: name,
+                model: cfg.name.clone(),
+                speedup: run.speedup_over(&int),
+                energy: run.energy.total() / int.energy.total(),
+            });
+        }
+    }
+    cells
+}
+
+/// Geomean MANT-over-ANT speedup and energy-efficiency ratios.
+pub fn fig14_geomeans() -> (f64, f64) {
+    let cells = fig14();
+    let models = fig14_models();
+    let speedups: Vec<f64> = models
+        .iter()
+        .map(|m| {
+            let mant = get(&cells, "MANT", &m.name);
+            let ant = get(&cells, "ANT-group", &m.name);
+            mant.speedup / ant.speedup
+        })
+        .collect();
+    let energies: Vec<f64> = models
+        .iter()
+        .map(|m| {
+            let mant = get(&cells, "MANT", &m.name);
+            let ant = get(&cells, "ANT-group", &m.name);
+            ant.energy / mant.energy
+        })
+        .collect();
+    (geomean(&speedups), geomean(&energies))
+}
+
+fn get<'c>(cells: &'c [Fig14Cell], acc: &str, model: &str) -> &'c Fig14Cell {
+    cells
+        .iter()
+        .find(|c| c.accelerator == acc && c.model == model)
+        .expect("cell exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mant_over_group_ant_matches_paper() {
+        // Paper: 1.70× speedup and 1.55× energy efficiency over group ANT.
+        let (speedup, energy_eff) = fig14_geomeans();
+        assert!((1.3..=2.1).contains(&speedup), "speedup {speedup}");
+        assert!((1.2..=2.2).contains(&energy_eff), "energy {energy_eff}");
+    }
+
+    #[test]
+    fn mant_fastest_in_every_model() {
+        let cells = fig14();
+        for m in fig14_models() {
+            let mant = get(&cells, "MANT", &m.name).speedup;
+            let ant = get(&cells, "ANT-group", &m.name).speedup;
+            assert!(mant > ant && mant > 1.0, "{}: {mant} vs {ant}", m.name);
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Fig. 15: which coefficients `a` get selected, per tensor/layer/model.
+
+use mant_model::{ModelConfig, TransformerModel};
+use mant_quant::{CandidateSet, MantQuantizedMatrix};
+use mant_tensor::Matrix;
+
+use super::accuracy::model_seed;
+
+/// Selection histogram for one tensor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Fig15Row {
+    /// Tensor label ("LLaMA-2-7B q", "Layer 8 up", …).
+    pub tensor: String,
+    /// `(coefficient label, fraction of groups)` sorted by fraction.
+    pub ratios: Vec<(String, f64)>,
+}
+
+/// Histogram over one weight matrix.
+fn histogram(label: &str, w: &Matrix, group: usize) -> Fig15Row {
+    let q = MantQuantizedMatrix::quantize(w, group, &CandidateSet::paper())
+        .expect("group divides weight width");
+    let hist = q.dtype_histogram();
+    let total: usize = hist.iter().map(|(_, c)| c).sum();
+    let mut ratios: Vec<(String, f64)> = hist
+        .into_iter()
+        .map(|(l, c)| (l, c as f64 / total.max(1) as f64))
+        .collect();
+    ratios.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite fractions"));
+    Fig15Row {
+        tensor: label.to_owned(),
+        ratios,
+    }
+}
+
+/// Per-projection histograms for a set of models (the left panels).
+pub fn fig15_models() -> Vec<Fig15Row> {
+    let configs = [
+        ModelConfig::llama2_7b(),
+        ModelConfig::llama2_13b(),
+        ModelConfig::opt_6_7b(),
+        ModelConfig::opt_13b(),
+    ];
+    let mut rows = Vec::new();
+    for cfg in configs {
+        let model = TransformerModel::synthesize(&cfg.sim_proxy(), model_seed(&cfg));
+        let l = &model.weights.layers[0];
+        for (proj, w) in [("q", &l.wq), ("k", &l.wk), ("v", &l.wv), ("o", &l.wo), ("up", &l.w_up), ("down", &l.w_down)] {
+            rows.push(histogram(&format!("{} {}", cfg.name, proj), w, 64));
+        }
+    }
+    rows
+}
+
+/// Per-layer histograms for LLaMA-2-7B (the right panels).
+pub fn fig15_layers() -> Vec<Fig15Row> {
+    let cfg = ModelConfig::llama2_7b();
+    let mut proxy = cfg.sim_proxy();
+    proxy.layers = 3;
+    let model = TransformerModel::synthesize(&proxy, model_seed(&cfg));
+    model
+        .weights
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(li, l)| histogram(&format!("layer {li} q"), &l.wq, 64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_distributions() {
+        for row in fig15_models() {
+            let sum: f64 = row.ratios.iter().map(|(_, f)| f).sum();
+            assert!((sum - 1.0).abs() < 1e-9, "{}: {sum}", row.tensor);
+        }
+    }
+
+    #[test]
+    fn selection_is_diverse_not_degenerate() {
+        // Fig. 15's point: most tensors select a spread of coefficients,
+        // not a single type.
+        let rows = fig15_models();
+        let diverse = rows
+            .iter()
+            .filter(|r| r.ratios.len() >= 4 && r.ratios[0].1 < 0.8)
+            .count();
+        assert!(
+            diverse * 2 > rows.len(),
+            "only {diverse}/{} tensors diverse",
+            rows.len()
+        );
+    }
+
+    #[test]
+    fn per_layer_rows_exist() {
+        let rows = fig15_layers();
+        assert_eq!(rows.len(), 3);
+    }
+}

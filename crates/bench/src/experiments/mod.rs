@@ -1,0 +1,17 @@
+//! One module per paper artifact (tables and figures of Sec. VII).
+
+pub mod ablations;
+pub mod accuracy;
+pub mod fig01;
+pub mod fig02;
+pub mod fig03;
+pub mod fig05;
+pub mod fig06;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod tbl1;
+pub mod tbl2;
+pub mod tbl3;
+pub mod tbl5;

@@ -1,0 +1,88 @@
+//! Tbl. I: the qualitative feature matrix of adaptive-type accelerators.
+
+/// One architecture row of Tbl. I.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tbl1Row {
+    /// Architecture name.
+    pub architecture: &'static str,
+    /// Encoding method and its efficiency.
+    pub encode: (&'static str, &'static str),
+    /// Computation data type / bits / efficiency.
+    pub computation: (&'static str, &'static str, &'static str),
+    /// Decoding method and its efficiency.
+    pub decode: (&'static str, &'static str),
+    /// Adaptivity rating.
+    pub adaptivity: &'static str,
+}
+
+/// The feature matrix, verbatim from the paper.
+pub fn tbl1() -> Vec<Tbl1Row> {
+    vec![
+        Tbl1Row {
+            architecture: "INT",
+            encode: ("Round", "High"),
+            computation: ("INT", "4 & 8", "High"),
+            decode: ("Calculation", "High"),
+            adaptivity: "Low",
+        },
+        Tbl1Row {
+            architecture: "OliVe",
+            encode: ("Search", "Med."),
+            computation: ("INT", "4 & 8", "High"),
+            decode: ("Decoder", "High"),
+            adaptivity: "Med.",
+        },
+        Tbl1Row {
+            architecture: "ANT",
+            encode: ("Search", "Med."),
+            computation: ("INT", "4 & 8", "High"),
+            decode: ("Decoder", "High"),
+            adaptivity: "Med.",
+        },
+        Tbl1Row {
+            architecture: "Mokey",
+            encode: ("Cluster", "Med."),
+            computation: ("Float", "4 & 8", "Med."),
+            decode: ("Calculation", "Med."),
+            adaptivity: "Low",
+        },
+        Tbl1Row {
+            architecture: "GOBO",
+            encode: ("Cluster", "Low"),
+            computation: ("Float", "16", "Low"),
+            decode: ("LUT", "Med."),
+            adaptivity: "High",
+        },
+        Tbl1Row {
+            architecture: "MANT",
+            encode: ("Search+Map", "Med./High"),
+            computation: ("INT", "4 & 8", "High"),
+            decode: ("Calculation", "High"),
+            adaptivity: "High",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mant_numerics::{DataType, Mant};
+
+    #[test]
+    fn matrix_shape() {
+        let rows = tbl1();
+        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.last().unwrap().architecture, "MANT");
+    }
+
+    #[test]
+    fn claims_backed_by_implementation() {
+        // MANT row: integer computation (the fused GEMM) and high
+        // adaptivity (the whole coefficient family) — cross-check against
+        // the implementation's own capability flags.
+        assert!(DataType::Mant(Mant::default()).integer_computable());
+        assert!(!DataType::QloraNf4.integer_computable()); // GOBO/NF-style
+        // INT's low adaptivity: one grid; MANT: 128 grids.
+        assert_eq!(mant_numerics::mant::MAX_COEFFICIENT, 128);
+    }
+}

@@ -1,0 +1,125 @@
+//! Tbl. V: W4A4 perplexity vs group size for group-wise methods.
+
+use mant_baselines::{AntQuantizer, BitFusionQuantizer, MxfpQuantizer, OliveQuantizer};
+use mant_model::{ActMode, KvMode, ModelConfig};
+use mant_quant::{FakeQuantizer, Granularity};
+
+use super::accuracy::proxy_pipeline;
+
+/// One Tbl. V cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Tbl5Row {
+    /// Method name.
+    pub method: String,
+    /// Group size.
+    pub group: usize,
+    /// Perplexity proxy (W4A4).
+    pub ppl: f64,
+    /// Relative weight-space MSE (the noise-free ordering metric).
+    pub weight_rel_mse: f64,
+}
+
+/// Computes Tbl. V on the LLaMA-2-7B proxy (groups 128/64/32; MXFP4 at 32
+/// only, matching the paper).
+pub fn tbl5(eval_tokens: usize) -> Vec<Tbl5Row> {
+    let pipe = proxy_pipeline(&ModelConfig::llama2_7b());
+    let mut rows = Vec::new();
+    for &g in &[128usize, 64, 32] {
+        let act = ActMode::IntGroup { bits: 4, group: g };
+        let mant = pipe.quantize_w4(g);
+        rows.push(Tbl5Row {
+            method: "MANT".to_owned(),
+            group: g,
+            ppl: pipe.evaluate(&mant, act, KvMode::Fp16, eval_tokens).ppl,
+            weight_rel_mse: super::accuracy::weight_rel_mse(pipe.reference(), &mant),
+        });
+        let methods: Vec<(&str, Box<dyn FakeQuantizer>)> = vec![
+            ("OliVe", Box::new(OliveQuantizer::w4(Granularity::Group(g)))),
+            ("ANT", Box::new(AntQuantizer::w4(Granularity::Group(g)))),
+            (
+                "INT",
+                Box::new(BitFusionQuantizer::new(4, Granularity::Group(g))),
+            ),
+        ];
+        for (name, q) in methods {
+            let quantized = pipe.quantize_with(q.as_ref());
+            rows.push(Tbl5Row {
+                method: name.to_owned(),
+                group: g,
+                ppl: pipe.evaluate(&quantized, act, KvMode::Fp16, eval_tokens).ppl,
+                weight_rel_mse: super::accuracy::weight_rel_mse(pipe.reference(), &quantized),
+            });
+        }
+    }
+    // MXFP4 at its spec block size of 32 — weights AND activations in
+    // MXFP4 (both pay the E8M0 scale restriction, as in the MX spec).
+    let mxfp = pipe.quantize_with(&MxfpQuantizer::new(32));
+    rows.push(Tbl5Row {
+        method: "MXFP4".to_owned(),
+        group: 32,
+        ppl: pipe
+            .evaluate(
+                &mxfp,
+                ActMode::MxfpGroup { group: 32 },
+                KvMode::Fp16,
+                eval_tokens,
+            )
+            .ppl,
+        weight_rel_mse: super::accuracy::weight_rel_mse(pipe.reference(), &mxfp),
+    });
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wmse(rows: &[Tbl5Row], method: &str, group: usize) -> f64 {
+        rows.iter()
+            .find(|r| r.method == method && r.group == group)
+            .unwrap()
+            .weight_rel_mse
+    }
+
+    #[test]
+    fn mant_wins_at_every_group_size() {
+        // Asserted on the weight-space metric (the PPL-proxy column adds
+        // shared A4 activation noise that compresses the deltas; see
+        // EXPERIMENTS.md).
+        let rows = tbl5(8);
+        for g in [128usize, 64, 32] {
+            let m = wmse(&rows, "MANT", g);
+            for other in ["OliVe", "ANT", "INT"] {
+                let o = wmse(&rows, other, g);
+                // 2% tolerance: group-wise ANT can tie MANT on individual
+                // seeds (flint's exact-zero code occasionally beats every
+                // MANT grid on near-sparse groups); the paper's gap comes
+                // from finer coefficient granularity on real weights.
+                assert!(m <= o * 1.02, "G-{g}: MANT {m} vs {other} {o}");
+            }
+        }
+    }
+
+    #[test]
+    fn mant_improves_with_smaller_groups() {
+        let rows = tbl5(8);
+        let m128 = wmse(&rows, "MANT", 128);
+        let m64 = wmse(&rows, "MANT", 64);
+        let m32 = wmse(&rows, "MANT", 32);
+        assert!(m64 < m128, "G-64 {m64} vs G-128 {m128}");
+        assert!(m32 < m64, "G-32 {m32} vs G-64 {m64}");
+    }
+
+    #[test]
+    fn mxfp_scale_restriction_costs_accuracy() {
+        // Tbl. V: MXFP4 (7.16) ≫ INT4 G-32 (5.95) because of E8M0 scales.
+        let rows = tbl5(8);
+        let mxfp = wmse(&rows, "MXFP4", 32);
+        let int = wmse(&rows, "INT", 32);
+        assert!(mxfp > int, "MXFP {mxfp} vs INT {int}");
+        // And all 4-bit weight errors are in a plausible band.
+        for r in &rows {
+            assert!((1e-4..0.2).contains(&r.weight_rel_mse), "{r:?}");
+        }
+    }
+}

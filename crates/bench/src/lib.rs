@@ -1,0 +1,15 @@
+//! Experiment harness: regenerates every table and figure of the M-ANT
+//! paper's evaluation.
+//!
+//! Each module in [`experiments`] computes the data behind one paper
+//! artifact and returns typed rows; the `src/bin/*` binaries print them.
+//! `EXPERIMENTS.md` at the workspace root records paper-vs-measured values
+//! for each.
+//!
+//! Run any experiment with e.g.
+//! `cargo run --release -p mant-bench --bin tbl2_ptq_ppl`.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::{geomean, Table};

@@ -1,0 +1,31 @@
+//! Unified M-ANT framework: one entry point tying the numeric type, the
+//! group-wise quantization engines, the synthetic models, and the
+//! accelerator simulator together.
+//!
+//! ```
+//! use mant_core::Pipeline;
+//! use mant_model::{ActMode, KvMode, ModelConfig};
+//!
+//! let mut pipe = Pipeline::new(&ModelConfig::sim_llama(), 42);
+//! pipe.calibrate(32);
+//! let quantized = pipe.quantize_w4(64);
+//! let report = pipe.evaluate(
+//!     &quantized,
+//!     ActMode::IntGroup { bits: 8, group: 64 },
+//!     KvMode::Mant4 { group: 64 },
+//!     24,
+//! );
+//! assert!(report.ppl >= report.ppl_fp);
+//! ```
+
+pub mod pipeline;
+
+pub use pipeline::Pipeline;
+
+// The workspace's public surface, re-exported for single-dependency users.
+pub use mant_baselines as baselines;
+pub use mant_model as model;
+pub use mant_numerics as numerics;
+pub use mant_quant as quant;
+pub use mant_sim as sim;
+pub use mant_tensor as tensor;

@@ -1,0 +1,188 @@
+//! The calibrate → quantize → evaluate pipeline (paper Sec. V).
+
+use mant_model::{
+    calibrate, eval, ActMode, Calibration, KvMode, ModelConfig, PplReport, Proj,
+    TransformerModel,
+};
+use mant_quant::{FakeQuantizer, MantWeightQuantizer};
+
+/// End-to-end M-ANT deployment pipeline for one model.
+///
+/// Holds the FP reference model and (after [`Pipeline::calibrate`]) the
+/// calibration statistics used for output-aware weight search and the
+/// KV variance→`a` map.
+#[derive(Debug)]
+pub struct Pipeline {
+    reference: TransformerModel,
+    calibration: Option<Calibration>,
+    eval_seed: u64,
+}
+
+impl Pipeline {
+    /// Synthesizes the reference model for `config` from `seed`.
+    pub fn new(config: &ModelConfig, seed: u64) -> Self {
+        Pipeline {
+            reference: TransformerModel::synthesize(config, seed),
+            calibration: None,
+            eval_seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        }
+    }
+
+    /// The FP reference model.
+    pub fn reference(&self) -> &TransformerModel {
+        &self.reference
+    }
+
+    /// Runs `n_tokens` of calibration (the paper's Pile subsets), storing
+    /// activation second moments and KV group samples.
+    pub fn calibrate(&mut self, n_tokens: usize) -> &Calibration {
+        let calib = calibrate(&self.reference, n_tokens, self.eval_seed ^ 0xca11b);
+        self.calibration = Some(calib);
+        self.calibration.as_ref().expect("just set")
+    }
+
+    /// The calibration statistics, if [`Pipeline::calibrate`] has run.
+    pub fn calibration(&self) -> Option<&Calibration> {
+        self.calibration.as_ref()
+    }
+
+    /// Quantizes the model's weights to 4-bit MANT at the given group
+    /// size. When calibration is available, the coefficient search uses
+    /// the activation second moments of each layer's Q projection as the
+    /// output-MSE surrogate (Eq. (6)); otherwise it falls back to plain
+    /// weight MSE.
+    pub fn quantize_w4(&self, group_size: usize) -> TransformerModel {
+        let quantizer = match self
+            .calibration
+            .as_ref()
+            .and_then(|c| c.col_moments(0, Proj::Q))
+        {
+            Some(moments) => MantWeightQuantizer::new(group_size).with_calibration(moments),
+            None => MantWeightQuantizer::new(group_size),
+        };
+        // The calibration moments apply to hidden-dim inputs; FFN-down
+        // inputs have a different width, so quantize those plainly.
+        let mut out = self.reference.clone();
+        let plain = MantWeightQuantizer::new(group_size);
+        for (li, l) in out.weights.layers.iter_mut().enumerate() {
+            let q: &dyn FakeQuantizer = match self
+                .calibration
+                .as_ref()
+                .and_then(|c| c.col_moments(li, Proj::Q))
+            {
+                Some(_) => &quantizer,
+                None => &plain,
+            };
+            l.wq = q.fake_quantize(&l.wq);
+            l.wk = q.fake_quantize(&l.wk);
+            l.wv = q.fake_quantize(&l.wv);
+            l.wo = q.fake_quantize(&l.wo);
+            if l.w_gate.rows() > 0 {
+                l.w_gate = q.fake_quantize(&l.w_gate);
+            }
+            l.w_up = q.fake_quantize(&l.w_up);
+            l.w_down = plain.fake_quantize(&l.w_down);
+        }
+        out
+    }
+
+    /// Quantizes with an arbitrary method (for the baseline comparisons).
+    pub fn quantize_with(&self, q: &dyn FakeQuantizer) -> TransformerModel {
+        self.reference.quantize_weights(q)
+    }
+
+    /// Evaluates a quantized model's perplexity proxy on `n_tokens` of the
+    /// deterministic evaluation stream.
+    pub fn evaluate(
+        &self,
+        quantized: &TransformerModel,
+        act: ActMode,
+        kv: KvMode,
+        n_tokens: usize,
+    ) -> PplReport {
+        let tokens = eval::eval_tokens(self.reference.config.vocab, n_tokens, self.eval_seed);
+        eval::perplexity_proxy(&self.reference, quantized, act, kv, &tokens)
+    }
+
+    /// Evaluates generation fidelity (the Tbl. III proxy).
+    pub fn evaluate_generation(
+        &self,
+        quantized: &TransformerModel,
+        act: ActMode,
+        kv: KvMode,
+        prompt_len: usize,
+        gen_len: usize,
+    ) -> f64 {
+        let prompt = eval::eval_tokens(self.reference.config.vocab, prompt_len, self.eval_seed);
+        eval::generation_fidelity(&self.reference, quantized, act, kv, &prompt, gen_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mant_baselines::BitFusionQuantizer;
+    use mant_quant::Granularity;
+
+    #[test]
+    fn full_pipeline_runs() {
+        let mut pipe = Pipeline::new(&ModelConfig::sim_llama(), 11);
+        pipe.calibrate(24);
+        assert!(pipe.calibration().is_some());
+        let q = pipe.quantize_w4(64);
+        let rep = pipe.evaluate(
+            &q,
+            ActMode::IntGroup { bits: 8, group: 64 },
+            KvMode::Mant4 { group: 64 },
+            16,
+        );
+        assert!(rep.loss() >= 0.0);
+        assert!(rep.ppl.is_finite());
+    }
+
+    #[test]
+    fn calibrated_search_not_worse_than_plain() {
+        let mut pipe = Pipeline::new(&ModelConfig::sim_llama(), 12);
+        let plain = pipe.quantize_w4(64);
+        pipe.calibrate(32);
+        let calibrated = pipe.quantize_w4(64);
+        let rep_plain = pipe.evaluate(&plain, ActMode::None, KvMode::Fp16, 20);
+        let rep_cal = pipe.evaluate(&calibrated, ActMode::None, KvMode::Fp16, 20);
+        // Output-aware search should not systematically hurt.
+        assert!(
+            rep_cal.loss() < rep_plain.loss() * 1.6,
+            "calibrated {} vs plain {}",
+            rep_cal.loss(),
+            rep_plain.loss()
+        );
+    }
+
+    #[test]
+    fn mant_beats_int4_baseline_end_to_end() {
+        let pipe = Pipeline::new(&ModelConfig::sim_llama(), 13);
+        let mant = pipe.quantize_w4(64);
+        let int4 = pipe.quantize_with(&BitFusionQuantizer::new(4, Granularity::Group(64)));
+        let rep_mant = pipe.evaluate(&mant, ActMode::None, KvMode::Fp16, 24);
+        let rep_int = pipe.evaluate(&int4, ActMode::None, KvMode::Fp16, 24);
+        assert!(
+            rep_mant.loss() < rep_int.loss(),
+            "MANT {} vs INT4 {}",
+            rep_mant.loss(),
+            rep_int.loss()
+        );
+    }
+
+    #[test]
+    fn generation_pipeline() {
+        let pipe = Pipeline::new(&ModelConfig::sim_llama(), 14);
+        let q = pipe.quantize_w4(64);
+        let f = pipe.evaluate_generation(
+            &q,
+            ActMode::IntGroup { bits: 8, group: 64 },
+            KvMode::Mant4 { group: 64 },
+            8,
+            12,
+        );
+        assert!((0.0..=1.0).contains(&f));
+    }
+}

@@ -1,0 +1,165 @@
+//! Calibration over synthetic token streams (the paper's Pile subsets).
+//!
+//! Calibration serves two consumers:
+//!
+//! 1. **Weight search** (Eq. (6)): per-projection second moments `E[x_j²]`
+//!    of the activations feeding each weight column, used by
+//!    [`mant_quant::MantWeightQuantizer::with_calibration`];
+//! 2. **KV variance map** (Sec. V-C): sampled K/V groups from which
+//!    [`mant_quant::VarianceMap::from_calibration`] derives its
+//!    variance→`a` ranges.
+
+use std::collections::HashMap;
+
+use mant_quant::{CandidateSet, QuantError, VarianceMap};
+use mant_tensor::TensorGenerator;
+
+use crate::layers::{ActMode, ForwardObserver, KvMode, Proj, TransformerModel};
+
+/// Collected calibration statistics.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Per-(layer, projection) running sums of `x²` and sample counts.
+    moments: HashMap<(usize, Proj), (Vec<f64>, usize)>,
+    /// Sampled K groups (each of `group_size` elements).
+    k_groups: Vec<Vec<f32>>,
+    /// Sampled V elements per channel window (built like the V engine:
+    /// consecutive vectors stacked per channel).
+    v_groups: Vec<Vec<f32>>,
+    group_size: usize,
+    v_window: Vec<Vec<f32>>,
+}
+
+impl Calibration {
+    fn new(group_size: usize) -> Self {
+        Calibration {
+            moments: HashMap::new(),
+            k_groups: Vec::new(),
+            v_groups: Vec::new(),
+            group_size,
+            v_window: Vec::new(),
+        }
+    }
+
+    /// Second moments `E[x_j²]` for the inputs of `(layer, proj)`, or
+    /// `None` if never observed.
+    pub fn col_moments(&self, layer: usize, proj: Proj) -> Option<Vec<f32>> {
+        self.moments.get(&(layer, proj)).map(|(sums, n)| {
+            sums.iter()
+                .map(|&s| (s / (*n).max(1) as f64) as f32)
+                .collect()
+        })
+    }
+
+    /// The sampled KV groups (K spatial groups and V temporal groups).
+    pub fn kv_groups(&self) -> impl Iterator<Item = &[f32]> {
+        self.k_groups
+            .iter()
+            .map(|g| g.as_slice())
+            .chain(self.v_groups.iter().map(|g| g.as_slice()))
+    }
+
+    /// Builds the variance→`a` map from the sampled KV groups.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::EmptyCandidateSet`] if `set` is empty.
+    pub fn variance_map(&self, set: &CandidateSet) -> Result<VarianceMap, QuantError> {
+        VarianceMap::from_calibration(self.kv_groups(), set)
+    }
+
+    /// Number of sampled KV groups.
+    pub fn kv_group_count(&self) -> usize {
+        self.k_groups.len() + self.v_groups.len()
+    }
+}
+
+impl ForwardObserver for Calibration {
+    fn on_linear_input(&mut self, layer: usize, proj: Proj, x: &[f32]) {
+        let entry = self
+            .moments
+            .entry((layer, proj))
+            .or_insert_with(|| (vec![0.0; x.len()], 0));
+        for (s, &v) in entry.0.iter_mut().zip(x.iter()) {
+            *s += f64::from(v) * f64::from(v);
+        }
+        entry.1 += 1;
+    }
+
+    fn on_kv_vectors(&mut self, layer: usize, k: &[f32], v: &[f32]) {
+        // Sample layer 0 only: enough signal, bounded memory.
+        if layer != 0 {
+            return;
+        }
+        for group in k.chunks_exact(self.group_size) {
+            self.k_groups.push(group.to_vec());
+        }
+        // Stack V vectors; emit per-channel temporal groups when the
+        // window fills, mirroring the V engine's group structure.
+        self.v_window.push(v.to_vec());
+        if self.v_window.len() == self.group_size {
+            let dim = v.len();
+            for c in 0..dim {
+                self.v_groups
+                    .push(self.v_window.iter().map(|row| row[c]).collect());
+            }
+            self.v_window.clear();
+        }
+    }
+}
+
+/// Runs `n_tokens` of a synthetic calibration stream through the model,
+/// collecting activation moments and KV groups.
+pub fn calibrate(model: &TransformerModel, n_tokens: usize, seed: u64) -> Calibration {
+    let group = 64.min(model.config.head_dim());
+    let mut calib = Calibration::new(group);
+    let mut gen = TensorGenerator::new(seed);
+    let mut runner = model.runner(ActMode::None, KvMode::Fp16);
+    for _ in 0..n_tokens {
+        let t = gen.token(model.config.vocab);
+        runner.step_observed(t, &mut calib);
+    }
+    calib
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn moments_cover_all_projections() {
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 5);
+        let calib = calibrate(&m, 8, 1);
+        for proj in [Proj::Q, Proj::K, Proj::V, Proj::O, Proj::Gate, Proj::Up, Proj::Down] {
+            let mom = calib.col_moments(0, proj);
+            assert!(mom.is_some(), "{proj:?} missing");
+            let mom = mom.unwrap();
+            assert!(mom.iter().all(|&v| v >= 0.0 && v.is_finite()));
+        }
+        assert!(calib.col_moments(0, Proj::Q).unwrap().len() == 256);
+        assert!(calib.col_moments(5, Proj::Q).is_none());
+    }
+
+    #[test]
+    fn outlier_channels_show_in_moments() {
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 5);
+        let calib = calibrate(&m, 12, 2);
+        let mom = calib.col_moments(0, Proj::Q).unwrap();
+        let max = mom.iter().cloned().fold(0.0f32, f32::max);
+        let mut sorted = mom.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(max > 20.0 * median, "max {max} vs median {median}");
+    }
+
+    #[test]
+    fn kv_groups_sampled_and_map_builds() {
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 5);
+        let calib = calibrate(&m, 70, 3);
+        // 70 tokens × (256/64) K groups + one 64-token V window × 256 channels.
+        assert!(calib.kv_group_count() > 300, "{}", calib.kv_group_count());
+        let map = calib.variance_map(&CandidateSet::paper()).unwrap();
+        assert_eq!(map.entries().len(), CandidateSet::paper().len());
+    }
+}

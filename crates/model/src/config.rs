@@ -1,0 +1,259 @@
+//! Model shape presets.
+//!
+//! Full-size configurations carry the real LLaMA/OPT dimensions — the
+//! simulator workloads (Figs. 12–14) need exact GEMM shapes — while the
+//! `sim_*` presets are scaled-down models that fit in milliseconds of CPU
+//! time for the accuracy experiments (Tbls. II–V), preserving the ratios
+//! that matter (head dim ≥ one group, gated vs plain FFN).
+
+/// The feed-forward block family.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FfnKind {
+    /// LLaMA-style gated SiLU: `down(silu(gate(x)) ⊙ up(x))`.
+    GatedSilu,
+    /// OPT-style plain GELU: `down(gelu(up(x)))`.
+    PlainGelu,
+}
+
+/// Transformer shape description.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ModelConfig {
+    /// Human-readable name used in report tables.
+    pub name: String,
+    /// Hidden (embedding) dimension.
+    pub hidden: usize,
+    /// Number of attention heads (`hidden % heads == 0`).
+    pub heads: usize,
+    /// Number of key/value heads (`heads % kv_heads == 0`); fewer than
+    /// `heads` gives grouped-query attention (GQA), `1` gives MQA —
+    /// KV-cache reductions the paper lists as combinable with
+    /// quantization (Sec. II-C).
+    pub kv_heads: usize,
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// FFN intermediate dimension.
+    pub ffn: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// FFN family.
+    pub ffn_kind: FfnKind,
+}
+
+impl ModelConfig {
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+
+    /// Width of the K/V projections: `kv_heads × head_dim`.
+    pub fn kv_dim(&self) -> usize {
+        self.kv_heads * self.head_dim()
+    }
+
+    /// Converts the config to grouped-query attention with `kv_heads`
+    /// key/value heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kv_heads` is zero or does not divide `heads`.
+    pub fn with_gqa(mut self, kv_heads: usize) -> Self {
+        assert!(
+            kv_heads > 0 && self.heads % kv_heads == 0,
+            "kv_heads {kv_heads} must divide heads {}",
+            self.heads
+        );
+        self.kv_heads = kv_heads;
+        self
+    }
+
+    /// LLaMA-7B: 4096 hidden, 32 heads, 32 layers, 11008 FFN.
+    pub fn llama_7b() -> Self {
+        Self::llama("LLaMA-7B", 4096, 32, 32, 11008)
+    }
+
+    /// LLaMA-13B: 5120 hidden, 40 heads, 40 layers, 13824 FFN.
+    pub fn llama_13b() -> Self {
+        Self::llama("LLaMA-13B", 5120, 40, 40, 13824)
+    }
+
+    /// LLaMA-30B: 6656 hidden, 52 heads, 60 layers, 17920 FFN.
+    pub fn llama_30b() -> Self {
+        Self::llama("LLaMA-30B", 6656, 52, 60, 17920)
+    }
+
+    /// LLaMA-65B: 8192 hidden, 64 heads, 80 layers, 22016 FFN.
+    pub fn llama_65b() -> Self {
+        Self::llama("LLaMA-65B", 8192, 64, 80, 22016)
+    }
+
+    /// LLaMA-2-7B (same shapes as LLaMA-7B).
+    pub fn llama2_7b() -> Self {
+        Self::llama("LLaMA-2-7B", 4096, 32, 32, 11008)
+    }
+
+    /// LLaMA-2-13B (same shapes as LLaMA-13B).
+    pub fn llama2_13b() -> Self {
+        Self::llama("LLaMA-2-13B", 5120, 40, 40, 13824)
+    }
+
+    /// OPT-6.7B: 4096 hidden, 32 heads, 32 layers, 16384 FFN, GELU.
+    pub fn opt_6_7b() -> Self {
+        ModelConfig {
+            name: "OPT-6.7B".to_owned(),
+            hidden: 4096,
+            heads: 32,
+            kv_heads: 32,
+            layers: 32,
+            ffn: 16384,
+            vocab: 50272,
+            ffn_kind: FfnKind::PlainGelu,
+        }
+    }
+
+    /// OPT-13B: 5120 hidden, 40 heads, 40 layers, 20480 FFN, GELU.
+    pub fn opt_13b() -> Self {
+        ModelConfig {
+            name: "OPT-13B".to_owned(),
+            hidden: 5120,
+            heads: 40,
+            kv_heads: 40,
+            layers: 40,
+            ffn: 20480,
+            vocab: 50272,
+            ffn_kind: FfnKind::PlainGelu,
+        }
+    }
+
+    /// A fast LLaMA-style model for accuracy experiments: 256 hidden,
+    /// 4 heads (head dim 64 = one quantization group), 2 layers.
+    pub fn sim_llama() -> Self {
+        ModelConfig {
+            name: "sim-llama".to_owned(),
+            hidden: 256,
+            heads: 4,
+            kv_heads: 4,
+            layers: 2,
+            ffn: 512,
+            vocab: 512,
+            ffn_kind: FfnKind::GatedSilu,
+        }
+    }
+
+    /// A fast OPT-style model (plain GELU FFN).
+    pub fn sim_opt() -> Self {
+        ModelConfig {
+            name: "sim-opt".to_owned(),
+            hidden: 256,
+            heads: 4,
+            kv_heads: 4,
+            layers: 2,
+            ffn: 512,
+            vocab: 512,
+            ffn_kind: FfnKind::PlainGelu,
+        }
+    }
+
+    /// A scaled-down accuracy stand-in for any full config: keeps the name
+    /// (for table rows) and FFN kind, replaces dimensions with sim-size
+    /// values scaled by the full model's depth so bigger models stay
+    /// "bigger" (more layers → more accumulated quantization error, which
+    /// is the cross-model trend in Tbl. II).
+    pub fn sim_proxy(&self) -> Self {
+        let layers = (self.layers / 16).clamp(2, 5);
+        ModelConfig {
+            name: self.name.clone(),
+            hidden: 256,
+            heads: 4,
+            kv_heads: 4.min(self.kv_heads.max(1)),
+            layers,
+            ffn: 512,
+            vocab: 512,
+            ffn_kind: self.ffn_kind,
+        }
+    }
+
+    /// The linear-layer GEMM shapes `(name, K, N)` of one transformer
+    /// layer (weights are `N × K`), used by the accelerator workloads.
+    pub fn linear_layer_shapes(&self) -> Vec<(&'static str, usize, usize)> {
+        match self.ffn_kind {
+            FfnKind::GatedSilu => vec![
+                ("q", self.hidden, self.hidden),
+                ("k", self.hidden, self.kv_dim()),
+                ("v", self.hidden, self.kv_dim()),
+                ("o", self.hidden, self.hidden),
+                ("gate", self.hidden, self.ffn),
+                ("up", self.hidden, self.ffn),
+                ("down", self.ffn, self.hidden),
+            ],
+            FfnKind::PlainGelu => vec![
+                ("q", self.hidden, self.hidden),
+                ("k", self.hidden, self.kv_dim()),
+                ("v", self.hidden, self.kv_dim()),
+                ("o", self.hidden, self.hidden),
+                ("up", self.hidden, self.ffn),
+                ("down", self.ffn, self.hidden),
+            ],
+        }
+    }
+
+    /// Total linear-layer parameters across all layers.
+    pub fn linear_params(&self) -> usize {
+        self.linear_layer_shapes()
+            .iter()
+            .map(|&(_, k, n)| k * n)
+            .sum::<usize>()
+            * self.layers
+    }
+
+    fn llama(name: &str, hidden: usize, heads: usize, layers: usize, ffn: usize) -> Self {
+        ModelConfig {
+            name: name.to_owned(),
+            hidden,
+            heads,
+            kv_heads: heads,
+            layers,
+            ffn,
+            vocab: 32000,
+            ffn_kind: FfnKind::GatedSilu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn llama7b_shapes() {
+        let c = ModelConfig::llama_7b();
+        assert_eq!(c.head_dim(), 128);
+        assert_eq!(c.linear_layer_shapes().len(), 7);
+        // ~6.5B linear params for LLaMA-7B.
+        let p = c.linear_params();
+        assert!((6.0e9..7.0e9).contains(&(p as f64)), "{p}");
+    }
+
+    #[test]
+    fn opt_uses_plain_ffn() {
+        let c = ModelConfig::opt_6_7b();
+        assert_eq!(c.ffn_kind, FfnKind::PlainGelu);
+        assert_eq!(c.linear_layer_shapes().len(), 6);
+    }
+
+    #[test]
+    fn sim_models_are_small_and_divisible() {
+        for c in [ModelConfig::sim_llama(), ModelConfig::sim_opt()] {
+            assert_eq!(c.hidden % c.heads, 0);
+            assert_eq!(c.head_dim() % 64, 0); // one full group per head
+            assert!(c.linear_params() < 3_000_000);
+        }
+    }
+
+    #[test]
+    fn sim_proxy_scales_depth() {
+        let small = ModelConfig::llama_7b().sim_proxy();
+        let big = ModelConfig::llama_65b().sim_proxy();
+        assert!(big.layers > small.layers);
+        assert_eq!(big.name, "LLaMA-65B");
+    }
+}

@@ -1,0 +1,641 @@
+//! The transformer model, its step-wise runner, and quantized execution.
+
+use mant_numerics::int::quantize_symmetric_int;
+use mant_quant::{CandidateSet, FakeQuantizer, KCacheQuantizer, VCacheQuantizer, VarianceMap};
+use mant_tensor::ops::{gelu, rmsnorm, silu, softmax_inplace};
+use mant_tensor::{abs_max, Matrix};
+
+use crate::config::{FfnKind, ModelConfig};
+use crate::synth;
+
+/// Weights of one transformer layer. All linear weights are stored
+/// `out × in` (rows are output channels, the accumulation dimension is
+/// contiguous — the layout every quantizer in this workspace expects).
+#[derive(Clone, Debug)]
+pub struct LayerWeights {
+    /// Attention-block RMSNorm gain.
+    pub attn_norm: Vec<f32>,
+    /// FFN-block RMSNorm gain.
+    pub ffn_norm: Vec<f32>,
+    /// Query projection (`hidden × hidden`).
+    pub wq: Matrix,
+    /// Key projection.
+    pub wk: Matrix,
+    /// Value projection.
+    pub wv: Matrix,
+    /// Output projection.
+    pub wo: Matrix,
+    /// FFN gate projection (`ffn × hidden`; unused for [`FfnKind::PlainGelu`]).
+    pub w_gate: Matrix,
+    /// FFN up projection (`ffn × hidden`).
+    pub w_up: Matrix,
+    /// FFN down projection (`hidden × ffn`).
+    pub w_down: Matrix,
+}
+
+/// All model weights.
+#[derive(Clone, Debug)]
+pub struct TransformerWeights {
+    /// Token embedding (`vocab × hidden`).
+    pub embedding: Matrix,
+    /// Per-layer weights.
+    pub layers: Vec<LayerWeights>,
+    /// Final RMSNorm gain.
+    pub final_norm: Vec<f32>,
+    /// LM head (`vocab × hidden`).
+    pub lm_head: Matrix,
+}
+
+/// A complete model: configuration plus weights.
+#[derive(Clone, Debug)]
+pub struct TransformerModel {
+    /// Shape description.
+    pub config: ModelConfig,
+    /// Weights.
+    pub weights: TransformerWeights,
+}
+
+/// Identifies a linear projection for observers and calibration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Proj {
+    /// Query projection.
+    Q,
+    /// Key projection.
+    K,
+    /// Value projection.
+    V,
+    /// Attention output projection.
+    O,
+    /// FFN gate.
+    Gate,
+    /// FFN up.
+    Up,
+    /// FFN down.
+    Down,
+}
+
+/// Hook into the forward pass (used by calibration).
+pub trait ForwardObserver {
+    /// Called with the input vector of every linear projection.
+    fn on_linear_input(&mut self, _layer: usize, _proj: Proj, _x: &[f32]) {}
+    /// Called with the new K and V vectors of every layer, every step.
+    fn on_kv_vectors(&mut self, _layer: usize, _k: &[f32], _v: &[f32]) {}
+    /// Called after each residual block with the L2 norms of the incoming
+    /// residual stream and of the block's contribution (`proj` is
+    /// [`Proj::O`] for attention, [`Proj::Down`] for the FFN).
+    fn on_block_contribution(
+        &mut self,
+        _layer: usize,
+        _proj: Proj,
+        _residual_norm: f32,
+        _block_norm: f32,
+    ) {
+    }
+}
+
+/// A no-op observer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullObserver;
+
+impl ForwardObserver for NullObserver {}
+
+/// Runtime activation quantization applied before every linear projection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ActMode {
+    /// FP32/FP16 activations (the W-only configurations).
+    None,
+    /// Group-wise symmetric INT along the vector (MANT's A8 mode).
+    IntGroup {
+        /// Bit width (4 or 8).
+        bits: u8,
+        /// Group size.
+        group: usize,
+    },
+    /// One scale for the whole activation vector (ANT/OliVe's tensor-wise
+    /// activations — this is what outlier channels break).
+    IntTensor {
+        /// Bit width (4 or 8).
+        bits: u8,
+    },
+    /// OliVe's runtime activation handling: tensor-wise INT with
+    /// outlier-victim pairs (outliers survive in `abfloat`, their
+    /// neighbors are sacrificed).
+    OliveTensor {
+        /// Bit width (4 or 8).
+        bits: u8,
+    },
+    /// Tender's runtime activation handling: channels are reordered by
+    /// magnitude into chunks so outliers share scales with each other
+    /// (modeled by sorting the vector by |x| before grouping).
+    SortedGroup {
+        /// Bit width (4 or 8).
+        bits: u8,
+        /// Group (chunk) size after reordering.
+        group: usize,
+    },
+    /// MXFP4 activations: E2M1 elements under an E8M0 (power-of-two)
+    /// block scale.
+    MxfpGroup {
+        /// Block size (32 in the OCP spec).
+        group: usize,
+    },
+}
+
+/// KV-cache handling during inference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KvMode {
+    /// Full-precision cache (baselines' unquantized attention).
+    Fp16,
+    /// Real-time group-wise INT4 (K spatial, V two-phase temporal).
+    Int4 {
+        /// Group size.
+        group: usize,
+    },
+    /// Real-time group-wise 4-bit MANT via variance selection.
+    Mant4 {
+        /// Group size.
+        group: usize,
+    },
+}
+
+enum LayerKvCache {
+    Fp { k: Matrix, v: Matrix },
+    Quant { k: KCacheQuantizer, v: VCacheQuantizer },
+}
+
+/// Step-wise (token-at-a-time) executor with a per-layer KV cache.
+///
+/// # Example
+///
+/// ```
+/// use mant_model::{ActMode, KvMode, ModelConfig, TransformerModel};
+///
+/// let model = TransformerModel::synthesize(&ModelConfig::sim_llama(), 7);
+/// let mut runner = model.runner(ActMode::None, KvMode::Fp16);
+/// let logits = runner.step(42);
+/// assert_eq!(logits.len(), model.config.vocab);
+/// ```
+pub struct ModelRunner<'m> {
+    model: &'m TransformerModel,
+    act: ActMode,
+    caches: Vec<LayerKvCache>,
+    seq_len: usize,
+}
+
+impl TransformerModel {
+    /// Synthesizes a model with LLM-like statistics (see [`crate::synth`]).
+    pub fn synthesize(config: &ModelConfig, seed: u64) -> Self {
+        synth::synthesize(config, seed)
+    }
+
+    /// Returns a copy whose linear-layer weights are fake-quantized with
+    /// `q` (embedding, norms, and LM head stay full precision, matching the
+    /// paper's "linear layer" quantization scope).
+    pub fn quantize_weights(&self, q: &dyn FakeQuantizer) -> TransformerModel {
+        let mut out = self.clone();
+        for l in &mut out.weights.layers {
+            l.wq = q.fake_quantize(&l.wq);
+            l.wk = q.fake_quantize(&l.wk);
+            l.wv = q.fake_quantize(&l.wv);
+            l.wo = q.fake_quantize(&l.wo);
+            if self.config.ffn_kind == FfnKind::GatedSilu {
+                l.w_gate = q.fake_quantize(&l.w_gate);
+            }
+            l.w_up = q.fake_quantize(&l.w_up);
+            l.w_down = q.fake_quantize(&l.w_down);
+        }
+        out
+    }
+
+    /// Creates a fresh runner with the given runtime quantization modes.
+    pub fn runner(&self, act: ActMode, kv: KvMode) -> ModelRunner<'_> {
+        let kv_dim = self.config.kv_dim();
+        let caches = (0..self.config.layers)
+            .map(|_| match kv {
+                KvMode::Fp16 => LayerKvCache::Fp {
+                    k: Matrix::zeros(0, kv_dim),
+                    v: Matrix::zeros(0, kv_dim),
+                },
+                KvMode::Int4 { group } => {
+                    let set = CandidateSet::custom(&[], true).expect("INT-only set is valid");
+                    let vmap = VarianceMap::analytic(&set).expect("set is non-empty");
+                    LayerKvCache::Quant {
+                        k: KCacheQuantizer::new(kv_dim, group, vmap.clone())
+                            .expect("group divides the KV width"),
+                        v: VCacheQuantizer::new(kv_dim, group, vmap)
+                            .expect("group is positive"),
+                    }
+                }
+                KvMode::Mant4 { group } => {
+                    let vmap = VarianceMap::analytic(&CandidateSet::paper())
+                        .expect("paper set is non-empty");
+                    LayerKvCache::Quant {
+                        k: KCacheQuantizer::new(kv_dim, group, vmap.clone())
+                            .expect("group divides the KV width"),
+                        v: VCacheQuantizer::new(kv_dim, group, vmap)
+                            .expect("group is positive"),
+                    }
+                }
+            })
+            .collect();
+        ModelRunner {
+            model: self,
+            act,
+            caches,
+            seq_len: 0,
+        }
+    }
+}
+
+impl ModelRunner<'_> {
+    /// Number of tokens processed so far.
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    /// Processes one token, returning the next-token logits.
+    pub fn step(&mut self, token: usize) -> Vec<f32> {
+        self.step_observed(token, &mut NullObserver)
+    }
+
+    /// Processes one token with a forward observer attached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token >= vocab`.
+    pub fn step_observed(&mut self, token: usize, obs: &mut dyn ForwardObserver) -> Vec<f32> {
+        let cfg = &self.model.config;
+        assert!(token < cfg.vocab, "token {token} out of vocabulary");
+        let w = &self.model.weights;
+        let mut x: Vec<f32> = w.embedding.row(token).to_vec();
+
+        for (li, layer) in w.layers.iter().enumerate() {
+            // --- Attention block ---
+            let xn = rmsnorm(&x, &layer.attn_norm, 1e-5);
+            obs.on_linear_input(li, Proj::Q, &xn);
+            obs.on_linear_input(li, Proj::K, &xn);
+            obs.on_linear_input(li, Proj::V, &xn);
+            let xq = self.quantize_act(&xn);
+            let q = matvec(&layer.wq, &xq);
+            let k = matvec(&layer.wk, &xq);
+            let v = matvec(&layer.wv, &xq);
+            obs.on_kv_vectors(li, &k, &v);
+
+            let (k_all, v_all) = {
+                let cache = &mut self.caches[li];
+                match cache {
+                    LayerKvCache::Fp { k: kc, v: vc } => {
+                        kc.push_row(&k);
+                        vc.push_row(&v);
+                        (kc.clone(), vc.clone())
+                    }
+                    LayerKvCache::Quant { k: kc, v: vc } => {
+                        kc.push(&k);
+                        vc.push(&v);
+                        (kc.dequantize(), vc.dequantize())
+                    }
+                }
+            };
+
+            let attn = attention(cfg, &q, &k_all, &v_all);
+            obs.on_linear_input(li, Proj::O, &attn);
+            let attn_q = self.quantize_act(&attn);
+            let o = matvec(&layer.wo, &attn_q);
+            obs.on_block_contribution(li, Proj::O, l2(&x), l2(&o));
+            for (xi, oi) in x.iter_mut().zip(o.iter()) {
+                *xi += oi;
+            }
+
+            // --- FFN block ---
+            let xn = rmsnorm(&x, &layer.ffn_norm, 1e-5);
+            let ff = match cfg.ffn_kind {
+                FfnKind::GatedSilu => {
+                    obs.on_linear_input(li, Proj::Gate, &xn);
+                    obs.on_linear_input(li, Proj::Up, &xn);
+                    let xnq = self.quantize_act(&xn);
+                    let gate = matvec(&layer.w_gate, &xnq);
+                    let up = matvec(&layer.w_up, &xnq);
+                    let h: Vec<f32> = gate
+                        .iter()
+                        .zip(up.iter())
+                        .map(|(&g, &u)| silu(g) * u)
+                        .collect();
+                    obs.on_linear_input(li, Proj::Down, &h);
+                    let hq = self.quantize_act(&h);
+                    matvec(&layer.w_down, &hq)
+                }
+                FfnKind::PlainGelu => {
+                    obs.on_linear_input(li, Proj::Up, &xn);
+                    let xnq = self.quantize_act(&xn);
+                    let up = matvec(&layer.w_up, &xnq);
+                    let h: Vec<f32> = up.iter().map(|&u| gelu(u)).collect();
+                    obs.on_linear_input(li, Proj::Down, &h);
+                    let hq = self.quantize_act(&h);
+                    matvec(&layer.w_down, &hq)
+                }
+            };
+            obs.on_block_contribution(li, Proj::Down, l2(&x), l2(&ff));
+            for (xi, fi) in x.iter_mut().zip(ff.iter()) {
+                *xi += fi;
+            }
+        }
+
+        self.seq_len += 1;
+        let xn = rmsnorm(&x, &w.final_norm, 1e-5);
+        matvec(&w.lm_head, &xn)
+    }
+
+    /// Applies the runtime activation quantization mode.
+    fn quantize_act(&self, x: &[f32]) -> Vec<f32> {
+        match self.act {
+            ActMode::None => x.to_vec(),
+            ActMode::IntTensor { bits } => fake_int_quantize(x, bits, x.len()),
+            ActMode::IntGroup { bits, group } => fake_int_quantize(x, bits, group),
+            ActMode::OliveTensor { bits } => {
+                use mant_baselines::OliveQuantizer;
+                use mant_quant::{FakeQuantizer, Granularity};
+                let q = if bits == 8 {
+                    OliveQuantizer::w8(Granularity::Channel)
+                } else {
+                    OliveQuantizer::w4(Granularity::Channel)
+                };
+                q.fake_quantize(&Matrix::from_vec(1, x.len(), x.to_vec()))
+                    .into_vec()
+            }
+            ActMode::MxfpGroup { group } => {
+                use mant_numerics::{e8m0_quantize_scale, fp4_e2m1_grid};
+                let grid = fp4_e2m1_grid();
+                let elem_max = grid.max_abs();
+                let mut out = Vec::with_capacity(x.len());
+                for chunk in x.chunks(group.max(1)) {
+                    let amax = abs_max(chunk);
+                    if amax == 0.0 {
+                        out.extend(chunk.iter().copied());
+                        continue;
+                    }
+                    let scale = e8m0_quantize_scale(amax / elem_max);
+                    for &v in chunk {
+                        out.push(grid.quantize(v / scale) * scale);
+                    }
+                }
+                out
+            }
+            ActMode::SortedGroup { bits, group } => {
+                // Sort indices by magnitude, quantize in that order, undo.
+                let mut order: Vec<usize> = (0..x.len()).collect();
+                order.sort_by(|&a, &b| {
+                    x[b].abs().partial_cmp(&x[a].abs()).expect("finite acts")
+                });
+                let sorted: Vec<f32> = order.iter().map(|&i| x[i]).collect();
+                let quantized = fake_int_quantize(&sorted, bits, group);
+                let mut out = vec![0.0f32; x.len()];
+                for (pos, &i) in order.iter().enumerate() {
+                    out[i] = quantized[pos];
+                }
+                out
+            }
+        }
+    }
+}
+
+/// L2 norm of a vector.
+fn l2(x: &[f32]) -> f32 {
+    x.iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt() as f32
+}
+
+/// `y = W · x` for `W` stored `out × in`.
+fn matvec(w: &Matrix, x: &[f32]) -> Vec<f32> {
+    // gemv computes x · B with B = rows along x; transposing via iteration:
+    // y[n] = dot(w.row(n), x).
+    debug_assert_eq!(w.cols(), x.len());
+    (0..w.rows())
+        .map(|n| {
+            w.row(n)
+                .iter()
+                .zip(x.iter())
+                .map(|(&a, &b)| a * b)
+                .sum::<f32>()
+        })
+        .collect()
+}
+
+/// Multi-head attention of one query vector against the cached K/V.
+/// With `kv_heads < heads`, query heads share K/V heads (GQA; one shared
+/// head is MQA).
+fn attention(cfg: &ModelConfig, q: &[f32], k_all: &Matrix, v_all: &Matrix) -> Vec<f32> {
+    let hd = cfg.head_dim();
+    let seq = k_all.rows();
+    let queries_per_kv = cfg.heads / cfg.kv_heads;
+    let mut out = vec![0.0f32; cfg.hidden];
+    let scale = 1.0 / (hd as f32).sqrt();
+    for h in 0..cfg.heads {
+        let lo = h * hd;
+        let hi = lo + hd;
+        let kv_lo = (h / queries_per_kv) * hd;
+        let kv_hi = kv_lo + hd;
+        let qh = &q[lo..hi];
+        let mut scores: Vec<f32> = (0..seq)
+            .map(|t| {
+                let kh = &k_all.row(t)[kv_lo..kv_hi];
+                qh.iter().zip(kh.iter()).map(|(&a, &b)| a * b).sum::<f32>() * scale
+            })
+            .collect();
+        softmax_inplace(&mut scores);
+        let oh = &mut out[lo..hi];
+        for (t, &s) in scores.iter().enumerate() {
+            if s == 0.0 {
+                continue;
+            }
+            let vh = &v_all.row(t)[kv_lo..kv_hi];
+            for (o, &v) in oh.iter_mut().zip(vh.iter()) {
+                *o += s * v;
+            }
+        }
+    }
+    out
+}
+
+/// Symmetric INT fake quantization of a vector in groups of `group`.
+fn fake_int_quantize(x: &[f32], bits: u8, group: usize) -> Vec<f32> {
+    let imax = ((1i32 << (bits - 1)) - 1) as f32;
+    let mut out = Vec::with_capacity(x.len());
+    for chunk in x.chunks(group.max(1)) {
+        let amax = abs_max(chunk);
+        if amax == 0.0 {
+            out.extend(chunk.iter().copied());
+            continue;
+        }
+        let scale = amax / imax;
+        for &v in chunk {
+            out.push(quantize_symmetric_int(v / scale, imax as i32) as f32 * scale);
+        }
+    }
+    out
+}
+
+/// Convenience: run a full token sequence, returning logits per position.
+pub fn run_sequence(
+    model: &TransformerModel,
+    act: ActMode,
+    kv: KvMode,
+    tokens: &[usize],
+) -> Matrix {
+    let mut runner = model.runner(act, kv);
+    let mut out = Matrix::zeros(0, model.config.vocab);
+    for &t in tokens {
+        let logits = runner.step(t);
+        out.push_row(&logits);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mant_quant::MantWeightQuantizer;
+
+    fn model() -> TransformerModel {
+        TransformerModel::synthesize(&ModelConfig::sim_llama(), 3)
+    }
+
+    #[test]
+    fn step_produces_finite_logits() {
+        let m = model();
+        let mut r = m.runner(ActMode::None, KvMode::Fp16);
+        for t in [1usize, 5, 9, 200] {
+            let logits = r.step(t);
+            assert_eq!(logits.len(), m.config.vocab);
+            assert!(logits.iter().all(|v| v.is_finite()));
+        }
+        assert_eq!(r.seq_len(), 4);
+    }
+
+    #[test]
+    fn logits_depend_on_history() {
+        let m = model();
+        let mut a = m.runner(ActMode::None, KvMode::Fp16);
+        let mut b = m.runner(ActMode::None, KvMode::Fp16);
+        a.step(1);
+        b.step(2);
+        let la = a.step(3);
+        let lb = b.step(3);
+        assert_ne!(la, lb, "attention must consult the cache");
+    }
+
+    #[test]
+    fn quantized_kv_close_to_fp() {
+        let m = model();
+        let tokens: Vec<usize> = (0..40).map(|i| (i * 37) % 512).collect();
+        let fp = run_sequence(&m, ActMode::None, KvMode::Fp16, &tokens);
+        let mant = run_sequence(&m, ActMode::None, KvMode::Mant4 { group: 64 }, &tokens);
+        let rel = fp.distance(&mant)
+            / fp.as_slice()
+                .iter()
+                .map(|&v| f64::from(v) * f64::from(v))
+                .sum::<f64>()
+                .sqrt();
+        // 4-bit KV perturbs attention scores through the softmax; the
+        // logit-level distortion stays bounded well below sign-flipping.
+        assert!(rel < 0.6, "relative logit distortion {rel}");
+    }
+
+    #[test]
+    fn mant_kv_beats_int_kv() {
+        let m = model();
+        let tokens: Vec<usize> = (0..48).map(|i| (i * 53) % 512).collect();
+        let fp = run_sequence(&m, ActMode::None, KvMode::Fp16, &tokens);
+        let mant = run_sequence(&m, ActMode::None, KvMode::Mant4 { group: 64 }, &tokens);
+        let int4 = run_sequence(&m, ActMode::None, KvMode::Int4 { group: 64 }, &tokens);
+        let d_mant = fp.distance(&mant);
+        let d_int = fp.distance(&int4);
+        assert!(
+            d_mant < d_int * 1.1,
+            "MANT KV {d_mant} should not lose to INT KV {d_int}"
+        );
+    }
+
+    #[test]
+    fn weight_quantization_perturbs_but_preserves() {
+        let m = model();
+        let q = m.quantize_weights(&MantWeightQuantizer::new(64));
+        let tokens: Vec<usize> = (0..16).map(|i| (i * 31) % 512).collect();
+        let fp = run_sequence(&m, ActMode::None, KvMode::Fp16, &tokens);
+        let qd = run_sequence(&q, ActMode::None, KvMode::Fp16, &tokens);
+        assert_ne!(fp.as_slice(), qd.as_slice());
+        let rel = fp.distance(&qd)
+            / fp.as_slice()
+                .iter()
+                .map(|&v| f64::from(v) * f64::from(v))
+                .sum::<f64>()
+                .sqrt();
+        assert!(rel < 0.5, "W4 distortion too large: {rel}");
+    }
+
+    #[test]
+    fn tensor_act_int4_much_worse_than_group_int8() {
+        // The outlier-channel mechanism: per-vector INT4 activations are
+        // badly hurt; group-wise INT8 is near-lossless (Tbl. II's story).
+        let m = model();
+        let tokens: Vec<usize> = (0..16).map(|i| (i * 29) % 512).collect();
+        let fp = run_sequence(&m, ActMode::None, KvMode::Fp16, &tokens);
+        let a4 = run_sequence(
+            &m,
+            ActMode::IntTensor { bits: 4 },
+            KvMode::Fp16,
+            &tokens,
+        );
+        let a8 = run_sequence(
+            &m,
+            ActMode::IntGroup { bits: 8, group: 64 },
+            KvMode::Fp16,
+            &tokens,
+        );
+        let d4 = fp.distance(&a4);
+        let d8 = fp.distance(&a8);
+        assert!(d4 > d8 * 5.0, "tensor-A4 {d4} vs group-A8 {d8}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn bad_token_panics() {
+        let m = model();
+        let mut r = m.runner(ActMode::None, KvMode::Fp16);
+        let _ = r.step(100_000);
+    }
+
+    #[test]
+    fn gqa_runs_and_shrinks_kv() {
+        let cfg = ModelConfig::sim_llama().with_gqa(2);
+        assert_eq!(cfg.kv_dim(), 128);
+        let m = TransformerModel::synthesize(&cfg, 17);
+        assert_eq!(m.weights.layers[0].wk.shape(), (128, 256));
+        let tokens: Vec<usize> = (0..12).map(|i| (i * 41) % 512).collect();
+        let fp = run_sequence(&m, ActMode::None, KvMode::Fp16, &tokens);
+        assert!(fp.as_slice().iter().all(|v| v.is_finite()));
+        // GQA composes with real-time MANT KV quantization.
+        let kv4 = run_sequence(&m, ActMode::None, KvMode::Mant4 { group: 64 }, &tokens);
+        let norm: f64 = fp
+            .as_slice()
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt();
+        assert!(fp.distance(&kv4) / norm < 0.6);
+    }
+
+    #[test]
+    fn mqa_single_kv_head() {
+        let cfg = ModelConfig::sim_llama().with_gqa(1);
+        let m = TransformerModel::synthesize(&cfg, 18);
+        let mut r = m.runner(ActMode::None, KvMode::Fp16);
+        let logits = r.step(3);
+        assert_eq!(logits.len(), 512);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide heads")]
+    fn gqa_validation() {
+        let _ = ModelConfig::sim_llama().with_gqa(3);
+    }
+}

@@ -1,0 +1,161 @@
+//! OliVe's `abfloat`: a biased float for representing outliers.
+//!
+//! OliVe (ISCA'23) pairs every outlier with a sacrificed "victim" neighbor,
+//! freeing code space so the outlier can be stored in `abfloat` — a tiny
+//! float whose exponent bias shifts its whole range *outward*, covering the
+//! magnitudes where normal 4-bit types have no points.
+
+use crate::error::NumericsError;
+use crate::grid::Grid;
+
+/// A 4-bit adaptive-bias float: 1 sign bit, `exp_bits` exponent bits, the
+/// rest mantissa, with an additive exponent bias.
+///
+/// # Example
+///
+/// ```
+/// use mant_numerics::AbFloat;
+///
+/// // OliVe's outlier config: abfloat4 with bias 4 covers 16..=448-ish.
+/// let ab = AbFloat::new(2, 4)?;
+/// assert!(ab.grid().max_abs() > 16.0);
+/// # Ok::<(), mant_numerics::NumericsError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AbFloat {
+    total_bits: u8,
+    exp_bits: u8,
+    bias: i32,
+}
+
+impl AbFloat {
+    /// Default total bits including sign.
+    pub const TOTAL_BITS: u8 = 4;
+
+    /// Creates a 4-bit abfloat with `exp_bits ∈ [1, 3]` exponent bits and
+    /// the given additive bias. With 3 exponent bits the mantissa is empty
+    /// and the format degenerates to biased powers of two.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidAbFloat`] if `exp_bits` is 0 or
+    /// leaves no room for the sign bit.
+    pub fn new(exp_bits: u8, bias: i32) -> Result<Self, NumericsError> {
+        Self::with_bits(Self::TOTAL_BITS, exp_bits, bias)
+    }
+
+    /// Creates an abfloat with an arbitrary total width (OliVe's 8-bit
+    /// outlier format uses 1 sign + 2 exponent + 5 mantissa bits).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidAbFloat`] if `exp_bits` is 0, leaves
+    /// no room for the sign bit, or `total_bits` exceeds 8.
+    pub fn with_bits(total_bits: u8, exp_bits: u8, bias: i32) -> Result<Self, NumericsError> {
+        if exp_bits == 0 || exp_bits >= total_bits || total_bits > 8 || total_bits < 2 {
+            return Err(NumericsError::InvalidAbFloat { exp_bits });
+        }
+        Ok(AbFloat {
+            total_bits,
+            exp_bits,
+            bias,
+        })
+    }
+
+    /// Exponent bit count.
+    pub fn exp_bits(&self) -> u8 {
+        self.exp_bits
+    }
+
+    /// Additive exponent bias.
+    pub fn bias(&self) -> i32 {
+        self.bias
+    }
+
+    /// Total bit width including sign.
+    pub fn total_bits(&self) -> u8 {
+        self.total_bits
+    }
+
+    /// Positive magnitudes representable by this format.
+    pub fn magnitudes(&self) -> Vec<f32> {
+        let man_bits = self.total_bits - 1 - self.exp_bits;
+        let man_count = 1u32 << man_bits;
+        let exp_count = 1u32 << self.exp_bits;
+        let mut out = Vec::with_capacity((man_count * exp_count) as usize);
+        for e in 0..exp_count {
+            for m in 0..man_count {
+                // Normal-style value: 2^(e+bias) · (1 + m/man_count).
+                let frac = 1.0 + m as f32 / man_count as f32;
+                out.push(2.0f32.powi(e as i32 + self.bias) * frac);
+            }
+        }
+        out
+    }
+
+    /// The symmetric grid of representable outlier values.
+    pub fn grid(&self) -> Grid {
+        Grid::symmetric(&self.magnitudes()).expect("abfloat magnitudes are finite")
+    }
+}
+
+impl Default for AbFloat {
+    /// OliVe's default outlier configuration: 4 bits total, 2 exponent
+    /// bits, bias 4 — covering one binade past the INT4 range.
+    fn default() -> Self {
+        AbFloat {
+            total_bits: Self::TOTAL_BITS,
+            exp_bits: 2,
+            bias: 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_exp_bits() {
+        assert!(AbFloat::new(0, 0).is_err());
+        assert!(AbFloat::new(4, 0).is_err());
+        assert!(AbFloat::new(1, 0).is_ok());
+        assert!(AbFloat::new(2, 0).is_ok());
+        // 3 exponent bits leaves zero mantissa bits: pure biased PoT.
+        let pot_like = AbFloat::new(3, 0).unwrap();
+        assert_eq!(pot_like.magnitudes().len(), 8);
+    }
+
+    #[test]
+    fn default_covers_outlier_range() {
+        let ab = AbFloat::default();
+        let mags = ab.magnitudes();
+        assert_eq!(mags.len(), 8); // 2 exp bits × 1 mantissa bit × 4 exps = 8
+        let min = mags.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = mags.iter().cloned().fold(0.0, f32::max);
+        // Starts beyond the INT4 interior and reaches well past it.
+        assert_eq!(min, 16.0);
+        assert_eq!(max, 192.0);
+    }
+
+    #[test]
+    fn bias_shifts_range_multiplicatively() {
+        let a = AbFloat::new(2, 0).unwrap();
+        let b = AbFloat::new(2, 3).unwrap();
+        let ma = a.magnitudes();
+        let mb = b.magnitudes();
+        for (x, y) in ma.iter().zip(mb.iter()) {
+            assert!((y / x - 8.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grid_is_symmetric() {
+        let g = AbFloat::default().grid();
+        let pts = g.points();
+        assert_eq!(pts.len(), 16);
+        for &p in pts {
+            assert!(pts.contains(&-p));
+        }
+    }
+}

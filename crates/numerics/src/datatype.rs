@@ -1,0 +1,153 @@
+//! A unified handle over every 4/8-bit format in this crate.
+
+use std::fmt;
+
+use crate::abfloat::AbFloat;
+use crate::flint::flint4_grid;
+use crate::grid::Grid;
+use crate::int::{int4_grid, int8_grid};
+use crate::mant::Mant;
+use crate::mxfp::fp4_e2m1_grid;
+use crate::nf::{nf4_paper_grid, qlora_nf4_grid};
+use crate::pot::pot4_grid;
+
+/// Any quantization data type evaluated in the paper.
+///
+/// # Example
+///
+/// ```
+/// use mant_numerics::{DataType, Mant};
+///
+/// let dt = DataType::Mant(Mant::new(17)?);
+/// assert_eq!(dt.bits(), 4);
+/// assert_eq!(dt.grid().len(), 16);
+/// # Ok::<(), mant_numerics::NumericsError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum DataType {
+    /// Symmetric INT4 (`[-7, 7]`).
+    Int4,
+    /// Symmetric INT8 (`[-127, 127]`).
+    Int8,
+    /// The MANT family member with a given coefficient.
+    Mant(Mant),
+    /// Power of two (ANT's Laplace type).
+    Pot4,
+    /// ANT's float-int hybrid.
+    Flint4,
+    /// NormalFloat per the paper's Eq. (3).
+    Nf4,
+    /// The exact QLoRA NF4 codebook.
+    QloraNf4,
+    /// MXFP4 element type (E2M1).
+    Fp4E2m1,
+    /// OliVe's outlier format.
+    AbFloat4(AbFloat),
+}
+
+impl DataType {
+    /// Bit width of one encoded element.
+    pub fn bits(&self) -> u8 {
+        match self {
+            DataType::Int8 => 8,
+            _ => 4,
+        }
+    }
+
+    /// The representable-value grid of this type.
+    pub fn grid(&self) -> Grid {
+        match self {
+            DataType::Int4 => int4_grid(),
+            DataType::Int8 => int8_grid(),
+            DataType::Mant(m) => m.grid(),
+            DataType::Pot4 => pot4_grid(),
+            DataType::Flint4 => flint4_grid(),
+            DataType::Nf4 => nf4_paper_grid(),
+            DataType::QloraNf4 => qlora_nf4_grid(),
+            DataType::Fp4E2m1 => fp4_e2m1_grid(),
+            DataType::AbFloat4(ab) => ab.grid(),
+        }
+    }
+
+    /// Whether the accelerator can compute on this type with integer
+    /// MAC/SAC units without a decode step (Tbl. I "Computation" column).
+    pub fn integer_computable(&self) -> bool {
+        matches!(
+            self,
+            DataType::Int4 | DataType::Int8 | DataType::Mant(_) | DataType::Pot4
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int4 => write!(f, "INT4"),
+            DataType::Int8 => write!(f, "INT8"),
+            DataType::Mant(m) => write!(f, "MANT(a={})", m.coefficient()),
+            DataType::Pot4 => write!(f, "PoT4"),
+            DataType::Flint4 => write!(f, "flint4"),
+            DataType::Nf4 => write!(f, "NF4"),
+            DataType::QloraNf4 => write!(f, "NF4(QLoRA)"),
+            DataType::Fp4E2m1 => write!(f, "FP4-E2M1"),
+            DataType::AbFloat4(ab) => write!(f, "abfloat4(e{},b{})", ab.exp_bits(), ab.bias()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mant::Mant;
+
+    #[test]
+    fn bits_classification() {
+        assert_eq!(DataType::Int8.bits(), 8);
+        assert_eq!(DataType::Int4.bits(), 4);
+        assert_eq!(DataType::Mant(Mant::default()).bits(), 4);
+        assert_eq!(DataType::Fp4E2m1.bits(), 4);
+    }
+
+    #[test]
+    fn all_grids_nonempty_and_symmetric_maxima() {
+        let types = [
+            DataType::Int4,
+            DataType::Int8,
+            DataType::Mant(Mant::new(17).unwrap()),
+            DataType::Pot4,
+            DataType::Flint4,
+            DataType::Nf4,
+            DataType::QloraNf4,
+            DataType::Fp4E2m1,
+            DataType::AbFloat4(AbFloat::default()),
+        ];
+        for t in types {
+            let g = t.grid();
+            assert!(!g.is_empty(), "{t}");
+            assert!(g.max_abs() > 0.0, "{t}");
+        }
+    }
+
+    #[test]
+    fn integer_computability_matches_table1() {
+        assert!(DataType::Int4.integer_computable());
+        assert!(DataType::Mant(Mant::default()).integer_computable());
+        assert!(DataType::Pot4.integer_computable());
+        // NF requires an FP16 MAC (Sec. III-B); clustering types need LUTs.
+        assert!(!DataType::Nf4.integer_computable());
+        assert!(!DataType::QloraNf4.integer_computable());
+        assert!(!DataType::Fp4E2m1.integer_computable());
+    }
+
+    #[test]
+    fn display_nonempty() {
+        for t in [
+            DataType::Int4,
+            DataType::Mant(Mant::default()),
+            DataType::AbFloat4(AbFloat::default()),
+        ] {
+            assert!(!t.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Error type for numeric-format construction and encoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or using a numeric format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NumericsError {
+    /// A MANT coefficient `a` outside the supported range.
+    ///
+    /// The paper constrains `a < 128` so that it can be stored in 8 bits
+    /// (Sec. IV-A: "we constrain the data range of a within 128").
+    InvalidCoefficient {
+        /// The rejected coefficient.
+        a: u32,
+    },
+    /// A quantization grid with no representable points.
+    EmptyGrid,
+    /// A grid point that is not a finite number.
+    NonFiniteGridPoint,
+    /// An `abfloat` configuration whose exponent range is unrepresentable.
+    InvalidAbFloat {
+        /// Number of exponent bits requested.
+        exp_bits: u8,
+    },
+}
+
+impl fmt::Display for NumericsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NumericsError::InvalidCoefficient { a } => {
+                write!(f, "MANT coefficient {a} exceeds the 8-bit limit (a < 128)")
+            }
+            NumericsError::EmptyGrid => write!(f, "quantization grid has no points"),
+            NumericsError::NonFiniteGridPoint => {
+                write!(f, "quantization grid contains a non-finite point")
+            }
+            NumericsError::InvalidAbFloat { exp_bits } => {
+                write!(f, "abfloat with {exp_bits} exponent bits is unrepresentable")
+            }
+        }
+    }
+}
+
+impl Error for NumericsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let msgs = [
+            NumericsError::InvalidCoefficient { a: 200 }.to_string(),
+            NumericsError::EmptyGrid.to_string(),
+            NumericsError::NonFiniteGridPoint.to_string(),
+            NumericsError::InvalidAbFloat { exp_bits: 9 }.to_string(),
+        ];
+        for m in msgs {
+            assert!(!m.is_empty());
+            assert!(!m.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NumericsError>();
+    }
+}

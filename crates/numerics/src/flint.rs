@@ -1,0 +1,68 @@
+//! ANT's `flint` type: a float-int hybrid fitted to Gaussian distributions.
+//!
+//! `flint` (ANT, MICRO'22) trades mantissa bits for exponent bits
+//! adaptively: values near zero are spaced like an integer, larger values
+//! grow exponentially with a single mantissa bit. We reproduce the 4-bit
+//! representable-value set; the exact bit-level wire format is irrelevant to
+//! accuracy experiments because only the value set determines rounding
+//! error.
+
+use crate::grid::Grid;
+
+/// The positive magnitudes of 4-bit flint: `{0, 1, 2, 3, 4, 6, 8, 12}`.
+///
+/// Dense (unit-spaced) through 4, then one mantissa bit per octave:
+/// `4, 6, 8, 12` — the float-like tail that fits Gaussian mass.
+pub fn flint4_levels() -> [f32; 8] {
+    [0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0]
+}
+
+/// The symmetric 4-bit flint grid.
+///
+/// # Example
+///
+/// ```
+/// use mant_numerics::flint4_grid;
+///
+/// assert_eq!(flint4_grid().quantize(10.5), 12.0);
+/// ```
+pub fn flint4_grid() -> Grid {
+    Grid::symmetric(&flint4_levels()).expect("flint levels are finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flint_grid_shape() {
+        let g = flint4_grid();
+        assert_eq!(g.len(), 15);
+        assert_eq!(g.max_abs(), 12.0);
+    }
+
+    #[test]
+    fn flint_between_int_and_pot_in_spread() {
+        // Normalized grid variance orders: PoT < flint < INT,
+        // matching their target distributions (Laplace < Gaussian < uniform).
+        fn nvar(g: &Grid) -> f64 {
+            let n = g.normalized();
+            let pts = n.points();
+            let len = pts.len() as f64;
+            let mean: f64 = pts.iter().map(|&p| p as f64).sum::<f64>() / len;
+            pts.iter().map(|&p| (p as f64 - mean).powi(2)).sum::<f64>() / len
+        }
+        let pot = nvar(&crate::pot::pot4_grid());
+        let flint = nvar(&flint4_grid());
+        let int = nvar(&crate::int::int4_grid());
+        assert!(pot < flint && flint < int, "{pot} {flint} {int}");
+    }
+
+    #[test]
+    fn flint_quantizes_gaussian_better_than_int_tail() {
+        // A value at 1/3 of max: flint has a point at 4/12 exactly.
+        let g = flint4_grid();
+        assert_eq!(g.quantize(4.1), 4.0);
+        assert_eq!(g.quantize(5.1), 6.0);
+    }
+}

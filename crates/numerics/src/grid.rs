@@ -1,0 +1,273 @@
+//! Finite quantization grids with nearest-point encoding.
+//!
+//! Every numeric format in this crate reduces, for accuracy purposes, to a
+//! finite set of representable real values. [`Grid`] stores that set sorted
+//! ascending and provides O(log n) nearest-point encode, decode, and the
+//! normalized views used throughout the paper's analysis (Figs. 5 and 6
+//! normalize every grid to its absolute maximum).
+
+use crate::error::NumericsError;
+
+/// A finite, sorted set of representable values of a numeric format.
+///
+/// # Example
+///
+/// ```
+/// use mant_numerics::Grid;
+///
+/// let grid = Grid::symmetric(&[1.0, 2.0, 4.0])?;
+/// assert_eq!(grid.points(), &[-4.0, -2.0, -1.0, 1.0, 2.0, 4.0]);
+/// assert_eq!(grid.quantize(2.9), 2.0);
+/// # Ok::<(), mant_numerics::NumericsError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Grid {
+    points: Vec<f32>,
+}
+
+impl Grid {
+    /// Creates a grid from arbitrary points; sorts and deduplicates them.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::EmptyGrid`] if `points` is empty and
+    /// [`NumericsError::NonFiniteGridPoint`] if any point is NaN or infinite.
+    pub fn from_points(mut points: Vec<f32>) -> Result<Self, NumericsError> {
+        if points.is_empty() {
+            return Err(NumericsError::EmptyGrid);
+        }
+        if points.iter().any(|p| !p.is_finite()) {
+            return Err(NumericsError::NonFiniteGridPoint);
+        }
+        points.sort_by(|a, b| a.partial_cmp(b).expect("points are finite"));
+        points.dedup();
+        Ok(Grid { points })
+    }
+
+    /// Creates a symmetric grid `{±m : m ∈ magnitudes}`.
+    ///
+    /// A zero magnitude contributes a single `0.0` point. This mirrors
+    /// sign-magnitude encodings: formats whose smallest magnitude is nonzero
+    /// (such as MANT, whose level for code 0 is `2^0 = 1`) get the full
+    /// `2 × |magnitudes|` points the paper counts in Fig. 6.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Grid::from_points`].
+    pub fn symmetric(magnitudes: &[f32]) -> Result<Self, NumericsError> {
+        let mut points = Vec::with_capacity(magnitudes.len() * 2);
+        for &m in magnitudes {
+            points.push(m);
+            points.push(-m);
+        }
+        Grid::from_points(points)
+    }
+
+    /// The representable values, sorted ascending.
+    pub fn points(&self) -> &[f32] {
+        &self.points
+    }
+
+    /// Number of representable values.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the grid is empty (never true for a constructed grid).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Largest absolute representable value.
+    pub fn max_abs(&self) -> f32 {
+        self.points
+            .iter()
+            .fold(0.0f32, |acc, p| acc.max(p.abs()))
+    }
+
+    /// Index of the nearest representable value to `x`.
+    ///
+    /// Ties are resolved toward the smaller value, matching
+    /// round-half-down on the midpoint; NaN encodes to index 0.
+    pub fn encode(&self, x: f32) -> usize {
+        if x.is_nan() {
+            return 0;
+        }
+        match self
+            .points
+            .binary_search_by(|p| p.partial_cmp(&x).expect("points are finite"))
+        {
+            Ok(i) => i,
+            Err(i) => {
+                if i == 0 {
+                    0
+                } else if i == self.points.len() {
+                    self.points.len() - 1
+                } else {
+                    let lo = self.points[i - 1];
+                    let hi = self.points[i];
+                    if (x - lo) <= (hi - x) {
+                        i - 1
+                    } else {
+                        i
+                    }
+                }
+            }
+        }
+    }
+
+    /// The representable value at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn decode(&self, index: usize) -> f32 {
+        self.points[index]
+    }
+
+    /// Rounds `x` to the nearest representable value.
+    pub fn quantize(&self, x: f32) -> f32 {
+        self.points[self.encode(x)]
+    }
+
+    /// The grid scaled so that its largest absolute value is 1.
+    ///
+    /// Used when comparing the *shape* of different formats (paper Figs. 5–6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grid is all zeros (max_abs of 0 cannot be normalized).
+    pub fn normalized(&self) -> Grid {
+        let m = self.max_abs();
+        assert!(m > 0.0, "cannot normalize an all-zero grid");
+        Grid {
+            points: self.points.iter().map(|p| p / m).collect(),
+        }
+    }
+
+    /// Mean squared quantization error of this grid over `data`.
+    ///
+    /// `data` is quantized with a symmetric scale mapping `max |data|` onto
+    /// [`Grid::max_abs`], the scheme used everywhere in the paper (Eq. (4)).
+    /// Returns 0 for empty data.
+    pub fn mse(&self, data: &[f32]) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let amax = data.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+        if amax == 0.0 {
+            // All-zero data quantizes to the nearest point to zero.
+            let q = self.quantize(0.0) as f64;
+            return q * q;
+        }
+        let scale = amax / self.max_abs();
+        let mut acc = 0.0f64;
+        for &v in data {
+            let q = self.quantize(v / scale) * scale;
+            let e = (v - q) as f64;
+            acc += e * e;
+        }
+        acc / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_points_sorts_and_dedups() {
+        let g = Grid::from_points(vec![3.0, -1.0, 3.0, 0.0]).unwrap();
+        assert_eq!(g.points(), &[-1.0, 0.0, 3.0]);
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn empty_grid_rejected() {
+        assert_eq!(Grid::from_points(vec![]), Err(NumericsError::EmptyGrid));
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        assert_eq!(
+            Grid::from_points(vec![1.0, f32::NAN]),
+            Err(NumericsError::NonFiniteGridPoint)
+        );
+        assert_eq!(
+            Grid::from_points(vec![f32::INFINITY]),
+            Err(NumericsError::NonFiniteGridPoint)
+        );
+    }
+
+    #[test]
+    fn symmetric_zero_collapses() {
+        let g = Grid::symmetric(&[0.0, 1.0]).unwrap();
+        assert_eq!(g.points(), &[-1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn symmetric_nonzero_min_doubles_points() {
+        // MANT-style: smallest magnitude 1 → 16 points for 8 magnitudes.
+        let mags: Vec<f32> = (0..8).map(|i| 17.0 * i as f32 + (1 << i) as f32).collect();
+        let g = Grid::symmetric(&mags).unwrap();
+        assert_eq!(g.len(), 16);
+    }
+
+    #[test]
+    fn encode_nearest_and_clamps() {
+        let g = Grid::from_points(vec![-2.0, 0.0, 1.0, 4.0]).unwrap();
+        assert_eq!(g.quantize(-100.0), -2.0);
+        assert_eq!(g.quantize(100.0), 4.0);
+        assert_eq!(g.quantize(0.4), 0.0);
+        assert_eq!(g.quantize(0.6), 1.0);
+        assert_eq!(g.quantize(1.0), 1.0);
+        // Midpoint ties go to the smaller value.
+        assert_eq!(g.quantize(2.5), 1.0);
+    }
+
+    #[test]
+    fn encode_nan_is_zero_index() {
+        let g = Grid::from_points(vec![-1.0, 1.0]).unwrap();
+        assert_eq!(g.encode(f32::NAN), 0);
+    }
+
+    #[test]
+    fn decode_roundtrips_encode_on_grid_points() {
+        let g = Grid::symmetric(&[1.0, 3.0, 9.0]).unwrap();
+        for (i, &p) in g.points().iter().enumerate() {
+            assert_eq!(g.encode(p), i);
+            assert_eq!(g.decode(i), p);
+        }
+    }
+
+    #[test]
+    fn normalized_max_is_one() {
+        let g = Grid::symmetric(&[1.0, 19.0, 247.0]).unwrap();
+        let n = g.normalized();
+        assert!((n.max_abs() - 1.0).abs() < 1e-6);
+        assert!((n.points()[0] + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_zero_for_representable_data() {
+        let g = Grid::symmetric(&[1.0, 2.0, 4.0]).unwrap();
+        // Data whose amax maps exactly onto the grid max.
+        let data = [4.0, -2.0, 1.0, 2.0];
+        assert!(g.mse(&data) < 1e-12);
+    }
+
+    #[test]
+    fn mse_positive_for_off_grid_data() {
+        let g = Grid::symmetric(&[1.0, 2.0, 4.0]).unwrap();
+        let data = [4.0, 3.1, -2.6];
+        assert!(g.mse(&data) > 0.0);
+    }
+
+    #[test]
+    fn mse_empty_and_all_zero() {
+        let g = Grid::symmetric(&[0.0, 1.0]).unwrap();
+        assert_eq!(g.mse(&[]), 0.0);
+        assert_eq!(g.mse(&[0.0, 0.0]), 0.0);
+    }
+}

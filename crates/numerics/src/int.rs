@@ -1,0 +1,91 @@
+//! Symmetric integer grids (INT4/INT8 and the general case).
+
+use crate::grid::Grid;
+
+/// Symmetric uniform grid `{-max, …, -1, 0, 1, …, max}`.
+///
+/// # Panics
+///
+/// Panics if `max == 0`.
+///
+/// # Example
+///
+/// ```
+/// use mant_numerics::uniform_symmetric_grid;
+///
+/// let int4 = uniform_symmetric_grid(7);
+/// assert_eq!(int4.len(), 15);
+/// assert_eq!(int4.max_abs(), 7.0);
+/// ```
+pub fn uniform_symmetric_grid(max: u32) -> Grid {
+    assert!(max > 0, "integer grid needs a positive maximum");
+    let mags: Vec<f32> = (0..=max).map(|i| i as f32).collect();
+    Grid::symmetric(&mags).expect("integer magnitudes are finite")
+}
+
+/// Symmetric INT4 grid over `[-7, 7]`, the paper's 4-bit baseline.
+pub fn int4_grid() -> Grid {
+    uniform_symmetric_grid(7)
+}
+
+/// Symmetric INT8 grid over `[-127, 127]`, used for activations (Sec. V-B).
+pub fn int8_grid() -> Grid {
+    uniform_symmetric_grid(127)
+}
+
+/// Quantizes `x` to a signed symmetric integer of the given magnitude,
+/// with round-to-nearest (ties away from zero) and saturation.
+///
+/// This is the hot-path scalar used by the activation quantizer; it avoids
+/// constructing a [`Grid`].
+pub fn quantize_symmetric_int(x: f32, max: i32) -> i32 {
+    if x.is_nan() {
+        return 0;
+    }
+    let r = x.round() as i64;
+    r.clamp(-i64::from(max), i64::from(max)) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int4_has_15_points() {
+        let g = int4_grid();
+        assert_eq!(g.len(), 15);
+        assert_eq!(g.points()[0], -7.0);
+        assert_eq!(g.points()[14], 7.0);
+    }
+
+    #[test]
+    fn int8_range() {
+        let g = int8_grid();
+        assert_eq!(g.len(), 255);
+        assert_eq!(g.max_abs(), 127.0);
+    }
+
+    #[test]
+    fn scalar_quantize_rounds_and_saturates() {
+        assert_eq!(quantize_symmetric_int(3.4, 7), 3);
+        assert_eq!(quantize_symmetric_int(3.5, 7), 4);
+        assert_eq!(quantize_symmetric_int(-3.5, 7), -4);
+        assert_eq!(quantize_symmetric_int(1000.0, 127), 127);
+        assert_eq!(quantize_symmetric_int(-1000.0, 127), -127);
+        assert_eq!(quantize_symmetric_int(f32::NAN, 7), 0);
+    }
+
+    #[test]
+    fn scalar_matches_grid() {
+        let g = int4_grid();
+        for x in [-7.6f32, -2.2, -0.49, 0.0, 0.51, 3.3, 6.9, 9.0] {
+            assert_eq!(quantize_symmetric_int(x, 7) as f32, g.quantize(x), "{x}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive maximum")]
+    fn zero_max_panics() {
+        let _ = uniform_symmetric_grid(0);
+    }
+}

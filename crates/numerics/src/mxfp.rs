@@ -1,0 +1,80 @@
+//! MXFP4: microscaling float — E2M1 elements with an E8M0 shared scale.
+//!
+//! MXFP (OCP Microscaling) resembles group quantization but constrains the
+//! per-block scale to a *power of two* (an 8-bit exponent, E8M0). The paper's
+//! Tbl. V shows this scale restriction costs accuracy (PPL 7.16 at G-32)
+//! relative to an FP16 scale.
+
+use crate::grid::Grid;
+
+/// Positive magnitudes of the FP4 E2M1 element type:
+/// `{0, 0.5, 1, 1.5, 2, 3, 4, 6}`.
+pub fn fp4_e2m1_levels() -> [f32; 8] {
+    [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]
+}
+
+/// The symmetric FP4 (E2M1) grid.
+///
+/// # Example
+///
+/// ```
+/// use mant_numerics::fp4_e2m1_grid;
+///
+/// assert_eq!(fp4_e2m1_grid().quantize(2.4), 2.0);
+/// ```
+pub fn fp4_e2m1_grid() -> Grid {
+    Grid::symmetric(&fp4_e2m1_levels()).expect("E2M1 levels are finite")
+}
+
+/// Rounds a positive scale to the nearest power of two not below the value
+/// needed to keep the block in range — the E8M0 shared-scale behaviour.
+///
+/// MX implementations take `ceil(log2(amax / elem_max))` so the block max
+/// never saturates; the cost is up to a 2× over-wide scale, which inflates
+/// rounding error (the Tbl. V effect).
+///
+/// Returns 1.0 for non-positive or non-finite input.
+pub fn e8m0_quantize_scale(ideal_scale: f32) -> f32 {
+    if !(ideal_scale > 0.0) || !ideal_scale.is_finite() {
+        return 1.0;
+    }
+    let e = ideal_scale.log2().ceil();
+    2.0f32.powi(e as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2m1_grid_shape() {
+        let g = fp4_e2m1_grid();
+        assert_eq!(g.len(), 15);
+        assert_eq!(g.max_abs(), 6.0);
+    }
+
+    #[test]
+    fn e8m0_rounds_up_to_power_of_two() {
+        assert_eq!(e8m0_quantize_scale(1.0), 1.0);
+        assert_eq!(e8m0_quantize_scale(1.1), 2.0);
+        assert_eq!(e8m0_quantize_scale(2.0), 2.0);
+        assert_eq!(e8m0_quantize_scale(3.7), 4.0);
+        assert_eq!(e8m0_quantize_scale(0.3), 0.5);
+    }
+
+    #[test]
+    fn e8m0_degenerate_inputs() {
+        assert_eq!(e8m0_quantize_scale(0.0), 1.0);
+        assert_eq!(e8m0_quantize_scale(-1.0), 1.0);
+        assert_eq!(e8m0_quantize_scale(f32::NAN), 1.0);
+        assert_eq!(e8m0_quantize_scale(f32::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn e8m0_never_saturates_block_max() {
+        // scale ≥ ideal scale always, so amax/scale ≤ elem_max.
+        for ideal in [0.7f32, 1.3, 5.9, 100.0, 0.011] {
+            assert!(e8m0_quantize_scale(ideal) >= ideal * 0.999_999);
+        }
+    }
+}

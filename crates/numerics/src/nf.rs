@@ -1,0 +1,117 @@
+//! NormalFloat (NF) grids: Gaussian-quantile data types from QLoRA.
+//!
+//! The paper defines NF for its comparison (Eq. (3)) as
+//! `y_NF(i) = Φ⁻¹(i·(1−ε)·0.5/7 + 0.5)`, `i ∈ [0, 7]`, a symmetric 8-level
+//! positive half; we also provide the exact asymmetric 16-entry NF4 table
+//! from QLoRA for completeness.
+
+use crate::grid::Grid;
+use crate::probit::probit;
+
+/// The ε that keeps Φ⁻¹ finite at `i = 7`. The paper leaves ε unspecified;
+/// we follow QLoRA's convention of a half-bin offset, `1/15`.
+pub const NF_EPSILON: f64 = 1.0 / 15.0;
+
+/// Positive NF levels per the paper's Eq. (3), normalized to max 1.
+pub fn nf4_paper_levels() -> [f32; 8] {
+    let mut raw = [0.0f64; 8];
+    for (i, slot) in raw.iter_mut().enumerate().skip(1) {
+        let p = i as f64 * (1.0 - NF_EPSILON) * 0.5 / 7.0 + 0.5;
+        *slot = probit(p);
+    }
+    let max = raw[7];
+    let mut out = [0.0f32; 8];
+    for (o, r) in out.iter_mut().zip(raw.iter()) {
+        *o = (r / max) as f32;
+    }
+    out
+}
+
+/// The symmetric NF4 grid per the paper's formulation.
+///
+/// # Example
+///
+/// ```
+/// use mant_numerics::nf4_paper_grid;
+///
+/// let g = nf4_paper_grid();
+/// assert_eq!(g.len(), 15); // ±7 nonzero quantiles + shared zero
+/// ```
+pub fn nf4_paper_grid() -> Grid {
+    Grid::symmetric(&nf4_paper_levels()).expect("NF levels are finite")
+}
+
+/// The exact NF4 codebook from QLoRA (Dettmers et al., 2023), 16 asymmetric
+/// values in `[-1, 1]` built from 2⁴+1 Gaussian quantiles.
+pub fn qlora_nf4_grid() -> Grid {
+    const NF4: [f32; 16] = [
+        -1.0,
+        -0.696_192_8,
+        -0.525_073_05,
+        -0.394_917_48,
+        -0.284_441_38,
+        -0.184_773_43,
+        -0.091_050_03,
+        0.0,
+        0.079_580_29,
+        0.160_930_2,
+        0.246_112_3,
+        0.337_915_24,
+        0.440_709_83,
+        0.562_617,
+        0.722_956_84,
+        1.0,
+    ];
+    Grid::from_points(NF4.to_vec()).expect("NF4 table is finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_levels_monotone_and_normalized() {
+        let l = nf4_paper_levels();
+        assert_eq!(l[0], 0.0);
+        assert!((l[7] - 1.0).abs() < 1e-6);
+        for i in 1..8 {
+            assert!(l[i] > l[i - 1]);
+        }
+    }
+
+    #[test]
+    fn paper_levels_densest_near_zero() {
+        // Gaussian quantiles: spacing grows toward the tail.
+        let l = nf4_paper_levels();
+        let first_gap = l[1] - l[0];
+        let last_gap = l[7] - l[6];
+        assert!(last_gap > 2.0 * first_gap, "{first_gap} vs {last_gap}");
+    }
+
+    #[test]
+    fn qlora_table_shape() {
+        let g = qlora_nf4_grid();
+        assert_eq!(g.len(), 16);
+        assert_eq!(g.points()[0], -1.0);
+        assert_eq!(g.points()[15], 1.0);
+        assert_eq!(g.quantize(0.05), 0.079_580_29);
+    }
+
+    #[test]
+    fn paper_nf_close_to_qlora_positive_half() {
+        // Same construction principle → the positive halves should agree to
+        // a few percent despite differing offset conventions.
+        let paper = nf4_paper_levels();
+        let qlora = qlora_nf4_grid();
+        let pos: Vec<f32> = qlora.points().iter().copied().filter(|&p| p >= 0.0).collect();
+        assert_eq!(pos.len(), 9); // 0 plus 8 positives? No: 0 + 8 = 9 minus shared → table has 0..1 in 9 entries
+        for (i, &p) in paper.iter().enumerate().skip(1).take(6) {
+            // Compare against the nearest QLoRA positive entry.
+            let nearest = pos
+                .iter()
+                .map(|&q| (q - p).abs())
+                .fold(f32::INFINITY, f32::min);
+            assert!(nearest < 0.06, "level {i}: {p} off by {nearest}");
+        }
+    }
+}

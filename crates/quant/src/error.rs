@@ -1,0 +1,58 @@
+//! Error type for the quantization framework.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by quantizer construction or use.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QuantError {
+    /// A group size of zero or one that does not divide the inner dimension.
+    BadGroupSize {
+        /// Requested group size.
+        group_size: usize,
+        /// Inner dimension it must divide.
+        inner_dim: usize,
+    },
+    /// A shape mismatch between cooperating tensors.
+    ShapeMismatch {
+        /// Human-readable context.
+        context: &'static str,
+    },
+    /// An empty candidate set for coefficient search.
+    EmptyCandidateSet,
+}
+
+impl fmt::Display for QuantError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantError::BadGroupSize {
+                group_size,
+                inner_dim,
+            } => write!(
+                f,
+                "group size {group_size} does not evenly divide inner dimension {inner_dim}"
+            ),
+            QuantError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            QuantError::EmptyCandidateSet => write!(f, "coefficient candidate set is empty"),
+        }
+    }
+}
+
+impl Error for QuantError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(QuantError::BadGroupSize {
+            group_size: 3,
+            inner_dim: 64
+        }
+        .to_string()
+        .contains("64"));
+        assert!(!QuantError::EmptyCandidateSet.to_string().is_empty());
+    }
+}

@@ -1,0 +1,482 @@
+//! Real-time KV-cache quantization (paper Sec. V-C, Fig. 8).
+//!
+//! The K and V caches are "dynamic weights", but their inner (accumulation)
+//! dimensions differ:
+//!
+//! - `Q·Kᵀ` accumulates over the **head dimension**, so each arriving key
+//!   vector contains *whole* groups → the K cache quantizes **spatially**,
+//!   immediately on arrival.
+//! - `P·V` accumulates over the **sequence dimension**, so each arriving
+//!   value vector contributes *one element per group* → the V cache
+//!   quantizes **temporally**, in two phases: new vectors are staged in an
+//!   INT8 process window (with channel scales from prefill) while the RQU
+//!   accumulates `Σv`, `Σv²`, and `max|v|` per channel; when the window
+//!   fills (one group size of iterations), variance selects `a` and the
+//!   window is committed to 4-bit MANT.
+
+use mant_numerics::fp16::quantize_fp16;
+use mant_numerics::int::quantize_symmetric_int;
+use mant_tensor::{abs_max, Matrix, RunningGroupStats};
+
+use crate::error::QuantError;
+use crate::mantq::GroupMeta;
+use crate::variance::VarianceMap;
+
+/// Spatial real-time quantizer for the K cache.
+///
+/// Keys are stored as rows of length `dim` (the head dimension), each row
+/// grouped along `dim` and quantized the moment it arrives.
+#[derive(Clone, Debug)]
+pub struct KCacheQuantizer {
+    dim: usize,
+    group_size: usize,
+    vmap: VarianceMap,
+    codes: Vec<u8>,
+    meta: Vec<GroupMeta>,
+    rows: usize,
+}
+
+impl KCacheQuantizer {
+    /// Creates a K-cache quantizer for key vectors of length `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadGroupSize`] if `group_size` does not divide
+    /// `dim`.
+    pub fn new(dim: usize, group_size: usize, vmap: VarianceMap) -> Result<Self, QuantError> {
+        if group_size == 0 || dim % group_size != 0 {
+            return Err(QuantError::BadGroupSize {
+                group_size,
+                inner_dim: dim,
+            });
+        }
+        Ok(KCacheQuantizer {
+            dim,
+            group_size,
+            vmap,
+            codes: Vec::new(),
+            meta: Vec::new(),
+            rows: 0,
+        })
+    }
+
+    /// Number of cached key vectors.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The head dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Quantizes and appends one key vector (one decode step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k.len() != dim`.
+    pub fn push(&mut self, k: &[f32]) {
+        assert_eq!(k.len(), self.dim, "key vector length mismatch");
+        for group in k.chunks_exact(self.group_size) {
+            let mut stats = RunningGroupStats::new();
+            stats.extend_from_slice(group);
+            let dtype = self.vmap.select_for(&stats);
+            let scale = dtype.scale_for(stats.abs_max());
+            self.meta.push(GroupMeta { dtype, scale });
+            for &x in group {
+                self.codes.push(dtype.encode(x, scale));
+            }
+        }
+        self.rows += 1;
+    }
+
+    /// Quantizes a whole prefill K matrix (`seq × dim`) row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k.cols() != dim`.
+    pub fn prefill(&mut self, k: &Matrix) {
+        assert_eq!(k.cols(), self.dim, "prefill width mismatch");
+        for r in 0..k.rows() {
+            self.push(k.row(r));
+        }
+    }
+
+    /// Dequantizes the cache to a `seq × dim` matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let gpr = self.dim / self.group_size;
+        Matrix::from_fn(self.rows, self.dim, |r, c| {
+            let g = c / self.group_size;
+            let m = self.meta[r * gpr + g];
+            m.dtype.decode(self.codes[r * self.dim + c]) * m.scale
+        })
+    }
+
+    /// Storage bits: 4 per element + 24 per group (scale + coefficient).
+    pub fn storage_bits(&self) -> usize {
+        self.codes.len() * 4 + self.meta.len() * 24
+    }
+}
+
+/// One committed (fully quantized) V-cache window: `group_size` rows, each
+/// channel with its own type/scale.
+#[derive(Clone, Debug)]
+struct CommittedWindow {
+    /// Per-channel metadata (`dim` entries).
+    meta: Vec<GroupMeta>,
+    /// Codes in `[t][c]` row-major order (`group_size × dim` nibbles).
+    codes: Vec<u8>,
+}
+
+/// Temporal two-phase real-time quantizer for the V cache (Fig. 8).
+#[derive(Clone, Debug)]
+pub struct VCacheQuantizer {
+    dim: usize,
+    group_size: usize,
+    vmap: VarianceMap,
+    /// Per-channel INT8 scales for the staging window (from prefill, or
+    /// bootstrapped from the first vectors seen).
+    channel_scales: Vec<f32>,
+    /// Phase-1 staging buffer: INT8 rows, at most `group_size` of them.
+    window: Vec<Vec<i8>>,
+    /// RQU accumulators per channel over the current window.
+    stats: Vec<RunningGroupStats>,
+    committed: Vec<CommittedWindow>,
+}
+
+impl VCacheQuantizer {
+    /// Creates a V-cache quantizer for value vectors of length `dim`; the
+    /// process window spans `group_size` decode iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadGroupSize`] if `group_size` is zero.
+    pub fn new(dim: usize, group_size: usize, vmap: VarianceMap) -> Result<Self, QuantError> {
+        if group_size == 0 {
+            return Err(QuantError::BadGroupSize {
+                group_size,
+                inner_dim: dim,
+            });
+        }
+        Ok(VCacheQuantizer {
+            dim,
+            group_size,
+            vmap,
+            channel_scales: vec![0.0; dim],
+            window: Vec::new(),
+            stats: vec![RunningGroupStats::new(); dim],
+            committed: Vec::new(),
+        })
+    }
+
+    /// Number of cached value vectors (committed + staged).
+    pub fn len(&self) -> usize {
+        self.committed.len() * self.group_size + self.window.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rows currently staged in the INT8 process window.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Number of committed 4-bit windows.
+    pub fn committed_windows(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Ingests a whole prefill V matrix (`seq × dim`): derives channel
+    /// scales, commits every full window spatially, stages the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.cols() != dim`.
+    pub fn prefill(&mut self, v: &Matrix) {
+        assert_eq!(v.cols(), self.dim, "prefill width mismatch");
+        // Channel-wise INT8 scales for the decode-stage staging window are
+        // derived from the prefill statistics (Sec. V-C: "scales" in Fig. 8).
+        for c in 0..self.dim {
+            let amax = abs_max(&v.col(c));
+            self.channel_scales[c] = int8_scale(amax);
+        }
+        for r in 0..v.rows() {
+            self.push(v.row(r));
+        }
+    }
+
+    /// Phase 1 of Fig. 8: quantizes one value vector to INT8 into the
+    /// process window and updates the per-channel `Σv/Σv²/max`
+    /// accumulators; when the window fills, runs phase 2 (commit to MANT4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim`.
+    pub fn push(&mut self, v: &[f32]) {
+        assert_eq!(v.len(), self.dim, "value vector length mismatch");
+        let mut row = Vec::with_capacity(self.dim);
+        for (c, &x) in v.iter().enumerate() {
+            if self.channel_scales[c] == 0.0 && x != 0.0 {
+                // No prefill happened: bootstrap the channel scale from the
+                // first nonzero observation.
+                self.channel_scales[c] = int8_scale(x.abs());
+            }
+            if x.abs() > 127.0 * self.channel_scales[c] {
+                // The channel outgrew its prefill range: widen the scale
+                // and re-encode the staged codes for this channel (cheap —
+                // the window holds at most one group of rows).
+                let old = self.channel_scales[c].max(f32::MIN_POSITIVE);
+                let new = int8_scale(x.abs());
+                for staged in &mut self.window {
+                    let rescaled = f32::from(staged[c]) * old / new;
+                    staged[c] = quantize_symmetric_int(rescaled, 127) as i8;
+                }
+                self.channel_scales[c] = new;
+            }
+            let s = self.channel_scales[c].max(f32::MIN_POSITIVE);
+            row.push(quantize_symmetric_int(x / s, 127) as i8);
+            self.stats[c].push(x);
+        }
+        self.window.push(row);
+        if self.window.len() == self.group_size {
+            self.commit_window();
+        }
+    }
+
+    /// Phase 2 of Fig. 8: variance → `a`, then requantize the staged INT8
+    /// window to 4-bit MANT, one group per channel.
+    fn commit_window(&mut self) {
+        let mut meta = Vec::with_capacity(self.dim);
+        let mut codes = vec![0u8; self.group_size * self.dim];
+        for c in 0..self.dim {
+            let dtype = self.vmap.select_for(&self.stats[c]);
+            // The group contents are the *staged INT8* values (the paper
+            // requantizes the stacked INT8 V cache), so the scale comes
+            // from their dequantized max.
+            let s8 = self.channel_scales[c].max(f32::MIN_POSITIVE);
+            let amax = self
+                .window
+                .iter()
+                .map(|row| (f32::from(row[c]) * s8).abs())
+                .fold(0.0f32, f32::max);
+            let scale = dtype.scale_for(amax);
+            meta.push(GroupMeta { dtype, scale });
+            for (t, row) in self.window.iter().enumerate() {
+                let x = f32::from(row[c]) * s8;
+                codes[t * self.dim + c] = dtype.encode(x, scale);
+            }
+            self.stats[c].reset();
+        }
+        self.committed.push(CommittedWindow { meta, codes });
+        self.window.clear();
+    }
+
+    /// Dequantizes the full cache (committed 4-bit windows + INT8 staging
+    /// rows) to a `seq × dim` matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        for w in &self.committed {
+            for t in 0..self.group_size {
+                let row: Vec<f32> = (0..self.dim)
+                    .map(|c| {
+                        let m = w.meta[c];
+                        m.dtype.decode(w.codes[t * self.dim + c]) * m.scale
+                    })
+                    .collect();
+                out.push_row(&row);
+            }
+        }
+        for row8 in &self.window {
+            let row: Vec<f32> = row8
+                .iter()
+                .enumerate()
+                .map(|(c, &q)| f32::from(q) * self.channel_scales[c].max(f32::MIN_POSITIVE))
+                .collect();
+            out.push_row(&row);
+        }
+        if out.rows() == 0 {
+            Matrix::zeros(0, self.dim)
+        } else {
+            out
+        }
+    }
+
+    /// Storage bits: committed windows at 4 bits + 24-bit group metadata;
+    /// staged rows at 8 bits (the "marginal and tolerable" INT8 overhead).
+    pub fn storage_bits(&self) -> usize {
+        let committed = self.committed.len() * (self.group_size * self.dim * 4 + self.dim * 24);
+        let staged = self.window.len() * self.dim * 8;
+        committed + staged
+    }
+}
+
+/// FP16-rounded INT8 scale for a given max magnitude.
+fn int8_scale(amax: f32) -> f32 {
+    if amax == 0.0 {
+        0.0
+    } else {
+        quantize_fp16(amax / 127.0).max(f32::MIN_POSITIVE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::CandidateSet;
+    use mant_tensor::{mse, TensorGenerator};
+
+    fn vmap() -> VarianceMap {
+        VarianceMap::analytic(&CandidateSet::paper()).unwrap()
+    }
+
+    fn relative_error(orig: &Matrix, deq: &Matrix) -> f64 {
+        let err = mse(orig.as_slice(), deq.as_slice());
+        let power = mse(orig.as_slice(), &vec![0.0; orig.len()]);
+        err / power.max(1e-30)
+    }
+
+    #[test]
+    fn k_cache_spatial_roundtrip() {
+        let mut gen = TensorGenerator::new(71);
+        let mut kq = KCacheQuantizer::new(128, 64, vmap()).unwrap();
+        let k = gen.group_diverse_matrix(40, 128, 64, 0.5);
+        kq.prefill(&k);
+        assert_eq!(kq.len(), 40);
+        let deq = kq.dequantize();
+        assert_eq!(deq.shape(), (40, 128));
+        // Variance-based type selection is a fast surrogate for the MSE
+        // search; its 4-bit error stays within a few percent.
+        assert!(
+            relative_error(&k, &deq) < 0.05,
+            "{}",
+            relative_error(&k, &deq)
+        );
+    }
+
+    #[test]
+    fn k_cache_incremental_matches_batch() {
+        let mut gen = TensorGenerator::new(72);
+        let k = gen.group_diverse_matrix(10, 128, 64, 0.5);
+        let mut a = KCacheQuantizer::new(128, 64, vmap()).unwrap();
+        a.prefill(&k);
+        let mut b = KCacheQuantizer::new(128, 64, vmap()).unwrap();
+        for r in 0..k.rows() {
+            b.push(k.row(r));
+        }
+        assert_eq!(a.dequantize().as_slice(), b.dequantize().as_slice());
+    }
+
+    #[test]
+    fn k_cache_bad_group_size() {
+        assert!(KCacheQuantizer::new(100, 64, vmap()).is_err());
+    }
+
+    #[test]
+    fn v_cache_two_phase_counts() {
+        let mut gen = TensorGenerator::new(73);
+        let mut vq = VCacheQuantizer::new(32, 8, vmap()).unwrap();
+        let v = gen.group_diverse_matrix(20, 32, 32, 0.5);
+        vq.prefill(&v);
+        // 20 rows with window 8 → 2 committed windows + 4 staged rows.
+        assert_eq!(vq.committed_windows(), 2);
+        assert_eq!(vq.window_len(), 4);
+        assert_eq!(vq.len(), 20);
+    }
+
+    #[test]
+    fn v_cache_roundtrip_error_small() {
+        let mut gen = TensorGenerator::new(74);
+        let mut vq = VCacheQuantizer::new(64, 16, vmap()).unwrap();
+        let v = gen.group_diverse_matrix(64, 64, 64, 0.5);
+        vq.prefill(&v);
+        let deq = vq.dequantize();
+        assert_eq!(deq.shape(), (64, 64));
+        // 4-bit committed + INT8 staged: overall error stays small.
+        assert!(relative_error(&v, &deq) < 0.03, "{}", relative_error(&v, &deq));
+    }
+
+    #[test]
+    fn v_cache_window_commits_on_fill() {
+        let mut gen = TensorGenerator::new(75);
+        let mut vq = VCacheQuantizer::new(16, 4, vmap()).unwrap();
+        for i in 0..4 {
+            let row: Vec<f32> = (0..16).map(|_| gen.uniform(-1.0, 1.0)).collect();
+            vq.push(&row);
+            if i < 3 {
+                assert_eq!(vq.committed_windows(), 0);
+                assert_eq!(vq.window_len(), i + 1);
+            }
+        }
+        assert_eq!(vq.committed_windows(), 1);
+        assert_eq!(vq.window_len(), 0);
+    }
+
+    #[test]
+    fn v_cache_decode_only_bootstraps_scales() {
+        // No prefill at all: the engine must still work (scales bootstrap).
+        let mut gen = TensorGenerator::new(76);
+        let mut vq = VCacheQuantizer::new(8, 4, vmap()).unwrap();
+        let mut rows = Matrix::zeros(0, 0);
+        for _ in 0..8 {
+            let row: Vec<f32> = (0..8).map(|_| gen.uniform(-2.0, 2.0)).collect();
+            vq.push(&row);
+            rows.push_row(&row);
+        }
+        let deq = vq.dequantize();
+        assert_eq!(deq.shape(), (8, 8));
+        // Bootstrapped scales may clip later larger values; error is
+        // bounded but nonzero.
+        assert!(relative_error(&rows, &deq) < 0.3);
+    }
+
+    #[test]
+    fn v_cache_recent_tokens_kept_at_int8() {
+        // The staging window holds the newest tokens in INT8 — the paper
+        // argues this *helps* quality since recent tokens matter more. The
+        // staged rows should be more accurate than committed 4-bit rows.
+        let mut gen = TensorGenerator::new(77);
+        let mut vq = VCacheQuantizer::new(32, 16, vmap()).unwrap();
+        let v = gen.group_diverse_matrix(24, 32, 32, 0.5);
+        vq.prefill(&v); // 1 window committed, 8 rows staged
+        let deq = vq.dequantize();
+        let committed_err = mse(
+            &v.as_slice()[..16 * 32],
+            &deq.as_slice()[..16 * 32],
+        );
+        let staged_err = mse(&v.as_slice()[16 * 32..], &deq.as_slice()[16 * 32..]);
+        assert!(staged_err < committed_err, "{staged_err} vs {committed_err}");
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let mut vq = VCacheQuantizer::new(16, 4, vmap()).unwrap();
+        for _ in 0..6 {
+            vq.push(&vec![0.5; 16]);
+        }
+        // 1 committed window (4×16 codes + 16 metas) + 2 staged rows.
+        assert_eq!(
+            vq.storage_bits(),
+            (4 * 16 * 4 + 16 * 24) + 2 * 16 * 8
+        );
+        let mut kq = KCacheQuantizer::new(16, 16, vmap()).unwrap();
+        kq.push(&vec![0.5; 16]);
+        assert_eq!(kq.storage_bits(), 16 * 4 + 24);
+    }
+
+    #[test]
+    fn empty_caches() {
+        let kq = KCacheQuantizer::new(16, 16, vmap()).unwrap();
+        assert!(kq.is_empty());
+        let vq = VCacheQuantizer::new(16, 4, vmap()).unwrap();
+        assert!(vq.is_empty());
+        assert_eq!(vq.dequantize().shape(), (0, 16));
+    }
+}

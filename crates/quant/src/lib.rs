@@ -1,0 +1,42 @@
+//! The M-ANT group-wise quantization framework (paper Secs. IV–V).
+//!
+//! This crate turns the raw numeric formats of `mant-numerics` into a full
+//! quantization system:
+//!
+//! - [`scheme`]: granularities (tensor / channel / group) and schemes;
+//! - [`quantizer`]: the generic [`FakeQuantizer`] interface all methods
+//!   implement, plus grid-based INT/FP16 reference quantizers;
+//! - [`mantq`]: the MANT weight quantizer — per-group coefficient search
+//!   over the paper's candidate set, quantized storage, exact dequantize;
+//! - [`search`]: MSE and calibration-weighted coefficient selection
+//!   (paper Eq. (6));
+//! - [`variance`]: the variance→`a` mapping used for real-time KV-cache
+//!   selection (paper Sec. V-C, Eq. (7));
+//! - [`activation`]: group-wise INT8 activation quantization with a
+//!   streaming max (paper Sec. V-B);
+//! - [`fused`]: the decode-free integer GEMM of Eq. (5) — `psum1` via
+//!   multiply-accumulate, `psum2` via shift-accumulate;
+//! - [`kv`]: real-time K-cache (spatial) and V-cache (two-phase temporal)
+//!   quantization engines (paper Sec. V-C, Fig. 8).
+
+pub mod activation;
+pub mod error;
+pub mod fused;
+pub mod kv;
+pub mod mantq;
+pub mod quantizer;
+pub mod scheme;
+pub mod search;
+pub mod smooth;
+pub mod variance;
+
+pub use activation::{quantize_activations_int8, ActivationTensor};
+pub use error::QuantError;
+pub use fused::{dequant_then_gemm, mant_gemm};
+pub use kv::{KCacheQuantizer, VCacheQuantizer};
+pub use mantq::{GroupDtype, MantQuantizedMatrix, MantWeightQuantizer};
+pub use quantizer::{FakeQuantizer, Fp16Quantizer, GridQuantizer};
+pub use scheme::Granularity;
+pub use search::{select_group_dtype, select_group_dtype_weighted, CandidateSet};
+pub use smooth::Smoother;
+pub use variance::VarianceMap;

@@ -1,0 +1,442 @@
+//! MANT weight quantization: per-group adaptive types with packed storage.
+
+use mant_numerics::fp16::quantize_fp16;
+use mant_numerics::{int4_grid, Grid, Mant, MantCode, NumericsError};
+use mant_tensor::{abs_max, Matrix};
+
+use crate::error::QuantError;
+use crate::quantizer::FakeQuantizer;
+use crate::search::{select_group_dtype_weighted, CandidateSet};
+
+/// The data type assigned to one group: a MANT coefficient or plain INT4
+/// (the paper's search set is 15 coefficients "and an additional INT
+/// option", Sec. V-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GroupDtype {
+    /// A MANT family member.
+    Mant(Mant),
+    /// Symmetric INT4.
+    Int4,
+}
+
+impl GroupDtype {
+    /// A MANT group type with coefficient `a`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidCoefficient`] if `a ≥ 128`.
+    pub fn mant(a: u32) -> Result<Self, NumericsError> {
+        Ok(GroupDtype::Mant(Mant::new(a)?))
+    }
+
+    /// The largest unscaled level of the type's grid.
+    pub fn max_level(&self) -> f32 {
+        match self {
+            GroupDtype::Mant(m) => m.max_level() as f32,
+            GroupDtype::Int4 => 7.0,
+        }
+    }
+
+    /// The symmetric scale mapping a group of max-magnitude `amax` onto this
+    /// type, rounded through FP16 like the stored metadata (Eq. (4)).
+    pub fn scale_for(&self, amax: f32) -> f32 {
+        if amax == 0.0 {
+            return 1.0;
+        }
+        quantize_fp16(amax / self.max_level()).max(f32::MIN_POSITIVE)
+    }
+
+    /// Encodes `x / scale` to a 4-bit code.
+    pub fn encode(&self, x: f32, scale: f32) -> u8 {
+        let v = x / scale;
+        match self {
+            GroupDtype::Mant(m) => m.encode(v).to_bits(),
+            GroupDtype::Int4 => {
+                let q = mant_numerics::int::quantize_symmetric_int(v, 7);
+                (q as i8 as u8) & 0x0f
+            }
+        }
+    }
+
+    /// Decodes a 4-bit code to its unscaled value.
+    pub fn decode(&self, code: u8) -> f32 {
+        match self {
+            GroupDtype::Mant(m) => m.decode(MantCode::from_bits(code)) as f32,
+            GroupDtype::Int4 => {
+                // Sign-extend the low nibble.
+                (((code << 4) as i8) >> 4) as f32
+            }
+        }
+    }
+
+    /// Quantizes a value through encode/decode at the given scale.
+    pub fn quantize_value(&self, x: f32, scale: f32) -> f32 {
+        self.decode(self.encode(x, scale)) * scale
+    }
+
+    /// The representable-value grid (unscaled).
+    pub fn grid(&self) -> Grid {
+        match self {
+            GroupDtype::Mant(m) => m.grid(),
+            GroupDtype::Int4 => int4_grid(),
+        }
+    }
+
+    /// A short label (`"a=17"`, `"INT"`) for histograms (Fig. 15).
+    pub fn label(&self) -> String {
+        match self {
+            GroupDtype::Mant(m) => format!("a={}", m.coefficient()),
+            GroupDtype::Int4 => "INT".to_owned(),
+        }
+    }
+}
+
+/// Per-group metadata: the selected type and the FP16 scale — exactly the
+/// paper's per-group storage (16-bit scale + 8-bit coefficient).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroupMeta {
+    /// The selected data type.
+    pub dtype: GroupDtype,
+    /// The symmetric scale factor.
+    pub scale: f32,
+}
+
+/// A weight matrix quantized group-wise with MANT.
+///
+/// Layout: `rows` output channels, each row's `cols` elements along the
+/// accumulation dimension split into `cols / group_size` groups. Codes are
+/// stored one nibble per byte (packing is a storage-accounting detail; see
+/// [`MantQuantizedMatrix::storage_bits`]).
+#[derive(Clone, Debug)]
+pub struct MantQuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    group_size: usize,
+    codes: Vec<u8>,
+    meta: Vec<GroupMeta>,
+}
+
+impl MantQuantizedMatrix {
+    /// Quantizes `w` with per-group MSE search over `set`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadGroupSize`] if `group_size` does not divide
+    /// `w.cols()`, or [`QuantError::EmptyCandidateSet`].
+    pub fn quantize(
+        w: &Matrix,
+        group_size: usize,
+        set: &CandidateSet,
+    ) -> Result<Self, QuantError> {
+        Self::quantize_weighted(w, group_size, set, None)
+    }
+
+    /// Quantizes with calibration-weighted selection: `col_weights[j]` is
+    /// the second moment `E[x_j²]` of the activation feeding column `j`
+    /// (the diagonal surrogate of Eq. (6)).
+    ///
+    /// # Errors
+    ///
+    /// As [`MantQuantizedMatrix::quantize`], plus
+    /// [`QuantError::ShapeMismatch`] if `col_weights` length differs from
+    /// `w.cols()`.
+    pub fn quantize_weighted(
+        w: &Matrix,
+        group_size: usize,
+        set: &CandidateSet,
+        col_weights: Option<&[f32]>,
+    ) -> Result<Self, QuantError> {
+        if group_size == 0 || w.cols() % group_size != 0 {
+            return Err(QuantError::BadGroupSize {
+                group_size,
+                inner_dim: w.cols(),
+            });
+        }
+        if let Some(cw) = col_weights {
+            if cw.len() != w.cols() {
+                return Err(QuantError::ShapeMismatch {
+                    context: "calibration column weights vs weight columns",
+                });
+            }
+        }
+        let groups_per_row = w.cols() / group_size;
+        let mut codes = vec![0u8; w.rows() * w.cols()];
+        let mut meta = Vec::with_capacity(w.rows() * groups_per_row);
+        for r in 0..w.rows() {
+            let row = w.row(r);
+            for g in 0..groups_per_row {
+                let lo = g * group_size;
+                let hi = lo + group_size;
+                let group = &row[lo..hi];
+                let gw = col_weights.map(|cw| &cw[lo..hi]);
+                let (dtype, _) = select_group_dtype_weighted(group, gw, set)?;
+                let scale = dtype.scale_for(abs_max(group));
+                meta.push(GroupMeta { dtype, scale });
+                let base = r * w.cols() + lo;
+                for (j, &x) in group.iter().enumerate() {
+                    codes[base + j] = dtype.encode(x, scale);
+                }
+            }
+        }
+        Ok(MantQuantizedMatrix {
+            rows: w.rows(),
+            cols: w.cols(),
+            group_size,
+            codes,
+            meta,
+        })
+    }
+
+    /// Number of output channels (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Accumulation-dimension length (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The group size.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Groups per row.
+    pub fn groups_per_row(&self) -> usize {
+        self.cols / self.group_size
+    }
+
+    /// Metadata for group `g` of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn meta(&self, r: usize, g: usize) -> GroupMeta {
+        self.meta[r * self.groups_per_row() + g]
+    }
+
+    /// The 4-bit codes of group `g` in row `r` (one nibble per byte).
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn group_codes(&self, r: usize, g: usize) -> &[u8] {
+        let base = r * self.cols + g * self.group_size;
+        &self.codes[base..base + self.group_size]
+    }
+
+    /// Dequantizes to an f32 matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let gpr = self.groups_per_row();
+        Matrix::from_fn(self.rows, self.cols, |r, c| {
+            let g = c / self.group_size;
+            let m = self.meta[r * gpr + g];
+            m.dtype.decode(self.codes[r * self.cols + c]) * m.scale
+        })
+    }
+
+    /// Total storage in bits: 4 bits per element plus per-group metadata
+    /// (16-bit FP16 scale + 8-bit coefficient).
+    pub fn storage_bits(&self) -> usize {
+        self.codes.len() * 4 + self.meta.len() * (16 + 8)
+    }
+
+    /// Average bits per element including metadata.
+    pub fn bits_per_element(&self) -> f64 {
+        self.storage_bits() as f64 / (self.rows * self.cols) as f64
+    }
+
+    /// Histogram of selected types over all groups, labeled per Fig. 15.
+    pub fn dtype_histogram(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for m in &self.meta {
+            let label = m.dtype.label();
+            match counts.iter_mut().find(|(l, _)| *l == label) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((label, 1)),
+            }
+        }
+        counts
+    }
+}
+
+/// The MANT weight quantizer as a [`FakeQuantizer`] for the accuracy
+/// experiments.
+#[derive(Clone, Debug)]
+pub struct MantWeightQuantizer {
+    group_size: usize,
+    set: CandidateSet,
+    col_weights: Option<Vec<f32>>,
+}
+
+impl MantWeightQuantizer {
+    /// Creates the paper-default quantizer (candidate set of Sec. V-A).
+    pub fn new(group_size: usize) -> Self {
+        MantWeightQuantizer {
+            group_size,
+            set: CandidateSet::paper(),
+            col_weights: None,
+        }
+    }
+
+    /// Uses a custom candidate set.
+    pub fn with_candidates(mut self, set: CandidateSet) -> Self {
+        self.set = set;
+        self
+    }
+
+    /// Supplies calibration second moments `E[x_j²]` per input column.
+    pub fn with_calibration(mut self, col_weights: Vec<f32>) -> Self {
+        self.col_weights = Some(col_weights);
+        self
+    }
+
+    /// The configured group size.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Full (non-fake) quantization, exposing codes and metadata.
+    ///
+    /// # Errors
+    ///
+    /// See [`MantQuantizedMatrix::quantize_weighted`].
+    pub fn quantize(&self, w: &Matrix) -> Result<MantQuantizedMatrix, QuantError> {
+        MantQuantizedMatrix::quantize_weighted(
+            w,
+            self.group_size,
+            &self.set,
+            self.col_weights.as_deref(),
+        )
+    }
+}
+
+impl FakeQuantizer for MantWeightQuantizer {
+    fn name(&self) -> String {
+        format!("MANT-g{}", self.group_size)
+    }
+
+    fn bits_per_element(&self, _inner_dim: usize) -> f64 {
+        4.0 + 24.0 / self.group_size as f64
+    }
+
+    fn fake_quantize(&self, w: &Matrix) -> Matrix {
+        self.quantize(w)
+            .expect("group size must divide the weight inner dimension")
+            .dequantize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mant_numerics::int4_grid;
+    use mant_tensor::{mse, Matrix, TensorGenerator};
+
+    use crate::quantizer::GridQuantizer;
+    use crate::scheme::Granularity;
+
+    #[test]
+    fn int4_code_roundtrip() {
+        let d = GroupDtype::Int4;
+        for v in -7..=7i32 {
+            let code = d.encode(v as f32, 1.0);
+            assert_eq!(d.decode(code), v as f32, "v={v}");
+        }
+    }
+
+    #[test]
+    fn mant_code_roundtrip() {
+        let d = GroupDtype::mant(17).unwrap();
+        for &lvl in &[1.0f32, 19.0, 59.0, 247.0] {
+            let code = d.encode(lvl, 1.0);
+            assert_eq!(d.decode(code), lvl);
+            let ncode = d.encode(-lvl, 1.0);
+            assert_eq!(d.decode(ncode), -lvl);
+        }
+    }
+
+    #[test]
+    fn scale_maps_amax_to_max_level() {
+        let d = GroupDtype::mant(17).unwrap();
+        let s = d.scale_for(494.0);
+        assert!((s - 2.0).abs() < 0.01); // 494 / 247
+        assert_eq!(GroupDtype::Int4.scale_for(0.0), 1.0);
+    }
+
+    #[test]
+    fn quantize_dequantize_shape_and_error() {
+        let mut g = TensorGenerator::new(31);
+        let w = g.group_diverse_matrix(8, 256, 64, 0.02);
+        let q = MantQuantizedMatrix::quantize(&w, 64, &CandidateSet::paper()).unwrap();
+        let deq = q.dequantize();
+        assert_eq!(deq.shape(), w.shape());
+        // Relative RMS error should be small for 4-bit adaptive encoding.
+        let err = mse(w.as_slice(), deq.as_slice());
+        let power = mse(w.as_slice(), &vec![0.0; w.len()]);
+        assert!(err / power < 0.02, "relative error {}", err / power);
+    }
+
+    #[test]
+    fn beats_plain_int4_on_diverse_groups() {
+        // The core claim (Fig. 2 / Tbl. V): adaptive per-group types beat
+        // fixed INT4 on group-diverse data.
+        let mut g = TensorGenerator::new(32);
+        let w = g.group_diverse_matrix(16, 512, 64, 0.02);
+        let mant = MantWeightQuantizer::new(64);
+        let int4 = GridQuantizer::new("int4", int4_grid(), 4, Granularity::Group(64));
+        let err_mant = mse(w.as_slice(), mant.fake_quantize(&w).as_slice());
+        let err_int = mse(w.as_slice(), int4.fake_quantize(&w).as_slice());
+        assert!(
+            err_mant < err_int * 0.9,
+            "MANT {err_mant} vs INT4 {err_int}"
+        );
+    }
+
+    #[test]
+    fn bad_group_size_is_error() {
+        let w = Matrix::zeros(2, 100);
+        assert!(matches!(
+            MantQuantizedMatrix::quantize(&w, 64, &CandidateSet::paper()),
+            Err(QuantError::BadGroupSize { .. })
+        ));
+    }
+
+    #[test]
+    fn storage_accounting() {
+        let w = Matrix::zeros(4, 128);
+        let q = MantQuantizedMatrix::quantize(&w, 64, &CandidateSet::paper()).unwrap();
+        // 512 elements × 4 bits + 8 groups × 24 bits.
+        assert_eq!(q.storage_bits(), 512 * 4 + 8 * 24);
+        assert!((q.bits_per_element() - 4.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_covers_all_groups() {
+        let mut g = TensorGenerator::new(33);
+        let w = g.group_diverse_matrix(4, 256, 64, 0.02);
+        let q = MantQuantizedMatrix::quantize(&w, 64, &CandidateSet::paper()).unwrap();
+        let hist = q.dtype_histogram();
+        let total: usize = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 4 * 4);
+    }
+
+    #[test]
+    fn calibration_weights_validated() {
+        let w = Matrix::zeros(2, 128);
+        let q = MantWeightQuantizer::new(64).with_calibration(vec![1.0; 64]);
+        assert!(q.quantize(&w).is_err());
+    }
+
+    #[test]
+    fn meta_and_codes_accessors() {
+        let mut g = TensorGenerator::new(34);
+        let w = g.group_diverse_matrix(2, 128, 64, 0.02);
+        let q = MantQuantizedMatrix::quantize(&w, 64, &CandidateSet::paper()).unwrap();
+        assert_eq!(q.group_codes(1, 1).len(), 64);
+        let m = q.meta(1, 1);
+        assert!(m.scale > 0.0);
+        assert_eq!(q.groups_per_row(), 2);
+    }
+}

@@ -1,0 +1,94 @@
+//! Quantization granularities.
+
+use crate::error::QuantError;
+
+/// The unit of elements that shares one scale (and, for adaptive types, one
+/// data-type choice).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One scale for the whole tensor (ANT/OliVe activations).
+    Tensor,
+    /// One scale per row along the inner dimension (per output channel for
+    /// weights stored `out × in`).
+    Channel,
+    /// One scale per `group_size` contiguous elements within a row — the
+    /// paper's standard configuration (64 or 128).
+    Group(usize),
+}
+
+impl Granularity {
+    /// The effective group length within a row of width `inner_dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadGroupSize`] if a group granularity does not
+    /// divide `inner_dim` or is zero.
+    pub fn span(&self, inner_dim: usize) -> Result<usize, QuantError> {
+        match *self {
+            Granularity::Tensor | Granularity::Channel => Ok(inner_dim),
+            Granularity::Group(g) => {
+                if g == 0 || inner_dim % g != 0 {
+                    Err(QuantError::BadGroupSize {
+                        group_size: g,
+                        inner_dim,
+                    })
+                } else {
+                    Ok(g)
+                }
+            }
+        }
+    }
+
+    /// Scale metadata entries per row of width `inner_dim`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Granularity::span`] errors.
+    pub fn groups_per_row(&self, inner_dim: usize) -> Result<usize, QuantError> {
+        Ok(inner_dim / self.span(inner_dim)?)
+    }
+
+    /// Average metadata overhead in bits per element, assuming an FP16
+    /// scale per group (the paper's 4.125-bit figure for G-128).
+    pub fn scale_bits_per_element(&self, inner_dim: usize, rows: usize) -> f64 {
+        let span = match self.span(inner_dim) {
+            Ok(s) => s,
+            Err(_) => return f64::NAN,
+        };
+        match self {
+            // Tensor level amortizes one scale over everything.
+            Granularity::Tensor => 16.0 / (inner_dim as f64 * rows as f64),
+            _ => 16.0 / span as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans() {
+        assert_eq!(Granularity::Tensor.span(4096).unwrap(), 4096);
+        assert_eq!(Granularity::Channel.span(4096).unwrap(), 4096);
+        assert_eq!(Granularity::Group(128).span(4096).unwrap(), 128);
+        assert!(Granularity::Group(100).span(4096).is_err());
+        assert!(Granularity::Group(0).span(4096).is_err());
+    }
+
+    #[test]
+    fn groups_per_row() {
+        assert_eq!(Granularity::Group(128).groups_per_row(4096).unwrap(), 32);
+        assert_eq!(Granularity::Channel.groups_per_row(4096).unwrap(), 1);
+    }
+
+    #[test]
+    fn overhead_bits_match_paper() {
+        // G-128 → 16/128 = 0.125 extra bits/element: "4.125 bits" (Sec. III-A).
+        let b = Granularity::Group(128).scale_bits_per_element(4096, 1);
+        assert!((b - 0.125).abs() < 1e-12);
+        // G-32 → 0.5 extra bits: the 4× overhead the paper notes.
+        let b32 = Granularity::Group(32).scale_bits_per_element(4096, 1);
+        assert!((b32 - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,250 @@
+//! Per-group data-type selection (paper Secs. V-A and V-C).
+//!
+//! Weights are encoded offline: for every group the framework searches the
+//! paper's candidate set — fifteen MANT coefficients plus plain INT4 — for
+//! the type minimizing quantization error. The plain variant minimizes the
+//! weight-space MSE; the weighted variant minimizes the *output* MSE of
+//! Eq. (6) under a diagonal approximation, using per-position second
+//! moments `E[x²]` gathered from a calibration set.
+
+use mant_numerics::NumericsError;
+use mant_tensor::abs_max;
+
+use crate::error::QuantError;
+use crate::mantq::GroupDtype;
+
+/// The paper's weight/KV candidate coefficients (Sec. V-A):
+/// `{0, 5, 10, 17, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120}`.
+pub const PAPER_A_SET: [u32; 15] = [0, 5, 10, 17, 20, 30, 40, 50, 60, 70, 80, 90, 100, 110, 120];
+
+/// The set of per-group data-type candidates to search over.
+#[derive(Clone, Debug)]
+pub struct CandidateSet {
+    candidates: Vec<GroupDtype>,
+}
+
+impl CandidateSet {
+    /// The paper's configuration: fifteen MANT coefficients and "an
+    /// additional INT option".
+    pub fn paper() -> Self {
+        let mut candidates: Vec<GroupDtype> = PAPER_A_SET
+            .iter()
+            .map(|&a| GroupDtype::mant(a).expect("paper set is within range"))
+            .collect();
+        candidates.push(GroupDtype::Int4);
+        CandidateSet { candidates }
+    }
+
+    /// A custom set of MANT coefficients, optionally with the INT fallback.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NumericsError::InvalidCoefficient`] if any `a ≥ 128`.
+    pub fn custom(coefficients: &[u32], include_int: bool) -> Result<Self, NumericsError> {
+        let mut candidates = Vec::with_capacity(coefficients.len() + 1);
+        for &a in coefficients {
+            candidates.push(GroupDtype::mant(a)?);
+        }
+        if include_int {
+            candidates.push(GroupDtype::Int4);
+        }
+        Ok(CandidateSet { candidates })
+    }
+
+    /// The candidate data types.
+    pub fn candidates(&self) -> &[GroupDtype] {
+        &self.candidates
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.candidates.is_empty()
+    }
+}
+
+impl Default for CandidateSet {
+    fn default() -> Self {
+        CandidateSet::paper()
+    }
+}
+
+/// Selects the candidate minimizing plain weight MSE over `group`.
+/// Returns the winning type and its MSE.
+///
+/// # Errors
+///
+/// Returns [`QuantError::EmptyCandidateSet`] if `set` has no candidates.
+pub fn select_group_dtype(
+    group: &[f32],
+    set: &CandidateSet,
+) -> Result<(GroupDtype, f64), QuantError> {
+    select_group_dtype_weighted(group, None, set)
+}
+
+/// Selects the candidate minimizing `Σ e_j²·ω_j`, where `ω_j` is the
+/// calibration second moment of the activation multiplying weight `j`
+/// (`None` means uniform weights → plain MSE). This is the diagonal
+/// surrogate of the paper's output-MSE objective (Eq. (6)).
+///
+/// # Errors
+///
+/// Returns [`QuantError::EmptyCandidateSet`] if `set` has no candidates, and
+/// [`QuantError::ShapeMismatch`] if `weights` is present with a different
+/// length than `group`.
+pub fn select_group_dtype_weighted(
+    group: &[f32],
+    weights: Option<&[f32]>,
+    set: &CandidateSet,
+) -> Result<(GroupDtype, f64), QuantError> {
+    if set.is_empty() {
+        return Err(QuantError::EmptyCandidateSet);
+    }
+    if let Some(w) = weights {
+        if w.len() != group.len() {
+            return Err(QuantError::ShapeMismatch {
+                context: "calibration weights vs group length",
+            });
+        }
+    }
+    let amax = abs_max(group);
+    let mut best = set.candidates()[0];
+    let mut best_err = f64::INFINITY;
+    for &cand in set.candidates() {
+        let err = weighted_group_error(group, weights, amax, cand);
+        if err < best_err {
+            best_err = err;
+            best = cand;
+        }
+    }
+    Ok((best, best_err))
+}
+
+fn weighted_group_error(
+    group: &[f32],
+    weights: Option<&[f32]>,
+    amax: f32,
+    dtype: GroupDtype,
+) -> f64 {
+    if amax == 0.0 {
+        return 0.0;
+    }
+    let scale = dtype.scale_for(amax);
+    let mut acc = 0.0f64;
+    for (j, &x) in group.iter().enumerate() {
+        let q = dtype.quantize_value(x, scale);
+        let e = f64::from(x - q);
+        let w = weights.map_or(1.0, |ws| f64::from(ws[j]));
+        acc += e * e * w;
+    }
+    acc / group.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mant_tensor::{DistributionKind, TensorGenerator};
+
+    #[test]
+    fn paper_set_has_16_candidates() {
+        let set = CandidateSet::paper();
+        assert_eq!(set.len(), 16);
+        assert!(set.candidates().contains(&GroupDtype::Int4));
+    }
+
+    #[test]
+    fn custom_set_validates_coefficients() {
+        assert!(CandidateSet::custom(&[0, 17, 200], true).is_err());
+        let s = CandidateSet::custom(&[17], false).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn empty_set_is_error() {
+        let s = CandidateSet::custom(&[], false).unwrap();
+        assert_eq!(
+            select_group_dtype(&[1.0, 2.0], &s),
+            Err(QuantError::EmptyCandidateSet)
+        );
+    }
+
+    #[test]
+    fn uniform_data_selects_int_like() {
+        // Uniform distributions are INT's home turf (Sec. II-B).
+        let mut g = TensorGenerator::new(21);
+        let data: Vec<f32> = (0..128)
+            .map(|_| g.sample(DistributionKind::Uniform, 1.0))
+            .collect();
+        let (dtype, _) = select_group_dtype(&data, &CandidateSet::paper()).unwrap();
+        // INT4 or a large-a MANT (which approaches uniform).
+        let ok = match dtype {
+            GroupDtype::Int4 => true,
+            GroupDtype::Mant(m) => m.coefficient() >= 60,
+        };
+        assert!(ok, "selected {dtype:?}");
+    }
+
+    #[test]
+    fn peaked_data_selects_small_a() {
+        // Laplace-like data wants PoT-like (small a) grids.
+        let mut g = TensorGenerator::new(22);
+        let data: Vec<f32> = (0..128)
+            .map(|_| g.sample(DistributionKind::Laplace, 1.0))
+            .collect();
+        // Sharpen the peak further to make PoT clearly optimal.
+        let data: Vec<f32> = data.iter().map(|&x| x * x * x.signum() * 0.1).collect();
+        let (dtype, _) = select_group_dtype(&data, &CandidateSet::paper()).unwrap();
+        match dtype {
+            GroupDtype::Mant(m) => assert!(m.coefficient() <= 20, "a={}", m.coefficient()),
+            GroupDtype::Int4 => panic!("INT selected for sharply peaked data"),
+        }
+    }
+
+    #[test]
+    fn selection_error_is_minimal() {
+        let mut g = TensorGenerator::new(23);
+        let data: Vec<f32> = (0..64)
+            .map(|_| g.sample(DistributionKind::Gaussian, 0.3))
+            .collect();
+        let set = CandidateSet::paper();
+        let (best, best_err) = select_group_dtype(&data, &set).unwrap();
+        for &cand in set.candidates() {
+            let err = weighted_group_error(&data, None, abs_max(&data), cand);
+            assert!(best_err <= err + 1e-12, "{best:?} beaten by {cand:?}");
+        }
+    }
+
+    #[test]
+    fn weighted_selection_prioritizes_hot_positions() {
+        // Group with one large-magnitude position; weighting that position
+        // heavily must not increase its weighted error vs unweighted choice.
+        let group = [0.01f32, 0.02, -0.015, 0.9, 0.02, -0.01, 0.015, 0.01];
+        let mut weights = [1.0f32; 8];
+        weights[3] = 100.0;
+        let set = CandidateSet::paper();
+        let (_, unweighted_err) =
+            select_group_dtype_weighted(&group, Some(&weights), &set).unwrap();
+        let (dt_plain, _) = select_group_dtype(&group, &set).unwrap();
+        let plain_under_weights =
+            weighted_group_error(&group, Some(&weights), abs_max(&group), dt_plain);
+        assert!(unweighted_err <= plain_under_weights + 1e-12);
+    }
+
+    #[test]
+    fn weight_length_mismatch_is_error() {
+        let set = CandidateSet::paper();
+        let err = select_group_dtype_weighted(&[1.0, 2.0], Some(&[1.0]), &set);
+        assert!(matches!(err, Err(QuantError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn zero_group_costs_nothing() {
+        let set = CandidateSet::paper();
+        let (_, err) = select_group_dtype(&[0.0; 16], &set).unwrap();
+        assert_eq!(err, 0.0);
+    }
+}

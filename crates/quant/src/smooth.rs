@@ -1,0 +1,168 @@
+//! SmoothQuant-style activation smoothing (paper Sec. V-C: "emerging
+//! incoherent processing algorithms (where SmoothQuant is a special case)
+//! are very promising to further mitigate this gap").
+//!
+//! Smoothing migrates per-channel magnitude from activations into weights:
+//! with a diagonal `s`, `(x ⊘ s)·(s ⊙ Wᵀ)` is mathematically identical to
+//! `x·Wᵀ`, but the outlier channels of `x` shrink by `s_c` while the
+//! corresponding weight columns grow — turning an activation-quantization
+//! problem into a (much easier) weight-quantization one.
+
+use mant_tensor::Matrix;
+
+/// A per-channel smoothing transform.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Smoother {
+    scales: Vec<f32>,
+}
+
+impl Smoother {
+    /// Builds the SmoothQuant scales `s_c = max|x_c|^α / max|w_c|^(1−α)`
+    /// from calibrated per-channel activation maxima and the weight matrix
+    /// (`out × in`; column `c` multiplies activation channel `c`).
+    ///
+    /// `alpha ∈ [0, 1]` balances migration strength; SmoothQuant's default
+    /// is 0.5. Degenerate channels (zero activation or weight max) get a
+    /// unit scale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `act_max.len() != w.cols()` or `alpha` is outside [0, 1].
+    pub fn from_calibration(act_max: &[f32], w: &Matrix, alpha: f32) -> Self {
+        assert_eq!(act_max.len(), w.cols(), "channel count mismatch");
+        assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0, 1]");
+        let scales = (0..w.cols())
+            .map(|c| {
+                let a = act_max[c].abs();
+                let wmax = (0..w.rows())
+                    .map(|r| w[(r, c)].abs())
+                    .fold(0.0f32, f32::max);
+                if a == 0.0 || wmax == 0.0 {
+                    1.0
+                } else {
+                    (a.powf(alpha) / wmax.powf(1.0 - alpha)).max(1e-6)
+                }
+            })
+            .collect();
+        Smoother { scales }
+    }
+
+    /// The per-channel scales.
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
+    /// Applies the inverse scales to an activation vector (`x ⊘ s`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` differs from the channel count.
+    pub fn smooth_activations(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.scales.len(), "channel count mismatch");
+        x.iter()
+            .zip(self.scales.iter())
+            .map(|(&v, &s)| v / s)
+            .collect()
+    }
+
+    /// Folds the scales into a weight matrix (`out × in`): column `c` is
+    /// multiplied by `s_c`, preserving the product exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w.cols()` differs from the channel count.
+    pub fn fold_into_weights(&self, w: &Matrix) -> Matrix {
+        assert_eq!(w.cols(), self.scales.len(), "channel count mismatch");
+        Matrix::from_fn(w.rows(), w.cols(), |r, c| w[(r, c)] * self.scales[c])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mant_tensor::{abs_max, DistributionKind, TensorGenerator};
+
+    fn setup() -> (Vec<f32>, Matrix, Smoother) {
+        let mut gen = TensorGenerator::new(909);
+        let mut x: Vec<f32> = (0..64)
+            .map(|_| gen.sample(DistributionKind::Gaussian, 1.0))
+            .collect();
+        // Two outlier channels.
+        x[10] = 40.0;
+        x[50] = -35.0;
+        let w = gen.matrix(32, 64, DistributionKind::Gaussian, 0.1);
+        let s = Smoother::from_calibration(&x.iter().map(|v| v.abs()).collect::<Vec<_>>(), &w, 0.5);
+        (x, w, s)
+    }
+
+    #[test]
+    fn transform_is_exact() {
+        let (x, w, s) = setup();
+        let xs = s.smooth_activations(&x);
+        let ws = s.fold_into_weights(&w);
+        for r in 0..w.rows() {
+            let orig: f32 = w.row(r).iter().zip(x.iter()).map(|(&a, &b)| a * b).sum();
+            let smoothed: f32 = ws.row(r).iter().zip(xs.iter()).map(|(&a, &b)| a * b).sum();
+            assert!((orig - smoothed).abs() < orig.abs().max(1.0) * 1e-4);
+        }
+    }
+
+    #[test]
+    fn outliers_shrink_after_smoothing() {
+        let (x, _, s) = setup();
+        let xs = s.smooth_activations(&x);
+        let ratio_before = abs_max(&x) / median_abs(&x);
+        let ratio_after = abs_max(&xs) / median_abs(&xs);
+        assert!(
+            ratio_after < ratio_before / 2.0,
+            "outlier ratio {ratio_before} -> {ratio_after}"
+        );
+    }
+
+    #[test]
+    fn smoothing_improves_int4_activation_error() {
+        let (x, _, s) = setup();
+        let quantize4 = |v: &[f32]| -> Vec<f32> {
+            let amax = abs_max(v);
+            let scale = amax / 7.0;
+            v.iter()
+                .map(|&t| (t / scale).round().clamp(-7.0, 7.0) * scale)
+                .collect()
+        };
+        let raw_q = quantize4(&x);
+        let raw_err = mant_tensor::mse(&x, &raw_q);
+        let xs = s.smooth_activations(&x);
+        let xs_q = quantize4(&xs);
+        // Compare in the smoothed domain, scaled back for fairness.
+        let back: Vec<f32> = xs_q
+            .iter()
+            .zip(s.scales().iter())
+            .map(|(&v, &sc)| v * sc)
+            .collect();
+        let smooth_err = mant_tensor::mse(&x, &back);
+        assert!(
+            smooth_err < raw_err / 4.0,
+            "smoothing {smooth_err} vs raw {raw_err}"
+        );
+    }
+
+    #[test]
+    fn degenerate_channels_get_unit_scale() {
+        let w = Matrix::zeros(4, 3);
+        let s = Smoother::from_calibration(&[1.0, 0.0, 2.0], &w, 0.5);
+        assert_eq!(s.scales(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn alpha_validated() {
+        let w = Matrix::zeros(1, 1);
+        let _ = Smoother::from_calibration(&[1.0], &w, 1.5);
+    }
+
+    fn median_abs(v: &[f32]) -> f32 {
+        let mut s: Vec<f32> = v.iter().map(|x| x.abs()).collect();
+        s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        s[s.len() / 2].max(1e-9)
+    }
+}

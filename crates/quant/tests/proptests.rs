@@ -1,0 +1,109 @@
+//! Property-based tests for the quantization framework.
+
+use mant_quant::{
+    mant_gemm, quantize_activations_int8, CandidateSet, KCacheQuantizer, MantQuantizedMatrix,
+    MantWeightQuantizer, VCacheQuantizer, VarianceMap,
+};
+use mant_tensor::Matrix;
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f32..10.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Dequantized MANT weights stay within the group's scaled range and
+    /// never blow past 2× the group's max magnitude.
+    #[test]
+    fn mant_dequantize_bounded(w in small_matrix(4, 64)) {
+        let q = MantQuantizedMatrix::quantize(&w, 32, &CandidateSet::paper()).unwrap();
+        let deq = q.dequantize();
+        for r in 0..4 {
+            for g in 0..2 {
+                let orig = &w.row(r)[g * 32..(g + 1) * 32];
+                let got = &deq.row(r)[g * 32..(g + 1) * 32];
+                let amax = orig.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+                for &v in got {
+                    prop_assert!(v.abs() <= amax * 1.01 + 1e-6,
+                        "dequantized {} exceeds group max {}", v, amax);
+                }
+            }
+        }
+    }
+
+    /// Quantization error per element is bounded by the worst grid gap.
+    #[test]
+    fn mant_error_bounded_by_grid_gap(w in small_matrix(2, 32)) {
+        let q = MantQuantizedMatrix::quantize(&w, 32, &CandidateSet::paper()).unwrap();
+        let deq = q.dequantize();
+        for (r, (&x, &y)) in w.as_slice().iter().zip(deq.as_slice()).enumerate() {
+            let row = r / 32;
+            let meta = q.meta(row, 0);
+            // Largest gap between adjacent scaled grid points.
+            let grid = meta.dtype.grid();
+            let max_gap = grid
+                .points()
+                .windows(2)
+                .map(|p| p[1] - p[0])
+                .fold(0.0f32, f32::max) * meta.scale;
+            prop_assert!((x - y).abs() <= max_gap / 2.0 + 1e-4,
+                "error {} exceeds half max gap {}", (x - y).abs(), max_gap / 2.0);
+        }
+    }
+
+    /// Fused integer GEMM equals the dequantize-then-GEMM reference.
+    #[test]
+    fn fused_gemm_exact(x in small_matrix(3, 64), w in small_matrix(2, 64)) {
+        let xq = quantize_activations_int8(&x, 32).unwrap();
+        let wq = MantWeightQuantizer::new(32).quantize(&w).unwrap();
+        let fused = mant_gemm(&xq, &wq).unwrap();
+        let reference = mant_quant::dequant_then_gemm(&xq, &wq);
+        let scale = reference.as_slice().iter().map(|v| v.abs()).fold(1.0f32, f32::max);
+        for (a, b) in fused.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert!((a - b).abs() / scale < 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    /// INT8 activation roundtrip error is within half a quantization step.
+    #[test]
+    fn int8_activation_half_step(x in small_matrix(2, 32)) {
+        let q = quantize_activations_int8(&x, 32).unwrap();
+        let deq = q.dequantize();
+        for r in 0..2 {
+            let scale = q.scale(r, 0);
+            for (a, b) in x.row(r).iter().zip(deq.row(r)) {
+                prop_assert!((a - b).abs() <= scale * 0.5 + 1e-6);
+            }
+        }
+    }
+
+    /// The K cache preserves vector count and dimension for any sequence.
+    #[test]
+    fn k_cache_shape(rows in 1usize..20, vals in proptest::collection::vec(-5.0f32..5.0, 20 * 32)) {
+        let vmap = VarianceMap::analytic(&CandidateSet::paper()).unwrap();
+        let mut kq = KCacheQuantizer::new(32, 16, vmap).unwrap();
+        for r in 0..rows {
+            kq.push(&vals[r * 32..(r + 1) * 32]);
+        }
+        let deq = kq.dequantize();
+        prop_assert_eq!(deq.shape(), (rows, 32));
+    }
+
+    /// The V cache's committed+staged split always accounts for every row.
+    #[test]
+    fn v_cache_length_invariant(rows in 1usize..40) {
+        let vmap = VarianceMap::analytic(&CandidateSet::paper()).unwrap();
+        let mut vq = VCacheQuantizer::new(8, 16, vmap).unwrap();
+        for i in 0..rows {
+            let row: Vec<f32> = (0..8).map(|c| ((i * 8 + c) % 13) as f32 - 6.0).collect();
+            vq.push(&row);
+        }
+        prop_assert_eq!(vq.len(), rows);
+        prop_assert_eq!(vq.committed_windows(), rows / 16);
+        prop_assert_eq!(vq.window_len(), rows % 16);
+        prop_assert_eq!(vq.dequantize().shape(), (rows, 8));
+    }
+}

@@ -1,0 +1,348 @@
+//! Accelerator configurations (paper Sec. VII-A).
+//!
+//! All accelerators share frequency, DRAM bandwidth, and buffer size, and
+//! are provisioned at (near-)equal area — the paper's Tbl. IV lists 1024
+//! 8-bit PEGs for MANT against 4096 4-bit PEs for the baselines, which is
+//! the same number of 4×4-bit multiplier lanes. What differs is the
+//! *precision policy* each can sustain at matched perplexity (Tbl. II) and
+//! whether group-wise (de)quantization is fused into the array or paid on
+//! the vector units.
+
+/// Hardware parameters shared by every accelerator in an experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HardwareParams {
+    /// Clock frequency in GHz.
+    pub freq_ghz: f64,
+    /// DRAM bandwidth in GB/s.
+    pub dram_gb_s: f64,
+    /// On-chip buffer capacity in KiB (Tbl. IV: 512 KB).
+    pub buffer_kib: usize,
+    /// Vector-unit throughput in scalar ops per cycle (64 vector units).
+    pub vector_ops_per_cycle: usize,
+}
+
+impl Default for HardwareParams {
+    fn default() -> Self {
+        HardwareParams {
+            freq_ghz: 1.0,
+            dram_gb_s: 256.0,
+            buffer_kib: 512,
+            vector_ops_per_cycle: 512,
+        }
+    }
+}
+
+/// Weight bit-width policy of a precision configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightBits {
+    /// All layers at one width, with per-element metadata overhead in bits
+    /// (e.g. MANT-g64: 4-bit codes + 24/64 bits of scale+coefficient).
+    Uniform {
+        /// Code bits per element.
+        bits: u8,
+        /// Metadata bits per element (scales, coefficients).
+        meta_bits: f64,
+    },
+    /// A fraction of layers kept at 8 bits to recover perplexity (how
+    /// OliVe/Tender/ANT align PPL in Fig. 12), the rest at 4 bits.
+    Mixed48 {
+        /// Fraction of weights computed/stored at 8 bits.
+        frac8: f64,
+        /// Metadata bits per element.
+        meta_bits: f64,
+    },
+}
+
+impl WeightBits {
+    /// Average stored bits per weight element (codes + metadata).
+    pub fn avg_storage_bits(&self) -> f64 {
+        match *self {
+            WeightBits::Uniform { bits, meta_bits } => f64::from(bits) + meta_bits,
+            WeightBits::Mixed48 { frac8, meta_bits } => {
+                8.0 * frac8 + 4.0 * (1.0 - frac8) + meta_bits
+            }
+        }
+    }
+}
+
+/// Precision of one execution phase (linear layers or attention).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PrecisionPolicy {
+    /// Activation bit width fed to the array.
+    pub act_bits: u8,
+    /// Weight (or KV-cache) policy.
+    pub weight: WeightBits,
+}
+
+/// One accelerator configuration.
+#[derive(Clone, Debug)]
+pub struct AcceleratorConfig {
+    /// Display name.
+    pub name: String,
+    /// Number of 4×4-bit multiplier lanes (iso-area across accelerators:
+    /// 4096 ≙ 1024 8-bit PEGs ≙ 4096 4-bit PEs).
+    pub lanes_4x4: usize,
+    /// Linear-layer precision.
+    pub linear: PrecisionPolicy,
+    /// Attention precision; `None` means the accelerator does not quantize
+    /// attention and computes it at FP16 (all baselines, Sec. VII-A).
+    pub attention: Option<PrecisionPolicy>,
+    /// Whether group-wise scale application is fused into the accumulator
+    /// pipeline (MANT, Sec. VI-E) instead of costing vector-unit cycles.
+    pub fused_group_pipeline: bool,
+    /// Group size when running group-wise, for overhead accounting.
+    pub group_size: Option<usize>,
+    /// Shared platform parameters.
+    pub hw: HardwareParams,
+}
+
+/// Metadata bits/element for a group of `g` with FP16 scale + 8-bit `a`.
+fn mant_meta(g: usize) -> f64 {
+    24.0 / g as f64
+}
+
+/// Metadata bits/element for a group of `g` with FP16 scale only.
+fn scale_meta(g: usize) -> f64 {
+    16.0 / g as f64
+}
+
+impl AcceleratorConfig {
+    /// MANT: W4(+meta) A8 linear, 4-bit MANT KV + INT8 activations in
+    /// attention, fused group pipeline (the paper's proposal).
+    pub fn mant() -> Self {
+        let g = 64;
+        AcceleratorConfig {
+            name: "MANT".to_owned(),
+            lanes_4x4: 4096,
+            linear: PrecisionPolicy {
+                act_bits: 8,
+                weight: WeightBits::Uniform {
+                    bits: 4,
+                    meta_bits: mant_meta(g),
+                },
+            },
+            attention: Some(PrecisionPolicy {
+                act_bits: 8,
+                weight: WeightBits::Uniform {
+                    bits: 4,
+                    meta_bits: mant_meta(g),
+                },
+            }),
+            fused_group_pipeline: true,
+            group_size: Some(g),
+            hw: HardwareParams::default(),
+        }
+    }
+
+    /// Tender: 4/8 mixed precision aligned to MANT's PPL (mostly 8-bit per
+    /// Tbl. II, where Tender needs W8A8 to match), channel-chunk scales
+    /// (negligible metadata), FP16 attention.
+    pub fn tender() -> Self {
+        AcceleratorConfig {
+            name: "Tender".to_owned(),
+            lanes_4x4: 4096,
+            linear: PrecisionPolicy {
+                act_bits: 8,
+                weight: WeightBits::Mixed48 {
+                    frac8: 0.88,
+                    meta_bits: 0.07,
+                },
+            },
+            attention: None,
+            fused_group_pipeline: false,
+            group_size: None,
+            hw: HardwareParams::default(),
+        }
+    }
+
+    /// OliVe: 4/8 mixed, slightly more 8-bit than Tender (Fig. 12's
+    /// "Tender outperforms OliVe because the 8-bit layer is less"), FP16
+    /// attention.
+    pub fn olive() -> Self {
+        AcceleratorConfig {
+            name: "OliVe".to_owned(),
+            lanes_4x4: 4096,
+            linear: PrecisionPolicy {
+                act_bits: 8,
+                weight: WeightBits::Mixed48 {
+                    frac8: 0.96,
+                    meta_bits: 0.02,
+                },
+            },
+            attention: None,
+            fused_group_pipeline: false,
+            group_size: None,
+            hw: HardwareParams::default(),
+        }
+    }
+
+    /// ANT*: the 8-bit ANT configuration that cannot recover 4-bit PPL —
+    /// effectively coarse-grained INT8 (Sec. VII-A), FP16 attention.
+    pub fn ant_star() -> Self {
+        AcceleratorConfig {
+            name: "ANT*".to_owned(),
+            lanes_4x4: 4096,
+            linear: PrecisionPolicy {
+                act_bits: 8,
+                weight: WeightBits::Uniform {
+                    bits: 8,
+                    meta_bits: 0.01,
+                },
+            },
+            attention: None,
+            fused_group_pipeline: false,
+            group_size: None,
+            hw: HardwareParams::default(),
+        }
+    }
+
+    /// BitFusion: plain INT needing 8-bit activations and 16-bit weights
+    /// for LLM accuracy ("computation in 8 and 16 bits"), FP16 attention.
+    pub fn bitfusion() -> Self {
+        AcceleratorConfig {
+            name: "BitFusion".to_owned(),
+            lanes_4x4: 4096,
+            linear: PrecisionPolicy {
+                act_bits: 8,
+                weight: WeightBits::Uniform {
+                    bits: 16,
+                    meta_bits: 0.01,
+                },
+            },
+            attention: None,
+            fused_group_pipeline: false,
+            group_size: None,
+            hw: HardwareParams::default(),
+        }
+    }
+
+    /// Group-wise ANT for the Fig. 14 ablation: per-group types at G-64
+    /// but 4/8 mixed to reach MANT's PPL (ANT needs most layers at 8 bits
+    /// — its Tbl. V group accuracy is *below* INT's), per-group scales
+    /// applied on the vector units (not fused), group-wise INT KV cache.
+    pub fn ant_group(g: usize) -> Self {
+        AcceleratorConfig {
+            name: "ANT-group".to_owned(),
+            lanes_4x4: 4096,
+            linear: PrecisionPolicy {
+                act_bits: 8,
+                weight: WeightBits::Mixed48 {
+                    frac8: 0.7,
+                    meta_bits: scale_meta(g),
+                },
+            },
+            attention: Some(PrecisionPolicy {
+                act_bits: 8,
+                weight: WeightBits::Uniform {
+                    bits: 4,
+                    meta_bits: scale_meta(g),
+                },
+            }),
+            fused_group_pipeline: false,
+            group_size: Some(g),
+            hw: HardwareParams::default(),
+        }
+    }
+
+    /// Group-wise INT4 for Fig. 14: needs 4/8 mixing for PPL parity and
+    /// pays the unfused scale cost.
+    pub fn int_group(g: usize) -> Self {
+        AcceleratorConfig {
+            name: "INT-group".to_owned(),
+            lanes_4x4: 4096,
+            linear: PrecisionPolicy {
+                act_bits: 8,
+                weight: WeightBits::Mixed48 {
+                    frac8: 0.6,
+                    meta_bits: scale_meta(g),
+                },
+            },
+            attention: Some(PrecisionPolicy {
+                act_bits: 8,
+                weight: WeightBits::Uniform {
+                    bits: 4,
+                    meta_bits: scale_meta(g),
+                },
+            }),
+            fused_group_pipeline: false,
+            group_size: Some(g),
+            hw: HardwareParams::default(),
+        }
+    }
+
+    /// The Fig. 12/13 baseline set, MANT first.
+    pub fn paper_set() -> Vec<AcceleratorConfig> {
+        vec![
+            Self::mant(),
+            Self::tender(),
+            Self::olive(),
+            Self::ant_star(),
+            Self::bitfusion(),
+        ]
+    }
+
+    /// MAC throughput (multiply-accumulates per cycle) for an
+    /// `act_bits × weight_bits` operation, via BitFusion-style lane
+    /// composition at 2-bit granularity: an `a×w` product occupies
+    /// `⌈a/2⌉·⌈w/2⌉` 2×2 lanes, and one 4×4 lane is four 2×2 lanes. This
+    /// reproduces the paper's PEG throughput table (Sec. VI-B): 1024
+    /// INT8×INT8, 2048 INT8×INT4, 4096 INT8×INT2 per cycle.
+    pub fn macs_per_cycle(&self, act_bits: u8, weight_bits: u8) -> f64 {
+        let ca = act_bits.div_ceil(2).max(1) as f64;
+        let cw = weight_bits.div_ceil(2).max(1) as f64;
+        self.lanes_4x4 as f64 * 4.0 / (ca * cw)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_matches_paper_configurations() {
+        let m = AcceleratorConfig::mant();
+        // Sec. VI-B: 32×32 for 8×8 (1024), 64×32 for 8×4 (2048),
+        // 128×32 for 8×2 (4096).
+        assert_eq!(m.macs_per_cycle(8, 8), 1024.0);
+        assert_eq!(m.macs_per_cycle(8, 4), 2048.0);
+        assert_eq!(m.macs_per_cycle(8, 2), 4096.0);
+        assert_eq!(m.macs_per_cycle(16, 16), 256.0);
+        assert_eq!(m.macs_per_cycle(4, 4), 4096.0);
+        assert_eq!(m.macs_per_cycle(16, 8), 512.0);
+    }
+
+    #[test]
+    fn storage_bits() {
+        let mant = AcceleratorConfig::mant();
+        assert!((mant.linear.weight.avg_storage_bits() - 4.375).abs() < 1e-9);
+        let bf = AcceleratorConfig::bitfusion();
+        assert!(bf.linear.weight.avg_storage_bits() > 16.0);
+        let mixed = WeightBits::Mixed48 {
+            frac8: 0.5,
+            meta_bits: 0.0,
+        };
+        assert_eq!(mixed.avg_storage_bits(), 6.0);
+    }
+
+    #[test]
+    fn baselines_do_not_quantize_attention() {
+        for acc in [
+            AcceleratorConfig::tender(),
+            AcceleratorConfig::olive(),
+            AcceleratorConfig::ant_star(),
+            AcceleratorConfig::bitfusion(),
+        ] {
+            assert!(acc.attention.is_none(), "{}", acc.name);
+        }
+        assert!(AcceleratorConfig::mant().attention.is_some());
+    }
+
+    #[test]
+    fn paper_set_is_five() {
+        let set = AcceleratorConfig::paper_set();
+        assert_eq!(set.len(), 5);
+        assert_eq!(set[0].name, "MANT");
+        // Iso-area: identical lane counts.
+        assert!(set.iter().all(|a| a.lanes_4x4 == 4096));
+    }
+}

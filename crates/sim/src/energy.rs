@@ -1,0 +1,154 @@
+//! Energy model with the paper's breakdown (Fig. 12).
+//!
+//! Per-op energies are representative 28 nm values in picojoules; what the
+//! experiments depend on is their *ratios* (MAC energy ∝ operand width
+//! product, DRAM ≫ SRAM ≫ MAC, static ∝ busy time), which are standard.
+
+use crate::arch::AcceleratorConfig;
+
+/// Energy breakdown in joules (paper Fig. 12's four stacks).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// PE-array switching energy.
+    pub core: f64,
+    /// On-chip buffer access energy.
+    pub buffer: f64,
+    /// DRAM access energy.
+    pub dram: f64,
+    /// Leakage + clock energy over the busy time.
+    pub static_: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy.
+    pub fn total(&self) -> f64 {
+        self.core + self.buffer + self.dram + self.static_
+    }
+
+    /// Element-wise sum.
+    pub fn add(&self, other: &EnergyBreakdown) -> EnergyBreakdown {
+        EnergyBreakdown {
+            core: self.core + other.core,
+            buffer: self.buffer + other.buffer,
+            dram: self.dram + other.dram,
+            static_: self.static_ + other.static_,
+        }
+    }
+}
+
+/// Per-op energy coefficients.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyModel {
+    /// Energy of one INT8×INT8 MAC (pJ).
+    pub mac8_pj: f64,
+    /// Extra core energy factor for MANT's dual-lane (MAC+SAC) PEs and
+    /// in-array dequantization — the reason the paper's Fig. 12 shows MANT
+    /// with *similar* core energy to 8-bit baselines despite 4-bit weights.
+    pub mant_lane_overhead: f64,
+    /// Energy of one FP16 MAC relative to INT8×INT8.
+    pub fp16_mac_factor: f64,
+    /// SRAM access energy per byte (pJ).
+    pub sram_pj_per_byte: f64,
+    /// DRAM access energy per byte (pJ).
+    pub dram_pj_per_byte: f64,
+    /// Static (leakage + clock-tree) power in watts for the whole chip,
+    /// buffer-dominated and therefore equal across the iso-area designs.
+    pub static_watts: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            mac8_pj: 0.6,
+            mant_lane_overhead: 1.9,
+            fp16_mac_factor: 4.0,
+            sram_pj_per_byte: 1.2,
+            dram_pj_per_byte: 15.0,
+            static_watts: 0.8,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Energy (pJ) of one `a×w` integer MAC: scales with the operand-width
+    /// product (multiplier area/energy is roughly bilinear in widths).
+    pub fn int_mac_pj(&self, act_bits: u8, weight_bits: u8) -> f64 {
+        self.mac8_pj * f64::from(act_bits) * f64::from(weight_bits) / 64.0
+    }
+
+    /// Energy (pJ) of one MAC under an accelerator's actual datapath:
+    /// FP16 when `weight_bits == 16` (the baselines' attention path),
+    /// integer otherwise, with MANT's lane overhead when `fused` is set.
+    pub fn mac_pj(&self, acc: &AcceleratorConfig, act_bits: u8, weight_bits: u8) -> f64 {
+        let base = if weight_bits >= 16 || act_bits >= 16 {
+            self.mac8_pj * self.fp16_mac_factor
+        } else {
+            self.int_mac_pj(act_bits, weight_bits)
+        };
+        if acc.fused_group_pipeline && weight_bits < 16 {
+            base * self.mant_lane_overhead
+        } else {
+            base
+        }
+    }
+
+    /// Static energy (J) over `cycles` at `freq_ghz`.
+    pub fn static_energy(&self, cycles: u64, freq_ghz: f64) -> f64 {
+        let seconds = cycles as f64 / (freq_ghz * 1e9);
+        self.static_watts * seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mac_energy_scaling() {
+        let e = EnergyModel::default();
+        assert_eq!(e.int_mac_pj(8, 8), e.mac8_pj);
+        assert_eq!(e.int_mac_pj(8, 4), e.mac8_pj / 2.0);
+        assert_eq!(e.int_mac_pj(4, 4), e.mac8_pj / 4.0);
+    }
+
+    #[test]
+    fn mant_core_parity_with_int8() {
+        // The headline Fig. 12 effect: MANT's 8×4 MAC+SAC+dequant lane
+        // costs about as much as a plain 8×8 MAC.
+        let e = EnergyModel::default();
+        let mant = AcceleratorConfig::mant();
+        let ant = AcceleratorConfig::ant_star();
+        let mant_mac = e.mac_pj(&mant, 8, 4);
+        let int8_mac = e.mac_pj(&ant, 8, 8);
+        let ratio = mant_mac / int8_mac;
+        assert!((0.8..=1.2).contains(&ratio), "{ratio}");
+    }
+
+    #[test]
+    fn fp16_is_expensive() {
+        let e = EnergyModel::default();
+        let ant = AcceleratorConfig::ant_star();
+        assert!(e.mac_pj(&ant, 16, 16) > 3.0 * e.mac_pj(&ant, 8, 8));
+    }
+
+    #[test]
+    fn breakdown_arithmetic() {
+        let a = EnergyBreakdown {
+            core: 1.0,
+            buffer: 2.0,
+            dram: 3.0,
+            static_: 4.0,
+        };
+        assert_eq!(a.total(), 10.0);
+        let b = a.add(&a);
+        assert_eq!(b.total(), 20.0);
+    }
+
+    #[test]
+    fn static_energy_time_linear() {
+        let e = EnergyModel::default();
+        let one = e.static_energy(1_000_000, 1.0);
+        let two = e.static_energy(2_000_000, 1.0);
+        assert!((two / one - 2.0).abs() < 1e-9);
+    }
+}

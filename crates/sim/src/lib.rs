@@ -1,0 +1,40 @@
+//! Analytical cycle/energy/area simulator for the M-ANT accelerator and
+//! its baselines (paper Secs. VI–VII).
+//!
+//! The paper's performance evaluation compares five accelerators — MANT,
+//! Tender, OliVe, ANT* and BitFusion — at iso-area, shared memory
+//! bandwidth / buffer size / frequency, on LLaMA/OPT linear and attention
+//! layers. All of those comparisons are first-order architectural: they
+//! follow from (a) how many effective MAC lanes each bit-width
+//! configuration yields on the same silicon, (b) how many bytes each
+//! format moves, and (c) how long the array is busy. This crate models
+//! exactly that:
+//!
+//! - [`arch`]: accelerator configurations (PE arrays, precision policies);
+//! - [`systolic`]: weight-stationary tiling cycles with fill/drain and
+//!   mixed-precision reconfiguration (32×32 / 64×32 / 128×32, Sec. VI-B);
+//! - [`rqu`]: the real-time quantization unit pipeline and the 12-cycle
+//!   divider-hiding rule (Sec. VI-C/E);
+//! - [`memory`]: DRAM/SRAM traffic under a roofline;
+//! - [`energy`]: per-op energy with the paper's core/buffer/DRAM/static
+//!   breakdown (Fig. 12);
+//! - [`area`]: the component areas of Tbl. IV;
+//! - [`workload`]: GEMM lists for a model's linear and attention layers;
+//! - [`run`]: end-to-end layer runs, speedups, energy ratios.
+
+pub mod arch;
+pub mod decode;
+pub mod area;
+pub mod energy;
+pub mod memory;
+pub mod rqu;
+pub mod run;
+pub mod systolic;
+pub mod workload;
+
+pub use arch::{AcceleratorConfig, HardwareParams, PrecisionPolicy, WeightBits};
+pub use decode::{decode_step, generation_latency_ms, DecodeStep};
+pub use area::{area_report, AreaReport};
+pub use energy::{EnergyBreakdown, EnergyModel};
+pub use run::{run_attention, run_gemm, run_linear, run_model, LayerRun, ModelRun};
+pub use workload::{attention_gemms, linear_gemms, Gemm};

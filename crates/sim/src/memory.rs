@@ -1,0 +1,75 @@
+//! DRAM/SRAM traffic accounting under a roofline.
+
+/// Byte traffic of one GEMM under a given precision assignment.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Traffic {
+    /// Bytes fetched from DRAM.
+    pub dram_bytes: f64,
+    /// Bytes moved through the on-chip buffers (includes tile re-streaming
+    /// and partial-sum read-modify-write).
+    pub sram_bytes: f64,
+}
+
+/// Computes the traffic of an `M×K×N` GEMM.
+///
+/// Model: weights stream from DRAM once (`k·n` elements at
+/// `weight_storage_bits`); activations are fetched once (`m·k` at
+/// `act_bits`) and re-streamed from SRAM for every N-tile; outputs leave at
+/// `out_bits`; partial sums are read-modify-written in 32-bit SRAM once
+/// per K-tile beyond the first.
+pub fn gemm_traffic(
+    m: usize,
+    k: usize,
+    n: usize,
+    weight_storage_bits: f64,
+    act_bits: u8,
+    out_bits: u8,
+    tiles_k: usize,
+    tiles_n: usize,
+) -> Traffic {
+    let weights = k as f64 * n as f64 * weight_storage_bits / 8.0;
+    let acts = m as f64 * k as f64 * f64::from(act_bits) / 8.0;
+    let outs = m as f64 * n as f64 * f64::from(out_bits) / 8.0;
+    let dram_bytes = weights + acts + outs;
+    let act_restream = acts * tiles_n.max(1) as f64;
+    let psum = m as f64 * n as f64 * 4.0 * 2.0 * tiles_k.saturating_sub(1).max(0) as f64;
+    let sram_bytes = weights + act_restream + outs + psum;
+    Traffic {
+        dram_bytes,
+        sram_bytes,
+    }
+}
+
+/// Memory time in cycles for `dram_bytes` at `gb_s` bandwidth and
+/// `freq_ghz` clock.
+pub fn dram_cycles(dram_bytes: f64, gb_s: f64, freq_ghz: f64) -> u64 {
+    // bytes / (GB/s) = ns · freq(GHz) = cycles.
+    (dram_bytes / gb_s * freq_ghz).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_traffic_scales_with_bits() {
+        let t4 = gemm_traffic(1, 4096, 4096, 4.375, 8, 16, 64, 128);
+        let t8 = gemm_traffic(1, 4096, 4096, 8.0, 8, 16, 128, 128);
+        // GEMV: weights dominate → traffic ratio tracks bit ratio.
+        let r = t8.dram_bytes / t4.dram_bytes;
+        assert!((1.7..1.9).contains(&r), "{r}");
+    }
+
+    #[test]
+    fn dram_cycles_roundtrip() {
+        // 256 bytes at 256 GB/s, 1 GHz → 1 cycle.
+        assert_eq!(dram_cycles(256.0, 256.0, 1.0), 1);
+        assert_eq!(dram_cycles(0.0, 256.0, 1.0), 0);
+    }
+
+    #[test]
+    fn sram_exceeds_dram() {
+        let t = gemm_traffic(2048, 4096, 4096, 4.375, 8, 16, 64, 128);
+        assert!(t.sram_bytes > t.dram_bytes);
+    }
+}

@@ -1,0 +1,74 @@
+//! Real-time quantization unit (RQU) pipeline model (paper Sec. VI-C).
+//!
+//! 32 RQUs sit under the array's 32 output columns. In **spatial** mode
+//! (activations, K cache) the comparator chain propagates a running max
+//! left-to-right, reaching steady state after 32 cycles and then producing
+//! one group max per cycle. In **temporal** mode (V cache) each RQU
+//! accumulates its own column's `Σv`, `Σv²`, and `max` across decode
+//! iterations with no cross-RQU communication.
+
+/// Number of RQUs (matches the array's 32 output columns).
+pub const RQU_COUNT: usize = 32;
+
+/// Cycles for a spatial max/variance reduction over an `m × 32` output
+/// tile with the given group size: 32-cycle pipeline fill, then one column
+/// result per cycle; a group of `g` needs `g / 32` comparison rounds
+/// (Sec. VI-C's "two comparison rounds" for g = 64).
+pub fn spatial_reduction_cycles(m: usize, group_size: usize) -> u64 {
+    if m == 0 {
+        return 0;
+    }
+    let rounds = group_size.div_ceil(RQU_COUNT) as u64;
+    RQU_COUNT as u64 + m as u64 * rounds
+}
+
+/// Cycles the temporal mode adds per decode iteration: each RQU updates
+/// its accumulators in one cycle, fully overlapped with the array drain —
+/// the marginal cost is a single pipeline stage.
+pub fn temporal_update_cycles() -> u64 {
+    1
+}
+
+/// Whether the spatial reduction is hidden under the GEMM that produces
+/// the tile: the array needs `m + fill` cycles per tile, the RQU chain
+/// `32 + m·rounds`; for m ≥ 32 and rounds ≤ 2 the reduction never becomes
+/// the bottleneck (it trails the output stream by a constant).
+pub fn reduction_hidden(m: usize, group_size: usize) -> bool {
+    let rounds = group_size.div_ceil(RQU_COUNT) as u64;
+    // The chain processes one output row per `rounds` cycles; the array
+    // produces one output row per cycle. Hidden if the chain keeps up
+    // within a pipeline constant, which for the paper's g = 64 (2 rounds)
+    // requires double-buffered comparators — modeled as hidden for m ≥ 1
+    // when rounds ≤ 2, exposed beyond that.
+    let _ = m;
+    rounds <= 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_group64_two_rounds() {
+        // g = 64 → two comparison rounds (Sec. VI-C).
+        assert_eq!(spatial_reduction_cycles(1, 64), 32 + 2);
+        assert_eq!(spatial_reduction_cycles(100, 64), 32 + 200);
+    }
+
+    #[test]
+    fn hidden_for_paper_config() {
+        assert!(reduction_hidden(2048, 64));
+        assert!(reduction_hidden(1, 32));
+        assert!(!reduction_hidden(2048, 128));
+    }
+
+    #[test]
+    fn temporal_is_constant() {
+        assert_eq!(temporal_update_cycles(), 1);
+    }
+
+    #[test]
+    fn zero_rows() {
+        assert_eq!(spatial_reduction_cycles(0, 64), 0);
+    }
+}

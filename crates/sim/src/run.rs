@@ -1,0 +1,359 @@
+//! End-to-end layer runs: cycles, energy, speedups.
+
+use mant_model::ModelConfig;
+
+use crate::arch::{AcceleratorConfig, PrecisionPolicy, WeightBits};
+use crate::energy::{EnergyBreakdown, EnergyModel};
+use crate::memory::{dram_cycles, gemm_traffic};
+use crate::systolic::{array_shape, divider_stall_cycles, gemm_cycles};
+use crate::workload::{attention_gemms, linear_gemms, Gemm, Phase};
+
+/// The FP16 fallback policy for accelerators that leave attention
+/// unquantized (Sec. VII-A: "the baselines do not quantize the attention
+/// layer and therefore employ 16-bit computation in this layer").
+const FP16_POLICY: PrecisionPolicy = PrecisionPolicy {
+    act_bits: 16,
+    weight: WeightBits::Uniform {
+        bits: 16,
+        meta_bits: 0.0,
+    },
+};
+
+/// Aggregated result of running a workload on one accelerator.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LayerRun {
+    /// Busy cycles (compute/memory roofline, including exposed overheads).
+    pub cycles: u64,
+    /// Energy breakdown.
+    pub energy: EnergyBreakdown,
+    /// Total DRAM traffic in bytes.
+    pub dram_bytes: f64,
+}
+
+impl LayerRun {
+    /// Element-wise accumulation.
+    pub fn add(&self, other: &LayerRun) -> LayerRun {
+        LayerRun {
+            cycles: self.cycles + other.cycles,
+            energy: self.energy.add(&other.energy),
+            dram_bytes: self.dram_bytes + other.dram_bytes,
+        }
+    }
+
+    /// Wall-clock milliseconds at `freq_ghz`.
+    pub fn time_ms(&self, freq_ghz: f64) -> f64 {
+        self.cycles as f64 / (freq_ghz * 1e6)
+    }
+
+    /// How much faster this run is than `baseline` (>1 means faster).
+    pub fn speedup_over(&self, baseline: &LayerRun) -> f64 {
+        baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Energy of this run relative to `baseline` (<1 means less energy).
+    pub fn energy_ratio_to(&self, baseline: &LayerRun) -> f64 {
+        self.energy.total() / baseline.energy.total().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Linear + attention results for one model/accelerator pair.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelRun {
+    /// Linear-layer portion.
+    pub linear: LayerRun,
+    /// Attention portion.
+    pub attention: LayerRun,
+}
+
+impl ModelRun {
+    /// Sum of both phases.
+    pub fn total(&self) -> LayerRun {
+        self.linear.add(&self.attention)
+    }
+}
+
+/// Runs one GEMM on an accelerator.
+pub fn run_gemm(acc: &AcceleratorConfig, em: &EnergyModel, g: &Gemm) -> LayerRun {
+    let policy = match g.phase {
+        Phase::Linear => acc.linear,
+        Phase::Attention => acc.attention.unwrap_or(FP16_POLICY),
+    };
+    match policy.weight {
+        WeightBits::Uniform { bits, meta_bits } => run_gemm_at(
+            acc,
+            em,
+            g,
+            policy.act_bits,
+            bits,
+            f64::from(bits) + meta_bits,
+            1.0,
+        ),
+        WeightBits::Mixed48 { frac8, meta_bits } => {
+            let hi = run_gemm_at(acc, em, g, policy.act_bits, 8, 8.0 + meta_bits, frac8);
+            let lo = run_gemm_at(acc, em, g, policy.act_bits, 4, 4.0 + meta_bits, 1.0 - frac8);
+            hi.add(&lo)
+        }
+    }
+}
+
+/// Runs `weight` fraction of one GEMM at a fixed weight width.
+fn run_gemm_at(
+    acc: &AcceleratorConfig,
+    em: &EnergyModel,
+    g: &Gemm,
+    act_bits: u8,
+    w_bits: u8,
+    w_storage_bits: f64,
+    fraction: f64,
+) -> LayerRun {
+    if fraction <= 0.0 {
+        return LayerRun::default();
+    }
+    let reps = g.count as f64 * fraction;
+    let (rows, cols) = array_shape(act_bits, w_bits);
+    let tiles_k = g.k.div_ceil(rows);
+    let tiles_n = g.n.div_ceil(cols);
+
+    // Compute cycles, scaled to the configured lane count (array_shape
+    // assumes the paper's 4096-lane budget).
+    let lane_scale = 4096.0 / acc.lanes_4x4 as f64;
+    let mut cycles =
+        gemm_cycles(act_bits, w_bits, g.m, g.k, g.n) as f64 * lane_scale;
+
+    // Group-wise scale application: fused designs hide it behind the
+    // accumulators (only the divider residue can surface); unfused designs
+    // pay vector-unit cycles for per-group dequantization of every partial
+    // output (Sec. VII-D: "the other methods do not optimize the process
+    // of scaling factor computation").
+    if let Some(group) = acc.group_size {
+        if acc.fused_group_pipeline {
+            cycles += divider_stall_cycles(act_bits, w_bits, g.k, g.n) as f64;
+        } else {
+            let dequant_ops = g.m as f64 * g.n as f64 * (g.k as f64 / group as f64);
+            cycles += dequant_ops / acc.hw.vector_ops_per_cycle as f64;
+        }
+    }
+
+    // Output width: quantizing designs write low-bit outputs, FP16
+    // designs write halves.
+    let out_bits = if policy_is_quantized(act_bits) { 8 } else { 16 };
+    let traffic = gemm_traffic(
+        g.m,
+        g.k,
+        g.n,
+        w_storage_bits,
+        act_bits,
+        out_bits,
+        tiles_k,
+        tiles_n,
+    );
+    let mem_cycles = dram_cycles(traffic.dram_bytes, acc.hw.dram_gb_s, acc.hw.freq_ghz) as f64;
+
+    // Roofline: compute and memory overlap; the run is bound by the max.
+    let bound = cycles.max(mem_cycles) * reps;
+    let cycles_total = bound.ceil() as u64;
+
+    let macs = g.m as f64 * g.k as f64 * g.n as f64 * reps;
+    let core = macs * em.mac_pj(acc, act_bits, w_bits) * 1e-12;
+    let buffer = traffic.sram_bytes * reps * em.sram_pj_per_byte * 1e-12;
+    let dram = traffic.dram_bytes * reps * em.dram_pj_per_byte * 1e-12;
+    let static_ = em.static_energy(cycles_total, acc.hw.freq_ghz);
+
+    LayerRun {
+        cycles: cycles_total,
+        energy: EnergyBreakdown {
+            core,
+            buffer,
+            dram,
+            static_,
+        },
+        dram_bytes: traffic.dram_bytes * reps,
+    }
+}
+
+fn policy_is_quantized(act_bits: u8) -> bool {
+    act_bits <= 8
+}
+
+/// Runs all linear layers of `cfg` at sequence length `seq`.
+pub fn run_linear(
+    acc: &AcceleratorConfig,
+    em: &EnergyModel,
+    cfg: &ModelConfig,
+    seq: usize,
+) -> LayerRun {
+    linear_gemms(cfg, seq)
+        .iter()
+        .map(|g| run_gemm(acc, em, g))
+        .fold(LayerRun::default(), |a, b| a.add(&b))
+}
+
+/// Runs the attention layers of `cfg` at sequence length `seq`.
+pub fn run_attention(
+    acc: &AcceleratorConfig,
+    em: &EnergyModel,
+    cfg: &ModelConfig,
+    seq: usize,
+) -> LayerRun {
+    attention_gemms(cfg, seq)
+        .iter()
+        .map(|g| run_gemm(acc, em, g))
+        .fold(LayerRun::default(), |a, b| a.add(&b))
+}
+
+/// Runs linear + attention.
+pub fn run_model(
+    acc: &AcceleratorConfig,
+    em: &EnergyModel,
+    cfg: &ModelConfig,
+    seq: usize,
+) -> ModelRun {
+    ModelRun {
+        linear: run_linear(acc, em, cfg, seq),
+        attention: run_attention(acc, em, cfg, seq),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn em() -> EnergyModel {
+        EnergyModel::default()
+    }
+
+    #[test]
+    fn mant_linear_speedup_over_ant_star_near_2x() {
+        // Fig. 12: MANT vs ANT* ≈ 2.00× in the linear layer (8×4 lanes vs
+        // 8×8 lanes, both compute-bound at seq 2048).
+        let cfg = ModelConfig::llama_7b();
+        let mant = run_linear(&AcceleratorConfig::mant(), &em(), &cfg, 2048);
+        let ant = run_linear(&AcceleratorConfig::ant_star(), &em(), &cfg, 2048);
+        let s = mant.speedup_over(&ant);
+        assert!((1.7..=2.3).contains(&s), "speedup {s}");
+    }
+
+    #[test]
+    fn mant_linear_speedup_over_bitfusion_large() {
+        // Fig. 12: ≈ 4.93× over BitFusion (16-bit weights).
+        let cfg = ModelConfig::llama_7b();
+        let mant = run_linear(&AcceleratorConfig::mant(), &em(), &cfg, 2048);
+        let bf = run_linear(&AcceleratorConfig::bitfusion(), &em(), &cfg, 2048);
+        let s = mant.speedup_over(&bf);
+        assert!((3.5..=6.0).contains(&s), "speedup {s}");
+    }
+
+    #[test]
+    fn linear_speedup_ordering_matches_fig12() {
+        // MANT > Tender > OliVe ≳ ANT* > BitFusion (higher = closer to MANT).
+        let cfg = ModelConfig::llama_7b();
+        let e = em();
+        let mant = run_linear(&AcceleratorConfig::mant(), &e, &cfg, 2048);
+        let tender = run_linear(&AcceleratorConfig::tender(), &e, &cfg, 2048);
+        let olive = run_linear(&AcceleratorConfig::olive(), &e, &cfg, 2048);
+        let ant = run_linear(&AcceleratorConfig::ant_star(), &e, &cfg, 2048);
+        let bf = run_linear(&AcceleratorConfig::bitfusion(), &e, &cfg, 2048);
+        let s_t = mant.speedup_over(&tender);
+        let s_o = mant.speedup_over(&olive);
+        let s_a = mant.speedup_over(&ant);
+        let s_b = mant.speedup_over(&bf);
+        assert!(s_t > 1.0 && s_t < s_o && s_o <= s_a && s_a < s_b,
+            "ordering violated: T {s_t} O {s_o} A {s_a} B {s_b}");
+    }
+
+    #[test]
+    fn attention_gap_grows_with_sequence_length() {
+        // Fig. 13: at 2K linear dominates (modest total speedup); by 128K
+        // the unquantized-attention baselines fall far behind.
+        let cfg = ModelConfig::llama_7b();
+        let e = em();
+        let mant2k = run_model(&AcceleratorConfig::mant(), &e, &cfg, 2048).total();
+        let olive2k = run_model(&AcceleratorConfig::olive(), &e, &cfg, 2048).total();
+        let mant128k = run_model(&AcceleratorConfig::mant(), &e, &cfg, 131_072).total();
+        let olive128k = run_model(&AcceleratorConfig::olive(), &e, &cfg, 131_072).total();
+        let s2k = mant2k.speedup_over(&olive2k);
+        let s128k = mant128k.speedup_over(&olive128k);
+        assert!(s128k > s2k, "2K {s2k} vs 128K {s128k}");
+        assert!((1.5..=3.0).contains(&s2k), "2K speedup {s2k}");
+        assert!((3.0..=9.0).contains(&s128k), "128K speedup {s128k}");
+    }
+
+    #[test]
+    fn mant_saves_energy_everywhere() {
+        let cfg = ModelConfig::llama_7b();
+        let e = em();
+        let mant = run_model(&AcceleratorConfig::mant(), &e, &cfg, 8192).total();
+        for acc in [
+            AcceleratorConfig::tender(),
+            AcceleratorConfig::olive(),
+            AcceleratorConfig::ant_star(),
+            AcceleratorConfig::bitfusion(),
+        ] {
+            let base = run_model(&acc, &e, &cfg, 8192).total();
+            let ratio = mant.energy_ratio_to(&base);
+            assert!(ratio < 1.0, "{}: energy ratio {ratio}", acc.name);
+        }
+    }
+
+    #[test]
+    fn mant_core_energy_not_lower_than_baselines() {
+        // Fig. 12's nuance: MANT's core energy is *similar* to baselines
+        // (dual lanes + dequant offset the narrower operands); the wins
+        // come from static/DRAM/buffer.
+        let cfg = ModelConfig::llama_7b();
+        let e = em();
+        let mant = run_linear(&AcceleratorConfig::mant(), &e, &cfg, 2048);
+        let tender = run_linear(&AcceleratorConfig::tender(), &e, &cfg, 2048);
+        let ratio = mant.energy.core / tender.energy.core;
+        assert!((0.6..=1.4).contains(&ratio), "core ratio {ratio}");
+        assert!(mant.energy.static_ < tender.energy.static_);
+    }
+
+    #[test]
+    fn groupwise_ablation_matches_fig14() {
+        // Fig. 14: MANT ≈ 1.70× over group-wise ANT at G-64.
+        let cfg = ModelConfig::llama_7b();
+        let e = em();
+        let mant = run_linear(&AcceleratorConfig::mant(), &e, &cfg, 2048);
+        let antg = run_linear(&AcceleratorConfig::ant_group(64), &e, &cfg, 2048);
+        let intg = run_linear(&AcceleratorConfig::int_group(64), &e, &cfg, 2048);
+        let s_ant = mant.speedup_over(&antg);
+        let s_int = mant.speedup_over(&intg);
+        assert!((1.3..=2.1).contains(&s_ant), "vs ANT-group {s_ant}");
+        assert!(s_int > 1.0, "vs INT-group {s_int}");
+    }
+
+    #[test]
+    fn decode_stage_is_memory_bound() {
+        // GEMV (m = 1): DRAM traffic decides everything; MANT's advantage
+        // over ANT* converges to the storage-bit ratio ≈ 8/4.375.
+        let cfg = ModelConfig::llama_7b();
+        let e = em();
+        let mant = run_linear(&AcceleratorConfig::mant(), &e, &cfg, 1);
+        let ant = run_linear(&AcceleratorConfig::ant_star(), &e, &cfg, 1);
+        let s = mant.speedup_over(&ant);
+        assert!((1.5..=2.0).contains(&s), "decode speedup {s}");
+    }
+
+    #[test]
+    fn layerrun_helpers() {
+        let a = LayerRun {
+            cycles: 100,
+            energy: EnergyBreakdown {
+                core: 1.0,
+                buffer: 1.0,
+                dram: 1.0,
+                static_: 1.0,
+            },
+            dram_bytes: 10.0,
+        };
+        let b = LayerRun {
+            cycles: 200,
+            ..a
+        };
+        assert_eq!(b.speedup_over(&a), 0.5);
+        assert_eq!(a.speedup_over(&b), 2.0);
+        assert_eq!(a.add(&b).cycles, 300);
+        assert!((a.time_ms(1.0) - 1e-4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,120 @@
+//! Weight-stationary systolic-array tiling model (paper Secs. VI-B/E).
+
+/// Bytes per cycle the multi-bank weight buffer can install into the array
+/// (Sec. VI-D's banked buffers). Byte-width ports make weight-stationary
+/// GEMV latency proportional to the weight *bits*, which is what makes the
+/// decode stage memory-bound and low-bit formats fast there.
+pub const WEIGHT_PORT_BYTES_PER_CYCLE: f64 = 128.0;
+
+/// The logical array shape for a given operand precision: 32 columns of
+/// PEGs, with the row (accumulation) dimension growing as weights narrow —
+/// 32×32 for INT8×INT8, 64×32 for INT8×INT4, 128×32 for INT8×INT2
+/// (Sec. VI-B). Wider operands compose lanes and shrink the array.
+pub fn array_shape(act_bits: u8, weight_bits: u8) -> (usize, usize) {
+    let rows = (32 * 8 / usize::from(weight_bits.div_ceil(2) * 2)).max(1);
+    let cols = (32 * 8 / usize::from(act_bits.div_ceil(2) * 2)).max(1);
+    (rows, cols)
+}
+
+/// Cycles for an `M×K×N` GEMM on the weight-stationary array.
+///
+/// The tiling follows Fig. 11: the array holds a `rows × cols` weight tile
+/// (rows along K); activations stream `m` rows through it per tile, with
+/// the next tile's weights loading concurrently (double buffering). The
+/// run is bound by the slower of activation streaming and weight
+/// installation, plus one pipeline fill/drain.
+pub fn gemm_cycles(act_bits: u8, weight_bits: u8, m: usize, k: usize, n: usize) -> u64 {
+    if m == 0 || k == 0 || n == 0 {
+        return 0;
+    }
+    let (rows, cols) = array_shape(act_bits, weight_bits);
+    let tiles_k = k.div_ceil(rows) as u64;
+    let tiles_n = n.div_ceil(cols) as u64;
+    let streaming = tiles_k * tiles_n * m as u64;
+    let weight_bytes = k as f64 * n as f64 * f64::from(weight_bits) / 8.0;
+    let loading = (weight_bytes / WEIGHT_PORT_BYTES_PER_CYCLE).ceil() as u64;
+    streaming.max(loading) + rows as u64 + cols as u64
+}
+
+/// Ideal (100%-utilization) cycles, for utilization accounting.
+pub fn ideal_cycles(macs_per_cycle: f64, m: usize, k: usize, n: usize) -> u64 {
+    let macs = m as f64 * k as f64 * n as f64;
+    (macs / macs_per_cycle).ceil() as u64
+}
+
+/// Non-overlapped quantization cycles per output tile (Sec. VI-E): the
+/// 12-cycle non-pipelined division unit is fully hidden iff the GEMM has at
+/// least 12 K-dimension iterations; otherwise the residue stalls the array.
+pub fn divider_stall_cycles(act_bits: u8, weight_bits: u8, k: usize, n: usize) -> u64 {
+    const DIVIDER_LATENCY: u64 = 12;
+    let (rows, cols) = array_shape(act_bits, weight_bits);
+    let tiles_k = k.div_ceil(rows) as u64;
+    let tiles_n = n.div_ceil(cols) as u64;
+    if tiles_k >= DIVIDER_LATENCY {
+        0
+    } else {
+        (DIVIDER_LATENCY - tiles_k) * tiles_n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_paper() {
+        assert_eq!(array_shape(8, 8), (32, 32));
+        assert_eq!(array_shape(8, 4), (64, 32));
+        assert_eq!(array_shape(8, 2), (128, 32));
+        assert_eq!(array_shape(8, 16), (16, 32));
+        assert_eq!(array_shape(16, 16), (16, 16));
+    }
+
+    #[test]
+    fn utilization_high_for_large_gemm() {
+        // LLaMA-7B linear shape at seq 2048.
+        let cycles = gemm_cycles(8, 4, 2048, 4096, 4096);
+        let ideal = ideal_cycles(2048.0, 2048, 4096, 4096);
+        let util = ideal as f64 / cycles as f64;
+        assert!(util > 0.9, "utilization {util}");
+        assert!(util <= 1.0);
+    }
+
+    #[test]
+    fn gemv_is_weight_load_bound() {
+        // Decode-stage GEMV (m = 1): installing the weights dominates; the
+        // array utilization collapses, as expected of a memory-bound stage.
+        let cycles = gemm_cycles(8, 4, 1, 4096, 4096);
+        let ideal = ideal_cycles(2048.0, 1, 4096, 4096);
+        assert!(cycles > ideal * 5);
+        // And the time tracks weight *bytes*: 8-bit takes ~2× longer.
+        let cycles8 = gemm_cycles(8, 8, 1, 4096, 4096);
+        let r = cycles8 as f64 / cycles as f64;
+        assert!((1.8..=2.2).contains(&r), "{r}");
+    }
+
+    #[test]
+    fn narrower_weights_run_faster() {
+        let c8 = gemm_cycles(8, 8, 512, 4096, 4096);
+        let c4 = gemm_cycles(8, 4, 512, 4096, 4096);
+        let c16 = gemm_cycles(8, 16, 512, 4096, 4096);
+        assert!(c4 < c8 && c8 < c16);
+        // Roughly 2× per halving for large GEMMs.
+        let r = c8 as f64 / c4 as f64;
+        assert!((1.6..=2.2).contains(&r), "{r}");
+    }
+
+    #[test]
+    fn divider_hidden_for_deep_k() {
+        // K/rows ≥ 12 → fully hidden (the paper's 0.3% example).
+        assert_eq!(divider_stall_cycles(8, 4, 4096, 4096), 0);
+        // Shallow K: stalls appear.
+        assert!(divider_stall_cycles(8, 4, 128, 4096) > 0);
+    }
+
+    #[test]
+    fn zero_dims() {
+        assert_eq!(gemm_cycles(8, 4, 0, 128, 128), 0);
+        assert_eq!(gemm_cycles(8, 4, 128, 0, 128), 0);
+    }
+}

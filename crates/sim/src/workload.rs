@@ -1,0 +1,110 @@
+//! GEMM workloads derived from model configurations.
+
+use mant_model::ModelConfig;
+
+/// Which execution phase a GEMM belongs to (precision policies differ).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Weight × activation projections.
+    Linear,
+    /// `Q·Kᵀ` and `P·V` against the KV cache.
+    Attention,
+}
+
+/// One GEMM instance (possibly repeated `count` times).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Gemm {
+    /// Label for reports.
+    pub name: String,
+    /// Output rows (sequence/batch dimension).
+    pub m: usize,
+    /// Accumulation dimension.
+    pub k: usize,
+    /// Output columns.
+    pub n: usize,
+    /// Repetitions (layers × heads).
+    pub count: usize,
+    /// Phase, selecting the precision policy.
+    pub phase: Phase,
+}
+
+impl Gemm {
+    /// Total multiply-accumulates across repetitions.
+    pub fn macs(&self) -> f64 {
+        self.m as f64 * self.k as f64 * self.n as f64 * self.count as f64
+    }
+}
+
+/// The linear-layer GEMMs of a full forward pass at sequence length `seq`
+/// (prefill-style, batch 1 — the paper's Fig. 12 setting).
+pub fn linear_gemms(cfg: &ModelConfig, seq: usize) -> Vec<Gemm> {
+    cfg.linear_layer_shapes()
+        .into_iter()
+        .map(|(name, k, n)| Gemm {
+            name: name.to_owned(),
+            m: seq,
+            k,
+            n,
+            count: cfg.layers,
+            phase: Phase::Linear,
+        })
+        .collect()
+}
+
+/// The attention GEMMs at sequence length `seq`: per head,
+/// `Q·Kᵀ` (`seq × head_dim × seq`) and `P·V` (`seq × seq × head_dim`).
+pub fn attention_gemms(cfg: &ModelConfig, seq: usize) -> Vec<Gemm> {
+    let hd = cfg.head_dim();
+    vec![
+        Gemm {
+            name: "qk^T".to_owned(),
+            m: seq,
+            k: hd,
+            n: seq,
+            count: cfg.layers * cfg.heads,
+            phase: Phase::Attention,
+        },
+        Gemm {
+            name: "pv".to_owned(),
+            m: seq,
+            k: seq,
+            n: hd,
+            count: cfg.layers * cfg.heads,
+            phase: Phase::Attention,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_macs_scale_with_seq() {
+        let cfg = ModelConfig::llama_7b();
+        let g1 = linear_gemms(&cfg, 1);
+        let g2k = linear_gemms(&cfg, 2048);
+        let m1: f64 = g1.iter().map(Gemm::macs).sum();
+        let m2k: f64 = g2k.iter().map(Gemm::macs).sum();
+        assert!((m2k / m1 - 2048.0).abs() < 1.0);
+        // Forward-pass MACs ≈ linear params.
+        assert!((m1 - cfg.linear_params() as f64).abs() < 1.0);
+    }
+
+    #[test]
+    fn attention_macs_quadratic_in_seq() {
+        let cfg = ModelConfig::llama_7b();
+        let a2k: f64 = attention_gemms(&cfg, 2048).iter().map(Gemm::macs).sum();
+        let a8k: f64 = attention_gemms(&cfg, 8192).iter().map(Gemm::macs).sum();
+        assert!((a8k / a2k - 16.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn attention_dominates_at_long_seq() {
+        // Fig. 13's premise: at 128K the attention layer dwarfs linear.
+        let cfg = ModelConfig::llama_7b();
+        let lin: f64 = linear_gemms(&cfg, 131_072).iter().map(Gemm::macs).sum();
+        let att: f64 = attention_gemms(&cfg, 131_072).iter().map(Gemm::macs).sum();
+        assert!(att > 2.0 * lin, "attention {att} vs linear {lin}");
+    }
+}

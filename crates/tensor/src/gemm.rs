@@ -1,0 +1,121 @@
+//! Dense matrix multiplication.
+
+use crate::matrix::Matrix;
+
+/// `C = A · B` for row-major matrices, with a cache-friendly ikj loop.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use mant_tensor::{gemm, Matrix};
+///
+/// let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+/// let b = Matrix::from_vec(2, 1, vec![3.0, 4.0]);
+/// assert_eq!(gemm(&a, &b).as_slice(), &[11.0]);
+/// ```
+pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "inner dimensions differ: {}×{} · {}×{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (c_val, &b_val) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_val += a_ip * b_val;
+            }
+        }
+    }
+    c
+}
+
+/// `y = x · B` for a vector `x` of length `b.rows()`.
+///
+/// # Panics
+///
+/// Panics if `x.len() != b.rows()`.
+pub fn gemv(x: &[f32], b: &Matrix) -> Vec<f32> {
+    assert_eq!(x.len(), b.rows(), "vector length mismatch");
+    let mut y = vec![0.0f32; b.cols()];
+    for (p, &xv) in x.iter().enumerate() {
+        if xv == 0.0 {
+            continue;
+        }
+        for (yv, &bv) in y.iter_mut().zip(b.row(p).iter()) {
+            *yv += xv * bv;
+        }
+    }
+    y
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut c = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for p in 0..a.cols() {
+                    acc += a[(i, p)] * b[(p, j)];
+                }
+                c[(i, j)] = acc;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_naive() {
+        let a = Matrix::from_fn(7, 5, |r, c| ((r * 31 + c * 17) % 13) as f32 - 6.0);
+        let b = Matrix::from_fn(5, 9, |r, c| ((r * 7 + c * 3) % 11) as f32 - 5.0);
+        let fast = gemm(&a, &b);
+        let slow = naive(&a, &b);
+        assert!(fast.distance(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn identity() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        let id = Matrix::from_fn(4, 4, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert_eq!(gemm(&a, &id), a);
+        assert_eq!(gemm(&id, &a), a);
+    }
+
+    #[test]
+    fn gemv_matches_gemm() {
+        let b = Matrix::from_fn(6, 3, |r, c| (r as f32 - c as f32) * 0.5);
+        let x: Vec<f32> = (0..6).map(|i| i as f32 * 0.3 - 1.0).collect();
+        let via_gemm = gemm(&Matrix::from_vec(1, 6, x.clone()), &b);
+        let via_gemv = gemv(&x, &b);
+        for (a, b) in via_gemm.as_slice().iter().zip(via_gemv.iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        let _ = gemm(&a, &b);
+    }
+}

@@ -1,0 +1,144 @@
+//! Group views along the inner (contiguous) dimension of a matrix.
+//!
+//! Group-wise quantization treats `group_size` contiguous elements within a
+//! row as one compression unit sharing a scale (and, for MANT, a
+//! coefficient `a`). The inner dimension is the accumulation dimension of
+//! the GEMM (Sec. III-C), so each row of the weight matrix (laid out with
+//! the accumulation dimension contiguous) is split into `cols/group_size`
+//! groups.
+
+use crate::matrix::Matrix;
+
+/// An iterator-friendly grouping of a matrix's rows into fixed-size chunks.
+///
+/// # Example
+///
+/// ```
+/// use mant_tensor::{GroupedRows, Matrix};
+///
+/// let m = Matrix::from_fn(2, 8, |r, c| (r * 8 + c) as f32);
+/// let groups = GroupedRows::new(&m, 4);
+/// assert_eq!(groups.groups_per_row(), 2);
+/// assert_eq!(groups.group(0, 1), &[4.0, 5.0, 6.0, 7.0]);
+/// ```
+#[derive(Debug)]
+pub struct GroupedRows<'a> {
+    matrix: &'a Matrix,
+    group_size: usize,
+}
+
+impl<'a> GroupedRows<'a> {
+    /// Creates a grouping with the given group size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero or does not divide the column count.
+    /// (The paper always chooses group sizes dividing the hidden dimension.)
+    pub fn new(matrix: &'a Matrix, group_size: usize) -> Self {
+        assert!(group_size > 0, "group size must be positive");
+        assert_eq!(
+            matrix.cols() % group_size,
+            0,
+            "group size {} does not divide row length {}",
+            group_size,
+            matrix.cols()
+        );
+        GroupedRows { matrix, group_size }
+    }
+
+    /// The configured group size.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of groups in each row.
+    pub fn groups_per_row(&self) -> usize {
+        self.matrix.cols() / self.group_size
+    }
+
+    /// Total number of groups in the matrix.
+    pub fn group_count(&self) -> usize {
+        self.matrix.rows() * self.groups_per_row()
+    }
+
+    /// The elements of group `g` in row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `g` is out of bounds.
+    pub fn group(&self, r: usize, g: usize) -> &[f32] {
+        assert!(g < self.groups_per_row(), "group {g} out of bounds");
+        let row = self.matrix.row(r);
+        &row[g * self.group_size..(g + 1) * self.group_size]
+    }
+
+    /// Iterates over `(row, group_index, slice)` for every group.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &[f32])> + '_ {
+        let gpr = self.groups_per_row();
+        (0..self.matrix.rows())
+            .flat_map(move |r| (0..gpr).map(move |g| (r, g, self.group(r, g))))
+    }
+}
+
+/// Splits a flat slice into equal groups.
+///
+/// # Panics
+///
+/// Panics if `group_size` is zero or does not divide `data.len()`.
+pub fn chunk_groups(data: &[f32], group_size: usize) -> impl Iterator<Item = &[f32]> {
+    assert!(group_size > 0, "group size must be positive");
+    assert_eq!(
+        data.len() % group_size,
+        0,
+        "group size {} does not divide length {}",
+        group_size,
+        data.len()
+    );
+    data.chunks_exact(group_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grouping_counts() {
+        // The paper's example: (2048, 4096) with group 128 → 65536 groups.
+        let m = Matrix::zeros(16, 4096);
+        let g = GroupedRows::new(&m, 128);
+        assert_eq!(g.groups_per_row(), 32);
+        assert_eq!(g.group_count(), 16 * 32);
+        assert_eq!(g.group_size(), 128);
+    }
+
+    #[test]
+    fn group_slices_are_contiguous() {
+        let m = Matrix::from_fn(1, 6, |_, c| c as f32);
+        let g = GroupedRows::new(&m, 3);
+        assert_eq!(g.group(0, 0), &[0.0, 1.0, 2.0]);
+        assert_eq!(g.group(0, 1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn iter_visits_all_groups_in_order() {
+        let m = Matrix::from_fn(2, 4, |r, c| (r * 4 + c) as f32);
+        let g = GroupedRows::new(&m, 2);
+        let seen: Vec<(usize, usize)> = g.iter().map(|(r, gi, _)| (r, gi)).collect();
+        assert_eq!(seen, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not divide")]
+    fn indivisible_group_panics() {
+        let m = Matrix::zeros(1, 10);
+        let _ = GroupedRows::new(&m, 4);
+    }
+
+    #[test]
+    fn chunk_groups_flat() {
+        let data = [1.0f32, 2.0, 3.0, 4.0];
+        let chunks: Vec<&[f32]> = chunk_groups(&data, 2).collect();
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[1], &[3.0, 4.0]);
+    }
+}

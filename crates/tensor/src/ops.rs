@@ -1,0 +1,152 @@
+//! Transformer activation functions and normalizations.
+
+use crate::matrix::Matrix;
+
+/// In-place numerically stable softmax over a slice.
+///
+/// An all-`-inf` or empty slice becomes all zeros (no probability mass).
+pub fn softmax_inplace(x: &mut [f32]) {
+    if x.is_empty() {
+        return;
+    }
+    let max = x.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    if max == f32::NEG_INFINITY {
+        x.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let mut sum = 0.0f32;
+    for v in x.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in x.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Row-wise softmax of a matrix.
+pub fn softmax_rows(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        softmax_inplace(out.row_mut(r));
+    }
+    out
+}
+
+/// RMSNorm: `x_i · g_i / sqrt(mean(x²) + ε)`, the normalization used by the
+/// LLaMA family.
+pub fn rmsnorm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
+    assert_eq!(x.len(), gain.len(), "gain length mismatch");
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let ms: f32 = x.iter().map(|&v| v * v).sum::<f32>() / x.len() as f32;
+    let inv = 1.0 / (ms + eps).sqrt();
+    x.iter().zip(gain.iter()).map(|(&v, &g)| v * inv * g).collect()
+}
+
+/// SiLU (swish) activation: `x · σ(x)`.
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// GELU activation (tanh approximation), used by the OPT family.
+pub fn gelu(x: f32) -> f32 {
+    0.5 * x * (1.0 + ((2.0 / std::f32::consts::PI).sqrt() * (x + 0.044715 * x * x * x)).tanh())
+}
+
+/// Element-wise product of two slices.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn hadamard(a: &[f32], b: &[f32]) -> Vec<f32> {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).collect()
+}
+
+/// Cross-entropy `−Σ p·ln(q)` between two probability vectors, with
+/// clamping to avoid `ln(0)`.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn cross_entropy(p: &[f32], q: &[f32]) -> f64 {
+    assert_eq!(p.len(), q.len(), "length mismatch");
+    let mut acc = 0.0f64;
+    for (&pi, &qi) in p.iter().zip(q.iter()) {
+        if pi > 0.0 {
+            acc -= f64::from(pi) * f64::from(qi.max(1e-12)).ln();
+        }
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut x = vec![1.0f32, 2.0, 3.0, -1.0];
+        softmax_inplace(&mut x);
+        let sum: f32 = x.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(x[2] > x[1] && x[1] > x[0] && x[0] > x[3]);
+    }
+
+    #[test]
+    fn softmax_stable_for_large_inputs() {
+        let mut x = vec![1000.0f32, 1001.0];
+        softmax_inplace(&mut x);
+        assert!(x.iter().all(|v| v.is_finite()));
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_degenerate() {
+        let mut empty: Vec<f32> = vec![];
+        softmax_inplace(&mut empty);
+        let mut ninf = vec![f32::NEG_INFINITY; 3];
+        softmax_inplace(&mut ninf);
+        assert_eq!(ninf, vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn rmsnorm_unit_scale() {
+        let x = vec![3.0f32, -4.0]; // rms = sqrt(12.5)
+        let g = vec![1.0f32, 1.0];
+        let y = rmsnorm(&x, &g, 0.0);
+        let rms: f32 = (y.iter().map(|v| v * v).sum::<f32>() / 2.0).sqrt();
+        assert!((rms - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn silu_and_gelu_fixed_points() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!(silu(10.0) > 9.99);
+        assert!(silu(-10.0).abs() < 1e-3);
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(3.0) - 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn cross_entropy_minimized_at_match() {
+        let p = vec![0.7f32, 0.2, 0.1];
+        let ce_self = cross_entropy(&p, &p);
+        let q = vec![0.1f32, 0.2, 0.7];
+        assert!(cross_entropy(&p, &q) > ce_self);
+    }
+
+    #[test]
+    fn softmax_rows_shape() {
+        let m = Matrix::from_fn(3, 4, |r, c| (r + c) as f32);
+        let s = softmax_rows(&m);
+        for r in 0..3 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! Seeded generators reproducing LLM tensor distributions.
+//!
+//! The paper's accuracy results rest on two empirical facts about LLM
+//! tensors, both of which these generators reproduce synthetically (see the
+//! substitution table in `DESIGN.md`):
+//!
+//! 1. **Group-level diversity** (Fig. 3): whole tensors look alike, but
+//!    individual 64/128-element groups follow visibly different
+//!    distributions. [`TensorGenerator::group_diverse_matrix`] draws each
+//!    group from a randomly chosen family (Gaussian/Laplace/uniform/
+//!    heavy-tailed) with a randomized spread.
+//! 2. **Activation outlier channels** (LLM.int8, SmoothQuant): a few
+//!    channels carry magnitudes 10–100× the rest, which is what breaks
+//!    tensor-wise 4-bit activation quantization for ANT/OliVe in Tbl. II.
+//!    [`TensorGenerator::activation_matrix`] plants such channels.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Families of element distributions observed at the group level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DistributionKind {
+    /// Standard bell curve; the bulk of weight groups.
+    Gaussian,
+    /// Sharper peak, heavier tail than Gaussian; fits PoT-like grids.
+    Laplace,
+    /// Flat; fits INT grids.
+    Uniform,
+    /// Gaussian with lognormal scale mixing — occasional large values.
+    HeavyTail,
+}
+
+impl DistributionKind {
+    /// All families, for round-robin / random selection.
+    pub const ALL: [DistributionKind; 4] = [
+        DistributionKind::Gaussian,
+        DistributionKind::Laplace,
+        DistributionKind::Uniform,
+        DistributionKind::HeavyTail,
+    ];
+}
+
+/// A seeded source of synthetic tensors.
+///
+/// # Example
+///
+/// ```
+/// use mant_tensor::{DistributionKind, TensorGenerator};
+///
+/// let mut g = TensorGenerator::new(42);
+/// let w = g.matrix(4, 64, DistributionKind::Gaussian, 0.02);
+/// assert_eq!(w.shape(), (4, 64));
+/// ```
+#[derive(Debug)]
+pub struct TensorGenerator {
+    rng: StdRng,
+}
+
+impl TensorGenerator {
+    /// Creates a generator with a fixed seed (all experiments are
+    /// deterministic given their seeds).
+    pub fn new(seed: u64) -> Self {
+        TensorGenerator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// One standard-normal sample (Box–Muller).
+    pub fn standard_normal(&mut self) -> f32 {
+        let u1: f32 = self.rng.random::<f32>().max(1e-12);
+        let u2: f32 = self.rng.random();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// One sample from `kind` with the given scale parameter.
+    pub fn sample(&mut self, kind: DistributionKind, scale: f32) -> f32 {
+        match kind {
+            DistributionKind::Gaussian => self.standard_normal() * scale,
+            DistributionKind::Laplace => {
+                // Inverse-CDF: −b·sgn(u)·ln(1−2|u|), u ∈ (−½, ½).
+                let u: f32 = self.rng.random::<f32>() - 0.5;
+                let b = scale / std::f32::consts::SQRT_2; // matches variance scale²
+                -b * u.signum() * (1.0 - 2.0 * u.abs()).max(1e-12).ln()
+            }
+            DistributionKind::Uniform => {
+                // Uniform on ±√3·scale has variance scale².
+                let u: f32 = self.rng.random::<f32>() * 2.0 - 1.0;
+                u * scale * 3.0f32.sqrt()
+            }
+            DistributionKind::HeavyTail => {
+                let z = self.standard_normal();
+                let mix = (0.8 * self.standard_normal()).exp();
+                z * scale * mix
+            }
+        }
+    }
+
+    /// A `rows × cols` matrix of i.i.d. samples.
+    pub fn matrix(&mut self, rows: usize, cols: usize, kind: DistributionKind, scale: f32) -> Matrix {
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(self.sample(kind, scale));
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// A weight matrix exhibiting the paper's group-level diversity: each
+    /// `group_size`-element group along a row draws a random family and a
+    /// random spread (log-uniform over roughly one decade around `scale`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` is zero or does not divide `cols`.
+    pub fn group_diverse_matrix(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        group_size: usize,
+        scale: f32,
+    ) -> Matrix {
+        assert!(group_size > 0 && cols % group_size == 0);
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows {
+            for _ in 0..cols / group_size {
+                let kind = DistributionKind::ALL
+                    [self.rng.random_range(0..DistributionKind::ALL.len())];
+                let spread: f32 = scale * 10.0f32.powf(self.rng.random_range(-0.6..0.6));
+                for _ in 0..group_size {
+                    data.push(self.sample(kind, spread));
+                }
+            }
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    /// An activation matrix: Gaussian bulk plus a fraction of outlier
+    /// channels (columns) whose magnitudes are `outlier_scale`× the bulk —
+    /// the structure that defeats tensor-wise low-bit quantization.
+    pub fn activation_matrix(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        scale: f32,
+        outlier_channel_frac: f64,
+        outlier_scale: f32,
+    ) -> Matrix {
+        let outlier: Vec<bool> = (0..cols)
+            .map(|_| self.rng.random::<f64>() < outlier_channel_frac)
+            .collect();
+        Matrix::from_fn(rows, cols, |_, c| {
+            let s = if outlier[c] { scale * outlier_scale } else { scale };
+            self.sample(DistributionKind::Gaussian, s)
+        })
+    }
+
+    /// A uniformly random token id in `[0, vocab)`.
+    pub fn token(&mut self, vocab: usize) -> usize {
+        self.rng.random_range(0..vocab)
+    }
+
+    /// Uniform float in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.random_range(lo..hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{abs_max, variance};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = TensorGenerator::new(7).matrix(3, 8, DistributionKind::Gaussian, 1.0);
+        let b = TensorGenerator::new(7).matrix(3, 8, DistributionKind::Gaussian, 1.0);
+        assert_eq!(a, b);
+        let c = TensorGenerator::new(8).matrix(3, 8, DistributionKind::Gaussian, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn variances_match_scale() {
+        let mut g = TensorGenerator::new(1);
+        for kind in [
+            DistributionKind::Gaussian,
+            DistributionKind::Laplace,
+            DistributionKind::Uniform,
+        ] {
+            let m = g.matrix(1, 20_000, kind, 0.5);
+            let v = variance(m.as_slice());
+            assert!((v - 0.25).abs() < 0.03, "{kind:?}: var {v}");
+        }
+    }
+
+    #[test]
+    fn heavy_tail_has_larger_kurtosis() {
+        let mut g = TensorGenerator::new(2);
+        let normal = g.matrix(1, 20_000, DistributionKind::Gaussian, 1.0);
+        let heavy = g.matrix(1, 20_000, DistributionKind::HeavyTail, 1.0);
+        // Max/std ratio is far larger for the heavy-tailed family.
+        let r_n = abs_max(normal.as_slice()) / variance(normal.as_slice()).sqrt() as f32;
+        let r_h = abs_max(heavy.as_slice()) / variance(heavy.as_slice()).sqrt() as f32;
+        assert!(r_h > r_n * 1.5, "{r_n} vs {r_h}");
+    }
+
+    #[test]
+    fn group_diverse_groups_differ() {
+        let mut g = TensorGenerator::new(3);
+        let m = g.group_diverse_matrix(1, 64 * 16, 64, 0.02);
+        // Normalized variances across groups should span a wide range.
+        let mut nvars: Vec<f64> = Vec::new();
+        for chunk in m.as_slice().chunks_exact(64) {
+            let amax = abs_max(chunk) as f64;
+            if amax > 0.0 {
+                nvars.push(variance(chunk) / (amax * amax));
+            }
+        }
+        let lo = nvars.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = nvars.iter().cloned().fold(0.0, f64::max);
+        assert!(hi / lo > 3.0, "group diversity too low: {lo}..{hi}");
+    }
+
+    #[test]
+    fn activation_outlier_channels_dominate() {
+        let mut g = TensorGenerator::new(4);
+        let m = g.activation_matrix(64, 256, 1.0, 0.02, 50.0);
+        // Tensor max should be dominated by outlier channels: much larger
+        // than the bulk-only expectation (~4 sigma).
+        assert!(abs_max(m.as_slice()) > 25.0);
+    }
+
+    #[test]
+    fn token_in_range() {
+        let mut g = TensorGenerator::new(5);
+        for _ in 0..100 {
+            assert!(g.token(17) < 17);
+        }
+    }
+}

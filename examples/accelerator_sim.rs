@@ -1,0 +1,46 @@
+//! Run the systolic-array accelerator model: compare MANT against the
+//! paper's baselines on LLaMA-7B at several sequence lengths.
+//!
+//! Run with `cargo run --release --example accelerator_sim`.
+
+use mant::model::ModelConfig;
+use mant::sim::{area_report, run_model, AcceleratorConfig, EnergyModel};
+
+fn main() {
+    let cfg = ModelConfig::llama_7b();
+    let em = EnergyModel::default();
+
+    println!("synthesized core areas (28 nm, paper Tbl. IV):");
+    for r in area_report() {
+        println!("  {:<8} {:.3} mm^2", r.name, r.core_mm2());
+    }
+
+    for seq in [2048usize, 32768] {
+        println!("\nLLaMA-7B, sequence length {seq} (prefill, batch 1):");
+        println!(
+            "  {:<10} {:>12} {:>12} {:>10} {:>10}",
+            "accel", "linear ms", "attn ms", "speedup", "energy"
+        );
+        let runs: Vec<_> = AcceleratorConfig::paper_set()
+            .into_iter()
+            .map(|acc| {
+                let run = run_model(&acc, &em, &cfg, seq);
+                (acc.name.clone(), run)
+            })
+            .collect();
+        let base = runs.last().expect("paper set is non-empty").1.total();
+        for (name, run) in &runs {
+            let total = run.total();
+            println!(
+                "  {:<10} {:>12.2} {:>12.2} {:>9.2}x {:>9.2}x",
+                name,
+                run.linear.time_ms(1.0),
+                run.attention.time_ms(1.0),
+                total.speedup_over(&base),
+                base.energy.total() / total.energy.total(),
+            );
+        }
+        println!("  (speedup/energy relative to BitFusion; baselines compute");
+        println!("   attention in FP16 because they cannot quantize the KV cache)");
+    }
+}

@@ -1,0 +1,41 @@
+//! Quickstart: group-quantize a weight tensor with MANT and inspect what
+//! the framework chose.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use mant::prelude::*;
+use mant::quant::{mant_gemm, quantize_activations_int8, MantWeightQuantizer};
+use mant::tensor::{gemm, mse, TensorGenerator};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The MANT numeric type: one 8-bit coefficient `a` selects a grid.
+    let mant = Mant::new(17)?;
+    println!("MANT(a=17) levels: {:?}", mant.levels());
+    println!("  encode(-60.0) -> {:?} -> {}", mant.encode(-60.0), mant.decode(mant.encode(-60.0)));
+
+    // 2. Quantize a group-diverse weight matrix (the distribution shape
+    //    real LLM weights have — every 64-element group looks different).
+    let mut gen = TensorGenerator::new(42);
+    let w = gen.group_diverse_matrix(64, 512, 64, 0.02);
+    let quantizer = MantWeightQuantizer::new(64);
+    let wq = quantizer.quantize(&w)?;
+    println!("\nquantized 64x512 weights at {:.3} bits/element", wq.bits_per_element());
+    println!("selected data types per group:");
+    for (label, count) in wq.dtype_histogram() {
+        println!("  {label:>6}: {count} groups");
+    }
+    let err = mse(w.as_slice(), wq.dequantize().as_slice());
+    let power = mse(w.as_slice(), &vec![0.0; w.len()]);
+    println!("relative quantization error: {:.4}%", 100.0 * err / power);
+
+    // 3. Decode-free integer GEMM (paper Eq. (5)): activations in INT8,
+    //    weights in 4-bit MANT, no dequantization step.
+    let x = gen.activation_matrix(4, 512, 1.0, 0.01, 15.0);
+    let xq = quantize_activations_int8(&x, 64)?;
+    let y_fused = mant_gemm(&xq, &wq)?;
+    let y_exact = gemm(&x, &w.transpose());
+    let rel = y_exact.distance(&y_fused)
+        / y_exact.as_slice().iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt();
+    println!("\nfused W4A8 integer GEMM vs FP32: relative error {:.3}%", rel * 100.0);
+    Ok(())
+}

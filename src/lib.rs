@@ -1,0 +1,18 @@
+//! Facade crate for the M-ANT reproduction workspace.
+//!
+//! Re-exports the public API of every member crate so examples and
+//! downstream users need a single dependency. See the workspace README for
+//! the architecture overview and `DESIGN.md` for the experiment index.
+
+pub use mant_baselines as baselines;
+pub use mant_core as core;
+pub use mant_model as model;
+pub use mant_numerics as numerics;
+pub use mant_quant as quant;
+pub use mant_sim as sim;
+pub use mant_tensor as tensor;
+
+/// Convenience re-exports of the types used in almost every program.
+pub mod prelude {
+    pub use mant_numerics::{DataType, Grid, Mant, MantCode, NumericsError};
+}

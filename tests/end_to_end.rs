@@ -1,0 +1,77 @@
+//! Cross-crate integration tests: the full calibrate → quantize → infer →
+//! evaluate pipeline, spanning numerics, quant, baselines, model, and core.
+
+use mant::baselines::{BitFusionQuantizer, TenderQuantizer};
+use mant::core::Pipeline;
+use mant::model::{ActMode, KvMode, ModelConfig};
+use mant::quant::Granularity;
+
+#[test]
+fn calibrated_pipeline_end_to_end() {
+    let mut pipe = Pipeline::new(&ModelConfig::sim_llama(), 2024);
+    let calib = pipe.calibrate(40);
+    assert!(calib.kv_group_count() > 0);
+
+    let quantized = pipe.quantize_w4(64);
+    let fp = pipe.evaluate(pipe.reference(), ActMode::None, KvMode::Fp16, 24);
+    let w4 = pipe.evaluate(&quantized, ActMode::None, KvMode::Fp16, 24);
+    let w4a8 = pipe.evaluate(
+        &quantized,
+        ActMode::IntGroup { bits: 8, group: 64 },
+        KvMode::Fp16,
+        24,
+    );
+    let full = pipe.evaluate(
+        &quantized,
+        ActMode::IntGroup { bits: 8, group: 64 },
+        KvMode::Mant4 { group: 64 },
+        24,
+    );
+    // Monotone degradation chain, no blowups.
+    assert!((fp.ppl - fp.ppl_fp).abs() < 1e-9);
+    assert!(w4.ppl >= fp.ppl);
+    assert!(w4a8.ppl < fp.ppl * 2.0, "W4A8 {} vs FP {}", w4a8.ppl, fp.ppl);
+    assert!(full.ppl < fp.ppl * 2.5, "full stack {} vs FP {}", full.ppl, fp.ppl);
+}
+
+#[test]
+fn mant_beats_baselines_at_w4() {
+    let pipe = Pipeline::new(&ModelConfig::sim_llama(), 31);
+    let mant = pipe.quantize_w4(64);
+    let int4 = pipe.quantize_with(&BitFusionQuantizer::new(4, Granularity::Group(64)));
+    let tender = pipe.quantize_with(&TenderQuantizer::w4(64));
+
+    let p = |m| pipe.evaluate(m, ActMode::None, KvMode::Fp16, 32).ppl;
+    let mant_ppl = p(&mant);
+    assert!(mant_ppl <= p(&int4) * 1.001, "MANT {} vs INT4 {}", mant_ppl, p(&int4));
+    assert!(mant_ppl <= p(&tender) * 1.001, "MANT {} vs Tender {}", mant_ppl, p(&tender));
+}
+
+#[test]
+fn opt_style_models_run_too() {
+    let pipe = Pipeline::new(&ModelConfig::sim_opt(), 77);
+    let q = pipe.quantize_w4(64);
+    let rep = pipe.evaluate(
+        &q,
+        ActMode::IntGroup { bits: 8, group: 64 },
+        KvMode::Mant4 { group: 64 },
+        16,
+    );
+    assert!(rep.ppl.is_finite());
+    assert!(rep.ppl >= rep.ppl_fp);
+}
+
+#[test]
+fn generation_with_full_quantization_stays_reasonable() {
+    let pipe = Pipeline::new(&ModelConfig::sim_llama(), 55);
+    let q = pipe.quantize_w4(64);
+    let fidelity = pipe.evaluate_generation(
+        &q,
+        ActMode::IntGroup { bits: 8, group: 64 },
+        KvMode::Mant4 { group: 64 },
+        10,
+        24,
+    );
+    assert!((0.0..=1.0).contains(&fidelity));
+    assert!(fidelity > 0.2, "fidelity collapsed: {fidelity}");
+}

@@ -1,0 +1,95 @@
+//! Integration tests tying the simulator to the model configurations and
+//! the paper's headline performance claims.
+
+use mant::model::ModelConfig;
+use mant::sim::{
+    area_report, attention_gemms, linear_gemms, run_gemm, run_model, AcceleratorConfig,
+    EnergyModel,
+};
+
+#[test]
+fn headline_speedup_and_energy_claims() {
+    // Abstract: "on average 2.99× (up to 4.46×) speedup and 2.81× (up to
+    // 4.10×) energy reduction to the state-of-the-art LLM accelerator
+    // [Tender] in different sequence lengths."
+    let em = EnergyModel::default();
+    let cfg = ModelConfig::llama_7b();
+    let mut speedups = Vec::new();
+    let mut energies = Vec::new();
+    for seq in [2048usize, 8192, 32768, 131072] {
+        let mant = run_model(&AcceleratorConfig::mant(), &em, &cfg, seq).total();
+        let tender = run_model(&AcceleratorConfig::tender(), &em, &cfg, seq).total();
+        speedups.push(mant.speedup_over(&tender));
+        energies.push(tender.energy.total() / mant.energy.total());
+    }
+    let avg_speedup = speedups.iter().product::<f64>().powf(0.25);
+    let max_speedup = speedups.iter().cloned().fold(0.0, f64::max);
+    let avg_energy = energies.iter().product::<f64>().powf(0.25);
+    let max_energy = energies.iter().cloned().fold(0.0, f64::max);
+    // Our attention model is compute-bound at very long sequences (the
+    // paper's is closer to memory-bound there), so the long-seq ratios run
+    // somewhat higher — see EXPERIMENTS.md. Shape and band preserved.
+    assert!((2.0..=5.0).contains(&avg_speedup), "avg speedup {avg_speedup}");
+    assert!((3.0..=9.0).contains(&max_speedup), "max speedup {max_speedup}");
+    assert!((1.5..=5.0).contains(&avg_energy), "avg energy {avg_energy}");
+    assert!((2.0..=8.0).contains(&max_energy), "max energy {max_energy}");
+    // Speedup grows with sequence length (attention dominance).
+    assert!(speedups.windows(2).all(|w| w[1] >= w[0]), "{speedups:?}");
+}
+
+#[test]
+fn simulator_workloads_match_model_configs() {
+    for cfg in [
+        ModelConfig::llama_7b(),
+        ModelConfig::llama_65b(),
+        ModelConfig::opt_6_7b(),
+    ] {
+        let lin = linear_gemms(&cfg, 1);
+        let macs: f64 = lin.iter().map(|g| g.macs()).sum();
+        assert!((macs - cfg.linear_params() as f64).abs() < 1.0, "{}", cfg.name);
+        let att = attention_gemms(&cfg, 4096);
+        assert_eq!(att.len(), 2);
+    }
+}
+
+#[test]
+fn iso_area_configurations() {
+    // All synthesized cores within 12% of each other, with shared buffers.
+    let reports = area_report();
+    let areas: Vec<f64> = reports.iter().map(|r| r.core_mm2()).collect();
+    let min = areas.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = areas.iter().cloned().fold(0.0, f64::max);
+    assert!(max / min < 1.12);
+    // And the simulator's accelerators all get the same lane budget.
+    for acc in AcceleratorConfig::paper_set() {
+        assert_eq!(acc.lanes_4x4, 4096);
+    }
+}
+
+#[test]
+fn quantization_overhead_is_hidden_for_typical_gemms() {
+    // Sec. VII-C: "the non-overlapped quantization overhead occupies 0.3%"
+    // for a (2048×4096)·(4096×4096) GEMM. With K/rows ≥ 12 the divider is
+    // fully hidden in our model.
+    let em = EnergyModel::default();
+    let mant = AcceleratorConfig::mant();
+    let g = mant_sim_gemm(2048, 4096, 4096);
+    let with = run_gemm(&mant, &em, &g);
+    let mut no_group = mant.clone();
+    no_group.group_size = None;
+    let without = run_gemm(&no_group, &em, &g);
+    let overhead =
+        (with.cycles as f64 - without.cycles as f64) / without.cycles as f64;
+    assert!(overhead.abs() < 0.005, "overhead {overhead}");
+}
+
+fn mant_sim_gemm(m: usize, k: usize, n: usize) -> mant::sim::Gemm {
+    mant::sim::Gemm {
+        name: "test".to_owned(),
+        m,
+        k,
+        n,
+        count: 1,
+        phase: mant::sim::workload::Phase::Linear,
+    }
+}
