@@ -99,9 +99,7 @@ impl FakeQuantizer for AntQuantizer {
                 for r in 0..w.rows() {
                     let row = w.row(r).to_vec();
                     let orow = out.row_mut(r);
-                    for (gin, gout) in
-                        row.chunks_exact(span).zip(orow.chunks_exact_mut(span))
-                    {
+                    for (gin, gout) in row.chunks_exact(span).zip(orow.chunks_exact_mut(span)) {
                         Self::quantize_unit(&grids, gin, gout);
                     }
                 }

@@ -58,9 +58,7 @@ impl FakeQuantizer for BitFusionQuantizer {
                 for r in 0..w.rows() {
                     let row = w.row(r).to_vec();
                     let orow = out.row_mut(r);
-                    for (gin, gout) in
-                        row.chunks_exact(span).zip(orow.chunks_exact_mut(span))
-                    {
+                    for (gin, gout) in row.chunks_exact(span).zip(orow.chunks_exact_mut(span)) {
                         fake_quantize_group(&grid, gin, gout);
                     }
                 }
@@ -78,7 +76,10 @@ mod tests {
     #[test]
     fn int_max_values() {
         assert_eq!(BitFusionQuantizer::new(4, Granularity::Tensor).int_max(), 7);
-        assert_eq!(BitFusionQuantizer::new(8, Granularity::Tensor).int_max(), 127);
+        assert_eq!(
+            BitFusionQuantizer::new(8, Granularity::Tensor).int_max(),
+            127
+        );
         assert_eq!(
             BitFusionQuantizer::new(16, Granularity::Tensor).int_max(),
             32767

@@ -98,9 +98,7 @@ impl FakeQuantizer for GoboQuantizer {
                 for r in 0..w.rows() {
                     let row = w.row(r).to_vec();
                     let orow = out.row_mut(r);
-                    for (gin, gout) in
-                        row.chunks_exact(span).zip(orow.chunks_exact_mut(span))
-                    {
+                    for (gin, gout) in row.chunks_exact(span).zip(orow.chunks_exact_mut(span)) {
                         self.quantize_unit(gin, gout);
                     }
                 }

@@ -77,9 +77,7 @@ impl FakeQuantizer for MokeyQuantizer {
                 for r in 0..w.rows() {
                     let row = w.row(r).to_vec();
                     let orow = out.row_mut(r);
-                    for (gin, gout) in
-                        row.chunks_exact(span).zip(orow.chunks_exact_mut(span))
-                    {
+                    for (gin, gout) in row.chunks_exact(span).zip(orow.chunks_exact_mut(span)) {
                         quantize_unit(gin, gout);
                     }
                 }

@@ -41,7 +41,7 @@ impl FakeQuantizer for MxfpQuantizer {
 
     fn fake_quantize(&self, w: &Matrix) -> Matrix {
         assert!(
-            self.group_size > 0 && w.cols() % self.group_size == 0,
+            self.group_size > 0 && w.cols().is_multiple_of(self.group_size),
             "group size must divide the inner dimension"
         );
         let grid = fp4_e2m1_grid();

@@ -71,7 +71,10 @@ impl OliveQuantizer {
             / n as f64;
         let sigma = var.sqrt() as f32;
         let thresh = self.outlier_threshold_sigmas * sigma;
-        let is_outlier: Vec<bool> = unit.iter().map(|&v| v.abs() > thresh && thresh > 0.0).collect();
+        let is_outlier: Vec<bool> = unit
+            .iter()
+            .map(|&v| v.abs() > thresh && thresh > 0.0)
+            .collect();
 
         // Scale from normal values only.
         let normal_max = unit
@@ -120,7 +123,9 @@ impl OliveQuantizer {
                 }
                 _ => {
                     for j in i..pair_end {
-                        let q = (unit[j] / scale).round().clamp(-self.int_max(), self.int_max());
+                        let q = (unit[j] / scale)
+                            .round()
+                            .clamp(-self.int_max(), self.int_max());
                         out[j] = q * scale;
                     }
                 }
@@ -158,9 +163,7 @@ impl FakeQuantizer for OliveQuantizer {
                 for r in 0..w.rows() {
                     let row = w.row(r).to_vec();
                     let orow = out.row_mut(r);
-                    for (gin, gout) in
-                        row.chunks_exact(span).zip(orow.chunks_exact_mut(span))
-                    {
+                    for (gin, gout) in row.chunks_exact(span).zip(orow.chunks_exact_mut(span)) {
                         self.quantize_unit(gin, gout);
                     }
                 }

@@ -59,7 +59,7 @@ impl FakeQuantizer for TenderQuantizer {
 
     fn fake_quantize(&self, w: &Matrix) -> Matrix {
         assert!(
-            self.group_size > 0 && w.cols() % self.group_size == 0,
+            self.group_size > 0 && w.cols().is_multiple_of(self.group_size),
             "group size must divide the inner dimension"
         );
         let imax = self.int_max();
@@ -122,7 +122,10 @@ mod tests {
         // on the quiet groups, whose scales shift down by 2^k.
         let err_t = mse(&w.as_slice()[32..], &qt.as_slice()[32..]);
         let err_i = mse(&w.as_slice()[32..], &qi.as_slice()[32..]);
-        assert!(err_t < err_i / 4.0, "Tender {err_t} vs channel INT4 {err_i}");
+        assert!(
+            err_t < err_i / 4.0,
+            "Tender {err_t} vs channel INT4 {err_i}"
+        );
     }
 
     #[test]
@@ -136,7 +139,10 @@ mod tests {
         let int4g = GridQuantizer::new("int4-g32", int4_grid(), 4, Granularity::Group(32));
         let err_t = mse(w.as_slice(), tender.fake_quantize(&w).as_slice());
         let err_i = mse(w.as_slice(), int4g.fake_quantize(&w).as_slice());
-        assert!(err_i <= err_t * 1.05, "free scales {err_i} vs Tender {err_t}");
+        assert!(
+            err_i <= err_t * 1.05,
+            "free scales {err_i} vs Tender {err_t}"
+        );
     }
 
     #[test]

@@ -1,12 +1,25 @@
-//! Benchmarks offline MSE coefficient search vs the real-time variance
-//! mapping (the Sec. V-C trade-off: search is accurate but "intolerable in
-//! a real-time scenario"; variance lookup is streaming-cheap).
+//! Benchmarks the offline encode search.
+//!
+//! Two questions:
+//!
+//! 1. Per group (Sec. V-C trade-off): MSE coefficient search vs the
+//!    real-time variance lookup — search is accurate but "intolerable in a
+//!    real-time scenario"; variance lookup is streaming-cheap.
+//! 2. At batch scale: the serial vs thread-parallel encode engine over a
+//!    full weight matrix (the per-group candidate search is embarrassingly
+//!    parallel; the parallel path is bit-identical by construction and is
+//!    verified to be so below). Run with `MANT_THREADS=<n>` to pin the
+//!    worker count; the speedup line reports the measured ratio.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-use mant_quant::{select_group_dtype, CandidateSet, VarianceMap};
-use mant_tensor::{RunningGroupStats, TensorGenerator};
+use mant_quant::{
+    par_select_group_dtypes_batch, select_group_dtype, select_group_dtypes_batch, CandidateSet,
+    MantQuantizedMatrix, VarianceMap,
+};
+use mant_tensor::{par, RunningGroupStats, TensorGenerator};
 
 fn bench_encode_search(c: &mut Criterion) {
     let mut gen = TensorGenerator::new(1002);
@@ -28,9 +41,88 @@ fn bench_encode_search(c: &mut Criterion) {
     g.finish();
 }
 
+/// Serial vs parallel batched encode over a realistic projection-sized
+/// weight matrix (1024×4096 ≈ a 7B-class K/Q projection), group size 64.
+fn bench_batched_encode(c: &mut Criterion) {
+    let mut gen = TensorGenerator::new(1005);
+    let w = gen.group_diverse_matrix(1024, 4096, 64, 0.02);
+    let set = CandidateSet::paper();
+
+    // Bare batch selection (no encoding), serial vs parallel, over the
+    // first 2048 groups.
+    let groups: Vec<&[f32]> = w.as_slice().chunks_exact(64).take(2048).collect();
+    let mut g = c.benchmark_group("batch_dtype_selection_2048_groups");
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            black_box(select_group_dtypes_batch(black_box(&groups), &set).expect("non-empty"))
+        })
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| {
+            black_box(par_select_group_dtypes_batch(black_box(&groups), &set).expect("non-empty"))
+        })
+    });
+    g.finish();
+    assert_eq!(
+        select_group_dtypes_batch(&groups, &set).expect("non-empty"),
+        par_select_group_dtypes_batch(&groups, &set).expect("non-empty"),
+        "batch selection diverged between serial and parallel"
+    );
+
+    let mut g = c.benchmark_group("batched_encode_1024x4096_g64");
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            black_box(MantQuantizedMatrix::quantize(black_box(&w), 64, &set).expect("valid group"))
+        })
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| {
+            black_box(
+                MantQuantizedMatrix::par_quantize(black_box(&w), 64, &set).expect("valid group"),
+            )
+        })
+    });
+    g.finish();
+
+    // Explicit speedup report (best of 3 one-shot runs each, interleaved),
+    // plus a bit-identical check between the two paths.
+    let time_best = |f: &dyn Fn() -> MantQuantizedMatrix| -> (f64, MantQuantizedMatrix) {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let q = f();
+            best = best.min(t0.elapsed().as_secs_f64());
+            out = Some(q);
+        }
+        (best, out.expect("ran at least once"))
+    };
+    let (t_ser, q_ser) =
+        time_best(&|| MantQuantizedMatrix::quantize(&w, 64, &set).expect("valid group"));
+    let (t_par, q_par) =
+        time_best(&|| MantQuantizedMatrix::par_quantize(&w, 64, &set).expect("valid group"));
+    let identical = {
+        let a = q_ser.dequantize();
+        let b = q_par.dequantize();
+        a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+    };
+    println!(
+        "batched_encode speedup: serial {:.1} ms / parallel {:.1} ms = {:.2}x on {} thread(s); bit-identical: {}",
+        t_ser * 1e3,
+        t_par * 1e3,
+        t_ser / t_par,
+        par::max_threads(),
+        identical,
+    );
+    assert!(identical, "parallel encode diverged from serial");
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(800)).warm_up_time(std::time::Duration::from_millis(300));
-    targets = bench_encode_search
+    targets = bench_encode_search, bench_batched_encode
 }
 criterion_main!(benches);

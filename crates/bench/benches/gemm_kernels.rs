@@ -4,9 +4,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use mant_quant::{
-    dequant_then_gemm, mant_gemm, quantize_activations_int8, MantWeightQuantizer,
-};
+use mant_quant::{dequant_then_gemm, mant_gemm, quantize_activations_int8, MantWeightQuantizer};
 use mant_tensor::{gemm, TensorGenerator};
 
 fn bench_gemm_kernels(c: &mut Criterion) {
@@ -18,7 +16,9 @@ fn bench_gemm_kernels(c: &mut Criterion) {
     let x = gen.activation_matrix(m, k, 1.0, 0.01, 15.0);
     let w = gen.group_diverse_matrix(n, k, g, 0.02);
     let xq = quantize_activations_int8(&x, g).expect("valid group size");
-    let wq = MantWeightQuantizer::new(g).quantize(&w).expect("valid group size");
+    let wq = MantWeightQuantizer::new(g)
+        .quantize(&w)
+        .expect("valid group size");
     let wt = w.transpose();
 
     let mut group = c.benchmark_group("gemm_8x512x128");

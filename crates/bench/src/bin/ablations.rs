@@ -1,9 +1,7 @@
 //! Ablation studies of MANT's design choices (not a paper figure; these
 //! back the Sec. IV–V design decisions quantitatively).
 
-use mant_bench::experiments::ablations::{
-    candidate_set_sizes, selection_policies, v_window_sizes,
-};
+use mant_bench::experiments::ablations::{candidate_set_sizes, selection_policies, v_window_sizes};
 use mant_bench::Table;
 
 fn main() {
@@ -23,7 +21,10 @@ fn main() {
     println!("Ablation 2 — coefficient candidate-set size (Sec. V-A)\n");
     let mut t = Table::new(["MANT candidates", "mean group MSE"]);
     for r in candidate_set_sizes() {
-        t.row([r.candidates.to_string(), format!("{:.3e}", r.mean_group_mse)]);
+        t.row([
+            r.candidates.to_string(),
+            format!("{:.3e}", r.mean_group_mse),
+        ]);
     }
     println!("{}", t.render());
     println!("Diminishing returns beyond ~8 coefficients — why the paper's 15");
@@ -32,8 +33,11 @@ fn main() {
     println!("Ablation 3 — MSE search vs variance mapping (Sec. V-C)\n");
     let rep = selection_policies();
     println!("  oracle MSE search : {:.4e}", rep.mse_search);
-    println!("  variance mapping  : {:.4e}  ({:.2}x the oracle error)",
-        rep.variance_map, rep.variance_map / rep.mse_search);
+    println!(
+        "  variance mapping  : {:.4e}  ({:.2}x the oracle error)",
+        rep.variance_map,
+        rep.variance_map / rep.mse_search
+    );
     println!("  type agreement    : {:.1}%", rep.agreement * 100.0);
     println!("\nThe streaming policy trades a small error increase for O(1)");
     println!("real-time selection — the KV-cache requirement.");

@@ -20,7 +20,10 @@ fn main() {
     // Print coarse CDF curves (every 8th grid point) for visual comparison.
     let grid = cdf_grid();
     for l in &levels {
-        println!("\n{} level, CDF at x = -1.0 .. 1.0 (first 4 units):", l.level);
+        println!(
+            "\n{} level, CDF at x = -1.0 .. 1.0 (first 4 units):",
+            l.level
+        );
         for c in l.curves.iter().take(4) {
             let samples: Vec<String> = c
                 .values

@@ -14,11 +14,7 @@ fn main() {
             .filter(|&&p| p >= 0.0)
             .map(|p| format!("{p:.3}"))
             .collect();
-        t.row([
-            row.label,
-            format!("{:.4}", row.variance),
-            pos.join(" "),
-        ]);
+        t.row([row.label, format!("{:.4}", row.variance), pos.join(" ")]);
     }
     println!("{}", t.render());
     println!("Paper: a=0 ≡ PoT, a≈17 ≈ float, a≈25 ≈ NF, large a → INT-like;");

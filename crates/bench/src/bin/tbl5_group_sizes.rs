@@ -7,7 +7,12 @@ use mant_bench::Table;
 fn main() {
     println!("Tbl. V — W4A4 perplexity proxy vs group size (LLaMA-2-7B proxy)\n");
     let rows = tbl5(EVAL_TOKENS);
-    let mut t = Table::new(["method", "G-128 ppl (wMSE)", "G-64 ppl (wMSE)", "G-32 ppl (wMSE)"]);
+    let mut t = Table::new([
+        "method",
+        "G-128 ppl (wMSE)",
+        "G-64 ppl (wMSE)",
+        "G-32 ppl (wMSE)",
+    ]);
     for method in ["MANT", "OliVe", "ANT", "INT", "MXFP4"] {
         let cell = |g: usize| -> String {
             rows.iter()

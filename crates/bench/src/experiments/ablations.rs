@@ -2,9 +2,7 @@
 //! process-window size, the coefficient candidate-set size, and MSE-search
 //! vs variance-mapping for real-time type selection.
 
-use mant_quant::{
-    select_group_dtype, CandidateSet, VCacheQuantizer, VarianceMap,
-};
+use mant_quant::{select_group_dtype, CandidateSet, VCacheQuantizer, VarianceMap};
 use mant_tensor::{abs_max, mse, RunningGroupStats, TensorGenerator};
 
 /// One row of the V-cache window ablation.
@@ -102,11 +100,8 @@ pub fn selection_policies() -> SelectionPolicyReport {
     let set = CandidateSet::paper();
     let mut gen = TensorGenerator::new(7200);
     let calib = gen.group_diverse_matrix(32, 512, 64, 0.5);
-    let vmap = VarianceMap::from_calibration(
-        calib.as_slice().chunks_exact(64),
-        &set,
-    )
-    .expect("non-empty set");
+    let vmap = VarianceMap::from_calibration(calib.as_slice().chunks_exact(64), &set)
+        .expect("non-empty set");
 
     let test = gen.group_diverse_matrix(32, 512, 64, 0.5);
     let mut mse_total = 0.0f64;

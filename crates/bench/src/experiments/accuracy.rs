@@ -172,11 +172,9 @@ pub fn weight_rel_mse(
 /// Deterministic seed for a model name (so every experiment binary sees
 /// the same synthetic checkpoint per model).
 pub fn model_seed(cfg: &ModelConfig) -> u64 {
-    cfg.name
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
-        })
+    cfg.name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 /// Builds the calibrated pipeline for one model's sim proxy.

@@ -62,7 +62,12 @@ mod tests {
                 .weight_rel_mse
         };
         assert!(m("ANT") < m("INT"), "INT {} ANT {}", m("INT"), m("ANT"));
-        assert!(m("Ideal") < m("ANT"), "ANT {} Ideal {}", m("ANT"), m("Ideal"));
+        assert!(
+            m("Ideal") < m("ANT"),
+            "ANT {} Ideal {}",
+            m("ANT"),
+            m("Ideal")
+        );
         // PPL losses exist and are non-degenerate.
         for r in &rows {
             assert!(r.ppl_loss.is_finite());

@@ -125,8 +125,7 @@ fn cdf_spread(curves: &[CdfCurve]) -> f64 {
     let pts = curves[0].values.len();
     let mut spread = 0.0;
     for p in 0..pts {
-        let mean: f64 =
-            curves.iter().map(|c| c.values[p]).sum::<f64>() / curves.len() as f64;
+        let mean: f64 = curves.iter().map(|c| c.values[p]).sum::<f64>() / curves.len() as f64;
         spread += curves
             .iter()
             .map(|c| (c.values[p] - mean).abs())

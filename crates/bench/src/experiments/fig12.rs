@@ -101,7 +101,11 @@ mod tests {
         assert!((1.4..=2.2).contains(&s("Tender")), "Tender {}", s("Tender"));
         assert!((1.6..=2.3).contains(&s("OliVe")), "OliVe {}", s("OliVe"));
         assert!((1.7..=2.3).contains(&s("ANT*")), "ANT* {}", s("ANT*"));
-        assert!((3.5..=6.0).contains(&s("BitFusion")), "BitFusion {}", s("BitFusion"));
+        assert!(
+            (3.5..=6.0).contains(&s("BitFusion")),
+            "BitFusion {}",
+            s("BitFusion")
+        );
         // Ordering: Tender < OliVe ≤ ANT* < BitFusion.
         assert!(s("Tender") < s("OliVe"));
         assert!(s("OliVe") <= s("ANT*") * 1.01);

@@ -44,7 +44,14 @@ pub fn fig15_models() -> Vec<Fig15Row> {
     for cfg in configs {
         let model = TransformerModel::synthesize(&cfg.sim_proxy(), model_seed(&cfg));
         let l = &model.weights.layers[0];
-        for (proj, w) in [("q", &l.wq), ("k", &l.wk), ("v", &l.wv), ("o", &l.wo), ("up", &l.w_up), ("down", &l.w_down)] {
+        for (proj, w) in [
+            ("q", &l.wq),
+            ("k", &l.wk),
+            ("v", &l.wv),
+            ("o", &l.wo),
+            ("up", &l.w_up),
+            ("down", &l.w_down),
+        ] {
             rows.push(histogram(&format!("{} {}", cfg.name, proj), w, 64));
         }
     }

@@ -82,7 +82,7 @@ mod tests {
         // the implementation's own capability flags.
         assert!(DataType::Mant(Mant::default()).integer_computable());
         assert!(!DataType::QloraNf4.integer_computable()); // GOBO/NF-style
-        // INT's low adaptivity: one grid; MANT: 128 grids.
+                                                           // INT's low adaptivity: one grid; MANT: 128 grids.
         assert_eq!(mant_numerics::mant::MAX_COEFFICIENT, 128);
     }
 }

@@ -40,11 +40,7 @@ mod tests {
     use super::*;
 
     fn ppl_of(rows: &[Tbl2Row], method: Method, model_idx: usize) -> f64 {
-        rows.iter()
-            .find(|r| r.method == method)
-            .unwrap()
-            .ppl[model_idx]
-            .1
+        rows.iter().find(|r| r.method == method).unwrap().ppl[model_idx].1
     }
 
     #[test]
@@ -64,8 +60,10 @@ mod tests {
         let mant48 = ppl_of(&rows, Method::MantW4A8, 0);
         let mant_kv = ppl_of(&rows, Method::MantW4A8Kv4, 0);
 
-        assert!(mant44 < ant44 && mant44 < olive44 && mant44 < tender44,
-            "MANT W4A4 {mant44} vs ANT {ant44} OliVe {olive44} Tender {tender44}");
+        assert!(
+            mant44 < ant44 && mant44 < olive44 && mant44 < tender44,
+            "MANT W4A4 {mant44} vs ANT {ant44} OliVe {olive44} Tender {tender44}"
+        );
         // Every W4A4 baseline's PPL loss clearly exceeds MANT's.
         let mant44_loss = mant44 - fp;
         for (name, p) in [("ANT", ant44), ("OliVe", olive44), ("Tender", tender44)] {
@@ -77,7 +75,11 @@ mod tests {
         }
         // MANT W4A8 improves on W4A4 and stays close to FP16.
         assert!(mant48 < mant44, "W4A8 {mant48} vs W4A4 {mant44}");
-        assert!(mant48 - fp < mant44_loss, "W4A8 loss too large: {}", mant48 - fp);
+        assert!(
+            mant48 - fp < mant44_loss,
+            "W4A8 loss too large: {}",
+            mant48 - fp
+        );
         // Adding KV quantization costs a little more, not a blowup.
         assert!(mant_kv >= mant48 * 0.98, "KV row {mant_kv} vs {mant48}");
         assert!(

@@ -25,7 +25,13 @@ pub fn tbl3(prompt_len: usize, gen_len: usize) -> Vec<Tbl3Row> {
     let w4a8 = pipe.quantize_w4(g);
     let act = ActMode::IntGroup { bits: 8, group: g };
     let configs = [
-        ("FP16", "FP16", pipe.reference().clone(), ActMode::None, KvMode::Fp16),
+        (
+            "FP16",
+            "FP16",
+            pipe.reference().clone(),
+            ActMode::None,
+            KvMode::Fp16,
+        ),
         ("W4A8", "FP16", w4a8.clone(), act, KvMode::Fp16),
         ("W4A8", "INT4", w4a8.clone(), act, KvMode::Int4 { group: g }),
         ("W4A8", "4-bit MANT", w4a8, act, KvMode::Mant4 { group: g }),

@@ -46,7 +46,9 @@ pub fn tbl5(eval_tokens: usize) -> Vec<Tbl5Row> {
             rows.push(Tbl5Row {
                 method: name.to_owned(),
                 group: g,
-                ppl: pipe.evaluate(&quantized, act, KvMode::Fp16, eval_tokens).ppl,
+                ppl: pipe
+                    .evaluate(&quantized, act, KvMode::Fp16, eval_tokens)
+                    .ppl,
                 weight_rel_mse: super::accuracy::weight_rel_mse(pipe.reference(), &quantized),
             });
         }

@@ -1,8 +1,7 @@
 //! The calibrate → quantize → evaluate pipeline (paper Sec. V).
 
 use mant_model::{
-    calibrate, eval, ActMode, Calibration, KvMode, ModelConfig, PplReport, Proj,
-    TransformerModel,
+    calibrate, eval, ActMode, Calibration, KvMode, ModelConfig, PplReport, Proj, TransformerModel,
 };
 use mant_quant::{FakeQuantizer, MantWeightQuantizer};
 

@@ -21,22 +21,34 @@ use crate::layers::{ActMode, ForwardObserver, KvMode, Proj, TransformerModel};
 pub struct Calibration {
     /// Per-(layer, projection) running sums of `x²` and sample counts.
     moments: HashMap<(usize, Proj), (Vec<f64>, usize)>,
-    /// Sampled K groups (each of `group_size` elements).
-    k_groups: Vec<Vec<f32>>,
+    /// Per-layer running sums of `q²` (query outputs) and sample counts,
+    /// for score-weighted K-cache calibration.
+    q_moments: HashMap<usize, (Vec<f64>, usize)>,
+    /// Sampled K groups as `(layer, column offset, values)` (each of
+    /// `group_size` elements).
+    k_groups: Vec<(usize, usize, Vec<f32>)>,
     /// Sampled V elements per channel window (built like the V engine:
     /// consecutive vectors stacked per channel).
     v_groups: Vec<Vec<f32>>,
     group_size: usize,
-    v_window: Vec<Vec<f32>>,
+    /// Attention head width, for folding query moments onto KV heads.
+    head_dim: usize,
+    /// Width of the K/V projections (`kv_heads × head_dim`).
+    kv_dim: usize,
+    /// Per-layer staging windows for V temporal grouping.
+    v_window: Vec<Vec<Vec<f32>>>,
 }
 
 impl Calibration {
-    fn new(group_size: usize) -> Self {
+    fn new(group_size: usize, head_dim: usize, kv_dim: usize) -> Self {
         Calibration {
             moments: HashMap::new(),
+            q_moments: HashMap::new(),
             k_groups: Vec::new(),
             v_groups: Vec::new(),
             group_size,
+            head_dim,
+            kv_dim,
             v_window: Vec::new(),
         }
     }
@@ -55,7 +67,7 @@ impl Calibration {
     pub fn kv_groups(&self) -> impl Iterator<Item = &[f32]> {
         self.k_groups
             .iter()
-            .map(|g| g.as_slice())
+            .map(|(_, _, g)| g.as_slice())
             .chain(self.v_groups.iter().map(|g| g.as_slice()))
     }
 
@@ -66,6 +78,58 @@ impl Calibration {
     /// Returns [`QuantError::EmptyCandidateSet`] if `set` is empty.
     pub fn variance_map(&self, set: &CandidateSet) -> Result<VarianceMap, QuantError> {
         VarianceMap::from_calibration(self.kv_groups(), set)
+    }
+
+    /// Builds a variance→`a` map from the K spatial groups alone. K and V
+    /// groups have very different shapes (64 contiguous head-dim elements
+    /// vs one channel stacked over 64 decode steps), so per-tensor maps
+    /// select markedly better than a shared one. Each K group's candidate
+    /// errors are weighted by the calibration second moments `E[q_j²]` of
+    /// the query positions multiplying it in `Q·Kᵀ` — the diagonal
+    /// surrogate of Eq. (6) applied to the attention scores. Queries carry
+    /// outlier channels, so score error is dominated by a few positions
+    /// that plain MSE underweights.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::EmptyCandidateSet`] if `set` is empty.
+    pub fn k_variance_map_weighted(&self, set: &CandidateSet) -> Result<VarianceMap, QuantError> {
+        // Materialize per-layer E[q²] vectors folded onto the KV-head
+        // layout (under GQA several query heads share one KV head, so
+        // their moments sum at matching within-head offsets).
+        let q_mom: HashMap<usize, Vec<f32>> = self
+            .q_moments
+            .iter()
+            .map(|(&layer, (sums, n))| {
+                let mut folded = vec![0.0f64; self.kv_dim];
+                let q_heads = (sums.len() / self.head_dim).max(1);
+                let kv_heads = (self.kv_dim / self.head_dim).max(1);
+                let share = (q_heads / kv_heads).max(1);
+                for (p, &s) in sums.iter().enumerate() {
+                    let kv_head = (p / self.head_dim) / share;
+                    folded[kv_head * self.head_dim + p % self.head_dim] += s;
+                }
+                let m = folded
+                    .iter()
+                    .map(|&s| (s / (*n).max(1) as f64) as f32)
+                    .collect();
+                (layer, m)
+            })
+            .collect();
+        let items = self.k_groups.iter().map(|(layer, off, g)| {
+            let w = q_mom.get(layer).and_then(|m| m.get(*off..*off + g.len()));
+            (g.as_slice(), w)
+        });
+        VarianceMap::from_calibration_weighted(items, set)
+    }
+
+    /// Builds a variance→`a` map from the V temporal groups alone.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::EmptyCandidateSet`] if `set` is empty.
+    pub fn v_variance_map(&self, set: &CandidateSet) -> Result<VarianceMap, QuantError> {
+        VarianceMap::from_calibration(self.v_groups.iter().map(Vec::as_slice), set)
     }
 
     /// Number of sampled KV groups.
@@ -86,33 +150,61 @@ impl ForwardObserver for Calibration {
         entry.1 += 1;
     }
 
+    fn on_query_vector(&mut self, layer: usize, q: &[f32]) {
+        let entry = self
+            .q_moments
+            .entry(layer)
+            .or_insert_with(|| (vec![0.0; q.len()], 0));
+        for (s, &v) in entry.0.iter_mut().zip(q.iter()) {
+            *s += f64::from(v) * f64::from(v);
+        }
+        entry.1 += 1;
+    }
+
     fn on_kv_vectors(&mut self, layer: usize, k: &[f32], v: &[f32]) {
-        // Sample layer 0 only: enough signal, bounded memory.
-        if layer != 0 {
-            return;
+        // Sample every layer: per-layer K/V statistics differ enough that a
+        // single-layer sample miscalibrates the variance→type table for the
+        // rest of the stack. Memory stays bounded by the token budget.
+        for (gi, group) in k.chunks_exact(self.group_size).enumerate() {
+            self.k_groups
+                .push((layer, gi * self.group_size, group.to_vec()));
         }
-        for group in k.chunks_exact(self.group_size) {
-            self.k_groups.push(group.to_vec());
+        // Stack V vectors per layer; emit per-channel temporal groups when
+        // a layer's window fills, mirroring the V engine's group structure.
+        while self.v_window.len() <= layer {
+            self.v_window.push(Vec::new());
         }
-        // Stack V vectors; emit per-channel temporal groups when the
-        // window fills, mirroring the V engine's group structure.
-        self.v_window.push(v.to_vec());
-        if self.v_window.len() == self.group_size {
+        let window = &mut self.v_window[layer];
+        window.push(v.to_vec());
+        if window.len() == self.group_size {
             let dim = v.len();
             for c in 0..dim {
                 self.v_groups
-                    .push(self.v_window.iter().map(|row| row[c]).collect());
+                    .push(window.iter().map(|row| row[c]).collect());
             }
-            self.v_window.clear();
+            window.clear();
         }
     }
 }
 
 /// Runs `n_tokens` of a synthetic calibration stream through the model,
-/// collecting activation moments and KV groups.
+/// collecting activation moments and KV groups at the default group size
+/// (`min(64, head_dim)`).
 pub fn calibrate(model: &TransformerModel, n_tokens: usize, seed: u64) -> Calibration {
-    let group = 64.min(model.config.head_dim());
-    let mut calib = Calibration::new(group);
+    calibrate_with_group(model, n_tokens, seed, 64.min(model.config.head_dim()))
+}
+
+/// Like [`calibrate`], sampling K groups and V windows at an explicit
+/// `group_size` — it must match the group size the runtime KV quantizers
+/// will use, or the variance→type tables are built from the wrong group
+/// statistics.
+pub fn calibrate_with_group(
+    model: &TransformerModel,
+    n_tokens: usize,
+    seed: u64,
+    group_size: usize,
+) -> Calibration {
+    let mut calib = Calibration::new(group_size, model.config.head_dim(), model.config.kv_dim());
     let mut gen = TensorGenerator::new(seed);
     let mut runner = model.runner(ActMode::None, KvMode::Fp16);
     for _ in 0..n_tokens {
@@ -131,7 +223,15 @@ mod tests {
     fn moments_cover_all_projections() {
         let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 5);
         let calib = calibrate(&m, 8, 1);
-        for proj in [Proj::Q, Proj::K, Proj::V, Proj::O, Proj::Gate, Proj::Up, Proj::Down] {
+        for proj in [
+            Proj::Q,
+            Proj::K,
+            Proj::V,
+            Proj::O,
+            Proj::Gate,
+            Proj::Up,
+            Proj::Down,
+        ] {
             let mom = calib.col_moments(0, proj);
             assert!(mom.is_some(), "{proj:?} missing");
             let mom = mom.unwrap();

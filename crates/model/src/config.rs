@@ -58,7 +58,7 @@ impl ModelConfig {
     /// Panics if `kv_heads` is zero or does not divide `heads`.
     pub fn with_gqa(mut self, kv_heads: usize) -> Self {
         assert!(
-            kv_heads > 0 && self.heads % kv_heads == 0,
+            kv_heads > 0 && self.heads.is_multiple_of(kv_heads),
             "kv_heads {kv_heads} must divide heads {}",
             self.heads
         );

@@ -102,9 +102,9 @@ pub fn generation_fidelity(
     assert!(!prompt.is_empty(), "prompt must be non-empty");
     assert!(gen_len > 0, "generation length must be positive");
 
-    let continuation_seed = prompt
-        .iter()
-        .fold(0x51_7cc1u64, |h, &t| h.wrapping_mul(31).wrapping_add(t as u64));
+    let continuation_seed = prompt.iter().fold(0x51_7cc1u64, |h, &t| {
+        h.wrapping_mul(31).wrapping_add(t as u64)
+    });
     let continuation = eval_tokens(reference.config.vocab, gen_len, continuation_seed);
 
     let mut ref_runner = reference.runner(ActMode::None, KvMode::Fp16);

@@ -60,8 +60,7 @@ pub fn synthesize(config: &ModelConfig, seed: u64) -> TransformerModel {
         let wq = gen.group_diverse_matrix(hidden, hidden, group, weight_scale);
         let wk = gen.group_diverse_matrix(config.kv_dim(), hidden, group, weight_scale);
         let wv = gen.group_diverse_matrix(config.kv_dim(), hidden, group, weight_scale);
-        let wo =
-            gen.group_diverse_matrix(hidden, hidden, group, weight_scale * residual_damping);
+        let wo = gen.group_diverse_matrix(hidden, hidden, group, weight_scale * residual_damping);
         let ffn_scale = 1.0 / (hidden as f32).sqrt();
         let down_scale = residual_damping / (config.ffn as f32).sqrt();
         let w_gate = gen.group_diverse_matrix(config.ffn, hidden, group, ffn_scale);
@@ -85,14 +84,17 @@ pub fn synthesize(config: &ModelConfig, seed: u64) -> TransformerModel {
     // Embedding with outlier channels: outlier columns carry large,
     // nearly constant values of a per-channel fixed sign.
     let outlier_sign: Vec<f32> = (0..hidden)
-        .map(|_| if gen.uniform(0.0, 1.0) < 0.5 { -1.0 } else { 1.0 })
+        .map(|_| {
+            if gen.uniform(0.0, 1.0) < 0.5 {
+                -1.0
+            } else {
+                1.0
+            }
+        })
         .collect();
     let embedding = Matrix::from_fn(config.vocab, hidden, |_, c| {
         if outlier[c] {
-            outlier_sign[c]
-                * OUTLIER_GAIN
-                * 0.05
-                * (1.0 + OUTLIER_JITTER * gen.standard_normal())
+            outlier_sign[c] * OUTLIER_GAIN * 0.05 * (1.0 + OUTLIER_JITTER * gen.standard_normal())
         } else {
             gen.sample(mant_tensor::DistributionKind::Gaussian, 0.05)
         }
@@ -117,6 +119,7 @@ pub fn synthesize(config: &ModelConfig, seed: u64) -> TransformerModel {
             final_norm,
             lm_head,
         },
+        kv_map_cache: Default::default(),
     };
     normalize_dynamics(&mut model, seed ^ 0x5eed);
     model
@@ -173,8 +176,7 @@ fn normalize_dynamics(model: &mut TransformerModel, probe_seed: u64) {
         let mut runner = model.runner(ActMode::None, KvMode::Fp16);
         for &t in &probe_tokens {
             let logits = runner.step_observed(t, &mut p);
-            let mean: f64 =
-                logits.iter().map(|&v| f64::from(v)).sum::<f64>() / logits.len() as f64;
+            let mean: f64 = logits.iter().map(|&v| f64::from(v)).sum::<f64>() / logits.len() as f64;
             p.logit_sq += logits
                 .iter()
                 .map(|&v| (f64::from(v) - mean) * (f64::from(v) - mean))

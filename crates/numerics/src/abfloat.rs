@@ -52,7 +52,7 @@ impl AbFloat {
     /// Returns [`NumericsError::InvalidAbFloat`] if `exp_bits` is 0, leaves
     /// no room for the sign bit, or `total_bits` exceeds 8.
     pub fn with_bits(total_bits: u8, exp_bits: u8, bias: i32) -> Result<Self, NumericsError> {
-        if exp_bits == 0 || exp_bits >= total_bits || total_bits > 8 || total_bits < 2 {
+        if exp_bits == 0 || exp_bits >= total_bits || !(2..=8).contains(&total_bits) {
             return Err(NumericsError::InvalidAbFloat { exp_bits });
         }
         Ok(AbFloat {

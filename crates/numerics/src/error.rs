@@ -37,7 +37,10 @@ impl fmt::Display for NumericsError {
                 write!(f, "quantization grid contains a non-finite point")
             }
             NumericsError::InvalidAbFloat { exp_bits } => {
-                write!(f, "abfloat with {exp_bits} exponent bits is unrepresentable")
+                write!(
+                    f,
+                    "abfloat with {exp_bits} exponent bits is unrepresentable"
+                )
             }
         }
     }

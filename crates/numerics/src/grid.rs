@@ -80,9 +80,7 @@ impl Grid {
 
     /// Largest absolute representable value.
     pub fn max_abs(&self) -> f32 {
-        self.points
-            .iter()
-            .fold(0.0f32, |acc, p| acc.max(p.abs()))
+        self.points.iter().fold(0.0f32, |acc, p| acc.max(p.abs()))
     }
 
     /// Index of the nearest representable value to `x`.

@@ -138,7 +138,7 @@ impl Mant {
     /// Ties round toward the smaller level. Negative or NaN input encodes to
     /// magnitude 0.
     pub fn encode_magnitude(&self, m: f32) -> u8 {
-        if !(m > 0.0) {
+        if m.is_nan() || m <= 0.0 {
             return 0;
         }
         let mut best = 0u8;

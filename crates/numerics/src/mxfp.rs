@@ -35,7 +35,7 @@ pub fn fp4_e2m1_grid() -> Grid {
 ///
 /// Returns 1.0 for non-positive or non-finite input.
 pub fn e8m0_quantize_scale(ideal_scale: f32) -> f32 {
-    if !(ideal_scale > 0.0) || !ideal_scale.is_finite() {
+    if !ideal_scale.is_finite() || ideal_scale <= 0.0 {
         return 1.0;
     }
     let e = ideal_scale.log2().ceil();

@@ -65,7 +65,7 @@ impl Iterator for NibbleIter<'_> {
             return None;
         }
         let byte = self.packed[self.index / 2];
-        let nib = if self.index % 2 == 0 {
+        let nib = if self.index.is_multiple_of(2) {
             byte & 0x0f
         } else {
             byte >> 4

@@ -46,7 +46,7 @@ mod tests {
         let pot = pot4_levels();
         // MANT levels 1..=7 are 2,4,...,128 = 2× PoT levels 1..=7 shifted.
         for i in 1..8 {
-            assert_eq!(mant_mags[i - 1] * 2.0, mant_mags[i].max(2.0).min(256.0));
+            assert_eq!(mant_mags[i - 1] * 2.0, mant_mags[i].clamp(2.0, 256.0));
             assert_eq!(pot[i], 2.0f32.powi(i as i32 - 1));
         }
     }

@@ -1,5 +1,6 @@
 //! Property-based tests for the numeric formats.
 
+use mant_numerics::packing::{pack_nibbles, unpack_nibbles, NibbleIter};
 use mant_numerics::{fp16, Grid, Mant, MantCode};
 use proptest::prelude::*;
 
@@ -90,4 +91,67 @@ proptest! {
         }
         prop_assert_eq!(l[7], 7 * a + 128);
     }
+
+    /// Nibble packing round-trips arbitrary 4-bit code vectors (even and
+    /// odd lengths) with exactly ⌈n/2⌉ bytes, and the zero-alloc iterator
+    /// agrees with the unpacker.
+    #[test]
+    fn packing_roundtrip_lossless(codes in proptest::collection::vec(0u8..16, 0..200)) {
+        let packed = pack_nibbles(&codes);
+        prop_assert_eq!(packed.len(), codes.len().div_ceil(2));
+        prop_assert_eq!(unpack_nibbles(&packed, codes.len()), codes.clone());
+        let via_iter: Vec<u8> = NibbleIter::new(&packed, codes.len()).collect();
+        prop_assert_eq!(via_iter, codes);
+    }
+
+    /// Every MANT group survives encode → pack → unpack → decode with no
+    /// loss: the packed memory layout is semantically identical to the
+    /// one-code-per-byte layout.
+    #[test]
+    fn packing_preserves_mant_groups(a in 0u32..128,
+                                     xs in proptest::collection::vec(-500.0f32..500.0, 1..129)) {
+        let m = Mant::new(a).unwrap();
+        let codes: Vec<u8> = xs.iter().map(|&x| m.encode(x).to_bits()).collect();
+        let unpacked = unpack_nibbles(&pack_nibbles(&codes), codes.len());
+        prop_assert_eq!(&unpacked, &codes);
+        for (&c, &u) in codes.iter().zip(unpacked.iter()) {
+            prop_assert_eq!(m.decode(MantCode::from_bits(c)), m.decode(MantCode::from_bits(u)));
+        }
+    }
+
+    /// Every INT4 group (two's-complement low nibble) survives the packed
+    /// layout: sign-extension after unpacking recovers the exact integers.
+    #[test]
+    fn packing_preserves_int4_groups(vals in proptest::collection::vec(-7i64..=7, 1..129)) {
+        let codes: Vec<u8> = vals.iter().map(|&v| (v as i8 as u8) & 0x0f).collect();
+        let unpacked = unpack_nibbles(&pack_nibbles(&codes), codes.len());
+        for (&v, &u) in vals.iter().zip(unpacked.iter()) {
+            let decoded = i64::from(((u << 4) as i8) >> 4);
+            prop_assert_eq!(decoded, v);
+        }
+    }
+
+    /// A packed buffer serves at most `2 × bytes` codes: the boundary
+    /// count is accepted, anything beyond is a malformed length.
+    #[test]
+    fn packing_length_bounds(codes in proptest::collection::vec(0u8..16, 1..64)) {
+        let packed = pack_nibbles(&codes);
+        // The boundary count (every nibble, including an odd-length pad)
+        // is valid.
+        let all: Vec<u8> = NibbleIter::new(&packed, packed.len() * 2).collect();
+        prop_assert_eq!(all.len(), packed.len() * 2);
+        // Short counts truncate exactly.
+        let half: Vec<u8> = NibbleIter::new(&packed, codes.len() / 2).collect();
+        prop_assert_eq!(half.len(), codes.len() / 2);
+        prop_assert_eq!(&half[..], &codes[..codes.len() / 2]);
+    }
+}
+
+/// Malformed lengths (more codes requested than the buffer holds) are
+/// rejected up front rather than yielding garbage.
+#[test]
+#[should_panic(expected = "packed buffer too short")]
+fn packing_rejects_malformed_length() {
+    let packed = pack_nibbles(&[1, 2, 3]);
+    let _ = NibbleIter::new(&packed, 5);
 }

@@ -47,7 +47,7 @@ pub fn quantize_activations_int8(
     x: &Matrix,
     group_size: usize,
 ) -> Result<ActivationTensor, QuantError> {
-    if group_size == 0 || x.cols() % group_size != 0 {
+    if group_size == 0 || !x.cols().is_multiple_of(group_size) {
         return Err(QuantError::BadGroupSize {
             group_size,
             inner_dim: x.cols(),

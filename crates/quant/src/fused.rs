@@ -73,9 +73,7 @@ pub fn mant_gemm(x: &ActivationTensor, w: &MantQuantizedMatrix) -> Result<Matrix
                     GroupDtype::Mant(mant) => group_psums_mant(xcodes, wcodes, mant),
                     GroupDtype::Int4 => group_mac_int4(xcodes, wcodes),
                 };
-                acc += f64::from(x.scale(mi, g))
-                    * f64::from(meta.scale)
-                    * int_result as f64;
+                acc += f64::from(x.scale(mi, g)) * f64::from(meta.scale) * int_result as f64;
             }
             out[(mi, ni)] = acc as f32;
         }
@@ -126,7 +124,13 @@ mod tests {
     use crate::search::CandidateSet;
     use mant_tensor::{DistributionKind, TensorGenerator};
 
-    fn setup(seed: u64, m: usize, n: usize, k: usize, g: usize) -> (ActivationTensor, MantQuantizedMatrix) {
+    fn setup(
+        seed: u64,
+        m: usize,
+        n: usize,
+        k: usize,
+        g: usize,
+    ) -> (ActivationTensor, MantQuantizedMatrix) {
         let mut gen = TensorGenerator::new(seed);
         let x = gen.activation_matrix(m, k, 1.0, 0.02, 20.0);
         let w = gen.group_diverse_matrix(n, k, g, 0.02);
@@ -148,10 +152,7 @@ mod tests {
             .fold(0.0f32, f32::max)
             .max(1e-6);
         for (a, b) in fused.as_slice().iter().zip(reference.as_slice()) {
-            assert!(
-                (a - b).abs() / denom < 1e-4,
-                "fused {a} vs reference {b}"
-            );
+            assert!((a - b).abs() / denom < 1e-4, "fused {a} vs reference {b}");
         }
     }
 
@@ -216,7 +217,7 @@ mod tests {
     fn group_kernels_are_integer_exact() {
         // Cross-check both kernels against a scalar model.
         let mant = Mant::new(17).unwrap();
-        let xcodes: Vec<i8> = vec![5, -3, 127, -128i8 as i8, 0, 1];
+        let xcodes: Vec<i8> = vec![5, -3, 127, -128_i8, 0, 1];
         let wcodes: Vec<u8> = vec![0x0, 0x9, 0x7, 0xf, 0x3, 0x8];
         let fused = group_psums_mant(&xcodes, &wcodes, mant);
         let mut expect = 0i64;

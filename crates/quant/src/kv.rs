@@ -44,7 +44,7 @@ impl KCacheQuantizer {
     /// Returns [`QuantError::BadGroupSize`] if `group_size` does not divide
     /// `dim`.
     pub fn new(dim: usize, group_size: usize, vmap: VarianceMap) -> Result<Self, QuantError> {
-        if group_size == 0 || dim % group_size != 0 {
+        if group_size == 0 || !dim.is_multiple_of(group_size) {
             return Err(QuantError::BadGroupSize {
                 group_size,
                 inner_dim: dim,
@@ -400,7 +400,11 @@ mod tests {
         let deq = vq.dequantize();
         assert_eq!(deq.shape(), (64, 64));
         // 4-bit committed + INT8 staged: overall error stays small.
-        assert!(relative_error(&v, &deq) < 0.03, "{}", relative_error(&v, &deq));
+        assert!(
+            relative_error(&v, &deq) < 0.03,
+            "{}",
+            relative_error(&v, &deq)
+        );
     }
 
     #[test]
@@ -447,27 +451,24 @@ mod tests {
         let v = gen.group_diverse_matrix(24, 32, 32, 0.5);
         vq.prefill(&v); // 1 window committed, 8 rows staged
         let deq = vq.dequantize();
-        let committed_err = mse(
-            &v.as_slice()[..16 * 32],
-            &deq.as_slice()[..16 * 32],
-        );
+        let committed_err = mse(&v.as_slice()[..16 * 32], &deq.as_slice()[..16 * 32]);
         let staged_err = mse(&v.as_slice()[16 * 32..], &deq.as_slice()[16 * 32..]);
-        assert!(staged_err < committed_err, "{staged_err} vs {committed_err}");
+        assert!(
+            staged_err < committed_err,
+            "{staged_err} vs {committed_err}"
+        );
     }
 
     #[test]
     fn storage_accounting() {
         let mut vq = VCacheQuantizer::new(16, 4, vmap()).unwrap();
         for _ in 0..6 {
-            vq.push(&vec![0.5; 16]);
+            vq.push(&[0.5; 16]);
         }
         // 1 committed window (4×16 codes + 16 metas) + 2 staged rows.
-        assert_eq!(
-            vq.storage_bits(),
-            (4 * 16 * 4 + 16 * 24) + 2 * 16 * 8
-        );
+        assert_eq!(vq.storage_bits(), (4 * 16 * 4 + 16 * 24) + 2 * 16 * 8);
         let mut kq = KCacheQuantizer::new(16, 16, vmap()).unwrap();
-        kq.push(&vec![0.5; 16]);
+        kq.push(&[0.5; 16]);
         assert_eq!(kq.storage_bits(), 16 * 4 + 24);
     }
 

@@ -37,6 +37,9 @@ pub use kv::{KCacheQuantizer, VCacheQuantizer};
 pub use mantq::{GroupDtype, MantQuantizedMatrix, MantWeightQuantizer};
 pub use quantizer::{FakeQuantizer, Fp16Quantizer, GridQuantizer};
 pub use scheme::Granularity;
-pub use search::{select_group_dtype, select_group_dtype_weighted, CandidateSet};
+pub use search::{
+    group_quantization_error, group_quantization_error_weighted, par_select_group_dtypes_batch,
+    select_group_dtype, select_group_dtype_weighted, select_group_dtypes_batch, CandidateSet,
+};
 pub use smooth::Smoother;
 pub use variance::VarianceMap;

@@ -2,11 +2,40 @@
 
 use mant_numerics::fp16::quantize_fp16;
 use mant_numerics::{int4_grid, Grid, Mant, MantCode, NumericsError};
+use mant_tensor::par::par_map_indexed;
 use mant_tensor::{abs_max, Matrix};
 
 use crate::error::QuantError;
 use crate::quantizer::FakeQuantizer;
 use crate::search::{select_group_dtype_weighted, CandidateSet};
+
+/// Encodes one row: per-group candidate search, scale derivation, and
+/// 4-bit encoding. The unit of work for both the serial and parallel
+/// quantization paths (groups within a row are processed in order, so
+/// splitting by rows cannot reorder any floating-point operation).
+fn encode_row(
+    row: &[f32],
+    group_size: usize,
+    set: &CandidateSet,
+    col_weights: Option<&[f32]>,
+) -> Result<(Vec<u8>, Vec<GroupMeta>), QuantError> {
+    let groups_per_row = row.len() / group_size;
+    let mut codes = vec![0u8; row.len()];
+    let mut meta = Vec::with_capacity(groups_per_row);
+    for g in 0..groups_per_row {
+        let lo = g * group_size;
+        let hi = lo + group_size;
+        let group = &row[lo..hi];
+        let gw = col_weights.map(|cw| &cw[lo..hi]);
+        let (dtype, _) = select_group_dtype_weighted(group, gw, set)?;
+        let scale = dtype.scale_for(abs_max(group));
+        meta.push(GroupMeta { dtype, scale });
+        for (j, &x) in group.iter().enumerate() {
+            codes[lo + j] = dtype.encode(x, scale);
+        }
+    }
+    Ok((codes, meta))
+}
 
 /// The data type assigned to one group: a MANT coefficient or plain INT4
 /// (the paper's search set is 15 coefficients "and an additional INT
@@ -123,11 +152,7 @@ impl MantQuantizedMatrix {
     ///
     /// Returns [`QuantError::BadGroupSize`] if `group_size` does not divide
     /// `w.cols()`, or [`QuantError::EmptyCandidateSet`].
-    pub fn quantize(
-        w: &Matrix,
-        group_size: usize,
-        set: &CandidateSet,
-    ) -> Result<Self, QuantError> {
+    pub fn quantize(w: &Matrix, group_size: usize, set: &CandidateSet) -> Result<Self, QuantError> {
         Self::quantize_weighted(w, group_size, set, None)
     }
 
@@ -146,37 +171,13 @@ impl MantQuantizedMatrix {
         set: &CandidateSet,
         col_weights: Option<&[f32]>,
     ) -> Result<Self, QuantError> {
-        if group_size == 0 || w.cols() % group_size != 0 {
-            return Err(QuantError::BadGroupSize {
-                group_size,
-                inner_dim: w.cols(),
-            });
-        }
-        if let Some(cw) = col_weights {
-            if cw.len() != w.cols() {
-                return Err(QuantError::ShapeMismatch {
-                    context: "calibration column weights vs weight columns",
-                });
-            }
-        }
-        let groups_per_row = w.cols() / group_size;
-        let mut codes = vec![0u8; w.rows() * w.cols()];
-        let mut meta = Vec::with_capacity(w.rows() * groups_per_row);
+        Self::validate(w, group_size, set, col_weights)?;
+        let mut codes = Vec::with_capacity(w.rows() * w.cols());
+        let mut meta = Vec::with_capacity(w.rows() * (w.cols() / group_size));
         for r in 0..w.rows() {
-            let row = w.row(r);
-            for g in 0..groups_per_row {
-                let lo = g * group_size;
-                let hi = lo + group_size;
-                let group = &row[lo..hi];
-                let gw = col_weights.map(|cw| &cw[lo..hi]);
-                let (dtype, _) = select_group_dtype_weighted(group, gw, set)?;
-                let scale = dtype.scale_for(abs_max(group));
-                meta.push(GroupMeta { dtype, scale });
-                let base = r * w.cols() + lo;
-                for (j, &x) in group.iter().enumerate() {
-                    codes[base + j] = dtype.encode(x, scale);
-                }
-            }
+            let (row_codes, row_meta) = encode_row(w.row(r), group_size, set, col_weights)?;
+            codes.extend(row_codes);
+            meta.extend(row_meta);
         }
         Ok(MantQuantizedMatrix {
             rows: w.rows(),
@@ -185,6 +186,82 @@ impl MantQuantizedMatrix {
             codes,
             meta,
         })
+    }
+
+    /// [`MantQuantizedMatrix::quantize`] with the per-group candidate
+    /// search fanned across threads, one row per work item. Output is
+    /// **bit-identical** to the serial path: rows are processed in
+    /// contiguous chunks and reassembled in order, and no group's
+    /// floating-point operations are reordered. Falls back to the serial
+    /// loop when the `parallel` feature is disabled.
+    ///
+    /// # Errors
+    ///
+    /// As [`MantQuantizedMatrix::quantize`].
+    pub fn par_quantize(
+        w: &Matrix,
+        group_size: usize,
+        set: &CandidateSet,
+    ) -> Result<Self, QuantError> {
+        Self::par_quantize_weighted(w, group_size, set, None)
+    }
+
+    /// Parallel counterpart of [`MantQuantizedMatrix::quantize_weighted`];
+    /// see [`MantQuantizedMatrix::par_quantize`] for the determinism
+    /// guarantee.
+    ///
+    /// # Errors
+    ///
+    /// As [`MantQuantizedMatrix::quantize_weighted`].
+    pub fn par_quantize_weighted(
+        w: &Matrix,
+        group_size: usize,
+        set: &CandidateSet,
+        col_weights: Option<&[f32]>,
+    ) -> Result<Self, QuantError> {
+        Self::validate(w, group_size, set, col_weights)?;
+        let rows = par_map_indexed(w.rows(), |r| {
+            encode_row(w.row(r), group_size, set, col_weights)
+        });
+        let mut codes = Vec::with_capacity(w.rows() * w.cols());
+        let mut meta = Vec::with_capacity(w.rows() * (w.cols() / group_size));
+        for row in rows {
+            let (row_codes, row_meta) = row?;
+            codes.extend(row_codes);
+            meta.extend(row_meta);
+        }
+        Ok(MantQuantizedMatrix {
+            rows: w.rows(),
+            cols: w.cols(),
+            group_size,
+            codes,
+            meta,
+        })
+    }
+
+    fn validate(
+        w: &Matrix,
+        group_size: usize,
+        set: &CandidateSet,
+        col_weights: Option<&[f32]>,
+    ) -> Result<(), QuantError> {
+        if group_size == 0 || !w.cols().is_multiple_of(group_size) {
+            return Err(QuantError::BadGroupSize {
+                group_size,
+                inner_dim: w.cols(),
+            });
+        }
+        if set.is_empty() {
+            return Err(QuantError::EmptyCandidateSet);
+        }
+        if let Some(cw) = col_weights {
+            if cw.len() != w.cols() {
+                return Err(QuantError::ShapeMismatch {
+                    context: "calibration column weights vs weight columns",
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Number of output channels (rows).
@@ -310,6 +387,21 @@ impl MantWeightQuantizer {
             self.col_weights.as_deref(),
         )
     }
+
+    /// Multi-threaded [`MantWeightQuantizer::quantize`]: bit-identical
+    /// output, per-row fan-out (serial when the `parallel` feature is off).
+    ///
+    /// # Errors
+    ///
+    /// See [`MantQuantizedMatrix::quantize_weighted`].
+    pub fn par_quantize(&self, w: &Matrix) -> Result<MantQuantizedMatrix, QuantError> {
+        MantQuantizedMatrix::par_quantize_weighted(
+            w,
+            self.group_size,
+            &self.set,
+            self.col_weights.as_deref(),
+        )
+    }
 }
 
 impl FakeQuantizer for MantWeightQuantizer {
@@ -322,7 +414,11 @@ impl FakeQuantizer for MantWeightQuantizer {
     }
 
     fn fake_quantize(&self, w: &Matrix) -> Matrix {
-        self.quantize(w)
+        // Routed through the parallel engine: bit-identical to the serial
+        // path by construction, so every consumer (including
+        // `mant_core::Pipeline::quantize_w4`) scales across cores when the
+        // default `parallel` feature is on.
+        self.par_quantize(w)
             .expect("group size must divide the weight inner dimension")
             .dequantize()
     }
@@ -392,6 +488,49 @@ mod tests {
             err_mant < err_int * 0.9,
             "MANT {err_mant} vs INT4 {err_int}"
         );
+    }
+
+    #[test]
+    fn par_quantize_bit_identical_to_serial() {
+        let mut g = TensorGenerator::new(35);
+        let w = g.group_diverse_matrix(33, 512, 64, 0.02); // odd row count: uneven chunks
+        let moments: Vec<f32> = (0..512).map(|i| 1.0 + (i % 7) as f32).collect();
+        for cw in [None, Some(moments.as_slice())] {
+            let ser =
+                MantQuantizedMatrix::quantize_weighted(&w, 64, &CandidateSet::paper(), cw).unwrap();
+            let par =
+                MantQuantizedMatrix::par_quantize_weighted(&w, 64, &CandidateSet::paper(), cw)
+                    .unwrap();
+            assert_eq!(
+                ser.codes,
+                par.codes,
+                "codes diverge (weighted={})",
+                cw.is_some()
+            );
+            assert_eq!(
+                ser.meta,
+                par.meta,
+                "metadata diverges (weighted={})",
+                cw.is_some()
+            );
+            let bits =
+                |m: &Matrix| -> Vec<u32> { m.as_slice().iter().map(|v| v.to_bits()).collect() };
+            assert_eq!(bits(&ser.dequantize()), bits(&par.dequantize()));
+        }
+    }
+
+    #[test]
+    fn par_quantize_validates_like_serial() {
+        let w = Matrix::zeros(2, 100);
+        assert!(matches!(
+            MantQuantizedMatrix::par_quantize(&w, 64, &CandidateSet::paper()),
+            Err(QuantError::BadGroupSize { .. })
+        ));
+        let empty = CandidateSet::custom(&[], false).unwrap();
+        assert!(matches!(
+            MantQuantizedMatrix::par_quantize(&Matrix::zeros(2, 64), 64, &empty),
+            Err(QuantError::EmptyCandidateSet)
+        ));
     }
 
     #[test]

@@ -90,8 +90,7 @@ impl FakeQuantizer for GridQuantizer {
             Granularity::Tensor => {
                 // One scale across all rows.
                 let amax = abs_max(w.as_slice());
-                let scale =
-                    quantize_fp16(amax / self.grid.max_abs()).max(f32::MIN_POSITIVE);
+                let scale = quantize_fp16(amax / self.grid.max_abs()).max(f32::MIN_POSITIVE);
                 for (o, &x) in out.as_mut_slice().iter_mut().zip(w.as_slice()) {
                     *o = if amax == 0.0 {
                         0.0

@@ -27,7 +27,7 @@ impl Granularity {
         match *self {
             Granularity::Tensor | Granularity::Channel => Ok(inner_dim),
             Granularity::Group(g) => {
-                if g == 0 || inner_dim % g != 0 {
+                if g == 0 || !inner_dim.is_multiple_of(g) {
                     Err(QuantError::BadGroupSize {
                         group_size: g,
                         inner_dim,

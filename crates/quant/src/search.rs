@@ -124,6 +124,53 @@ pub fn select_group_dtype_weighted(
     Ok((best, best_err))
 }
 
+/// Mean squared quantization error of encoding `group` with `dtype` at the
+/// type's own symmetric scale — the quantity the per-group search minimizes.
+/// Exposed for LUT calibration and benchmarking.
+pub fn group_quantization_error(group: &[f32], dtype: GroupDtype) -> f64 {
+    weighted_group_error(group, None, abs_max(group), dtype)
+}
+
+/// Like [`group_quantization_error`], with optional per-position weights
+/// `ω_j` (the diagonal output-MSE surrogate of Eq. (6)); `None` means
+/// uniform weights.
+pub fn group_quantization_error_weighted(
+    group: &[f32],
+    weights: Option<&[f32]>,
+    dtype: GroupDtype,
+) -> f64 {
+    weighted_group_error(group, weights, abs_max(group), dtype)
+}
+
+/// Runs the per-group search over a batch of groups, serially.
+///
+/// # Errors
+///
+/// Returns [`QuantError::EmptyCandidateSet`] if `set` has no candidates.
+pub fn select_group_dtypes_batch(
+    groups: &[&[f32]],
+    set: &CandidateSet,
+) -> Result<Vec<(GroupDtype, f64)>, QuantError> {
+    groups.iter().map(|g| select_group_dtype(g, set)).collect()
+}
+
+/// Runs the per-group search over a batch of groups, fanned across
+/// threads. Bit-identical to [`select_group_dtypes_batch`] (groups are
+/// independent and results are reassembled in order); serial when the
+/// `parallel` feature is disabled.
+///
+/// # Errors
+///
+/// Returns [`QuantError::EmptyCandidateSet`] if `set` has no candidates.
+pub fn par_select_group_dtypes_batch(
+    groups: &[&[f32]],
+    set: &CandidateSet,
+) -> Result<Vec<(GroupDtype, f64)>, QuantError> {
+    mant_tensor::par::par_map_slice(groups, |g| select_group_dtype(g, set))
+        .into_iter()
+        .collect()
+}
+
 fn weighted_group_error(
     group: &[f32],
     weights: Option<&[f32]>,
@@ -213,7 +260,7 @@ mod tests {
         let set = CandidateSet::paper();
         let (best, best_err) = select_group_dtype(&data, &set).unwrap();
         for &cand in set.candidates() {
-            let err = weighted_group_error(&data, None, abs_max(&data), cand);
+            let err = group_quantization_error(&data, cand);
             assert!(best_err <= err + 1e-12, "{best:?} beaten by {cand:?}");
         }
     }

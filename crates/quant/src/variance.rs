@@ -6,18 +6,20 @@
 //! coefficient up in a precalibrated variance→type table.
 //!
 //! The table is a small LUT over log-spaced normalized-variance buckets:
-//! per bucket, the type that most often wins the MSE search on calibration
-//! groups in that variance range. (A single contiguous range per type —
-//! the paper's simplest description — cannot express that INT wins at
-//! *both* variance extremes: near-constant bias channels and uniform
-//! groups. A bucketed LUT is exactly as cheap in hardware and strictly
-//! more faithful to the calibration data.)
+//! per bucket, the type minimizing the total (scale-normalized, optionally
+//! position-weighted) quantization error over the calibration groups in
+//! that variance range. (A single contiguous range per type — the paper's
+//! simplest description — cannot express that INT wins at *both* variance
+//! extremes: near-constant bias channels and uniform groups. A bucketed
+//! LUT is exactly as cheap in hardware and strictly more faithful to the
+//! calibration data.)
 
+use mant_tensor::par::par_map_slice;
 use mant_tensor::{abs_max, variance, RunningGroupStats};
 
 use crate::error::QuantError;
 use crate::mantq::GroupDtype;
-use crate::search::{select_group_dtype, CandidateSet};
+use crate::search::{group_quantization_error_weighted, CandidateSet};
 
 /// Number of log-spaced variance buckets in the LUT.
 const BUCKETS: usize = 48;
@@ -36,11 +38,15 @@ pub struct VarianceMap {
 }
 
 impl VarianceMap {
-    /// Builds the map from calibration groups: each group is assigned its
-    /// MSE-optimal type; per variance bucket, the most frequent winner is
-    /// recorded (Sec. V-C: "sample the K and V tensors through a
-    /// calibration dataset, and select a for each group to minimize
-    /// quantization error; next, calculate the variance of the groups").
+    /// Builds the map from calibration groups (Sec. V-C: "sample the K and
+    /// V tensors through a calibration dataset, and select a for each group
+    /// to minimize quantization error; next, calculate the variance of the
+    /// groups"). Every candidate's quantization error is accumulated per
+    /// variance bucket, and each bucket records the candidate minimizing
+    /// the *total* error over its calibration groups — the minimum-expected-
+    /// error selector conditioned on the observable (the variance), which
+    /// is strictly more faithful than majority voting when a bucket's
+    /// per-group winners disagree but one type is near-optimal throughout.
     ///
     /// Buckets with no calibration coverage inherit from their nearest
     /// covered neighbor; with no data at all, every bucket falls back to
@@ -53,38 +59,93 @@ impl VarianceMap {
         groups: impl IntoIterator<Item = &'a [f32]>,
         set: &CandidateSet,
     ) -> Result<Self, QuantError> {
+        Self::from_calibration_weighted(groups.into_iter().map(|g| (g, None)), set)
+    }
+
+    /// Like [`VarianceMap::from_calibration`], with optional per-position
+    /// error weights for each group (Eq. (6)'s diagonal surrogate — e.g.
+    /// `E[q_j²]` for K-cache groups, so bucket winners minimize expected
+    /// attention-*score* error rather than plain weight error). Bucketing
+    /// still uses the unweighted normalized variance, since that is the
+    /// statistic available to the runtime selector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::EmptyCandidateSet`] if `set` is empty.
+    pub fn from_calibration_weighted<'a>(
+        groups: impl IntoIterator<Item = (&'a [f32], Option<&'a [f32]>)>,
+        set: &CandidateSet,
+    ) -> Result<Self, QuantError> {
         if set.is_empty() {
             return Err(QuantError::EmptyCandidateSet);
         }
-        // votes[bucket][candidate] and per-candidate variance sums.
-        let mut votes = vec![vec![0usize; set.len()]; BUCKETS];
-        let mut sums: Vec<(f64, usize)> = vec![(0.0, 0); set.len()];
-        for group in groups {
+        // errs[bucket][candidate]: accumulated quantization error of each
+        // candidate over the groups landing in that bucket. Also track the
+        // per-candidate variance sums (for the introspection entries),
+        // attributed to each group's MSE winner.
+        let items: Vec<(&[f32], Option<&[f32]>)> = groups.into_iter().collect();
+        // The 16-candidate error sweep per group is the hot kernel; fan it
+        // across threads (bit-identical: per-group results are reduced in
+        // input order below, so no accumulation is reordered).
+        // (bucket, normalized variance, winning candidate, per-candidate errors)
+        type GroupCalib = (usize, f64, usize, Vec<f64>);
+        let per_group: Vec<Option<GroupCalib>> = par_map_slice(&items, |&(group, weights)| {
             let amax = abs_max(group);
             if amax == 0.0 {
-                continue;
+                return None;
             }
-            let (dtype, _) = select_group_dtype(group, set)?;
-            let idx = set
+            let nvar = variance(group) / (f64::from(amax) * f64::from(amax));
+            // Normalize by max² (and the mean weight) so every
+            // calibration group contributes at equal weight regardless
+            // of its scale.
+            let mean_w = weights.map_or(1.0, |ws| {
+                let n = ws.len().max(1) as f64;
+                ws.iter().map(|&w| f64::from(w)).sum::<f64>() / n
+            });
+            let norm = f64::from(amax) * f64::from(amax) * mean_w.max(1e-30);
+            let mut win_idx = 0usize;
+            let mut win_err = f64::INFINITY;
+            let cand_errs: Vec<f64> = set
                 .candidates()
                 .iter()
-                .position(|&c| c == dtype)
-                .expect("selected dtype comes from the set");
-            let nvar = variance(group) / (f64::from(amax) * f64::from(amax));
-            votes[bucket_of(nvar)][idx] += 1;
-            sums[idx].0 += nvar;
-            sums[idx].1 += 1;
+                .enumerate()
+                .map(|(i, &cand)| {
+                    let e = group_quantization_error_weighted(group, weights, cand) / norm;
+                    if e < win_err {
+                        win_err = e;
+                        win_idx = i;
+                    }
+                    e
+                })
+                .collect();
+            Some((bucket_of(nvar), nvar, win_idx, cand_errs))
+        });
+
+        let mut errs = vec![vec![0.0f64; set.len()]; BUCKETS];
+        let mut populated = [false; BUCKETS];
+        let mut sums: Vec<(f64, usize)> = vec![(0.0, 0); set.len()];
+        for (bucket, nvar, win_idx, cand_errs) in per_group.into_iter().flatten() {
+            populated[bucket] = true;
+            for (acc, e) in errs[bucket].iter_mut().zip(cand_errs) {
+                *acc += e;
+            }
+            sums[win_idx].0 += nvar;
+            sums[win_idx].1 += 1;
         }
 
-        // Bucket winners; empty buckets inherit from the nearest covered.
-        let mut winners: Vec<Option<usize>> = votes
+        // Bucket winners minimize total calibration error; empty buckets
+        // inherit from the nearest covered.
+        let mut winners: Vec<Option<usize>> = errs
             .iter()
-            .map(|vs| {
-                let best = vs.iter().enumerate().max_by_key(|&(_, &c)| c);
-                match best {
-                    Some((i, &c)) if c > 0 => Some(i),
-                    _ => None,
+            .zip(populated.iter())
+            .map(|(es, &has_data)| {
+                if !has_data {
+                    return None;
                 }
+                es.iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite errors"))
+                    .map(|(i, _)| i)
             })
             .collect();
         let covered: Vec<usize> = winners
@@ -220,8 +281,10 @@ fn builtin_corpus() -> Vec<Vec<f32>> {
             }
         }
     }
-    // Near-constant groups (V-cache bias channels): c ± jitter·c.
-    for jitter in [0.01f32, 0.03, 0.08, 0.15, 0.25, 0.4] {
+    // Mean-shifted groups (V-cache temporal channel windows): c ± jitter·c,
+    // from near-constant bias channels through mean-dominated Gaussians to
+    // sign-crossing mixtures.
+    for jitter in [0.01f32, 0.03, 0.08, 0.15, 0.25, 0.4, 0.6, 1.0, 1.5] {
         for sign in [1.0f32, -1.0] {
             for _ in 0..6 {
                 let c = sign * gen.uniform(0.5, 2.0);
@@ -239,6 +302,7 @@ fn builtin_corpus() -> Vec<Vec<f32>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::search::select_group_dtype;
     use mant_tensor::{DistributionKind, TensorGenerator};
 
     #[test]

@@ -23,8 +23,8 @@
 //! - [`run`]: end-to-end layer runs, speedups, energy ratios.
 
 pub mod arch;
-pub mod decode;
 pub mod area;
+pub mod decode;
 pub mod energy;
 pub mod memory;
 pub mod rqu;
@@ -33,8 +33,8 @@ pub mod systolic;
 pub mod workload;
 
 pub use arch::{AcceleratorConfig, HardwareParams, PrecisionPolicy, WeightBits};
-pub use decode::{decode_step, generation_latency_ms, DecodeStep};
 pub use area::{area_report, AreaReport};
+pub use decode::{decode_step, generation_latency_ms, DecodeStep};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use run::{run_attention, run_gemm, run_linear, run_model, LayerRun, ModelRun};
 pub use workload::{attention_gemms, linear_gemms, Gemm};

@@ -17,6 +17,7 @@ pub struct Traffic {
 /// `act_bits`) and re-streamed from SRAM for every N-tile; outputs leave at
 /// `out_bits`; partial sums are read-modify-written in 32-bit SRAM once
 /// per K-tile beyond the first.
+#[allow(clippy::too_many_arguments)]
 pub fn gemm_traffic(
     m: usize,
     k: usize,
@@ -32,7 +33,7 @@ pub fn gemm_traffic(
     let outs = m as f64 * n as f64 * f64::from(out_bits) / 8.0;
     let dram_bytes = weights + acts + outs;
     let act_restream = acts * tiles_n.max(1) as f64;
-    let psum = m as f64 * n as f64 * 4.0 * 2.0 * tiles_k.saturating_sub(1).max(0) as f64;
+    let psum = m as f64 * n as f64 * 4.0 * 2.0 * tiles_k.saturating_sub(1) as f64;
     let sram_bytes = weights + act_restream + outs + psum;
     Traffic {
         dram_bytes,

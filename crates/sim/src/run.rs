@@ -117,8 +117,7 @@ fn run_gemm_at(
     // Compute cycles, scaled to the configured lane count (array_shape
     // assumes the paper's 4096-lane budget).
     let lane_scale = 4096.0 / acc.lanes_4x4 as f64;
-    let mut cycles =
-        gemm_cycles(act_bits, w_bits, g.m, g.k, g.n) as f64 * lane_scale;
+    let mut cycles = gemm_cycles(act_bits, w_bits, g.m, g.k, g.n) as f64 * lane_scale;
 
     // Group-wise scale application: fused designs hide it behind the
     // accumulators (only the divider residue can surface); unfused designs
@@ -257,8 +256,10 @@ mod tests {
         let s_o = mant.speedup_over(&olive);
         let s_a = mant.speedup_over(&ant);
         let s_b = mant.speedup_over(&bf);
-        assert!(s_t > 1.0 && s_t < s_o && s_o <= s_a && s_a < s_b,
-            "ordering violated: T {s_t} O {s_o} A {s_a} B {s_b}");
+        assert!(
+            s_t > 1.0 && s_t < s_o && s_o <= s_a && s_a < s_b,
+            "ordering violated: T {s_t} O {s_o} A {s_a} B {s_b}"
+        );
     }
 
     #[test]
@@ -347,10 +348,7 @@ mod tests {
             },
             dram_bytes: 10.0,
         };
-        let b = LayerRun {
-            cycles: 200,
-            ..a
-        };
+        let b = LayerRun { cycles: 200, ..a };
         assert_eq!(b.speedup_over(&a), 0.5);
         assert_eq!(a.speedup_over(&b), 2.0);
         assert_eq!(a.add(&b).cycles, 300);

@@ -75,8 +75,7 @@ impl<'a> GroupedRows<'a> {
     /// Iterates over `(row, group_index, slice)` for every group.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &[f32])> + '_ {
         let gpr = self.groups_per_row();
-        (0..self.matrix.rows())
-            .flat_map(move |r| (0..gpr).map(move |g| (r, g, self.group(r, g))))
+        (0..self.matrix.rows()).flat_map(move |r| (0..gpr).map(move |g| (r, g, self.group(r, g))))
     }
 }
 

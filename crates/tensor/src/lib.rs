@@ -13,6 +13,7 @@ pub mod gemm;
 pub mod group;
 pub mod matrix;
 pub mod ops;
+pub mod par;
 pub mod rng;
 pub mod stats;
 

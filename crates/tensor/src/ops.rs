@@ -44,7 +44,10 @@ pub fn rmsnorm(x: &[f32], gain: &[f32], eps: f32) -> Vec<f32> {
     }
     let ms: f32 = x.iter().map(|&v| v * v).sum::<f32>() / x.len() as f32;
     let inv = 1.0 / (ms + eps).sqrt();
-    x.iter().zip(gain.iter()).map(|(&v, &g)| v * inv * g).collect()
+    x.iter()
+        .zip(gain.iter())
+        .map(|(&v, &g)| v * inv * g)
+        .collect()
 }
 
 /// SiLU (swish) activation: `x · σ(x)`.

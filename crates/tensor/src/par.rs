@@ -1,0 +1,137 @@
+//! Scoped-thread parallel mapping helpers.
+//!
+//! The offline encode search is embarrassingly parallel: every weight/KV
+//! group's candidate search is independent. These helpers fan an indexed
+//! map across OS threads with `std::thread::scope` (the build environment
+//! has no registry access, so `rayon` is not an option) while guaranteeing
+//! **bit-identical** results to the serial path: work is split into
+//! contiguous index chunks, each chunk's results are collected locally,
+//! and the chunks are reassembled in index order, so no floating-point
+//! operation is reordered within any item.
+//!
+//! With the `parallel` feature disabled every helper degrades to the plain
+//! serial loop, keeping call sites free of `cfg` noise.
+
+/// Number of worker threads the helpers will use: the `MANT_THREADS`
+/// environment variable when set (useful for benchmarking scaling and for
+/// exercising the multi-threaded path on small machines), otherwise the
+/// machine's available parallelism. Always `1` when the `parallel` feature
+/// is disabled.
+pub fn max_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        if let Some(n) = std::env::var("MANT_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Minimum items per worker before fanning out is worth the spawn cost.
+const MIN_ITEMS_PER_THREAD: usize = 4;
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// Runs on up to [`max_threads`] scoped threads over contiguous index
+/// chunks; output is bit-identical to `(0..n).map(f).collect()`.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn par_map_indexed<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = max_threads().min(n / MIN_ITEMS_PER_THREAD.max(1)).max(1);
+    if threads <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let chunks: Vec<Vec<T>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * chunk;
+                let hi = ((t + 1) * chunk).min(n);
+                scope.spawn(move || (lo..hi).map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    let mut out = Vec::with_capacity(n);
+    for c in chunks {
+        out.extend(c);
+    }
+    out
+}
+
+/// Maps `f` over the items of a slice, returning results in order.
+/// Parallel counterpart of `items.iter().map(f).collect()`.
+pub fn par_map_slice<'a, T, U, F>(items: &'a [T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    par_map_indexed(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map() {
+        for n in [0usize, 1, 3, 7, 64, 1000] {
+            let serial: Vec<u64> = (0..n)
+                .map(|i| (i as u64).wrapping_mul(2654435761))
+                .collect();
+            let parallel = par_map_indexed(n, |i| (i as u64).wrapping_mul(2654435761));
+            assert_eq!(serial, parallel, "n={n}");
+        }
+    }
+
+    #[test]
+    fn float_results_bit_identical() {
+        let data: Vec<f32> = (0..513).map(|i| (i as f32).sin() * 1e3).collect();
+        let serial: Vec<f32> = data.iter().map(|&x| (x * 1.7).exp().sqrt()).collect();
+        let parallel = par_map_slice(&data, |&x| (x * 1.7).exp().sqrt());
+        assert_eq!(
+            serial.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            parallel.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[cfg(feature = "parallel")]
+    fn reports_available_threads() {
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn propagates_worker_panics() {
+        let _ = par_map_indexed(64, |i| {
+            if i == 63 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -98,7 +98,13 @@ impl TensorGenerator {
     }
 
     /// A `rows × cols` matrix of i.i.d. samples.
-    pub fn matrix(&mut self, rows: usize, cols: usize, kind: DistributionKind, scale: f32) -> Matrix {
+    pub fn matrix(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        kind: DistributionKind,
+        scale: f32,
+    ) -> Matrix {
         let mut data = Vec::with_capacity(rows * cols);
         for _ in 0..rows * cols {
             data.push(self.sample(kind, scale));
@@ -120,12 +126,12 @@ impl TensorGenerator {
         group_size: usize,
         scale: f32,
     ) -> Matrix {
-        assert!(group_size > 0 && cols % group_size == 0);
+        assert!(group_size > 0 && cols.is_multiple_of(group_size));
         let mut data = Vec::with_capacity(rows * cols);
         for _ in 0..rows {
             for _ in 0..cols / group_size {
-                let kind = DistributionKind::ALL
-                    [self.rng.random_range(0..DistributionKind::ALL.len())];
+                let kind =
+                    DistributionKind::ALL[self.rng.random_range(0..DistributionKind::ALL.len())];
                 let spread: f32 = scale * 10.0f32.powf(self.rng.random_range(-0.6..0.6));
                 for _ in 0..group_size {
                     data.push(self.sample(kind, spread));
@@ -150,7 +156,11 @@ impl TensorGenerator {
             .map(|_| self.rng.random::<f64>() < outlier_channel_frac)
             .collect();
         Matrix::from_fn(rows, cols, |_, c| {
-            let s = if outlier[c] { scale * outlier_scale } else { scale };
+            let s = if outlier[c] {
+                scale * outlier_scale
+            } else {
+                scale
+            };
             self.sample(DistributionKind::Gaussian, s)
         })
     }

@@ -17,7 +17,10 @@ fn main() {
     // Calibrate on a synthetic token stream (the paper uses Pile subsets).
     let mut pipe = Pipeline::new(&config, 7);
     let calib = pipe.calibrate(48);
-    println!("calibrated on 48 tokens: {} KV groups sampled", calib.kv_group_count());
+    println!(
+        "calibrated on 48 tokens: {} KV groups sampled",
+        calib.kv_group_count()
+    );
 
     // Quantize weights with the calibration-weighted coefficient search.
     let quantized = pipe.quantize_w4(64);
@@ -25,8 +28,16 @@ fn main() {
     // Evaluate the paper's headline configurations.
     let configs = [
         ("W4A16 (weights only)      ", ActMode::None, KvMode::Fp16),
-        ("W4A8                      ", ActMode::IntGroup { bits: 8, group: 64 }, KvMode::Fp16),
-        ("W4A8 + 4-bit MANT KV cache", ActMode::IntGroup { bits: 8, group: 64 }, KvMode::Mant4 { group: 64 }),
+        (
+            "W4A8                      ",
+            ActMode::IntGroup { bits: 8, group: 64 },
+            KvMode::Fp16,
+        ),
+        (
+            "W4A8 + 4-bit MANT KV cache",
+            ActMode::IntGroup { bits: 8, group: 64 },
+            KvMode::Mant4 { group: 64 },
+        ),
     ];
     let fp = pipe.evaluate(pipe.reference(), ActMode::None, KvMode::Fp16, 32);
     println!("\nperplexity proxy (lower is better):");
@@ -45,5 +56,8 @@ fn main() {
         12,
         48,
     );
-    println!("\ngreedy-decode agreement with FP16 over 48 tokens: {:.1}%", fidelity * 100.0);
+    println!(
+        "\ngreedy-decode agreement with FP16 over 48 tokens: {:.1}%",
+        fidelity * 100.0
+    );
 }

@@ -11,7 +11,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. The MANT numeric type: one 8-bit coefficient `a` selects a grid.
     let mant = Mant::new(17)?;
     println!("MANT(a=17) levels: {:?}", mant.levels());
-    println!("  encode(-60.0) -> {:?} -> {}", mant.encode(-60.0), mant.decode(mant.encode(-60.0)));
+    println!(
+        "  encode(-60.0) -> {:?} -> {}",
+        mant.encode(-60.0),
+        mant.decode(mant.encode(-60.0))
+    );
 
     // 2. Quantize a group-diverse weight matrix (the distribution shape
     //    real LLM weights have — every 64-element group looks different).
@@ -19,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w = gen.group_diverse_matrix(64, 512, 64, 0.02);
     let quantizer = MantWeightQuantizer::new(64);
     let wq = quantizer.quantize(&w)?;
-    println!("\nquantized 64x512 weights at {:.3} bits/element", wq.bits_per_element());
+    println!(
+        "\nquantized 64x512 weights at {:.3} bits/element",
+        wq.bits_per_element()
+    );
     println!("selected data types per group:");
     for (label, count) in wq.dtype_histogram() {
         println!("  {label:>6}: {count} groups");
@@ -35,7 +42,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let y_fused = mant_gemm(&xq, &wq)?;
     let y_exact = gemm(&x, &w.transpose());
     let rel = y_exact.distance(&y_fused)
-        / y_exact.as_slice().iter().map(|&v| f64::from(v) * f64::from(v)).sum::<f64>().sqrt();
-    println!("\nfused W4A8 integer GEMM vs FP32: relative error {:.3}%", rel * 100.0);
+        / y_exact
+            .as_slice()
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt();
+    println!(
+        "\nfused W4A8 integer GEMM vs FP32: relative error {:.3}%",
+        rel * 100.0
+    );
     Ok(())
 }

@@ -1,0 +1,275 @@
+//! Minimal, offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of the criterion API the workspace benches use: `Criterion`
+//! with builder-style config, `benchmark_group` / `bench_function` /
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//! Bench targets must set `harness = false` (as with real criterion).
+//!
+//! Measurement is simple but honest: a short warm-up, then timed batches
+//! until the measurement window or an iteration cap is exhausted, with the
+//! mean time per iteration reported on stdout. Results are also recorded
+//! so bench code can compute ratios (e.g. serial vs parallel speedup) via
+//! [`Criterion::last_mean_ns`].
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// One recorded measurement.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// `group/function` identifier.
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Number of timed iterations.
+    pub iterations: u64,
+}
+
+/// The benchmark driver. Mirrors criterion's builder API.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    max_iterations: u64,
+    measurements: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_millis(800),
+            warm_up_time: Duration::from_millis(200),
+            max_iterations: 100_000,
+            measurements: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the target number of samples (kept for API compatibility; the
+    /// shim times one contiguous run).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Caps the number of timed iterations per benchmark (shim extension;
+    /// bounds memory growth for stateful benchmarked closures).
+    pub fn max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = n.max(1);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_owned(), f);
+        self
+    }
+
+    /// The mean ns/iter of the most recent benchmark whose id contains
+    /// `needle`, if any (shim extension used to report speedup ratios).
+    pub fn last_mean_ns(&self, needle: &str) -> Option<f64> {
+        self.measurements
+            .iter()
+            .rev()
+            .find(|m| m.id.contains(needle))
+            .map(|m| m.mean_ns)
+    }
+
+    /// All measurements recorded so far (shim extension).
+    pub fn measurements(&self) -> &[Measurement] {
+        &self.measurements
+    }
+
+    fn run_one<F>(&mut self, id: String, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            max_iterations: self.max_iterations,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        let iters = bencher.iterations.max(1);
+        let mean_ns = bencher.elapsed.as_nanos() as f64 / iters as f64;
+        println!(
+            "{id:<48} {:>14} ns/iter  ({iters} iters)",
+            format_num(mean_ns)
+        );
+        self.measurements.push(Measurement {
+            id,
+            mean_ns,
+            iterations: iters,
+        });
+    }
+}
+
+fn format_num(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else {
+        let v = ns.round() as u64;
+        let s = v.to_string();
+        let mut out = String::new();
+        for (i, c) in s.chars().enumerate() {
+            if i > 0 && (s.len() - i).is_multiple_of(3) {
+                out.push(',');
+            }
+            out.push(c);
+        }
+        out
+    }
+}
+
+/// A named group of benchmarks sharing the parent's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(full, f);
+        self
+    }
+
+    /// Finishes the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmarked closure; times repeated calls of `f`.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    max_iterations: u64,
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times `f` repeatedly until the measurement window or iteration cap
+    /// is exhausted.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up: at least one call, then until the warm-up window closes
+        // (iteration-capped so stateful closures can't grow unboundedly).
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            black_box(f());
+            warm_iters += 1;
+            if warm_start.elapsed() >= self.warm_up_time || warm_iters >= self.max_iterations {
+                break;
+            }
+        }
+        let start = Instant::now();
+        let mut n: u64 = 0;
+        'outer: while start.elapsed() < self.measurement_time {
+            // Check the clock every few iterations to keep per-iter overhead low.
+            for _ in 0..8 {
+                black_box(f());
+                n += 1;
+                if n >= self.max_iterations {
+                    break 'outer;
+                }
+            }
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = n;
+    }
+}
+
+/// Declares a group of benchmark targets, with or without a custom config.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emits `main` running the given benchmark groups (bench targets must set
+/// `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_records() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(1))
+            .max_iterations(1000);
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+        let m = c.last_mean_ns("grp/sum").expect("recorded");
+        assert!(m > 0.0);
+        assert_eq!(c.measurements().len(), 1);
+    }
+
+    #[test]
+    fn iteration_cap_binds() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_secs(5))
+            .warm_up_time(Duration::ZERO)
+            .max_iterations(10);
+        c.bench_function("capped", |b| b.iter(|| 1u64 + 1));
+        assert_eq!(c.measurements()[0].iterations, 10);
+    }
+}

@@ -1,0 +1,423 @@
+//! Minimal, offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this shim implements
+//! the subset of the proptest API the workspace's property tests use:
+//! range strategies over primitives, `collection::vec`, `prop_map`,
+//! `ProptestConfig::with_cases`, and the `proptest!` / `prop_assert!` /
+//! `prop_assert_eq!` macros.
+//!
+//! Generation is deterministic: every test derives its RNG seed from its
+//! own module path and name, so failures reproduce exactly across runs.
+//! There is no shrinking; the failure report prints the generated inputs
+//! instead.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Error type carried by `prop_assert!` failures (a formatted message).
+pub type TestCaseError = String;
+
+/// Subset of proptest's runner configuration: only `cases` is honored.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic 64-bit RNG (splitmix64 core) used to drive strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (the test's module path + name).
+    pub fn from_name(name: &str) -> Self {
+        // FNV-1a over the name, then a splitmix scramble.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng {
+            state: h ^ 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform f64 in [0, 1).
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in [0, bound) for non-zero `bound`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        // Multiply-shift; bias is negligible for test generation purposes.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+}
+
+/// A value generator. Mirrors proptest's `Strategy` with generation only
+/// (no shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi - lo + 1) as u64;
+                (lo + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let u = rng.unit_f64();
+                let v = self.start as f64 + u * (self.end as f64 - self.start as f64);
+                v as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+/// Always generates a clone of the given value (proptest's `Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Length specification for [`vec`]: an exact length or a range.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                min: r.start,
+                max_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty vec length range");
+            SizeRange {
+                min: *r.start(),
+                max_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` values.
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.max_inclusive - self.size.min + 1;
+            let len = self.size.min + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner internals referenced by generated code.
+pub mod test_runner {
+    pub use super::{TestCaseError, TestRng};
+}
+
+/// The glob-imported prelude, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use super::{Just, ProptestConfig, Strategy, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} ({}:{})", stringify!($cond), file!(), line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: {} ({}:{}): {}",
+                stringify!($cond), file!(), line!(), format_args!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({}:{})\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), file!(), line!(), l, r
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{} == {}` ({}:{}): {}\n  left: {:?}\n right: {:?}",
+                stringify!($lhs), stringify!($rhs), file!(), line!(),
+                format_args!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if *l == *r {
+            return ::core::result::Result::Err(format!(
+                "assertion failed: `{} != {}` ({}:{})\n  both: {:?}",
+                stringify!($lhs),
+                stringify!($rhs),
+                file!(),
+                line!(),
+                l
+            ));
+        }
+    }};
+}
+
+/// Defines property tests. Supports the standard form:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn prop(x in 0u32..10, v in proptest::collection::vec(-1.0f32..1.0, 1..64)) {
+///         prop_assert!(v.len() < 64);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // ---- internal: bind one `name in strategy` argument at a time ----
+    (@bind $rng:ident $inputs:ident,) => {};
+    (@bind $rng:ident $inputs:ident, mut $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $inputs.push(format!("{} = {:?}", stringify!($name), $name));
+        $crate::proptest!(@bind $rng $inputs, $($($rest)*)?);
+    };
+    (@bind $rng:ident $inputs:ident, $name:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $name = $crate::Strategy::generate(&($strat), &mut $rng);
+        $inputs.push(format!("{} = {:?}", stringify!($name), $name));
+        $crate::proptest!(@bind $rng $inputs, $($($rest)*)?);
+    };
+
+    // ---- internal: emit each test function ----
+    (@funcs $cfg:expr;) => {};
+    (@funcs $cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::test_runner::TestRng::from_name(
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            for case in 0..cfg.cases {
+                let mut inputs: Vec<String> = Vec::new();
+                $crate::proptest!(@bind rng inputs, $($args)*);
+                let outcome = (move || -> ::core::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })();
+                if let ::core::result::Result::Err(msg) = outcome {
+                    panic!(
+                        "proptest case {}/{} failed: {}\ninputs:\n  {}",
+                        case + 1, cfg.cases, msg, inputs.join("\n  ")
+                    );
+                }
+            }
+        }
+        $crate::proptest!(@funcs $cfg; $($rest)*);
+    };
+
+    // ---- entry points ----
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@funcs $cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@funcs $crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = crate::TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = crate::TestRng::from_name("bounds");
+        for _ in 0..1000 {
+            let v = crate::Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = crate::Strategy::generate(&(-2.0f32..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let i = crate::Strategy::generate(&(-5i64..=5), &mut rng);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_lengths() {
+        let mut rng = crate::TestRng::from_name("vec");
+        for _ in 0..200 {
+            let v = crate::Strategy::generate(&crate::collection::vec(0.0f32..1.0, 2..6), &mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+        let exact =
+            crate::Strategy::generate(&crate::collection::vec(0.0f32..1.0, 7usize), &mut rng);
+        assert_eq!(exact.len(), 7);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself works end to end, including `mut` bindings.
+        #[test]
+        fn macro_end_to_end(mut v in crate::collection::vec(1i64..=9, 1..8), k in 0u8..4) {
+            v.push(i64::from(k));
+            prop_assert!(!v.is_empty());
+            prop_assert_eq!(v.last().copied(), Some(i64::from(k)), "k={}", k);
+        }
+    }
+}

@@ -3,8 +3,23 @@
 
 use mant::baselines::{BitFusionQuantizer, TenderQuantizer};
 use mant::core::Pipeline;
-use mant::model::{ActMode, KvMode, ModelConfig};
-use mant::quant::Granularity;
+use mant::model::{ActMode, FfnKind, KvMode, ModelConfig};
+use mant::quant::{Granularity, MantWeightQuantizer};
+
+/// A second, larger model size for the cross-size tests: 2× hidden width,
+/// one more layer than `sim_llama`.
+fn sim_llama_large() -> ModelConfig {
+    ModelConfig {
+        name: "sim-llama-large".to_owned(),
+        hidden: 512,
+        heads: 8,
+        kv_heads: 8,
+        layers: 3,
+        ffn: 1024,
+        vocab: 512,
+        ffn_kind: FfnKind::GatedSilu,
+    }
+}
 
 #[test]
 fn calibrated_pipeline_end_to_end() {
@@ -30,8 +45,18 @@ fn calibrated_pipeline_end_to_end() {
     // Monotone degradation chain, no blowups.
     assert!((fp.ppl - fp.ppl_fp).abs() < 1e-9);
     assert!(w4.ppl >= fp.ppl);
-    assert!(w4a8.ppl < fp.ppl * 2.0, "W4A8 {} vs FP {}", w4a8.ppl, fp.ppl);
-    assert!(full.ppl < fp.ppl * 2.5, "full stack {} vs FP {}", full.ppl, fp.ppl);
+    assert!(
+        w4a8.ppl < fp.ppl * 2.0,
+        "W4A8 {} vs FP {}",
+        w4a8.ppl,
+        fp.ppl
+    );
+    assert!(
+        full.ppl < fp.ppl * 2.5,
+        "full stack {} vs FP {}",
+        full.ppl,
+        fp.ppl
+    );
 }
 
 #[test]
@@ -43,8 +68,18 @@ fn mant_beats_baselines_at_w4() {
 
     let p = |m| pipe.evaluate(m, ActMode::None, KvMode::Fp16, 32).ppl;
     let mant_ppl = p(&mant);
-    assert!(mant_ppl <= p(&int4) * 1.001, "MANT {} vs INT4 {}", mant_ppl, p(&int4));
-    assert!(mant_ppl <= p(&tender) * 1.001, "MANT {} vs Tender {}", mant_ppl, p(&tender));
+    assert!(
+        mant_ppl <= p(&int4) * 1.001,
+        "MANT {} vs INT4 {}",
+        mant_ppl,
+        p(&int4)
+    );
+    assert!(
+        mant_ppl <= p(&tender) * 1.001,
+        "MANT {} vs Tender {}",
+        mant_ppl,
+        p(&tender)
+    );
 }
 
 #[test]
@@ -59,6 +94,97 @@ fn opt_style_models_run_too() {
     );
     assert!(rep.ppl.is_finite());
     assert!(rep.ppl >= rep.ppl_fp);
+}
+
+#[test]
+fn parallel_encode_deterministic_at_two_model_sizes() {
+    for (cfg, seed) in [(ModelConfig::sim_llama(), 91u64), (sim_llama_large(), 92)] {
+        let pipe = Pipeline::new(&cfg, seed);
+        let q = MantWeightQuantizer::new(64);
+        let bits = |m: &mant::tensor::Matrix| -> Vec<u32> {
+            m.as_slice().iter().map(|v| v.to_bits()).collect()
+        };
+
+        // Serial and parallel encode engines must agree bit-for-bit on
+        // every projection of the model.
+        for layer in &pipe.reference().weights.layers {
+            for w in [
+                &layer.wq,
+                &layer.wk,
+                &layer.wv,
+                &layer.wo,
+                &layer.w_up,
+                &layer.w_down,
+            ] {
+                let ser = q.quantize(w).expect("group divides width").dequantize();
+                let par = q.par_quantize(w).expect("group divides width").dequantize();
+                assert_eq!(bits(&ser), bits(&par), "{}: engine divergence", cfg.name);
+            }
+        }
+
+        // And the whole pipeline (which routes through the parallel
+        // engine) must be reproducible run-to-run.
+        let a = pipe.quantize_w4(64);
+        let b = pipe.quantize_w4(64);
+        for (la, lb) in a.weights.layers.iter().zip(b.weights.layers.iter()) {
+            assert_eq!(bits(&la.wq), bits(&lb.wq), "{}: run-to-run drift", cfg.name);
+            assert_eq!(
+                bits(&la.w_down),
+                bits(&lb.w_down),
+                "{}: run-to-run drift",
+                cfg.name
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_monotonic_at_two_model_sizes() {
+    for (cfg, seed) in [(ModelConfig::sim_llama(), 93u64), (sim_llama_large(), 94)] {
+        let mut pipe = Pipeline::new(&cfg, seed);
+        let calib = pipe.calibrate(40);
+        assert!(calib.kv_group_count() > 0, "{}: no KV samples", cfg.name);
+
+        let quantized = pipe.quantize_w4(64);
+        let fp = pipe.evaluate(pipe.reference(), ActMode::None, KvMode::Fp16, 20);
+        let w4 = pipe.evaluate(&quantized, ActMode::None, KvMode::Fp16, 20);
+        let w4a8 = pipe.evaluate(
+            &quantized,
+            ActMode::IntGroup { bits: 8, group: 64 },
+            KvMode::Fp16,
+            20,
+        );
+        let full = pipe.evaluate(
+            &quantized,
+            ActMode::IntGroup { bits: 8, group: 64 },
+            KvMode::Mant4 { group: 64 },
+            20,
+        );
+        // The degradation chain holds at both sizes: FP is the fixed
+        // point, and each additional quantization stage stays bounded.
+        assert!((fp.ppl - fp.ppl_fp).abs() < 1e-9, "{}", cfg.name);
+        assert!(
+            w4.ppl >= fp.ppl,
+            "{}: W4 {} vs FP {}",
+            cfg.name,
+            w4.ppl,
+            fp.ppl
+        );
+        assert!(
+            w4a8.ppl < fp.ppl * 2.0,
+            "{}: W4A8 {} vs FP {}",
+            cfg.name,
+            w4a8.ppl,
+            fp.ppl
+        );
+        assert!(
+            full.ppl < fp.ppl * 2.5,
+            "{}: full stack {} vs FP {}",
+            cfg.name,
+            full.ppl,
+            fp.ppl
+        );
+    }
 }
 
 #[test]

@@ -16,7 +16,9 @@ fn fused_gemm_tracks_fp32_through_the_whole_stack() {
     let x = gen.activation_matrix(6, 512, 1.0, 0.01, 12.0);
     let w = gen.group_diverse_matrix(32, 512, 64, 0.05);
     let xq = quantize_activations_int8(&x, 64).expect("group divides width");
-    let wq = MantWeightQuantizer::new(64).quantize(&w).expect("group divides width");
+    let wq = MantWeightQuantizer::new(64)
+        .quantize(&w)
+        .expect("group divides width");
     let fused = mant_gemm(&xq, &wq).expect("shapes agree");
     let exact = gemm(&x, &w.transpose());
     let norm: f64 = exact
@@ -54,7 +56,9 @@ fn storage_accounting_is_consistent() {
     // 4 bits + 24/group from numerics → quant → model-level weight sizes.
     let mut gen = TensorGenerator::new(123);
     let w = gen.group_diverse_matrix(16, 256, 64, 0.02);
-    let wq = MantWeightQuantizer::new(64).quantize(&w).expect("valid group");
+    let wq = MantWeightQuantizer::new(64)
+        .quantize(&w)
+        .expect("valid group");
     let expected_bits = 16 * 256 * 4 + 16 * 4 * 24;
     assert_eq!(wq.storage_bits(), expected_bits);
 

@@ -3,8 +3,7 @@
 
 use mant::model::ModelConfig;
 use mant::sim::{
-    area_report, attention_gemms, linear_gemms, run_gemm, run_model, AcceleratorConfig,
-    EnergyModel,
+    area_report, attention_gemms, linear_gemms, run_gemm, run_model, AcceleratorConfig, EnergyModel,
 };
 
 #[test]
@@ -29,8 +28,14 @@ fn headline_speedup_and_energy_claims() {
     // Our attention model is compute-bound at very long sequences (the
     // paper's is closer to memory-bound there), so the long-seq ratios run
     // somewhat higher — see EXPERIMENTS.md. Shape and band preserved.
-    assert!((2.0..=5.0).contains(&avg_speedup), "avg speedup {avg_speedup}");
-    assert!((3.0..=9.0).contains(&max_speedup), "max speedup {max_speedup}");
+    assert!(
+        (2.0..=5.0).contains(&avg_speedup),
+        "avg speedup {avg_speedup}"
+    );
+    assert!(
+        (3.0..=9.0).contains(&max_speedup),
+        "max speedup {max_speedup}"
+    );
     assert!((1.5..=5.0).contains(&avg_energy), "avg energy {avg_energy}");
     assert!((2.0..=8.0).contains(&max_energy), "max energy {max_energy}");
     // Speedup grows with sequence length (attention dominance).
@@ -46,7 +51,11 @@ fn simulator_workloads_match_model_configs() {
     ] {
         let lin = linear_gemms(&cfg, 1);
         let macs: f64 = lin.iter().map(|g| g.macs()).sum();
-        assert!((macs - cfg.linear_params() as f64).abs() < 1.0, "{}", cfg.name);
+        assert!(
+            (macs - cfg.linear_params() as f64).abs() < 1.0,
+            "{}",
+            cfg.name
+        );
         let att = attention_gemms(&cfg, 4096);
         assert_eq!(att.len(), 2);
     }
@@ -78,8 +87,7 @@ fn quantization_overhead_is_hidden_for_typical_gemms() {
     let mut no_group = mant.clone();
     no_group.group_size = None;
     let without = run_gemm(&no_group, &em, &g);
-    let overhead =
-        (with.cycles as f64 - without.cycles as f64) / without.cycles as f64;
+    let overhead = (with.cycles as f64 - without.cycles as f64) / without.cycles as f64;
     assert!(overhead.abs() < 0.005, "overhead {overhead}");
 }
 
