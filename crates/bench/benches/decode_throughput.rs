@@ -1,0 +1,114 @@
+//! Decode-step attention throughput: dequantize path vs the incremental
+//! packed-group path.
+//!
+//! The reference backend dequantizes the **entire** K and V caches on
+//! every decode step before attending, so its per-step cost carries a
+//! `seq × dim` materialization (alloc + per-element decode) that grows
+//! linearly with the sequence — the quadratic-total-cost pathology the
+//! quantized execution backend removes. The incremental path consumes the
+//! packed codes in place: fused `Q·Kᵀ` group dots
+//! ([`KCacheQuantizer::fused_dot`]) and psum-based `P·V`
+//! ([`VCacheQuantizer::attend`]). This bench measures one full attention
+//! step (scores → softmax → weighted V sum, all heads) both ways at two
+//! sequence lengths and prints the per-step speedup.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+use mant_quant::kv::{attention_dequantize, attention_incremental};
+use mant_quant::{CandidateSet, KCacheQuantizer, VCacheQuantizer, VarianceMap};
+use mant_tensor::TensorGenerator;
+
+const DIM: usize = 512; // 8 heads × head_dim 64
+const HEADS: usize = 8;
+const HEAD_DIM: usize = 64;
+const GROUP: usize = 64;
+
+fn build_caches(seq: usize, seed: u64) -> (KCacheQuantizer, VCacheQuantizer, Vec<f32>) {
+    let set = CandidateSet::paper();
+    let vmap = VarianceMap::analytic(&set).expect("non-empty set");
+    let mut gen = TensorGenerator::new(seed);
+    let mut kc = KCacheQuantizer::new(DIM, GROUP, vmap.clone()).expect("group divides dim");
+    let mut vc = VCacheQuantizer::new(DIM, GROUP, vmap).expect("positive group");
+    kc.prefill(&gen.group_diverse_matrix(seq, DIM, GROUP, 0.5));
+    vc.prefill(&gen.group_diverse_matrix(seq, DIM, GROUP, 0.5));
+    let q: Vec<f32> = (0..DIM).map(|_| gen.standard_normal()).collect();
+    (kc, vc, q)
+}
+
+fn bench_decode_throughput(c: &mut Criterion) {
+    for &seq in &[256usize, 1024] {
+        let (kc, vc, q) = build_caches(seq, 2000 + seq as u64);
+        let mut g = c.benchmark_group(format!("decode_step_seq{seq}_dim{DIM}"));
+        g.bench_function("dequantize_path", |b| {
+            b.iter(|| {
+                black_box(attention_dequantize(
+                    black_box(&q),
+                    &kc,
+                    &vc,
+                    HEADS,
+                    HEADS,
+                    HEAD_DIM,
+                ))
+            })
+        });
+        g.bench_function("incremental_path", |b| {
+            b.iter(|| {
+                black_box(attention_incremental(
+                    black_box(&q),
+                    &kc,
+                    &vc,
+                    HEADS,
+                    HEADS,
+                    HEAD_DIM,
+                ))
+            })
+        });
+        g.finish();
+
+        // Explicit per-step speedup report (best of 3 one-shot runs each)
+        // plus a sanity check that the two paths agree on the output.
+        let time_best = |f: &dyn Fn() -> Vec<f32>| -> (f64, Vec<f32>) {
+            let mut best = f64::INFINITY;
+            let mut out = None;
+            for _ in 0..3 {
+                let t0 = Instant::now();
+                let y = f();
+                best = best.min(t0.elapsed().as_secs_f64());
+                out = Some(y);
+            }
+            (best, out.expect("ran at least once"))
+        };
+        let (t_deq, y_deq) =
+            time_best(&|| attention_dequantize(&q, &kc, &vc, HEADS, HEADS, HEAD_DIM));
+        let (t_inc, y_inc) =
+            time_best(&|| attention_incremental(&q, &kc, &vc, HEADS, HEADS, HEAD_DIM));
+        let norm: f32 = y_deq.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+        let dist: f32 = y_deq
+            .iter()
+            .zip(y_inc.iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f32>()
+            .sqrt();
+        println!(
+            "decode_step seq={seq}: dequantize {:.3} ms / incremental {:.3} ms = {:.2}x per-step speedup; rel output diff {:.4}",
+            t_deq * 1e3,
+            t_inc * 1e3,
+            t_deq / t_inc,
+            dist / norm,
+        );
+        assert!(
+            dist / norm < 0.05,
+            "incremental attention diverged from the dequantize path: {}",
+            dist / norm
+        );
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_millis(600)).warm_up_time(std::time::Duration::from_millis(200));
+    targets = bench_decode_throughput
+}
+criterion_main!(benches);

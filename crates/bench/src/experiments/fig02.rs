@@ -22,7 +22,7 @@ pub struct Fig02Row {
 pub fn fig02(eval_tokens: usize) -> Vec<Fig02Row> {
     let pipe = proxy_pipeline(&ModelConfig::llama_7b());
     let g = 128;
-    let methods: Vec<(&str, Box<dyn FakeQuantizer>)> = vec![
+    let methods: Vec<(&str, Box<dyn FakeQuantizer + Sync>)> = vec![
         (
             "INT",
             Box::new(BitFusionQuantizer::new(4, Granularity::Group(g))),

@@ -33,7 +33,7 @@ pub fn tbl5(eval_tokens: usize) -> Vec<Tbl5Row> {
             ppl: pipe.evaluate(&mant, act, KvMode::Fp16, eval_tokens).ppl,
             weight_rel_mse: super::accuracy::weight_rel_mse(pipe.reference(), &mant),
         });
-        let methods: Vec<(&str, Box<dyn FakeQuantizer>)> = vec![
+        let methods: Vec<(&str, Box<dyn FakeQuantizer + Sync>)> = vec![
             ("OliVe", Box::new(OliveQuantizer::w4(Granularity::Group(g)))),
             ("ANT", Box::new(AntQuantizer::w4(Granularity::Group(g)))),
             (

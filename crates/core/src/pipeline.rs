@@ -1,7 +1,8 @@
 //! The calibrate → quantize → evaluate pipeline (paper Sec. V).
 
 use mant_model::{
-    calibrate, eval, ActMode, Calibration, KvMode, ModelConfig, PplReport, Proj, TransformerModel,
+    calibrate, eval, ActMode, Calibration, KvMode, ModelConfig, PackedWeights, PplReport, Proj,
+    TransformerModel,
 };
 use mant_quant::{FakeQuantizer, MantWeightQuantizer};
 
@@ -45,48 +46,65 @@ impl Pipeline {
         self.calibration.as_ref()
     }
 
-    /// Quantizes the model's weights to 4-bit MANT at the given group
-    /// size. When calibration is available, the coefficient search uses
-    /// the activation second moments of each layer's Q projection as the
-    /// output-MSE surrogate (Eq. (6)); otherwise it falls back to plain
-    /// weight MSE.
-    pub fn quantize_w4(&self, group_size: usize) -> TransformerModel {
-        let quantizer = match self
+    /// Builds the coefficient-search quantizer for one `(layer,
+    /// projection)`: when calibration is available, the search is weighted
+    /// by *that projection's own* input second moments — every layer and
+    /// every projection (including FFN-down, whose inputs have the FFN
+    /// width) sees its own activation statistics, the per-column surrogate
+    /// of Eq. (6). Without calibration it falls back to plain weight MSE.
+    fn w4_quantizer(&self, layer: usize, proj: Proj, group_size: usize) -> MantWeightQuantizer {
+        match self
             .calibration
             .as_ref()
-            .and_then(|c| c.col_moments(0, Proj::Q))
+            .and_then(|c| c.col_moments(layer, proj))
         {
             Some(moments) => MantWeightQuantizer::new(group_size).with_calibration(moments),
             None => MantWeightQuantizer::new(group_size),
-        };
-        // The calibration moments apply to hidden-dim inputs; FFN-down
-        // inputs have a different width, so quantize those plainly.
+        }
+    }
+
+    /// Quantizes the model's weights to 4-bit MANT at the given group
+    /// size (fake-quantized: dense f32 weights carrying the quantization
+    /// error, for the reference execution backend). Calibration moments
+    /// are threaded per layer *and* per projection — see
+    /// [`Pipeline::pack_w4`] for the packed twin.
+    pub fn quantize_w4(&self, group_size: usize) -> TransformerModel {
         let mut out = self.reference.clone();
-        let plain = MantWeightQuantizer::new(group_size);
         for (li, l) in out.weights.layers.iter_mut().enumerate() {
-            let q: &dyn FakeQuantizer = match self
-                .calibration
-                .as_ref()
-                .and_then(|c| c.col_moments(li, Proj::Q))
-            {
-                Some(_) => &quantizer,
-                None => &plain,
-            };
-            l.wq = q.fake_quantize(&l.wq);
-            l.wk = q.fake_quantize(&l.wk);
-            l.wv = q.fake_quantize(&l.wv);
-            l.wo = q.fake_quantize(&l.wo);
+            let q = |proj: Proj| self.w4_quantizer(li, proj, group_size);
+            l.wq = q(Proj::Q).fake_quantize(&l.wq);
+            l.wk = q(Proj::K).fake_quantize(&l.wk);
+            l.wv = q(Proj::V).fake_quantize(&l.wv);
+            l.wo = q(Proj::O).fake_quantize(&l.wo);
             if l.w_gate.rows() > 0 {
-                l.w_gate = q.fake_quantize(&l.w_gate);
+                l.w_gate = q(Proj::Gate).fake_quantize(&l.w_gate);
             }
-            l.w_up = q.fake_quantize(&l.w_up);
-            l.w_down = plain.fake_quantize(&l.w_down);
+            l.w_up = q(Proj::Up).fake_quantize(&l.w_up);
+            l.w_down = q(Proj::Down).fake_quantize(&l.w_down);
         }
         out
     }
 
+    /// Packs the model's weights to 4-bit MANT groups for the **quantized
+    /// execution backend**, with the same per-layer, per-projection
+    /// calibrated search as [`Pipeline::quantize_w4`] — the two are exact
+    /// twins (`packed.to_model()` equals `quantize_w4`'s output bit for
+    /// bit), differing only in how the forward pass consumes them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group_size` does not divide every projection's inner
+    /// dimension.
+    pub fn pack_w4(&self, group_size: usize) -> PackedWeights {
+        self.reference
+            .pack_weights_with(group_size, |li, proj| {
+                self.w4_quantizer(li, proj, group_size)
+            })
+            .expect("group size divides every projection width")
+    }
+
     /// Quantizes with an arbitrary method (for the baseline comparisons).
-    pub fn quantize_with(&self, q: &dyn FakeQuantizer) -> TransformerModel {
+    pub fn quantize_with(&self, q: &(dyn FakeQuantizer + Sync)) -> TransformerModel {
         self.reference.quantize_weights(q)
     }
 
@@ -101,6 +119,21 @@ impl Pipeline {
     ) -> PplReport {
         let tokens = eval::eval_tokens(self.reference.config.vocab, n_tokens, self.eval_seed);
         eval::perplexity_proxy(&self.reference, quantized, act, kv, &tokens)
+    }
+
+    /// Evaluates the perplexity proxy of the quantized execution backend
+    /// over `packed` — the configuration a MANT accelerator executes:
+    /// fused integer GEMVs and incremental packed-group KV attention, no
+    /// dequantization anywhere in the forward pass.
+    pub fn evaluate_packed(
+        &self,
+        packed: &PackedWeights,
+        act: ActMode,
+        kv: KvMode,
+        n_tokens: usize,
+    ) -> PplReport {
+        let tokens = eval::eval_tokens(self.reference.config.vocab, n_tokens, self.eval_seed);
+        eval::perplexity_proxy_packed(&self.reference, packed, act, kv, &tokens)
     }
 
     /// Evaluates generation fidelity (the Tbl. III proxy).
@@ -168,6 +201,74 @@ mod tests {
             "MANT {} vs INT4 {}",
             rep_mant.loss(),
             rep_int.loss()
+        );
+    }
+
+    #[test]
+    fn per_projection_calibration_is_threaded() {
+        // With calibration, every (layer, projection) must be searched
+        // under its own moments — in particular FFN-down (FFN-width
+        // inputs) and layer 1 must differ from a run that (wrongly) reuses
+        // layer 0's Q moments everywhere.
+        let mut pipe = Pipeline::new(&ModelConfig::sim_llama(), 15);
+        pipe.calibrate(48);
+        let calibrated = pipe.quantize_w4(64);
+
+        let c = pipe.calibration().unwrap();
+        let q0 = MantWeightQuantizer::new(64).with_calibration(c.col_moments(0, Proj::Q).unwrap());
+        let mut wrong = pipe.reference().clone();
+        for l in &mut wrong.weights.layers {
+            l.wq = q0.fake_quantize(&l.wq);
+            l.w_down = MantWeightQuantizer::new(64).fake_quantize(&l.w_down);
+        }
+        // Layer 0 Q agrees (same moments by construction)…
+        assert_eq!(
+            calibrated.weights.layers[0].wq.as_slice(),
+            wrong.weights.layers[0].wq.as_slice()
+        );
+        // …but down projections now use their own FFN-width moments
+        // rather than the plain fallback.
+        let down_moments = c.col_moments(0, Proj::Down).unwrap();
+        assert_eq!(down_moments.len(), 512);
+        let own = MantWeightQuantizer::new(64)
+            .with_calibration(down_moments)
+            .fake_quantize(&pipe.reference().weights.layers[0].w_down);
+        assert_eq!(
+            calibrated.weights.layers[0].w_down.as_slice(),
+            own.as_slice()
+        );
+    }
+
+    #[test]
+    fn packed_and_fake_paths_are_twins() {
+        let mut pipe = Pipeline::new(&ModelConfig::sim_llama(), 16);
+        pipe.calibrate(32);
+        let fake = pipe.quantize_w4(64);
+        let packed = pipe.pack_w4(64);
+        let twin = packed.to_model(pipe.reference());
+        for (a, b) in twin.weights.layers.iter().zip(fake.weights.layers.iter()) {
+            assert_eq!(a.wq.as_slice(), b.wq.as_slice());
+            assert_eq!(a.wo.as_slice(), b.wo.as_slice());
+            assert_eq!(a.w_down.as_slice(), b.w_down.as_slice());
+        }
+    }
+
+    #[test]
+    fn quantized_backend_evaluates_close_to_fake_path() {
+        let mut pipe = Pipeline::new(&ModelConfig::sim_llama(), 17);
+        pipe.calibrate(32);
+        let fake = pipe.quantize_w4(64);
+        let packed = pipe.pack_w4(64);
+        let act = ActMode::IntGroup { bits: 8, group: 64 };
+        let rep_fake = pipe.evaluate(&fake, act, KvMode::Fp16, 20);
+        let rep_packed = pipe.evaluate_packed(&packed, act, KvMode::Fp16, 20);
+        // Same math, integer vs f32 accumulation: the proxies agree to
+        // well under a percent.
+        assert!(
+            (rep_fake.ppl - rep_packed.ppl).abs() < rep_fake.ppl * 5e-3,
+            "fake {} vs packed {}",
+            rep_fake.ppl,
+            rep_packed.ppl
         );
     }
 

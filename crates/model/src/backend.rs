@@ -1,0 +1,301 @@
+//! Execution backends: packed-weight storage and dispatch.
+//!
+//! The paper's central hardware claim (Sec. IV) is that MANT executes
+//! *without dequantization*: Eq. (5) splits every group dot product into a
+//! multiply-accumulate and a shift-accumulate lane, recombined once per
+//! group. This module gives the model runner that execution path in
+//! software:
+//!
+//! - [`QuantizedLinear`] holds one projection's packed 4-bit groups and
+//!   answers matvecs through the fused integer GEMV (`mant_quant::fused`);
+//! - [`PackedWeights`] mirrors the model's layer structure with packed
+//!   projections (embedding, norms, and LM head stay f32, matching the
+//!   paper's "linear layer" quantization scope);
+//! - [`ExecutionBackend`] names the two engines a runner can drive: the
+//!   f32 [`ExecutionBackend::Reference`] path over (fake-quantized) dense
+//!   weights, and the [`ExecutionBackend::Quantized`] path that consumes
+//!   packed groups end to end — linear layers via [`QuantizedLinear`], the
+//!   KV cache via the incremental `fused_dot`/`attend` group APIs.
+
+use mant_quant::{
+    mant_gemv, quantize_vector_int8, MantQuantizedMatrix, MantWeightQuantizer, QuantError,
+    QuantizedVector,
+};
+use mant_tensor::Matrix;
+
+use crate::config::FfnKind;
+use crate::layers::{Proj, TransformerModel};
+
+/// Which execution engine a [`crate::ModelRunner`] drives.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecutionBackend {
+    /// f32 matvecs over dense (optionally fake-quantized) weights, with
+    /// quantized KV caches dequantized to matrices before attention.
+    #[default]
+    Reference,
+    /// Fused integer execution over packed groups: INT8 activations ×
+    /// 4-bit packed weights via the two-psum kernels, and incremental
+    /// attention that consumes K/V cache groups in place.
+    Quantized,
+}
+
+/// One linear projection stored as packed 4-bit MANT/INT4 groups,
+/// dispatching matvecs to the fused integer GEMV — never dequantized on
+/// the forward path.
+#[derive(Clone, Debug)]
+pub struct QuantizedLinear {
+    packed: MantQuantizedMatrix,
+}
+
+impl QuantizedLinear {
+    /// Wraps a packed matrix.
+    pub fn new(packed: MantQuantizedMatrix) -> Self {
+        QuantizedLinear { packed }
+    }
+
+    /// Number of output channels.
+    pub fn rows(&self) -> usize {
+        self.packed.rows()
+    }
+
+    /// Accumulation-dimension length.
+    pub fn cols(&self) -> usize {
+        self.packed.cols()
+    }
+
+    /// The quantization group size.
+    pub fn group_size(&self) -> usize {
+        self.packed.group_size()
+    }
+
+    /// The underlying packed matrix.
+    pub fn packed(&self) -> &MantQuantizedMatrix {
+        &self.packed
+    }
+
+    /// `y = W · x` over packed groups: per-group integer psums plus one
+    /// `s_x · s_w` multiply (Eq. (5)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x`'s length or group size disagrees with the weights.
+    pub fn matvec(&self, x: &QuantizedVector) -> Vec<f32> {
+        mant_gemv(x, &self.packed).expect("activation layout matches packed weights")
+    }
+
+    /// Quantizes `x` at the weight group size, then runs the fused GEMV.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group size does not divide `x.len()`.
+    pub fn matvec_f32(&self, x: &[f32]) -> Vec<f32> {
+        let xq = quantize_vector_int8(x, self.group_size())
+            .expect("group size divides the activation length");
+        self.matvec(&xq)
+    }
+
+    /// Dequantizes to a dense matrix (for the reference twin and tests —
+    /// never called on the quantized forward path).
+    pub fn dequantize(&self) -> Matrix {
+        self.packed.dequantize()
+    }
+
+    /// Storage bits of the packed representation.
+    pub fn storage_bits(&self) -> usize {
+        self.packed.storage_bits()
+    }
+}
+
+/// Packed projections of one transformer layer.
+#[derive(Clone, Debug)]
+pub struct PackedLayer {
+    /// Query projection.
+    pub wq: QuantizedLinear,
+    /// Key projection.
+    pub wk: QuantizedLinear,
+    /// Value projection.
+    pub wv: QuantizedLinear,
+    /// Attention output projection.
+    pub wo: QuantizedLinear,
+    /// FFN gate (absent for [`FfnKind::PlainGelu`] models).
+    pub w_gate: Option<QuantizedLinear>,
+    /// FFN up projection.
+    pub w_up: QuantizedLinear,
+    /// FFN down projection.
+    pub w_down: QuantizedLinear,
+}
+
+/// All linear-layer weights of a model in packed form — what the quantized
+/// execution backend holds instead of dense f32 matrices.
+#[derive(Clone, Debug)]
+pub struct PackedWeights {
+    layers: Vec<PackedLayer>,
+    group_size: usize,
+}
+
+impl PackedWeights {
+    /// Per-layer packed projections.
+    pub fn layers(&self) -> &[PackedLayer] {
+        &self.layers
+    }
+
+    /// The quantization group size shared by every projection.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Total packed storage in bits across all projections.
+    pub fn storage_bits(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| {
+                l.wq.storage_bits()
+                    + l.wk.storage_bits()
+                    + l.wv.storage_bits()
+                    + l.wo.storage_bits()
+                    + l.w_gate.as_ref().map_or(0, QuantizedLinear::storage_bits)
+                    + l.w_up.storage_bits()
+                    + l.w_down.storage_bits()
+            })
+            .sum()
+    }
+
+    /// The fake-quantize twin: a dense model whose linear weights are the
+    /// dequantized packed groups. Running it on the reference backend is
+    /// mathematically the same computation as the quantized backend (same
+    /// quantized values, f32 instead of integer accumulation) — the anchor
+    /// for the backend-equivalence tests.
+    pub fn to_model(&self, reference: &TransformerModel) -> TransformerModel {
+        assert_eq!(
+            self.layers.len(),
+            reference.config.layers,
+            "packed weights and reference model disagree on depth"
+        );
+        let mut out = reference.clone();
+        for (dst, src) in out.weights.layers.iter_mut().zip(self.layers.iter()) {
+            dst.wq = src.wq.dequantize();
+            dst.wk = src.wk.dequantize();
+            dst.wv = src.wv.dequantize();
+            dst.wo = src.wo.dequantize();
+            if let Some(g) = &src.w_gate {
+                dst.w_gate = g.dequantize();
+            }
+            dst.w_up = src.w_up.dequantize();
+            dst.w_down = src.w_down.dequantize();
+        }
+        out
+    }
+}
+
+impl TransformerModel {
+    /// Packs every linear projection into 4-bit MANT/INT4 groups with the
+    /// plain (weight-MSE) coefficient search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadGroupSize`] if `group_size` does not
+    /// divide every projection's inner dimension.
+    pub fn pack_weights(&self, group_size: usize) -> Result<PackedWeights, QuantError> {
+        self.pack_weights_with(group_size, |_, _| MantWeightQuantizer::new(group_size))
+    }
+
+    /// Packs every linear projection, constructing the quantizer per
+    /// `(layer, projection)` — the hook through which the pipeline threads
+    /// per-layer, per-projection calibration moments into the search.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadGroupSize`] if `group_size` does not
+    /// divide every projection's inner dimension, or any error the
+    /// supplied quantizers produce.
+    pub fn pack_weights_with<F>(
+        &self,
+        group_size: usize,
+        make: F,
+    ) -> Result<PackedWeights, QuantError>
+    where
+        F: Fn(usize, Proj) -> MantWeightQuantizer,
+    {
+        let pack = |li: usize, proj: Proj, w: &Matrix| -> Result<QuantizedLinear, QuantError> {
+            let q = make(li, proj);
+            debug_assert_eq!(q.group_size(), group_size, "quantizer group size drift");
+            Ok(QuantizedLinear::new(q.par_quantize(w)?))
+        };
+        let mut layers = Vec::with_capacity(self.config.layers);
+        for (li, l) in self.weights.layers.iter().enumerate() {
+            layers.push(PackedLayer {
+                wq: pack(li, Proj::Q, &l.wq)?,
+                wk: pack(li, Proj::K, &l.wk)?,
+                wv: pack(li, Proj::V, &l.wv)?,
+                wo: pack(li, Proj::O, &l.wo)?,
+                w_gate: if self.config.ffn_kind == FfnKind::GatedSilu {
+                    Some(pack(li, Proj::Gate, &l.w_gate)?)
+                } else {
+                    None
+                },
+                w_up: pack(li, Proj::Up, &l.w_up)?,
+                w_down: pack(li, Proj::Down, &l.w_down)?,
+            });
+        }
+        Ok(PackedWeights { layers, group_size })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+
+    #[test]
+    fn pack_roundtrip_shapes_and_storage() {
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 21);
+        let packed = m.pack_weights(64).unwrap();
+        assert_eq!(packed.layers().len(), 2);
+        assert_eq!(packed.group_size(), 64);
+        let l0 = &packed.layers()[0];
+        assert_eq!(l0.wq.rows(), 256);
+        assert_eq!(l0.wq.cols(), 256);
+        assert!(l0.w_gate.is_some());
+        assert_eq!(l0.w_down.cols(), 512);
+        // ~4.375 bits/element across all linear params.
+        let params = m.config.linear_params();
+        let bpe = packed.storage_bits() as f64 / params as f64;
+        assert!((4.3..4.5).contains(&bpe), "bits/element {bpe}");
+    }
+
+    #[test]
+    fn packed_twin_equals_fake_quantized_model() {
+        // Dequantizing the packed weights reproduces exactly what the
+        // fake-quantize path computes with the same (plain) quantizer.
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 22);
+        let packed = m.pack_weights(64).unwrap();
+        let twin = packed.to_model(&m);
+        let fake = m.quantize_weights(&MantWeightQuantizer::new(64));
+        for (a, b) in twin.weights.layers.iter().zip(fake.weights.layers.iter()) {
+            assert_eq!(a.wq.as_slice(), b.wq.as_slice());
+            assert_eq!(a.w_down.as_slice(), b.w_down.as_slice());
+        }
+        // Embedding and head stay untouched.
+        assert_eq!(
+            twin.weights.embedding.as_slice(),
+            m.weights.embedding.as_slice()
+        );
+        assert_eq!(
+            twin.weights.lm_head.as_slice(),
+            m.weights.lm_head.as_slice()
+        );
+    }
+
+    #[test]
+    fn plain_gelu_models_have_no_gate() {
+        let m = TransformerModel::synthesize(&ModelConfig::sim_opt(), 23);
+        let packed = m.pack_weights(64).unwrap();
+        assert!(packed.layers()[0].w_gate.is_none());
+    }
+
+    #[test]
+    fn bad_group_size_rejected() {
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 24);
+        assert!(m.pack_weights(96).is_err());
+    }
+}

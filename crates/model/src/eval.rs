@@ -12,9 +12,10 @@
 //! absolute values are not WikiText PPLs (see DESIGN.md substitutions).
 
 use mant_tensor::ops::{cross_entropy, softmax_inplace};
-use mant_tensor::TensorGenerator;
+use mant_tensor::{Matrix, TensorGenerator};
 
-use crate::layers::{run_sequence, ActMode, KvMode, TransformerModel};
+use crate::backend::PackedWeights;
+use crate::layers::{run_sequence, run_sequence_packed, ActMode, KvMode, TransformerModel};
 
 /// Perplexity-proxy numbers for one configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -56,9 +57,34 @@ pub fn perplexity_proxy(
         "vocabulary mismatch"
     );
     assert!(!tokens.is_empty(), "evaluation needs at least one token");
-    let ref_logits = run_sequence(reference, ActMode::None, KvMode::Fp16, tokens);
     let q_logits = run_sequence(quantized, act, kv, tokens);
+    ppl_from_logits(reference, &q_logits, tokens)
+}
 
+/// [`perplexity_proxy`] for the quantized execution backend: the measured
+/// logits come from running `reference`'s non-linear structure over
+/// `packed` groups end to end (fused integer GEMVs, incremental KV
+/// attention) — the configuration a MANT accelerator would actually
+/// execute.
+///
+/// # Panics
+///
+/// Panics if `tokens` is empty, or on any shape/mode mismatch
+/// [`TransformerModel::packed_runner`] rejects.
+pub fn perplexity_proxy_packed(
+    reference: &TransformerModel,
+    packed: &PackedWeights,
+    act: ActMode,
+    kv: KvMode,
+    tokens: &[usize],
+) -> PplReport {
+    assert!(!tokens.is_empty(), "evaluation needs at least one token");
+    let q_logits = run_sequence_packed(reference, packed, act, kv, tokens);
+    ppl_from_logits(reference, &q_logits, tokens)
+}
+
+fn ppl_from_logits(reference: &TransformerModel, q_logits: &Matrix, tokens: &[usize]) -> PplReport {
+    let ref_logits = run_sequence(reference, ActMode::None, KvMode::Fp16, tokens);
     let mut ce_sum = 0.0f64;
     let mut h_sum = 0.0f64;
     for t in 0..tokens.len() {

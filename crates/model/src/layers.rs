@@ -1,10 +1,17 @@
 //! The transformer model, its step-wise runner, and quantized execution.
 
+use mant_numerics::fp16::quantize_fp16;
 use mant_numerics::int::quantize_symmetric_int;
-use mant_quant::{CandidateSet, FakeQuantizer, KCacheQuantizer, VCacheQuantizer, VarianceMap};
+use mant_quant::kv as kvq;
+use mant_quant::{
+    quantize_vector_int8, CandidateSet, FakeQuantizer, KCacheQuantizer, VCacheQuantizer,
+    VarianceMap,
+};
 use mant_tensor::ops::{gelu, rmsnorm, silu, softmax_inplace};
-use mant_tensor::{abs_max, Matrix};
+use mant_tensor::par::par_map_slice;
+use mant_tensor::{abs_max, matvec, Matrix};
 
+use crate::backend::{ExecutionBackend, PackedWeights};
 use crate::config::{FfnKind, ModelConfig};
 use crate::synth;
 
@@ -209,6 +216,10 @@ pub struct ModelRunner<'m> {
     act: ActMode,
     caches: Vec<LayerKvCache>,
     seq_len: usize,
+    /// Packed linear weights when driving [`ExecutionBackend::Quantized`];
+    /// `None` selects the f32 reference backend over the model's dense
+    /// weights.
+    packed: Option<&'m PackedWeights>,
 }
 
 impl TransformerModel {
@@ -220,18 +231,40 @@ impl TransformerModel {
     /// Returns a copy whose linear-layer weights are fake-quantized with
     /// `q` (embedding, norms, and LM head stay full precision, matching the
     /// paper's "linear layer" quantization scope).
-    pub fn quantize_weights(&self, q: &dyn FakeQuantizer) -> TransformerModel {
+    ///
+    /// The projections are quantized in parallel (scoped threads, one work
+    /// item per projection), on top of whatever row-level parallelism the
+    /// quantizer itself runs; results are written back in a fixed order,
+    /// so output is deterministic for any deterministic quantizer.
+    pub fn quantize_weights(&self, q: &(dyn FakeQuantizer + Sync)) -> TransformerModel {
+        let gated = self.config.ffn_kind == FfnKind::GatedSilu;
+        let jobs: Vec<&Matrix> = self
+            .weights
+            .layers
+            .iter()
+            .flat_map(|l| {
+                let mut v = vec![&l.wq, &l.wk, &l.wv, &l.wo];
+                if gated {
+                    v.push(&l.w_gate);
+                }
+                v.push(&l.w_up);
+                v.push(&l.w_down);
+                v
+            })
+            .collect();
+        let mut quantized = par_map_slice(&jobs, |w| q.fake_quantize(w)).into_iter();
         let mut out = self.clone();
+        let mut next = || quantized.next().expect("job list covers every projection");
         for l in &mut out.weights.layers {
-            l.wq = q.fake_quantize(&l.wq);
-            l.wk = q.fake_quantize(&l.wk);
-            l.wv = q.fake_quantize(&l.wv);
-            l.wo = q.fake_quantize(&l.wo);
-            if self.config.ffn_kind == FfnKind::GatedSilu {
-                l.w_gate = q.fake_quantize(&l.w_gate);
+            l.wq = next();
+            l.wk = next();
+            l.wv = next();
+            l.wo = next();
+            if gated {
+                l.w_gate = next();
             }
-            l.w_up = q.fake_quantize(&l.w_up);
-            l.w_down = q.fake_quantize(&l.w_down);
+            l.w_up = next();
+            l.w_down = next();
         }
         out
     }
@@ -309,7 +342,76 @@ impl TransformerModel {
             act,
             caches,
             seq_len: 0,
+            packed: None,
         }
+    }
+
+    /// Creates a runner on the **quantized execution backend**: every
+    /// linear projection dispatches to the fused integer GEMV over
+    /// `packed`, and quantized KV caches are consumed group-wise (fused
+    /// `Q·Kᵀ` dots, psum-based `P·V`) — the forward pass never
+    /// dequantizes a weight matrix or a cache.
+    ///
+    /// The integer datapath inherently runs INT8 activations at the packed
+    /// group size (the paper's A8), so `act` must be [`ActMode::None`] or
+    /// the matching [`ActMode::IntGroup`]; both execute identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `packed` does not match the model's shape, if `act` is an
+    /// unsupported mode, or if a quantized `kv` mode's group size does not
+    /// divide the head dimension (the alignment the fused attention needs).
+    pub fn packed_runner<'m>(
+        &'m self,
+        packed: &'m PackedWeights,
+        act: ActMode,
+        kv: KvMode,
+    ) -> ModelRunner<'m> {
+        assert_eq!(
+            packed.layers().len(),
+            self.config.layers,
+            "packed weights and model disagree on layer count"
+        );
+        for l in packed.layers() {
+            assert_eq!(
+                (l.wq.rows(), l.wq.cols()),
+                (self.config.hidden, self.config.hidden),
+                "packed Q projection shape mismatch"
+            );
+            // K/V rows depend on the GQA factor, so a packed set from a
+            // model with different kv_heads must be rejected here rather
+            // than deep inside the cache engines.
+            assert_eq!(
+                (l.wk.rows(), l.wv.rows()),
+                (self.config.kv_dim(), self.config.kv_dim()),
+                "packed K/V projection shape mismatch (GQA factor differs?)"
+            );
+            assert_eq!(
+                (l.w_down.rows(), l.w_down.cols()),
+                (self.config.hidden, self.config.ffn),
+                "packed down projection shape mismatch"
+            );
+        }
+        match act {
+            ActMode::None => {}
+            ActMode::IntGroup { bits: 8, group } if group == packed.group_size() => {}
+            _ => panic!(
+                "the quantized backend runs INT8 activations at the packed group size \
+                 ({}); pass ActMode::None or the matching ActMode::IntGroup",
+                packed.group_size()
+            ),
+        }
+        if let KvMode::Int4 { group } | KvMode::Mant4 { group } = kv {
+            assert!(
+                self.config.head_dim().is_multiple_of(group),
+                "fused attention needs the KV group size ({group}) to divide the head \
+                 dimension ({})",
+                self.config.head_dim()
+            );
+        }
+        let mut runner = self.runner(act, kv);
+        runner.packed = Some(packed);
+        runner
     }
 }
 
@@ -317,6 +419,15 @@ impl ModelRunner<'_> {
     /// Number of tokens processed so far.
     pub fn seq_len(&self) -> usize {
         self.seq_len
+    }
+
+    /// The execution backend this runner drives.
+    pub fn backend(&self) -> ExecutionBackend {
+        if self.packed.is_some() {
+            ExecutionBackend::Quantized
+        } else {
+            ExecutionBackend::Reference
+        }
     }
 
     /// Processes one token, returning the next-token logits.
@@ -336,38 +447,76 @@ impl ModelRunner<'_> {
         let mut x: Vec<f32> = w.embedding.row(token).to_vec();
 
         for (li, layer) in w.layers.iter().enumerate() {
+            // `self.packed` is a Copy reference with the runner's lifetime,
+            // so the per-layer handle stays independent of later `self`
+            // borrows.
+            let packed_layer = self.packed.map(|p| (&p.layers()[li], p.group_size()));
+
             // --- Attention block ---
             let xn = rmsnorm(&x, &layer.attn_norm, 1e-5);
             obs.on_linear_input(li, Proj::Q, &xn);
             obs.on_linear_input(li, Proj::K, &xn);
             obs.on_linear_input(li, Proj::V, &xn);
-            let xq = self.quantize_act(&xn);
-            let q = matvec(&layer.wq, &xq);
-            let k = matvec(&layer.wk, &xq);
-            let v = matvec(&layer.wv, &xq);
+            let (q, k, v) = match packed_layer {
+                None => {
+                    let xq = self.quantize_act(&xn);
+                    (
+                        matvec(&layer.wq, &xq),
+                        matvec(&layer.wk, &xq),
+                        matvec(&layer.wv, &xq),
+                    )
+                }
+                Some((pl, g)) => {
+                    let xq = quantize_vector_int8(&xn, g).expect("group size divides hidden");
+                    (pl.wq.matvec(&xq), pl.wk.matvec(&xq), pl.wv.matvec(&xq))
+                }
+            };
             obs.on_query_vector(li, &q);
             obs.on_kv_vectors(li, &k, &v);
 
-            let (k_all, v_all) = {
-                let cache = &mut self.caches[li];
-                match cache {
-                    LayerKvCache::Fp { k: kc, v: vc } => {
-                        kc.push_row(&k);
-                        vc.push_row(&v);
-                        (kc.clone(), vc.clone())
-                    }
-                    LayerKvCache::Quant { k: kc, v: vc } => {
-                        kc.push(&k);
-                        vc.push(&v);
-                        (kc.dequantize(), vc.dequantize())
+            let fused_attention = packed_layer.is_some();
+            let attn = match &mut self.caches[li] {
+                LayerKvCache::Fp { k: kc, v: vc } => {
+                    kc.push_row(&k);
+                    vc.push_row(&v);
+                    attention(cfg, &q, kc, vc)
+                }
+                LayerKvCache::Quant { k: kc, v: vc } => {
+                    kc.push(&k);
+                    vc.push(&v);
+                    if fused_attention {
+                        // Quantized backend: consume packed cache groups in
+                        // place — no per-step full-cache dequantization.
+                        kvq::attention_incremental(
+                            &q,
+                            kc,
+                            vc,
+                            cfg.heads,
+                            cfg.kv_heads,
+                            cfg.head_dim(),
+                        )
+                    } else {
+                        // Reference backend: materialize the dequantized
+                        // cache (the path the decode bench measures against).
+                        kvq::attention_dequantize(
+                            &q,
+                            kc,
+                            vc,
+                            cfg.heads,
+                            cfg.kv_heads,
+                            cfg.head_dim(),
+                        )
                     }
                 }
             };
-
-            let attn = attention(cfg, &q, &k_all, &v_all);
             obs.on_linear_input(li, Proj::O, &attn);
-            let attn_q = self.quantize_act(&attn);
-            let o = matvec(&layer.wo, &attn_q);
+            let o = match packed_layer {
+                None => {
+                    let attn_q = self.quantize_act(&attn);
+                    matvec(&layer.wo, &attn_q)
+                }
+                Some((pl, _)) => pl.wo.matvec_f32(&attn),
+            };
             obs.on_block_contribution(li, Proj::O, l2(&x), l2(&o));
             for (xi, oi) in x.iter_mut().zip(o.iter()) {
                 *xi += oi;
@@ -379,26 +528,54 @@ impl ModelRunner<'_> {
                 FfnKind::GatedSilu => {
                     obs.on_linear_input(li, Proj::Gate, &xn);
                     obs.on_linear_input(li, Proj::Up, &xn);
-                    let xnq = self.quantize_act(&xn);
-                    let gate = matvec(&layer.w_gate, &xnq);
-                    let up = matvec(&layer.w_up, &xnq);
+                    let (gate, up) = match packed_layer {
+                        None => {
+                            let xnq = self.quantize_act(&xn);
+                            (matvec(&layer.w_gate, &xnq), matvec(&layer.w_up, &xnq))
+                        }
+                        Some((pl, g)) => {
+                            let xnq =
+                                quantize_vector_int8(&xn, g).expect("group size divides hidden");
+                            let gate_w = pl.w_gate.as_ref().expect("gated model packs a gate");
+                            (gate_w.matvec(&xnq), pl.w_up.matvec(&xnq))
+                        }
+                    };
                     let h: Vec<f32> = gate
                         .iter()
                         .zip(up.iter())
                         .map(|(&g, &u)| silu(g) * u)
                         .collect();
                     obs.on_linear_input(li, Proj::Down, &h);
-                    let hq = self.quantize_act(&h);
-                    matvec(&layer.w_down, &hq)
+                    match packed_layer {
+                        None => {
+                            let hq = self.quantize_act(&h);
+                            matvec(&layer.w_down, &hq)
+                        }
+                        Some((pl, _)) => pl.w_down.matvec_f32(&h),
+                    }
                 }
                 FfnKind::PlainGelu => {
                     obs.on_linear_input(li, Proj::Up, &xn);
-                    let xnq = self.quantize_act(&xn);
-                    let up = matvec(&layer.w_up, &xnq);
+                    let up = match packed_layer {
+                        None => {
+                            let xnq = self.quantize_act(&xn);
+                            matvec(&layer.w_up, &xnq)
+                        }
+                        Some((pl, g)) => {
+                            let xnq =
+                                quantize_vector_int8(&xn, g).expect("group size divides hidden");
+                            pl.w_up.matvec(&xnq)
+                        }
+                    };
                     let h: Vec<f32> = up.iter().map(|&u| gelu(u)).collect();
                     obs.on_linear_input(li, Proj::Down, &h);
-                    let hq = self.quantize_act(&h);
-                    matvec(&layer.w_down, &hq)
+                    match packed_layer {
+                        None => {
+                            let hq = self.quantize_act(&h);
+                            matvec(&layer.w_down, &hq)
+                        }
+                        Some((pl, _)) => pl.w_down.matvec_f32(&h),
+                    }
                 }
             };
             obs.on_block_contribution(li, Proj::Down, l2(&x), l2(&ff));
@@ -471,22 +648,6 @@ fn l2(x: &[f32]) -> f32 {
         .sqrt() as f32
 }
 
-/// `y = W · x` for `W` stored `out × in`.
-fn matvec(w: &Matrix, x: &[f32]) -> Vec<f32> {
-    // gemv computes x · B with B = rows along x; transposing via iteration:
-    // y[n] = dot(w.row(n), x).
-    debug_assert_eq!(w.cols(), x.len());
-    (0..w.rows())
-        .map(|n| {
-            w.row(n)
-                .iter()
-                .zip(x.iter())
-                .map(|(&a, &b)| a * b)
-                .sum::<f32>()
-        })
-        .collect()
-}
-
 /// Multi-head attention of one query vector against the cached K/V.
 /// With `kv_heads < heads`, query heads share K/V heads (GQA; one shared
 /// head is MQA).
@@ -523,7 +684,10 @@ fn attention(cfg: &ModelConfig, q: &[f32], k_all: &Matrix, v_all: &Matrix) -> Ve
     out
 }
 
-/// Symmetric INT fake quantization of a vector in groups of `group`.
+/// Symmetric INT fake quantization of a vector in groups of `group`. The
+/// scale is FP16-rounded like every stored scale in the quant crate
+/// (Eq. (4)), so this is bit-compatible with the INT8 codes the quantized
+/// execution backend feeds its integer kernels.
 fn fake_int_quantize(x: &[f32], bits: u8, group: usize) -> Vec<f32> {
     let imax = ((1i32 << (bits - 1)) - 1) as f32;
     let mut out = Vec::with_capacity(x.len());
@@ -533,7 +697,7 @@ fn fake_int_quantize(x: &[f32], bits: u8, group: usize) -> Vec<f32> {
             out.extend(chunk.iter().copied());
             continue;
         }
-        let scale = amax / imax;
+        let scale = quantize_fp16(amax / imax).max(f32::MIN_POSITIVE);
         for &v in chunk {
             out.push(quantize_symmetric_int(v / scale, imax as i32) as f32 * scale);
         }
@@ -548,8 +712,24 @@ pub fn run_sequence(
     kv: KvMode,
     tokens: &[usize],
 ) -> Matrix {
-    let mut runner = model.runner(act, kv);
-    let mut out = Matrix::zeros(0, model.config.vocab);
+    collect_logits(model.runner(act, kv), tokens)
+}
+
+/// [`run_sequence`] on the quantized execution backend: the forward pass
+/// consumes `packed` groups end to end (see
+/// [`TransformerModel::packed_runner`]).
+pub fn run_sequence_packed(
+    model: &TransformerModel,
+    packed: &PackedWeights,
+    act: ActMode,
+    kv: KvMode,
+    tokens: &[usize],
+) -> Matrix {
+    collect_logits(model.packed_runner(packed, act, kv), tokens)
+}
+
+fn collect_logits(mut runner: ModelRunner<'_>, tokens: &[usize]) -> Matrix {
+    let mut out = Matrix::zeros(0, runner.model.config.vocab);
     for &t in tokens {
         let logits = runner.step(t);
         out.push_row(&logits);
@@ -709,5 +889,112 @@ mod tests {
     #[should_panic(expected = "must divide heads")]
     fn gqa_validation() {
         let _ = ModelConfig::sim_llama().with_gqa(3);
+    }
+
+    #[test]
+    fn quantized_backend_matches_reference_twin() {
+        // The quantized backend (integer GEMVs over packed groups) must
+        // reproduce the reference backend run over the dequantized twin
+        // with the bit-compatible A8 fake quantization — the two paths
+        // compute the same math with different accumulation.
+        let m = model();
+        let packed = m.pack_weights(64).unwrap();
+        let twin = packed.to_model(&m);
+        let tokens: Vec<usize> = (0..24).map(|i| (i * 37) % 512).collect();
+        let act = ActMode::IntGroup { bits: 8, group: 64 };
+        let reference = run_sequence(&twin, act, KvMode::Fp16, &tokens);
+        let quantized = run_sequence_packed(&m, &packed, act, KvMode::Fp16, &tokens);
+        let norm: f64 = reference
+            .as_slice()
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt();
+        let rel = reference.distance(&quantized) / norm;
+        assert!(rel < 1e-3, "backend divergence {rel}");
+    }
+
+    #[test]
+    fn quantized_backend_reports_itself() {
+        let m = model();
+        let packed = m.pack_weights(64).unwrap();
+        let r = m.packed_runner(&packed, ActMode::None, KvMode::Mant4 { group: 64 });
+        assert_eq!(r.backend(), crate::backend::ExecutionBackend::Quantized);
+        let r = m.runner(ActMode::None, KvMode::Fp16);
+        assert_eq!(r.backend(), crate::backend::ExecutionBackend::Reference);
+    }
+
+    #[test]
+    fn fused_kv_attention_close_to_dequantize_path() {
+        // Same packed weights, same quantized KV mode; the only difference
+        // is the incremental integer attention (plus its INT8 query/prob
+        // quantization, which is near-lossless).
+        let m = model();
+        let packed = m.pack_weights(64).unwrap();
+        let twin = packed.to_model(&m);
+        let tokens: Vec<usize> = (0..32).map(|i| (i * 41) % 512).collect();
+        let act = ActMode::IntGroup { bits: 8, group: 64 };
+        let kv = KvMode::Mant4 { group: 64 };
+        let dequant_path = run_sequence(&twin, act, kv, &tokens);
+        let fused_path = run_sequence_packed(&m, &packed, act, kv, &tokens);
+        let norm: f64 = dequant_path
+            .as_slice()
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt();
+        let rel = dequant_path.distance(&fused_path) / norm;
+        // Per-step the integer attention is within INT8 rounding of the
+        // dequantize path (verified tightly in mant-quant's fused_dot /
+        // attend tests); end-to-end, cache feedback amplifies those
+        // rounding-level differences along the trajectory, so the bound
+        // here is well below the 0.6 the 4-bit cache itself costs vs FP16
+        // but far above per-step epsilon.
+        assert!(rel < 0.3, "fused KV attention drifted: {rel}");
+    }
+
+    #[test]
+    fn fused_attention_supports_gqa() {
+        let cfg = ModelConfig::sim_llama().with_gqa(2);
+        let m = TransformerModel::synthesize(&cfg, 19);
+        let packed = m.pack_weights(64).unwrap();
+        let tokens: Vec<usize> = (0..12).map(|i| (i * 13) % 512).collect();
+        let logits = run_sequence_packed(
+            &m,
+            &packed,
+            ActMode::None,
+            KvMode::Mant4 { group: 64 },
+            &tokens,
+        );
+        assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "packed K/V projection shape mismatch")]
+    fn packed_runner_rejects_mismatched_gqa_factor() {
+        // Same hidden/ffn shapes, different kv_heads: wq/w_down validate,
+        // but the K/V projections must be caught up front.
+        let gqa = TransformerModel::synthesize(&ModelConfig::sim_llama().with_gqa(2), 25);
+        let packed = gqa.pack_weights(64).unwrap();
+        let plain = model();
+        let _ = plain.packed_runner(&packed, ActMode::None, KvMode::Fp16);
+    }
+
+    #[test]
+    #[should_panic(expected = "INT8 activations at the packed group size")]
+    fn packed_runner_rejects_foreign_act_modes() {
+        let m = model();
+        let packed = m.pack_weights(64).unwrap();
+        let _ = m.packed_runner(&packed, ActMode::IntTensor { bits: 4 }, KvMode::Fp16);
+    }
+
+    #[test]
+    #[should_panic(expected = "to divide the head dimension")]
+    fn packed_runner_rejects_misaligned_kv_groups() {
+        let m = model();
+        let packed = m.pack_weights(64).unwrap();
+        // Group 48 does not divide head_dim 64 → the fused attention
+        // cannot align cache groups to heads.
+        let _ = m.packed_runner(&packed, ActMode::None, KvMode::Mant4 { group: 48 });
     }
 }

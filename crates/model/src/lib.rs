@@ -12,20 +12,26 @@
 //! - [`layers`]: the FP32 reference model, a step-wise [`ModelRunner`] with
 //!   pluggable activation quantization and KV-cache modes, and forward
 //!   observers for calibration;
+//! - [`backend`]: the execution-backend layer — [`PackedWeights`] /
+//!   [`QuantizedLinear`] packed storage and the dispatch that lets the
+//!   runner execute entirely over packed groups (fused integer GEMV,
+//!   incremental KV attention) without dequantizing;
 //! - [`eval`]: the perplexity proxy and generation-fidelity metrics;
 //! - [`calib`]: calibration over synthetic token streams (KV variance maps
 //!   and activation second moments).
 
+pub mod backend;
 pub mod calib;
 pub mod config;
 pub mod eval;
 pub mod layers;
 pub mod synth;
 
+pub use backend::{ExecutionBackend, PackedLayer, PackedWeights, QuantizedLinear};
 pub use calib::{calibrate, Calibration};
 pub use config::{FfnKind, ModelConfig};
-pub use eval::{generation_fidelity, perplexity_proxy, PplReport};
+pub use eval::{generation_fidelity, perplexity_proxy, perplexity_proxy_packed, PplReport};
 pub use layers::{
-    ActMode, ForwardObserver, KvMode, LayerWeights, ModelRunner, Proj, TransformerModel,
-    TransformerWeights,
+    run_sequence, run_sequence_packed, ActMode, ForwardObserver, KvMode, LayerWeights, ModelRunner,
+    Proj, TransformerModel, TransformerWeights,
 };

@@ -1,0 +1,147 @@
+//! Integer group-dot kernels — the innermost loops of the
+//! dequantization-free execution backend (paper Eq. (5), Fig. 7).
+//!
+//! Every kernel consumes *codes* (INT8 activation codes and 4-bit weight
+//! codes) and returns an exact integer accumulation; the group scales are
+//! applied once per group by the caller, outside the integer loop. This is
+//! precisely the hardware contract: a multiply-accumulate lane, a
+//! shift-accumulate lane, and a single per-group recombination — no
+//! per-element dequantization anywhere.
+//!
+//! The kernels live in `mant-numerics` (below the tensor and quant layers)
+//! so that every higher layer — the fused GEMM/GEMV in `mant-quant`, the
+//! incremental KV-cache attention, the benches — shares one implementation.
+
+use crate::mant::Mant;
+
+/// `psum1` operand per 4-bit code (sign bit 3, magnitude bits 0–2):
+/// `±i`. Codes are data-independent of the coefficient `a`, so the lane
+/// operands are a fixed 16-entry table — the software analogue of the
+/// MAC lane's trivial decoder.
+const PSUM1_LUT: [i32; 16] = [0, 1, 2, 3, 4, 5, 6, 7, 0, -1, -2, -3, -4, -5, -6, -7];
+
+/// `psum2` operand per 4-bit code: `±2^i` (the SAC lane's shift network).
+const PSUM2_LUT: [i32; 16] = [
+    1, 2, 4, 8, 16, 32, 64, 128, -1, -2, -4, -8, -16, -32, -64, -128,
+];
+
+/// Sign-extended value per INT4 nibble (two's complement).
+const INT4_LUT: [i32; 16] = [0, 1, 2, 3, 4, 5, 6, 7, -8, -7, -6, -5, -4, -3, -2, -1];
+
+/// The two-psum MANT group kernel: `Σ x·(±(a·i + 2^i))` computed as
+/// `a · Σ x·(±i) + Σ x·(±2^i)` (MAC lane + SAC lane, paper Eq. (5)).
+/// Bit-exact integer arithmetic; the per-code lane operands come from
+/// fixed 16-entry tables, so the inner loop is branch-free.
+///
+/// # Panics
+///
+/// Debug-asserts that the slices have equal length; in release the shorter
+/// slice bounds the accumulation.
+pub fn mant_group_psums(xcodes: &[i8], wcodes: &[u8], mant: Mant) -> i64 {
+    debug_assert_eq!(xcodes.len(), wcodes.len());
+    let mut psum1 = 0i64;
+    let mut psum2 = 0i64;
+    for (&xc, &wc) in xcodes.iter().zip(wcodes.iter()) {
+        let x = i64::from(xc);
+        let idx = usize::from(wc & 0x0f);
+        psum1 += x * i64::from(PSUM1_LUT[idx]);
+        psum2 += x * i64::from(PSUM2_LUT[idx]);
+    }
+    mant.combine_psums(psum1, psum2)
+}
+
+/// The INT4 group kernel: a single plain MAC lane over sign-extended
+/// nibbles (the "additional INT option" groups, Sec. V-A).
+pub fn int4_group_mac(xcodes: &[i8], wcodes: &[u8]) -> i64 {
+    debug_assert_eq!(xcodes.len(), wcodes.len());
+    let mut acc = 0i64;
+    for (&xc, &wc) in xcodes.iter().zip(wcodes.iter()) {
+        acc += i64::from(xc) * i64::from(INT4_LUT[usize::from(wc & 0x0f)]);
+    }
+    acc
+}
+
+/// Plain INT8 × INT8 dot product — the staging-window lane of the V-cache
+/// attention path (`P·V` against rows still held in the INT8 process
+/// window).
+pub fn int8_dot(a: &[i8], b: &[i8]) -> i64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| i64::from(x) * i64::from(y))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::mant::MantCode;
+
+    #[test]
+    fn luts_match_the_code_model() {
+        for bits in 0..16u8 {
+            let c = MantCode::from_bits(bits);
+            assert_eq!(
+                PSUM1_LUT[bits as usize],
+                Mant::psum1_operand(c),
+                "psum1 {bits}"
+            );
+            assert_eq!(
+                PSUM2_LUT[bits as usize],
+                Mant::psum2_operand(c),
+                "psum2 {bits}"
+            );
+            assert_eq!(INT4_LUT[bits as usize], i32::from(((bits << 4) as i8) >> 4));
+        }
+    }
+
+    #[test]
+    fn mant_psums_match_scalar_decode() {
+        for a in [0u32, 5, 17, 25, 60, 127] {
+            let mant = Mant::new(a).unwrap();
+            let xcodes: Vec<i8> = vec![5, -3, 127, -128, 0, 1, 77, -77];
+            let wcodes: Vec<u8> = vec![0x0, 0x9, 0x7, 0xf, 0x3, 0x8, 0x5, 0xc];
+            let fused = mant_group_psums(&xcodes, &wcodes, mant);
+            let mut expect = 0i64;
+            for (&x, &w) in xcodes.iter().zip(wcodes.iter()) {
+                expect += i64::from(x) * i64::from(mant.decode(MantCode::from_bits(w)));
+            }
+            assert_eq!(fused, expect, "a={a}");
+        }
+    }
+
+    #[test]
+    fn int4_mac_matches_scalar() {
+        let xcodes: Vec<i8> = vec![5, -3, 127, -128, 0, 1];
+        let wcodes: Vec<u8> = vec![0x1, 0xf, 0x7, 0x9, 0x0, 0x8];
+        let mac = int4_group_mac(&xcodes, &wcodes);
+        let mut expect = 0i64;
+        for (&x, &w) in xcodes.iter().zip(wcodes.iter()) {
+            let wv = ((w << 4) as i8) >> 4;
+            expect += i64::from(x) * i64::from(wv);
+        }
+        assert_eq!(mac, expect);
+    }
+
+    #[test]
+    fn int8_dot_matches_scalar() {
+        let a: Vec<i8> = vec![127, -128, 3, 0, -7];
+        let b: Vec<i8> = vec![-128, 127, 9, 55, -1];
+        let expect: i64 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(&x, &y)| i64::from(x) * i64::from(y))
+            .sum();
+        assert_eq!(int8_dot(&a, &b), expect);
+    }
+
+    #[test]
+    fn no_overflow_at_extremes() {
+        // 128-element group of worst-case magnitudes stays well inside i64.
+        let xcodes = vec![-128i8; 128];
+        let wcodes = vec![0xfu8; 128]; // -(127·7 + 128) at a = 127
+        let v = mant_group_psums(&xcodes, &wcodes, Mant::new(127).unwrap());
+        assert_eq!(v, 128i64 * 128 * (127 * 7 + 128));
+    }
+}

@@ -41,6 +41,7 @@ pub mod flint;
 pub mod fp16;
 pub mod grid;
 pub mod int;
+pub mod kernels;
 pub mod mant;
 pub mod mxfp;
 pub mod nf;
@@ -54,6 +55,7 @@ pub use error::NumericsError;
 pub use flint::flint4_grid;
 pub use grid::Grid;
 pub use int::{int4_grid, int8_grid, uniform_symmetric_grid};
+pub use kernels::{int4_group_mac, int8_dot, mant_group_psums};
 pub use mant::{Mant, MantCode};
 pub use mxfp::{e8m0_quantize_scale, fp4_e2m1_grid};
 pub use nf::{nf4_paper_grid, qlora_nf4_grid};

@@ -138,6 +138,111 @@ impl ActivationTensor {
     }
 }
 
+/// A single activation vector quantized to group-wise INT8 — the per-step
+/// operand of the quantized execution backend's GEMV and of the fused
+/// `Q·Kᵀ` attention path.
+#[derive(Clone, Debug)]
+pub struct QuantizedVector {
+    group_size: usize,
+    codes: Vec<i8>,
+    scales: Vec<f32>,
+}
+
+/// Quantizes one activation vector to group-wise INT8 along its length,
+/// with the same FP16-rounded scale rule as [`quantize_activations_int8`].
+///
+/// # Errors
+///
+/// Returns [`QuantError::BadGroupSize`] if `group_size` does not divide
+/// `x.len()`.
+///
+/// # Example
+///
+/// ```
+/// use mant_quant::quantize_vector_int8;
+///
+/// let q = quantize_vector_int8(&[1.0, -2.0, 0.5, 127.0], 4)?;
+/// assert_eq!(q.group_codes(0)[3], 127);
+/// # Ok::<(), mant_quant::QuantError>(())
+/// ```
+pub fn quantize_vector_int8(x: &[f32], group_size: usize) -> Result<QuantizedVector, QuantError> {
+    if group_size == 0 || !x.len().is_multiple_of(group_size) {
+        return Err(QuantError::BadGroupSize {
+            group_size,
+            inner_dim: x.len(),
+        });
+    }
+    let mut codes = Vec::with_capacity(x.len());
+    let mut scales = Vec::with_capacity(x.len() / group_size);
+    for group in x.chunks_exact(group_size) {
+        let amax = abs_max(group);
+        let scale = if amax == 0.0 {
+            1.0
+        } else {
+            quantize_fp16(amax / 127.0).max(f32::MIN_POSITIVE)
+        };
+        scales.push(scale);
+        for &v in group {
+            codes.push(quantize_symmetric_int(v / scale, 127) as i8);
+        }
+    }
+    Ok(QuantizedVector {
+        group_size,
+        codes,
+        scales,
+    })
+}
+
+impl QuantizedVector {
+    /// Vector length.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The group size.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of groups.
+    pub fn groups(&self) -> usize {
+        self.codes.len() / self.group_size
+    }
+
+    /// INT8 codes of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn group_codes(&self, g: usize) -> &[i8] {
+        let lo = g * self.group_size;
+        &self.codes[lo..lo + self.group_size]
+    }
+
+    /// Scale of group `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn scale(&self, g: usize) -> f32 {
+        self.scales[g]
+    }
+
+    /// Dequantizes to f32.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.codes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| f32::from(c) * self.scales[i / self.group_size])
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,5 +290,26 @@ mod tests {
         let x = Matrix::zeros(2, 128);
         let q = quantize_activations_int8(&x, 64).unwrap();
         assert_eq!(q.storage_bits(), 256 * 8 + 4 * 16);
+    }
+
+    #[test]
+    fn vector_matches_matrix_quantization() {
+        let mut g = TensorGenerator::new(52);
+        let x = g.activation_matrix(1, 128, 1.0, 0.02, 30.0);
+        let qm = quantize_activations_int8(&x, 32).unwrap();
+        let qv = quantize_vector_int8(x.row(0), 32).unwrap();
+        assert_eq!(qv.len(), 128);
+        assert_eq!(qv.groups(), 4);
+        for gi in 0..4 {
+            assert_eq!(qv.group_codes(gi), qm.group_codes(0, gi));
+            assert_eq!(qv.scale(gi), qm.scale(0, gi));
+        }
+        assert_eq!(qv.dequantize(), qm.dequantize().row(0));
+    }
+
+    #[test]
+    fn vector_bad_group_size() {
+        assert!(quantize_vector_int8(&[1.0; 10], 4).is_err());
+        assert!(quantize_vector_int8(&[1.0; 10], 0).is_err());
     }
 }

@@ -15,12 +15,21 @@
 //! INT option instead run a single plain MAC lane. The group scales
 //! `s_X · s_W` multiply the integer result afterwards, outside the array.
 
-use mant_numerics::{Mant, MantCode};
-use mant_tensor::{gemm, Matrix};
+use mant_numerics::{int4_group_mac, mant_group_psums};
+use mant_tensor::{gemm, matvec, Matrix};
 
-use crate::activation::ActivationTensor;
+use crate::activation::{ActivationTensor, QuantizedVector};
 use crate::error::QuantError;
-use crate::mantq::{GroupDtype, MantQuantizedMatrix};
+use crate::mantq::{GroupDtype, GroupMeta, MantQuantizedMatrix};
+
+/// Dispatches one group's integer dot product to the matching kernel:
+/// two-psum MANT recombination or the single-lane INT4 MAC.
+pub fn group_dot(meta: GroupMeta, xcodes: &[i8], wcodes: &[u8]) -> i64 {
+    match meta.dtype {
+        GroupDtype::Mant(mant) => mant_group_psums(xcodes, wcodes, mant),
+        GroupDtype::Int4 => int4_group_mac(xcodes, wcodes),
+    }
+}
 
 /// Computes `X · Wᵀ` entirely in integer arithmetic plus one scale multiply
 /// per (row, group): `x` is `M×K` INT8, `w` is `N×K` MANT-encoded (rows are
@@ -69,10 +78,7 @@ pub fn mant_gemm(x: &ActivationTensor, w: &MantQuantizedMatrix) -> Result<Matrix
                 let xcodes = x.group_codes(mi, g);
                 let wcodes = w.group_codes(ni, g);
                 let meta = w.meta(ni, g);
-                let int_result = match meta.dtype {
-                    GroupDtype::Mant(mant) => group_psums_mant(xcodes, wcodes, mant),
-                    GroupDtype::Int4 => group_mac_int4(xcodes, wcodes),
-                };
+                let int_result = group_dot(meta, xcodes, wcodes);
                 acc += f64::from(x.scale(mi, g)) * f64::from(meta.scale) * int_result as f64;
             }
             out[(mi, ni)] = acc as f32;
@@ -81,30 +87,60 @@ pub fn mant_gemm(x: &ActivationTensor, w: &MantQuantizedMatrix) -> Result<Matrix
     Ok(out)
 }
 
-/// The per-group MANT kernel: MAC lane (`psum1`), SAC lane (`psum2`),
-/// recombined as `a·psum1 + psum2` — bit-exact integer arithmetic.
-fn group_psums_mant(xcodes: &[i8], wcodes: &[u8], mant: Mant) -> i64 {
-    debug_assert_eq!(xcodes.len(), wcodes.len());
-    let mut psum1 = 0i64;
-    let mut psum2 = 0i64;
-    for (&xc, &wc) in xcodes.iter().zip(wcodes.iter()) {
-        let code = MantCode::from_bits(wc);
-        let x = i64::from(xc);
-        psum1 += x * i64::from(Mant::psum1_operand(code));
-        psum2 += x * i64::from(Mant::psum2_operand(code));
+/// Computes `y = W · x` for one INT8-quantized activation vector against a
+/// MANT-encoded weight matrix (`N×K`, rows are output channels), entirely
+/// in integer arithmetic plus one scale multiply per group — the
+/// per-token linear-projection primitive of the quantized execution
+/// backend (decode-step GEMMs degenerate to GEMVs).
+///
+/// # Errors
+///
+/// Returns [`QuantError::ShapeMismatch`] if the inner dimensions or group
+/// sizes disagree.
+///
+/// # Example
+///
+/// ```
+/// use mant_quant::{mant_gemv, quantize_vector_int8, MantWeightQuantizer};
+/// use mant_tensor::TensorGenerator;
+///
+/// let mut g = TensorGenerator::new(2);
+/// let w = g.group_diverse_matrix(3, 64, 64, 0.02);
+/// let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.3).sin()).collect();
+/// let wq = MantWeightQuantizer::new(64).quantize(&w)?;
+/// let xq = quantize_vector_int8(&x, 64)?;
+/// assert_eq!(mant_gemv(&xq, &wq)?.len(), 3);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn mant_gemv(x: &QuantizedVector, w: &MantQuantizedMatrix) -> Result<Vec<f32>, QuantError> {
+    if x.len() != w.cols() {
+        return Err(QuantError::ShapeMismatch {
+            context: "activation vector length vs weight inner dim",
+        });
     }
-    mant.combine_psums(psum1, psum2)
+    if x.group_size() != w.group_size() {
+        return Err(QuantError::ShapeMismatch {
+            context: "activation group size vs weight group size",
+        });
+    }
+    let groups = x.groups();
+    Ok((0..w.rows())
+        .map(|n| {
+            let mut acc = 0.0f64;
+            for g in 0..groups {
+                let meta = w.meta(n, g);
+                let int_result = group_dot(meta, x.group_codes(g), w.group_codes(n, g));
+                acc += f64::from(x.scale(g)) * f64::from(meta.scale) * int_result as f64;
+            }
+            acc as f32
+        })
+        .collect())
 }
 
-/// The per-group INT4 kernel: plain integer MAC.
-fn group_mac_int4(xcodes: &[i8], wcodes: &[u8]) -> i64 {
-    debug_assert_eq!(xcodes.len(), wcodes.len());
-    let mut acc = 0i64;
-    for (&xc, &wc) in xcodes.iter().zip(wcodes.iter()) {
-        let wv = ((wc << 4) as i8) >> 4; // sign-extend the nibble
-        acc += i64::from(xc) * i64::from(wv);
-    }
-    acc
+/// Reference path for the GEMV: dequantize both operands and run the f32
+/// matvec — what the fused path must match up to accumulation order.
+pub fn dequant_then_gemv(x: &QuantizedVector, w: &MantQuantizedMatrix) -> Vec<f32> {
+    matvec(&w.dequantize(), &x.dequantize())
 }
 
 /// Reference path: dequantize both operands to f32 and run a dense GEMM.
@@ -214,25 +250,84 @@ mod tests {
     }
 
     #[test]
-    fn group_kernels_are_integer_exact() {
-        // Cross-check both kernels against a scalar model.
-        let mant = Mant::new(17).unwrap();
+    fn group_dot_dispatch_is_integer_exact() {
+        // `group_dot` must route each dtype to a kernel that matches the
+        // scalar decode-multiply model exactly.
+        use mant_numerics::{Mant, MantCode};
         let xcodes: Vec<i8> = vec![5, -3, 127, -128_i8, 0, 1];
         let wcodes: Vec<u8> = vec![0x0, 0x9, 0x7, 0xf, 0x3, 0x8];
-        let fused = group_psums_mant(&xcodes, &wcodes, mant);
+
+        let mant = Mant::new(17).unwrap();
+        let meta = GroupMeta {
+            dtype: GroupDtype::Mant(mant),
+            scale: 1.0,
+        };
         let mut expect = 0i64;
         for (&x, &w) in xcodes.iter().zip(wcodes.iter()) {
             expect += i64::from(x) * i64::from(mant.decode(MantCode::from_bits(w)));
         }
-        assert_eq!(fused, expect);
+        assert_eq!(group_dot(meta, &xcodes, &wcodes), expect);
 
-        let wcodes_int: Vec<u8> = vec![0x1, 0xf, 0x7, 0x9, 0x0, 0x8];
-        let mac = group_mac_int4(&xcodes, &wcodes_int);
+        let meta_int = GroupMeta {
+            dtype: GroupDtype::Int4,
+            scale: 1.0,
+        };
         let mut expect_int = 0i64;
-        for (&x, &w) in xcodes.iter().zip(wcodes_int.iter()) {
+        for (&x, &w) in xcodes.iter().zip(wcodes.iter()) {
             let wv = ((w << 4) as i8) >> 4;
             expect_int += i64::from(x) * i64::from(wv);
         }
-        assert_eq!(mac, expect_int);
+        assert_eq!(group_dot(meta_int, &xcodes, &wcodes), expect_int);
+    }
+
+    #[test]
+    fn fused_gemv_matches_dequantized_reference() {
+        use crate::activation::quantize_vector_int8;
+        let mut gen = TensorGenerator::new(68);
+        let x = gen.activation_matrix(1, 256, 1.0, 0.02, 20.0);
+        let w = gen.group_diverse_matrix(6, 256, 64, 0.02);
+        let xq = quantize_vector_int8(x.row(0), 64).unwrap();
+        let wq = MantWeightQuantizer::new(64).quantize(&w).unwrap();
+        let fused = mant_gemv(&xq, &wq).unwrap();
+        let reference = dequant_then_gemv(&xq, &wq);
+        let denom = reference
+            .iter()
+            .map(|v| v.abs())
+            .fold(0.0f32, f32::max)
+            .max(1e-6);
+        for (a, b) in fused.iter().zip(reference.iter()) {
+            assert!((a - b).abs() / denom < 1e-4, "fused {a} vs reference {b}");
+        }
+    }
+
+    #[test]
+    fn gemv_agrees_with_gemm_row() {
+        use crate::activation::quantize_vector_int8;
+        let (xq_mat, wq) = setup(69, 3, 5, 128, 64);
+        let via_gemm = mant_gemm(&xq_mat, &wq).unwrap();
+        for r in 0..3 {
+            // Rebuild the row as a QuantizedVector from the same f32 data.
+            let row = xq_mat.dequantize();
+            let xq = quantize_vector_int8(row.row(r), 64).unwrap();
+            let via_gemv = mant_gemv(&xq, &wq).unwrap();
+            for (a, b) in via_gemv.iter().zip(via_gemm.row(r).iter()) {
+                // Requantizing dequantized INT8 is idempotent, so the two
+                // paths see identical codes.
+                assert!((a - b).abs() < 1e-5, "row {r}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_shape_mismatches_rejected() {
+        use crate::activation::quantize_vector_int8;
+        let (_, wq) = setup(70, 2, 2, 128, 64);
+        let xq = quantize_vector_int8(&vec![0.5; 256], 64).unwrap();
+        assert!(matches!(
+            mant_gemv(&xq, &wq),
+            Err(QuantError::ShapeMismatch { .. })
+        ));
+        let xq32 = quantize_vector_int8(&vec![0.5; 128], 32).unwrap();
+        assert!(mant_gemv(&xq32, &wq).is_err());
     }
 }

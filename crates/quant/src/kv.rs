@@ -16,9 +16,13 @@
 
 use mant_numerics::fp16::quantize_fp16;
 use mant_numerics::int::quantize_symmetric_int;
+use mant_numerics::int8_dot;
+use mant_tensor::ops::softmax_inplace;
 use mant_tensor::{abs_max, Matrix, RunningGroupStats};
 
+use crate::activation::{quantize_vector_int8, QuantizedVector};
 use crate::error::QuantError;
+use crate::fused::group_dot;
 use crate::mantq::GroupMeta;
 use crate::variance::VarianceMap;
 
@@ -75,6 +79,66 @@ impl KCacheQuantizer {
         self.dim
     }
 
+    /// The group size.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Groups per cached key vector.
+    pub fn groups_per_row(&self) -> usize {
+        self.dim / self.group_size
+    }
+
+    /// The 4-bit codes of group `g` in cached key vector `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn group_codes(&self, t: usize, g: usize) -> &[u8] {
+        let base = t * self.dim + g * self.group_size;
+        &self.codes[base..base + self.group_size]
+    }
+
+    /// Metadata of group `g` in cached key vector `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn group_meta(&self, t: usize, g: usize) -> GroupMeta {
+        self.meta[t * self.groups_per_row() + g]
+    }
+
+    /// The fused `q · k_t` partial dot over `n_groups` consecutive groups,
+    /// consuming the packed key codes directly (Eq. (5)): for each group,
+    /// an integer psum kernel plus one `s_q · s_k` scale multiply. This is
+    /// the incremental `Q·Kᵀ` primitive — no cache dequantization.
+    ///
+    /// `q_lo` indexes the query's groups, `k_lo` this cache's groups (they
+    /// differ under GQA, where several query heads share one KV head).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's group size differs from the cache's, or if
+    /// any group index is out of bounds.
+    pub fn fused_dot(
+        &self,
+        t: usize,
+        q: &QuantizedVector,
+        q_lo: usize,
+        k_lo: usize,
+        n_groups: usize,
+    ) -> f32 {
+        assert_eq!(q.group_size(), self.group_size, "query group size mismatch");
+        let mut acc = 0.0f64;
+        for j in 0..n_groups {
+            let meta = self.group_meta(t, k_lo + j);
+            let int_result =
+                group_dot(meta, q.group_codes(q_lo + j), self.group_codes(t, k_lo + j));
+            acc += f64::from(q.scale(q_lo + j)) * f64::from(meta.scale) * int_result as f64;
+        }
+        acc as f32
+    }
+
     /// Quantizes and appends one key vector (one decode step).
     ///
     /// # Panics
@@ -129,7 +193,9 @@ impl KCacheQuantizer {
 struct CommittedWindow {
     /// Per-channel metadata (`dim` entries).
     meta: Vec<GroupMeta>,
-    /// Codes in `[t][c]` row-major order (`group_size × dim` nibbles).
+    /// Codes in `[c][t]` channel-major order (`dim × group_size` nibbles):
+    /// each channel's temporal group is contiguous, so the `P·V` kernels
+    /// consume it directly with no strided gather.
     codes: Vec<u8>,
 }
 
@@ -271,12 +337,71 @@ impl VCacheQuantizer {
             meta.push(GroupMeta { dtype, scale });
             for (t, row) in self.window.iter().enumerate() {
                 let x = f32::from(row[c]) * s8;
-                codes[t * self.dim + c] = dtype.encode(x, scale);
+                codes[c * self.group_size + t] = dtype.encode(x, scale);
             }
             self.stats[c].reset();
         }
         self.committed.push(CommittedWindow { meta, codes });
         self.window.clear();
+    }
+
+    /// The temporal group size (process-window length in decode steps).
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Incremental `P·V`: accumulates `Σ_t probs[t] · v_t[c]` into
+    /// `out[c - chan_lo]` for channels `chan_lo..chan_lo + out.len()`,
+    /// consuming the cache's packed storage directly — committed windows
+    /// via the two-psum integer kernels (Eq. (5)), the INT8 process window
+    /// via its staged codes and channel scales. The probabilities are
+    /// quantized to INT8 per window (the paper's integer `P·V` datapath),
+    /// so every lane is integer arithmetic with one scale multiply per
+    /// (window, channel). No cache dequantization, no `seq × dim`
+    /// materialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != self.len()` or the channel range exceeds
+    /// `dim`.
+    pub fn attend(&self, probs: &[f32], chan_lo: usize, out: &mut [f32]) {
+        assert_eq!(probs.len(), self.len(), "probability length mismatch");
+        assert!(
+            chan_lo + out.len() <= self.dim,
+            "channel range out of bounds"
+        );
+        let mut t0 = 0usize;
+        for w in &self.committed {
+            let window_probs = &probs[t0..t0 + self.group_size];
+            t0 += self.group_size;
+            let Some((pcodes, pscale)) = quantize_probs_int8(window_probs) else {
+                continue;
+            };
+            for (o, c) in out.iter_mut().zip(chan_lo..) {
+                let meta = w.meta[c];
+                // Channel-major storage: the temporal group is contiguous,
+                // so the same `group_dot` kernels serve `P·V` and `Q·Kᵀ`.
+                let group = &w.codes[c * self.group_size..(c + 1) * self.group_size];
+                let int_result = group_dot(meta, &pcodes, group);
+                *o += (f64::from(pscale) * f64::from(meta.scale) * int_result as f64) as f32;
+            }
+        }
+        if self.window.is_empty() {
+            return;
+        }
+        let Some((pcodes, pscale)) = quantize_probs_int8(&probs[t0..]) else {
+            return;
+        };
+        // Staged rows: INT8 × INT8 per channel, scaled by the channel's
+        // staging scale.
+        let mut col8 = Vec::with_capacity(self.window.len());
+        for (o, c) in out.iter_mut().zip(chan_lo..) {
+            col8.clear();
+            col8.extend(self.window.iter().map(|row| row[c]));
+            let s8 = self.channel_scales[c].max(f32::MIN_POSITIVE);
+            let int_result = int8_dot(&pcodes, &col8);
+            *o += (f64::from(pscale) * f64::from(s8) * int_result as f64) as f32;
+        }
     }
 
     /// Dequantizes the full cache (committed 4-bit windows + INT8 staging
@@ -288,7 +413,7 @@ impl VCacheQuantizer {
                 let row: Vec<f32> = (0..self.dim)
                     .map(|c| {
                         let m = w.meta[c];
-                        m.dtype.decode(w.codes[t * self.dim + c]) * m.scale
+                        m.dtype.decode(w.codes[c * self.group_size + t]) * m.scale
                     })
                     .collect();
                 out.push_row(&row);
@@ -316,6 +441,146 @@ impl VCacheQuantizer {
         let staged = self.window.len() * self.dim * 8;
         committed + staged
     }
+}
+
+/// Multi-head attention of one query vector against the packed caches on
+/// the **dequantize path**: both caches are materialized to `seq × dim`
+/// matrices, then scored in f32 — the reference twin of
+/// [`attention_incremental`], and the per-step cost the quantized
+/// execution backend eliminates. With `kv_heads < heads`, query heads
+/// share K/V heads (GQA).
+///
+/// # Panics
+///
+/// Panics if `q.len() != heads · head_dim`, if `kv_heads` is zero or does
+/// not divide `heads`, or if the caches' width is not
+/// `kv_heads · head_dim`.
+pub fn attention_dequantize(
+    q: &[f32],
+    kc: &KCacheQuantizer,
+    vc: &VCacheQuantizer,
+    heads: usize,
+    kv_heads: usize,
+    head_dim: usize,
+) -> Vec<f32> {
+    validate_attention_shapes(q, kc, vc, heads, kv_heads, head_dim);
+    let k_all = kc.dequantize();
+    let v_all = vc.dequantize();
+    let seq = k_all.rows();
+    let queries_per_kv = heads / kv_heads;
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let mut out = vec![0.0f32; heads * head_dim];
+    for h in 0..heads {
+        let lo = h * head_dim;
+        let hi = lo + head_dim;
+        let kv_lo = (h / queries_per_kv) * head_dim;
+        let kv_hi = kv_lo + head_dim;
+        let qh = &q[lo..hi];
+        let mut scores: Vec<f32> = (0..seq)
+            .map(|t| {
+                let kh = &k_all.row(t)[kv_lo..kv_hi];
+                qh.iter().zip(kh.iter()).map(|(&a, &b)| a * b).sum::<f32>() * scale
+            })
+            .collect();
+        softmax_inplace(&mut scores);
+        let oh = &mut out[lo..hi];
+        for (t, &s) in scores.iter().enumerate() {
+            if s == 0.0 {
+                continue;
+            }
+            let vh = &v_all.row(t)[kv_lo..kv_hi];
+            for (o, &v) in oh.iter_mut().zip(vh.iter()) {
+                *o += s * v;
+            }
+        }
+    }
+    out
+}
+
+/// Multi-head attention of one query vector against the packed caches on
+/// the **incremental path**: `Q·Kᵀ` runs the fused per-group integer dots
+/// ([`KCacheQuantizer::fused_dot`]) against the query quantized to
+/// group-wise INT8, and `P·V` consumes committed windows and INT8 staging
+/// rows via [`VCacheQuantizer::attend`]. Nothing materializes a
+/// `seq × dim` matrix — per-step work is proportional to the codes read,
+/// which is what makes long-sequence decode cheap. GQA as in
+/// [`attention_dequantize`].
+///
+/// # Panics
+///
+/// As [`attention_dequantize`], plus if the K-cache group size does not
+/// divide `head_dim` (groups must not straddle heads).
+pub fn attention_incremental(
+    q: &[f32],
+    kc: &KCacheQuantizer,
+    vc: &VCacheQuantizer,
+    heads: usize,
+    kv_heads: usize,
+    head_dim: usize,
+) -> Vec<f32> {
+    validate_attention_shapes(q, kc, vc, heads, kv_heads, head_dim);
+    let g = kc.group_size();
+    assert!(
+        head_dim.is_multiple_of(g),
+        "fused attention needs the group size ({g}) to divide the head dimension ({head_dim})"
+    );
+    let seq = kc.len();
+    let queries_per_kv = heads / kv_heads;
+    let groups_per_head = head_dim / g;
+    let qv = quantize_vector_int8(q, g).expect("group divides head dim, hence q length");
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let mut out = vec![0.0f32; heads * head_dim];
+    for h in 0..heads {
+        let lo = h * head_dim;
+        let kv_head = h / queries_per_kv;
+        let q_lo_group = lo / g;
+        let k_lo_group = kv_head * head_dim / g;
+        let mut scores: Vec<f32> = (0..seq)
+            .map(|t| kc.fused_dot(t, &qv, q_lo_group, k_lo_group, groups_per_head) * scale)
+            .collect();
+        softmax_inplace(&mut scores);
+        vc.attend(&scores, kv_head * head_dim, &mut out[lo..lo + head_dim]);
+    }
+    out
+}
+
+fn validate_attention_shapes(
+    q: &[f32],
+    kc: &KCacheQuantizer,
+    vc: &VCacheQuantizer,
+    heads: usize,
+    kv_heads: usize,
+    head_dim: usize,
+) {
+    assert_eq!(q.len(), heads * head_dim, "query length mismatch");
+    assert!(
+        kv_heads > 0 && heads.is_multiple_of(kv_heads),
+        "kv_heads ({kv_heads}) must divide heads ({heads})"
+    );
+    assert_eq!(kc.dim(), kv_heads * head_dim, "K-cache width mismatch");
+    assert_eq!(
+        kc.len(),
+        vc.len(),
+        "K and V caches disagree on sequence length"
+    );
+}
+
+/// Quantizes one window's attention probabilities to symmetric INT8 with a
+/// single FP16-rounded scale; `None` when every probability is zero (the
+/// whole window then contributes nothing).
+fn quantize_probs_int8(probs: &[f32]) -> Option<(Vec<i8>, f32)> {
+    let amax = abs_max(probs);
+    if amax == 0.0 {
+        return None;
+    }
+    let scale = int8_scale(amax).max(f32::MIN_POSITIVE);
+    Some((
+        probs
+            .iter()
+            .map(|&p| quantize_symmetric_int(p / scale, 127) as i8)
+            .collect(),
+        scale,
+    ))
 }
 
 /// FP16-rounded INT8 scale for a given max magnitude.
@@ -470,6 +735,133 @@ mod tests {
         let mut kq = KCacheQuantizer::new(16, 16, vmap()).unwrap();
         kq.push(&[0.5; 16]);
         assert_eq!(kq.storage_bits(), 16 * 4 + 24);
+    }
+
+    #[test]
+    fn fused_dot_matches_dequantized_scores() {
+        use crate::activation::quantize_vector_int8;
+        let mut gen = TensorGenerator::new(78);
+        let dim = 128;
+        let g = 32;
+        let mut kq = KCacheQuantizer::new(dim, g, vmap()).unwrap();
+        let k = gen.group_diverse_matrix(24, dim, g, 0.5);
+        kq.prefill(&k);
+        let q_vec: Vec<f32> = (0..dim).map(|_| gen.standard_normal()).collect();
+        let qv = quantize_vector_int8(&q_vec, g).unwrap();
+        let q_deq = qv.dequantize();
+        let k_deq = kq.dequantize();
+        // Whole-row dots and per-head (2-group) partial dots both match
+        // the dequantize-then-f32 reference on the same quantized query.
+        for t in 0..24 {
+            let full = kq.fused_dot(t, &qv, 0, 0, dim / g);
+            let reference: f32 = q_deq
+                .iter()
+                .zip(k_deq.row(t).iter())
+                .map(|(&a, &b)| a * b)
+                .sum();
+            assert!(
+                (full - reference).abs() <= reference.abs().max(1.0) * 1e-4,
+                "t={t}: {full} vs {reference}"
+            );
+            let partial = kq.fused_dot(t, &qv, 2, 2, 2);
+            let reference_p: f32 = q_deq[2 * g..4 * g]
+                .iter()
+                .zip(k_deq.row(t)[2 * g..4 * g].iter())
+                .map(|(&a, &b)| a * b)
+                .sum();
+            assert!((partial - reference_p).abs() <= reference_p.abs().max(1.0) * 1e-4);
+        }
+    }
+
+    #[test]
+    fn attend_matches_dequantized_weighted_sum() {
+        let mut gen = TensorGenerator::new(79);
+        let dim = 64;
+        let g = 16;
+        let mut vq = VCacheQuantizer::new(dim, g, vmap()).unwrap();
+        let v = gen.group_diverse_matrix(40, dim, dim, 0.5);
+        vq.prefill(&v); // 2 committed windows + 8 staged rows
+        assert_eq!(vq.committed_windows(), 2);
+        assert_eq!(vq.window_len(), 8);
+        // Softmax-like probabilities.
+        let mut probs: Vec<f32> = (0..40).map(|i| (-(i as f32) * 0.1).exp()).collect();
+        let z: f32 = probs.iter().sum();
+        probs.iter_mut().for_each(|p| *p /= z);
+
+        let mut fused = vec![0.0f32; dim];
+        vq.attend(&probs, 0, &mut fused);
+        // Reference: the same weighted sum over the dequantized cache with
+        // probabilities quantized the same way per window (the only extra
+        // error source the integer path introduces).
+        let deq = vq.dequantize();
+        for (c, &f) in fused.iter().enumerate() {
+            let mut reference = 0.0f32;
+            for t0 in (0..40).step_by(g) {
+                let hi = (t0 + g).min(40);
+                let (pcodes, pscale) = quantize_probs_int8(&probs[t0..hi]).unwrap();
+                for (j, &pc) in pcodes.iter().enumerate() {
+                    reference += f32::from(pc) * pscale * deq[(t0 + j, c)];
+                }
+            }
+            assert!(
+                (f - reference).abs() < 1e-4,
+                "channel {c}: {f} vs {reference}"
+            );
+        }
+        // And the INT8 prob quantization itself is near-lossless: the
+        // fused result tracks the exact f32 weighted sum closely.
+        for (c, &f) in fused.iter().enumerate() {
+            let exact: f32 = (0..40).map(|t| probs[t] * deq[(t, c)]).sum();
+            assert!(
+                (f - exact).abs() < 2e-2,
+                "channel {c}: fused {f} vs exact {exact}"
+            );
+        }
+        // Channel sub-ranges accumulate (attend adds into `out`).
+        let mut partial = vec![1.0f32; 8];
+        vq.attend(&probs, 8, &mut partial);
+        for (j, &p) in partial.iter().enumerate() {
+            assert!((p - 1.0 - fused[8 + j]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn attention_helpers_agree_incl_gqa() {
+        // The shared incremental/dequantize attention pair must agree up
+        // to the INT8 query/probability rounding, for MHA and GQA head
+        // layouts alike.
+        let mut gen = TensorGenerator::new(80);
+        let (head_dim, g) = (32, 16);
+        for (heads, kv_heads) in [(4usize, 4usize), (4, 2), (4, 1)] {
+            let kv_dim = kv_heads * head_dim;
+            let vmap = vmap();
+            let mut kc = KCacheQuantizer::new(kv_dim, g, vmap.clone()).unwrap();
+            let mut vc = VCacheQuantizer::new(kv_dim, g, vmap).unwrap();
+            kc.prefill(&gen.group_diverse_matrix(40, kv_dim, g, 0.5));
+            vc.prefill(&gen.group_diverse_matrix(40, kv_dim, kv_dim, 0.5));
+            let q: Vec<f32> = (0..heads * head_dim)
+                .map(|_| gen.standard_normal())
+                .collect();
+            let reference = attention_dequantize(&q, &kc, &vc, heads, kv_heads, head_dim);
+            let fused = attention_incremental(&q, &kc, &vc, heads, kv_heads, head_dim);
+            let norm: f32 = reference
+                .iter()
+                .map(|v| v * v)
+                .sum::<f32>()
+                .sqrt()
+                .max(1e-6);
+            let dist: f32 = reference
+                .iter()
+                .zip(fused.iter())
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f32>()
+                .sqrt();
+            assert!(
+                dist / norm < 0.05,
+                "heads={heads} kv_heads={kv_heads}: rel diff {}",
+                dist / norm
+            );
+        }
     }
 
     #[test]

@@ -14,10 +14,15 @@
 //!   selection (paper Sec. V-C, Eq. (7));
 //! - [`activation`]: group-wise INT8 activation quantization with a
 //!   streaming max (paper Sec. V-B);
-//! - [`fused`]: the decode-free integer GEMM of Eq. (5) — `psum1` via
-//!   multiply-accumulate, `psum2` via shift-accumulate;
+//! - [`fused`]: the decode-free integer GEMM/GEMV of Eq. (5) — `psum1`
+//!   via multiply-accumulate, `psum2` via shift-accumulate (kernels live
+//!   in `mant_numerics::kernels`); [`mant_gemv`] is the per-token
+//!   primitive of the quantized execution backend;
 //! - [`kv`]: real-time K-cache (spatial) and V-cache (two-phase temporal)
-//!   quantization engines (paper Sec. V-C, Fig. 8).
+//!   quantization engines (paper Sec. V-C, Fig. 8), with incremental
+//!   group-wise access — [`KCacheQuantizer::fused_dot`] for `Q·Kᵀ` and
+//!   [`VCacheQuantizer::attend`] for `P·V` — so decode-step attention
+//!   never dequantizes the full cache.
 
 pub mod activation;
 pub mod error;
@@ -30,9 +35,11 @@ pub mod search;
 pub mod smooth;
 pub mod variance;
 
-pub use activation::{quantize_activations_int8, ActivationTensor};
+pub use activation::{
+    quantize_activations_int8, quantize_vector_int8, ActivationTensor, QuantizedVector,
+};
 pub use error::QuantError;
-pub use fused::{dequant_then_gemm, mant_gemm};
+pub use fused::{dequant_then_gemm, dequant_then_gemv, group_dot, mant_gemm, mant_gemv};
 pub use kv::{KCacheQuantizer, VCacheQuantizer};
 pub use mantq::{GroupDtype, MantQuantizedMatrix, MantWeightQuantizer};
 pub use quantizer::{FakeQuantizer, Fp16Quantizer, GridQuantizer};

@@ -1,8 +1,9 @@
 //! Property-based tests for the quantization framework.
 
 use mant_quant::{
-    mant_gemm, quantize_activations_int8, CandidateSet, KCacheQuantizer, MantQuantizedMatrix,
-    MantWeightQuantizer, VCacheQuantizer, VarianceMap,
+    dequant_then_gemv, mant_gemm, mant_gemv, quantize_activations_int8, quantize_vector_int8,
+    CandidateSet, KCacheQuantizer, MantQuantizedMatrix, MantWeightQuantizer, VCacheQuantizer,
+    VarianceMap,
 };
 use mant_tensor::Matrix;
 use proptest::prelude::*;
@@ -90,6 +91,70 @@ proptest! {
         }
         let deq = kq.dequantize();
         prop_assert_eq!(deq.shape(), (rows, 32));
+    }
+
+    /// Quantized-backend GEMV equals dequantize-then-f32 GEMV within a
+    /// tight epsilon (same math, integer-psums-plus-f64 vs f32
+    /// accumulation) — the scaled-accumulation half of the backend
+    /// equivalence claim.
+    #[test]
+    fn fused_gemv_tight_epsilon(xv in proptest::collection::vec(-8.0f32..8.0, 64),
+                                w in small_matrix(3, 64)) {
+        let xq = quantize_vector_int8(&xv, 32).unwrap();
+        let wq = MantWeightQuantizer::new(32).quantize(&w).unwrap();
+        let fused = mant_gemv(&xq, &wq).unwrap();
+        let reference = dequant_then_gemv(&xq, &wq);
+        let scale = reference.iter().map(|v| v.abs()).fold(1.0f32, f32::max);
+        for (a, b) in fused.iter().zip(reference.iter()) {
+            prop_assert!((a - b).abs() / scale < 1e-4, "{} vs {}", a, b);
+        }
+    }
+
+    /// With pure-integer operands (activation max 127 and weight groups
+    /// holding integer levels, so every scale is exactly 1.0) the fused
+    /// GEMV is EXACT: integer psums and the f32 reference agree bit for
+    /// bit because nothing rounds.
+    #[test]
+    fn fused_gemv_pure_integer_exact(xints in proptest::collection::vec(-127i32..=127, 32),
+                                     wints in proptest::collection::vec(-7i32..=7, 2 * 32)) {
+        // Force amax to the grid max in every group so scale_for == 1.0.
+        let mut xv: Vec<f32> = xints.iter().map(|&v| v as f32).collect();
+        xv[0] = 127.0;
+        let mut wv: Vec<f32> = wints.iter().map(|&v| v as f32).collect();
+        wv[0] = 7.0;
+        wv[32] = -7.0;
+        let w = Matrix::from_vec(2, 32, wv);
+        let set = CandidateSet::custom(&[], true).unwrap(); // INT4-only groups
+        let xq = quantize_vector_int8(&xv, 32).unwrap();
+        let wq = MantWeightQuantizer::new(32).with_candidates(set).quantize(&w).unwrap();
+        let fused = mant_gemv(&xq, &wq).unwrap();
+        let reference = dequant_then_gemv(&xq, &wq);
+        for (a, b) in fused.iter().zip(reference.iter()) {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "{} vs {}", a, b);
+        }
+    }
+
+    /// The incremental K-cache dot equals the dequantized-row dot against
+    /// the same quantized query, within a tight epsilon, at every cached
+    /// position.
+    #[test]
+    fn fused_dot_tight_epsilon(rows in 1usize..8,
+                               vals in proptest::collection::vec(-3.0f32..3.0, 8 * 64),
+                               qv in proptest::collection::vec(-3.0f32..3.0, 64)) {
+        let vmap = VarianceMap::analytic(&CandidateSet::paper()).unwrap();
+        let mut kq = KCacheQuantizer::new(64, 32, vmap).unwrap();
+        for r in 0..rows {
+            kq.push(&vals[r * 64..(r + 1) * 64]);
+        }
+        let q = quantize_vector_int8(&qv, 32).unwrap();
+        let q_deq = q.dequantize();
+        let k_deq = kq.dequantize();
+        for t in 0..rows {
+            let fused = kq.fused_dot(t, &q, 0, 0, 2);
+            let reference: f32 = q_deq.iter().zip(k_deq.row(t)).map(|(&a, &b)| a * b).sum();
+            prop_assert!((fused - reference).abs() <= reference.abs().max(1.0) * 1e-4,
+                "t={}: {} vs {}", t, fused, reference);
+        }
     }
 
     /// The V cache's committed+staged split always accounts for every row.

@@ -65,6 +65,26 @@ pub fn gemv(x: &[f32], b: &Matrix) -> Vec<f32> {
     y
 }
 
+/// `y = W · x` for `W` stored `out × in` (rows are output channels, the
+/// accumulation dimension contiguous) — the linear-projection primitive of
+/// the f32 reference execution backend.
+///
+/// # Panics
+///
+/// Panics if `x.len() != w.cols()`.
+pub fn matvec(w: &Matrix, x: &[f32]) -> Vec<f32> {
+    assert_eq!(x.len(), w.cols(), "matvec inner dimension mismatch");
+    (0..w.rows())
+        .map(|n| {
+            w.row(n)
+                .iter()
+                .zip(x.iter())
+                .map(|(&a, &b)| a * b)
+                .sum::<f32>()
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,6 +129,23 @@ mod tests {
         for (a, b) in via_gemm.as_slice().iter().zip(via_gemv.iter()) {
             assert!((a - b).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn matvec_matches_transposed_gemv() {
+        let w = Matrix::from_fn(4, 6, |r, c| (r * 6 + c) as f32 * 0.1 - 1.0);
+        let x: Vec<f32> = (0..6).map(|i| i as f32 * 0.7 - 2.0).collect();
+        let y = matvec(&w, &x);
+        let via_gemv = gemv(&x, &w.transpose());
+        for (a, b) in y.iter().zip(via_gemv.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec inner dimension mismatch")]
+    fn matvec_shape_mismatch_panics() {
+        let _ = matvec(&Matrix::zeros(2, 3), &[1.0, 2.0]);
     }
 
     #[test]

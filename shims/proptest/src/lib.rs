@@ -167,7 +167,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::{Range, RangeInclusive};
 
-    /// Length specification for [`vec`]: an exact length or a range.
+    /// Length specification for [`vec()`]: an exact length or a range.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         min: usize,

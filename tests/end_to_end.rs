@@ -3,7 +3,9 @@
 
 use mant::baselines::{BitFusionQuantizer, TenderQuantizer};
 use mant::core::Pipeline;
-use mant::model::{ActMode, FfnKind, KvMode, ModelConfig};
+use mant::model::{
+    run_sequence, run_sequence_packed, ActMode, FfnKind, KvMode, ModelConfig, TransformerModel,
+};
 use mant::quant::{Granularity, MantWeightQuantizer};
 
 /// A second, larger model size for the cross-size tests: 2× hidden width,
@@ -185,6 +187,76 @@ fn pipeline_monotonic_at_two_model_sizes() {
             fp.ppl
         );
     }
+}
+
+#[test]
+fn backend_logits_equivalence_at_two_model_sizes() {
+    // The tentpole invariant of the execution-backend refactor: at both
+    // model sizes, running the quantized backend (integer GEMVs over
+    // packed groups) reproduces the reference backend over the dequantized
+    // twin with the bit-compatible A8 activation quantization, up to
+    // accumulation order.
+    for (cfg, seed) in [(ModelConfig::sim_llama(), 95u64), (sim_llama_large(), 96)] {
+        let m = TransformerModel::synthesize(&cfg, seed);
+        let packed = m.pack_weights(64).expect("64 divides every width");
+        let twin = packed.to_model(&m);
+        let tokens: Vec<usize> = (0..24).map(|i| (i * 37) % cfg.vocab).collect();
+        let act = ActMode::IntGroup { bits: 8, group: 64 };
+
+        let reference = run_sequence(&twin, act, KvMode::Fp16, &tokens);
+        let quantized = run_sequence_packed(&m, &packed, act, KvMode::Fp16, &tokens);
+        let norm: f64 = reference
+            .as_slice()
+            .iter()
+            .map(|&v| f64::from(v) * f64::from(v))
+            .sum::<f64>()
+            .sqrt();
+        let rel = reference.distance(&quantized) / norm;
+        // Pure accumulation-order noise (integer-psum/f64 vs f32 sums),
+        // amplified through softmax and residual feedback — it grows with
+        // depth (~1e-4 at 2 layers, ~1e-3 at 3), far below any real
+        // quantization effect.
+        assert!(rel < 5e-3, "{}: backend divergence {rel}", cfg.name);
+
+        // With the quantized KV cache the backends additionally differ by
+        // INT8 query/probability rounding inside attention; the end-to-end
+        // drift stays far below the 4-bit cache's own cost vs FP16.
+        let kv = KvMode::Mant4 { group: 64 };
+        let dequant_path = run_sequence(&twin, act, kv, &tokens);
+        let fused_path = run_sequence_packed(&m, &packed, act, kv, &tokens);
+        let rel_kv = dequant_path.distance(&fused_path) / norm;
+        assert!(rel_kv < 0.3, "{}: fused KV divergence {rel_kv}", cfg.name);
+    }
+}
+
+#[test]
+fn packed_pipeline_evaluates_all_modes() {
+    // The Pipeline backend knob end to end: calibrated pack, quantized
+    // backend evaluation with FP16 and MANT4 caches, twin consistency.
+    let mut pipe = Pipeline::new(&ModelConfig::sim_llama(), 97);
+    pipe.calibrate(40);
+    let packed = pipe.pack_w4(64);
+    let fake = pipe.quantize_w4(64);
+    let act = ActMode::IntGroup { bits: 8, group: 64 };
+
+    let rep_fake = pipe.evaluate(&fake, act, KvMode::Fp16, 20);
+    let rep_packed = pipe.evaluate_packed(&packed, act, KvMode::Fp16, 20);
+    assert!(
+        (rep_fake.ppl - rep_packed.ppl).abs() < rep_fake.ppl * 5e-3,
+        "fake {} vs packed {}",
+        rep_fake.ppl,
+        rep_packed.ppl
+    );
+
+    let rep_kv = pipe.evaluate_packed(&packed, act, KvMode::Mant4 { group: 64 }, 20);
+    assert!(rep_kv.ppl.is_finite());
+    assert!(rep_kv.ppl >= rep_kv.ppl_fp);
+    assert!(
+        rep_kv.ppl < rep_fake.ppl_fp * 2.5,
+        "quantized-backend full stack blew up: {} vs floor {}",
+        rep_kv.ppl,
+        rep_fake.ppl_fp
+    );
 }
 
 #[test]
