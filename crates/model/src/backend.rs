@@ -18,8 +18,8 @@
 //!   KV cache via the incremental `fused_dot`/`attend` group APIs.
 
 use mant_quant::{
-    mant_gemv, quantize_vector_int8, MantQuantizedMatrix, MantWeightQuantizer, QuantError,
-    QuantizedVector,
+    mant_gemv, mant_gemv_batch, quantize_vector_int8, MantQuantizedMatrix, MantWeightQuantizer,
+    QuantError, QuantizedVector,
 };
 use mant_tensor::Matrix;
 
@@ -92,6 +92,21 @@ impl QuantizedLinear {
         let xq = quantize_vector_int8(x, self.group_size())
             .expect("group size divides the activation length");
         self.matvec(&xq)
+    }
+
+    /// Multi-query matmul: `y_i = W · x_i` for a whole continuous batch of
+    /// independently quantized activations through the decode-pass GEMM
+    /// ([`mant_gemv_batch`]) — each weight group is decoded once and swept
+    /// across every sequence, amortizing the per-group overhead that makes
+    /// the software GEMV lose at batch 1. `out[i]` is bit-identical to
+    /// `self.matvec(&xs[i])`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vector's length or group size disagrees with the
+    /// weights.
+    pub fn matmul(&self, xs: &[QuantizedVector]) -> Vec<Vec<f32>> {
+        mant_gemv_batch(xs, &self.packed).expect("activation layout matches packed weights")
     }
 
     /// Dequantizes to a dense matrix (for the reference twin and tests —
@@ -284,6 +299,26 @@ mod tests {
             twin.weights.lm_head.as_slice(),
             m.weights.lm_head.as_slice()
         );
+    }
+
+    #[test]
+    fn matmul_bit_identical_to_matvec() {
+        use mant_quant::quantize_vector_int8;
+        use mant_tensor::TensorGenerator;
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 26);
+        let packed = m.pack_weights(64).unwrap();
+        let lin = &packed.layers()[0].wq;
+        let mut gen = TensorGenerator::new(26);
+        let xs: Vec<_> = (0..4)
+            .map(|_| {
+                let x: Vec<f32> = (0..lin.cols()).map(|_| gen.standard_normal()).collect();
+                quantize_vector_int8(&x, 64).unwrap()
+            })
+            .collect();
+        let batched = lin.matmul(&xs);
+        for (x, y) in xs.iter().zip(batched.iter()) {
+            assert_eq!(y, &lin.matvec(x), "multi-query matmul drifted from matvec");
+        }
     }
 
     #[test]

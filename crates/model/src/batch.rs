@@ -1,0 +1,461 @@
+//! Batch-capable execution over the quantized backend — the model-side
+//! engine of the continuous-batching serving runtime.
+//!
+//! A [`BatchRunner`] owns one paged KV-cache pool (`mant_quant::pool`) and
+//! a slab of per-sequence sessions; every [`BatchRunner::step`] processes
+//! one token for each listed session in a single fused pass:
+//!
+//! - linear projections run the **multi-query packed GEMM**
+//!   ([`crate::QuantizedLinear::matmul`]): each weight group is decoded to
+//!   integer operands once and swept across the whole batch's INT8
+//!   activations, amortizing the per-group overhead a lone GEMV pays;
+//! - attention runs per sequence over its own pooled packed cache
+//!   ([`mant_quant::pool::attention_incremental_paged`]) — ragged context
+//!   lengths batch naturally because `Q·Kᵀ`/`P·V` never materialize a
+//!   rectangular score matrix;
+//! - the f32 LM head runs the batched matvec
+//!   ([`mant_tensor::matvec_batch`]).
+//!
+//! Every per-sequence floating-point operation is executed in the same
+//! order as the sequential [`crate::ModelRunner`] on the same backend, so
+//! a batch of N sequences produces logits **bit-identical** to N
+//! independent single-sequence runs at every step — sequences can join
+//! and leave the batch at any iteration without perturbing the others.
+
+use mant_quant::pool::{attention_incremental_paged, KvCachePool, PagedKvCache, PoolConfig};
+use mant_quant::{quantize_vector_int8, QuantizedVector, VarianceMap};
+use mant_tensor::matvec_batch;
+use mant_tensor::ops::{gelu, rmsnorm, silu};
+
+use crate::backend::PackedWeights;
+use crate::config::FfnKind;
+use crate::layers::{ActMode, KvMode, TransformerModel};
+
+/// Handle to one generation session inside a [`BatchRunner`]. Carries a
+/// nonce so a handle kept past [`BatchRunner::end_session`] is detected
+/// rather than silently aliasing a recycled slot.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SessionId {
+    slot: usize,
+    nonce: u64,
+}
+
+/// Per-sequence state: one pooled KV cache per layer.
+struct Session {
+    nonce: u64,
+    caches: Vec<PagedKvCache>,
+    seq_len: usize,
+}
+
+/// Continuous-batching executor over the quantized backend: shared packed
+/// weights, a paged KV-cache pool, and a session slab. See the module docs
+/// for the execution contract.
+pub struct BatchRunner<'m> {
+    model: &'m TransformerModel,
+    packed: &'m PackedWeights,
+    kmap: VarianceMap,
+    vmap: VarianceMap,
+    kv_group: usize,
+    pool: KvCachePool,
+    slots: Vec<Option<Session>>,
+    free_slots: Vec<usize>,
+    next_nonce: u64,
+}
+
+impl TransformerModel {
+    /// Creates a batch runner over the quantized execution backend with a
+    /// paged KV pool of `blocks` blocks of `block_tokens` token slots
+    /// (per sequence, per layer). Mode validation is exactly
+    /// [`TransformerModel::packed_runner`]'s; additionally `kv` must be a
+    /// quantized cache mode ([`KvMode::Int4`] / [`KvMode::Mant4`]) — the
+    /// paged pool stores packed groups, not f32 rows. For
+    /// [`KvMode::Mant4`] the self-calibrated variance maps are shared with
+    /// the sequential runner (cached per model instance), so both engines
+    /// quantize identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any shape/mode mismatch [`TransformerModel::packed_runner`]
+    /// rejects, on `kv == KvMode::Fp16`, or on an invalid pool geometry
+    /// (`block_tokens` must be a positive multiple of the KV group size).
+    pub fn batch_runner<'m>(
+        &'m self,
+        packed: &'m PackedWeights,
+        act: ActMode,
+        kv: KvMode,
+        blocks: usize,
+        block_tokens: usize,
+    ) -> BatchRunner<'m> {
+        self.validate_packed_setup(packed, act, kv);
+        let (kv_group, kmap, vmap) = match kv {
+            KvMode::Fp16 => panic!(
+                "the batch runner serves packed caches only; pick a quantized KV mode \
+                 (KvMode::Int4 / KvMode::Mant4)"
+            ),
+            KvMode::Int4 { group } => {
+                let map = crate::layers::int4_kv_map();
+                (group, map.clone(), map)
+            }
+            KvMode::Mant4 { group } => {
+                let (kmap, vmap) = self.kv_maps(group);
+                (group, kmap, vmap)
+            }
+        };
+        let pool = KvCachePool::new(PoolConfig {
+            kv_dim: self.config.kv_dim(),
+            group_size: kv_group,
+            block_tokens,
+            blocks,
+        })
+        .expect("valid paged-pool geometry");
+        BatchRunner {
+            model: self,
+            packed,
+            kmap,
+            vmap,
+            kv_group,
+            pool,
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            next_nonce: 0,
+        }
+    }
+}
+
+impl BatchRunner<'_> {
+    /// Opens a session. No pool block is reserved until its first step.
+    pub fn create_session(&mut self) -> SessionId {
+        let caches = (0..self.model.config.layers)
+            .map(|_| PagedKvCache::new(&self.pool, self.kmap.clone(), self.vmap.clone()))
+            .collect();
+        let nonce = self.next_nonce;
+        self.next_nonce += 1;
+        let session = Session {
+            nonce,
+            caches,
+            seq_len: 0,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slots[slot] = Some(session);
+                slot
+            }
+            None => {
+                self.slots.push(Some(session));
+                self.slots.len() - 1
+            }
+        };
+        SessionId { slot, nonce }
+    }
+
+    /// Closes a session, returning every cache block it held to the pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale or unknown.
+    pub fn end_session(&mut self, id: SessionId) {
+        self.check(id);
+        let mut session = self.slots[id.slot].take().expect("checked above");
+        for cache in &mut session.caches {
+            cache.release(&mut self.pool);
+        }
+        self.free_slots.push(id.slot);
+    }
+
+    /// Number of open sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Tokens processed so far by session `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale or unknown.
+    pub fn seq_len(&self, id: SessionId) -> usize {
+        self.check(id);
+        self.slots[id.slot].as_ref().expect("checked above").seq_len
+    }
+
+    /// The shared paged KV-cache pool (free/used blocks, bit accounting).
+    pub fn pool(&self) -> &KvCachePool {
+        &self.pool
+    }
+
+    /// Pool blocks one sequence needs over its whole lifetime to cache
+    /// `tokens` tokens — one paged cache per layer. The quantity admission
+    /// control reserves up front so a step can never exhaust the pool.
+    pub fn blocks_for_request(&self, tokens: usize) -> usize {
+        self.model.config.layers * self.pool.blocks_for_tokens(tokens)
+    }
+
+    /// Processes one token for every listed session in a single fused
+    /// batch iteration (mixed prefill/decode: each session just feeds
+    /// whatever its next token is) and returns next-token logits per
+    /// entry, in order. Per-sequence results are bit-identical to the
+    /// sequential [`TransformerModel::packed_runner`] fed the same tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is empty, lists a session twice, holds a stale
+    /// [`SessionId`] or an out-of-vocabulary token — or if the pool runs
+    /// out of blocks mid-step, which admission control
+    /// ([`BatchRunner::blocks_for_request`] against
+    /// [`KvCachePool::free_blocks`]) must prevent.
+    pub fn step(&mut self, batch: &[(SessionId, usize)]) -> Vec<Vec<f32>> {
+        assert!(!batch.is_empty(), "empty batch");
+        let cfg = &self.model.config;
+        for (i, &(id, token)) in batch.iter().enumerate() {
+            self.check(id);
+            assert!(token < cfg.vocab, "token {token} out of vocabulary");
+            assert!(
+                batch[..i].iter().all(|&(other, _)| other != id),
+                "session listed twice in one batch iteration"
+            );
+        }
+        let w = &self.model.weights;
+        let g = self.packed.group_size();
+
+        let mut xs: Vec<Vec<f32>> = batch
+            .iter()
+            .map(|&(_, token)| w.embedding.row(token).to_vec())
+            .collect();
+
+        for (li, layer) in w.layers.iter().enumerate() {
+            let pl = &self.packed.layers()[li];
+
+            // --- Attention block ---
+            let xqs = quantize_batch(xs.iter().map(|x| rmsnorm(x, &layer.attn_norm, 1e-5)), g);
+            let qs = pl.wq.matmul(&xqs);
+            let ks = pl.wk.matmul(&xqs);
+            let vs = pl.wv.matmul(&xqs);
+            let (slots, pool) = (&mut self.slots, &mut self.pool);
+            for (i, &(id, _)) in batch.iter().enumerate() {
+                let session = slots[id.slot].as_mut().expect("validated above");
+                if let Err(e) = session.caches[li].push(pool, &ks[i], &vs[i]) {
+                    panic!(
+                        "{e} during a batch step; admission control must reserve \
+                         blocks_for_request() blocks before scheduling a sequence"
+                    );
+                }
+            }
+            let attns: Vec<Vec<f32>> = batch
+                .iter()
+                .zip(qs.iter())
+                .map(|(&(id, _), q)| {
+                    let session = self.slots[id.slot].as_ref().expect("validated above");
+                    attention_incremental_paged(
+                        q,
+                        &session.caches[li],
+                        &self.pool,
+                        cfg.heads,
+                        cfg.kv_heads,
+                        cfg.head_dim(),
+                    )
+                })
+                .collect();
+            let os = pl.wo.matmul(&quantize_batch(attns.into_iter(), g));
+            for (x, o) in xs.iter_mut().zip(os.iter()) {
+                for (xi, oi) in x.iter_mut().zip(o.iter()) {
+                    *xi += oi;
+                }
+            }
+
+            // --- FFN block ---
+            let xnq = quantize_batch(xs.iter().map(|x| rmsnorm(x, &layer.ffn_norm, 1e-5)), g);
+            let hs: Vec<Vec<f32>> = match cfg.ffn_kind {
+                FfnKind::GatedSilu => {
+                    let gate_w = pl.w_gate.as_ref().expect("gated model packs a gate");
+                    let gates = gate_w.matmul(&xnq);
+                    let ups = pl.w_up.matmul(&xnq);
+                    gates
+                        .iter()
+                        .zip(ups.iter())
+                        .map(|(gate, up)| {
+                            gate.iter()
+                                .zip(up.iter())
+                                .map(|(&gv, &uv)| silu(gv) * uv)
+                                .collect()
+                        })
+                        .collect()
+                }
+                FfnKind::PlainGelu => {
+                    let ups = pl.w_up.matmul(&xnq);
+                    ups.iter()
+                        .map(|up| up.iter().map(|&u| gelu(u)).collect())
+                        .collect()
+                }
+            };
+            let ffs = pl.w_down.matmul(&quantize_batch(hs.into_iter(), g));
+            for (x, ff) in xs.iter_mut().zip(ffs.iter()) {
+                for (xi, fi) in x.iter_mut().zip(ff.iter()) {
+                    *xi += fi;
+                }
+            }
+        }
+
+        for &(id, _) in batch {
+            self.slots[id.slot]
+                .as_mut()
+                .expect("validated above")
+                .seq_len += 1;
+        }
+        let finals: Vec<Vec<f32>> = xs.iter().map(|x| rmsnorm(x, &w.final_norm, 1e-5)).collect();
+        let final_refs: Vec<&[f32]> = finals.iter().map(Vec::as_slice).collect();
+        matvec_batch(&w.lm_head, &final_refs)
+    }
+
+    /// The KV quantization group size.
+    pub fn kv_group(&self) -> usize {
+        self.kv_group
+    }
+
+    fn check(&self, id: SessionId) {
+        let live = self
+            .slots
+            .get(id.slot)
+            .and_then(Option::as_ref)
+            .is_some_and(|s| s.nonce == id.nonce);
+        assert!(live, "stale or unknown session {id:?}");
+    }
+}
+
+/// Quantizes a batch of activation vectors to group-wise INT8 at the
+/// packed group size — the same per-vector call the sequential runner
+/// makes.
+fn quantize_batch(xs: impl Iterator<Item = Vec<f32>>, group: usize) -> Vec<QuantizedVector> {
+    xs.map(|x| quantize_vector_int8(&x, group).expect("group size divides the activation length"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ModelConfig;
+    use crate::layers::run_sequence_packed;
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+
+    #[test]
+    fn batch_step_bit_identical_to_sequential_runs() {
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 31);
+        let packed = m.pack_weights(64).unwrap();
+        let kv = KvMode::Mant4 { group: 64 };
+        let streams: [Vec<usize>; 3] = [
+            (0..12).map(|i| (i * 37) % 512).collect(),
+            (0..12).map(|i| (i * 53 + 7) % 512).collect(),
+            (0..12).map(|i| (i * 11 + 100) % 512).collect(),
+        ];
+        let mut br = m.batch_runner(&packed, ActMode::None, kv, 64, 64);
+        let ids: Vec<SessionId> = (0..3).map(|_| br.create_session()).collect();
+        let mut batched_logits: Vec<Vec<Vec<f32>>> = vec![Vec::new(); 3];
+        for t in 0..12 {
+            let batch: Vec<(SessionId, usize)> = ids
+                .iter()
+                .zip(streams.iter())
+                .map(|(&id, s)| (id, s[t]))
+                .collect();
+            for (i, logits) in br.step(&batch).into_iter().enumerate() {
+                batched_logits[i].push(logits);
+            }
+        }
+        for (stream, got) in streams.iter().zip(batched_logits.iter()) {
+            let solo = run_sequence_packed(&m, &packed, ActMode::None, kv, stream);
+            for (t, logits) in got.iter().enumerate() {
+                assert_eq!(
+                    bits(logits),
+                    bits(solo.row(t)),
+                    "batch diverged from sequential at step {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sessions_join_and_leave_without_perturbing_others() {
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 32);
+        let packed = m.pack_weights(64).unwrap();
+        let kv = KvMode::Mant4 { group: 64 };
+        let a_stream: Vec<usize> = (0..10).map(|i| (i * 29) % 512).collect();
+        let b_stream: Vec<usize> = (0..6).map(|i| (i * 31 + 3) % 512).collect();
+        let c_stream: Vec<usize> = (0..5).map(|i| (i * 41 + 9) % 512).collect();
+
+        let mut br = m.batch_runner(&packed, ActMode::None, kv, 64, 64);
+        let a = br.create_session();
+        let b = br.create_session();
+        let mut a_got = Vec::new();
+        // A and B run together for 4 steps …
+        for t in 0..4 {
+            let out = br.step(&[(a, a_stream[t]), (b, b_stream[t])]);
+            a_got.push(out[0].clone());
+        }
+        // … B leaves mid-decode, C joins (recycling B's blocks), A carries on.
+        for t in 4..6 {
+            let out = br.step(&[(a, a_stream[t]), (b, b_stream[t])]);
+            a_got.push(out[0].clone());
+        }
+        br.end_session(b);
+        let c = br.create_session();
+        for t in 6..10 {
+            let out = br.step(&[(c, c_stream[t - 6]), (a, a_stream[t])]);
+            a_got.push(out[1].clone());
+        }
+        let solo = run_sequence_packed(&m, &packed, ActMode::None, kv, &a_stream);
+        for (t, logits) in a_got.iter().enumerate() {
+            assert_eq!(
+                bits(logits),
+                bits(solo.row(t)),
+                "ragged batch broke A at {t}"
+            );
+        }
+        assert_eq!(br.active_sessions(), 2);
+        assert_eq!(br.seq_len(c), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale or unknown session")]
+    fn stale_session_detected() {
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 33);
+        let packed = m.pack_weights(64).unwrap();
+        let mut br = m.batch_runner(&packed, ActMode::None, KvMode::Mant4 { group: 64 }, 8, 64);
+        let a = br.create_session();
+        br.end_session(a);
+        let _ = br.create_session(); // recycles the slot with a new nonce
+        let _ = br.step(&[(a, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "listed twice")]
+    fn duplicate_session_rejected() {
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 34);
+        let packed = m.pack_weights(64).unwrap();
+        let mut br = m.batch_runner(&packed, ActMode::None, KvMode::Mant4 { group: 64 }, 8, 64);
+        let a = br.create_session();
+        let _ = br.step(&[(a, 1), (a, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantized KV mode")]
+    fn fp16_kv_rejected() {
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 35);
+        let packed = m.pack_weights(64).unwrap();
+        let _ = m.batch_runner(&packed, ActMode::None, KvMode::Fp16, 8, 64);
+    }
+
+    #[test]
+    fn session_lifecycle_frees_blocks() {
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 36);
+        let packed = m.pack_weights(64).unwrap();
+        let mut br = m.batch_runner(&packed, ActMode::None, KvMode::Mant4 { group: 64 }, 8, 64);
+        assert_eq!(br.blocks_for_request(65), 4); // 2 layers × ⌈65/64⌉ blocks
+        let a = br.create_session();
+        assert_eq!(br.pool().used_blocks(), 0, "no block before the first step");
+        let _ = br.step(&[(a, 5)]);
+        assert_eq!(br.pool().used_blocks(), 2); // one per layer
+        br.end_session(a);
+        assert_eq!(br.pool().used_blocks(), 0);
+        assert_eq!(br.active_sessions(), 0);
+    }
+}

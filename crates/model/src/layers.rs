@@ -188,6 +188,10 @@ pub enum KvMode {
     },
 }
 
+// A handful of instances exist (one per layer), so the size spread
+// between the matrix and quantizer variants is irrelevant; boxing would
+// only add a pointer chase to the decode hot loop.
+#[allow(clippy::large_enum_variant)]
 enum LayerKvCache {
     Fp {
         k: Matrix,
@@ -279,7 +283,7 @@ impl TransformerModel {
     /// quantizers will use — separate maps for the spatially-grouped K
     /// cache and the temporally-grouped V cache, whose group statistics
     /// differ fundamentally.
-    fn kv_maps(&self, group: usize) -> (VarianceMap, VarianceMap) {
+    pub(crate) fn kv_maps(&self, group: usize) -> (VarianceMap, VarianceMap) {
         let mut cache = self.kv_map_cache.lock().expect("KV map cache poisoned");
         if let Some(maps) = cache.get(&group) {
             return maps.clone();
@@ -305,10 +309,7 @@ impl TransformerModel {
             _ => None,
         };
         let int_map = match kv {
-            KvMode::Int4 { .. } => {
-                let set = CandidateSet::custom(&[], true).expect("INT-only set is valid");
-                Some(VarianceMap::analytic(&set).expect("set is non-empty"))
-            }
+            KvMode::Int4 { .. } => Some(int4_kv_map()),
             _ => None,
         };
         let caches = (0..self.config.layers)
@@ -367,6 +368,15 @@ impl TransformerModel {
         act: ActMode,
         kv: KvMode,
     ) -> ModelRunner<'m> {
+        self.validate_packed_setup(packed, act, kv);
+        let mut runner = self.runner(act, kv);
+        runner.packed = Some(packed);
+        runner
+    }
+
+    /// The shape/mode validation shared by [`TransformerModel::packed_runner`]
+    /// and the batch runner; panics with the messages both document.
+    pub(crate) fn validate_packed_setup(&self, packed: &PackedWeights, act: ActMode, kv: KvMode) {
         assert_eq!(
             packed.layers().len(),
             self.config.layers,
@@ -409,9 +419,6 @@ impl TransformerModel {
                 self.config.head_dim()
             );
         }
-        let mut runner = self.runner(act, kv);
-        runner.packed = Some(packed);
-        runner
     }
 }
 
@@ -638,6 +645,14 @@ impl ModelRunner<'_> {
             }
         }
     }
+}
+
+/// The analytic INT-only variance map of the [`KvMode::Int4`] cache mode
+/// — one definition shared by the sequential runner and the batch runner,
+/// so both engines quantize Int4 caches identically.
+pub(crate) fn int4_kv_map() -> VarianceMap {
+    let set = CandidateSet::custom(&[], true).expect("INT-only set is valid");
+    VarianceMap::analytic(&set).expect("set is non-empty")
 }
 
 /// L2 norm of a vector.

@@ -16,11 +16,15 @@
 //!   [`QuantizedLinear`] packed storage and the dispatch that lets the
 //!   runner execute entirely over packed groups (fused integer GEMV,
 //!   incremental KV attention) without dequantizing;
+//! - [`batch`]: the continuous-batching [`BatchRunner`] — per-sequence
+//!   sessions over a paged packed KV pool, multi-query packed GEMMs, and
+//!   a step contract bit-identical to N independent sequential runs;
 //! - [`eval`]: the perplexity proxy and generation-fidelity metrics;
 //! - [`calib`]: calibration over synthetic token streams (KV variance maps
 //!   and activation second moments).
 
 pub mod backend;
+pub mod batch;
 pub mod calib;
 pub mod config;
 pub mod eval;
@@ -28,6 +32,7 @@ pub mod layers;
 pub mod synth;
 
 pub use backend::{ExecutionBackend, PackedLayer, PackedWeights, QuantizedLinear};
+pub use batch::{BatchRunner, SessionId};
 pub use calib::{calibrate, Calibration};
 pub use config::{FfnKind, ModelConfig};
 pub use eval::{generation_fidelity, perplexity_proxy, perplexity_proxy_packed, PplReport};

@@ -55,7 +55,10 @@ pub use error::NumericsError;
 pub use flint::flint4_grid;
 pub use grid::Grid;
 pub use int::{int4_grid, int8_grid, uniform_symmetric_grid};
-pub use kernels::{int4_group_mac, int8_dot, mant_group_psums};
+pub use kernels::{
+    decode_group, dot_decoded, int4_decode_lut, int4_group_mac, int8_dot, mant_decode_lut,
+    mant_group_psums,
+};
 pub use mant::{Mant, MantCode};
 pub use mxfp::{e8m0_quantize_scale, fp4_e2m1_grid};
 pub use nf::{nf4_paper_grid, qlora_nf4_grid};

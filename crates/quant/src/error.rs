@@ -21,6 +21,12 @@ pub enum QuantError {
     },
     /// An empty candidate set for coefficient search.
     EmptyCandidateSet,
+    /// The paged KV-cache pool has no free blocks left — the admission
+    /// layer above let a sequence grow past the pool's reserved capacity.
+    PoolExhausted {
+        /// Total blocks in the pool.
+        blocks: usize,
+    },
 }
 
 impl fmt::Display for QuantError {
@@ -35,6 +41,9 @@ impl fmt::Display for QuantError {
             ),
             QuantError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
             QuantError::EmptyCandidateSet => write!(f, "coefficient candidate set is empty"),
+            QuantError::PoolExhausted { blocks } => {
+                write!(f, "KV-cache pool exhausted: all {blocks} blocks in use")
+            }
         }
     }
 }

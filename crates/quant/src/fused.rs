@@ -15,7 +15,9 @@
 //! INT option instead run a single plain MAC lane. The group scales
 //! `s_X · s_W` multiply the integer result afterwards, outside the array.
 
-use mant_numerics::{int4_group_mac, mant_group_psums};
+use mant_numerics::{
+    decode_group, dot_decoded, int4_decode_lut, int4_group_mac, mant_decode_lut, mant_group_psums,
+};
 use mant_tensor::{gemm, matvec, Matrix};
 
 use crate::activation::{ActivationTensor, QuantizedVector};
@@ -28,6 +30,15 @@ pub fn group_dot(meta: GroupMeta, xcodes: &[i8], wcodes: &[u8]) -> i64 {
     match meta.dtype {
         GroupDtype::Mant(mant) => mant_group_psums(xcodes, wcodes, mant),
         GroupDtype::Int4 => int4_group_mac(xcodes, wcodes),
+    }
+}
+
+/// The 16-entry decoded-operand table for a group's dtype — the per-group
+/// setup of the batched decode-pass kernels.
+fn group_decode_table(dtype: GroupDtype) -> [i32; 16] {
+    match dtype {
+        GroupDtype::Mant(mant) => mant_decode_lut(mant),
+        GroupDtype::Int4 => int4_decode_lut(),
     }
 }
 
@@ -71,17 +82,86 @@ pub fn mant_gemm(x: &ActivationTensor, w: &MantQuantizedMatrix) -> Result<Matrix
     let n = w.rows();
     let groups = x.groups_per_row();
     let mut out = Matrix::zeros(m, n);
-    for mi in 0..m {
-        for ni in 0..n {
-            let mut acc = 0.0f64;
-            for g in 0..groups {
-                let xcodes = x.group_codes(mi, g);
-                let wcodes = w.group_codes(ni, g);
-                let meta = w.meta(ni, g);
-                let int_result = group_dot(meta, xcodes, wcodes);
-                acc += f64::from(x.scale(mi, g)) * f64::from(meta.scale) * int_result as f64;
+    // Multi-query loop order: each weight group is decoded into integer
+    // operands ONCE and swept across every activation row, so the
+    // per-group setup (dtype dispatch, lane-LUT walk, scale widening)
+    // amortizes over the batch. Each output element still accumulates its
+    // groups in ascending order with the identical f64 expression, so the
+    // result is bit-identical to the row-at-a-time formulation.
+    let mut wdec = vec![0i64; x.group_size()];
+    let mut accs = vec![0.0f64; m];
+    for ni in 0..n {
+        accs.iter_mut().for_each(|a| *a = 0.0);
+        for g in 0..groups {
+            let meta = w.meta(ni, g);
+            decode_group(
+                w.group_codes(ni, g),
+                &group_decode_table(meta.dtype),
+                &mut wdec,
+            );
+            let w_scale = f64::from(meta.scale);
+            for (mi, acc) in accs.iter_mut().enumerate() {
+                let int_result = dot_decoded(x.group_codes(mi, g), &wdec);
+                *acc += f64::from(x.scale(mi, g)) * w_scale * int_result as f64;
             }
+        }
+        for (mi, &acc) in accs.iter().enumerate() {
             out[(mi, ni)] = acc as f32;
+        }
+    }
+    Ok(out)
+}
+
+/// Batched [`mant_gemv`]: one weight matrix against a whole batch of
+/// independently quantized activation vectors (a continuous-batching
+/// decode iteration's ragged batch). Runs the multi-query decode-pass
+/// loop: per weight group, the 4-bit codes are decoded to integer operands
+/// once, then every batch member's codes sweep them with a single MAC
+/// lane — amortizing the per-group constant overhead that makes the
+/// software GEMV lose to f32 at batch 1. Output `[i][n]` is
+/// **bit-identical** to `mant_gemv(&xs[i], w)[n]`.
+///
+/// # Errors
+///
+/// Returns [`QuantError::ShapeMismatch`] if any vector's length or group
+/// size disagrees with the weights.
+pub fn mant_gemv_batch(
+    xs: &[QuantizedVector],
+    w: &MantQuantizedMatrix,
+) -> Result<Vec<Vec<f32>>, QuantError> {
+    for x in xs {
+        if x.len() != w.cols() {
+            return Err(QuantError::ShapeMismatch {
+                context: "activation vector length vs weight inner dim",
+            });
+        }
+        if x.group_size() != w.group_size() {
+            return Err(QuantError::ShapeMismatch {
+                context: "activation group size vs weight group size",
+            });
+        }
+    }
+    let groups = w.cols() / w.group_size();
+    let mut out: Vec<Vec<f32>> = xs.iter().map(|_| vec![0.0f32; w.rows()]).collect();
+    let mut wdec = vec![0i64; w.group_size()];
+    let mut accs = vec![0.0f64; xs.len()];
+    for n in 0..w.rows() {
+        accs.iter_mut().for_each(|a| *a = 0.0);
+        for g in 0..groups {
+            let meta = w.meta(n, g);
+            decode_group(
+                w.group_codes(n, g),
+                &group_decode_table(meta.dtype),
+                &mut wdec,
+            );
+            let w_scale = f64::from(meta.scale);
+            for (acc, x) in accs.iter_mut().zip(xs.iter()) {
+                let int_result = dot_decoded(x.group_codes(g), &wdec);
+                *acc += f64::from(x.scale(g)) * w_scale * int_result as f64;
+            }
+        }
+        for (y, &acc) in out.iter_mut().zip(accs.iter()) {
+            y[n] = acc as f32;
         }
     }
     Ok(out)
@@ -316,6 +396,46 @@ mod tests {
                 assert!((a - b).abs() < 1e-5, "row {r}: {a} vs {b}");
             }
         }
+    }
+
+    #[test]
+    fn gemv_batch_bit_identical_to_gemv() {
+        // The multi-query decode-pass GEMM must not change a single bit of
+        // any sequence's result relative to the one-vector-at-a-time GEMV
+        // — the invariant the batch-vs-sequential serving equivalence
+        // rests on.
+        use crate::activation::quantize_vector_int8;
+        let mut gen = TensorGenerator::new(71);
+        let w = gen.group_diverse_matrix(9, 192, 64, 0.02);
+        let wq = MantWeightQuantizer::new(64).quantize(&w).unwrap();
+        let xs: Vec<_> = (0..5)
+            .map(|_| {
+                let x: Vec<f32> = (0..192).map(|_| gen.standard_normal()).collect();
+                quantize_vector_int8(&x, 64).unwrap()
+            })
+            .collect();
+        let batched = mant_gemv_batch(&xs, &wq).unwrap();
+        assert_eq!(batched.len(), 5);
+        for (x, y) in xs.iter().zip(batched.iter()) {
+            let single = mant_gemv(x, &wq).unwrap();
+            let y_bits: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+            let s_bits: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(y_bits, s_bits, "batched GEMV drifted from GEMV");
+        }
+        assert!(mant_gemv_batch(&[], &wq).unwrap().is_empty());
+    }
+
+    #[test]
+    fn gemv_batch_shape_mismatches_rejected() {
+        use crate::activation::quantize_vector_int8;
+        let (_, wq) = setup(72, 2, 2, 128, 64);
+        let bad_len = quantize_vector_int8(&vec![0.5; 256], 64).unwrap();
+        assert!(matches!(
+            mant_gemv_batch(&[bad_len], &wq),
+            Err(QuantError::ShapeMismatch { .. })
+        ));
+        let bad_group = quantize_vector_int8(&vec![0.5; 128], 32).unwrap();
+        assert!(mant_gemv_batch(&[bad_group], &wq).is_err());
     }
 
     #[test]

@@ -146,17 +146,49 @@ impl KCacheQuantizer {
     /// Panics if `k.len() != dim`.
     pub fn push(&mut self, k: &[f32]) {
         assert_eq!(k.len(), self.dim, "key vector length mismatch");
-        for group in k.chunks_exact(self.group_size) {
-            let mut stats = RunningGroupStats::new();
-            stats.extend_from_slice(group);
-            let dtype = self.vmap.select_for(&stats);
-            let scale = dtype.scale_for(stats.abs_max());
-            self.meta.push(GroupMeta { dtype, scale });
-            for &x in group {
-                self.codes.push(dtype.encode(x, scale));
-            }
-        }
+        let c0 = self.codes.len();
+        let m0 = self.meta.len();
+        self.codes.resize(c0 + self.dim, 0);
+        self.meta
+            .resize(m0 + self.groups_per_row(), GroupMeta::ZERO);
+        encode_k_row_into(
+            &self.vmap,
+            self.group_size,
+            k,
+            &mut self.codes[c0..],
+            &mut self.meta[m0..],
+        );
         self.rows += 1;
+    }
+
+    /// Clears the cache so a finished session's storage can be recycled by
+    /// a new sequence, retaining the allocated capacity. A reset cache is
+    /// **bit-identical** to a freshly constructed one: keys are encoded
+    /// independently on arrival, so every later push produces the same
+    /// codes and metadata a fresh cache would.
+    pub fn reset(&mut self) {
+        self.codes.clear();
+        self.meta.clear();
+        self.rows = 0;
+    }
+
+    /// Drops every cached key vector beyond the first `len` — the rollback
+    /// primitive for speculative decode and prefix reuse. Keys are encoded
+    /// row-independently, so the truncated cache is bit-identical to a
+    /// fresh cache fed only the kept prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(
+            len <= self.rows,
+            "truncate length {len} exceeds cached rows {}",
+            self.rows
+        );
+        self.codes.truncate(len * self.dim);
+        self.meta.truncate(len * self.groups_per_row());
+        self.rows = len;
     }
 
     /// Quantizes a whole prefill K matrix (`seq × dim`) row by row.
@@ -187,106 +219,126 @@ impl KCacheQuantizer {
     }
 }
 
+/// Encodes one key row's groups into pre-sized code/metadata slices: per
+/// group, streaming stats → variance-selected dtype → FP16 scale → 4-bit
+/// codes. Shared verbatim by the owned [`KCacheQuantizer`] and the paged
+/// pool's per-sequence views (`crate::pool`), so the two storage engines
+/// produce bit-identical cache contents.
+pub(crate) fn encode_k_row_into(
+    vmap: &VarianceMap,
+    group_size: usize,
+    k: &[f32],
+    codes_out: &mut [u8],
+    meta_out: &mut [GroupMeta],
+) {
+    debug_assert_eq!(codes_out.len(), k.len());
+    debug_assert_eq!(meta_out.len(), k.len() / group_size);
+    for (g, group) in k.chunks_exact(group_size).enumerate() {
+        let mut stats = RunningGroupStats::new();
+        stats.extend_from_slice(group);
+        let dtype = vmap.select_for(&stats);
+        let scale = dtype.scale_for(stats.abs_max());
+        meta_out[g] = GroupMeta { dtype, scale };
+        for (j, &x) in group.iter().enumerate() {
+            codes_out[g * group_size + j] = dtype.encode(x, scale);
+        }
+    }
+}
+
 /// One committed (fully quantized) V-cache window: `group_size` rows, each
 /// channel with its own type/scale.
 #[derive(Clone, Debug)]
-struct CommittedWindow {
+pub(crate) struct CommittedWindow {
     /// Per-channel metadata (`dim` entries).
-    meta: Vec<GroupMeta>,
+    pub(crate) meta: Vec<GroupMeta>,
     /// Codes in `[c][t]` channel-major order (`dim × group_size` nibbles):
     /// each channel's temporal group is contiguous, so the `P·V` kernels
     /// consume it directly with no strided gather.
-    codes: Vec<u8>,
+    pub(crate) codes: Vec<u8>,
 }
 
-/// Temporal two-phase real-time quantizer for the V cache (Fig. 8).
-#[derive(Clone, Debug)]
-pub struct VCacheQuantizer {
-    dim: usize,
+/// `P·V` accumulation over one committed window: `meta`/`codes` are the
+/// window's per-channel metadata and channel-major codes
+/// (`dim × group_size` nibbles), `pcodes`/`pscale` the window's
+/// INT8-quantized probabilities. Adds into `out` for channels `chan_lo..`.
+/// Shared by the owned [`VCacheQuantizer`] and the paged pool so both
+/// consume committed storage with bit-identical arithmetic.
+pub(crate) fn attend_window(
+    meta: &[GroupMeta],
+    codes: &[u8],
     group_size: usize,
-    vmap: VarianceMap,
+    pcodes: &[i8],
+    pscale: f32,
+    chan_lo: usize,
+    out: &mut [f32],
+) {
+    for (o, c) in out.iter_mut().zip(chan_lo..) {
+        let m = meta[c];
+        // Channel-major storage: the temporal group is contiguous,
+        // so the same `group_dot` kernels serve `P·V` and `Q·Kᵀ`.
+        let group = &codes[c * group_size..(c + 1) * group_size];
+        let int_result = group_dot(m, pcodes, group);
+        *o += (f64::from(pscale) * f64::from(m.scale) * int_result as f64) as f32;
+    }
+}
+
+/// Phase-1 state of the temporal V-cache engine (Fig. 8): the INT8
+/// process window, its per-channel RQU accumulators and scales, and the
+/// original f32 rows of the window (retained — bounded by one group of
+/// rows — so truncation can rebuild the accumulators exactly). Owns the
+/// staging/commit logic; the owned [`VCacheQuantizer`] and the paged
+/// pool's views differ only in where committed windows land.
+#[derive(Clone, Debug)]
+pub(crate) struct VStaging {
+    pub(crate) dim: usize,
+    pub(crate) group_size: usize,
+    pub(crate) vmap: VarianceMap,
     /// Per-channel INT8 scales for the staging window (from prefill, or
     /// bootstrapped from the first vectors seen).
-    channel_scales: Vec<f32>,
+    pub(crate) channel_scales: Vec<f32>,
     /// Phase-1 staging buffer: INT8 rows, at most `group_size` of them.
-    window: Vec<Vec<i8>>,
+    pub(crate) window: Vec<Vec<i8>>,
+    /// The staged rows' original f32 values in arrival order — what
+    /// [`VStaging::truncate`] re-pushes to rebuild the RQU stats
+    /// bit-exactly. A software rollback convenience (the accelerator keeps
+    /// the arriving vectors in SRAM for the window anyway); not packed
+    /// storage and not counted in the bit accounting.
+    pub(crate) window_f32: Vec<Vec<f32>>,
     /// RQU accumulators per channel over the current window.
-    stats: Vec<RunningGroupStats>,
-    committed: Vec<CommittedWindow>,
+    pub(crate) stats: Vec<RunningGroupStats>,
 }
 
-impl VCacheQuantizer {
-    /// Creates a V-cache quantizer for value vectors of length `dim`; the
-    /// process window spans `group_size` decode iterations.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`QuantError::BadGroupSize`] if `group_size` is zero.
-    pub fn new(dim: usize, group_size: usize, vmap: VarianceMap) -> Result<Self, QuantError> {
-        if group_size == 0 {
-            return Err(QuantError::BadGroupSize {
-                group_size,
-                inner_dim: dim,
-            });
-        }
-        Ok(VCacheQuantizer {
+impl VStaging {
+    pub(crate) fn new(dim: usize, group_size: usize, vmap: VarianceMap) -> Self {
+        VStaging {
             dim,
             group_size,
             vmap,
             channel_scales: vec![0.0; dim],
             window: Vec::new(),
+            window_f32: Vec::new(),
             stats: vec![RunningGroupStats::new(); dim],
-            committed: Vec::new(),
-        })
+        }
     }
 
-    /// Number of cached value vectors (committed + staged).
-    pub fn len(&self) -> usize {
-        self.committed.len() * self.group_size + self.window.len()
-    }
-
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Rows currently staged in the INT8 process window.
-    pub fn window_len(&self) -> usize {
-        self.window.len()
-    }
-
-    /// Number of committed 4-bit windows.
-    pub fn committed_windows(&self) -> usize {
-        self.committed.len()
-    }
-
-    /// Ingests a whole prefill V matrix (`seq × dim`): derives channel
-    /// scales, commits every full window spatially, stages the remainder.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `v.cols() != dim`.
-    pub fn prefill(&mut self, v: &Matrix) {
-        assert_eq!(v.cols(), self.dim, "prefill width mismatch");
-        // Channel-wise INT8 scales for the decode-stage staging window are
-        // derived from the prefill statistics (Sec. V-C: "scales" in Fig. 8).
+    /// Derives the staging window's per-channel INT8 scales from a prefill
+    /// V matrix (Sec. V-C: "scales" in Fig. 8).
+    pub(crate) fn set_scales_from_prefill(&mut self, v: &Matrix) {
         for c in 0..self.dim {
             let amax = abs_max(&v.col(c));
             self.channel_scales[c] = int8_scale(amax);
-        }
-        for r in 0..v.rows() {
-            self.push(v.row(r));
         }
     }
 
     /// Phase 1 of Fig. 8: quantizes one value vector to INT8 into the
     /// process window and updates the per-channel `Σv/Σv²/max`
-    /// accumulators; when the window fills, runs phase 2 (commit to MANT4).
+    /// accumulators; when the window fills, runs phase 2 and returns the
+    /// committed 4-bit window.
     ///
     /// # Panics
     ///
     /// Panics if `v.len() != dim`.
-    pub fn push(&mut self, v: &[f32]) {
+    pub(crate) fn push(&mut self, v: &[f32]) -> Option<CommittedWindow> {
         assert_eq!(v.len(), self.dim, "value vector length mismatch");
         let mut row = Vec::with_capacity(self.dim);
         for (c, &x) in v.iter().enumerate() {
@@ -312,14 +364,17 @@ impl VCacheQuantizer {
             self.stats[c].push(x);
         }
         self.window.push(row);
+        self.window_f32.push(v.to_vec());
         if self.window.len() == self.group_size {
-            self.commit_window();
+            Some(self.commit())
+        } else {
+            None
         }
     }
 
     /// Phase 2 of Fig. 8: variance → `a`, then requantize the staged INT8
     /// window to 4-bit MANT, one group per channel.
-    fn commit_window(&mut self) {
+    fn commit(&mut self) -> CommittedWindow {
         let mut meta = Vec::with_capacity(self.dim);
         let mut codes = vec![0u8; self.group_size * self.dim];
         for c in 0..self.dim {
@@ -341,13 +396,186 @@ impl VCacheQuantizer {
             }
             self.stats[c].reset();
         }
-        self.committed.push(CommittedWindow { meta, codes });
         self.window.clear();
+        self.window_f32.clear();
+        CommittedWindow { meta, codes }
+    }
+
+    /// The staged-rows lane of `P·V`: INT8 probabilities × INT8 staged
+    /// codes per channel, scaled by the channel's staging scale. Adds into
+    /// `out` for channels `chan_lo..`.
+    pub(crate) fn attend_staged(&self, probs_tail: &[f32], chan_lo: usize, out: &mut [f32]) {
+        if self.window.is_empty() {
+            return;
+        }
+        let Some((pcodes, pscale)) = quantize_probs_int8(probs_tail) else {
+            return;
+        };
+        let mut col8 = Vec::with_capacity(self.window.len());
+        for (o, c) in out.iter_mut().zip(chan_lo..) {
+            col8.clear();
+            col8.extend(self.window.iter().map(|row| row[c]));
+            let s8 = self.channel_scales[c].max(f32::MIN_POSITIVE);
+            let int_result = int8_dot(&pcodes, &col8);
+            *o += (f64::from(pscale) * f64::from(s8) * int_result as f64) as f32;
+        }
+    }
+
+    /// Keeps only the first `keep` staged rows, rebuilding the RQU
+    /// accumulators exactly by re-pushing the retained rows' original f32
+    /// values in arrival order. Channel scales keep their current
+    /// (possibly widened) values — the staged codes were rescaled in place
+    /// when widening happened, so the kept rows stay consistent.
+    pub(crate) fn truncate(&mut self, keep: usize) {
+        debug_assert!(keep <= self.window.len());
+        self.window.truncate(keep);
+        self.window_f32.truncate(keep);
+        for s in &mut self.stats {
+            s.reset();
+        }
+        for row in &self.window_f32 {
+            for (c, &x) in row.iter().enumerate() {
+                self.stats[c].push(x);
+            }
+        }
+    }
+
+    /// Clears all staging state (window, stats, channel scales) so the
+    /// storage can be recycled by a new sequence; bit-identical afterwards
+    /// to a freshly constructed staging buffer.
+    pub(crate) fn reset(&mut self) {
+        self.window.clear();
+        self.window_f32.clear();
+        for s in &mut self.stats {
+            s.reset();
+        }
+        self.channel_scales.iter_mut().for_each(|s| *s = 0.0);
+    }
+}
+
+/// Temporal two-phase real-time quantizer for the V cache (Fig. 8).
+#[derive(Clone, Debug)]
+pub struct VCacheQuantizer {
+    staging: VStaging,
+    committed: Vec<CommittedWindow>,
+}
+
+impl VCacheQuantizer {
+    /// Creates a V-cache quantizer for value vectors of length `dim`; the
+    /// process window spans `group_size` decode iterations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadGroupSize`] if `group_size` is zero.
+    pub fn new(dim: usize, group_size: usize, vmap: VarianceMap) -> Result<Self, QuantError> {
+        if group_size == 0 {
+            return Err(QuantError::BadGroupSize {
+                group_size,
+                inner_dim: dim,
+            });
+        }
+        Ok(VCacheQuantizer {
+            staging: VStaging::new(dim, group_size, vmap),
+            committed: Vec::new(),
+        })
+    }
+
+    /// Number of cached value vectors (committed + staged).
+    pub fn len(&self) -> usize {
+        self.committed.len() * self.staging.group_size + self.staging.window.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Rows currently staged in the INT8 process window.
+    pub fn window_len(&self) -> usize {
+        self.staging.window.len()
+    }
+
+    /// Number of committed 4-bit windows.
+    pub fn committed_windows(&self) -> usize {
+        self.committed.len()
+    }
+
+    /// Ingests a whole prefill V matrix (`seq × dim`): derives channel
+    /// scales, commits every full window spatially, stages the remainder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.cols() != dim`.
+    pub fn prefill(&mut self, v: &Matrix) {
+        assert_eq!(v.cols(), self.staging.dim, "prefill width mismatch");
+        // Channel-wise INT8 scales for the decode-stage staging window are
+        // derived from the prefill statistics (Sec. V-C: "scales" in Fig. 8).
+        self.staging.set_scales_from_prefill(v);
+        for r in 0..v.rows() {
+            self.push(v.row(r));
+        }
+    }
+
+    /// Phase 1 of Fig. 8: quantizes one value vector to INT8 into the
+    /// process window and updates the per-channel `Σv/Σv²/max`
+    /// accumulators; when the window fills, runs phase 2 (commit to MANT4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != dim`.
+    pub fn push(&mut self, v: &[f32]) {
+        if let Some(window) = self.staging.push(v) {
+            self.committed.push(window);
+        }
+    }
+
+    /// Clears the cache (committed windows, staging window, channel
+    /// scales, RQU accumulators) so a finished session's storage can be
+    /// recycled, retaining allocated capacity. A reset cache is
+    /// **bit-identical** to a freshly constructed one on every later
+    /// operation.
+    pub fn reset(&mut self) {
+        self.committed.clear();
+        self.staging.reset();
+    }
+
+    /// Drops every cached value vector beyond the first `len` — the
+    /// rollback primitive for speculative decode and prefix reuse.
+    ///
+    /// A cut inside the staging window re-stages exactly (the RQU
+    /// accumulators are rebuilt from the retained rows' original values;
+    /// channel scales keep their current, possibly widened, values). A cut
+    /// inside a *committed* window is rejected: commitment discards the
+    /// INT8 staging data, so such a cut cannot be represented — truncate
+    /// at a window boundary instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`, or if `len` falls strictly inside a
+    /// committed window.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(
+            len <= self.len(),
+            "truncate length {len} exceeds cached rows {}",
+            self.len()
+        );
+        let g = self.staging.group_size;
+        let committed_len = self.committed.len() * g;
+        if len >= committed_len {
+            self.staging.truncate(len - committed_len);
+        } else {
+            assert!(
+                len.is_multiple_of(g),
+                "cannot truncate inside a committed V window (len {len}, window {g})"
+            );
+            self.committed.truncate(len / g);
+            self.staging.truncate(0);
+        }
     }
 
     /// The temporal group size (process-window length in decode steps).
     pub fn group_size(&self) -> usize {
-        self.group_size
+        self.staging.group_size
     }
 
     /// Incremental `P·V`: accumulates `Σ_t probs[t] · v_t[c]` into
@@ -367,68 +595,51 @@ impl VCacheQuantizer {
     pub fn attend(&self, probs: &[f32], chan_lo: usize, out: &mut [f32]) {
         assert_eq!(probs.len(), self.len(), "probability length mismatch");
         assert!(
-            chan_lo + out.len() <= self.dim,
+            chan_lo + out.len() <= self.staging.dim,
             "channel range out of bounds"
         );
+        let g = self.staging.group_size;
         let mut t0 = 0usize;
         for w in &self.committed {
-            let window_probs = &probs[t0..t0 + self.group_size];
-            t0 += self.group_size;
+            let window_probs = &probs[t0..t0 + g];
+            t0 += g;
             let Some((pcodes, pscale)) = quantize_probs_int8(window_probs) else {
                 continue;
             };
-            for (o, c) in out.iter_mut().zip(chan_lo..) {
-                let meta = w.meta[c];
-                // Channel-major storage: the temporal group is contiguous,
-                // so the same `group_dot` kernels serve `P·V` and `Q·Kᵀ`.
-                let group = &w.codes[c * self.group_size..(c + 1) * self.group_size];
-                let int_result = group_dot(meta, &pcodes, group);
-                *o += (f64::from(pscale) * f64::from(meta.scale) * int_result as f64) as f32;
-            }
+            attend_window(&w.meta, &w.codes, g, &pcodes, pscale, chan_lo, out);
         }
-        if self.window.is_empty() {
-            return;
-        }
-        let Some((pcodes, pscale)) = quantize_probs_int8(&probs[t0..]) else {
-            return;
-        };
         // Staged rows: INT8 × INT8 per channel, scaled by the channel's
         // staging scale.
-        let mut col8 = Vec::with_capacity(self.window.len());
-        for (o, c) in out.iter_mut().zip(chan_lo..) {
-            col8.clear();
-            col8.extend(self.window.iter().map(|row| row[c]));
-            let s8 = self.channel_scales[c].max(f32::MIN_POSITIVE);
-            let int_result = int8_dot(&pcodes, &col8);
-            *o += (f64::from(pscale) * f64::from(s8) * int_result as f64) as f32;
-        }
+        self.staging.attend_staged(&probs[t0..], chan_lo, out);
     }
 
     /// Dequantizes the full cache (committed 4-bit windows + INT8 staging
     /// rows) to a `seq × dim` matrix.
     pub fn dequantize(&self) -> Matrix {
+        let dim = self.staging.dim;
+        let g = self.staging.group_size;
         let mut out = Matrix::zeros(0, 0);
         for w in &self.committed {
-            for t in 0..self.group_size {
-                let row: Vec<f32> = (0..self.dim)
+            for t in 0..g {
+                let row: Vec<f32> = (0..dim)
                     .map(|c| {
                         let m = w.meta[c];
-                        m.dtype.decode(w.codes[c * self.group_size + t]) * m.scale
+                        m.dtype.decode(w.codes[c * g + t]) * m.scale
                     })
                     .collect();
                 out.push_row(&row);
             }
         }
-        for row8 in &self.window {
+        for row8 in &self.staging.window {
             let row: Vec<f32> = row8
                 .iter()
                 .enumerate()
-                .map(|(c, &q)| f32::from(q) * self.channel_scales[c].max(f32::MIN_POSITIVE))
+                .map(|(c, &q)| f32::from(q) * self.staging.channel_scales[c].max(f32::MIN_POSITIVE))
                 .collect();
             out.push_row(&row);
         }
         if out.rows() == 0 {
-            Matrix::zeros(0, self.dim)
+            Matrix::zeros(0, dim)
         } else {
             out
         }
@@ -437,8 +648,9 @@ impl VCacheQuantizer {
     /// Storage bits: committed windows at 4 bits + 24-bit group metadata;
     /// staged rows at 8 bits (the "marginal and tolerable" INT8 overhead).
     pub fn storage_bits(&self) -> usize {
-        let committed = self.committed.len() * (self.group_size * self.dim * 4 + self.dim * 24);
-        let staged = self.window.len() * self.dim * 8;
+        let dim = self.staging.dim;
+        let committed = self.committed.len() * (self.staging.group_size * dim * 4 + dim * 24);
+        let staged = self.staging.window.len() * dim * 8;
         committed + staged
     }
 }
@@ -568,7 +780,7 @@ fn validate_attention_shapes(
 /// Quantizes one window's attention probabilities to symmetric INT8 with a
 /// single FP16-rounded scale; `None` when every probability is zero (the
 /// whole window then contributes nothing).
-fn quantize_probs_int8(probs: &[f32]) -> Option<(Vec<i8>, f32)> {
+pub(crate) fn quantize_probs_int8(probs: &[f32]) -> Option<(Vec<i8>, f32)> {
     let amax = abs_max(probs);
     if amax == 0.0 {
         return None;
@@ -862,6 +1074,126 @@ mod tests {
                 dist / norm
             );
         }
+    }
+
+    #[test]
+    fn reset_caches_reproduce_fresh_caches_bit_exactly() {
+        // Recycling a finished session's cache via reset() must leave no
+        // trace: the next sequence's codes, metadata, and fused results
+        // must equal a freshly constructed cache's bit for bit.
+        let mut gen = TensorGenerator::new(81);
+        let (dim, g) = (64, 16);
+        let first = gen.group_diverse_matrix(21, dim, g, 0.5);
+        let second = gen.group_diverse_matrix(13, dim, g, 0.7);
+        let q_vec: Vec<f32> = (0..dim).map(|_| gen.standard_normal()).collect();
+        let qv = quantize_vector_int8(&q_vec, g).unwrap();
+        let probs: Vec<f32> = (0..13).map(|i| 1.0 / (i as f32 + 2.0)).collect();
+
+        let mut kq = KCacheQuantizer::new(dim, g, vmap()).unwrap();
+        kq.prefill(&first);
+        kq.reset();
+        assert!(kq.is_empty());
+        let mut vq = VCacheQuantizer::new(dim, g, vmap()).unwrap();
+        vq.prefill(&first);
+        vq.reset();
+        assert!(vq.is_empty());
+        assert_eq!(vq.committed_windows(), 0);
+
+        let mut kq_fresh = KCacheQuantizer::new(dim, g, vmap()).unwrap();
+        let mut vq_fresh = VCacheQuantizer::new(dim, g, vmap()).unwrap();
+        for r in 0..second.rows() {
+            kq.push(second.row(r));
+            kq_fresh.push(second.row(r));
+            vq.push(second.row(r));
+            vq_fresh.push(second.row(r));
+        }
+        assert_eq!(kq.dequantize().as_slice(), kq_fresh.dequantize().as_slice());
+        for t in 0..13 {
+            assert_eq!(
+                kq.fused_dot(t, &qv, 0, 0, dim / g).to_bits(),
+                kq_fresh.fused_dot(t, &qv, 0, 0, dim / g).to_bits()
+            );
+        }
+        assert_eq!(vq.dequantize().as_slice(), vq_fresh.dequantize().as_slice());
+        let (mut a, mut b) = (vec![0.0f32; dim], vec![0.0f32; dim]);
+        vq.attend(&probs, 0, &mut a);
+        vq_fresh.attend(&probs, 0, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(vq.storage_bits(), vq_fresh.storage_bits());
+    }
+
+    #[test]
+    fn k_truncate_matches_fresh_prefix() {
+        let mut gen = TensorGenerator::new(82);
+        let k = gen.group_diverse_matrix(17, 64, 16, 0.5);
+        let mut full = KCacheQuantizer::new(64, 16, vmap()).unwrap();
+        full.prefill(&k);
+        full.truncate(9);
+        assert_eq!(full.len(), 9);
+        let mut prefix = KCacheQuantizer::new(64, 16, vmap()).unwrap();
+        prefix.prefill(&k.top_rows(9));
+        assert_eq!(full.dequantize().as_slice(), prefix.dequantize().as_slice());
+        // Continuing after the rollback behaves like a fresh cache too.
+        full.push(k.row(16));
+        prefix.push(k.row(16));
+        assert_eq!(full.dequantize().as_slice(), prefix.dequantize().as_slice());
+        full.truncate(0);
+        assert!(full.is_empty());
+    }
+
+    #[test]
+    fn v_truncate_in_staging_and_at_window_boundaries() {
+        let mut gen = TensorGenerator::new(83);
+        let (dim, g) = (32, 8);
+        let v = gen.group_diverse_matrix(21, dim, dim, 0.5);
+        let mut vq = VCacheQuantizer::new(dim, g, vmap()).unwrap();
+        vq.prefill(&v); // 2 committed windows + 5 staged rows
+        assert_eq!((vq.committed_windows(), vq.window_len()), (2, 5));
+
+        // Cut inside the staging window: staged suffix dropped, committed
+        // windows untouched, and continuing re-commits identically to a
+        // cache that never saw the dropped rows.
+        let mut twin = VCacheQuantizer::new(dim, g, vmap()).unwrap();
+        twin.prefill(&v);
+        vq.truncate(18);
+        assert_eq!((vq.committed_windows(), vq.window_len()), (2, 2));
+        let deq_full = twin.dequantize();
+        let deq_cut = vq.dequantize();
+        assert_eq!(&deq_full.as_slice()[..18 * dim], deq_cut.as_slice());
+        // Refill the dropped rows: the rebuilt RQU stats must commit the
+        // third window exactly as the uncut cache did.
+        for r in 18..21 {
+            vq.push(v.row(r));
+        }
+        for _ in 21..24 {
+            let row: Vec<f32> = (0..dim).map(|_| gen.uniform(-1.0, 1.0)).collect();
+            vq.push(&row);
+            twin.push(&row);
+        }
+        assert_eq!(vq.committed_windows(), 3);
+        assert_eq!(vq.dequantize().as_slice(), twin.dequantize().as_slice());
+
+        // Window-boundary cut in the committed region.
+        vq.truncate(8);
+        assert_eq!((vq.committed_windows(), vq.window_len()), (1, 0));
+        assert_eq!(vq.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside a committed V window")]
+    fn v_truncate_inside_committed_window_rejected() {
+        let mut gen = TensorGenerator::new(84);
+        let mut vq = VCacheQuantizer::new(16, 8, vmap()).unwrap();
+        vq.prefill(&gen.group_diverse_matrix(16, 16, 16, 0.5));
+        vq.truncate(3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cached rows")]
+    fn truncate_beyond_len_rejected() {
+        let mut kq = KCacheQuantizer::new(16, 16, vmap()).unwrap();
+        kq.push(&[0.5; 16]);
+        kq.truncate(2);
     }
 
     #[test]

@@ -22,13 +22,20 @@
 //!   quantization engines (paper Sec. V-C, Fig. 8), with incremental
 //!   group-wise access — [`KCacheQuantizer::fused_dot`] for `Q·Kᵀ` and
 //!   [`VCacheQuantizer::attend`] for `P·V` — so decode-step attention
-//!   never dequantizes the full cache.
+//!   never dequantizes the full cache;
+//! - [`pool`]: the paged, packed KV-cache pool for continuous-batching
+//!   serving — a block allocator owning MANT4/INT8 group storage that
+//!   hands fixed-size blocks to per-sequence [`PagedKvCache`] views,
+//!   bit-identical to the owned quantizers; [`mant_gemv_batch`] is the
+//!   matching multi-query GEMM (one weight-group decode pass amortized
+//!   across the whole batch).
 
 pub mod activation;
 pub mod error;
 pub mod fused;
 pub mod kv;
 pub mod mantq;
+pub mod pool;
 pub mod quantizer;
 pub mod scheme;
 pub mod search;
@@ -39,9 +46,12 @@ pub use activation::{
     quantize_activations_int8, quantize_vector_int8, ActivationTensor, QuantizedVector,
 };
 pub use error::QuantError;
-pub use fused::{dequant_then_gemm, dequant_then_gemv, group_dot, mant_gemm, mant_gemv};
+pub use fused::{
+    dequant_then_gemm, dequant_then_gemv, group_dot, mant_gemm, mant_gemv, mant_gemv_batch,
+};
 pub use kv::{KCacheQuantizer, VCacheQuantizer};
 pub use mantq::{GroupDtype, MantQuantizedMatrix, MantWeightQuantizer};
+pub use pool::{attention_incremental_paged, KvCachePool, PagedKvCache, PoolConfig};
 pub use quantizer::{FakeQuantizer, Fp16Quantizer, GridQuantizer};
 pub use scheme::Granularity;
 pub use search::{

@@ -130,6 +130,16 @@ pub struct GroupMeta {
     pub scale: f32,
 }
 
+impl GroupMeta {
+    /// Arena/placeholder initializer (INT4 at scale 0) — always
+    /// overwritten before any read; exists so fixed-size metadata storage
+    /// can be pre-allocated.
+    pub const ZERO: GroupMeta = GroupMeta {
+        dtype: GroupDtype::Int4,
+        scale: 0.0,
+    };
+}
+
 /// A weight matrix quantized group-wise with MANT.
 ///
 /// Layout: `rows` output channels, each row's `cols` elements along the

@@ -1,0 +1,697 @@
+//! Paged, packed KV-cache pool — the serving runtime's cache memory.
+//!
+//! A serving engine admits and retires sequences continuously; per-request
+//! `Vec` growth would fragment memory and make admission control
+//! guesswork. This module owns all quantized KV storage in one arena,
+//! split into fixed-size **blocks** of `block_tokens` token slots, and
+//! hands blocks to per-sequence [`PagedKvCache`] views on demand (the
+//! vLLM paged-attention idea, applied to *packed* MANT4/INT8 group storage
+//! so capacity is accounted in real packed bits, not f32 equivalents).
+//!
+//! One block holds both engines' storage for its token range:
+//!
+//! - **K** (spatial, Sec. V-C): per token slot, `kv_dim` 4-bit codes plus
+//!   one [`GroupMeta`] per `group_size` channels — written the moment the
+//!   key arrives, exactly like [`KCacheQuantizer`].
+//! - **V** (temporal, Fig. 8): per window of `group_size` token slots,
+//!   `kv_dim × group_size` channel-major codes plus per-channel metadata —
+//!   written when the per-sequence INT8 process window (which lives in the
+//!   [`PagedKvCache`] view, not the arena) commits.
+//!
+//! `block_tokens` is a multiple of `group_size`, so a V window never
+//! straddles blocks. Both views share the owned quantizers' encode/commit/
+//! attend helpers (`encode_k_row_into`, [`crate::kv`]'s `VStaging`,
+//! `attend_window`), so pooled caches are **bit-identical** to
+//! [`KCacheQuantizer`]/[`VCacheQuantizer`] fed the same vectors — the
+//! property the batch-vs-sequential equivalence suite pins down.
+
+use mant_tensor::Matrix;
+
+use crate::activation::{quantize_vector_int8, QuantizedVector};
+use crate::error::QuantError;
+use crate::fused::group_dot;
+use crate::kv::{attend_window, encode_k_row_into, quantize_probs_int8, VStaging};
+#[allow(unused_imports)] // doc links
+use crate::kv::{KCacheQuantizer, VCacheQuantizer};
+use crate::mantq::GroupMeta;
+use crate::variance::VarianceMap;
+
+use mant_tensor::ops::softmax_inplace;
+
+/// Shape of a [`KvCachePool`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Width of the cached K/V vectors (`kv_heads × head_dim`).
+    pub kv_dim: usize,
+    /// Quantization group size (spatial for K, temporal for V).
+    pub group_size: usize,
+    /// Token slots per block; must be a multiple of `group_size`.
+    pub block_tokens: usize,
+    /// Total blocks in the pool.
+    pub blocks: usize,
+}
+
+/// The block allocator owning all packed KV-cache storage.
+#[derive(Clone, Debug)]
+pub struct KvCachePool {
+    cfg: PoolConfig,
+    /// K codes, `blocks × block_tokens × kv_dim` nibbles.
+    k_codes: Vec<u8>,
+    /// K metadata, `blocks × block_tokens × (kv_dim / group_size)`.
+    k_meta: Vec<GroupMeta>,
+    /// Committed V codes, `blocks × block_tokens × kv_dim` nibbles
+    /// (channel-major within each `group_size`-token window).
+    v_codes: Vec<u8>,
+    /// Committed V metadata, `blocks × windows_per_block × kv_dim`.
+    v_meta: Vec<GroupMeta>,
+    /// Free block ids (LIFO: released blocks are reused first, keeping the
+    /// hot working set compact).
+    free: Vec<u32>,
+}
+
+impl KvCachePool {
+    /// Builds a pool with every block free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::BadGroupSize`] if `group_size` does not
+    /// divide `kv_dim` or `block_tokens` or if `block_tokens` is zero,
+    /// and [`QuantError::ShapeMismatch`] if `blocks` is zero.
+    pub fn new(cfg: PoolConfig) -> Result<Self, QuantError> {
+        if cfg.group_size == 0
+            || !cfg.kv_dim.is_multiple_of(cfg.group_size)
+            || cfg.block_tokens == 0
+            || !cfg.block_tokens.is_multiple_of(cfg.group_size)
+        {
+            return Err(QuantError::BadGroupSize {
+                group_size: cfg.group_size,
+                inner_dim: cfg.kv_dim.min(cfg.block_tokens),
+            });
+        }
+        if cfg.blocks == 0 {
+            return Err(QuantError::ShapeMismatch {
+                context: "pool must hold at least one block",
+            });
+        }
+        let slots = cfg.blocks * cfg.block_tokens;
+        Ok(KvCachePool {
+            cfg,
+            k_codes: vec![0u8; slots * cfg.kv_dim],
+            k_meta: vec![GroupMeta::ZERO; slots * (cfg.kv_dim / cfg.group_size)],
+            v_codes: vec![0u8; slots * cfg.kv_dim],
+            v_meta: vec![GroupMeta::ZERO; (slots / cfg.group_size) * cfg.kv_dim],
+            free: (0..cfg.blocks as u32).rev().collect(),
+        })
+    }
+
+    /// The pool's shape.
+    pub fn config(&self) -> PoolConfig {
+        self.cfg
+    }
+
+    /// Token slots per block.
+    pub fn block_tokens(&self) -> usize {
+        self.cfg.block_tokens
+    }
+
+    /// Total blocks.
+    pub fn total_blocks(&self) -> usize {
+        self.cfg.blocks
+    }
+
+    /// Blocks currently free.
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Blocks currently handed out to sequences.
+    pub fn used_blocks(&self) -> usize {
+        self.cfg.blocks - self.free.len()
+    }
+
+    /// Blocks needed to hold `tokens` cached tokens of one sequence in one
+    /// layer.
+    pub fn blocks_for_tokens(&self, tokens: usize) -> usize {
+        tokens.div_ceil(self.cfg.block_tokens)
+    }
+
+    /// Packed bits per block: K at 4 bits + 24-bit group metadata per
+    /// spatial group, V at 4 bits + 24-bit metadata per (window, channel).
+    pub fn block_bits(&self) -> usize {
+        let gpr = self.cfg.kv_dim / self.cfg.group_size;
+        let wpb = self.cfg.block_tokens / self.cfg.group_size;
+        let k = self.cfg.block_tokens * self.cfg.kv_dim * 4 + self.cfg.block_tokens * gpr * 24;
+        let v = self.cfg.block_tokens * self.cfg.kv_dim * 4 + wpb * self.cfg.kv_dim * 24;
+        k + v
+    }
+
+    /// Total packed capacity in bits.
+    pub fn capacity_bits(&self) -> usize {
+        self.cfg.blocks * self.block_bits()
+    }
+
+    /// Packed bits of every handed-out block (reserved capacity, the
+    /// admission-control quantity; a block is charged whole even while
+    /// partially filled).
+    pub fn used_bits(&self) -> usize {
+        self.used_blocks() * self.block_bits()
+    }
+
+    fn alloc(&mut self) -> Option<u32> {
+        self.free.pop()
+    }
+
+    fn free_block(&mut self, id: u32) {
+        debug_assert!((id as usize) < self.cfg.blocks, "foreign block id");
+        debug_assert!(!self.free.contains(&id), "double free of block {id}");
+        self.free.push(id);
+    }
+
+    fn k_row(&self, block: u32, slot: usize) -> (&[u8], &[GroupMeta]) {
+        let gpr = self.cfg.kv_dim / self.cfg.group_size;
+        let c0 = (block as usize * self.cfg.block_tokens + slot) * self.cfg.kv_dim;
+        let m0 = (block as usize * self.cfg.block_tokens + slot) * gpr;
+        (
+            &self.k_codes[c0..c0 + self.cfg.kv_dim],
+            &self.k_meta[m0..m0 + gpr],
+        )
+    }
+
+    fn k_row_mut(&mut self, block: u32, slot: usize) -> (&mut [u8], &mut [GroupMeta]) {
+        let gpr = self.cfg.kv_dim / self.cfg.group_size;
+        let c0 = (block as usize * self.cfg.block_tokens + slot) * self.cfg.kv_dim;
+        let m0 = (block as usize * self.cfg.block_tokens + slot) * gpr;
+        (
+            &mut self.k_codes[c0..c0 + self.cfg.kv_dim],
+            &mut self.k_meta[m0..m0 + gpr],
+        )
+    }
+
+    fn v_window(&self, block: u32, win_in_block: usize) -> (&[GroupMeta], &[u8]) {
+        let window_elems = self.cfg.group_size * self.cfg.kv_dim;
+        let wpb = self.cfg.block_tokens / self.cfg.group_size;
+        let c0 = (block as usize * wpb + win_in_block) * window_elems;
+        let m0 = (block as usize * wpb + win_in_block) * self.cfg.kv_dim;
+        (
+            &self.v_meta[m0..m0 + self.cfg.kv_dim],
+            &self.v_codes[c0..c0 + window_elems],
+        )
+    }
+
+    fn v_window_mut(&mut self, block: u32, win_in_block: usize) -> (&mut [GroupMeta], &mut [u8]) {
+        let window_elems = self.cfg.group_size * self.cfg.kv_dim;
+        let wpb = self.cfg.block_tokens / self.cfg.group_size;
+        let c0 = (block as usize * wpb + win_in_block) * window_elems;
+        let m0 = (block as usize * wpb + win_in_block) * self.cfg.kv_dim;
+        (
+            &mut self.v_meta[m0..m0 + self.cfg.kv_dim],
+            &mut self.v_codes[c0..c0 + window_elems],
+        )
+    }
+}
+
+/// One sequence's K+V cache for one layer: an ordered list of pool blocks
+/// plus the per-sequence V staging window. The paged twin of a
+/// `(KCacheQuantizer, VCacheQuantizer)` pair — same arithmetic, pooled
+/// storage, so sequences join and leave the batch without reallocation.
+#[derive(Clone, Debug)]
+pub struct PagedKvCache {
+    blocks: Vec<u32>,
+    rows: usize,
+    committed_windows: usize,
+    kmap: VarianceMap,
+    staging: VStaging,
+}
+
+impl PagedKvCache {
+    /// Creates an empty view over `pool`'s geometry with the given K and V
+    /// variance→type maps. No block is reserved until the first push.
+    pub fn new(pool: &KvCachePool, kmap: VarianceMap, vmap: VarianceMap) -> Self {
+        PagedKvCache {
+            blocks: Vec::new(),
+            rows: 0,
+            committed_windows: 0,
+            kmap,
+            staging: VStaging::new(pool.cfg.kv_dim, pool.cfg.group_size, vmap),
+        }
+    }
+
+    /// Number of cached tokens.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the cache holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// The cached vector width.
+    pub fn dim(&self) -> usize {
+        self.staging.dim
+    }
+
+    /// The group size (spatial for K, temporal for V).
+    pub fn group_size(&self) -> usize {
+        self.staging.group_size
+    }
+
+    /// Rows currently staged in the per-sequence INT8 process window.
+    pub fn window_len(&self) -> usize {
+        self.staging.window.len()
+    }
+
+    /// Committed 4-bit V windows.
+    pub fn committed_windows(&self) -> usize {
+        self.committed_windows
+    }
+
+    /// Blocks this sequence currently holds.
+    pub fn reserved_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Quantizes and appends one decode step's key and value vectors,
+    /// reserving a fresh block from `pool` when the current one fills.
+    /// Identical arithmetic to [`KCacheQuantizer::push`] +
+    /// [`VCacheQuantizer::push`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuantError::PoolExhausted`] if a new block is needed and
+    /// none is free (the cache is left unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` or `v` length differs from the cache width.
+    pub fn push(&mut self, pool: &mut KvCachePool, k: &[f32], v: &[f32]) -> Result<(), QuantError> {
+        assert_eq!(k.len(), self.staging.dim, "key vector length mismatch");
+        assert_eq!(v.len(), self.staging.dim, "value vector length mismatch");
+        let bt = pool.cfg.block_tokens;
+        if self.rows == self.blocks.len() * bt {
+            let block = pool.alloc().ok_or(QuantError::PoolExhausted {
+                blocks: pool.cfg.blocks,
+            })?;
+            self.blocks.push(block);
+        }
+        let (codes, meta) = pool.k_row_mut(self.blocks[self.rows / bt], self.rows % bt);
+        encode_k_row_into(&self.kmap, self.staging.group_size, k, codes, meta);
+        if let Some(window) = self.staging.push(v) {
+            let g = self.staging.group_size;
+            let win_token = self.committed_windows * g;
+            let (vmeta, vcodes) =
+                pool.v_window_mut(self.blocks[win_token / bt], (win_token % bt) / g);
+            vmeta.copy_from_slice(&window.meta);
+            vcodes.copy_from_slice(&window.codes);
+            self.committed_windows += 1;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// The fused `q · k_t` partial dot over `n_groups` consecutive groups,
+    /// consuming the pooled packed key codes directly — bit-identical to
+    /// [`KCacheQuantizer::fused_dot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the query's group size differs from the cache's, or if
+    /// any index is out of bounds.
+    pub fn fused_dot(
+        &self,
+        pool: &KvCachePool,
+        t: usize,
+        q: &QuantizedVector,
+        q_lo: usize,
+        k_lo: usize,
+        n_groups: usize,
+    ) -> f32 {
+        let g = self.staging.group_size;
+        assert_eq!(q.group_size(), g, "query group size mismatch");
+        assert!(t < self.rows, "token index {t} out of bounds");
+        let bt = pool.cfg.block_tokens;
+        let (codes, meta) = pool.k_row(self.blocks[t / bt], t % bt);
+        let mut acc = 0.0f64;
+        for j in 0..n_groups {
+            let m = meta[k_lo + j];
+            let group = &codes[(k_lo + j) * g..(k_lo + j + 1) * g];
+            let int_result = group_dot(m, q.group_codes(q_lo + j), group);
+            acc += f64::from(q.scale(q_lo + j)) * f64::from(m.scale) * int_result as f64;
+        }
+        acc as f32
+    }
+
+    /// Incremental `P·V` over pooled committed windows plus the
+    /// per-sequence INT8 staging window — bit-identical to
+    /// [`VCacheQuantizer::attend`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probs.len() != self.len()` or the channel range exceeds
+    /// the cache width.
+    pub fn attend(&self, pool: &KvCachePool, probs: &[f32], chan_lo: usize, out: &mut [f32]) {
+        assert_eq!(probs.len(), self.rows, "probability length mismatch");
+        assert!(
+            chan_lo + out.len() <= self.staging.dim,
+            "channel range out of bounds"
+        );
+        let g = self.staging.group_size;
+        let bt = pool.cfg.block_tokens;
+        let mut t0 = 0usize;
+        for w in 0..self.committed_windows {
+            let window_probs = &probs[t0..t0 + g];
+            t0 += g;
+            let Some((pcodes, pscale)) = quantize_probs_int8(window_probs) else {
+                continue;
+            };
+            let win_token = w * g;
+            let (meta, codes) = pool.v_window(self.blocks[win_token / bt], (win_token % bt) / g);
+            attend_window(meta, codes, g, &pcodes, pscale, chan_lo, out);
+        }
+        self.staging.attend_staged(&probs[t0..], chan_lo, out);
+    }
+
+    /// Returns every block to the pool and clears the per-sequence state;
+    /// afterwards the view behaves exactly like a freshly created one.
+    pub fn release(&mut self, pool: &mut KvCachePool) {
+        for b in self.blocks.drain(..) {
+            pool.free_block(b);
+        }
+        self.rows = 0;
+        self.committed_windows = 0;
+        self.staging.reset();
+    }
+
+    /// Packed bits actually filled by this sequence (tokens, not whole
+    /// blocks): the quantity serving metrics report as live cache memory.
+    pub fn used_bits(&self) -> usize {
+        let dim = self.staging.dim;
+        let gpr = dim / self.staging.group_size;
+        let k = self.rows * (dim * 4 + gpr * 24);
+        let v_committed = self.committed_windows * (self.staging.group_size * dim * 4 + dim * 24);
+        let v_staged = self.staging.window.len() * dim * 8;
+        k + v_committed + v_staged
+    }
+
+    /// Dequantizes the K side to a `seq × dim` matrix (tests/reference).
+    pub fn dequantize_k(&self, pool: &KvCachePool) -> Matrix {
+        let dim = self.staging.dim;
+        let g = self.staging.group_size;
+        let bt = pool.cfg.block_tokens;
+        Matrix::from_fn(self.rows, dim, |t, c| {
+            let (codes, meta) = pool.k_row(self.blocks[t / bt], t % bt);
+            let m = meta[c / g];
+            m.dtype.decode(codes[c]) * m.scale
+        })
+    }
+
+    /// Dequantizes the V side (committed windows + staging rows) to a
+    /// `seq × dim` matrix (tests/reference).
+    pub fn dequantize_v(&self, pool: &KvCachePool) -> Matrix {
+        let dim = self.staging.dim;
+        let g = self.staging.group_size;
+        let bt = pool.cfg.block_tokens;
+        Matrix::from_fn(self.rows, dim, |t, c| {
+            if t < self.committed_windows * g {
+                let win_token = (t / g) * g;
+                let (meta, codes) =
+                    pool.v_window(self.blocks[win_token / bt], (win_token % bt) / g);
+                let m = meta[c];
+                m.dtype.decode(codes[c * g + t % g]) * m.scale
+            } else {
+                let row = &self.staging.window[t - self.committed_windows * g];
+                f32::from(row[c]) * self.staging.channel_scales[c].max(f32::MIN_POSITIVE)
+            }
+        })
+    }
+}
+
+/// Multi-head attention of one query vector against a pooled cache on the
+/// incremental path — the paged twin of
+/// [`crate::kv::attention_incremental`], bit-identical to it on equal
+/// cache contents. GQA as there: with `kv_heads < heads`, query heads
+/// share K/V heads.
+///
+/// # Panics
+///
+/// Panics if `q.len() != heads · head_dim`, if `kv_heads` is zero or does
+/// not divide `heads`, if the cache width is not `kv_heads · head_dim`,
+/// or if the group size does not divide `head_dim`.
+pub fn attention_incremental_paged(
+    q: &[f32],
+    cache: &PagedKvCache,
+    pool: &KvCachePool,
+    heads: usize,
+    kv_heads: usize,
+    head_dim: usize,
+) -> Vec<f32> {
+    assert_eq!(q.len(), heads * head_dim, "query length mismatch");
+    assert!(
+        kv_heads > 0 && heads.is_multiple_of(kv_heads),
+        "kv_heads ({kv_heads}) must divide heads ({heads})"
+    );
+    assert_eq!(
+        cache.dim(),
+        kv_heads * head_dim,
+        "paged cache width mismatch"
+    );
+    let g = cache.group_size();
+    assert!(
+        head_dim.is_multiple_of(g),
+        "fused attention needs the group size ({g}) to divide the head dimension ({head_dim})"
+    );
+    let seq = cache.len();
+    let queries_per_kv = heads / kv_heads;
+    let groups_per_head = head_dim / g;
+    let qv = quantize_vector_int8(q, g).expect("group divides head dim, hence q length");
+    let scale = 1.0 / (head_dim as f32).sqrt();
+    let mut out = vec![0.0f32; heads * head_dim];
+    for h in 0..heads {
+        let lo = h * head_dim;
+        let kv_head = h / queries_per_kv;
+        let q_lo_group = lo / g;
+        let k_lo_group = kv_head * head_dim / g;
+        let mut scores: Vec<f32> = (0..seq)
+            .map(|t| cache.fused_dot(pool, t, &qv, q_lo_group, k_lo_group, groups_per_head) * scale)
+            .collect();
+        softmax_inplace(&mut scores);
+        cache.attend(
+            pool,
+            &scores,
+            kv_head * head_dim,
+            &mut out[lo..lo + head_dim],
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::{attention_incremental, KCacheQuantizer, VCacheQuantizer};
+    use crate::search::CandidateSet;
+    use mant_tensor::TensorGenerator;
+
+    fn vmap() -> VarianceMap {
+        VarianceMap::analytic(&CandidateSet::paper()).unwrap()
+    }
+
+    fn pool(blocks: usize, block_tokens: usize) -> KvCachePool {
+        KvCachePool::new(PoolConfig {
+            kv_dim: 64,
+            group_size: 16,
+            block_tokens,
+            blocks,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn config_validation() {
+        for bad in [
+            PoolConfig {
+                kv_dim: 60,
+                group_size: 16,
+                block_tokens: 32,
+                blocks: 2,
+            },
+            PoolConfig {
+                kv_dim: 64,
+                group_size: 16,
+                block_tokens: 24,
+                blocks: 2,
+            },
+            PoolConfig {
+                kv_dim: 64,
+                group_size: 0,
+                block_tokens: 32,
+                blocks: 2,
+            },
+            PoolConfig {
+                kv_dim: 64,
+                group_size: 16,
+                block_tokens: 0,
+                blocks: 2,
+            },
+            PoolConfig {
+                kv_dim: 64,
+                group_size: 16,
+                block_tokens: 32,
+                blocks: 0,
+            },
+        ] {
+            assert!(KvCachePool::new(bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn pooled_cache_bit_identical_to_owned_quantizers() {
+        // The whole point of the pool: a sequence served out of paged
+        // blocks computes exactly what a sequence with its own quantizers
+        // computes. 37 tokens across 32-token blocks exercises a block
+        // boundary and a partially staged window.
+        let mut gen = TensorGenerator::new(90);
+        let mut pool = pool(4, 32);
+        let mut paged = PagedKvCache::new(&pool, vmap(), vmap());
+        let mut kq = KCacheQuantizer::new(64, 16, vmap()).unwrap();
+        let mut vq = VCacheQuantizer::new(64, 16, vmap()).unwrap();
+        let data = gen.group_diverse_matrix(37, 64, 16, 0.5);
+        for t in 0..37 {
+            paged.push(&mut pool, data.row(t), data.row(t)).unwrap();
+            kq.push(data.row(t));
+            vq.push(data.row(t));
+        }
+        assert_eq!(paged.len(), 37);
+        assert_eq!(paged.reserved_blocks(), 2);
+        assert_eq!(paged.committed_windows(), vq.committed_windows());
+        assert_eq!(paged.window_len(), vq.window_len());
+        assert_eq!(
+            paged.dequantize_k(&pool).as_slice(),
+            kq.dequantize().as_slice()
+        );
+        assert_eq!(
+            paged.dequantize_v(&pool).as_slice(),
+            vq.dequantize().as_slice()
+        );
+
+        let q_vec: Vec<f32> = (0..64).map(|_| gen.standard_normal()).collect();
+        let qv = quantize_vector_int8(&q_vec, 16).unwrap();
+        for t in 0..37 {
+            assert_eq!(
+                paged.fused_dot(&pool, t, &qv, 0, 0, 4).to_bits(),
+                kq.fused_dot(t, &qv, 0, 0, 4).to_bits(),
+                "t={t}"
+            );
+        }
+        let probs: Vec<f32> = (0..37).map(|i| 1.0 / (1.0 + i as f32)).collect();
+        let (mut a, mut b) = (vec![0.0f32; 64], vec![0.0f32; 64]);
+        paged.attend(&pool, &probs, 0, &mut a);
+        vq.attend(&probs, 0, &mut b);
+        assert_eq!(a, b);
+
+        // Whole-attention parity, GQA included.
+        let q_full: Vec<f32> = (0..128).map(|_| gen.standard_normal()).collect();
+        let fused_owned = attention_incremental(&q_full, &kq, &vq, 4, 2, 32);
+        let fused_paged = attention_incremental_paged(&q_full, &paged, &pool, 4, 2, 32);
+        assert_eq!(fused_owned, fused_paged);
+    }
+
+    #[test]
+    fn interleaved_sequences_stay_independent() {
+        // Two sequences pushing turn-by-turn claim interleaved blocks;
+        // each must still equal a standalone cache fed only its own rows.
+        let mut gen = TensorGenerator::new(91);
+        let mut pool = pool(6, 16);
+        let a_data = gen.group_diverse_matrix(20, 64, 16, 0.5);
+        let b_data = gen.group_diverse_matrix(20, 64, 16, 0.8);
+        let mut a = PagedKvCache::new(&pool, vmap(), vmap());
+        let mut b = PagedKvCache::new(&pool, vmap(), vmap());
+        for t in 0..20 {
+            a.push(&mut pool, a_data.row(t), a_data.row(t)).unwrap();
+            b.push(&mut pool, b_data.row(t), b_data.row(t)).unwrap();
+        }
+        assert_eq!(pool.used_blocks(), 4);
+        for (view, data) in [(&a, &a_data), (&b, &b_data)] {
+            let mut kq = KCacheQuantizer::new(64, 16, vmap()).unwrap();
+            let mut vq = VCacheQuantizer::new(64, 16, vmap()).unwrap();
+            kq.prefill(data);
+            for t in 0..20 {
+                vq.push(data.row(t));
+            }
+            assert_eq!(
+                view.dequantize_k(&pool).as_slice(),
+                kq.dequantize().as_slice()
+            );
+            assert_eq!(
+                view.dequantize_v(&pool).as_slice(),
+                vq.dequantize().as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn release_recycles_blocks_bit_exactly() {
+        let mut gen = TensorGenerator::new(92);
+        let mut pool = pool(2, 32);
+        let first = gen.group_diverse_matrix(30, 64, 16, 0.5);
+        let second = gen.group_diverse_matrix(18, 64, 16, 0.7);
+        let mut view = PagedKvCache::new(&pool, vmap(), vmap());
+        for t in 0..30 {
+            view.push(&mut pool, first.row(t), first.row(t)).unwrap();
+        }
+        assert_eq!(pool.free_blocks(), 1);
+        view.release(&mut pool);
+        assert_eq!(pool.free_blocks(), 2);
+        assert!(view.is_empty());
+        // The recycled view over dirty blocks equals a fresh standalone
+        // cache on the next sequence.
+        for t in 0..18 {
+            view.push(&mut pool, second.row(t), second.row(t)).unwrap();
+        }
+        let mut kq = KCacheQuantizer::new(64, 16, vmap()).unwrap();
+        kq.prefill(&second.top_rows(18));
+        assert_eq!(
+            view.dequantize_k(&pool).as_slice(),
+            kq.dequantize().as_slice()
+        );
+    }
+
+    #[test]
+    fn exhaustion_is_reported_and_harmless() {
+        let mut gen = TensorGenerator::new(93);
+        let mut pool = pool(1, 16);
+        let data = gen.group_diverse_matrix(17, 64, 16, 0.5);
+        let mut view = PagedKvCache::new(&pool, vmap(), vmap());
+        for t in 0..16 {
+            view.push(&mut pool, data.row(t), data.row(t)).unwrap();
+        }
+        let err = view.push(&mut pool, data.row(16), data.row(16));
+        assert_eq!(err, Err(QuantError::PoolExhausted { blocks: 1 }));
+        assert_eq!(view.len(), 16, "failed push must not corrupt the view");
+        // Freeing capacity lets the same push succeed.
+        let mut other = PagedKvCache::new(&pool, vmap(), vmap());
+        view.release(&mut pool);
+        other.push(&mut pool, data.row(16), data.row(16)).unwrap();
+        assert_eq!(other.len(), 1);
+    }
+
+    #[test]
+    fn bit_accounting() {
+        let mut pool = pool(3, 32);
+        // Per block: K 32×64×4 + 32×4×24, V 32×64×4 + 2×64×24.
+        let expect = 32 * 64 * 4 + 32 * 4 * 24 + 32 * 64 * 4 + 2 * 64 * 24;
+        assert_eq!(pool.block_bits(), expect);
+        assert_eq!(pool.capacity_bits(), 3 * expect);
+        assert_eq!(pool.used_bits(), 0);
+        let mut view = PagedKvCache::new(&pool, vmap(), vmap());
+        for _ in 0..33 {
+            view.push(&mut pool, &[0.5; 64], &[0.5; 64]).unwrap();
+        }
+        assert_eq!(pool.used_bits(), 2 * expect);
+        assert_eq!(pool.blocks_for_tokens(33), 2);
+        // Live bits: 33 K rows, 2 committed V windows, 1 staged INT8 row.
+        let live = 33 * (64 * 4 + 4 * 24) + 2 * (16 * 64 * 4 + 64 * 24) + 64 * 8;
+        assert_eq!(view.used_bits(), live);
+        assert!(view.used_bits() <= pool.used_bits());
+    }
+}

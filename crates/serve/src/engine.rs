@@ -1,0 +1,330 @@
+//! The continuous-batching serving engine.
+//!
+//! Each [`ServeEngine::tick`] is one batched token iteration:
+//!
+//! 1. **Admit** — FCFS, while the batch has a free lane and the paged KV
+//!    pool can reserve the candidate's whole lifetime
+//!    (`prompt + max_new_tokens`) in blocks. Reservation up front means a
+//!    step can never hit [`mant_quant::QuantError::PoolExhausted`].
+//! 2. **Compose** — every active sequence contributes exactly one token:
+//!    its next prompt token while prefilling, else its last generated
+//!    token (mixed prefill/decode in one batch — token-level continuous
+//!    batching).
+//! 3. **Step** — one [`BatchRunner::step`] over the quantized backend:
+//!    multi-query packed GEMMs for the linear layers, per-sequence paged
+//!    incremental attention.
+//! 4. **Advance** — greedy argmax over each sequence's logits; sequences
+//!    that produced their last token retire, returning their blocks.
+//!
+//! Because the batch runner is bit-identical to sequential execution, the
+//! engine's greedy outputs equal [`sequential_generate`]'s exactly — the
+//! serving layer changes *when* work happens, never *what* is computed.
+
+use std::time::Instant;
+
+use mant_model::{ActMode, BatchRunner, KvMode, PackedWeights, SessionId, TransformerModel};
+
+use crate::metrics::ServeReport;
+use crate::request::{Completion, GenRequest};
+use crate::scheduler::FcfsScheduler;
+
+/// Engine shape: batch lane count, pool geometry, execution modes.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// Maximum sequences per iteration (batch lanes).
+    pub max_batch: usize,
+    /// Paged KV pool capacity in blocks (shared by all layers/sequences).
+    pub pool_blocks: usize,
+    /// Token slots per pool block (multiple of the KV group size).
+    pub block_tokens: usize,
+    /// Activation mode ([`ActMode::None`] or the packed-group INT8 mode).
+    pub act: ActMode,
+    /// KV-cache mode; must be quantized ([`KvMode::Int4`]/[`KvMode::Mant4`]).
+    pub kv: KvMode,
+}
+
+/// One running sequence.
+struct ActiveSeq {
+    sid: SessionId,
+    req: GenRequest,
+    /// Tokens fed so far (prompt + generated feedback).
+    pos: usize,
+    generated: Vec<usize>,
+    first_token_iter: Option<u64>,
+    /// Blocks reserved for the whole lifetime.
+    reserved: usize,
+}
+
+/// The continuous-batching inference engine over one model's packed
+/// weights. See the module docs for the iteration contract.
+pub struct ServeEngine<'m> {
+    runner: BatchRunner<'m>,
+    scheduler: FcfsScheduler,
+    active: Vec<ActiveSeq>,
+    max_batch: usize,
+    iter: u64,
+    reserved_blocks: usize,
+    completions: Vec<Completion>,
+    generated_tokens: usize,
+    prompt_tokens: usize,
+    busy_iterations: u64,
+    occupancy_sum: u64,
+    peak_used_blocks: usize,
+    vocab: usize,
+}
+
+impl<'m> ServeEngine<'m> {
+    /// Builds an engine over `model`'s packed weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the shape/mode mismatches
+    /// [`TransformerModel::batch_runner`] rejects, or if `max_batch` is 0.
+    pub fn new(model: &'m TransformerModel, packed: &'m PackedWeights, cfg: ServeConfig) -> Self {
+        assert!(cfg.max_batch > 0, "max_batch must be at least 1");
+        let runner = model.batch_runner(packed, cfg.act, cfg.kv, cfg.pool_blocks, cfg.block_tokens);
+        ServeEngine {
+            runner,
+            scheduler: FcfsScheduler::new(),
+            active: Vec::new(),
+            max_batch: cfg.max_batch,
+            iter: 0,
+            reserved_blocks: 0,
+            completions: Vec::new(),
+            generated_tokens: 0,
+            prompt_tokens: 0,
+            busy_iterations: 0,
+            occupancy_sum: 0,
+            peak_used_blocks: 0,
+            vocab: model.config.vocab,
+        }
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the prompt is empty or holds out-of-vocabulary tokens, if
+    /// `max_new_tokens` is 0, or if the request could *never* fit the pool
+    /// (its lifetime reservation exceeds total capacity) — admitting it
+    /// would deadlock the FCFS queue.
+    pub fn submit(&mut self, req: GenRequest) {
+        assert!(
+            !req.prompt.is_empty(),
+            "request {} has an empty prompt",
+            req.id
+        );
+        assert!(
+            req.max_new_tokens > 0,
+            "request {} asks for zero tokens",
+            req.id
+        );
+        assert!(
+            req.prompt.iter().all(|&t| t < self.vocab),
+            "request {} holds out-of-vocabulary tokens",
+            req.id
+        );
+        let need = self.runner.blocks_for_request(req.total_tokens());
+        assert!(
+            need <= self.runner.pool().total_blocks(),
+            "request {} needs {need} blocks but the pool holds only {}; enlarge the pool \
+             or shorten the request",
+            req.id,
+            self.runner.pool().total_blocks()
+        );
+        self.scheduler.submit(req);
+    }
+
+    /// Completed iterations (the engine clock).
+    pub fn iterations(&self) -> u64 {
+        self.iter
+    }
+
+    /// Requests not yet finished (waiting + running).
+    pub fn pending(&self) -> usize {
+        self.scheduler.waiting() + self.active.len()
+    }
+
+    /// Sequences currently in the batch.
+    pub fn running(&self) -> usize {
+        self.active.len()
+    }
+
+    /// One engine iteration (admit → compose → step → advance); returns
+    /// the number of tokens generated this iteration. With nothing
+    /// runnable, the clock still advances by one (an idle iteration).
+    pub fn tick(&mut self) -> usize {
+        self.admit();
+        if self.active.is_empty() {
+            self.iter += 1;
+            return 0;
+        }
+        let batch: Vec<(SessionId, usize)> = self
+            .active
+            .iter()
+            .map(|s| {
+                let token = if s.pos < s.req.prompt.len() {
+                    s.req.prompt[s.pos]
+                } else {
+                    *s.generated.last().expect("decode phase has a last token")
+                };
+                (s.sid, token)
+            })
+            .collect();
+        let logits = self.runner.step(&batch);
+        self.iter += 1;
+        self.busy_iterations += 1;
+        self.occupancy_sum += batch.len() as u64;
+        self.peak_used_blocks = self.peak_used_blocks.max(self.runner.pool().used_blocks());
+
+        let mut produced = 0usize;
+        let mut finished: Vec<usize> = Vec::new();
+        for (i, seq_logits) in logits.iter().enumerate() {
+            let s = &mut self.active[i];
+            if s.pos < s.req.prompt.len() {
+                self.prompt_tokens += 1;
+            }
+            s.pos += 1;
+            if s.pos >= s.req.prompt.len() {
+                // The logits after the last prompt token (and after every
+                // generated token) yield the next greedy token.
+                s.generated.push(argmax(seq_logits));
+                s.first_token_iter.get_or_insert(self.iter);
+                produced += 1;
+                self.generated_tokens += 1;
+            }
+            if s.generated.len() == s.req.max_new_tokens {
+                finished.push(i);
+            }
+        }
+        // Retire back-to-front so indices stay valid.
+        for &i in finished.iter().rev() {
+            let s = self.active.remove(i);
+            self.runner.end_session(s.sid);
+            self.reserved_blocks -= s.reserved;
+            self.completions.push(Completion {
+                id: s.req.id,
+                prompt_len: s.req.prompt.len(),
+                tokens: s.generated,
+                arrival_iter: s.req.arrival_iter,
+                first_token_iter: s.first_token_iter.expect("finished implies first token"),
+                finish_iter: self.iter,
+            });
+        }
+        produced
+    }
+
+    /// Drives the engine until every submitted request completes, and
+    /// reports aggregate throughput and latency. Idle gaps before the next
+    /// arrival fast-forward the clock instead of spinning the model.
+    pub fn run_to_completion(&mut self) -> ServeReport {
+        let t0 = Instant::now();
+        while self.pending() > 0 {
+            if self.active.is_empty() {
+                if let Some(next) = self.scheduler.next_arrival() {
+                    self.iter = self.iter.max(next);
+                }
+            }
+            self.tick();
+        }
+        ServeReport {
+            completions: self.completions.clone(),
+            iterations: self.iter,
+            busy_iterations: self.busy_iterations,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+            generated_tokens: self.generated_tokens,
+            prompt_tokens: self.prompt_tokens,
+            mean_batch_occupancy: self.occupancy_sum as f64 / self.busy_iterations.max(1) as f64,
+            peak_used_blocks: self.peak_used_blocks,
+            pool_blocks: self.runner.pool().total_blocks(),
+            block_bits: self.runner.pool().block_bits(),
+        }
+    }
+
+    /// FCFS admission under the block-reservation discipline.
+    fn admit(&mut self) {
+        while self.active.len() < self.max_batch {
+            let Some(candidate) = self.scheduler.peek_ready(self.iter) else {
+                break;
+            };
+            let need = self.runner.blocks_for_request(candidate.total_tokens());
+            if self.reserved_blocks + need > self.runner.pool().total_blocks() {
+                break; // head-of-line: wait for blocks, never skip ahead
+            }
+            let req = self.scheduler.pop().expect("peeked above");
+            let sid = self.runner.create_session();
+            self.reserved_blocks += need;
+            self.active.push(ActiveSeq {
+                sid,
+                req,
+                pos: 0,
+                generated: Vec::new(),
+                first_token_iter: None,
+                reserved: need,
+            });
+        }
+    }
+}
+
+/// Greedy sampling: index of the largest logit (first wins ties) — shared
+/// by the engine and the sequential baseline so identical logits always
+/// yield identical tokens.
+pub fn argmax(logits: &[f32]) -> usize {
+    let mut best = 0usize;
+    let mut best_v = f32::NEG_INFINITY;
+    for (i, &x) in logits.iter().enumerate() {
+        if x > best_v {
+            best_v = x;
+            best = i;
+        }
+    }
+    best
+}
+
+/// The one-request-at-a-time baseline the serving runtime is measured
+/// against: each request runs alone on a sequential
+/// [`TransformerModel::packed_runner`] (prompt steps, then greedy decode).
+/// Returns the per-request token streams in input order plus the total
+/// wall seconds — the same computation as the engine, minus batching.
+///
+/// # Panics
+///
+/// Panics if a request has an empty prompt or asks for zero tokens (the
+/// same requests [`ServeEngine::submit`] rejects).
+pub fn sequential_generate(
+    model: &TransformerModel,
+    packed: &PackedWeights,
+    act: ActMode,
+    kv: KvMode,
+    requests: &[GenRequest],
+) -> (Vec<Vec<usize>>, f64) {
+    let t0 = Instant::now();
+    let outputs = requests
+        .iter()
+        .map(|req| {
+            assert!(
+                !req.prompt.is_empty(),
+                "request {} has an empty prompt",
+                req.id
+            );
+            assert!(
+                req.max_new_tokens > 0,
+                "request {} asks for zero tokens",
+                req.id
+            );
+            let mut runner = model.packed_runner(packed, act, kv);
+            let mut logits = Vec::new();
+            for &t in &req.prompt {
+                logits = runner.step(t);
+            }
+            let mut tokens = Vec::with_capacity(req.max_new_tokens);
+            tokens.push(argmax(&logits));
+            while tokens.len() < req.max_new_tokens {
+                let logits = runner.step(*tokens.last().expect("non-empty"));
+                tokens.push(argmax(&logits));
+            }
+            tokens
+        })
+        .collect();
+    (outputs, t0.elapsed().as_secs_f64())
+}

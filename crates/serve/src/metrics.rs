@@ -1,0 +1,130 @@
+//! Serving metrics: throughput, latency percentiles, batch occupancy.
+
+use crate::request::Completion;
+
+/// Latency percentile summary (values in engine iterations).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Worst observed.
+    pub max: f64,
+}
+
+/// Linear-interpolation percentile of an unsorted sample set; `q` in
+/// `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `samples` is empty or `q` is outside `[0, 1]`.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+fn summarize(samples: &[f64]) -> Percentiles {
+    Percentiles {
+        p50: percentile(samples, 0.50),
+        p95: percentile(samples, 0.95),
+        p99: percentile(samples, 0.99),
+        max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// The outcome of one serving run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Every finished request, in completion order.
+    pub completions: Vec<Completion>,
+    /// Engine iterations executed (idle fast-forwards included).
+    pub iterations: u64,
+    /// Iterations that actually stepped the model.
+    pub busy_iterations: u64,
+    /// Wall-clock seconds of the run.
+    pub wall_seconds: f64,
+    /// Decode tokens produced.
+    pub generated_tokens: usize,
+    /// Prompt tokens prefetched through the engine.
+    pub prompt_tokens: usize,
+    /// Mean sequences per busy iteration (continuous-batching occupancy).
+    pub mean_batch_occupancy: f64,
+    /// Most pool blocks ever in use at once.
+    pub peak_used_blocks: usize,
+    /// Pool capacity in blocks.
+    pub pool_blocks: usize,
+    /// Packed bits per pool block (K + V codes and group metadata), from
+    /// [`mant_quant::KvCachePool::block_bits`] — so reports account cache
+    /// memory in real packed bits without re-deriving the layout.
+    pub block_bits: usize,
+}
+
+impl ServeReport {
+    /// Aggregate decode throughput: generated tokens per wall second.
+    pub fn tokens_per_sec(&self) -> f64 {
+        self.generated_tokens as f64 / self.wall_seconds.max(1e-12)
+    }
+
+    /// Aggregate total throughput, prompt tokens included.
+    pub fn total_tokens_per_sec(&self) -> f64 {
+        (self.generated_tokens + self.prompt_tokens) as f64 / self.wall_seconds.max(1e-12)
+    }
+
+    /// Time-to-first-token percentiles across completions, in iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no request completed.
+    pub fn ttft_percentiles(&self) -> Percentiles {
+        let samples: Vec<f64> = self
+            .completions
+            .iter()
+            .map(|c| c.ttft_iters() as f64)
+            .collect();
+        summarize(&samples)
+    }
+
+    /// End-to-end latency percentiles across completions, in iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no request completed.
+    pub fn e2e_percentiles(&self) -> Percentiles {
+        let samples: Vec<f64> = self
+            .completions
+            .iter()
+            .map(|c| c.e2e_iters() as f64)
+            .collect();
+        summarize(&samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_interpolates() {
+        let samples = [4.0, 1.0, 3.0, 2.0];
+        assert_eq!(percentile(&samples, 0.0), 1.0);
+        assert_eq!(percentile(&samples, 1.0), 4.0);
+        assert_eq!(percentile(&samples, 0.5), 2.5);
+        assert!((percentile(&samples, 0.95) - 3.85).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_percentile_panics() {
+        let _ = percentile(&[], 0.5);
+    }
+}

@@ -1,0 +1,116 @@
+//! Serving requests and their completed records.
+
+use mant_sim::TraceRequest;
+use mant_tensor::TensorGenerator;
+
+/// One generation request: a prompt to prefill and a number of tokens to
+/// decode greedily.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenRequest {
+    /// Caller-chosen identifier, echoed in the [`Completion`].
+    pub id: u64,
+    /// Prompt token ids (non-empty).
+    pub prompt: Vec<usize>,
+    /// Tokens to generate after the prompt (≥ 1).
+    pub max_new_tokens: usize,
+    /// Arrival time in engine iterations; the scheduler will not admit the
+    /// request earlier.
+    pub arrival_iter: u64,
+}
+
+impl GenRequest {
+    /// Total tokens the request pushes through the engine over its
+    /// lifetime (prompt + generated) — the admission-control quantity.
+    pub fn total_tokens(&self) -> usize {
+        self.prompt.len() + self.max_new_tokens
+    }
+}
+
+/// Materializes a [`mant_sim::trace`] workload into concrete requests:
+/// prompt token ids are drawn deterministically from `seed`, so equal
+/// `(trace, vocab, seed)` always yield identical requests.
+pub fn requests_from_trace(trace: &[TraceRequest], vocab: usize, seed: u64) -> Vec<GenRequest> {
+    let mut gen = TensorGenerator::new(seed);
+    trace
+        .iter()
+        .enumerate()
+        .map(|(i, t)| GenRequest {
+            id: i as u64,
+            prompt: (0..t.prompt_len).map(|_| gen.token(vocab)).collect(),
+            max_new_tokens: t.output_len,
+            arrival_iter: t.arrival_iter,
+        })
+        .collect()
+}
+
+/// A finished request: what was generated and when.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Completion {
+    /// The request's id.
+    pub id: u64,
+    /// Prompt length, for accounting.
+    pub prompt_len: usize,
+    /// The greedily generated tokens (`max_new_tokens` of them).
+    pub tokens: Vec<usize>,
+    /// When the request arrived (engine iterations).
+    pub arrival_iter: u64,
+    /// Iteration at which the first generated token was produced.
+    pub first_token_iter: u64,
+    /// Iteration at which the last generated token was produced.
+    pub finish_iter: u64,
+}
+
+impl Completion {
+    /// Time to first token, in engine iterations (queueing + prefill).
+    pub fn ttft_iters(&self) -> u64 {
+        self.first_token_iter - self.arrival_iter
+    }
+
+    /// End-to-end latency, in engine iterations.
+    pub fn e2e_iters(&self) -> u64 {
+        self.finish_iter - self.arrival_iter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_materialization_is_deterministic_and_in_vocab() {
+        let trace = [
+            TraceRequest {
+                arrival_iter: 0,
+                prompt_len: 5,
+                output_len: 3,
+            },
+            TraceRequest {
+                arrival_iter: 7,
+                prompt_len: 2,
+                output_len: 9,
+            },
+        ];
+        let a = requests_from_trace(&trace, 512, 42);
+        let b = requests_from_trace(&trace, 512, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, requests_from_trace(&trace, 512, 43));
+        assert_eq!(a[0].prompt.len(), 5);
+        assert_eq!(a[1].arrival_iter, 7);
+        assert_eq!(a[1].total_tokens(), 11);
+        assert!(a.iter().all(|r| r.prompt.iter().all(|&t| t < 512)));
+    }
+
+    #[test]
+    fn latency_accessors() {
+        let c = Completion {
+            id: 0,
+            prompt_len: 4,
+            tokens: vec![1, 2],
+            arrival_iter: 10,
+            first_token_iter: 14,
+            finish_iter: 16,
+        };
+        assert_eq!(c.ttft_iters(), 4);
+        assert_eq!(c.e2e_iters(), 6);
+    }
+}

@@ -1,0 +1,267 @@
+//! Batch-vs-sequential equivalence: the serving stack must never change
+//! what is computed, only when. A batch of N sequences — including ragged
+//! joins and leaves mid-decode — produces logits **bit-identical** to N
+//! independent single-sequence runs at every step, at two model sizes;
+//! and the full engine's greedy outputs equal the one-request-at-a-time
+//! baseline's exactly.
+
+use mant_model::{
+    run_sequence_packed, ActMode, FfnKind, KvMode, ModelConfig, SessionId, TransformerModel,
+};
+use mant_serve::{requests_from_trace, sequential_generate, GenRequest, ServeConfig, ServeEngine};
+use mant_sim::{poisson_trace, LengthDist, TraceConfig};
+use proptest::prelude::*;
+
+/// A second, larger model size: 2× hidden width, one more layer than
+/// `sim_llama` (matches `tests/end_to_end.rs`).
+fn sim_llama_large() -> ModelConfig {
+    ModelConfig {
+        name: "sim-llama-large".to_owned(),
+        hidden: 512,
+        heads: 8,
+        kv_heads: 8,
+        layers: 3,
+        ffn: 1024,
+        vocab: 512,
+        ffn_kind: FfnKind::GatedSilu,
+    }
+}
+
+fn bits(v: &[f32]) -> Vec<u32> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Drives a ragged continuous batch — staggered joins, early leaves — and
+/// checks every sequence's every-step logits against an independent
+/// sequential run over the same packed weights.
+fn check_ragged_equivalence(cfg: &ModelConfig, model_seed: u64, stream_seed: u64) {
+    let model = TransformerModel::synthesize(cfg, model_seed);
+    let packed = model.pack_weights(64).unwrap();
+    let kv = KvMode::Mant4 { group: 64 };
+
+    // Four sequences with different lengths and staggered start times:
+    // sequence i joins at iteration 2·i, so every join lands mid-decode of
+    // the earlier ones, and shorter sequences retire while others run.
+    let lens = [11usize, 6, 9, 4];
+    let starts = [0usize, 2, 4, 6];
+    let streams: Vec<Vec<usize>> = lens
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| {
+            (0..len)
+                .map(|t| ((stream_seed as usize).wrapping_mul(31) + i * 97 + t * 37) % cfg.vocab)
+                .collect()
+        })
+        .collect();
+
+    let mut br = model.batch_runner(&packed, ActMode::None, kv, 96, 64);
+    let mut ids: Vec<Option<SessionId>> = vec![None; streams.len()];
+    let mut got: Vec<Vec<Vec<f32>>> = vec![Vec::new(); streams.len()];
+    let horizon = starts
+        .iter()
+        .zip(lens.iter())
+        .map(|(s, l)| s + l)
+        .max()
+        .unwrap();
+    for t in 0..horizon {
+        let mut batch = Vec::new();
+        let mut members = Vec::new();
+        for i in 0..streams.len() {
+            if t == starts[i] {
+                ids[i] = Some(br.create_session());
+            }
+            if t >= starts[i] && t < starts[i] + lens[i] {
+                batch.push((ids[i].unwrap(), streams[i][t - starts[i]]));
+                members.push(i);
+            }
+        }
+        if batch.is_empty() {
+            continue;
+        }
+        let logits = br.step(&batch);
+        for (out, i) in logits.into_iter().zip(members.iter()) {
+            got[*i].push(out);
+        }
+        for i in 0..streams.len() {
+            if t + 1 == starts[i] + lens[i] {
+                br.end_session(ids[i].take().unwrap());
+            }
+        }
+    }
+    for (i, stream) in streams.iter().enumerate() {
+        let solo = run_sequence_packed(&model, &packed, ActMode::None, kv, stream);
+        assert_eq!(got[i].len(), stream.len());
+        for (t, logits) in got[i].iter().enumerate() {
+            assert_eq!(
+                bits(logits),
+                bits(solo.row(t)),
+                "model {} seq {i} step {t}: batched logits diverged from sequential",
+                cfg.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Ragged continuous batches are bit-exact at the small model size.
+    #[test]
+    fn ragged_batches_bit_exact_sim_llama(model_seed in 1u64..1000, stream_seed in 0u64..1000) {
+        check_ragged_equivalence(&ModelConfig::sim_llama(), model_seed, stream_seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    /// Ragged continuous batches are bit-exact at the larger model size.
+    #[test]
+    fn ragged_batches_bit_exact_sim_llama_large(model_seed in 1u64..1000, stream_seed in 0u64..1000) {
+        check_ragged_equivalence(&sim_llama_large(), model_seed, stream_seed);
+    }
+}
+
+/// GQA composes with the serving stack: same bit-exact contract with
+/// shared KV heads (a third shape regime).
+#[test]
+fn ragged_batches_bit_exact_under_gqa() {
+    check_ragged_equivalence(&ModelConfig::sim_llama().with_gqa(2), 77, 5);
+}
+
+/// Full-engine parity: continuous batching with Poisson arrivals produces
+/// exactly the sequential baseline's greedy token streams.
+fn check_engine_matches_baseline(cfg: &ModelConfig, seed: u64) {
+    let model = TransformerModel::synthesize(cfg, seed);
+    let packed = model.pack_weights(64).unwrap();
+    let act = ActMode::None;
+    let kv = KvMode::Mant4 { group: 64 };
+    let trace = poisson_trace(&TraceConfig {
+        requests: 6,
+        arrivals_per_iter: 0.4,
+        prompt: LengthDist::Uniform { lo: 3, hi: 10 },
+        output: LengthDist::Uniform { lo: 2, hi: 6 },
+        seed: seed ^ 0x5e2,
+    });
+    let requests = requests_from_trace(&trace, cfg.vocab, seed ^ 0x7a11);
+
+    let mut engine = ServeEngine::new(
+        &model,
+        &packed,
+        ServeConfig {
+            max_batch: 3,
+            pool_blocks: 64,
+            block_tokens: 64,
+            act,
+            kv,
+        },
+    );
+    for r in &requests {
+        engine.submit(r.clone());
+    }
+    let report = engine.run_to_completion();
+    assert_eq!(report.completions.len(), requests.len());
+
+    let (baseline, _) = sequential_generate(&model, &packed, act, kv, &requests);
+    for c in &report.completions {
+        assert_eq!(
+            c.tokens, baseline[c.id as usize],
+            "engine output for request {} diverged from the sequential baseline",
+            c.id
+        );
+        assert!(c.first_token_iter > c.arrival_iter);
+        assert!(c.finish_iter >= c.first_token_iter);
+    }
+    assert_eq!(
+        report.generated_tokens,
+        requests.iter().map(|r| r.max_new_tokens).sum::<usize>()
+    );
+    assert_eq!(
+        report.prompt_tokens,
+        requests.iter().map(|r| r.prompt.len()).sum::<usize>()
+    );
+    assert!(report.mean_batch_occupancy >= 1.0);
+    assert!(report.ttft_percentiles().p50 >= 1.0);
+}
+
+#[test]
+fn engine_matches_sequential_baseline_sim_llama() {
+    check_engine_matches_baseline(&ModelConfig::sim_llama(), 2025);
+}
+
+#[test]
+fn engine_matches_sequential_baseline_sim_llama_large() {
+    check_engine_matches_baseline(&sim_llama_large(), 2026);
+}
+
+/// A pool too small for every request at once throttles admission instead
+/// of failing: all requests still complete, peak block usage respects the
+/// reservation discipline, and outputs stay exact.
+#[test]
+fn tight_pool_throttles_admission_but_stays_exact() {
+    let cfg = ModelConfig::sim_llama();
+    let model = TransformerModel::synthesize(&cfg, 88);
+    let packed = model.pack_weights(64).unwrap();
+    let kv = KvMode::Mant4 { group: 64 };
+    let requests: Vec<GenRequest> = (0..4)
+        .map(|i| GenRequest {
+            id: i,
+            prompt: (0..5)
+                .map(|t| ((i as usize) * 131 + t * 29) % cfg.vocab)
+                .collect(),
+            max_new_tokens: 4,
+            arrival_iter: 0,
+        })
+        .collect();
+    // Each request needs layers(2) × ⌈9/64⌉ = 2 blocks; 5 blocks admit at
+    // most 2 at a time even though max_batch is 4.
+    let mut engine = ServeEngine::new(
+        &model,
+        &packed,
+        ServeConfig {
+            max_batch: 4,
+            pool_blocks: 5,
+            block_tokens: 64,
+            act: ActMode::None,
+            kv,
+        },
+    );
+    for r in &requests {
+        engine.submit(r.clone());
+    }
+    let report = engine.run_to_completion();
+    assert_eq!(report.completions.len(), 4);
+    assert!(report.peak_used_blocks <= 4, "{}", report.peak_used_blocks);
+    assert!(report.mean_batch_occupancy <= 2.0 + 1e-9);
+    let (baseline, _) = sequential_generate(&model, &packed, ActMode::None, kv, &requests);
+    for c in &report.completions {
+        assert_eq!(c.tokens, baseline[c.id as usize]);
+    }
+}
+
+/// Oversized requests are rejected at submit (they could never be
+/// admitted and would deadlock the FCFS queue).
+#[test]
+#[should_panic(expected = "enlarge the pool")]
+fn impossible_request_rejected_at_submit() {
+    let cfg = ModelConfig::sim_llama();
+    let model = TransformerModel::synthesize(&cfg, 89);
+    let packed = model.pack_weights(64).unwrap();
+    let mut engine = ServeEngine::new(
+        &model,
+        &packed,
+        ServeConfig {
+            max_batch: 2,
+            pool_blocks: 4,
+            block_tokens: 64,
+            act: ActMode::None,
+            kv: KvMode::Mant4 { group: 64 },
+        },
+    );
+    engine.submit(GenRequest {
+        id: 0,
+        prompt: vec![1; 200],
+        max_new_tokens: 100,
+        arrival_iter: 0,
+    });
+}

@@ -20,6 +20,8 @@
 //!   breakdown (Fig. 12);
 //! - [`area`]: the component areas of Tbl. IV;
 //! - [`workload`]: GEMM lists for a model's linear and attention layers;
+//! - [`trace`]: seeded serving traces (Poisson arrivals, prompt/output
+//!   length distributions) for the continuous-batching runtime;
 //! - [`run`]: end-to-end layer runs, speedups, energy ratios.
 
 pub mod arch;
@@ -30,6 +32,7 @@ pub mod memory;
 pub mod rqu;
 pub mod run;
 pub mod systolic;
+pub mod trace;
 pub mod workload;
 
 pub use arch::{AcceleratorConfig, HardwareParams, PrecisionPolicy, WeightBits};
@@ -37,4 +40,5 @@ pub use area::{area_report, AreaReport};
 pub use decode::{decode_step, generation_latency_ms, DecodeStep};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use run::{run_attention, run_gemm, run_linear, run_model, LayerRun, ModelRun};
+pub use trace::{poisson_trace, trace_tokens, LengthDist, TraceConfig, TraceRequest};
 pub use workload::{attention_gemms, linear_gemms, Gemm};

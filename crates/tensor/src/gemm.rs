@@ -85,6 +85,34 @@ pub fn matvec(w: &Matrix, x: &[f32]) -> Vec<f32> {
         .collect()
 }
 
+/// Batched [`matvec`]: `y_i = W · x_i` for a batch of activation vectors
+/// against one `out × in` weight matrix. The weight rows are walked in the
+/// outer loop so each stays hot in cache while every batch member consumes
+/// it — the f32 analogue of the packed multi-query GEMM — and each output
+/// element is computed with exactly the same multiply/add sequence as
+/// [`matvec`], so results are **bit-identical** to the per-vector calls.
+///
+/// # Panics
+///
+/// Panics if any `x` length differs from `w.cols()`.
+pub fn matvec_batch(w: &Matrix, xs: &[&[f32]]) -> Vec<Vec<f32>> {
+    for x in xs {
+        assert_eq!(x.len(), w.cols(), "matvec inner dimension mismatch");
+    }
+    let mut out: Vec<Vec<f32>> = xs.iter().map(|_| vec![0.0f32; w.rows()]).collect();
+    for n in 0..w.rows() {
+        let w_row = w.row(n);
+        for (y, x) in out.iter_mut().zip(xs.iter()) {
+            y[n] = w_row
+                .iter()
+                .zip(x.iter())
+                .map(|(&a, &b)| a * b)
+                .sum::<f32>();
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -146,6 +174,32 @@ mod tests {
     #[should_panic(expected = "matvec inner dimension mismatch")]
     fn matvec_shape_mismatch_panics() {
         let _ = matvec(&Matrix::zeros(2, 3), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn matvec_batch_bit_identical_to_matvec() {
+        let w = Matrix::from_fn(9, 7, |r, c| ((r * 7 + c) as f32 * 0.37).sin());
+        let xs: Vec<Vec<f32>> = (0..5)
+            .map(|i| (0..7).map(|j| ((i * 13 + j) as f32 * 0.11).cos()).collect())
+            .collect();
+        let refs: Vec<&[f32]> = xs.iter().map(Vec::as_slice).collect();
+        let batched = matvec_batch(&w, &refs);
+        assert_eq!(batched.len(), 5);
+        for (x, y) in xs.iter().zip(batched.iter()) {
+            assert_eq!(y, &matvec(&w, x), "batched matvec drifted from matvec");
+        }
+    }
+
+    #[test]
+    fn matvec_batch_empty() {
+        assert!(matvec_batch(&Matrix::zeros(2, 3), &[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "matvec inner dimension mismatch")]
+    fn matvec_batch_shape_mismatch_panics() {
+        let x = [1.0, 2.0];
+        let _ = matvec_batch(&Matrix::zeros(2, 3), &[&x]);
     }
 
     #[test]

@@ -17,7 +17,7 @@ pub mod par;
 pub mod rng;
 pub mod stats;
 
-pub use gemm::{gemm, gemv, matvec};
+pub use gemm::{gemm, gemv, matvec, matvec_batch};
 pub use group::GroupedRows;
 pub use matrix::Matrix;
 pub use rng::{DistributionKind, TensorGenerator};

@@ -111,14 +111,19 @@ fn main() {
     let model = pipe.reference();
     let mut packed_runner = model.packed_runner(&packed, act, kv);
     let t_packed = time_decode(Box::new(move |t| packed_runner.step(t)));
+    // Absolute decode rates alongside the ratios: the speedup numbers are
+    // unitless and hard to compare across machines, so report tokens/s
+    // for both backends at every context depth.
     println!("per-step decode time (dequantize path vs quantized backend):");
     for (i, (lo, hi)) in windows.iter().enumerate() {
         println!(
-            "  context {:>3}..{:<3}: {:.2} ms vs {:.2} ms  ({:.2}x)",
+            "  context {:>3}..{:<3}: {:.2} ms ({:>5.1} tok/s) vs {:.2} ms ({:>5.1} tok/s)  ({:.2}x)",
             lo,
             hi,
             t_ref[i] * 1e3,
+            1.0 / t_ref[i],
             t_packed[i] * 1e3,
+            1.0 / t_packed[i],
             t_ref[i] / t_packed[i]
         );
     }

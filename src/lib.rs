@@ -9,6 +9,7 @@ pub use mant_core as core;
 pub use mant_model as model;
 pub use mant_numerics as numerics;
 pub use mant_quant as quant;
+pub use mant_serve as serve;
 pub use mant_sim as sim;
 pub use mant_tensor as tensor;
 
