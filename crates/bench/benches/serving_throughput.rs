@@ -23,7 +23,9 @@ use std::time::Instant;
 
 use mant_model::{ActMode, KvMode, ModelConfig, SessionId, TransformerModel};
 use mant_quant::{mant_gemv, mant_gemv_batch, quantize_vector_int8, MantWeightQuantizer};
-use mant_serve::{requests_from_trace, sequential_generate, ServeConfig, ServeEngine};
+use mant_serve::{
+    requests_from_trace, sequential_generate, AdmissionPolicy, ServeConfig, ServeEngine,
+};
 use mant_sim::{poisson_trace, LengthDist, TraceConfig};
 use mant_tensor::TensorGenerator;
 
@@ -163,6 +165,8 @@ fn serve_trace_smoke(_c: &mut Criterion) {
             block_tokens: GROUP,
             act,
             kv,
+            admission: AdmissionPolicy::Reserve,
+            prefix_sharing: false,
         },
     );
     for r in &requests {

@@ -21,6 +21,22 @@
 //! a batch of N sequences produces logits **bit-identical** to N
 //! independent single-sequence runs at every step — sequences can join
 //! and leave the batch at any iteration without perturbing the others.
+//!
+//! # Prefix sharing
+//!
+//! Packed KV blocks are immutable once full, so the runner can snapshot a
+//! session's cache state at a block boundary ([`BatchRunner::register_prefix`])
+//! and later open new sessions **on top of those very blocks**
+//! ([`BatchRunner::create_session_with_prefix`]): requests with a common
+//! system prompt skip recomputing the shared prefill entirely, and the
+//! continuation is bit-identical to a from-scratch run because the
+//! snapshot captures exactly the deterministic per-sequence state (block
+//! list + V staging scales) a fresh prefill of the same tokens would
+//! reach. [`BatchRunner::fork_session`] is the general primitive: a live
+//! session forked at *any* length, copy-on-write on the trailing partial
+//! block.
+
+use std::collections::HashMap;
 
 use mant_quant::pool::{attention_incremental_paged, KvCachePool, PagedKvCache, PoolConfig};
 use mant_quant::{quantize_vector_int8, QuantizedVector, VarianceMap};
@@ -47,6 +63,29 @@ struct Session {
     seq_len: usize,
 }
 
+/// One registered prompt prefix: the exact token chain (hash collisions
+/// are verified away) plus per-layer cache snapshots holding the shared
+/// blocks alive. Snapshots are taken at block boundaries, where the V
+/// staging window is empty and the only carried per-sequence state is the
+/// deterministic channel-scale vector — which is why a session forked
+/// from a snapshot continues bit-identically to a from-scratch prefill.
+struct PrefixEntry {
+    tokens: Vec<usize>,
+    caches: Vec<PagedKvCache>,
+    /// Last-used tick for LRU eviction under pool pressure.
+    lru: u64,
+}
+
+/// FNV-1a over a token chain — the prefix-trie key.
+fn prefix_hash(tokens: &[usize]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &t in tokens {
+        h ^= t as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
 /// Continuous-batching executor over the quantized backend: shared packed
 /// weights, a paged KV-cache pool, and a session slab. See the module docs
 /// for the execution contract.
@@ -60,6 +99,10 @@ pub struct BatchRunner<'m> {
     slots: Vec<Option<Session>>,
     free_slots: Vec<usize>,
     next_nonce: u64,
+    /// Prefix trie: hash of a block-aligned token chain → shared blocks.
+    prefixes: HashMap<u64, PrefixEntry>,
+    /// Monotone clock for prefix LRU bookkeeping.
+    prefix_clock: u64,
 }
 
 impl TransformerModel {
@@ -118,6 +161,8 @@ impl TransformerModel {
             slots: Vec::new(),
             free_slots: Vec::new(),
             next_nonce: 0,
+            prefixes: HashMap::new(),
+            prefix_clock: 0,
         }
     }
 }
@@ -128,12 +173,16 @@ impl BatchRunner<'_> {
         let caches = (0..self.model.config.layers)
             .map(|_| PagedKvCache::new(&self.pool, self.kmap.clone(), self.vmap.clone()))
             .collect();
+        self.insert_session(caches, 0)
+    }
+
+    fn insert_session(&mut self, caches: Vec<PagedKvCache>, seq_len: usize) -> SessionId {
         let nonce = self.next_nonce;
         self.next_nonce += 1;
         let session = Session {
             nonce,
             caches,
-            seq_len: 0,
+            seq_len,
         };
         let slot = match self.free_slots.pop() {
             Some(slot) => {
@@ -146,6 +195,167 @@ impl BatchRunner<'_> {
             }
         };
         SessionId { slot, nonce }
+    }
+
+    /// Forks a live session at its current length: the child shares every
+    /// cache block (copy-on-write past the fork point) and continues
+    /// bit-identically to an independent sequence fed the same tokens.
+    /// Allocates no pool block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parent` is stale or unknown.
+    pub fn fork_session(&mut self, parent: SessionId) -> SessionId {
+        self.check(parent);
+        let (slots, pool) = (&self.slots, &mut self.pool);
+        let p = slots[parent.slot].as_ref().expect("checked above");
+        let caches: Vec<PagedKvCache> = p.caches.iter().map(|c| c.fork(pool)).collect();
+        let seq_len = p.seq_len;
+        self.insert_session(caches, seq_len)
+    }
+
+    /// Registers `id`'s current cache state as a shareable prompt prefix
+    /// for `tokens` — the session must have processed exactly those
+    /// tokens, and their count must be a positive multiple of the pool's
+    /// block size (so every shared block is full and immutable, and the V
+    /// staging window is empty). The snapshot holds the blocks alive (via
+    /// refcounts) even after the donor session ends. Returns `false` if
+    /// the prefix was already registered (nothing is re-snapshotted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale/unknown, if `tokens.len()` differs from the
+    /// session's length, or if the length is not block-aligned.
+    pub fn register_prefix(&mut self, id: SessionId, tokens: &[usize]) -> bool {
+        self.check(id);
+        let bt = self.pool.block_tokens();
+        assert!(
+            !tokens.is_empty() && tokens.len().is_multiple_of(bt),
+            "a shareable prefix must be a positive multiple of the block size ({bt} tokens), \
+             got {}",
+            tokens.len()
+        );
+        let session = self.slots[id.slot].as_ref().expect("checked above");
+        assert_eq!(
+            session.seq_len,
+            tokens.len(),
+            "prefix registration must happen exactly at the boundary the session sits on"
+        );
+        let h = prefix_hash(tokens);
+        if let Some(entry) = self.prefixes.get(&h) {
+            assert_eq!(entry.tokens, tokens, "prefix hash collision");
+            return false;
+        }
+        let (slots, pool) = (&self.slots, &mut self.pool);
+        let caches: Vec<PagedKvCache> = slots[id.slot]
+            .as_ref()
+            .expect("checked above")
+            .caches
+            .iter()
+            .map(|c| c.fork(pool))
+            .collect();
+        self.prefix_clock += 1;
+        self.prefixes.insert(
+            h,
+            PrefixEntry {
+                tokens: tokens.to_vec(),
+                caches,
+                lru: self.prefix_clock,
+            },
+        );
+        true
+    }
+
+    /// Length of the longest registered prefix of `tokens` (0 if none).
+    /// Only block-aligned lengths can match, and the stored token chain is
+    /// compared exactly, so a hash collision can never alias prefixes.
+    pub fn cached_prefix_len(&self, tokens: &[usize]) -> usize {
+        let bt = self.pool.block_tokens();
+        let mut k = (tokens.len() / bt) * bt;
+        while k > 0 {
+            if let Some(entry) = self.prefixes.get(&prefix_hash(&tokens[..k])) {
+                if entry.tokens == tokens[..k] {
+                    return k;
+                }
+            }
+            k -= bt;
+        }
+        0
+    }
+
+    /// Opens a session seeded from the longest registered prefix of
+    /// `tokens`: the new session starts at that length, sharing the
+    /// prefix's physical blocks (no pool allocation, no recompute), and is
+    /// bit-identical from there on to a fresh session fed the same
+    /// tokens. Returns the session and the number of tokens already
+    /// cached (0 when nothing matched — then this is exactly
+    /// [`BatchRunner::create_session`]).
+    pub fn create_session_with_prefix(&mut self, tokens: &[usize]) -> (SessionId, usize) {
+        let k = self.cached_prefix_len(tokens);
+        if k == 0 {
+            return (self.create_session(), 0);
+        }
+        self.prefix_clock += 1;
+        let clock = self.prefix_clock;
+        let entry = self
+            .prefixes
+            .get_mut(&prefix_hash(&tokens[..k]))
+            .expect("lookup just matched");
+        entry.lru = clock;
+        let pool = &mut self.pool;
+        let caches: Vec<PagedKvCache> = entry.caches.iter().map(|c| c.fork(pool)).collect();
+        (self.insert_session(caches, k), k)
+    }
+
+    /// Drops the least-recently-used prefix snapshot **whose eviction
+    /// frees at least one block** (it solely holds some block); snapshots
+    /// that only alias blocks still held by live sessions or longer
+    /// snapshots cost nothing and are kept — they are what makes
+    /// preemption recovery cheap. Returns `false` when no registered
+    /// snapshot would free memory. The serving engine calls this under
+    /// pool pressure before resorting to preempting a running sequence;
+    /// once nothing is running, every remaining snapshot is a sole holder,
+    /// so repeated calls always drain the cache completely.
+    pub fn evict_lru_prefix(&mut self) -> bool {
+        let mut candidates: Vec<(u64, u64)> = self
+            .prefixes
+            .iter()
+            .filter(|(_, e)| e.caches.iter().any(|c| c.holds_sole_reference(&self.pool)))
+            .map(|(&h, e)| (e.lru, h))
+            .collect();
+        candidates.sort_unstable();
+        let Some(&(_, h)) = candidates.first() else {
+            return false;
+        };
+        let mut entry = self.prefixes.remove(&h).expect("key just found");
+        for cache in &mut entry.caches {
+            cache.release(&mut self.pool);
+        }
+        true
+    }
+
+    /// Registered prefix snapshots.
+    pub fn prefix_entries(&self) -> usize {
+        self.prefixes.len()
+    }
+
+    /// Free blocks the next [`BatchRunner::step`] will consume for session
+    /// `id` — fresh boundary blocks plus copy-on-write copies, summed over
+    /// layers. The watermark scheduler sums this across the batch to
+    /// decide whether an iteration can proceed or must preempt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale or unknown.
+    pub fn blocks_needed_for_step(&self, id: SessionId) -> usize {
+        self.check(id);
+        self.slots[id.slot]
+            .as_ref()
+            .expect("checked above")
+            .caches
+            .iter()
+            .map(|c| c.blocks_needed_for_push(&self.pool))
+            .sum()
     }
 
     /// Closes a session, returning every cache block it held to the pool.
@@ -442,6 +652,143 @@ mod tests {
         let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 35);
         let packed = m.pack_weights(64).unwrap();
         let _ = m.batch_runner(&packed, ActMode::None, KvMode::Fp16, 8, 64);
+    }
+
+    #[test]
+    fn forked_session_diverges_bit_identically_to_independent_runs() {
+        // Fork a live session mid-block and continue parent and child on
+        // different tokens: each must match a from-scratch sequential run
+        // of its own full stream, bit for bit (copy-on-write isolation).
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 40);
+        let packed = m.pack_weights(64).unwrap();
+        let kv = KvMode::Mant4 { group: 64 };
+        let prefix: Vec<usize> = (0..7).map(|i| (i * 43 + 3) % 512).collect();
+        let a_tail: Vec<usize> = (0..5).map(|i| (i * 17 + 1) % 512).collect();
+        let b_tail: Vec<usize> = (0..5).map(|i| (i * 59 + 8) % 512).collect();
+
+        let mut br = m.batch_runner(&packed, ActMode::None, kv, 64, 64);
+        let a = br.create_session();
+        for &t in &prefix {
+            br.step(&[(a, t)]);
+        }
+        let used_before = br.pool().used_blocks();
+        let b = br.fork_session(a);
+        assert_eq!(
+            br.pool().used_blocks(),
+            used_before,
+            "fork allocates nothing"
+        );
+        assert_eq!(br.seq_len(b), prefix.len());
+
+        let mut a_got = Vec::new();
+        let mut b_got = Vec::new();
+        for t in 0..5 {
+            let out = br.step(&[(a, a_tail[t]), (b, b_tail[t])]);
+            a_got.push(out[0].clone());
+            b_got.push(out[1].clone());
+        }
+        for (tail, got) in [(&a_tail, &a_got), (&b_tail, &b_got)] {
+            let full: Vec<usize> = prefix.iter().chain(tail.iter()).copied().collect();
+            let solo = run_sequence_packed(&m, &packed, ActMode::None, kv, &full);
+            for (t, logits) in got.iter().enumerate() {
+                assert_eq!(
+                    bits(logits),
+                    bits(solo.row(prefix.len() + t)),
+                    "fork diverged from independent run at step {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_snapshot_skips_prefill_bit_exactly() {
+        // Register block-aligned prefixes from a donor session, then open
+        // a new session on top of the longest match: it starts at the
+        // shared length with zero new blocks and continues bit-identically
+        // to a from-scratch run of the whole stream. Int4 KV at group 16
+        // keeps blocks 16 tokens, so the test stays fast.
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 41);
+        let packed = m.pack_weights(64).unwrap();
+        let kv = KvMode::Int4 { group: 16 };
+        let bt = 16usize;
+        let shared: Vec<usize> = (0..2 * bt).map(|i| (i * 13 + 5) % 512).collect();
+        let tail: Vec<usize> = (0..6).map(|i| (i * 7 + 2) % 512).collect();
+
+        let mut br = m.batch_runner(&packed, ActMode::None, kv, 64, bt);
+        let donor = br.create_session();
+        for (i, &t) in shared.iter().enumerate() {
+            br.step(&[(donor, t)]);
+            let done = i + 1;
+            if done.is_multiple_of(bt) {
+                assert!(br.register_prefix(donor, &shared[..done]));
+                assert!(
+                    !br.register_prefix(donor, &shared[..done]),
+                    "re-register is a no-op"
+                );
+            }
+        }
+        br.end_session(donor);
+        assert_eq!(br.prefix_entries(), 2);
+        assert!(
+            br.pool().used_blocks() > 0,
+            "snapshots keep the shared blocks alive past the donor"
+        );
+
+        let full: Vec<usize> = shared.iter().chain(tail.iter()).copied().collect();
+        assert_eq!(br.cached_prefix_len(&full), 2 * bt);
+        let used_before = br.pool().used_blocks();
+        let (sid, cached) = br.create_session_with_prefix(&full);
+        assert_eq!(cached, 2 * bt);
+        assert_eq!(br.seq_len(sid), 2 * bt);
+        assert_eq!(
+            br.pool().used_blocks(),
+            used_before,
+            "hit allocates nothing"
+        );
+
+        let solo = run_sequence_packed(&m, &packed, ActMode::None, kv, &full);
+        for (t, &tok) in tail.iter().enumerate() {
+            let logits = br.step(&[(sid, tok)]);
+            assert_eq!(
+                bits(&logits[0]),
+                bits(solo.row(2 * bt + t)),
+                "prefix-seeded session diverged at step {t}"
+            );
+        }
+        br.end_session(sid);
+
+        // A miss (different tokens) shares nothing.
+        let other: Vec<usize> = (0..40).map(|i| (i * 31 + 9) % 512).collect();
+        assert_eq!(br.cached_prefix_len(&other), 0);
+
+        // LRU eviction releases the snapshots' hold block by block.
+        assert!(br.evict_lru_prefix());
+        assert!(br.evict_lru_prefix());
+        assert!(!br.evict_lru_prefix());
+        assert_eq!(br.pool().used_blocks(), 0);
+    }
+
+    #[test]
+    fn step_need_accounting_covers_boundaries() {
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 42);
+        let packed = m.pack_weights(64).unwrap();
+        let mut br = m.batch_runner(&packed, ActMode::None, KvMode::Int4 { group: 16 }, 16, 16);
+        let a = br.create_session();
+        assert_eq!(
+            br.blocks_needed_for_step(a),
+            2,
+            "first step: one block per layer"
+        );
+        br.step(&[(a, 1)]);
+        assert_eq!(br.blocks_needed_for_step(a), 0, "mid-block steps are free");
+        for t in 1..16 {
+            br.step(&[(a, t % 512)]);
+        }
+        assert_eq!(
+            br.blocks_needed_for_step(a),
+            2,
+            "boundary: one per layer again"
+        );
     }
 
     #[test]

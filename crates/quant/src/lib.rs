@@ -24,9 +24,11 @@
 //!   [`VCacheQuantizer::attend`] for `P·V` — so decode-step attention
 //!   never dequantizes the full cache;
 //! - [`pool`]: the paged, packed KV-cache pool for continuous-batching
-//!   serving — a block allocator owning MANT4/INT8 group storage that
-//!   hands fixed-size blocks to per-sequence [`PagedKvCache`] views,
-//!   bit-identical to the owned quantizers; [`mant_gemv_batch`] is the
+//!   serving — a **refcounted** block allocator owning MANT4/INT8 group
+//!   storage that hands fixed-size blocks to per-sequence
+//!   [`PagedKvCache`] views, bit-identical to the owned quantizers;
+//!   views fork **copy-on-write** ([`PagedKvCache::fork`]), so identical
+//!   prompt prefixes share physical blocks; [`mant_gemv_batch`] is the
 //!   matching multi-query GEMM (one weight-group decode pass amortized
 //!   across the whole batch).
 

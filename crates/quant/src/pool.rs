@@ -24,6 +24,21 @@
 //! `attend_window`), so pooled caches are **bit-identical** to
 //! [`KCacheQuantizer`]/[`VCacheQuantizer`] fed the same vectors — the
 //! property the batch-vs-sequential equivalence suite pins down.
+//!
+//! # Sharing: refcounted blocks and copy-on-write
+//!
+//! Packed groups are immutable once written — a committed K row or V
+//! window is never touched again — so physical blocks can be **shared**
+//! between sequences whose cached prefixes are identical. Every block
+//! carries a reference count; [`PagedKvCache::fork`] clones a view in
+//! O(blocks) by retaining every block (including the trailing partial
+//! one) and copying only the per-sequence V staging window. A fork that
+//! later writes into a block still shared with its sibling first copies
+//! that block to a private one (**copy-on-write**), so divergence after a
+//! fork is invisible to the other holder — the cornerstone of prompt
+//! prefix sharing in the serving runtime, where requests with a common
+//! system prompt map their shared prefix onto the *same* physical packed
+//! blocks.
 
 use mant_tensor::Matrix;
 
@@ -67,6 +82,10 @@ pub struct KvCachePool {
     /// Free block ids (LIFO: released blocks are reused first, keeping the
     /// hot working set compact).
     free: Vec<u32>,
+    /// Per-block reference counts; 0 exactly for the blocks on the free
+    /// list. The allocator invariant `free.len() + #{refs > 0} == blocks`
+    /// holds across every alloc/retain/release.
+    refs: Vec<u32>,
 }
 
 impl KvCachePool {
@@ -101,6 +120,7 @@ impl KvCachePool {
             v_codes: vec![0u8; slots * cfg.kv_dim],
             v_meta: vec![GroupMeta::ZERO; (slots / cfg.group_size) * cfg.kv_dim],
             free: (0..cfg.blocks as u32).rev().collect(),
+            refs: vec![0u32; cfg.blocks],
         })
     }
 
@@ -157,14 +177,63 @@ impl KvCachePool {
         self.used_blocks() * self.block_bits()
     }
 
-    fn alloc(&mut self) -> Option<u32> {
-        self.free.pop()
+    /// Blocks currently shared by more than one holder (refcount ≥ 2) —
+    /// the prefix-sharing payoff a serving report can surface.
+    pub fn shared_blocks(&self) -> usize {
+        self.refs.iter().filter(|&&r| r > 1).count()
     }
 
-    fn free_block(&mut self, id: u32) {
+    /// The reference count of `block` (0 for a free block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is not a block id of this pool.
+    pub fn refcount(&self, block: u32) -> u32 {
+        self.refs[block as usize]
+    }
+
+    fn alloc(&mut self) -> Option<u32> {
+        let id = self.free.pop()?;
+        debug_assert_eq!(self.refs[id as usize], 0, "free block with live refs");
+        self.refs[id as usize] = 1;
+        Some(id)
+    }
+
+    /// Adds one holder to an allocated block (fork/share).
+    fn retain_block(&mut self, id: u32) {
         debug_assert!((id as usize) < self.cfg.blocks, "foreign block id");
-        debug_assert!(!self.free.contains(&id), "double free of block {id}");
-        self.free.push(id);
+        debug_assert!(self.refs[id as usize] > 0, "retain of a free block {id}");
+        self.refs[id as usize] += 1;
+    }
+
+    /// Drops one holder; the block returns to the free list when the last
+    /// holder lets go.
+    fn release_block(&mut self, id: u32) {
+        debug_assert!((id as usize) < self.cfg.blocks, "foreign block id");
+        debug_assert!(self.refs[id as usize] > 0, "double free of block {id}");
+        self.refs[id as usize] -= 1;
+        if self.refs[id as usize] == 0 {
+            self.free.push(id);
+        }
+    }
+
+    /// Copies block `src`'s whole packed contents (K codes/meta, committed
+    /// V codes/meta) into block `dst` — the copy-on-write primitive.
+    fn copy_block(&mut self, src: u32, dst: u32) {
+        let bt = self.cfg.block_tokens;
+        let dim = self.cfg.kv_dim;
+        let gpr = dim / self.cfg.group_size;
+        let wpb = bt / self.cfg.group_size;
+        let (s, d) = (src as usize, dst as usize);
+        self.k_codes
+            .copy_within(s * bt * dim..(s + 1) * bt * dim, d * bt * dim);
+        self.k_meta
+            .copy_within(s * bt * gpr..(s + 1) * bt * gpr, d * bt * gpr);
+        let welems = wpb * self.cfg.group_size * dim;
+        self.v_codes
+            .copy_within(s * welems..(s + 1) * welems, d * welems);
+        self.v_meta
+            .copy_within(s * wpb * dim..(s + 1) * wpb * dim, d * wpb * dim);
     }
 
     fn k_row(&self, block: u32, slot: usize) -> (&[u8], &[GroupMeta]) {
@@ -214,7 +283,11 @@ impl KvCachePool {
 /// plus the per-sequence V staging window. The paged twin of a
 /// `(KCacheQuantizer, VCacheQuantizer)` pair — same arithmetic, pooled
 /// storage, so sequences join and leave the batch without reallocation.
-#[derive(Clone, Debug)]
+///
+/// Deliberately **not** `Clone`: a bitwise clone would alias pool blocks
+/// without adding holders. Use [`PagedKvCache::fork`], which retains every
+/// shared block so copy-on-write and release stay sound.
+#[derive(Debug)]
 pub struct PagedKvCache {
     blocks: Vec<u32>,
     rows: usize,
@@ -266,20 +339,88 @@ impl PagedKvCache {
         self.committed_windows
     }
 
-    /// Blocks this sequence currently holds.
+    /// Blocks this sequence currently holds (shared blocks included).
     pub fn reserved_blocks(&self) -> usize {
         self.blocks.len()
     }
 
+    /// Blocks this sequence holds that are still shared with another
+    /// holder (a fork that has not yet diverged past them).
+    pub fn shared_blocks(&self, pool: &KvCachePool) -> usize {
+        self.blocks
+            .iter()
+            .filter(|&&b| pool.refcount(b) > 1)
+            .count()
+    }
+
+    /// Whether releasing this view would return at least one block to the
+    /// free list (it is the sole holder of some block). A view that only
+    /// aliases blocks held elsewhere costs nothing to keep — the signal
+    /// cache-eviction policies use to skip pointless evictions.
+    pub fn holds_sole_reference(&self, pool: &KvCachePool) -> bool {
+        self.blocks.iter().any(|&b| pool.refcount(b) == 1)
+    }
+
+    /// Forks this view: the child shares **every** block — full ones and
+    /// the trailing partial one — and clones the per-sequence V staging
+    /// window, so it is bit-identical to this cache at fork time. Writes
+    /// on either side copy a still-shared block before touching it
+    /// (copy-on-write), so the two sides diverge without perturbing each
+    /// other. O(blocks) refcount bumps plus one staging-window clone; no
+    /// packed data is copied until a divergent write happens.
+    pub fn fork(&self, pool: &mut KvCachePool) -> PagedKvCache {
+        for &b in &self.blocks {
+            pool.retain_block(b);
+        }
+        PagedKvCache {
+            blocks: self.blocks.clone(),
+            rows: self.rows,
+            committed_windows: self.committed_windows,
+            kmap: self.kmap.clone(),
+            staging: self.staging.clone(),
+        }
+    }
+
+    /// What the next [`PagedKvCache::push`] will demand from the free
+    /// list: a fresh block when the current one is full, plus a
+    /// copy-on-write block when the K row's target block is still shared.
+    /// A committing V window never needs its own copy: windows are
+    /// `group_size`-aligned and `block_tokens` is a multiple of
+    /// `group_size`, so the window ends at (and lives in) the very block
+    /// the K row targets — fresh or already made private. Admission/step
+    /// control sums this across sequences to know whether a batch
+    /// iteration can proceed.
+    pub fn blocks_needed_for_push(&self, pool: &KvCachePool) -> usize {
+        let bt = pool.cfg.block_tokens;
+        let new_block = self.rows == self.blocks.len() * bt;
+        let cow_k = !new_block && pool.refcount(self.blocks[self.rows / bt]) > 1;
+        usize::from(new_block) + usize::from(cow_k)
+    }
+
+    /// Replaces a still-shared block with a private copy (copy-on-write).
+    /// The caller must have verified a free block exists.
+    fn make_private(&mut self, pool: &mut KvCachePool, idx: usize) {
+        let b = self.blocks[idx];
+        if pool.refcount(b) <= 1 {
+            return;
+        }
+        let nb = pool.alloc().expect("preflight checked a free block exists");
+        pool.copy_block(b, nb);
+        pool.release_block(b);
+        self.blocks[idx] = nb;
+    }
+
     /// Quantizes and appends one decode step's key and value vectors,
-    /// reserving a fresh block from `pool` when the current one fills.
+    /// reserving a fresh block from `pool` when the current one fills and
+    /// copying any still-shared target block first (copy-on-write).
     /// Identical arithmetic to [`KCacheQuantizer::push`] +
     /// [`VCacheQuantizer::push`].
     ///
     /// # Errors
     ///
-    /// Returns [`QuantError::PoolExhausted`] if a new block is needed and
-    /// none is free (the cache is left unchanged).
+    /// Returns [`QuantError::PoolExhausted`] if the push needs more free
+    /// blocks ([`PagedKvCache::blocks_needed_for_push`]) than the pool
+    /// has; the cache is left unchanged.
     ///
     /// # Panics
     ///
@@ -288,17 +429,36 @@ impl PagedKvCache {
         assert_eq!(k.len(), self.staging.dim, "key vector length mismatch");
         assert_eq!(v.len(), self.staging.dim, "value vector length mismatch");
         let bt = pool.cfg.block_tokens;
-        if self.rows == self.blocks.len() * bt {
-            let block = pool.alloc().ok_or(QuantError::PoolExhausted {
+        // Preflight: the push mutates nothing unless every block it needs
+        // (fresh or copy-on-write) is available, keeping failure atomic.
+        if pool.free_blocks() < self.blocks_needed_for_push(pool) {
+            return Err(QuantError::PoolExhausted {
                 blocks: pool.cfg.blocks,
-            })?;
+            });
+        }
+        if self.rows == self.blocks.len() * bt {
+            let block = pool.alloc().expect("preflight checked");
             self.blocks.push(block);
+        } else {
+            self.make_private(pool, self.rows / bt);
         }
         let (codes, meta) = pool.k_row_mut(self.blocks[self.rows / bt], self.rows % bt);
         encode_k_row_into(&self.kmap, self.staging.group_size, k, codes, meta);
         if let Some(window) = self.staging.push(v) {
             let g = self.staging.group_size;
             let win_token = self.committed_windows * g;
+            // The window is g-aligned and ends at the row just written, so
+            // it lives in the K target block — fresh or just made private.
+            debug_assert_eq!(
+                win_token / bt,
+                self.rows / bt,
+                "V window strayed from K block"
+            );
+            debug_assert_eq!(
+                pool.refcount(self.blocks[win_token / bt]),
+                1,
+                "committing into a shared block"
+            );
             let (vmeta, vcodes) =
                 pool.v_window_mut(self.blocks[win_token / bt], (win_token % bt) / g);
             vmeta.copy_from_slice(&window.meta);
@@ -371,11 +531,13 @@ impl PagedKvCache {
         self.staging.attend_staged(&probs[t0..], chan_lo, out);
     }
 
-    /// Returns every block to the pool and clears the per-sequence state;
-    /// afterwards the view behaves exactly like a freshly created one.
+    /// Drops this view's hold on every block (a block returns to the free
+    /// list when its last holder lets go) and clears the per-sequence
+    /// state; afterwards the view behaves exactly like a freshly created
+    /// one.
     pub fn release(&mut self, pool: &mut KvCachePool) {
         for b in self.blocks.drain(..) {
-            pool.free_block(b);
+            pool.release_block(b);
         }
         self.rows = 0;
         self.committed_windows = 0;
@@ -673,6 +835,117 @@ mod tests {
         view.release(&mut pool);
         other.push(&mut pool, data.row(16), data.row(16)).unwrap();
         assert_eq!(other.len(), 1);
+    }
+
+    #[test]
+    fn fork_shares_blocks_and_cow_diverges_bit_exactly() {
+        // Fork mid-block (37 rows over 32-token blocks: one full block, one
+        // partial, a half-filled staging window), then push different
+        // continuations into parent and child. Each side must equal an
+        // independent owned-quantizer pair fed its own full stream, and the
+        // shared full block must stay physically shared while the partial
+        // one is copied on the first divergent write.
+        let mut gen = TensorGenerator::new(94);
+        let mut pool = pool(6, 32);
+        let prefix = gen.group_diverse_matrix(37, 64, 16, 0.5);
+        let a_tail = gen.group_diverse_matrix(15, 64, 16, 0.6);
+        let b_tail = gen.group_diverse_matrix(15, 64, 16, 0.8);
+
+        let mut a = PagedKvCache::new(&pool, vmap(), vmap());
+        for t in 0..37 {
+            a.push(&mut pool, prefix.row(t), prefix.row(t)).unwrap();
+        }
+        let mut b = a.fork(&mut pool);
+        assert_eq!(pool.used_blocks(), 2, "fork allocates nothing");
+        assert_eq!(pool.shared_blocks(), 2);
+        assert_eq!(a.shared_blocks(&pool), 2);
+        assert_eq!(b.len(), 37);
+        assert_eq!(
+            a.dequantize_k(&pool).as_slice(),
+            b.dequantize_k(&pool).as_slice()
+        );
+
+        // First divergent write copies the partial block (CoW), never the
+        // full one.
+        b.push(&mut pool, b_tail.row(0), b_tail.row(0)).unwrap();
+        assert_eq!(pool.used_blocks(), 3);
+        assert_eq!(pool.shared_blocks(), 1, "only the full block stays shared");
+        for t in 0..15 {
+            a.push(&mut pool, a_tail.row(t), a_tail.row(t)).unwrap();
+            if t > 0 {
+                b.push(&mut pool, b_tail.row(t), b_tail.row(t)).unwrap();
+            }
+        }
+        for (view, tail) in [(&a, &a_tail), (&b, &b_tail)] {
+            let mut kq = KCacheQuantizer::new(64, 16, vmap()).unwrap();
+            let mut vq = VCacheQuantizer::new(64, 16, vmap()).unwrap();
+            for t in 0..37 {
+                kq.push(prefix.row(t));
+                vq.push(prefix.row(t));
+            }
+            for t in 0..15 {
+                kq.push(tail.row(t));
+                vq.push(tail.row(t));
+            }
+            assert_eq!(
+                view.dequantize_k(&pool).as_slice(),
+                kq.dequantize().as_slice()
+            );
+            assert_eq!(
+                view.dequantize_v(&pool).as_slice(),
+                vq.dequantize().as_slice()
+            );
+            let probs: Vec<f32> = (0..52).map(|i| 1.0 / (1.0 + i as f32)).collect();
+            let (mut got, mut want) = (vec![0.0f32; 64], vec![0.0f32; 64]);
+            view.attend(&pool, &probs, 0, &mut got);
+            vq.attend(&probs, 0, &mut want);
+            assert_eq!(got, want);
+        }
+
+        // Release order is irrelevant; every block comes back.
+        a.release(&mut pool);
+        assert_eq!(pool.used_blocks(), 2, "B still holds its blocks");
+        b.release(&mut pool);
+        assert_eq!(pool.free_blocks(), 6);
+        assert_eq!(pool.shared_blocks(), 0);
+    }
+
+    #[test]
+    fn cow_exhaustion_is_reported_and_atomic() {
+        // Two blocks total: the parent holds one (partial), the fork's
+        // divergent write needs a CoW copy — which succeeds — and the next
+        // boundary allocation fails cleanly with both views intact.
+        let mut gen = TensorGenerator::new(95);
+        let mut pool = pool(2, 16);
+        let data = gen.group_diverse_matrix(40, 64, 16, 0.5);
+        let mut a = PagedKvCache::new(&pool, vmap(), vmap());
+        for t in 0..8 {
+            a.push(&mut pool, data.row(t), data.row(t)).unwrap();
+        }
+        let mut b = a.fork(&mut pool);
+        assert_eq!(
+            b.blocks_needed_for_push(&pool),
+            1,
+            "CoW of the shared block"
+        );
+        b.push(&mut pool, data.row(8), data.row(8)).unwrap();
+        assert_eq!(pool.free_blocks(), 0);
+        // A's next write also targets a still-shared block? No — the fork
+        // copied, so A's block is private again and the push succeeds.
+        assert_eq!(a.blocks_needed_for_push(&pool), 0);
+        a.push(&mut pool, data.row(8), data.row(8)).unwrap();
+        // Fill both views to their block boundary; the next push needs a
+        // fresh block and none exists.
+        for t in 9..16 {
+            a.push(&mut pool, data.row(t), data.row(t)).unwrap();
+        }
+        let err = a.push(&mut pool, data.row(16), data.row(16));
+        assert_eq!(err, Err(QuantError::PoolExhausted { blocks: 2 }));
+        assert_eq!(a.len(), 16, "failed push must not corrupt the view");
+        b.release(&mut pool);
+        a.push(&mut pool, data.row(16), data.row(16)).unwrap();
+        a.release(&mut pool);
+        assert_eq!(pool.free_blocks(), 2);
     }
 
     #[test]

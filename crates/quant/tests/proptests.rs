@@ -2,8 +2,8 @@
 
 use mant_quant::{
     dequant_then_gemv, mant_gemm, mant_gemv, quantize_activations_int8, quantize_vector_int8,
-    CandidateSet, KCacheQuantizer, MantQuantizedMatrix, MantWeightQuantizer, VCacheQuantizer,
-    VarianceMap,
+    CandidateSet, KCacheQuantizer, KvCachePool, MantQuantizedMatrix, MantWeightQuantizer,
+    PagedKvCache, PoolConfig, VCacheQuantizer, VarianceMap,
 };
 use mant_tensor::Matrix;
 use proptest::prelude::*;
@@ -170,5 +170,138 @@ proptest! {
         prop_assert_eq!(vq.committed_windows(), rows / 16);
         prop_assert_eq!(vq.window_len(), rows % 16);
         prop_assert_eq!(vq.dequantize().shape(), (rows, 8));
+    }
+}
+
+/// The allocator invariant the refcounted pool must hold at every moment:
+/// every block is either on the free list or held by at least one view,
+/// never both, never neither.
+fn assert_pool_invariant(pool: &KvCachePool, views: &[PagedKvCache]) {
+    let refcounted = (0..pool.total_blocks() as u32)
+        .filter(|&b| pool.refcount(b) > 0)
+        .count();
+    assert_eq!(
+        pool.free_blocks() + refcounted,
+        pool.total_blocks(),
+        "free list + refcounted blocks must cover the pool exactly"
+    );
+    assert_eq!(pool.used_blocks(), refcounted);
+    // Every held block id is sane and live, and total holds equal the sum
+    // of refcounts.
+    let holds: usize = views.iter().map(PagedKvCache::reserved_blocks).sum();
+    let refs_total: usize = (0..pool.total_blocks() as u32)
+        .map(|b| pool.refcount(b) as usize)
+        .sum();
+    assert_eq!(holds, refs_total, "view holds must equal summed refcounts");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Alloc/free churn under random join / push / fork / leave never
+    /// leaks or double-frees a block: `free + #{refcount > 0} == capacity`
+    /// after every operation, and releasing every survivor empties the
+    /// pool completely.
+    #[test]
+    fn pool_churn_never_leaks_blocks(
+        ops in proptest::collection::vec((0usize..4, 0usize..8, 1usize..20), 60),
+    ) {
+        let vmap = VarianceMap::analytic(&CandidateSet::paper()).unwrap();
+        let pool_cfg = PoolConfig { kv_dim: 16, group_size: 8, block_tokens: 8, blocks: 12 };
+        let mut pool = KvCachePool::new(pool_cfg).unwrap();
+        let mut views: Vec<PagedKvCache> = Vec::new();
+        let mut stamp = 0usize;
+        for &(op, pick, count) in &ops {
+            match op {
+                // Join: a new empty view (bounded so forks still happen).
+                0 if views.len() < 6 => {
+                    views.push(PagedKvCache::new(&pool, vmap.clone(), vmap.clone()));
+                }
+                // Push: grow a view until done or the pool runs dry.
+                1 if !views.is_empty() => {
+                    let i = pick % views.len();
+                    let v = &mut views[i];
+                    for _ in 0..count {
+                        stamp += 1;
+                        let row: Vec<f32> =
+                            (0..16).map(|c| ((stamp * 7 + c) % 11) as f32 - 5.0).collect();
+                        if v.push(&mut pool, &row, &row).is_err() {
+                            break; // exhaustion is legal; state must stay consistent
+                        }
+                    }
+                }
+                // Fork: share every block copy-on-write.
+                2 if !views.is_empty() && views.len() < 6 => {
+                    let child = views[pick % views.len()].fork(&mut pool);
+                    views.push(child);
+                }
+                // Leave: release a view's holds.
+                3 if !views.is_empty() => {
+                    let i = pick % views.len();
+                    views[i].release(&mut pool);
+                    views.remove(i);
+                }
+                _ => {}
+            }
+            assert_pool_invariant(&pool, &views);
+        }
+        for v in &mut views {
+            v.release(&mut pool);
+        }
+        assert_eq!(pool.free_blocks(), pool.total_blocks(), "survivor release must drain to empty");
+        assert_eq!(pool.shared_blocks(), 0);
+    }
+
+    /// Fork-then-diverge is byte-identical to two caches that never met:
+    /// a parent forked at a random point, each side continuing on its own
+    /// rows, must dequantize exactly like independent owned quantizers fed
+    /// the same streams (CoW isolation leaves no trace).
+    #[test]
+    fn fork_then_diverge_matches_independent_caches(
+        prefix_rows in 1usize..40,
+        a_rows in 1usize..20,
+        b_rows in 1usize..20,
+        seed in 0u64..500,
+    ) {
+        let vmap = VarianceMap::analytic(&CandidateSet::paper()).unwrap();
+        let mut gen = mant_tensor::TensorGenerator::new(seed);
+        let pool_cfg = PoolConfig { kv_dim: 32, group_size: 8, block_tokens: 16, blocks: 16 };
+        let mut pool = KvCachePool::new(pool_cfg).unwrap();
+        let prefix = gen.group_diverse_matrix(prefix_rows, 32, 8, 0.5);
+        let a_tail = gen.group_diverse_matrix(a_rows, 32, 8, 0.6);
+        let b_tail = gen.group_diverse_matrix(b_rows, 32, 8, 0.8);
+
+        let mut a = PagedKvCache::new(&pool, vmap.clone(), vmap.clone());
+        for t in 0..prefix_rows {
+            a.push(&mut pool, prefix.row(t), prefix.row(t)).unwrap();
+        }
+        let mut b = a.fork(&mut pool);
+        for t in 0..a_rows.max(b_rows) {
+            if t < a_rows {
+                a.push(&mut pool, a_tail.row(t), a_tail.row(t)).unwrap();
+            }
+            if t < b_rows {
+                b.push(&mut pool, b_tail.row(t), b_tail.row(t)).unwrap();
+            }
+        }
+        for (view, tail, rows) in [(&a, &a_tail, a_rows), (&b, &b_tail, b_rows)] {
+            let mut kq = KCacheQuantizer::new(32, 8, vmap.clone()).unwrap();
+            let mut vq = VCacheQuantizer::new(32, 8, vmap.clone()).unwrap();
+            for t in 0..prefix_rows {
+                kq.push(prefix.row(t));
+                vq.push(prefix.row(t));
+            }
+            for t in 0..rows {
+                kq.push(tail.row(t));
+                vq.push(tail.row(t));
+            }
+            let (paged_k, owned_k) = (view.dequantize_k(&pool), kq.dequantize());
+            let (paged_v, owned_v) = (view.dequantize_v(&pool), vq.dequantize());
+            prop_assert_eq!(paged_k.as_slice(), owned_k.as_slice());
+            prop_assert_eq!(paged_v.as_slice(), owned_v.as_slice());
+        }
+        a.release(&mut pool);
+        b.release(&mut pool);
+        prop_assert_eq!(pool.free_blocks(), pool.total_blocks());
     }
 }

@@ -2,24 +2,36 @@
 //!
 //! Each [`ServeEngine::tick`] is one batched token iteration:
 //!
-//! 1. **Admit** — FCFS, while the batch has a free lane and the paged KV
-//!    pool can reserve the candidate's whole lifetime
-//!    (`prompt + max_new_tokens`) in blocks. Reservation up front means a
-//!    step can never hit [`mant_quant::QuantError::PoolExhausted`].
-//! 2. **Compose** — every active sequence contributes exactly one token:
+//! 1. **Admit** — FCFS, while the batch has a free lane and the admission
+//!    policy clears the candidate (see [`AdmissionPolicy`]). With prefix
+//!    sharing on, a candidate whose prompt prefix is already cached opens
+//!    its session directly on the shared physical blocks and skips that
+//!    part of prefill entirely.
+//! 2. **Relieve** — (watermark policy) if this iteration's block demand
+//!    (boundary allocations + copy-on-write) exceeds the free list, drop
+//!    prefix snapshots, then preempt the **youngest** running sequence:
+//!    its blocks are released, the request requeued, and its tokens
+//!    recomputed on readmission — byte-identical, since re-encoding a
+//!    prefix is deterministic.
+//! 3. **Compose** — every active sequence contributes exactly one token:
 //!    its next prompt token while prefilling, else its last generated
 //!    token (mixed prefill/decode in one batch — token-level continuous
 //!    batching).
-//! 3. **Step** — one [`BatchRunner::step`] over the quantized backend:
+//! 4. **Step** — one [`BatchRunner::step`] over the quantized backend:
 //!    multi-query packed GEMMs for the linear layers, per-sequence paged
 //!    incremental attention.
-//! 4. **Advance** — greedy argmax over each sequence's logits; sequences
-//!    that produced their last token retire, returning their blocks.
+//! 5. **Advance** — greedy argmax over each sequence's logits; sequences
+//!    that produced their last token retire, releasing their block holds.
+//!    Block-aligned prompt prefixes are registered in the runner's prefix
+//!    cache as prefill crosses each boundary.
 //!
-//! Because the batch runner is bit-identical to sequential execution, the
-//! engine's greedy outputs equal [`sequential_generate`]'s exactly — the
-//! serving layer changes *when* work happens, never *what* is computed.
+//! Because the batch runner is bit-identical to sequential execution —
+//! and prefix forks and preemption recompute are too — the engine's
+//! greedy outputs equal [`sequential_generate`]'s exactly under every
+//! policy: the serving layer changes *when* work happens, never *what*
+//! is computed.
 
+use std::collections::HashMap;
 use std::time::Instant;
 
 use mant_model::{ActMode, BatchRunner, KvMode, PackedWeights, SessionId, TransformerModel};
@@ -28,7 +40,28 @@ use crate::metrics::ServeReport;
 use crate::request::{Completion, GenRequest};
 use crate::scheduler::FcfsScheduler;
 
-/// Engine shape: batch lane count, pool geometry, execution modes.
+/// How the scheduler decides a candidate fits the paged KV pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Whole-lifetime reservation: admit only when
+    /// `prompt + max_new_tokens` worth of blocks can be set aside up
+    /// front. A step can never exhaust the pool, but the pool is sized
+    /// for the worst case — concurrency collapses on long-output traces.
+    Reserve,
+    /// On-demand (vLLM-style): admit while the free list covers the
+    /// candidate's remaining *prefill* plus `watermark_blocks` of decode
+    /// headroom; blocks are allocated as tokens arrive, and pool pressure
+    /// is relieved by evicting prefix snapshots, then preempting the
+    /// youngest running sequence (recompute on readmission).
+    Watermark {
+        /// Free-block headroom admission keeps for running sequences'
+        /// decode growth; a few blocks per batch lane is plenty.
+        watermark_blocks: usize,
+    },
+}
+
+/// Engine shape: batch lane count, pool geometry, execution modes,
+/// scheduling policy.
 #[derive(Clone, Copy, Debug)]
 pub struct ServeConfig {
     /// Maximum sequences per iteration (batch lanes).
@@ -41,18 +74,58 @@ pub struct ServeConfig {
     pub act: ActMode,
     /// KV-cache mode; must be quantized ([`KvMode::Int4`]/[`KvMode::Mant4`]).
     pub kv: KvMode,
+    /// Admission discipline (reservation vs watermark + preemption).
+    pub admission: AdmissionPolicy,
+    /// Share identical block-aligned prompt prefixes across requests via
+    /// the runner's copy-on-write prefix cache. Requires the watermark
+    /// policy (reservation would double-count shared blocks).
+    pub prefix_sharing: bool,
 }
 
 /// One running sequence.
 struct ActiveSeq {
     sid: SessionId,
     req: GenRequest,
-    /// Tokens fed so far (prompt + generated feedback).
+    /// Tokens fed so far (prompt + generated feedback); starts at the
+    /// prefix-cache hit length, not 0, when admission shared blocks.
     pos: usize,
+    /// Generated tokens, including any carried over a preemption.
     generated: Vec<usize>,
+    /// Feed positions below this replay known tokens (prompt, plus
+    /// carried generated tokens after a preemption); new tokens are
+    /// produced only from here on.
+    replay_until: usize,
+    /// High-water mark of prompt positions stepped for the first time
+    /// (survives preemption), so replayed prompt tokens count as
+    /// recompute, not prompt work.
+    prompt_fed: usize,
     first_token_iter: Option<u64>,
-    /// Blocks reserved for the whole lifetime.
+    /// Iteration of the request's *first* admission.
+    admitted_iter: u64,
+    /// Monotone admission stamp; the preemption victim is the largest.
+    admit_seq: u64,
+    /// Blocks reserved for the whole lifetime (reservation policy only).
     reserved: usize,
+}
+
+impl ActiveSeq {
+    /// The token to feed at position `pos` (prompt, then generated).
+    fn feed_token(&self) -> usize {
+        if self.pos < self.req.prompt.len() {
+            self.req.prompt[self.pos]
+        } else {
+            self.generated[self.pos - self.req.prompt.len()]
+        }
+    }
+}
+
+/// State carried across a preemption so readmission recomputes the exact
+/// same sequence and latency accounting stays truthful.
+struct ResumeState {
+    generated: Vec<usize>,
+    prompt_fed: usize,
+    first_token_iter: Option<u64>,
+    admitted_iter: u64,
 }
 
 /// The continuous-batching inference engine over one model's packed
@@ -62,13 +135,23 @@ pub struct ServeEngine<'m> {
     scheduler: FcfsScheduler,
     active: Vec<ActiveSeq>,
     max_batch: usize,
+    admission: AdmissionPolicy,
+    prefix_sharing: bool,
     iter: u64,
     reserved_blocks: usize,
+    /// Preempted requests' carry state, keyed by request id.
+    resume: HashMap<u64, ResumeState>,
+    admit_counter: u64,
     completions: Vec<Completion>,
     generated_tokens: usize,
     prompt_tokens: usize,
+    recomputed_tokens: usize,
+    prefix_cached_tokens: usize,
+    prefill_tokens: usize,
+    preemptions: usize,
     busy_iterations: u64,
     occupancy_sum: u64,
+    peak_running: usize,
     peak_used_blocks: usize,
     vocab: usize,
 }
@@ -79,22 +162,39 @@ impl<'m> ServeEngine<'m> {
     /// # Panics
     ///
     /// Panics on the shape/mode mismatches
-    /// [`TransformerModel::batch_runner`] rejects, or if `max_batch` is 0.
+    /// [`TransformerModel::batch_runner`] rejects, if `max_batch` is 0, or
+    /// if `prefix_sharing` is requested under the reservation policy
+    /// (whole-lifetime reservation double-counts shared blocks; sharing
+    /// needs the watermark discipline).
     pub fn new(model: &'m TransformerModel, packed: &'m PackedWeights, cfg: ServeConfig) -> Self {
         assert!(cfg.max_batch > 0, "max_batch must be at least 1");
+        assert!(
+            !(cfg.prefix_sharing && cfg.admission == AdmissionPolicy::Reserve),
+            "prefix sharing requires AdmissionPolicy::Watermark; whole-lifetime reservation \
+             double-counts shared blocks"
+        );
         let runner = model.batch_runner(packed, cfg.act, cfg.kv, cfg.pool_blocks, cfg.block_tokens);
         ServeEngine {
             runner,
             scheduler: FcfsScheduler::new(),
             active: Vec::new(),
             max_batch: cfg.max_batch,
+            admission: cfg.admission,
+            prefix_sharing: cfg.prefix_sharing,
             iter: 0,
             reserved_blocks: 0,
+            resume: HashMap::new(),
+            admit_counter: 0,
             completions: Vec::new(),
             generated_tokens: 0,
             prompt_tokens: 0,
+            recomputed_tokens: 0,
+            prefix_cached_tokens: 0,
+            prefill_tokens: 0,
+            preemptions: 0,
             busy_iterations: 0,
             occupancy_sum: 0,
+            peak_running: 0,
             peak_used_blocks: 0,
             vocab: model.config.vocab,
         }
@@ -132,6 +232,15 @@ impl<'m> ServeEngine<'m> {
             req.id,
             self.runner.pool().total_blocks()
         );
+        // Ids key the preemption carry state, so an in-flight duplicate
+        // would cross-wire two requests' progress.
+        assert!(
+            !self.active.iter().any(|s| s.req.id == req.id)
+                && !self.resume.contains_key(&req.id)
+                && !self.scheduler.contains(req.id),
+            "request id {} is already in flight; ids must be unique until completion",
+            req.id
+        );
         self.scheduler.submit(req);
     }
 
@@ -150,11 +259,24 @@ impl<'m> ServeEngine<'m> {
         self.active.len()
     }
 
-    /// One engine iteration (admit → compose → step → advance); returns
-    /// the number of tokens generated this iteration. With nothing
-    /// runnable, the clock still advances by one (an idle iteration).
+    /// Requests preempted and awaiting readmission.
+    pub fn preempted_waiting(&self) -> usize {
+        self.resume.len()
+    }
+
+    /// One engine iteration (admit → relieve → compose → step → advance);
+    /// returns the number of tokens generated this iteration. With
+    /// nothing runnable, the clock still advances by one (an idle
+    /// iteration).
     pub fn tick(&mut self) -> usize {
         self.admit();
+        if let AdmissionPolicy::Watermark { .. } = self.admission {
+            self.relieve_pressure();
+        }
+        // Sampled after the pressure valve, so a sequence admitted and
+        // preempted in the same tick (which never ran a step) does not
+        // inflate the concurrency peak.
+        self.peak_running = self.peak_running.max(self.active.len());
         if self.active.is_empty() {
             self.iter += 1;
             return 0;
@@ -162,14 +284,7 @@ impl<'m> ServeEngine<'m> {
         let batch: Vec<(SessionId, usize)> = self
             .active
             .iter()
-            .map(|s| {
-                let token = if s.pos < s.req.prompt.len() {
-                    s.req.prompt[s.pos]
-                } else {
-                    *s.generated.last().expect("decode phase has a last token")
-                };
-                (s.sid, token)
-            })
+            .map(|s| (s.sid, s.feed_token()))
             .collect();
         let logits = self.runner.step(&batch);
         self.iter += 1;
@@ -181,13 +296,21 @@ impl<'m> ServeEngine<'m> {
         let mut finished: Vec<usize> = Vec::new();
         for (i, seq_logits) in logits.iter().enumerate() {
             let s = &mut self.active[i];
-            if s.pos < s.req.prompt.len() {
+            if s.pos < s.req.prompt.len() && s.pos >= s.prompt_fed {
+                // A prompt position stepped for the first time (positions
+                // below `prompt_fed` were stepped before a preemption;
+                // positions below the prefix-hit length are never stepped
+                // at all).
                 self.prompt_tokens += 1;
+                s.prompt_fed = s.pos + 1;
+            } else if s.pos < s.replay_until {
+                self.recomputed_tokens += 1;
             }
             s.pos += 1;
-            if s.pos >= s.req.prompt.len() {
-                // The logits after the last prompt token (and after every
-                // generated token) yield the next greedy token.
+            if s.pos >= s.replay_until {
+                // The logits after the last known token (prompt, or the
+                // replayed tail after a preemption) yield the next greedy
+                // token.
                 s.generated.push(argmax(seq_logits));
                 s.first_token_iter.get_or_insert(self.iter);
                 produced += 1;
@@ -195,6 +318,16 @@ impl<'m> ServeEngine<'m> {
             }
             if s.generated.len() == s.req.max_new_tokens {
                 finished.push(i);
+            }
+        }
+        if self.prefix_sharing {
+            // Register every block boundary prefill crosses: committed
+            // blocks are immutable, so the snapshot is free to share.
+            let bt = self.runner.pool().block_tokens();
+            for s in &self.active {
+                if s.pos <= s.req.prompt.len() && s.pos % bt == 0 && s.pos > 0 {
+                    self.runner.register_prefix(s.sid, &s.req.prompt[..s.pos]);
+                }
             }
         }
         // Retire back-to-front so indices stay valid.
@@ -207,6 +340,7 @@ impl<'m> ServeEngine<'m> {
                 prompt_len: s.req.prompt.len(),
                 tokens: s.generated,
                 arrival_iter: s.req.arrival_iter,
+                admitted_iter: s.admitted_iter,
                 first_token_iter: s.first_token_iter.expect("finished implies first token"),
                 finish_iter: self.iter,
             });
@@ -235,34 +369,178 @@ impl<'m> ServeEngine<'m> {
             generated_tokens: self.generated_tokens,
             prompt_tokens: self.prompt_tokens,
             mean_batch_occupancy: self.occupancy_sum as f64 / self.busy_iterations.max(1) as f64,
+            peak_running: self.peak_running,
             peak_used_blocks: self.peak_used_blocks,
+            preemptions: self.preemptions,
+            recomputed_tokens: self.recomputed_tokens,
+            prefix_cached_tokens: self.prefix_cached_tokens,
+            prefill_tokens: self.prefill_tokens,
             pool_blocks: self.runner.pool().total_blocks(),
             block_bits: self.runner.pool().block_bits(),
         }
     }
 
-    /// FCFS admission under the block-reservation discipline.
+    /// FCFS admission under the configured policy (head-of-line: a
+    /// request that does not fit yet is waited for, never skipped).
     fn admit(&mut self) {
         while self.active.len() < self.max_batch {
             let Some(candidate) = self.scheduler.peek_ready(self.iter) else {
                 break;
             };
-            let need = self.runner.blocks_for_request(candidate.total_tokens());
-            if self.reserved_blocks + need > self.runner.pool().total_blocks() {
-                break; // head-of-line: wait for blocks, never skip ahead
+            match self.admission {
+                AdmissionPolicy::Reserve => {
+                    let need = self.runner.blocks_for_request(candidate.total_tokens());
+                    if self.reserved_blocks + need > self.runner.pool().total_blocks() {
+                        break; // wait for blocks, never skip ahead
+                    }
+                    let req = self.scheduler.pop().expect("peeked above");
+                    let sid = self.runner.create_session();
+                    self.reserved_blocks += need;
+                    self.prefill_tokens += req.prompt.len();
+                    self.admit_counter += 1;
+                    self.active.push(ActiveSeq {
+                        sid,
+                        pos: 0,
+                        generated: Vec::new(),
+                        replay_until: req.prompt.len(),
+                        prompt_fed: 0,
+                        first_token_iter: None,
+                        admitted_iter: self.iter,
+                        admit_seq: self.admit_counter,
+                        reserved: need,
+                        req,
+                    });
+                }
+                AdmissionPolicy::Watermark { watermark_blocks } => {
+                    // The feed stream a (re)admission must have cached
+                    // before producing new tokens: the prompt, plus any
+                    // generated tokens carried over a preemption.
+                    let carried = self
+                        .resume
+                        .get(&candidate.id)
+                        .map_or(0, |r| r.generated.len());
+                    let feed_len = candidate.prompt.len() + carried;
+                    // Only the first feed_len - 1 tokens are shareable:
+                    // the last token must be stepped to yield logits.
+                    let lookup: Vec<usize> = candidate
+                        .prompt
+                        .iter()
+                        .copied()
+                        .chain(
+                            self.resume
+                                .get(&candidate.id)
+                                .into_iter()
+                                .flat_map(|r| r.generated.iter().copied()),
+                        )
+                        .take(feed_len - 1)
+                        .collect();
+                    let shared = if self.prefix_sharing {
+                        self.runner.cached_prefix_len(&lookup)
+                    } else {
+                        0
+                    };
+                    let need = self.runner.blocks_for_request(feed_len)
+                        - self.runner.blocks_for_request(shared);
+                    let free = self.runner.pool().free_blocks();
+                    let admissible =
+                        free >= need + watermark_blocks || (self.active.is_empty() && free >= need);
+                    if !admissible {
+                        // With nothing running, snapshots are the only
+                        // holders: drop them until the head fits (the
+                        // submit-time sizing check guarantees it will).
+                        if self.active.is_empty() {
+                            assert!(
+                                self.runner.evict_lru_prefix(),
+                                "head request needs {need} blocks but only {free} exist and \
+                                 nothing holds the rest; submit-time sizing should prevent this"
+                            );
+                            continue; // re-evaluate (the hit may be gone)
+                        }
+                        break;
+                    }
+                    let req = self.scheduler.pop().expect("peeked above");
+                    let (sid, cached) = if self.prefix_sharing {
+                        self.runner.create_session_with_prefix(&lookup)
+                    } else {
+                        (self.runner.create_session(), 0)
+                    };
+                    debug_assert_eq!(cached, shared);
+                    let carry = self.resume.remove(&req.id);
+                    self.prefill_tokens += feed_len;
+                    self.prefix_cached_tokens += cached;
+                    self.admit_counter += 1;
+                    self.active.push(ActiveSeq {
+                        sid,
+                        pos: cached,
+                        generated: carry
+                            .as_ref()
+                            .map_or_else(Vec::new, |r| r.generated.clone()),
+                        replay_until: feed_len,
+                        prompt_fed: carry.as_ref().map_or(0, |r| r.prompt_fed),
+                        first_token_iter: carry.as_ref().and_then(|r| r.first_token_iter),
+                        admitted_iter: carry.as_ref().map_or(self.iter, |r| r.admitted_iter),
+                        admit_seq: self.admit_counter,
+                        reserved: 0,
+                        req,
+                    });
+                }
             }
-            let req = self.scheduler.pop().expect("peeked above");
-            let sid = self.runner.create_session();
-            self.reserved_blocks += need;
-            self.active.push(ActiveSeq {
-                sid,
-                req,
-                pos: 0,
-                generated: Vec::new(),
-                first_token_iter: None,
-                reserved: need,
-            });
         }
+    }
+
+    /// Watermark-policy pressure valve, run before every step: if the
+    /// iteration's block demand (boundary allocations + copy-on-write)
+    /// exceeds the free list, drop prefix snapshots first — they are pure
+    /// cache — then preempt the youngest running sequence: release its
+    /// blocks, requeue the request, and recompute its tokens on
+    /// readmission (byte-identical by determinism). The oldest sequence
+    /// is never preempted, so the engine always makes progress.
+    fn relieve_pressure(&mut self) {
+        loop {
+            let needed: usize = self
+                .active
+                .iter()
+                .map(|s| self.runner.blocks_needed_for_step(s.sid))
+                .sum();
+            if self.runner.pool().free_blocks() >= needed {
+                return;
+            }
+            if self.runner.evict_lru_prefix() {
+                continue;
+            }
+            assert!(
+                self.active.len() > 1,
+                "a lone running sequence exhausted the pool; submit-time sizing should \
+                 prevent this"
+            );
+            self.preempt_youngest();
+        }
+    }
+
+    /// Evicts the most recently admitted sequence and requeues its
+    /// request with its progress carried, so readmission resumes the
+    /// exact same token stream.
+    fn preempt_youngest(&mut self) {
+        let idx = self
+            .active
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, s)| s.admit_seq)
+            .map(|(i, _)| i)
+            .expect("caller checked active is non-empty");
+        let s = self.active.remove(idx);
+        self.runner.end_session(s.sid);
+        self.preemptions += 1;
+        self.resume.insert(
+            s.req.id,
+            ResumeState {
+                generated: s.generated,
+                prompt_fed: s.prompt_fed,
+                first_token_iter: s.first_token_iter,
+                admitted_iter: s.admitted_iter,
+            },
+        );
+        self.scheduler.submit(s.req);
     }
 }
 

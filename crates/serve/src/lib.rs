@@ -11,22 +11,32 @@
 //!   prefill+decode iterations (token-level continuous batching), and
 //!   drives [`mant_model::BatchRunner`] — multi-query packed GEMMs over
 //!   the whole batch, per-sequence incremental attention over a paged,
-//!   packed KV-cache pool accounted in real packed bits;
-//! - [`FcfsScheduler`]: arrival-ordered admission with whole-lifetime
-//!   block reservation (a step can never exhaust the pool);
-//! - [`ServeReport`] / [`Percentiles`]: aggregate tokens/s, TTFT and
-//!   end-to-end latency percentiles, batch occupancy, pool peaks;
+//!   packed, **refcounted copy-on-write** KV-cache pool accounted in real
+//!   packed bits;
+//! - [`AdmissionPolicy`]: whole-lifetime block reservation (a step can
+//!   never exhaust the pool) or vLLM-style watermark admission — blocks
+//!   allocated as tokens arrive, pool pressure relieved by dropping
+//!   prefix snapshots and preempting the youngest sequence (recompute on
+//!   readmission, byte-identical by determinism);
+//! - **prefix sharing**: with [`ServeConfig::prefix_sharing`], requests
+//!   whose prompts share a block-aligned prefix (a common system prompt)
+//!   map it onto the *same* physical packed blocks and skip that prefill;
+//! - [`FcfsScheduler`]: arrival-ordered admission, O(log n) inserts;
+//! - [`ServeReport`] / [`Percentiles`]: aggregate tokens/s, TTFT /
+//!   end-to-end / queueing-delay percentiles, batch occupancy, prefix
+//!   hit rate, preemption and recompute counts, pool peaks;
 //! - [`sequential_generate`]: the one-request-at-a-time baseline. The
 //!   batch runner is bit-identical to sequential execution, so the
-//!   engine's greedy outputs equal the baseline's exactly — batching buys
-//!   throughput, never different results.
+//!   engine's greedy outputs equal the baseline's exactly — batching,
+//!   sharing, and preemption buy throughput, never different results.
 //!
-//! Workloads come from [`mant_sim::trace`] (seeded Poisson arrivals,
-//! prompt/output length distributions) via [`requests_from_trace`].
+//! Workloads come from [`mant_sim::trace`] — seeded Poisson arrivals via
+//! [`requests_from_trace`], and shared-prefix multi-persona traffic via
+//! [`requests_from_shared_trace`].
 //!
 //! ```
 //! use mant_model::{ActMode, KvMode, ModelConfig, TransformerModel};
-//! use mant_serve::{GenRequest, ServeConfig, ServeEngine};
+//! use mant_serve::{AdmissionPolicy, GenRequest, ServeConfig, ServeEngine};
 //!
 //! let model = TransformerModel::synthesize(&ModelConfig::sim_llama(), 7);
 //! let packed = model.pack_weights(64).unwrap();
@@ -36,6 +46,8 @@
 //!     block_tokens: 64,
 //!     act: ActMode::None,
 //!     kv: KvMode::Mant4 { group: 64 },
+//!     admission: AdmissionPolicy::Watermark { watermark_blocks: 4 },
+//!     prefix_sharing: true,
 //! });
 //! engine.submit(GenRequest { id: 0, prompt: vec![1, 2, 3], max_new_tokens: 4, arrival_iter: 0 });
 //! let report = engine.run_to_completion();
@@ -47,7 +59,7 @@ pub mod metrics;
 pub mod request;
 pub mod scheduler;
 
-pub use engine::{argmax, sequential_generate, ServeConfig, ServeEngine};
+pub use engine::{argmax, sequential_generate, AdmissionPolicy, ServeConfig, ServeEngine};
 pub use metrics::{percentile, Percentiles, ServeReport};
-pub use request::{requests_from_trace, Completion, GenRequest};
+pub use request::{requests_from_shared_trace, requests_from_trace, Completion, GenRequest};
 pub use scheduler::FcfsScheduler;

@@ -59,8 +59,22 @@ pub struct ServeReport {
     pub prompt_tokens: usize,
     /// Mean sequences per busy iteration (continuous-batching occupancy).
     pub mean_batch_occupancy: f64,
+    /// Most sequences ever running at once (admitted concurrency peak).
+    pub peak_running: usize,
     /// Most pool blocks ever in use at once.
     pub peak_used_blocks: usize,
+    /// Times a running sequence was preempted (blocks evicted, request
+    /// requeued for recompute) to relieve pool pressure.
+    pub preemptions: usize,
+    /// Tokens re-fed through the model when preempted requests were
+    /// re-admitted (the recompute cost of preemption).
+    pub recomputed_tokens: usize,
+    /// Prefill tokens served straight from the prefix cache (shared
+    /// blocks mapped instead of stepped), across all admissions.
+    pub prefix_cached_tokens: usize,
+    /// Prefill tokens all admissions needed in total (cached + stepped);
+    /// the denominator of [`ServeReport::prefix_hit_rate`].
+    pub prefill_tokens: usize,
     /// Pool capacity in blocks.
     pub pool_blocks: usize,
     /// Packed bits per pool block (K + V codes and group metadata), from
@@ -106,6 +120,32 @@ impl ServeReport {
             .map(|c| c.e2e_iters() as f64)
             .collect();
         summarize(&samples)
+    }
+
+    /// Queueing-delay (submit → first admission) percentiles across
+    /// completions, in iterations — how long requests waited before the
+    /// scheduler let them into the batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no request completed.
+    pub fn queueing_percentiles(&self) -> Percentiles {
+        let samples: Vec<f64> = self
+            .completions
+            .iter()
+            .map(|c| c.queue_iters() as f64)
+            .collect();
+        summarize(&samples)
+    }
+
+    /// Fraction of required prefill tokens served from the prefix cache
+    /// (0 when no prefill was needed).
+    pub fn prefix_hit_rate(&self) -> f64 {
+        if self.prefill_tokens == 0 {
+            0.0
+        } else {
+            self.prefix_cached_tokens as f64 / self.prefill_tokens as f64
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! Serving requests and their completed records.
 
-use mant_sim::TraceRequest;
+use mant_sim::{SharedPrefixRequest, TraceRequest};
 use mant_tensor::TensorGenerator;
 
 /// One generation request: a prompt to prefill and a number of tokens to
@@ -43,6 +43,58 @@ pub fn requests_from_trace(trace: &[TraceRequest], vocab: usize, seed: u64) -> V
         .collect()
 }
 
+/// Materializes a shared-prefix workload ([`mant_sim::shared_prefix_trace`])
+/// into concrete requests whose prompts really share token contents:
+/// every prompt is `system ++ persona ++ unique` with one system chain
+/// common to all requests, one chain per persona, and a per-request
+/// unique tail — all drawn deterministically from `seed`, so equal
+/// `(cfg, trace, vocab, seed)` yield identical requests (and identical
+/// shareable prefixes).
+///
+/// # Panics
+///
+/// Panics if `trace` was not generated from `cfg` (a request's persona
+/// index or prompt split disagrees with the config).
+pub fn requests_from_shared_trace(
+    cfg: &mant_sim::SharedPrefixConfig,
+    trace: &[SharedPrefixRequest],
+    vocab: usize,
+    seed: u64,
+) -> Vec<GenRequest> {
+    let mut gen = TensorGenerator::new(seed);
+    let system: Vec<usize> = (0..cfg.system_prompt_len)
+        .map(|_| gen.token(vocab))
+        .collect();
+    let personas: Vec<Vec<usize>> = (0..cfg.personas)
+        .map(|_| {
+            (0..cfg.persona_prompt_len)
+                .map(|_| gen.token(vocab))
+                .collect()
+        })
+        .collect();
+    trace
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            assert!(
+                r.persona < cfg.personas
+                    && r.trace.prompt_len
+                        == cfg.system_prompt_len + cfg.persona_prompt_len + r.unique_len,
+                "trace request {i} does not match the shared-prefix config"
+            );
+            let mut prompt = system.clone();
+            prompt.extend_from_slice(&personas[r.persona]);
+            prompt.extend((0..r.unique_len).map(|_| gen.token(vocab)));
+            GenRequest {
+                id: i as u64,
+                prompt,
+                max_new_tokens: r.trace.output_len,
+                arrival_iter: r.trace.arrival_iter,
+            }
+        })
+        .collect()
+}
+
 /// A finished request: what was generated and when.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Completion {
@@ -54,6 +106,9 @@ pub struct Completion {
     pub tokens: Vec<usize>,
     /// When the request arrived (engine iterations).
     pub arrival_iter: u64,
+    /// Iteration at which the request was first admitted into the running
+    /// batch (queueing delay ends here; preemptions do not reset it).
+    pub admitted_iter: u64,
     /// Iteration at which the first generated token was produced.
     pub first_token_iter: u64,
     /// Iteration at which the last generated token was produced.
@@ -61,6 +116,11 @@ pub struct Completion {
 }
 
 impl Completion {
+    /// Queueing delay — submit to first admission, in engine iterations.
+    pub fn queue_iters(&self) -> u64 {
+        self.admitted_iter - self.arrival_iter
+    }
+
     /// Time to first token, in engine iterations (queueing + prefill).
     pub fn ttft_iters(&self) -> u64 {
         self.first_token_iter - self.arrival_iter
@@ -107,10 +167,41 @@ mod tests {
             prompt_len: 4,
             tokens: vec![1, 2],
             arrival_iter: 10,
+            admitted_iter: 12,
             first_token_iter: 14,
             finish_iter: 16,
         };
+        assert_eq!(c.queue_iters(), 2);
         assert_eq!(c.ttft_iters(), 4);
         assert_eq!(c.e2e_iters(), 6);
+    }
+
+    #[test]
+    fn shared_trace_materialization_really_shares_prefixes() {
+        use mant_sim::{shared_prefix_trace, LengthDist, SharedPrefixConfig};
+        let cfg = SharedPrefixConfig {
+            personas: 2,
+            requests_per_persona: 3,
+            system_prompt_len: 8,
+            persona_prompt_len: 4,
+            unique_prompt_len: LengthDist::Uniform { lo: 1, hi: 5 },
+            output: LengthDist::Fixed(3),
+            arrivals_per_iter: 0.5,
+            seed: 5,
+        };
+        let trace = shared_prefix_trace(&cfg);
+        let reqs = requests_from_shared_trace(&cfg, &trace, 512, 6);
+        assert_eq!(reqs, requests_from_shared_trace(&cfg, &trace, 512, 6));
+        assert_eq!(reqs.len(), 6);
+        // All requests share the 8-token system prefix; same-persona
+        // requests share 12 tokens; cross-persona pairs diverge at 8.
+        for r in &reqs {
+            assert_eq!(&r.prompt[..8], &reqs[0].prompt[..8]);
+            assert!(r.prompt.iter().all(|&t| t < 512));
+        }
+        assert_eq!(&reqs[0].prompt[..12], &reqs[2].prompt[..12]);
+        assert_ne!(&reqs[0].prompt[8..12], &reqs[1].prompt[8..12]);
+        // Unique tails differ even within a persona.
+        assert_ne!(reqs[0].prompt, reqs[2].prompt);
     }
 }

@@ -25,19 +25,25 @@ impl FcfsScheduler {
     }
 
     /// Enqueues a request, keeping the queue sorted by arrival time
-    /// (stable for equal arrivals: earlier submissions first).
+    /// (stable for equal arrivals: earlier submissions first). The queue
+    /// is always sorted, so the insertion point is a binary search
+    /// (`partition_point`), not a linear scan — submit stays O(log n)
+    /// comparisons even under the serving engine's preemption requeues.
     pub fn submit(&mut self, req: GenRequest) {
         let pos = self
             .waiting
-            .iter()
-            .rposition(|r| r.arrival_iter <= req.arrival_iter)
-            .map_or(0, |p| p + 1);
+            .partition_point(|r| r.arrival_iter <= req.arrival_iter);
         self.waiting.insert(pos, req);
     }
 
     /// Requests still waiting.
     pub fn waiting(&self) -> usize {
         self.waiting.len()
+    }
+
+    /// Whether a request with this id is waiting (duplicate-id guard).
+    pub fn contains(&self, id: u64) -> bool {
+        self.waiting.iter().any(|r| r.id == id)
     }
 
     /// The head request if it has arrived by `now`.
@@ -67,6 +73,30 @@ mod tests {
             max_new_tokens: 1,
             arrival_iter: arrival,
         }
+    }
+
+    #[test]
+    fn submit_keeps_queue_sorted_and_stable_under_churn() {
+        // Adversarial interleaving (ascending, descending, duplicates —
+        // the patterns a preemption requeue produces): the queue must stay
+        // sorted by arrival with equal arrivals in submission order.
+        let mut s = FcfsScheduler::new();
+        let arrivals = [5u64, 2, 9, 2, 5, 0, 9, 5, 7, 2];
+        for (i, &a) in arrivals.iter().enumerate() {
+            s.submit(req(i as u64, a));
+        }
+        let mut drained = Vec::new();
+        while let Some(r) = s.pop() {
+            drained.push((r.arrival_iter, r.id));
+        }
+        let mut expect: Vec<(u64, u64)> = arrivals
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (a, i as u64))
+            .collect();
+        // Stable sort by arrival == FCFS with submission-order tie-break.
+        expect.sort_by_key(|&(a, _)| a);
+        assert_eq!(drained, expect);
     }
 
     #[test]

@@ -8,7 +8,9 @@
 use mant_model::{
     run_sequence_packed, ActMode, FfnKind, KvMode, ModelConfig, SessionId, TransformerModel,
 };
-use mant_serve::{requests_from_trace, sequential_generate, GenRequest, ServeConfig, ServeEngine};
+use mant_serve::{
+    requests_from_trace, sequential_generate, AdmissionPolicy, GenRequest, ServeConfig, ServeEngine,
+};
 use mant_sim::{poisson_trace, LengthDist, TraceConfig};
 use proptest::prelude::*;
 
@@ -154,6 +156,8 @@ fn check_engine_matches_baseline(cfg: &ModelConfig, seed: u64) {
             block_tokens: 64,
             act,
             kv,
+            admission: AdmissionPolicy::Reserve,
+            prefix_sharing: false,
         },
     );
     for r in &requests {
@@ -224,6 +228,8 @@ fn tight_pool_throttles_admission_but_stays_exact() {
             block_tokens: 64,
             act: ActMode::None,
             kv,
+            admission: AdmissionPolicy::Reserve,
+            prefix_sharing: false,
         },
     );
     for r in &requests {
@@ -237,6 +243,228 @@ fn tight_pool_throttles_admission_but_stays_exact() {
     for c in &report.completions {
         assert_eq!(c.tokens, baseline[c.id as usize]);
     }
+}
+
+/// Prefix sharing: a multi-persona trace over a common system prompt is
+/// served with shared CoW blocks — the engine must skip real prefill work
+/// (prefix-cache hits) and still produce exactly the sequential
+/// baseline's token streams.
+#[test]
+fn prefix_sharing_stays_byte_identical_and_hits() {
+    use mant_serve::requests_from_shared_trace;
+    use mant_sim::{shared_prefix_trace, SharedPrefixConfig};
+    let cfg = ModelConfig::sim_llama();
+    let model = TransformerModel::synthesize(&cfg, 91);
+    let packed = model.pack_weights(64).unwrap();
+    let act = ActMode::None;
+    // Int4 KV at group 16 → 16-token blocks, so 32-token shared prefixes
+    // span two shareable blocks while the test stays fast.
+    let kv = KvMode::Int4 { group: 16 };
+    let shared_cfg = SharedPrefixConfig {
+        personas: 2,
+        requests_per_persona: 2,
+        system_prompt_len: 16,
+        persona_prompt_len: 16,
+        unique_prompt_len: LengthDist::Uniform { lo: 2, hi: 7 },
+        output: LengthDist::Uniform { lo: 3, hi: 6 },
+        arrivals_per_iter: 0.05, // staggered, so later arrivals can hit
+        seed: 17,
+    };
+    let trace = shared_prefix_trace(&shared_cfg);
+    let requests = requests_from_shared_trace(&shared_cfg, &trace, cfg.vocab, 18);
+
+    let mut engine = ServeEngine::new(
+        &model,
+        &packed,
+        ServeConfig {
+            max_batch: 4,
+            pool_blocks: 96,
+            block_tokens: 16,
+            act,
+            kv,
+            admission: AdmissionPolicy::Watermark {
+                watermark_blocks: 4,
+            },
+            prefix_sharing: true,
+        },
+    );
+    for r in &requests {
+        engine.submit(r.clone());
+    }
+    let report = engine.run_to_completion();
+    assert_eq!(report.completions.len(), requests.len());
+    assert!(
+        report.prefix_cached_tokens > 0,
+        "staggered same-prefix requests must hit the prefix cache"
+    );
+    assert!(report.prefix_hit_rate() > 0.0 && report.prefix_hit_rate() < 1.0);
+
+    let (baseline, _) = sequential_generate(&model, &packed, act, kv, &requests);
+    for c in &report.completions {
+        assert_eq!(
+            c.tokens, baseline[c.id as usize],
+            "prefix sharing changed request {}'s tokens",
+            c.id
+        );
+        assert!(c.admitted_iter >= c.arrival_iter);
+        assert!(c.first_token_iter > c.admitted_iter);
+    }
+}
+
+/// Forced preemption: a pool too small for the batch's grown caches must
+/// trigger evict-youngest-and-recompute — and the recomputed streams must
+/// equal the sequential baseline byte for byte.
+#[test]
+fn forced_preemption_stays_byte_identical() {
+    let cfg = ModelConfig::sim_llama();
+    let model = TransformerModel::synthesize(&cfg, 92);
+    let packed = model.pack_weights(64).unwrap();
+    let act = ActMode::None;
+    let kv = KvMode::Int4 { group: 16 };
+    // Each request's lifetime is 8 + 24 = 32 tokens → 2 blocks × 2 layers
+    // = 4 blocks. Three requests fully grown need 12 blocks; the pool
+    // holds 9, so decode growth must preempt (watermark 1 admits all
+    // three during their 1-block prefills).
+    let requests: Vec<GenRequest> = (0..3)
+        .map(|i| GenRequest {
+            id: i,
+            prompt: (0..8)
+                .map(|t| ((i as usize) * 101 + t * 17 + 3) % cfg.vocab)
+                .collect(),
+            max_new_tokens: 24,
+            arrival_iter: 0,
+        })
+        .collect();
+    let mut engine = ServeEngine::new(
+        &model,
+        &packed,
+        ServeConfig {
+            max_batch: 3,
+            pool_blocks: 9,
+            block_tokens: 16,
+            act,
+            kv,
+            admission: AdmissionPolicy::Watermark {
+                watermark_blocks: 1,
+            },
+            prefix_sharing: false,
+        },
+    );
+    for r in &requests {
+        engine.submit(r.clone());
+    }
+    let report = engine.run_to_completion();
+    assert_eq!(report.completions.len(), 3);
+    assert!(
+        report.preemptions > 0,
+        "a 9-block pool cannot hold three 4-block lifetimes without preempting"
+    );
+    assert!(
+        report.recomputed_tokens > 0,
+        "readmission replays the victim"
+    );
+    assert!(report.peak_used_blocks <= 9);
+
+    let (baseline, _) = sequential_generate(&model, &packed, act, kv, &requests);
+    for c in &report.completions {
+        assert_eq!(
+            c.tokens, baseline[c.id as usize],
+            "preemption/recompute changed request {}'s tokens",
+            c.id
+        );
+        assert_eq!(c.tokens.len(), 24);
+    }
+}
+
+/// Sharing and preemption compose: a tight pool under a shared-prompt
+/// trace evicts snapshots and preempts, and every stream still matches
+/// the baseline (preemption recovery may re-hit surviving prefixes).
+#[test]
+fn sharing_plus_preemption_stays_byte_identical() {
+    use mant_serve::requests_from_shared_trace;
+    use mant_sim::{shared_prefix_trace, SharedPrefixConfig};
+    let cfg = ModelConfig::sim_llama();
+    let model = TransformerModel::synthesize(&cfg, 93);
+    let packed = model.pack_weights(64).unwrap();
+    let act = ActMode::None;
+    let kv = KvMode::Int4 { group: 16 };
+    let shared_cfg = SharedPrefixConfig {
+        personas: 2,
+        requests_per_persona: 3,
+        system_prompt_len: 16,
+        persona_prompt_len: 0,
+        unique_prompt_len: LengthDist::Uniform { lo: 1, hi: 4 },
+        output: LengthDist::Fixed(20),
+        arrivals_per_iter: 0.2,
+        seed: 23,
+    };
+    let trace = shared_prefix_trace(&shared_cfg);
+    let requests = requests_from_shared_trace(&shared_cfg, &trace, cfg.vocab, 24);
+    // Lifetime ≈ 16 + 4 + 20 = 40 tokens → 3 blocks × 2 layers = 6; six
+    // requests would want ~36 blocks, the pool holds 14.
+    let mut engine = ServeEngine::new(
+        &model,
+        &packed,
+        ServeConfig {
+            max_batch: 4,
+            pool_blocks: 14,
+            block_tokens: 16,
+            act,
+            kv,
+            admission: AdmissionPolicy::Watermark {
+                watermark_blocks: 2,
+            },
+            prefix_sharing: true,
+        },
+    );
+    for r in &requests {
+        engine.submit(r.clone());
+    }
+    let report = engine.run_to_completion();
+    assert_eq!(report.completions.len(), requests.len());
+    let (baseline, _) = sequential_generate(&model, &packed, act, kv, &requests);
+    for c in &report.completions {
+        assert_eq!(
+            c.tokens, baseline[c.id as usize],
+            "tight-pool sharing run changed request {}'s tokens",
+            c.id
+        );
+    }
+    assert!(report.preemptions > 0 || report.prefix_cached_tokens > 0);
+}
+
+/// In-flight duplicate request ids are rejected at submit: ids key the
+/// preemption carry state, so a duplicate would cross-wire two requests'
+/// progress.
+#[test]
+#[should_panic(expected = "already in flight")]
+fn duplicate_request_id_rejected_at_submit() {
+    let cfg = ModelConfig::sim_llama();
+    let model = TransformerModel::synthesize(&cfg, 94);
+    let packed = model.pack_weights(64).unwrap();
+    let mut engine = ServeEngine::new(
+        &model,
+        &packed,
+        ServeConfig {
+            max_batch: 2,
+            pool_blocks: 16,
+            block_tokens: 64,
+            act: ActMode::None,
+            kv: KvMode::Mant4 { group: 64 },
+            admission: AdmissionPolicy::Watermark {
+                watermark_blocks: 2,
+            },
+            prefix_sharing: false,
+        },
+    );
+    let req = GenRequest {
+        id: 5,
+        prompt: vec![1, 2],
+        max_new_tokens: 2,
+        arrival_iter: 0,
+    };
+    engine.submit(req.clone());
+    engine.submit(req);
 }
 
 /// Oversized requests are rejected at submit (they could never be
@@ -256,6 +484,8 @@ fn impossible_request_rejected_at_submit() {
             block_tokens: 64,
             act: ActMode::None,
             kv: KvMode::Mant4 { group: 64 },
+            admission: AdmissionPolicy::Reserve,
+            prefix_sharing: false,
         },
     );
     engine.submit(GenRequest {

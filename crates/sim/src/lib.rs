@@ -40,5 +40,8 @@ pub use area::{area_report, AreaReport};
 pub use decode::{decode_step, generation_latency_ms, DecodeStep};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use run::{run_attention, run_gemm, run_linear, run_model, LayerRun, ModelRun};
-pub use trace::{poisson_trace, trace_tokens, LengthDist, TraceConfig, TraceRequest};
+pub use trace::{
+    poisson_trace, shared_prefix_trace, trace_tokens, LengthDist, SharedPrefixConfig,
+    SharedPrefixRequest, TraceConfig, TraceRequest,
+};
 pub use workload::{attention_gemms, linear_gemms, Gemm};

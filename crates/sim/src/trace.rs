@@ -122,6 +122,92 @@ pub fn trace_tokens(trace: &[TraceRequest]) -> usize {
     trace.iter().map(|r| r.prompt_len + r.output_len).sum()
 }
 
+/// Shape of a shared-prefix serving workload: every request's prompt is
+/// `system ++ persona ++ unique` — a system prompt common to **all**
+/// requests, a persona block common to the requests of one persona, and a
+/// per-request tail. This is the multi-tenant regime prefix caching is
+/// built for (N assistants over one deployment prompt, M users each), and
+/// the workload the serving runtime's prefix-sharing bench drives.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SharedPrefixConfig {
+    /// Distinct personas (each with its own persona prompt block).
+    pub personas: usize,
+    /// Requests per persona (total requests = `personas × requests_per_persona`).
+    pub requests_per_persona: usize,
+    /// Tokens of the system prompt shared by every request (≥ 1).
+    pub system_prompt_len: usize,
+    /// Tokens of the per-persona prompt block (may be 0).
+    pub persona_prompt_len: usize,
+    /// Per-request unique prompt tail (must not produce 0: a request must
+    /// feed at least one uncached token to yield first-token logits).
+    pub unique_prompt_len: LengthDist,
+    /// Output-length distribution.
+    pub output: LengthDist,
+    /// Mean arrivals per engine iteration (Poisson rate λ).
+    pub arrivals_per_iter: f64,
+    /// RNG seed; equal seeds give identical traces.
+    pub seed: u64,
+}
+
+/// One request of a shared-prefix trace: the workload description plus
+/// which persona it belongs to and how its prompt splits into shared and
+/// unique parts (the consumer materializes matching token contents).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SharedPrefixRequest {
+    /// Arrival/length description (`prompt_len = system + persona + unique`).
+    pub trace: TraceRequest,
+    /// Persona index in `0..personas`.
+    pub persona: usize,
+    /// Unique prompt-tail length of this request.
+    pub unique_len: usize,
+}
+
+/// Generates a seeded shared-prefix trace: Poisson arrivals as in
+/// [`poisson_trace`], personas assigned round-robin so every persona's
+/// requests interleave in time.
+///
+/// # Panics
+///
+/// Panics if `personas`, `requests_per_persona`, or `system_prompt_len`
+/// is zero, if the unique-length distribution can produce 0, or if
+/// `arrivals_per_iter` is not positive.
+pub fn shared_prefix_trace(cfg: &SharedPrefixConfig) -> Vec<SharedPrefixRequest> {
+    assert!(
+        cfg.personas > 0 && cfg.requests_per_persona > 0,
+        "a shared-prefix trace needs at least one persona and one request each"
+    );
+    assert!(cfg.system_prompt_len > 0, "system prompt must be non-empty");
+    assert!(
+        cfg.arrivals_per_iter > 0.0,
+        "arrival rate must be positive, got {}",
+        cfg.arrivals_per_iter
+    );
+    let mut gen = TensorGenerator::new(cfg.seed);
+    let mut clock = 0.0f64;
+    (0..cfg.personas * cfg.requests_per_persona)
+        .map(|i| {
+            let u = f64::from(gen.uniform(0.0, 1.0));
+            clock += -(1.0 - u).max(f64::MIN_POSITIVE).ln() / cfg.arrivals_per_iter;
+            let unique_len = cfg.unique_prompt_len.sample(&mut gen);
+            let output_len = cfg.output.sample(&mut gen);
+            assert!(
+                unique_len > 0 && output_len > 0,
+                "unique prompt and output lengths must be positive \
+                 (unique {unique_len}, output {output_len})"
+            );
+            SharedPrefixRequest {
+                trace: TraceRequest {
+                    arrival_iter: clock as u64,
+                    prompt_len: cfg.system_prompt_len + cfg.persona_prompt_len + unique_len,
+                    output_len,
+                },
+                persona: i % cfg.personas,
+                unique_len,
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -175,6 +261,48 @@ mod tests {
         let _ = poisson_trace(&TraceConfig {
             arrivals_per_iter: 0.0,
             ..cfg()
+        });
+    }
+
+    fn shared_cfg() -> SharedPrefixConfig {
+        SharedPrefixConfig {
+            personas: 3,
+            requests_per_persona: 4,
+            system_prompt_len: 32,
+            persona_prompt_len: 16,
+            unique_prompt_len: LengthDist::Uniform { lo: 2, hi: 9 },
+            output: LengthDist::Fixed(5),
+            arrivals_per_iter: 0.5,
+            seed: 21,
+        }
+    }
+
+    #[test]
+    fn shared_prefix_trace_shape() {
+        let a = shared_prefix_trace(&shared_cfg());
+        assert_eq!(a, shared_prefix_trace(&shared_cfg()));
+        assert_eq!(a.len(), 12);
+        assert!(a
+            .windows(2)
+            .all(|w| w[0].trace.arrival_iter <= w[1].trace.arrival_iter));
+        for (i, r) in a.iter().enumerate() {
+            assert_eq!(r.persona, i % 3, "round-robin persona assignment");
+            assert!((2..=9).contains(&r.unique_len));
+            assert_eq!(r.trace.prompt_len, 32 + 16 + r.unique_len);
+            assert_eq!(r.trace.output_len, 5);
+        }
+        // Every persona appears the configured number of times.
+        for p in 0..3 {
+            assert_eq!(a.iter().filter(|r| r.persona == p).count(), 4);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "system prompt must be non-empty")]
+    fn empty_system_prompt_rejected() {
+        let _ = shared_prefix_trace(&SharedPrefixConfig {
+            system_prompt_len: 0,
+            ..shared_cfg()
         });
     }
 }

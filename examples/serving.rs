@@ -10,7 +10,9 @@
 
 use mant::core::Pipeline;
 use mant::model::{ActMode, KvMode, ModelConfig};
-use mant::serve::{requests_from_trace, sequential_generate, ServeConfig, ServeEngine};
+use mant::serve::{
+    requests_from_trace, sequential_generate, AdmissionPolicy, ServeConfig, ServeEngine,
+};
 use mant::sim::{poisson_trace, trace_tokens, LengthDist, TraceConfig};
 
 fn main() {
@@ -50,6 +52,10 @@ fn main() {
         block_tokens: 64,
         act,
         kv,
+        admission: AdmissionPolicy::Watermark {
+            watermark_blocks: 4,
+        },
+        prefix_sharing: false,
     };
     let mut engine = ServeEngine::new(model, &packed, serve_cfg);
     for r in &requests {
@@ -59,8 +65,9 @@ fn main() {
 
     let ttft = report.ttft_percentiles();
     let e2e = report.e2e_percentiles();
+    let queue = report.queueing_percentiles();
     let ms_per_iter = report.wall_seconds * 1e3 / report.busy_iterations.max(1) as f64;
-    println!("\ncontinuous-batching engine (max_batch 4, paged MANT4 KV pool):");
+    println!("\ncontinuous-batching engine (max_batch 4, watermark admission, CoW MANT4 KV pool):");
     println!(
         "  aggregate throughput      : {:.1} generated tok/s ({:.1} tok/s incl. prefill)",
         report.tokens_per_sec(),
@@ -90,6 +97,14 @@ fn main() {
     println!(
         "  E2E   p50/p95/max         : {:.0} / {:.0} / {:.0} iterations",
         e2e.p50, e2e.p95, e2e.max
+    );
+    println!(
+        "  queueing delay p50/p95/max: {:.0} / {:.0} / {:.0} iterations (submit → admission)",
+        queue.p50, queue.p95, queue.max
+    );
+    println!(
+        "  concurrency / preemptions : peak {} running, {} preemptions ({} recomputed tokens)",
+        report.peak_running, report.preemptions, report.recomputed_tokens
     );
 
     // Sequential baseline: same requests, one at a time.

@@ -150,6 +150,25 @@ macro_rules! float_range_strategy {
 
 float_range_strategy!(f32, f64);
 
+// Tuple strategies: each element generates independently, in order —
+// matching real proptest's tuple composition.
+macro_rules! tuple_strategy {
+    ($(($($s:ident/$idx:tt),+)),*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy!(
+    (A / 0, B / 1),
+    (A / 0, B / 1, C / 2),
+    (A / 0, B / 1, C / 2, D / 3)
+);
+
 /// Always generates a clone of the given value (proptest's `Just`).
 #[derive(Clone, Debug)]
 pub struct Just<T>(pub T);
