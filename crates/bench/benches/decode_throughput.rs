@@ -103,6 +103,15 @@ fn bench_decode_throughput(c: &mut Criterion) {
             "incremental attention diverged from the dequantize path: {}",
             dist / norm
         );
+        // Non-regression floor: the packed incremental path must keep a
+        // decisive per-step win over the dequantize path (it measured
+        // ~4x before the nibble-packed kernels and ~7-8x with them; a
+        // drop below 2x would mean the packed hot path regressed).
+        assert!(
+            t_deq / t_inc > 2.0,
+            "packed incremental attention lost its speedup at seq {seq}: {:.2}x",
+            t_deq / t_inc
+        );
     }
 }
 

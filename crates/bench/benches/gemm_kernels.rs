@@ -1,27 +1,57 @@
 //! Benchmarks the paper's computational claim (Tbl. I / Eq. (5)): fused
-//! decode-and-compute MANT GEMM vs dequantize-then-FP32-GEMM vs plain FP32.
+//! decode-and-compute MANT GEMM vs dequantize-then-FP32-GEMM vs plain
+//! FP32 — plus the **scalar-vs-packed** kernel comparison this PR's
+//! nibble-packed hot path introduces: the packed pair-LUT GEMV (one byte
+//! load + one 256-entry table hit per code pair, i32 in-group
+//! accumulation) against the pre-packing scalar path (one code per byte,
+//! a masked 16-entry two-lane LUT walk per element, i64 accumulation).
+//!
+//! The scalar/packed ratios are asserted (packed must win ≥ 1.3× on the
+//! GEMV) and written to `BENCH_kernels.json` so the kernel-level perf
+//! trajectory is machine-readable from this PR on.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
-use mant_quant::{dequant_then_gemm, mant_gemm, quantize_activations_int8, MantWeightQuantizer};
+use mant_quant::{
+    dequant_then_gemm, mant_gemm, mant_gemv, mant_gemv_scalar, quantize_activations_int8,
+    quantize_vector_int8, MantWeightQuantizer, UnpackedWeights,
+};
 use mant_tensor::{gemm, TensorGenerator};
+
+const K: usize = 512;
+const N: usize = 256;
+const G: usize = 64;
+const GEMM_M: usize = 8;
+
+/// Best-of-5 mean seconds per call over `iters` calls.
+fn time_best(iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
 
 fn bench_gemm_kernels(c: &mut Criterion) {
     let mut gen = TensorGenerator::new(1001);
-    let m = 8;
-    let k = 512;
-    let n = 128;
-    let g = 64;
-    let x = gen.activation_matrix(m, k, 1.0, 0.01, 15.0);
-    let w = gen.group_diverse_matrix(n, k, g, 0.02);
-    let xq = quantize_activations_int8(&x, g).expect("valid group size");
-    let wq = MantWeightQuantizer::new(g)
+    let x = gen.activation_matrix(GEMM_M, K, 1.0, 0.01, 15.0);
+    let w = gen.group_diverse_matrix(N, K, G, 0.02);
+    let xq = quantize_activations_int8(&x, G).expect("valid group size");
+    let wq = MantWeightQuantizer::new(G)
         .quantize(&w)
         .expect("valid group size");
     let wt = w.transpose();
+    let wu = UnpackedWeights::from_packed(&wq);
+    let xv: Vec<f32> = (0..K).map(|_| gen.standard_normal()).collect();
+    let qv = quantize_vector_int8(&xv, G).expect("valid group size");
 
-    let mut group = c.benchmark_group("gemm_8x512x128");
+    let mut group = c.benchmark_group(format!("gemm_{GEMM_M}x{K}x{N}"));
     group.bench_function("fused_mant_int", |b| {
         b.iter(|| black_box(mant_gemm(black_box(&xq), black_box(&wq)).expect("shapes agree")))
     });
@@ -32,6 +62,76 @@ fn bench_gemm_kernels(c: &mut Criterion) {
         b.iter(|| black_box(gemm(black_box(&x), black_box(&wt))))
     });
     group.finish();
+
+    let mut group = c.benchmark_group(format!("gemv_{K}x{N}"));
+    group.bench_function("packed_pair_lut", |b| {
+        b.iter(|| black_box(mant_gemv(black_box(&qv), black_box(&wq)).expect("shapes agree")))
+    });
+    group.bench_function("scalar_unpacked", |b| {
+        b.iter(|| black_box(mant_gemv_scalar(black_box(&qv), black_box(&wu))))
+    });
+    group.finish();
+
+    // --- Scalar vs packed: assertion + machine-readable report ---
+    // Bit-identity first: the packed kernels must not change a single bit.
+    let packed_out = mant_gemv(&qv, &wq).expect("shapes agree");
+    let scalar_out = mant_gemv_scalar(&qv, &wu);
+    assert_eq!(
+        packed_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        scalar_out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+        "packed GEMV drifted from the scalar reference"
+    );
+
+    let t_gemv_packed = time_best(20, || {
+        black_box(mant_gemv(black_box(&qv), black_box(&wq)).expect("shapes agree"));
+    });
+    let t_gemv_scalar = time_best(20, || {
+        black_box(mant_gemv_scalar(black_box(&qv), black_box(&wu)));
+    });
+    // GEMM: the cache-blocked packed GEMM vs a batch of scalar GEMVs (the
+    // pre-packing storage consumed row by row).
+    let t_gemm_packed = time_best(10, || {
+        black_box(mant_gemm(black_box(&xq), black_box(&wq)).expect("shapes agree"));
+    });
+    let xrows: Vec<_> = (0..GEMM_M)
+        .map(|r| quantize_vector_int8(x.row(r), G).expect("valid group size"))
+        .collect();
+    let t_gemm_scalar = time_best(10, || {
+        for xr in &xrows {
+            black_box(mant_gemv_scalar(black_box(xr), black_box(&wu)));
+        }
+    });
+
+    let gemv_speedup = t_gemv_scalar / t_gemv_packed;
+    let gemm_speedup = t_gemm_scalar / t_gemm_packed;
+    println!(
+        "gemv {K}x{N}: scalar {:.1} us / packed {:.1} us = {gemv_speedup:.2}x packed speedup",
+        t_gemv_scalar * 1e6,
+        t_gemv_packed * 1e6,
+    );
+    println!(
+        "gemm {GEMM_M}x{K}x{N}: scalar {:.1} us / packed {:.1} us = {gemm_speedup:.2}x packed speedup",
+        t_gemm_scalar * 1e6,
+        t_gemm_packed * 1e6,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"gemm_kernels\",\n  \"shape\": {{\"m\": {GEMM_M}, \"k\": {K}, \"n\": {N}, \"group\": {G}}},\n  \"gemv_scalar_ns\": {:.0},\n  \"gemv_packed_ns\": {:.0},\n  \"gemv_packed_speedup\": {gemv_speedup:.3},\n  \"gemm_scalar_ns\": {:.0},\n  \"gemm_packed_ns\": {:.0},\n  \"gemm_packed_speedup\": {gemm_speedup:.3},\n  \"gemv_threshold\": 1.3,\n  \"bit_identical\": true\n}}\n",
+        t_gemv_scalar * 1e9,
+        t_gemv_packed * 1e9,
+        t_gemm_scalar * 1e9,
+        t_gemm_packed * 1e9,
+    );
+    // The bench binary's cwd is the package dir (crates/bench); anchor the
+    // artifact at the workspace root so CI and humans find it in one place.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    std::fs::write(path, &json).expect("write BENCH_kernels.json");
+    println!("wrote BENCH_kernels.json (workspace root)");
+
+    assert!(
+        gemv_speedup >= 1.3,
+        "packed pair-LUT GEMV must beat the scalar kernel by >= 1.3x, got {gemv_speedup:.2}x"
+    );
 }
 
 criterion_group! {

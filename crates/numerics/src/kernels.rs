@@ -108,6 +108,97 @@ pub fn dot_decoded(xcodes: &[i8], wdec: &[i64]) -> i64 {
         .sum()
 }
 
+/// A 256-entry **pair-decode table**: entry `b` holds the two pre-decoded
+/// integer operands of the packed byte `b` — `[decode(b & 0xf),
+/// decode(b >> 4)]`. One load and one table hit replace the two masked
+/// 16-entry lookups the one-code-per-byte kernels pay per element, which
+/// is what lets the packed kernels consume the nibble-packed working
+/// representation directly.
+pub type PairLut = [[i32; 2]; 256];
+
+/// Builds the [`PairLut`] of a 16-entry decoded-value table
+/// ([`mant_decode_lut`] / [`int4_decode_lut`]). Built once per distinct
+/// group dtype and reused across every token, batch row, and cached
+/// vector that carries that dtype.
+pub fn pair_decode_lut(lut16: &[i32; 16]) -> PairLut {
+    let mut lut = [[0i32; 2]; 256];
+    for (b, entry) in lut.iter_mut().enumerate() {
+        *entry = [lut16[b & 0x0f], lut16[b >> 4]];
+    }
+    lut
+}
+
+/// The largest group length the packed kernels accept with their i32
+/// accumulators. Worst case per element: `|x| ≤ 128` (INT8 code) times
+/// `|decoded| ≤ 127·7 + 128 = 1017` (MANT at `a = 127`, top level,
+/// negative sign) = 130 176; `16 384 × 130 176 = 2 132 803 584 <
+/// i32::MAX = 2 147 483 647`, so any group up to 16 384 elements — two
+/// orders of magnitude above the paper's group sizes — sums exactly in
+/// i32, and the widening to i64 happens once at group recombination
+/// instead of on every multiply.
+pub const MAX_I32_GROUP: usize = 16_384;
+
+/// Integer dot of INT8 activation codes against a **nibble-packed** weight
+/// group through a [`PairLut`]: per code pair, one packed-byte load, one
+/// table hit, and two multiply-accumulates into an i32 group accumulator
+/// (see [`MAX_I32_GROUP`] for the overflow bound). An odd `xcodes` length
+/// consumes only the final byte's low nibble. Bit-identical to
+/// [`mant_group_psums`] / [`int4_group_mac`] on the unpacked codes:
+/// integer arithmetic is exact and the pair table recombines the same
+/// per-code decoded operands.
+///
+/// # Panics
+///
+/// Debug-asserts `wpacked` holds exactly `xcodes.len().div_ceil(2)` bytes
+/// and the group is within [`MAX_I32_GROUP`].
+pub fn dot_packed(xcodes: &[i8], wpacked: &[u8], lut: &PairLut) -> i64 {
+    debug_assert_eq!(wpacked.len(), xcodes.len().div_ceil(2));
+    debug_assert!(xcodes.len() <= MAX_I32_GROUP, "i32 group bound exceeded");
+    let mut acc = 0i32;
+    let mut pairs = xcodes.chunks_exact(2);
+    for (xp, &b) in pairs.by_ref().zip(wpacked.iter()) {
+        let ops = &lut[usize::from(b)];
+        acc += i32::from(xp[0]) * ops[0] + i32::from(xp[1]) * ops[1];
+    }
+    if let [x] = pairs.remainder() {
+        acc += i32::from(*x) * lut[usize::from(wpacked[xcodes.len() / 2])][0];
+    }
+    i64::from(acc)
+}
+
+/// Four-row tile of [`dot_packed`]: one activation group swept against
+/// four packed weight groups in a single pass, so each activation byte
+/// pair is loaded once per tile instead of once per output row — the
+/// inner kernel of the cache-blocked GEMM/GEMV-batch. Each lane's
+/// accumulation order matches a standalone [`dot_packed`] call, so the
+/// four results are bit-identical to four separate calls.
+///
+/// # Panics
+///
+/// Debug-asserts every packed row holds `xcodes.len().div_ceil(2)` bytes
+/// and the group is within [`MAX_I32_GROUP`].
+pub fn dot_packed_x4(xcodes: &[i8], w: [&[u8]; 4], luts: [&PairLut; 4]) -> [i64; 4] {
+    debug_assert!(w.iter().all(|r| r.len() == xcodes.len().div_ceil(2)));
+    debug_assert!(xcodes.len() <= MAX_I32_GROUP, "i32 group bound exceeded");
+    let mut acc = [0i32; 4];
+    let mut pairs = xcodes.chunks_exact(2);
+    for (i, xp) in pairs.by_ref().enumerate() {
+        let (x0, x1) = (i32::from(xp[0]), i32::from(xp[1]));
+        for lane in 0..4 {
+            let ops = &luts[lane][usize::from(w[lane][i])];
+            acc[lane] += x0 * ops[0] + x1 * ops[1];
+        }
+    }
+    if let [x] = pairs.remainder() {
+        let x = i32::from(*x);
+        let last = xcodes.len() / 2;
+        for lane in 0..4 {
+            acc[lane] += x * luts[lane][usize::from(w[lane][last])][0];
+        }
+    }
+    acc.map(i64::from)
+}
+
 /// Plain INT8 × INT8 dot product — the staging-window lane of the V-cache
 /// attention path (`P·V` against rows still held in the INT8 process
 /// window).
@@ -214,5 +305,90 @@ mod tests {
         let wcodes = vec![0xfu8; 128]; // -(127·7 + 128) at a = 127
         let v = mant_group_psums(&xcodes, &wcodes, Mant::new(127).unwrap());
         assert_eq!(v, 128i64 * 128 * (127 * 7 + 128));
+    }
+
+    #[test]
+    fn packed_dot_matches_lane_kernels() {
+        use crate::packing::pack_nibbles;
+        // Even and odd group lengths: the packed pair-LUT kernel must be
+        // bit-identical to the unpacked two-lane MANT kernel and the INT4
+        // MAC (the invariant the packed working representation rests on).
+        for len in [1usize, 2, 7, 8, 63, 64] {
+            let xcodes: Vec<i8> = (0..len).map(|i| ((i * 37) % 255) as u8 as i8).collect();
+            let wcodes: Vec<u8> = (0..len).map(|i| ((i * 7) % 16) as u8).collect();
+            let packed = pack_nibbles(&wcodes);
+            for a in [0u32, 5, 17, 25, 60, 127] {
+                let mant = Mant::new(a).unwrap();
+                assert_eq!(
+                    dot_packed(&xcodes, &packed, &pair_decode_lut(&mant_decode_lut(mant))),
+                    mant_group_psums(&xcodes, &wcodes, mant),
+                    "a={a} len={len}"
+                );
+            }
+            assert_eq!(
+                dot_packed(&xcodes, &packed, &pair_decode_lut(&int4_decode_lut())),
+                int4_group_mac(&xcodes, &wcodes),
+                "len={len}"
+            );
+        }
+    }
+
+    #[test]
+    fn packed_dot_x4_matches_four_singles() {
+        use crate::packing::pack_nibbles;
+        for len in [7usize, 64] {
+            let xcodes: Vec<i8> = (0..len).map(|i| ((i * 91) % 255) as u8 as i8).collect();
+            let rows: Vec<Vec<u8>> = (0..4)
+                .map(|r| (0..len).map(|i| ((i * 3 + r * 5) % 16) as u8).collect())
+                .collect();
+            let packed: Vec<Vec<u8>> = rows.iter().map(|r| pack_nibbles(r)).collect();
+            let luts: Vec<PairLut> = [0u32, 17, 60, 127]
+                .iter()
+                .map(|&a| pair_decode_lut(&mant_decode_lut(Mant::new(a).unwrap())))
+                .collect();
+            let tiled = dot_packed_x4(
+                &xcodes,
+                [&packed[0], &packed[1], &packed[2], &packed[3]],
+                [&luts[0], &luts[1], &luts[2], &luts[3]],
+            );
+            for lane in 0..4 {
+                assert_eq!(
+                    tiled[lane],
+                    dot_packed(&xcodes, &packed[lane], &luts[lane]),
+                    "lane {lane} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_i32_group_bound_is_tight() {
+        use crate::packing::pack_nibbles;
+        // Worst-case magnitudes — x = -128, code 0xf at a = 127 decoding to
+        // -(127·7 + 128) = -1017 — at the maximum admissible group length.
+        // The per-group i32 sum reaches 2 132 803 584, within 0.7% of
+        // i32::MAX: the bound in MAX_I32_GROUP's docs is tight, and the
+        // packed kernel still sums it exactly.
+        let mant = Mant::new(127).unwrap();
+        let lut = pair_decode_lut(&mant_decode_lut(mant));
+        let xcodes = vec![-128i8; MAX_I32_GROUP];
+        let wcodes = vec![0xfu8; MAX_I32_GROUP];
+        let packed = pack_nibbles(&wcodes);
+        let expect = MAX_I32_GROUP as i64 * 128 * (127 * 7 + 128);
+        assert!(expect <= i64::from(i32::MAX));
+        assert!(expect > i64::from(i32::MAX) * 99 / 100, "bound is tight");
+        assert_eq!(dot_packed(&xcodes, &packed, &lut), expect);
+        assert_eq!(mant_group_psums(&xcodes, &wcodes, mant), expect);
+    }
+
+    #[test]
+    fn pair_lut_agrees_with_scalar_lut() {
+        let mant = Mant::new(17).unwrap();
+        let l16 = mant_decode_lut(mant);
+        let pair = pair_decode_lut(&l16);
+        for b in 0..=255u8 {
+            assert_eq!(pair[b as usize][0], l16[usize::from(b & 0x0f)]);
+            assert_eq!(pair[b as usize][1], l16[usize::from(b >> 4)]);
+        }
     }
 }

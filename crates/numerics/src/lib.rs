@@ -56,12 +56,12 @@ pub use flint::flint4_grid;
 pub use grid::Grid;
 pub use int::{int4_grid, int8_grid, uniform_symmetric_grid};
 pub use kernels::{
-    decode_group, dot_decoded, int4_decode_lut, int4_group_mac, int8_dot, mant_decode_lut,
-    mant_group_psums,
+    decode_group, dot_decoded, dot_packed, dot_packed_x4, int4_decode_lut, int4_group_mac,
+    int8_dot, mant_decode_lut, mant_group_psums, pair_decode_lut, PairLut, MAX_I32_GROUP,
 };
 pub use mant::{Mant, MantCode};
 pub use mxfp::{e8m0_quantize_scale, fp4_e2m1_grid};
 pub use nf::{nf4_paper_grid, qlora_nf4_grid};
-pub use packing::{pack_nibbles, unpack_nibbles, NibbleIter};
+pub use packing::{pack_nibbles, pack_nibbles_into, unpack_nibbles, NibbleIter};
 pub use pot::pot4_grid;
 pub use probit::probit;

@@ -1,34 +1,66 @@
 //! Nibble packing: two 4-bit codes per byte.
 //!
-//! The rest of the workspace stores 4-bit codes one-per-byte for
-//! simplicity and accounts for storage arithmetically; this module provides
-//! the real packed representation a deployment would ship — the memory
-//! layout the accelerator's weight buffer actually holds.
+//! This is the **working** representation of every 4-bit code buffer in
+//! the workspace — weight matrices, the K cache, committed V windows, and
+//! the paged pool's blocks all store genuinely packed nibbles, the memory
+//! layout the accelerator's weight buffer holds. The packed kernels in
+//! [`crate::kernels`] consume a byte (a code pair) at a time through a
+//! 256-entry pair-decode table, so nothing on the hot path ever unpacks.
 
-/// Packs 4-bit codes (low nibble of each input byte) into bytes, first
-/// code in the low nibble. An odd trailing code occupies a final byte's
-/// low nibble with a zero high nibble.
+/// Packs 4-bit codes into bytes, first code in the low nibble. An odd
+/// trailing code occupies a final byte's low nibble with a zero high
+/// nibble.
+///
+/// Every input must already be a 4-bit code (`< 16`): a high bit here is
+/// an encoder bug, and silently masking it would truncate the error into
+/// plausible-looking data. Debug builds assert; release builds mask so the
+/// packed buffer stays well-formed either way.
 pub fn pack_nibbles(codes: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(codes.len().div_ceil(2));
-    for pair in codes.chunks(2) {
-        let lo = pair[0] & 0x0f;
-        let hi = pair.get(1).copied().unwrap_or(0) & 0x0f;
-        out.push(lo | (hi << 4));
-    }
+    let mut out = vec![0u8; codes.len().div_ceil(2)];
+    pack_nibbles_into(codes, &mut out);
     out
+}
+
+/// [`pack_nibbles`] into a caller-provided buffer of exactly
+/// `codes.len().div_ceil(2)` bytes — the non-allocating variant the
+/// streaming KV encoders use to write straight into pool blocks.
+///
+/// # Panics
+///
+/// Panics if `out` is not exactly `codes.len().div_ceil(2)` bytes long;
+/// debug-asserts every code is 4-bit (see [`pack_nibbles`]).
+pub fn pack_nibbles_into(codes: &[u8], out: &mut [u8]) {
+    assert_eq!(
+        out.len(),
+        codes.len().div_ceil(2),
+        "packed output length mismatch"
+    );
+    debug_assert!(
+        codes.iter().all(|&c| c < 16),
+        "pack_nibbles fed a non-4-bit code: encoder bug upstream"
+    );
+    let mut pairs = codes.chunks_exact(2);
+    for (o, pair) in out.iter_mut().zip(pairs.by_ref()) {
+        *o = (pair[0] & 0x0f) | ((pair[1] & 0x0f) << 4);
+    }
+    if let [last] = pairs.remainder() {
+        out[codes.len() / 2] = last & 0x0f;
+    }
 }
 
 /// Unpacks bytes into 4-bit codes (one per output byte). `count` bounds
 /// the number of codes recovered (to drop an odd-length pad nibble).
 pub fn unpack_nibbles(packed: &[u8], count: usize) -> Vec<u8> {
+    assert!(packed.len() * 2 >= count, "packed buffer too short");
     let mut out = Vec::with_capacity(count);
-    for &b in packed {
-        if out.len() < count {
-            out.push(b & 0x0f);
-        }
-        if out.len() < count {
-            out.push(b >> 4);
-        }
+    // Full bytes first — both nibbles written with no per-push length
+    // check — then the odd tail's low nibble.
+    for &b in &packed[..count / 2] {
+        out.push(b & 0x0f);
+        out.push(b >> 4);
+    }
+    if count % 2 == 1 {
+        out.push(packed[count / 2] & 0x0f);
     }
     out
 }
@@ -78,6 +110,30 @@ impl Iterator for NibbleIter<'_> {
         let rem = self.count - self.index;
         (rem, Some(rem))
     }
+
+    // Specialized so iterator-based consumers (`.sum()`, `.collect()`,
+    // `for_each`) walk whole bytes instead of paying the per-item parity
+    // branch of `next()`.
+    fn fold<B, F>(self, init: B, mut f: F) -> B
+    where
+        F: FnMut(B, u8) -> B,
+    {
+        let mut acc = init;
+        let mut index = self.index;
+        // Align to a byte boundary if the iterator was left mid-byte.
+        if index % 2 == 1 && index < self.count {
+            acc = f(acc, self.packed[index / 2] >> 4);
+            index += 1;
+        }
+        for &b in &self.packed[index / 2..self.count / 2] {
+            acc = f(acc, b & 0x0f);
+            acc = f(acc, b >> 4);
+        }
+        if self.count % 2 == 1 && index < self.count {
+            acc = f(acc, self.packed[self.count / 2] & 0x0f);
+        }
+        acc
+    }
 }
 
 impl ExactSizeIterator for NibbleIter<'_> {}
@@ -97,9 +153,29 @@ mod tests {
     }
 
     #[test]
-    fn high_bits_are_masked() {
-        let packed = pack_nibbles(&[0xff, 0xf3]);
-        assert_eq!(packed, vec![0x3f]);
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "non-4-bit code")]
+    fn high_bits_rejected_in_debug() {
+        // Packing used to silently mask high bits, which would have
+        // truncated an encoder bug into plausible data. Debug builds (and
+        // therefore the test suite) reject it loudly.
+        let _ = pack_nibbles(&[0xff, 0xf3]);
+    }
+
+    #[test]
+    fn pack_into_matches_alloc_path() {
+        for len in [1usize, 2, 5, 8, 33] {
+            let codes: Vec<u8> = (0..len).map(|i| ((i * 5) % 16) as u8).collect();
+            let mut buf = vec![0xaau8; len.div_ceil(2)];
+            pack_nibbles_into(&codes, &mut buf);
+            assert_eq!(buf, pack_nibbles(&codes), "len {len}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "output length mismatch")]
+    fn pack_into_wrong_size_rejected() {
+        pack_nibbles_into(&[1, 2, 3], &mut [0u8; 1]);
     }
 
     #[test]
@@ -112,9 +188,34 @@ mod tests {
     }
 
     #[test]
+    fn fold_matches_next_from_any_offset() {
+        let codes: Vec<u8> = (0..37).map(|i| ((i * 11) % 16) as u8).collect();
+        let packed = pack_nibbles(&codes);
+        for count in [0usize, 1, 2, 7, 36, 37] {
+            for skip in 0..count.min(5) {
+                let mut it = NibbleIter::new(&packed, count);
+                for _ in 0..skip {
+                    it.next();
+                }
+                let via_fold: Vec<u8> = it.fold(Vec::new(), |mut v, n| {
+                    v.push(n);
+                    v
+                });
+                assert_eq!(via_fold, codes[skip..count], "count {count} skip {skip}");
+            }
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "too short")]
     fn iterator_bounds_checked() {
         let _ = NibbleIter::new(&[0u8], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn unpack_bounds_checked() {
+        let _ = unpack_nibbles(&[0u8], 3);
     }
 
     #[test]

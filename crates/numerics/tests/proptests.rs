@@ -1,7 +1,10 @@
 //! Property-based tests for the numeric formats.
 
 use mant_numerics::packing::{pack_nibbles, unpack_nibbles, NibbleIter};
-use mant_numerics::{fp16, Grid, Mant, MantCode};
+use mant_numerics::{
+    dot_packed, dot_packed_x4, fp16, int4_decode_lut, int4_group_mac, mant_decode_lut,
+    mant_group_psums, pair_decode_lut, Grid, Mant, MantCode, MAX_I32_GROUP,
+};
 use proptest::prelude::*;
 
 proptest! {
@@ -129,6 +132,79 @@ proptest! {
             let decoded = i64::from(((u << 4) as i8) >> 4);
             prop_assert_eq!(decoded, v);
         }
+    }
+
+    /// The packed pair-LUT kernel is **bit-identical** to the unpacked
+    /// two-lane MANT kernel on random codes, every coefficient, and odd
+    /// group tails — the exactness the packed working representation
+    /// rests on.
+    #[test]
+    fn packed_dot_bit_identical_mant(a in 0u32..128,
+                                     wcodes in proptest::collection::vec(0u8..16, 1..130),
+                                     xseed in proptest::collection::vec(-128i64..=127, 130)) {
+        let mant = Mant::new(a).unwrap();
+        let xcodes: Vec<i8> = xseed[..wcodes.len()].iter().map(|&v| v as i8).collect();
+        let packed = pack_nibbles(&wcodes);
+        let lut = pair_decode_lut(&mant_decode_lut(mant));
+        prop_assert_eq!(
+            dot_packed(&xcodes, &packed, &lut),
+            mant_group_psums(&xcodes, &wcodes, mant)
+        );
+    }
+
+    /// The packed kernel through the INT4 pair table equals the unpacked
+    /// INT4 MAC, odd tails included.
+    #[test]
+    fn packed_dot_bit_identical_int4(wcodes in proptest::collection::vec(0u8..16, 1..130),
+                                     xseed in proptest::collection::vec(-128i64..=127, 130)) {
+        let xcodes: Vec<i8> = xseed[..wcodes.len()].iter().map(|&v| v as i8).collect();
+        let packed = pack_nibbles(&wcodes);
+        let lut = pair_decode_lut(&int4_decode_lut());
+        prop_assert_eq!(
+            dot_packed(&xcodes, &packed, &lut),
+            int4_group_mac(&xcodes, &wcodes)
+        );
+    }
+
+    /// The 4-row tile kernel equals four independent packed dots for any
+    /// mix of coefficients and any tail parity.
+    #[test]
+    fn packed_dot_x4_bit_identical(coeffs in (0u32..128, 0u32..128, 0u32..128, 0u32..128),
+                                   wcodes in proptest::collection::vec(0u8..16, 4..132),
+                                   xseed in proptest::collection::vec(-128i64..=127, 33)) {
+        let len = wcodes.len() / 4;
+        let xcodes: Vec<i8> = xseed[..len].iter().map(|&v| v as i8).collect();
+        let rows: Vec<&[u8]> = wcodes.chunks_exact(len).take(4).collect();
+        let packed: Vec<Vec<u8>> = rows.iter().map(|r| pack_nibbles(r)).collect();
+        let luts: Vec<_> = [coeffs.0, coeffs.1, coeffs.2, coeffs.3]
+            .iter()
+            .map(|&a| pair_decode_lut(&mant_decode_lut(Mant::new(a).unwrap())))
+            .collect();
+        let tiled = dot_packed_x4(
+            &xcodes,
+            [&packed[0], &packed[1], &packed[2], &packed[3]],
+            [&luts[0], &luts[1], &luts[2], &luts[3]],
+        );
+        for lane in 0..4 {
+            prop_assert_eq!(tiled[lane], dot_packed(&xcodes, &packed[lane], &luts[lane]));
+        }
+    }
+
+    /// Worst-case magnitudes never overflow the packed kernel's i32 group
+    /// accumulator at any admissible group length: the extreme-magnitude
+    /// sum stays exact all the way to `MAX_I32_GROUP`.
+    #[test]
+    fn packed_i32_bound_holds_at_extremes(len in 1usize..300) {
+        let mant = Mant::new(127).unwrap();
+        let lut = pair_decode_lut(&mant_decode_lut(mant));
+        let xcodes = vec![-128i8; len];
+        let wcodes = vec![0xfu8; len];
+        let packed = pack_nibbles(&wcodes);
+        let expect = len as i64 * 128 * (127 * 7 + 128);
+        prop_assert_eq!(dot_packed(&xcodes, &packed, &lut), expect);
+        // The analytic worst case per element times the cap fits i32 —
+        // the bound the kernel's debug assertion enforces.
+        prop_assert!((MAX_I32_GROUP as i64) * 128 * (127 * 7 + 128) <= i64::from(i32::MAX));
     }
 
     /// A packed buffer serves at most `2 × bytes` codes: the boundary

@@ -15,17 +15,19 @@
 //! INT option instead run a single plain MAC lane. The group scales
 //! `s_X · s_W` multiply the integer result afterwards, outside the array.
 
-use mant_numerics::{
-    decode_group, dot_decoded, int4_decode_lut, int4_group_mac, mant_decode_lut, mant_group_psums,
-};
+use mant_numerics::{dot_packed, dot_packed_x4, int4_group_mac, mant_group_psums, unpack_nibbles};
 use mant_tensor::{gemm, matvec, Matrix};
 
 use crate::activation::{ActivationTensor, QuantizedVector};
 use crate::error::QuantError;
 use crate::mantq::{GroupDtype, GroupMeta, MantQuantizedMatrix};
+use crate::plan::pair_table;
 
-/// Dispatches one group's integer dot product to the matching kernel:
-/// two-psum MANT recombination or the single-lane INT4 MAC.
+/// Dispatches one group's integer dot product over **unpacked** (one code
+/// per byte) weights to the matching lane kernel: two-psum MANT
+/// recombination or the single-lane INT4 MAC. This is the scalar
+/// reference twin of [`group_dot_packed`] — the pre-packing hot path,
+/// kept as the bit-identity oracle and the bench baseline.
 pub fn group_dot(meta: GroupMeta, xcodes: &[i8], wcodes: &[u8]) -> i64 {
     match meta.dtype {
         GroupDtype::Mant(mant) => mant_group_psums(xcodes, wcodes, mant),
@@ -33,13 +35,12 @@ pub fn group_dot(meta: GroupMeta, xcodes: &[i8], wcodes: &[u8]) -> i64 {
     }
 }
 
-/// The 16-entry decoded-operand table for a group's dtype — the per-group
-/// setup of the batched decode-pass kernels.
-fn group_decode_table(dtype: GroupDtype) -> [i32; 16] {
-    match dtype {
-        GroupDtype::Mant(mant) => mant_decode_lut(mant),
-        GroupDtype::Int4 => int4_decode_lut(),
-    }
+/// One group's integer dot product over **packed** nibble codes: a single
+/// pair-LUT walk with i32 in-group accumulation, bit-identical to
+/// [`group_dot`] on the unpacked codes. The primitive the K/V caches and
+/// the paged pool consume their storage with.
+pub fn group_dot_packed(meta: GroupMeta, xcodes: &[i8], wpacked: &[u8]) -> i64 {
+    dot_packed(xcodes, wpacked, pair_table(meta.dtype))
 }
 
 /// Computes `X · Wᵀ` entirely in integer arithmetic plus one scale multiply
@@ -82,32 +83,47 @@ pub fn mant_gemm(x: &ActivationTensor, w: &MantQuantizedMatrix) -> Result<Matrix
     let n = w.rows();
     let groups = x.groups_per_row();
     let mut out = Matrix::zeros(m, n);
-    // Multi-query loop order: each weight group is decoded into integer
-    // operands ONCE and swept across every activation row, so the
-    // per-group setup (dtype dispatch, lane-LUT walk, scale widening)
-    // amortizes over the batch. Each output element still accumulates its
-    // groups in ascending order with the identical f64 expression, so the
-    // result is bit-identical to the row-at-a-time formulation.
-    let mut wdec = vec![0i64; x.group_size()];
-    let mut accs = vec![0.0f64; m];
-    for ni in 0..n {
-        accs.iter_mut().for_each(|a| *a = 0.0);
+    // Cache-blocked multi-query loop: FOUR output rows per sweep. For each
+    // weight group index, the tile's four packed code slices and interned
+    // pair tables are gathered once, then every activation row's codes for
+    // that group — hot in L1 — feed all four rows through the tiled
+    // packed kernel. Each output element still accumulates its groups in
+    // ascending order with the identical f64 expression, so the result is
+    // bit-identical to the row-at-a-time GEMV.
+    let mut accs = vec![[0.0f64; 4]; m];
+    let mut tile_lo = 0usize;
+    while tile_lo < n {
+        let tile = (n - tile_lo).min(4);
+        accs.iter_mut().for_each(|a| *a = [0.0; 4]);
         for g in 0..groups {
-            let meta = w.meta(ni, g);
-            decode_group(
-                w.group_codes(ni, g),
-                &group_decode_table(meta.dtype),
-                &mut wdec,
-            );
-            let w_scale = f64::from(meta.scale);
-            for (mi, acc) in accs.iter_mut().enumerate() {
-                let int_result = dot_decoded(x.group_codes(mi, g), &wdec);
-                *acc += f64::from(x.scale(mi, g)) * w_scale * int_result as f64;
+            if tile == 4 {
+                let (wrows, luts, wscales) = w.tile4(tile_lo, g);
+                for (mi, acc) in accs.iter_mut().enumerate() {
+                    let ints = dot_packed_x4(x.group_codes(mi, g), wrows, luts);
+                    let xs = f64::from(x.scale(mi, g));
+                    for lane in 0..4 {
+                        acc[lane] += xs * wscales[lane] * ints[lane] as f64;
+                    }
+                }
+            } else {
+                for lane in 0..tile {
+                    let ni = tile_lo + lane;
+                    let wrow = w.packed_group_codes(ni, g);
+                    let lut = w.plan_table(ni, g);
+                    let ws = f64::from(w.meta(ni, g).scale);
+                    for (mi, acc) in accs.iter_mut().enumerate() {
+                        let int_result = dot_packed(x.group_codes(mi, g), wrow, lut);
+                        acc[lane] += f64::from(x.scale(mi, g)) * ws * int_result as f64;
+                    }
+                }
             }
         }
-        for (mi, &acc) in accs.iter().enumerate() {
-            out[(mi, ni)] = acc as f32;
+        for (mi, acc) in accs.iter().enumerate() {
+            for lane in 0..tile {
+                out[(mi, tile_lo + lane)] = acc[lane] as f32;
+            }
         }
+        tile_lo += tile;
     }
     Ok(out)
 }
@@ -142,27 +158,44 @@ pub fn mant_gemv_batch(
         }
     }
     let groups = w.cols() / w.group_size();
-    let mut out: Vec<Vec<f32>> = xs.iter().map(|_| vec![0.0f32; w.rows()]).collect();
-    let mut wdec = vec![0i64; w.group_size()];
-    let mut accs = vec![0.0f64; xs.len()];
-    for n in 0..w.rows() {
-        accs.iter_mut().for_each(|a| *a = 0.0);
+    let n = w.rows();
+    let mut out: Vec<Vec<f32>> = xs.iter().map(|_| vec![0.0f32; n]).collect();
+    // Same cache-blocked tiling as [`mant_gemm`]: four weight rows per
+    // sweep, each batch member's group codes loaded once per tile.
+    let mut accs = vec![[0.0f64; 4]; xs.len()];
+    let mut tile_lo = 0usize;
+    while tile_lo < n {
+        let tile = (n - tile_lo).min(4);
+        accs.iter_mut().for_each(|a| *a = [0.0; 4]);
         for g in 0..groups {
-            let meta = w.meta(n, g);
-            decode_group(
-                w.group_codes(n, g),
-                &group_decode_table(meta.dtype),
-                &mut wdec,
-            );
-            let w_scale = f64::from(meta.scale);
-            for (acc, x) in accs.iter_mut().zip(xs.iter()) {
-                let int_result = dot_decoded(x.group_codes(g), &wdec);
-                *acc += f64::from(x.scale(g)) * w_scale * int_result as f64;
+            if tile == 4 {
+                let (wrows, luts, wscales) = w.tile4(tile_lo, g);
+                for (acc, x) in accs.iter_mut().zip(xs.iter()) {
+                    let ints = dot_packed_x4(x.group_codes(g), wrows, luts);
+                    let xs_scale = f64::from(x.scale(g));
+                    for lane in 0..4 {
+                        acc[lane] += xs_scale * wscales[lane] * ints[lane] as f64;
+                    }
+                }
+            } else {
+                for lane in 0..tile {
+                    let ni = tile_lo + lane;
+                    let wrow = w.packed_group_codes(ni, g);
+                    let lut = w.plan_table(ni, g);
+                    let ws = f64::from(w.meta(ni, g).scale);
+                    for (acc, x) in accs.iter_mut().zip(xs.iter()) {
+                        let int_result = dot_packed(x.group_codes(g), wrow, lut);
+                        acc[lane] += f64::from(x.scale(g)) * ws * int_result as f64;
+                    }
+                }
             }
         }
-        for (y, &acc) in out.iter_mut().zip(accs.iter()) {
-            y[n] = acc as f32;
+        for (y, acc) in out.iter_mut().zip(accs.iter()) {
+            for lane in 0..tile {
+                y[tile_lo + lane] = acc[lane] as f32;
+            }
         }
+        tile_lo += tile;
     }
     Ok(out)
 }
@@ -204,7 +237,123 @@ pub fn mant_gemv(x: &QuantizedVector, w: &MantQuantizedMatrix) -> Result<Vec<f32
         });
     }
     let groups = x.groups();
-    Ok((0..w.rows())
+    let n = w.rows();
+    let mut out = vec![0.0f32; n];
+    // Packed hot loop with the same 4-output-row tiling as the GEMM: per
+    // group, one byte load and one pair-table hit per code pair across
+    // four weight rows while the activation codes sit in L1, i32
+    // accumulation inside the group, the decode plan's interned table per
+    // group. Per-element accumulation order matches the row-at-a-time
+    // formulation, so tiling changes no bit.
+    let mut tile_lo = 0usize;
+    while tile_lo < n {
+        let tile = (n - tile_lo).min(4);
+        if tile == 4 {
+            let mut acc = [0.0f64; 4];
+            for g in 0..groups {
+                let (wrows, luts, wscales) = w.tile4(tile_lo, g);
+                let ints = dot_packed_x4(x.group_codes(g), wrows, luts);
+                let xs = f64::from(x.scale(g));
+                for lane in 0..4 {
+                    acc[lane] += xs * wscales[lane] * ints[lane] as f64;
+                }
+            }
+            for lane in 0..4 {
+                out[tile_lo + lane] = acc[lane] as f32;
+            }
+        } else {
+            for (ni, o) in out.iter_mut().enumerate().skip(tile_lo).take(tile) {
+                let mut acc = 0.0f64;
+                for g in 0..groups {
+                    let int_result = dot_packed(
+                        x.group_codes(g),
+                        w.packed_group_codes(ni, g),
+                        w.plan_table(ni, g),
+                    );
+                    acc +=
+                        f64::from(x.scale(g)) * f64::from(w.meta(ni, g).scale) * int_result as f64;
+                }
+                *o = acc as f32;
+            }
+        }
+        tile_lo += tile;
+    }
+    Ok(out)
+}
+
+/// The pre-packing storage layout of a quantized matrix — one 4-bit code
+/// per byte — kept as the **scalar baseline**: what the hot path consumed
+/// before the packed working representation (2× the memory traffic, a
+/// masked 16-entry LUT walk per element, i64 accumulation). Benches
+/// measure [`mant_gemv_scalar`] over this against [`mant_gemv`] over the
+/// packed matrix; tests use it as a bit-identity oracle.
+#[derive(Clone, Debug)]
+pub struct UnpackedWeights {
+    rows: usize,
+    cols: usize,
+    group_size: usize,
+    /// One code per byte, `rows × cols`.
+    codes: Vec<u8>,
+    /// Per-group metadata, row-major.
+    meta: Vec<GroupMeta>,
+}
+
+impl UnpackedWeights {
+    /// Unpacks a packed matrix into the one-code-per-byte layout.
+    pub fn from_packed(w: &MantQuantizedMatrix) -> Self {
+        let gpr = w.groups_per_row();
+        let mut codes = Vec::with_capacity(w.rows() * w.cols());
+        let mut meta = Vec::with_capacity(w.rows() * gpr);
+        for r in 0..w.rows() {
+            for g in 0..gpr {
+                codes.extend(unpack_nibbles(w.packed_group_codes(r, g), w.group_size()));
+                meta.push(w.meta(r, g));
+            }
+        }
+        UnpackedWeights {
+            rows: w.rows(),
+            cols: w.cols(),
+            group_size: w.group_size(),
+            codes,
+            meta,
+        }
+    }
+
+    /// Number of output channels.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Resident bytes of the code storage — 2× the packed layout's.
+    pub fn code_bytes(&self) -> usize {
+        self.codes.len()
+    }
+
+    fn group_codes(&self, r: usize, g: usize) -> &[u8] {
+        let base = r * self.cols + g * self.group_size;
+        &self.codes[base..base + self.group_size]
+    }
+
+    fn meta(&self, r: usize, g: usize) -> GroupMeta {
+        self.meta[r * (self.cols / self.group_size) + g]
+    }
+}
+
+/// The scalar GEMV over one-code-per-byte weights: per element, a masked
+/// 16-entry two-lane LUT walk with i64 accumulation — exactly the hot
+/// path before the packed working representation. **Bit-identical** to
+/// [`mant_gemv`] on the packed twin of the same matrix (both are exact
+/// integer accumulations of the same decoded operands); kept for the
+/// scalar-vs-packed kernel bench and the equivalence tests.
+///
+/// # Panics
+///
+/// Panics if `x`'s length or group size disagrees with the weights.
+pub fn mant_gemv_scalar(x: &QuantizedVector, w: &UnpackedWeights) -> Vec<f32> {
+    assert_eq!(x.len(), w.cols, "activation length vs weight inner dim");
+    assert_eq!(x.group_size(), w.group_size, "group size mismatch");
+    let groups = x.groups();
+    (0..w.rows)
         .map(|n| {
             let mut acc = 0.0f64;
             for g in 0..groups {
@@ -214,7 +363,7 @@ pub fn mant_gemv(x: &QuantizedVector, w: &MantQuantizedMatrix) -> Result<Vec<f32
             }
             acc as f32
         })
-        .collect())
+        .collect()
 }
 
 /// Reference path for the GEMV: dequantize both operands and run the f32
@@ -423,6 +572,53 @@ mod tests {
             assert_eq!(y_bits, s_bits, "batched GEMV drifted from GEMV");
         }
         assert!(mant_gemv_batch(&[], &wq).unwrap().is_empty());
+    }
+
+    #[test]
+    fn packed_gemv_bit_identical_to_scalar() {
+        // The packed pair-LUT GEMV must match the pre-packing scalar path
+        // bit for bit — including on an odd group size, where packed
+        // groups carry a pad nibble.
+        use crate::activation::quantize_vector_int8;
+        let mut gen = TensorGenerator::new(73);
+        for (k, g) in [(256usize, 64usize), (15, 5)] {
+            let w = gen.group_diverse_matrix(7, k, g, 0.02);
+            let wq = MantWeightQuantizer::new(g).quantize(&w).unwrap();
+            let scalar_w = UnpackedWeights::from_packed(&wq);
+            assert_eq!(scalar_w.code_bytes(), 7 * k);
+            let x: Vec<f32> = (0..k).map(|_| gen.standard_normal()).collect();
+            let xq = quantize_vector_int8(&x, g).unwrap();
+            let packed = mant_gemv(&xq, &wq).unwrap();
+            let scalar = mant_gemv_scalar(&xq, &scalar_w);
+            let p_bits: Vec<u32> = packed.iter().map(|v| v.to_bits()).collect();
+            let s_bits: Vec<u32> = scalar.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(p_bits, s_bits, "k={k} g={g}");
+        }
+    }
+
+    #[test]
+    fn gemm_tile_remainders_bit_identical_to_gemv() {
+        // Output-row counts straddling the 4-row tile (1, 3, 4, 5, 9)
+        // must all match the untiled GEMV bit for bit.
+        use crate::activation::quantize_vector_int8;
+        let mut gen = TensorGenerator::new(74);
+        for n in [1usize, 3, 4, 5, 9] {
+            let w = gen.group_diverse_matrix(n, 128, 32, 0.02);
+            let wq = MantWeightQuantizer::new(32).quantize(&w).unwrap();
+            let xs: Vec<_> = (0..3)
+                .map(|_| {
+                    let x: Vec<f32> = (0..128).map(|_| gen.standard_normal()).collect();
+                    quantize_vector_int8(&x, 32).unwrap()
+                })
+                .collect();
+            let batched = mant_gemv_batch(&xs, &wq).unwrap();
+            for (x, y) in xs.iter().zip(batched.iter()) {
+                let single = mant_gemv(x, &wq).unwrap();
+                let y_bits: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+                let s_bits: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(y_bits, s_bits, "n={n}");
+            }
+        }
     }
 
     #[test]

@@ -22,19 +22,23 @@ use mant_tensor::{abs_max, Matrix, RunningGroupStats};
 
 use crate::activation::{quantize_vector_int8, QuantizedVector};
 use crate::error::QuantError;
-use crate::fused::group_dot;
-use crate::mantq::GroupMeta;
+use crate::fused::group_dot_packed;
+use crate::mantq::{encode_group_packed, packed_code, GroupMeta};
 use crate::variance::VarianceMap;
 
 /// Spatial real-time quantizer for the K cache.
 ///
 /// Keys are stored as rows of length `dim` (the head dimension), each row
-/// grouped along `dim` and quantized the moment it arrives.
+/// grouped along `dim` and quantized the moment it arrives. Codes are
+/// **nibble-packed** (two per byte, each group byte-aligned): the packed
+/// buffer is the working representation `fused_dot` consumes through the
+/// pair-LUT kernels, not an accounting fiction.
 #[derive(Clone, Debug)]
 pub struct KCacheQuantizer {
     dim: usize,
     group_size: usize,
     vmap: VarianceMap,
+    /// Packed codes, `rows × groups_per_row × ⌈group_size/2⌉` bytes.
     codes: Vec<u8>,
     meta: Vec<GroupMeta>,
     rows: usize,
@@ -89,14 +93,26 @@ impl KCacheQuantizer {
         self.dim / self.group_size
     }
 
-    /// The 4-bit codes of group `g` in cached key vector `t`.
+    /// Bytes one packed group occupies (`⌈group_size / 2⌉`).
+    pub fn group_bytes(&self) -> usize {
+        self.group_size.div_ceil(2)
+    }
+
+    /// Packed bytes one cached key row occupies.
+    fn row_bytes(&self) -> usize {
+        self.groups_per_row() * self.group_bytes()
+    }
+
+    /// The **packed** 4-bit codes of group `g` in cached key vector `t`
+    /// (two codes per byte).
     ///
     /// # Panics
     ///
     /// Panics if out of bounds.
-    pub fn group_codes(&self, t: usize, g: usize) -> &[u8] {
-        let base = t * self.dim + g * self.group_size;
-        &self.codes[base..base + self.group_size]
+    pub fn packed_group_codes(&self, t: usize, g: usize) -> &[u8] {
+        let gb = self.group_bytes();
+        let base = t * self.row_bytes() + g * gb;
+        &self.codes[base..base + gb]
     }
 
     /// Metadata of group `g` in cached key vector `t`.
@@ -132,8 +148,11 @@ impl KCacheQuantizer {
         let mut acc = 0.0f64;
         for j in 0..n_groups {
             let meta = self.group_meta(t, k_lo + j);
-            let int_result =
-                group_dot(meta, q.group_codes(q_lo + j), self.group_codes(t, k_lo + j));
+            let int_result = group_dot_packed(
+                meta,
+                q.group_codes(q_lo + j),
+                self.packed_group_codes(t, k_lo + j),
+            );
             acc += f64::from(q.scale(q_lo + j)) * f64::from(meta.scale) * int_result as f64;
         }
         acc as f32
@@ -148,7 +167,7 @@ impl KCacheQuantizer {
         assert_eq!(k.len(), self.dim, "key vector length mismatch");
         let c0 = self.codes.len();
         let m0 = self.meta.len();
-        self.codes.resize(c0 + self.dim, 0);
+        self.codes.resize(c0 + self.row_bytes(), 0);
         self.meta
             .resize(m0 + self.groups_per_row(), GroupMeta::ZERO);
         encode_k_row_into(
@@ -186,7 +205,7 @@ impl KCacheQuantizer {
             "truncate length {len} exceeds cached rows {}",
             self.rows
         );
-        self.codes.truncate(len * self.dim);
+        self.codes.truncate(len * self.row_bytes());
         self.meta.truncate(len * self.groups_per_row());
         self.rows = len;
     }
@@ -209,21 +228,24 @@ impl KCacheQuantizer {
         Matrix::from_fn(self.rows, self.dim, |r, c| {
             let g = c / self.group_size;
             let m = self.meta[r * gpr + g];
-            m.dtype.decode(self.codes[r * self.dim + c]) * m.scale
+            let code = packed_code(self.packed_group_codes(r, g), c % self.group_size);
+            m.dtype.decode(code) * m.scale
         })
     }
 
-    /// Storage bits: 4 per element + 24 per group (scale + coefficient).
+    /// Storage bits: the packed code bytes (4 per element — genuinely
+    /// packed) + 24 per group (scale + coefficient).
     pub fn storage_bits(&self) -> usize {
-        self.codes.len() * 4 + self.meta.len() * 24
+        self.codes.len() * 8 + self.meta.len() * 24
     }
 }
 
-/// Encodes one key row's groups into pre-sized code/metadata slices: per
-/// group, streaming stats → variance-selected dtype → FP16 scale → 4-bit
-/// codes. Shared verbatim by the owned [`KCacheQuantizer`] and the paged
-/// pool's per-sequence views (`crate::pool`), so the two storage engines
-/// produce bit-identical cache contents.
+/// Encodes one key row's groups into pre-sized **packed** code/metadata
+/// slices: per group, streaming stats → variance-selected dtype → FP16
+/// scale → packed 4-bit codes (two per byte, byte-aligned groups). Shared
+/// verbatim by the owned [`KCacheQuantizer`] and the paged pool's
+/// per-sequence views (`crate::pool`), so the two storage engines produce
+/// bit-identical cache contents.
 pub(crate) fn encode_k_row_into(
     vmap: &VarianceMap,
     group_size: usize,
@@ -231,7 +253,8 @@ pub(crate) fn encode_k_row_into(
     codes_out: &mut [u8],
     meta_out: &mut [GroupMeta],
 ) {
-    debug_assert_eq!(codes_out.len(), k.len());
+    let group_bytes = group_size.div_ceil(2);
+    debug_assert_eq!(codes_out.len(), (k.len() / group_size) * group_bytes);
     debug_assert_eq!(meta_out.len(), k.len() / group_size);
     for (g, group) in k.chunks_exact(group_size).enumerate() {
         let mut stats = RunningGroupStats::new();
@@ -239,9 +262,12 @@ pub(crate) fn encode_k_row_into(
         let dtype = vmap.select_for(&stats);
         let scale = dtype.scale_for(stats.abs_max());
         meta_out[g] = GroupMeta { dtype, scale };
-        for (j, &x) in group.iter().enumerate() {
-            codes_out[g * group_size + j] = dtype.encode(x, scale);
-        }
+        encode_group_packed(
+            dtype,
+            scale,
+            group,
+            &mut codes_out[g * group_bytes..(g + 1) * group_bytes],
+        );
     }
 }
 
@@ -251,15 +277,16 @@ pub(crate) fn encode_k_row_into(
 pub(crate) struct CommittedWindow {
     /// Per-channel metadata (`dim` entries).
     pub(crate) meta: Vec<GroupMeta>,
-    /// Codes in `[c][t]` channel-major order (`dim × group_size` nibbles):
-    /// each channel's temporal group is contiguous, so the `P·V` kernels
-    /// consume it directly with no strided gather.
+    /// **Packed** codes in `[c][t]` channel-major order
+    /// (`dim × ⌈group_size/2⌉` bytes): each channel's temporal group is a
+    /// contiguous packed operand, so the `P·V` kernels consume it directly
+    /// with no strided gather and no unpacking.
     pub(crate) codes: Vec<u8>,
 }
 
 /// `P·V` accumulation over one committed window: `meta`/`codes` are the
-/// window's per-channel metadata and channel-major codes
-/// (`dim × group_size` nibbles), `pcodes`/`pscale` the window's
+/// window's per-channel metadata and channel-major **packed** codes
+/// (`dim × ⌈group_size/2⌉` bytes), `pcodes`/`pscale` the window's
 /// INT8-quantized probabilities. Adds into `out` for channels `chan_lo..`.
 /// Shared by the owned [`VCacheQuantizer`] and the paged pool so both
 /// consume committed storage with bit-identical arithmetic.
@@ -272,12 +299,13 @@ pub(crate) fn attend_window(
     chan_lo: usize,
     out: &mut [f32],
 ) {
+    let gb = group_size.div_ceil(2);
     for (o, c) in out.iter_mut().zip(chan_lo..) {
         let m = meta[c];
-        // Channel-major storage: the temporal group is contiguous,
-        // so the same `group_dot` kernels serve `P·V` and `Q·Kᵀ`.
-        let group = &codes[c * group_size..(c + 1) * group_size];
-        let int_result = group_dot(m, pcodes, group);
+        // Channel-major packed storage: the temporal group is one
+        // contiguous packed operand for the pair-LUT kernel.
+        let group = &codes[c * gb..(c + 1) * gb];
+        let int_result = group_dot_packed(m, pcodes, group);
         *o += (f64::from(pscale) * f64::from(m.scale) * int_result as f64) as f32;
     }
 }
@@ -373,27 +401,25 @@ impl VStaging {
     }
 
     /// Phase 2 of Fig. 8: variance → `a`, then requantize the staged INT8
-    /// window to 4-bit MANT, one group per channel.
+    /// window to packed 4-bit MANT, one group per channel.
     fn commit(&mut self) -> CommittedWindow {
+        let gb = self.group_size.div_ceil(2);
         let mut meta = Vec::with_capacity(self.dim);
-        let mut codes = vec![0u8; self.group_size * self.dim];
+        let mut codes = vec![0u8; gb * self.dim];
+        let mut group = vec![0.0f32; self.group_size];
         for c in 0..self.dim {
             let dtype = self.vmap.select_for(&self.stats[c]);
             // The group contents are the *staged INT8* values (the paper
             // requantizes the stacked INT8 V cache), so the scale comes
             // from their dequantized max.
             let s8 = self.channel_scales[c].max(f32::MIN_POSITIVE);
-            let amax = self
-                .window
-                .iter()
-                .map(|row| (f32::from(row[c]) * s8).abs())
-                .fold(0.0f32, f32::max);
+            for (t, row) in self.window.iter().enumerate() {
+                group[t] = f32::from(row[c]) * s8;
+            }
+            let amax = group.iter().fold(0.0f32, |m, v| m.max(v.abs()));
             let scale = dtype.scale_for(amax);
             meta.push(GroupMeta { dtype, scale });
-            for (t, row) in self.window.iter().enumerate() {
-                let x = f32::from(row[c]) * s8;
-                codes[c * self.group_size + t] = dtype.encode(x, scale);
-            }
+            encode_group_packed(dtype, scale, &group, &mut codes[c * gb..(c + 1) * gb]);
             self.stats[c].reset();
         }
         self.window.clear();
@@ -618,13 +644,16 @@ impl VCacheQuantizer {
     pub fn dequantize(&self) -> Matrix {
         let dim = self.staging.dim;
         let g = self.staging.group_size;
+        let gb = g.div_ceil(2);
         let mut out = Matrix::zeros(0, 0);
         for w in &self.committed {
             for t in 0..g {
                 let row: Vec<f32> = (0..dim)
                     .map(|c| {
                         let m = w.meta[c];
-                        m.dtype.decode(w.codes[c * g + t]) * m.scale
+                        m.dtype
+                            .decode(packed_code(&w.codes[c * gb..(c + 1) * gb], t))
+                            * m.scale
                     })
                     .collect();
                 out.push_row(&row);
@@ -645,11 +674,14 @@ impl VCacheQuantizer {
         }
     }
 
-    /// Storage bits: committed windows at 4 bits + 24-bit group metadata;
-    /// staged rows at 8 bits (the "marginal and tolerable" INT8 overhead).
+    /// Storage bits: committed windows at their physical packed bytes
+    /// (4 bits per element, plus a pad nibble per channel group when the
+    /// group size is odd) + 24-bit group metadata; staged rows at 8 bits
+    /// (the "marginal and tolerable" INT8 overhead).
     pub fn storage_bits(&self) -> usize {
         let dim = self.staging.dim;
-        let committed = self.committed.len() * (self.staging.group_size * dim * 4 + dim * 24);
+        let gb = self.staging.group_size.div_ceil(2);
+        let committed = self.committed.len() * (dim * gb * 8 + dim * 24);
         let staged = self.staging.window.len() * dim * 8;
         committed + staged
     }

@@ -14,10 +14,15 @@
 //!   selection (paper Sec. V-C, Eq. (7));
 //! - [`activation`]: group-wise INT8 activation quantization with a
 //!   streaming max (paper Sec. V-B);
-//! - [`fused`]: the decode-free integer GEMM/GEMV of Eq. (5) — `psum1`
-//!   via multiply-accumulate, `psum2` via shift-accumulate (kernels live
-//!   in `mant_numerics::kernels`); [`mant_gemv`] is the per-token
-//!   primitive of the quantized execution backend;
+//! - [`fused`]: the decode-free integer GEMM/GEMV of Eq. (5), consuming
+//!   **nibble-packed** groups through 256-entry pair-decode tables with
+//!   i32 in-group accumulation, cache-blocked four output rows per sweep
+//!   (kernels live in `mant_numerics::kernels`); [`mant_gemv`] is the
+//!   per-token primitive of the quantized execution backend, and
+//!   [`mant_gemv_scalar`] keeps the pre-packing one-code-per-byte path
+//!   as the bench baseline and bit-identity oracle;
+//! - [`plan`]: interned `&'static` pair-decode tables per group dtype —
+//!   built once per process, cached per matrix as its decode plan;
 //! - [`kv`]: real-time K-cache (spatial) and V-cache (two-phase temporal)
 //!   quantization engines (paper Sec. V-C, Fig. 8), with incremental
 //!   group-wise access — [`KCacheQuantizer::fused_dot`] for `Q·Kᵀ` and
@@ -37,6 +42,7 @@ pub mod error;
 pub mod fused;
 pub mod kv;
 pub mod mantq;
+pub mod plan;
 pub mod pool;
 pub mod quantizer;
 pub mod scheme;
@@ -49,10 +55,12 @@ pub use activation::{
 };
 pub use error::QuantError;
 pub use fused::{
-    dequant_then_gemm, dequant_then_gemv, group_dot, mant_gemm, mant_gemv, mant_gemv_batch,
+    dequant_then_gemm, dequant_then_gemv, group_dot, group_dot_packed, mant_gemm, mant_gemv,
+    mant_gemv_batch, mant_gemv_scalar, UnpackedWeights,
 };
 pub use kv::{KCacheQuantizer, VCacheQuantizer};
 pub use mantq::{GroupDtype, MantQuantizedMatrix, MantWeightQuantizer};
+pub use plan::pair_table;
 pub use pool::{attention_incremental_paged, KvCachePool, PagedKvCache, PoolConfig};
 pub use quantizer::{FakeQuantizer, Fp16Quantizer, GridQuantizer};
 pub use scheme::Granularity;

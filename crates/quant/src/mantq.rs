@@ -5,14 +5,53 @@ use mant_numerics::{int4_grid, Grid, Mant, MantCode, NumericsError};
 use mant_tensor::par::par_map_indexed;
 use mant_tensor::{abs_max, Matrix};
 
+use mant_numerics::PairLut;
+
 use crate::error::QuantError;
+use crate::plan::pair_table;
 use crate::quantizer::FakeQuantizer;
 use crate::search::{select_group_dtype_weighted, CandidateSet};
 
+/// Encodes one group straight into its **packed** nibble storage: two
+/// codes per byte, first code in the low nibble, an odd tail in a final
+/// low nibble. Shared by the weight quantizer, the streaming K-cache
+/// encoder, and the V-window commit, so every packed buffer in the
+/// workspace has one layout.
+pub(crate) fn encode_group_packed(dtype: GroupDtype, scale: f32, group: &[f32], out: &mut [u8]) {
+    debug_assert_eq!(out.len(), group.len().div_ceil(2));
+    let enc = |x: f32| {
+        let code = dtype.encode(x, scale);
+        // Same hardening as `pack_nibbles`: a >4-bit code here would OR
+        // into the neighboring nibble and corrupt two elements into
+        // plausible-looking packed data. Debug builds assert; release
+        // builds mask so the packed buffer stays well-formed either way.
+        debug_assert!(code < 16, "encoder produced a non-4-bit code");
+        code & 0x0f
+    };
+    let mut pairs = group.chunks_exact(2);
+    for (o, pair) in out.iter_mut().zip(pairs.by_ref()) {
+        *o = enc(pair[0]) | (enc(pair[1]) << 4);
+    }
+    if let [last] = pairs.remainder() {
+        out[group.len() / 2] = enc(*last);
+    }
+}
+
+/// Decodes the packed code of element `j` within a group slice.
+pub(crate) fn packed_code(codes: &[u8], j: usize) -> u8 {
+    let b = codes[j / 2];
+    if j.is_multiple_of(2) {
+        b & 0x0f
+    } else {
+        b >> 4
+    }
+}
+
 /// Encodes one row: per-group candidate search, scale derivation, and
-/// 4-bit encoding. The unit of work for both the serial and parallel
-/// quantization paths (groups within a row are processed in order, so
-/// splitting by rows cannot reorder any floating-point operation).
+/// packed 4-bit encoding. The unit of work for both the serial and
+/// parallel quantization paths (groups within a row are processed in
+/// order, so splitting by rows cannot reorder any floating-point
+/// operation).
 fn encode_row(
     row: &[f32],
     group_size: usize,
@@ -20,19 +59,22 @@ fn encode_row(
     col_weights: Option<&[f32]>,
 ) -> Result<(Vec<u8>, Vec<GroupMeta>), QuantError> {
     let groups_per_row = row.len() / group_size;
-    let mut codes = vec![0u8; row.len()];
+    let group_bytes = group_size.div_ceil(2);
+    let mut codes = vec![0u8; groups_per_row * group_bytes];
     let mut meta = Vec::with_capacity(groups_per_row);
     for g in 0..groups_per_row {
         let lo = g * group_size;
-        let hi = lo + group_size;
-        let group = &row[lo..hi];
-        let gw = col_weights.map(|cw| &cw[lo..hi]);
+        let group = &row[lo..lo + group_size];
+        let gw = col_weights.map(|cw| &cw[lo..lo + group_size]);
         let (dtype, _) = select_group_dtype_weighted(group, gw, set)?;
         let scale = dtype.scale_for(abs_max(group));
         meta.push(GroupMeta { dtype, scale });
-        for (j, &x) in group.iter().enumerate() {
-            codes[lo + j] = dtype.encode(x, scale);
-        }
+        encode_group_packed(
+            dtype,
+            scale,
+            group,
+            &mut codes[g * group_bytes..(g + 1) * group_bytes],
+        );
     }
     Ok((codes, meta))
 }
@@ -144,15 +186,23 @@ impl GroupMeta {
 ///
 /// Layout: `rows` output channels, each row's `cols` elements along the
 /// accumulation dimension split into `cols / group_size` groups. Codes are
-/// stored one nibble per byte (packing is a storage-accounting detail; see
-/// [`MantQuantizedMatrix::storage_bits`]).
+/// stored **genuinely nibble-packed** — two 4-bit codes per byte, each
+/// group padded to a byte boundary — which is the working representation
+/// the packed kernels consume directly; nothing unpacks on the forward
+/// path. Alongside the codes lives the matrix's **decode plan**: one
+/// interned `&'static` 256-entry pair-decode table per group
+/// ([`crate::plan::pair_table`]), resolved once at quantization and
+/// reused across every token and batch row.
 #[derive(Clone, Debug)]
 pub struct MantQuantizedMatrix {
     rows: usize,
     cols: usize,
     group_size: usize,
+    /// Packed codes, `rows × groups_per_row × group_bytes` bytes.
     codes: Vec<u8>,
     meta: Vec<GroupMeta>,
+    /// The decode plan: `meta[i]`'s interned pair table, same indexing.
+    plan: Vec<&'static PairLut>,
 }
 
 impl MantQuantizedMatrix {
@@ -182,20 +232,28 @@ impl MantQuantizedMatrix {
         col_weights: Option<&[f32]>,
     ) -> Result<Self, QuantError> {
         Self::validate(w, group_size, set, col_weights)?;
-        let mut codes = Vec::with_capacity(w.rows() * w.cols());
+        let mut codes =
+            Vec::with_capacity(w.rows() * (w.cols() / group_size) * group_size.div_ceil(2));
         let mut meta = Vec::with_capacity(w.rows() * (w.cols() / group_size));
         for r in 0..w.rows() {
             let (row_codes, row_meta) = encode_row(w.row(r), group_size, set, col_weights)?;
             codes.extend(row_codes);
             meta.extend(row_meta);
         }
-        Ok(MantQuantizedMatrix {
+        Ok(Self::assemble(w, group_size, codes, meta))
+    }
+
+    /// Finishes construction: resolves the decode plan from the metadata.
+    fn assemble(w: &Matrix, group_size: usize, codes: Vec<u8>, meta: Vec<GroupMeta>) -> Self {
+        let plan = meta.iter().map(|m| pair_table(m.dtype)).collect();
+        MantQuantizedMatrix {
             rows: w.rows(),
             cols: w.cols(),
             group_size,
             codes,
             meta,
-        })
+            plan,
+        }
     }
 
     /// [`MantQuantizedMatrix::quantize`] with the per-group candidate
@@ -233,20 +291,15 @@ impl MantQuantizedMatrix {
         let rows = par_map_indexed(w.rows(), |r| {
             encode_row(w.row(r), group_size, set, col_weights)
         });
-        let mut codes = Vec::with_capacity(w.rows() * w.cols());
+        let mut codes =
+            Vec::with_capacity(w.rows() * (w.cols() / group_size) * group_size.div_ceil(2));
         let mut meta = Vec::with_capacity(w.rows() * (w.cols() / group_size));
         for row in rows {
             let (row_codes, row_meta) = row?;
             codes.extend(row_codes);
             meta.extend(row_meta);
         }
-        Ok(MantQuantizedMatrix {
-            rows: w.rows(),
-            cols: w.cols(),
-            group_size,
-            codes,
-            meta,
-        })
+        Ok(Self::assemble(w, group_size, codes, meta))
     }
 
     fn validate(
@@ -303,30 +356,71 @@ impl MantQuantizedMatrix {
         self.meta[r * self.groups_per_row() + g]
     }
 
-    /// The 4-bit codes of group `g` in row `r` (one nibble per byte).
+    /// Bytes one packed group occupies (`⌈group_size / 2⌉`).
+    pub fn group_bytes(&self) -> usize {
+        self.group_size.div_ceil(2)
+    }
+
+    /// The **packed** 4-bit codes of group `g` in row `r` — two codes per
+    /// byte, the operand the packed kernels consume directly.
     ///
     /// # Panics
     ///
     /// Panics if out of bounds.
-    pub fn group_codes(&self, r: usize, g: usize) -> &[u8] {
-        let base = r * self.cols + g * self.group_size;
-        &self.codes[base..base + self.group_size]
+    pub fn packed_group_codes(&self, r: usize, g: usize) -> &[u8] {
+        let gb = self.group_bytes();
+        let base = (r * self.groups_per_row() + g) * gb;
+        &self.codes[base..base + gb]
+    }
+
+    /// The interned pair-decode table of group `g` in row `r` — the
+    /// matrix's decode plan, resolved once at quantization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn plan_table(&self, r: usize, g: usize) -> &'static PairLut {
+        self.plan[r * self.groups_per_row() + g]
+    }
+
+    /// Gathers group `g`'s packed codes, decode-plan tables, and f64
+    /// scales for the four consecutive rows starting at `tile_lo` — the
+    /// per-(tile, group) setup shared by every cache-blocked sweep in
+    /// `crate::fused`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_lo + 3` or `g` is out of bounds.
+    pub(crate) fn tile4(
+        &self,
+        tile_lo: usize,
+        g: usize,
+    ) -> ([&[u8]; 4], [&'static PairLut; 4], [f64; 4]) {
+        (
+            [0, 1, 2, 3].map(|lane| self.packed_group_codes(tile_lo + lane, g)),
+            [0, 1, 2, 3].map(|lane| self.plan_table(tile_lo + lane, g)),
+            [0, 1, 2, 3].map(|lane| f64::from(self.meta(tile_lo + lane, g).scale)),
+        )
     }
 
     /// Dequantizes to an f32 matrix.
     pub fn dequantize(&self) -> Matrix {
         let gpr = self.groups_per_row();
+        let gb = self.group_bytes();
         Matrix::from_fn(self.rows, self.cols, |r, c| {
             let g = c / self.group_size;
+            let j = c % self.group_size;
             let m = self.meta[r * gpr + g];
-            m.dtype.decode(self.codes[r * self.cols + c]) * m.scale
+            let base = (r * gpr + g) * gb;
+            m.dtype.decode(packed_code(&self.codes[base..base + gb], j)) * m.scale
         })
     }
 
-    /// Total storage in bits: 4 bits per element plus per-group metadata
+    /// Total storage in bits: the packed code bytes (4 bits per element —
+    /// the codes really are nibble-packed now) plus per-group metadata
     /// (16-bit FP16 scale + 8-bit coefficient).
     pub fn storage_bits(&self) -> usize {
-        self.codes.len() * 4 + self.meta.len() * (16 + 8)
+        self.codes.len() * 8 + self.meta.len() * (16 + 8)
     }
 
     /// Average bits per element including metadata.
@@ -583,9 +677,34 @@ mod tests {
         let mut g = TensorGenerator::new(34);
         let w = g.group_diverse_matrix(2, 128, 64, 0.02);
         let q = MantQuantizedMatrix::quantize(&w, 64, &CandidateSet::paper()).unwrap();
-        assert_eq!(q.group_codes(1, 1).len(), 64);
+        assert_eq!(q.packed_group_codes(1, 1).len(), 32, "64 codes in 32 bytes");
         let m = q.meta(1, 1);
         assert!(m.scale > 0.0);
         assert_eq!(q.groups_per_row(), 2);
+        // The decode plan resolves each group's dtype to its interned
+        // pair table.
+        let t = q.plan_table(1, 1);
+        for b in 0..=255u8 {
+            assert_eq!(t[b as usize][0], m.dtype.decode(b & 0x0f) as i32);
+            assert_eq!(t[b as usize][1], m.dtype.decode(b >> 4) as i32);
+        }
+    }
+
+    #[test]
+    fn packed_storage_is_half_the_bytes() {
+        // The working representation really is nibble-packed: a 4×128
+        // matrix holds 512 codes in 256 bytes (it used to resident-store
+        // one code per byte and only *account* for 4 bits).
+        let mut g = TensorGenerator::new(36);
+        let w = g.group_diverse_matrix(4, 128, 64, 0.02);
+        let q = MantQuantizedMatrix::quantize(&w, 64, &CandidateSet::paper()).unwrap();
+        assert_eq!(q.packed_group_codes(0, 0).len(), 32);
+        assert_eq!(q.storage_bits(), 4 * 128 * 4 + 8 * 24);
+        // Odd group sizes pad each group to a byte boundary.
+        let w_odd = g.group_diverse_matrix(2, 9, 3, 0.02);
+        let q_odd = MantQuantizedMatrix::quantize(&w_odd, 3, &CandidateSet::paper()).unwrap();
+        assert_eq!(q_odd.group_bytes(), 2);
+        assert_eq!(q_odd.packed_group_codes(1, 2).len(), 2);
+        assert_eq!(q_odd.dequantize().shape(), (2, 9));
     }
 }

@@ -1,0 +1,75 @@
+//! Interned pair-decode tables: the decode plans of the packed kernels.
+//!
+//! A [`PairLut`] maps a packed byte to its two pre-decoded integer
+//! operands. It depends only on the group's [`GroupDtype`] — and there
+//! are at most 129 of those (128 MANT coefficients plus INT4) — so the
+//! tables are built **once per process** and shared by every consumer:
+//! weight matrices cache one `&'static` table per group in their decode
+//! plan, while the streaming K/V caches and the paged pool resolve a
+//! group's table from its metadata at use time in O(1). Nothing ever
+//! rebuilds a table per token, per batch row, or per sequence.
+
+use std::sync::OnceLock;
+
+use mant_numerics::{int4_decode_lut, mant_decode_lut, pair_decode_lut, Mant, PairLut};
+
+use crate::mantq::GroupDtype;
+
+/// Index of a dtype in the interned store: MANT coefficients map to `a`
+/// (0–127), INT4 to 128.
+fn dtype_key(dtype: GroupDtype) -> usize {
+    match dtype {
+        GroupDtype::Mant(m) => m.coefficient() as usize,
+        GroupDtype::Int4 => 128,
+    }
+}
+
+fn tables() -> &'static [PairLut] {
+    static TABLES: OnceLock<Vec<PairLut>> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut all: Vec<PairLut> = (0..128)
+            .map(|a| pair_decode_lut(&mant_decode_lut(Mant::new(a).expect("a < 128"))))
+            .collect();
+        all.push(pair_decode_lut(&int4_decode_lut()));
+        all
+    })
+}
+
+/// The interned 256-entry pair-decode table of a group dtype. The first
+/// call builds all 129 tables (~260 KiB, microseconds); every later call
+/// is an index into static memory.
+pub fn pair_table(dtype: GroupDtype) -> &'static PairLut {
+    &tables()[dtype_key(dtype)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mant_numerics::MantCode;
+
+    #[test]
+    fn tables_decode_every_dtype_exactly() {
+        for a in [0u32, 17, 60, 127] {
+            let mant = Mant::new(a).unwrap();
+            let t = pair_table(GroupDtype::Mant(mant));
+            for b in 0..=255u8 {
+                assert_eq!(t[b as usize][0], mant.decode(MantCode::from_bits(b & 0x0f)));
+                assert_eq!(t[b as usize][1], mant.decode(MantCode::from_bits(b >> 4)));
+            }
+        }
+        let t = pair_table(GroupDtype::Int4);
+        for b in 0..=255u8 {
+            assert_eq!(t[b as usize][0], i32::from(((b << 4) as i8) >> 4));
+            assert_eq!(t[b as usize][1], i32::from((b as i8) >> 4));
+        }
+    }
+
+    #[test]
+    fn interning_returns_stable_references() {
+        let a = pair_table(GroupDtype::mant(17).unwrap());
+        let b = pair_table(GroupDtype::mant(17).unwrap());
+        assert!(std::ptr::eq(a, b), "same dtype must intern to one table");
+        let c = pair_table(GroupDtype::Int4);
+        assert!(!std::ptr::eq(a, c));
+    }
+}

@@ -44,11 +44,11 @@ use mant_tensor::Matrix;
 
 use crate::activation::{quantize_vector_int8, QuantizedVector};
 use crate::error::QuantError;
-use crate::fused::group_dot;
+use crate::fused::group_dot_packed;
 use crate::kv::{attend_window, encode_k_row_into, quantize_probs_int8, VStaging};
 #[allow(unused_imports)] // doc links
 use crate::kv::{KCacheQuantizer, VCacheQuantizer};
-use crate::mantq::GroupMeta;
+use crate::mantq::{packed_code, GroupMeta};
 use crate::variance::VarianceMap;
 
 use mant_tensor::ops::softmax_inplace;
@@ -70,11 +70,12 @@ pub struct PoolConfig {
 #[derive(Clone, Debug)]
 pub struct KvCachePool {
     cfg: PoolConfig,
-    /// K codes, `blocks × block_tokens × kv_dim` nibbles.
+    /// K codes, `blocks × block_tokens × kv_dim` nibbles **genuinely
+    /// packed two per byte** (each spatial group byte-aligned).
     k_codes: Vec<u8>,
     /// K metadata, `blocks × block_tokens × (kv_dim / group_size)`.
     k_meta: Vec<GroupMeta>,
-    /// Committed V codes, `blocks × block_tokens × kv_dim` nibbles
+    /// Committed V codes, `blocks × block_tokens × kv_dim` packed nibbles
     /// (channel-major within each `group_size`-token window).
     v_codes: Vec<u8>,
     /// Committed V metadata, `blocks × windows_per_block × kv_dim`.
@@ -113,11 +114,13 @@ impl KvCachePool {
             });
         }
         let slots = cfg.blocks * cfg.block_tokens;
+        let gpr = cfg.kv_dim / cfg.group_size;
+        let group_bytes = cfg.group_size.div_ceil(2);
         Ok(KvCachePool {
             cfg,
-            k_codes: vec![0u8; slots * cfg.kv_dim],
-            k_meta: vec![GroupMeta::ZERO; slots * (cfg.kv_dim / cfg.group_size)],
-            v_codes: vec![0u8; slots * cfg.kv_dim],
+            k_codes: vec![0u8; slots * gpr * group_bytes],
+            k_meta: vec![GroupMeta::ZERO; slots * gpr],
+            v_codes: vec![0u8; (slots / cfg.group_size) * cfg.kv_dim * group_bytes],
             v_meta: vec![GroupMeta::ZERO; (slots / cfg.group_size) * cfg.kv_dim],
             free: (0..cfg.blocks as u32).rev().collect(),
             refs: vec![0u32; cfg.blocks],
@@ -127,6 +130,30 @@ impl KvCachePool {
     /// The pool's shape.
     pub fn config(&self) -> PoolConfig {
         self.cfg
+    }
+
+    /// Bytes one packed group occupies (`⌈group_size / 2⌉`).
+    fn group_bytes(&self) -> usize {
+        self.cfg.group_size.div_ceil(2)
+    }
+
+    /// Packed bytes of one token slot's K row.
+    fn k_row_bytes(&self) -> usize {
+        (self.cfg.kv_dim / self.cfg.group_size) * self.group_bytes()
+    }
+
+    /// Packed bytes of one committed V window (`kv_dim` channel groups).
+    fn v_window_bytes(&self) -> usize {
+        self.cfg.kv_dim * self.group_bytes()
+    }
+
+    /// Resident bytes of the pool's code arenas — the physical allocation
+    /// backing every block's K rows and committed V windows. With packed
+    /// nibbles this is **half** what the one-code-per-byte layout held for
+    /// the same geometry, i.e. an identical byte budget now holds twice
+    /// the token slots.
+    pub fn resident_code_bytes(&self) -> usize {
+        self.k_codes.len() + self.v_codes.len()
     }
 
     /// Token slots per block.
@@ -155,13 +182,15 @@ impl KvCachePool {
         tokens.div_ceil(self.cfg.block_tokens)
     }
 
-    /// Packed bits per block: K at 4 bits + 24-bit group metadata per
-    /// spatial group, V at 4 bits + 24-bit metadata per (window, channel).
+    /// Packed bits per block: the physical code bytes (4 bits per element
+    /// for even group sizes; odd group sizes carry a pad nibble per
+    /// group, counted here so the accounting always equals resident
+    /// memory) + 24-bit metadata per spatial group / (window, channel).
     pub fn block_bits(&self) -> usize {
         let gpr = self.cfg.kv_dim / self.cfg.group_size;
         let wpb = self.cfg.block_tokens / self.cfg.group_size;
-        let k = self.cfg.block_tokens * self.cfg.kv_dim * 4 + self.cfg.block_tokens * gpr * 24;
-        let v = self.cfg.block_tokens * self.cfg.kv_dim * 4 + wpb * self.cfg.kv_dim * 24;
+        let k = self.cfg.block_tokens * (self.k_row_bytes() * 8 + gpr * 24);
+        let v = wpb * (self.v_window_bytes() * 8 + self.cfg.kv_dim * 24);
         k + v
     }
 
@@ -225,56 +254,54 @@ impl KvCachePool {
         let gpr = dim / self.cfg.group_size;
         let wpb = bt / self.cfg.group_size;
         let (s, d) = (src as usize, dst as usize);
-        self.k_codes
-            .copy_within(s * bt * dim..(s + 1) * bt * dim, d * bt * dim);
+        let kb = bt * self.k_row_bytes();
+        self.k_codes.copy_within(s * kb..(s + 1) * kb, d * kb);
         self.k_meta
             .copy_within(s * bt * gpr..(s + 1) * bt * gpr, d * bt * gpr);
-        let welems = wpb * self.cfg.group_size * dim;
-        self.v_codes
-            .copy_within(s * welems..(s + 1) * welems, d * welems);
+        let vb = wpb * self.v_window_bytes();
+        self.v_codes.copy_within(s * vb..(s + 1) * vb, d * vb);
         self.v_meta
             .copy_within(s * wpb * dim..(s + 1) * wpb * dim, d * wpb * dim);
     }
 
     fn k_row(&self, block: u32, slot: usize) -> (&[u8], &[GroupMeta]) {
         let gpr = self.cfg.kv_dim / self.cfg.group_size;
-        let c0 = (block as usize * self.cfg.block_tokens + slot) * self.cfg.kv_dim;
+        let rb = self.k_row_bytes();
+        let c0 = (block as usize * self.cfg.block_tokens + slot) * rb;
         let m0 = (block as usize * self.cfg.block_tokens + slot) * gpr;
-        (
-            &self.k_codes[c0..c0 + self.cfg.kv_dim],
-            &self.k_meta[m0..m0 + gpr],
-        )
+        (&self.k_codes[c0..c0 + rb], &self.k_meta[m0..m0 + gpr])
     }
 
     fn k_row_mut(&mut self, block: u32, slot: usize) -> (&mut [u8], &mut [GroupMeta]) {
         let gpr = self.cfg.kv_dim / self.cfg.group_size;
-        let c0 = (block as usize * self.cfg.block_tokens + slot) * self.cfg.kv_dim;
+        let rb = self.k_row_bytes();
+        let c0 = (block as usize * self.cfg.block_tokens + slot) * rb;
         let m0 = (block as usize * self.cfg.block_tokens + slot) * gpr;
         (
-            &mut self.k_codes[c0..c0 + self.cfg.kv_dim],
+            &mut self.k_codes[c0..c0 + rb],
             &mut self.k_meta[m0..m0 + gpr],
         )
     }
 
     fn v_window(&self, block: u32, win_in_block: usize) -> (&[GroupMeta], &[u8]) {
-        let window_elems = self.cfg.group_size * self.cfg.kv_dim;
+        let wb = self.v_window_bytes();
         let wpb = self.cfg.block_tokens / self.cfg.group_size;
-        let c0 = (block as usize * wpb + win_in_block) * window_elems;
+        let c0 = (block as usize * wpb + win_in_block) * wb;
         let m0 = (block as usize * wpb + win_in_block) * self.cfg.kv_dim;
         (
             &self.v_meta[m0..m0 + self.cfg.kv_dim],
-            &self.v_codes[c0..c0 + window_elems],
+            &self.v_codes[c0..c0 + wb],
         )
     }
 
     fn v_window_mut(&mut self, block: u32, win_in_block: usize) -> (&mut [GroupMeta], &mut [u8]) {
-        let window_elems = self.cfg.group_size * self.cfg.kv_dim;
+        let wb = self.v_window_bytes();
         let wpb = self.cfg.block_tokens / self.cfg.group_size;
-        let c0 = (block as usize * wpb + win_in_block) * window_elems;
+        let c0 = (block as usize * wpb + win_in_block) * wb;
         let m0 = (block as usize * wpb + win_in_block) * self.cfg.kv_dim;
         (
             &mut self.v_meta[m0..m0 + self.cfg.kv_dim],
-            &mut self.v_codes[c0..c0 + window_elems],
+            &mut self.v_codes[c0..c0 + wb],
         )
     }
 }
@@ -490,12 +517,13 @@ impl PagedKvCache {
         assert_eq!(q.group_size(), g, "query group size mismatch");
         assert!(t < self.rows, "token index {t} out of bounds");
         let bt = pool.cfg.block_tokens;
+        let gb = pool.group_bytes();
         let (codes, meta) = pool.k_row(self.blocks[t / bt], t % bt);
         let mut acc = 0.0f64;
         for j in 0..n_groups {
             let m = meta[k_lo + j];
-            let group = &codes[(k_lo + j) * g..(k_lo + j + 1) * g];
-            let int_result = group_dot(m, q.group_codes(q_lo + j), group);
+            let group = &codes[(k_lo + j) * gb..(k_lo + j + 1) * gb];
+            let int_result = group_dot_packed(m, q.group_codes(q_lo + j), group);
             acc += f64::from(q.scale(q_lo + j)) * f64::from(m.scale) * int_result as f64;
         }
         acc as f32
@@ -546,11 +574,14 @@ impl PagedKvCache {
 
     /// Packed bits actually filled by this sequence (tokens, not whole
     /// blocks): the quantity serving metrics report as live cache memory.
+    /// Counts physical packed bytes, pad nibbles of odd group sizes
+    /// included, consistent with [`KvCachePool::block_bits`].
     pub fn used_bits(&self) -> usize {
         let dim = self.staging.dim;
         let gpr = dim / self.staging.group_size;
-        let k = self.rows * (dim * 4 + gpr * 24);
-        let v_committed = self.committed_windows * (self.staging.group_size * dim * 4 + dim * 24);
+        let gb = self.staging.group_size.div_ceil(2);
+        let k = self.rows * (gpr * gb * 8 + gpr * 24);
+        let v_committed = self.committed_windows * (dim * gb * 8 + dim * 24);
         let v_staged = self.staging.window.len() * dim * 8;
         k + v_committed + v_staged
     }
@@ -559,11 +590,13 @@ impl PagedKvCache {
     pub fn dequantize_k(&self, pool: &KvCachePool) -> Matrix {
         let dim = self.staging.dim;
         let g = self.staging.group_size;
+        let gb = pool.group_bytes();
         let bt = pool.cfg.block_tokens;
         Matrix::from_fn(self.rows, dim, |t, c| {
             let (codes, meta) = pool.k_row(self.blocks[t / bt], t % bt);
             let m = meta[c / g];
-            m.dtype.decode(codes[c]) * m.scale
+            let code = packed_code(&codes[(c / g) * gb..(c / g + 1) * gb], c % g);
+            m.dtype.decode(code) * m.scale
         })
     }
 
@@ -575,11 +608,14 @@ impl PagedKvCache {
         let bt = pool.cfg.block_tokens;
         Matrix::from_fn(self.rows, dim, |t, c| {
             if t < self.committed_windows * g {
+                let gb = pool.group_bytes();
                 let win_token = (t / g) * g;
                 let (meta, codes) =
                     pool.v_window(self.blocks[win_token / bt], (win_token % bt) / g);
                 let m = meta[c];
-                m.dtype.decode(codes[c * g + t % g]) * m.scale
+                m.dtype
+                    .decode(packed_code(&codes[c * gb..(c + 1) * gb], t % g))
+                    * m.scale
             } else {
                 let row = &self.staging.window[t - self.committed_windows * g];
                 f32::from(row[c]) * self.staging.channel_scales[c].max(f32::MIN_POSITIVE)
@@ -946,6 +982,31 @@ mod tests {
         a.push(&mut pool, data.row(16), data.row(16)).unwrap();
         a.release(&mut pool);
         assert_eq!(pool.free_blocks(), 2);
+    }
+
+    #[test]
+    fn packed_blocks_hold_double_tokens_per_byte_budget() {
+        // The pool's arenas are genuinely nibble-packed: 4 blocks × 32
+        // slots × 64 channels hold K and V codes in `slots × kv_dim`
+        // bytes total (half a byte per code per side). The pre-packing
+        // layout spent one byte per code — `2 × slots × kv_dim` — so an
+        // identical byte budget now holds exactly 2× the token slots.
+        let pool = pool(4, 32);
+        let slots = 4 * 32;
+        let packed_bytes = pool.resident_code_bytes();
+        assert_eq!(packed_bytes, slots * 64);
+        let unpacked_bytes_per_token = 2 * 64; // one byte per K + V code
+        let packed_bytes_per_token = packed_bytes / slots;
+        assert_eq!(unpacked_bytes_per_token / packed_bytes_per_token, 2);
+        // Same budget, twice the tokens: the byte budget that used to back
+        // this pool's slots one-per-byte now backs 2× the slots.
+        let budget = slots * unpacked_bytes_per_token;
+        assert_eq!(budget / packed_bytes_per_token, 2 * slots);
+        // And the arithmetic block accounting now matches physical bytes.
+        assert_eq!(
+            pool.capacity_bits(),
+            packed_bytes * 8 + (slots * 4 + (slots / 16) * 64) * 24
+        );
     }
 
     #[test]

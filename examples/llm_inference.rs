@@ -79,14 +79,16 @@ fn main() {
     println!("  fake-quantize (reference) : ppl {:.3}", rep_fake.ppl);
     println!("  quantized (integer psums) : ppl {:.3}", rep_packed.ppl);
 
-    // Per-step decode timing at two context depths: the reference backend
-    // dequantizes the whole KV cache every step (per-step cost grows with
-    // everything cached so far), while the quantized backend consumes the
-    // packed groups in place. The integer GEMV emulation carries a
-    // constant software overhead per step, so the incremental attention
-    // win — the one that matters at serving context lengths — emerges as
-    // the cache deepens. (`cargo bench --bench decode_throughput` isolates
-    // the attention step itself: ~3x and growing at seq 256–1024.)
+    // Per-step decode timing at three context depths: the reference
+    // backend dequantizes the whole KV cache every step (per-step cost
+    // grows with everything cached so far), while the quantized backend
+    // consumes the nibble-packed groups in place through the pair-LUT
+    // kernels. Since PR 5 the packed backend wins at *every* depth —
+    // including short context, where the unpacked integer GEMV used to
+    // lose to f32 (0.73x then; ~1.4x now) — and the incremental attention
+    // win still grows with the cache. (`cargo bench --bench
+    // decode_throughput` isolates the attention step: ~7-8x at seq
+    // 256-1024.)
     let tokens: Vec<usize> = (0..1024).map(|i| (i * 37) % config.vocab).collect();
     let windows = [(0usize, 64usize), (448, 512), (960, 1024)];
     // Every token is fed to the runner (the KV cache must actually reach
@@ -127,4 +129,13 @@ fn main() {
             t_ref[i] / t_packed[i]
         );
     }
+    // The packed-kernel decode rate is the serving baseline every later
+    // perf PR measures against: nibble-packed weights/KV consumed through
+    // the 256-entry pair-LUT kernels (one byte load per code pair, i32
+    // in-group accumulation).
+    println!(
+        "packed-kernel decode baseline: {:.1} tok/s at context 64, {:.1} tok/s at context 1024",
+        1.0 / t_packed[0],
+        1.0 / t_packed[windows.len() - 1],
+    );
 }

@@ -116,6 +116,11 @@ fn main() {
         "  continuous batching wins  : {:.2}x aggregate tokens/s",
         report.tokens_per_sec() / seq_tps
     );
+    println!(
+        "  packed-kernel tokens/s    : {:.1} batched / {seq_tps:.1} sequential (both paths \
+         consume nibble-packed groups via the pair-LUT kernels)",
+        report.tokens_per_sec(),
+    );
 
     // Bit-exactness: batching changed the schedule, not one token.
     let identical = report
