@@ -1,0 +1,199 @@
+//! A minimal blocking HTTP/SSE client for the gateway's own tests and
+//! the loopback load generator — it measures what a real client would
+//! see (TTFT from the socket, not from inside the engine).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// How a `/v1/generate` stream ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Terminal {
+    /// `event: done` — generation completed.
+    Done,
+    /// `event: expired` — the deadline passed first.
+    Expired,
+    /// `event: cancelled` — the server dropped the sequence.
+    Cancelled,
+    /// No SSE stream: the server answered with an HTTP error.
+    Rejected {
+        /// HTTP status code (400/422/429/503/...).
+        status: u16,
+        /// The `error` field of the JSON body (or the raw body).
+        message: String,
+    },
+    /// The connection closed without a terminal event.
+    Truncated,
+}
+
+/// Everything one generate call observed, timed at the socket.
+#[derive(Clone, Debug)]
+pub struct StreamOutcome {
+    /// HTTP status line code (200 for streams).
+    pub status: u16,
+    /// Tokens received, in order.
+    pub tokens: Vec<usize>,
+    /// How the stream ended.
+    pub terminal: Terminal,
+    /// Request-write to first token, if any token arrived.
+    pub ttft: Option<Duration>,
+    /// Request-write to stream end.
+    pub e2e: Duration,
+}
+
+impl StreamOutcome {
+    /// Whether the call produced a complete generation.
+    pub fn finished(&self) -> bool {
+        self.terminal == Terminal::Done
+    }
+}
+
+/// POSTs a generate request and consumes the SSE stream to its end.
+/// `body` is the raw JSON body (see `GenerateBody` for the schema).
+pub fn generate(addr: SocketAddr, body: &str) -> std::io::Result<StreamOutcome> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let t0 = Instant::now();
+    write!(
+        stream,
+        "POST /v1/generate HTTP/1.1\r\nHost: gateway\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+
+    let (status, headers) = read_status_and_headers(&mut reader)?;
+    let streaming = headers
+        .iter()
+        .any(|(n, v)| n == "content-type" && v.starts_with("text/event-stream"));
+    if !streaming {
+        let message = read_plain_body(&mut reader, &headers)?;
+        return Ok(StreamOutcome {
+            status,
+            tokens: Vec::new(),
+            terminal: Terminal::Rejected { status, message },
+            ttft: None,
+            e2e: t0.elapsed(),
+        });
+    }
+
+    // SSE until close: "event:" names the next data payload's type;
+    // a bare "data:" line is a token.
+    let mut tokens = Vec::new();
+    let mut ttft = None;
+    let mut terminal = Terminal::Truncated;
+    let mut pending_event: Option<String> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if let Some(name) = line.strip_prefix("event: ") {
+            pending_event = Some(name.to_owned());
+        } else if let Some(data) = line.strip_prefix("data: ") {
+            match pending_event.take().as_deref() {
+                None => {
+                    if let Some(tok) = Json::parse(data)
+                        .ok()
+                        .and_then(|d| d.get("token")?.as_usize())
+                    {
+                        ttft.get_or_insert_with(|| t0.elapsed());
+                        tokens.push(tok);
+                    }
+                }
+                Some("done") => {
+                    terminal = Terminal::Done;
+                    break;
+                }
+                Some("expired") => {
+                    terminal = Terminal::Expired;
+                    break;
+                }
+                Some("cancelled") => {
+                    terminal = Terminal::Cancelled;
+                    break;
+                }
+                Some(_) => {} // unknown event type: skip
+            }
+        }
+        // Blank separator lines fall through.
+    }
+    Ok(StreamOutcome {
+        status,
+        tokens,
+        terminal,
+        ttft,
+        e2e: t0.elapsed(),
+    })
+}
+
+/// Simple GET returning (status, body) — for `/healthz` and `/metrics`.
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: gateway\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut reader = BufReader::new(stream);
+    let (status, headers) = read_status_and_headers(&mut reader)?;
+    let body = read_plain_body(&mut reader, &headers)?;
+    Ok((status, body))
+}
+
+fn read_status_and_headers(
+    reader: &mut impl BufRead,
+) -> std::io::Result<(u16, Vec<(String, String)>)> {
+    let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let status = line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line {line:?}"),
+            )
+        })?;
+    let mut headers = Vec::new();
+    loop {
+        line.clear();
+        reader.read_line(&mut line)?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((n, v)) = trimmed.split_once(':') {
+            headers.push((n.to_ascii_lowercase(), v.trim().to_owned()));
+        }
+    }
+    Ok((status, headers))
+}
+
+/// Reads a `Content-Length` body and extracts the `error` field when the
+/// body is the gateway's JSON error shape.
+fn read_plain_body(
+    reader: &mut impl BufRead,
+    headers: &[(String, String)],
+) -> std::io::Result<String> {
+    let len = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    let text = String::from_utf8_lossy(&body).into_owned();
+    if let Ok(doc) = Json::parse(&text) {
+        if let Some(Json::Str(msg)) = doc.get("error") {
+            return Ok(msg.clone());
+        }
+    }
+    Ok(text)
+}

@@ -1,0 +1,428 @@
+//! Hand-rolled HTTP/1.1 surface: request parsing with hard limits, and
+//! response/SSE writing.
+//!
+//! The container builds offline, so — as with the `rand`/`proptest`
+//! shims — the small protocol surface the gateway needs is implemented
+//! in-tree rather than pulled from a registry. The parser is strictly
+//! bounded (line length, header count, body size) and returns a typed
+//! [`ParseError`] for every malformed input; it must never panic on
+//! untrusted bytes (pinned by the proptest fuzz suite).
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Hard input bounds the parser enforces before allocating.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Longest accepted request/header line, in bytes (CRLF excluded).
+    pub max_line_bytes: usize,
+    /// Most header lines accepted per request.
+    pub max_headers: usize,
+    /// Largest accepted `Content-Length` body, in bytes.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_line_bytes: 8 * 1024,
+            max_headers: 64,
+            max_body_bytes: 256 * 1024,
+        }
+    }
+}
+
+/// One parsed HTTP/1.1 request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Method token, as sent (e.g. `GET`, `POST`).
+    pub method: String,
+    /// Request target (path + query), as sent.
+    pub target: String,
+    /// `true` for HTTP/1.1, `false` for HTTP/1.0 (changes the keep-alive
+    /// default).
+    pub http11: bool,
+    /// Header fields in arrival order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body, `Content-Length` bytes of it (empty without the header).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value with this (lowercase) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the connection should stay open after the response:
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close`;
+    /// HTTP/1.0 defaults to close unless `Connection: keep-alive`.
+    pub fn keep_alive(&self) -> bool {
+        match self.header("connection").map(str::to_ascii_lowercase) {
+            Some(v) if v.contains("close") => false,
+            Some(v) if v.contains("keep-alive") => true,
+            _ => self.http11,
+        }
+    }
+}
+
+/// Every way an incoming byte stream can fail to be a request this
+/// server accepts. Each maps to a status code via [`ParseError::status`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ParseError {
+    /// The peer closed mid-request (after sending at least one byte).
+    UnexpectedEof,
+    /// A request or header line exceeded [`Limits::max_line_bytes`].
+    LineTooLong,
+    /// The request line was not `METHOD SP TARGET SP VERSION`.
+    BadRequestLine(String),
+    /// The version was neither `HTTP/1.1` nor `HTTP/1.0`.
+    UnsupportedVersion(String),
+    /// A header line had no colon or an empty/malformed field name.
+    BadHeader(String),
+    /// More header lines than [`Limits::max_headers`].
+    TooManyHeaders,
+    /// `Content-Length` was not a decimal integer.
+    BadContentLength(String),
+    /// The declared body exceeds [`Limits::max_body_bytes`].
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        len: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The request used `Transfer-Encoding` (this server only accepts
+    /// `Content-Length` bodies).
+    UnsupportedTransferEncoding,
+    /// The underlying socket read failed.
+    Io(io::ErrorKind),
+}
+
+impl ParseError {
+    /// The HTTP status (code, reason) this error should be answered with.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            ParseError::LineTooLong | ParseError::TooManyHeaders => {
+                (431, "Request Header Fields Too Large")
+            }
+            ParseError::BodyTooLarge { .. } => (413, "Payload Too Large"),
+            ParseError::UnsupportedVersion(_) => (505, "HTTP Version Not Supported"),
+            ParseError::UnsupportedTransferEncoding => (501, "Not Implemented"),
+            _ => (400, "Bad Request"),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnexpectedEof => write!(f, "connection closed mid-request"),
+            ParseError::LineTooLong => write!(f, "request line or header exceeds the line limit"),
+            ParseError::BadRequestLine(l) => write!(f, "malformed request line: {l:?}"),
+            ParseError::UnsupportedVersion(v) => write!(f, "unsupported HTTP version {v:?}"),
+            ParseError::BadHeader(h) => write!(f, "malformed header line: {h:?}"),
+            ParseError::TooManyHeaders => write!(f, "too many header fields"),
+            ParseError::BadContentLength(v) => write!(f, "bad content-length {v:?}"),
+            ParseError::BodyTooLarge { len, max } => {
+                write!(f, "declared body of {len} bytes exceeds the {max}-byte cap")
+            }
+            ParseError::UnsupportedTransferEncoding => {
+                write!(
+                    f,
+                    "transfer-encoding is not supported; send a content-length body"
+                )
+            }
+            ParseError::Io(kind) => write!(f, "socket read failed: {kind:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Reads one line (terminated by `\n`; a trailing `\r` is stripped) with
+/// a hard byte cap. `Ok(None)` means clean EOF before any byte of the
+/// line — the keep-alive "no next request" case.
+fn read_line_limited(r: &mut impl BufRead, max: usize) -> Result<Option<Vec<u8>>, ParseError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let (consumed, done) = {
+            let buf = r.fill_buf().map_err(|e| ParseError::Io(e.kind()))?;
+            if buf.is_empty() {
+                return if line.is_empty() {
+                    Ok(None)
+                } else {
+                    Err(ParseError::UnexpectedEof)
+                };
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if line.len() + pos > max {
+                        return Err(ParseError::LineTooLong);
+                    }
+                    line.extend_from_slice(&buf[..pos]);
+                    (pos + 1, true)
+                }
+                None => {
+                    if line.len() + buf.len() > max {
+                        return Err(ParseError::LineTooLong);
+                    }
+                    line.extend_from_slice(buf);
+                    (buf.len(), false)
+                }
+            }
+        };
+        r.consume(consumed);
+        if done {
+            if line.last() == Some(&b'\r') {
+                line.pop();
+            }
+            return Ok(Some(line));
+        }
+    }
+}
+
+/// Reads and parses one request from the stream. `Ok(None)` is a clean
+/// close at a request boundary (keep-alive peer done); every malformed
+/// input is a typed [`ParseError`], never a panic.
+pub fn read_request(r: &mut impl BufRead, limits: &Limits) -> Result<Option<Request>, ParseError> {
+    // Request line (tolerate one leading empty line, as after a prior
+    // response some clients send a stray CRLF).
+    let mut line = match read_line_limited(r, limits.max_line_bytes)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    if line.is_empty() {
+        line = match read_line_limited(r, limits.max_line_bytes)? {
+            None => return Ok(None),
+            Some(l) => l,
+        };
+    }
+    let text = String::from_utf8_lossy(&line).into_owned();
+    let mut parts = text.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(ParseError::BadRequestLine(text.clone())),
+    };
+    if !method.bytes().all(|b| b.is_ascii_alphabetic() || b == b'-') {
+        return Err(ParseError::BadRequestLine(text.clone()));
+    }
+    let http11 = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return Err(ParseError::UnsupportedVersion(other.to_owned())),
+    };
+    let method = method.to_owned();
+    let target = target.to_owned();
+
+    // Header fields until the empty line.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    loop {
+        let line = read_line_limited(r, limits.max_line_bytes)?.ok_or(ParseError::UnexpectedEof)?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() == limits.max_headers {
+            return Err(ParseError::TooManyHeaders);
+        }
+        let text = String::from_utf8_lossy(&line).into_owned();
+        let Some((name, value)) = text.split_once(':') else {
+            return Err(ParseError::BadHeader(text));
+        };
+        if name.is_empty() || name.bytes().any(|b| b.is_ascii_whitespace()) {
+            return Err(ParseError::BadHeader(text.clone()));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_owned()));
+    }
+
+    let find = |n: &str| {
+        headers
+            .iter()
+            .find(|(name, _)| name == n)
+            .map(|(_, v)| v.clone())
+    };
+    if find("transfer-encoding").is_some() {
+        return Err(ParseError::UnsupportedTransferEncoding);
+    }
+    let body_len = match find("content-length") {
+        None => 0,
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ParseError::BadContentLength(v.clone()))?,
+    };
+    if body_len > limits.max_body_bytes {
+        return Err(ParseError::BodyTooLarge {
+            len: body_len,
+            max: limits.max_body_bytes,
+        });
+    }
+    let mut body = vec![0u8; body_len];
+    if body_len > 0 {
+        r.read_exact(&mut body).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                ParseError::UnexpectedEof
+            } else {
+                ParseError::Io(e.kind())
+            }
+        })?;
+    }
+    Ok(Some(Request {
+        method,
+        target,
+        http11,
+        headers,
+        body,
+    }))
+}
+
+/// Writes a complete (non-streaming) response with a `Content-Length`
+/// body.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    write!(
+        w,
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len()
+    )?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Starts an SSE response. The stream is delimited by connection close
+/// (`Connection: close`), so no chunked framing is needed; the caller
+/// then emits events with [`write_sse_event`] and drops the stream.
+pub fn write_sse_preamble(w: &mut impl Write) -> io::Result<()> {
+    write!(
+        w,
+        "HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\n\
+         Cache-Control: no-store\r\nConnection: close\r\n\r\n"
+    )?;
+    w.flush()
+}
+
+/// Emits one SSE event (`event:` line only when a type is given) and
+/// flushes, so each token reaches the client as it is produced.
+pub fn write_sse_event(w: &mut impl Write, event: Option<&str>, data: &str) -> io::Result<()> {
+    if let Some(ev) = event {
+        writeln!(w, "event: {ev}")?;
+    }
+    write!(w, "data: {data}\n\n")?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(input: &[u8]) -> Result<Option<Request>, ParseError> {
+        read_request(&mut Cursor::new(input.to_vec()), &Limits::default())
+    }
+
+    #[test]
+    fn parses_post_with_body_and_keep_alive_defaults() {
+        let req = parse(b"POST /v1/generate HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/generate");
+        assert_eq!(req.body, b"abcd");
+        assert_eq!(req.header("host"), Some("x"));
+        assert!(req.keep_alive(), "HTTP/1.1 defaults to keep-alive");
+        let req = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().unwrap();
+        assert!(!req.keep_alive(), "HTTP/1.0 defaults to close");
+    }
+
+    #[test]
+    fn clean_eof_is_none_mid_request_is_error() {
+        assert_eq!(parse(b""), Ok(None));
+        assert_eq!(parse(b"GET / HT"), Err(ParseError::UnexpectedEof));
+        assert_eq!(
+            parse(b"GET / HTTP/1.1\r\nHost: x\r\n"),
+            Err(ParseError::UnexpectedEof)
+        );
+        assert_eq!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc"),
+            Err(ParseError::UnexpectedEof)
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_get_typed_errors() {
+        assert!(matches!(
+            parse(b"GET /\r\n\r\n"),
+            Err(ParseError::BadRequestLine(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/2\r\n\r\n"),
+            Err(ParseError::UnsupportedVersion(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n"),
+            Err(ParseError::BadHeader(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),
+            Err(ParseError::BadContentLength(_))
+        ));
+        assert!(matches!(
+            parse(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"),
+            Err(ParseError::UnsupportedTransferEncoding)
+        ));
+    }
+
+    #[test]
+    fn limits_are_enforced() {
+        let limits = Limits {
+            max_line_bytes: 32,
+            max_headers: 2,
+            max_body_bytes: 8,
+        };
+        let mut long = b"GET /".to_vec();
+        long.extend(std::iter::repeat_n(b'a', 64));
+        long.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        assert_eq!(
+            read_request(&mut Cursor::new(long), &limits),
+            Err(ParseError::LineTooLong)
+        );
+        assert_eq!(
+            read_request(
+                &mut Cursor::new(b"GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n".to_vec()),
+                &limits
+            ),
+            Err(ParseError::TooManyHeaders)
+        );
+        assert_eq!(
+            read_request(
+                &mut Cursor::new(b"POST / HTTP/1.1\r\nContent-Length: 9\r\n\r\n".to_vec()),
+                &limits
+            ),
+            Err(ParseError::BodyTooLarge { len: 9, max: 8 })
+        );
+    }
+
+    #[test]
+    fn pipelined_keep_alive_requests_parse_sequentially() {
+        let wire = b"GET /healthz HTTP/1.1\r\n\r\nPOST /x HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi\
+                     GET /done HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut cur = Cursor::new(wire.to_vec());
+        let limits = Limits::default();
+        let a = read_request(&mut cur, &limits).unwrap().unwrap();
+        assert_eq!((a.method.as_str(), a.target.as_str()), ("GET", "/healthz"));
+        let b = read_request(&mut cur, &limits).unwrap().unwrap();
+        assert_eq!(b.body, b"hi");
+        let c = read_request(&mut cur, &limits).unwrap().unwrap();
+        assert!(!c.keep_alive());
+        assert_eq!(read_request(&mut cur, &limits), Ok(None));
+    }
+}

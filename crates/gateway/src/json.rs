@@ -1,0 +1,389 @@
+//! A minimal JSON subset: enough to parse generation request bodies and
+//! emit response/SSE payloads, implemented in-tree because the offline
+//! container has no registry access (same policy as the `rand` /
+//! `proptest` shims).
+//!
+//! The parser accepts objects, arrays, strings (with `\"`, `\\`, `\/`,
+//! `\b`, `\f`, `\n`, `\r`, `\t`, `\uXXXX` escapes), non-negative and
+//! negative integers, floats, booleans, and null — the full shapes a
+//! [`GenerateBody`] can take plus room to reject everything else with a
+//! message instead of a panic.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number (integers are exact up to 2^53).
+    Num(f64),
+    /// A string with escapes resolved.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; key order is not preserved (sorted map).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing garbage is an error).
+    pub fn parse(input: &str) -> Result<Json, JsonError> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(JsonError::at(pos, "trailing bytes after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Object field access; `None` unless `self` is an object with the key.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_usize(&self) -> Option<usize> {
+        match *self {
+            Json::Num(n) if n >= 0.0 && n.fract() == 0.0 && n <= (1u64 << 53) as f64 => {
+                Some(n as usize)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure with the byte offset where it happened.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub pos: usize,
+    /// Human-readable reason.
+    pub msg: String,
+}
+
+impl JsonError {
+    fn at(pos: usize, msg: impl Into<String>) -> JsonError {
+        JsonError {
+            pos,
+            msg: msg.into(),
+        }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(JsonError::at(*pos, "unexpected end of input")),
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => parse_str(b, pos).map(Json::Str),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_num(b, pos),
+        Some(c) => Err(JsonError::at(*pos, format!("unexpected byte {c:#04x}"))),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, JsonError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(JsonError::at(*pos, format!("expected {lit:?}")))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len()
+        && (b[*pos].is_ascii_digit() || matches!(b[*pos], b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos])
+        .map_err(|_| JsonError::at(start, "non-UTF-8 number"))?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| JsonError::at(start, format!("bad number {text:?}")))
+}
+
+fn parse_str(b: &[u8], pos: &mut usize) -> Result<String, JsonError> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(JsonError::at(*pos, "unterminated string")),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| JsonError::at(*pos, "truncated \\u escape"))?;
+                        let hex = std::str::from_utf8(hex)
+                            .map_err(|_| JsonError::at(*pos, "non-ASCII \\u escape"))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| JsonError::at(*pos, format!("bad \\u escape {hex:?}")))?;
+                        // Surrogates map to U+FFFD rather than erroring;
+                        // prompt text is never interpreted, only echoed.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => {
+                        return Err(JsonError::at(*pos, format!("bad escape {other:?}")));
+                    }
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => {
+                return Err(JsonError::at(*pos, "raw control byte in string"));
+            }
+            Some(_) => {
+                // Copy one UTF-8 scalar (input is &str, so boundaries are valid).
+                let rest = std::str::from_utf8(&b[*pos..])
+                    .map_err(|_| JsonError::at(*pos, "invalid UTF-8"))?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // '['
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(JsonError::at(*pos, "expected ',' or ']'")),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
+    *pos += 1; // '{'
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b'"') {
+            return Err(JsonError::at(*pos, "expected a string key"));
+        }
+        let key = parse_str(b, pos)?;
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return Err(JsonError::at(*pos, "expected ':'"));
+        }
+        *pos += 1;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(JsonError::at(*pos, "expected ',' or '}'")),
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The accepted body of `POST /v1/generate`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GenerateBody {
+    /// Prompt token ids (the gateway serves token-level workloads; there
+    /// is no tokenizer in this stack).
+    pub prompt: Vec<usize>,
+    /// Maximum tokens to generate.
+    pub max_new_tokens: usize,
+    /// Optional wall-clock deadline in milliseconds from arrival; on
+    /// expiry the request is cancelled (queued requests without ever
+    /// being ticked) and the stream ends with an `expired` event.
+    pub deadline_ms: Option<u64>,
+}
+
+impl GenerateBody {
+    /// Parses and validates a request body. Errors are human-readable
+    /// strings the gateway returns verbatim in a 400 reply.
+    pub fn parse(body: &[u8]) -> Result<GenerateBody, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_owned())?;
+        let doc = Json::parse(text).map_err(|e| e.to_string())?;
+        let Json::Obj(_) = doc else {
+            return Err("body must be a JSON object".to_owned());
+        };
+        let prompt = match doc.get("prompt") {
+            Some(Json::Arr(items)) => items
+                .iter()
+                .map(|v| v.as_usize())
+                .collect::<Option<Vec<usize>>>()
+                .ok_or_else(|| "\"prompt\" must be an array of non-negative integers".to_owned())?,
+            Some(_) => return Err("\"prompt\" must be an array of token ids".to_owned()),
+            None => return Err("missing required field \"prompt\"".to_owned()),
+        };
+        let max_new_tokens = match doc.get("max_new_tokens") {
+            Some(v) => v
+                .as_usize()
+                .ok_or_else(|| "\"max_new_tokens\" must be a non-negative integer".to_owned())?,
+            None => return Err("missing required field \"max_new_tokens\"".to_owned()),
+        };
+        let deadline_ms = match doc.get("deadline_ms") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_usize()
+                    .ok_or_else(|| "\"deadline_ms\" must be a non-negative integer".to_owned())?
+                    as u64,
+            ),
+        };
+        Ok(GenerateBody {
+            prompt,
+            max_new_tokens,
+            deadline_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let doc = Json::parse(
+            r#"{"prompt": [1, 2, 3], "max_new_tokens": 8, "opts": {"t": true, "x": null}}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("max_new_tokens").unwrap().as_usize(), Some(8));
+        assert_eq!(
+            doc.get("prompt"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.0),
+                Json::Num(3.0)
+            ]))
+        );
+        assert_eq!(doc.get("opts").unwrap().get("x"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn strings_resolve_escapes() {
+        let doc = Json::parse(r#""a\n\"b\"A""#).unwrap();
+        assert_eq!(doc, Json::Str("a\n\"b\"A".to_owned()));
+        assert_eq!(escape("a\n\"b\"\u{1}"), "a\\n\\\"b\\\"\\u0001");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\" 1}",
+            "{\"a\": 1} trailing",
+            "\"unterminated",
+            "01x",
+            "nul",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn generate_body_validates_fields() {
+        let ok =
+            GenerateBody::parse(br#"{"prompt": [5, 6], "max_new_tokens": 3, "deadline_ms": 250}"#)
+                .unwrap();
+        assert_eq!(ok.prompt, vec![5, 6]);
+        assert_eq!(ok.max_new_tokens, 3);
+        assert_eq!(ok.deadline_ms, Some(250));
+        assert!(GenerateBody::parse(br#"{"max_new_tokens": 3}"#)
+            .unwrap_err()
+            .contains("prompt"));
+        assert!(
+            GenerateBody::parse(br#"{"prompt": [1], "max_new_tokens": -2}"#)
+                .unwrap_err()
+                .contains("max_new_tokens")
+        );
+        assert!(
+            GenerateBody::parse(br#"{"prompt": [1.5], "max_new_tokens": 1}"#)
+                .unwrap_err()
+                .contains("non-negative integers")
+        );
+        assert!(GenerateBody::parse(b"\xff\xfe")
+            .unwrap_err()
+            .contains("UTF-8"));
+    }
+}

@@ -1,0 +1,74 @@
+//! `mant-gateway`: a real socket-serving front-end for the
+//! continuous-batching engine.
+//!
+//! Everything below `mant-serve` measures the engine from inside the
+//! process; this crate puts the engine behind an actual network edge —
+//! hand-rolled HTTP/1.1 over `std::net` (the offline container has no
+//! registry access, so the protocol surface is in-tree, like the `rand`
+//! and `proptest` shims) — and makes the serving disciplines that only
+//! exist at that edge real:
+//!
+//! - **Streaming**: `POST /v1/generate` answers with Server-Sent Events,
+//!   one `data: {"token":N}` per generated token the moment the engine
+//!   produces it, ending with a `done` / `expired` / `cancelled` event.
+//!   Greedy decoding is bit-identical regardless of batching schedule, so
+//!   the streamed tokens equal an in-process [`ServeEngine`] run on the
+//!   same requests, byte for byte.
+//! - **Deadlines**: a `deadline_ms` field becomes a wall-clock deadline
+//!   the ticker enforces with [`ServeEngine::expire`] — a queued request
+//!   whose deadline passes is removed from the scheduler without ever
+//!   being ticked.
+//! - **Backpressure**: submissions cross a `sync_channel` bounded by
+//!   [`GatewayConfig::queue_depth`]; when the engine's backlog is at the
+//!   bound, `try_send` fails and the client gets `429 Too Many Requests`
+//!   immediately instead of an ever-growing queue.
+//! - **Graceful shutdown**: [`GatewayHandle::shutdown`] stops admission
+//!   (late submissions get 503), but every request already admitted keeps
+//!   ticking to its terminal event before the ticker thread exits.
+//!
+//! The server is [`serve`]: it binds, runs a fixed worker pool plus one
+//! engine ticker thread inside a [`std::thread::scope`] (the engine
+//! borrows the model), hands a [`GatewayHandle`] to a caller-provided
+//! closure, and returns a [`GatewayReport`] combining the engine's
+//! [`mant_serve::ServeReport`] with transport-level shed counts.
+//!
+//! ```no_run
+//! use mant_model::{ActMode, KvMode, ModelConfig, TransformerModel};
+//! use mant_serve::{AdmissionPolicy, ServeConfig};
+//! use mant_gateway::{client, GatewayConfig, serve};
+//!
+//! let model = TransformerModel::synthesize(&ModelConfig::sim_llama(), 7);
+//! let packed = model.pack_weights(64).unwrap();
+//! let serve_cfg = ServeConfig {
+//!     max_batch: 4,
+//!     pool_blocks: 64,
+//!     block_tokens: 16,
+//!     act: ActMode::None,
+//!     kv: KvMode::Mant4 { group: 64 },
+//!     admission: AdmissionPolicy::Watermark { watermark_blocks: 4 },
+//!     prefix_sharing: true,
+//! };
+//! let ((), report) = serve(&model, &packed, GatewayConfig::new(serve_cfg), |gw| {
+//!     let out = client::generate(
+//!         gw.addr(),
+//!         r#"{"prompt": [1, 2, 3], "max_new_tokens": 8}"#,
+//!     )
+//!     .unwrap();
+//!     assert_eq!(out.tokens.len(), 8);
+//! })
+//! .unwrap();
+//! assert_eq!(report.serve.completions.len(), 1);
+//! ```
+//!
+//! [`ServeEngine`]: mant_serve::ServeEngine
+//! [`ServeEngine::expire`]: mant_serve::ServeEngine::expire
+
+pub mod client;
+pub mod http;
+pub mod json;
+pub mod server;
+
+pub use client::{StreamOutcome, Terminal};
+pub use http::{Limits, ParseError, Request};
+pub use json::{GenerateBody, Json};
+pub use server::{serve, GatewayConfig, GatewayHandle, GatewayReport};

@@ -1,0 +1,703 @@
+//! The gateway proper: a fixed worker pool accepting HTTP/1.1
+//! connections over `std::net`, one dedicated ticker thread driving the
+//! [`ServeEngine`], and bounded channels between them.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  clients ── TcpListener (nonblocking, shared accept)
+//!                │ accept-poll
+//!        worker threads (parse HTTP, route, stream SSE)
+//!                │ sync_channel(queue_depth)   ── Full → 429
+//!                │ unbounded control channel   ── client-gone cancels
+//!          ticker thread (owns ServeEngine: drain control → admit
+//!          submissions → expire wall deadlines → tick → route events)
+//! ```
+//!
+//! Three disciplines the tests pin:
+//!
+//! - **Backpressure is explicit.** Submissions travel over a
+//!   `sync_channel` sized to [`GatewayConfig::queue_depth`], and the
+//!   ticker only drains it while the engine's own queue is below that
+//!   depth — so a full system turns `try_send` failures into immediate
+//!   `429 Too Many Requests` replies instead of unbounded buffering.
+//! - **Deadlines cancel queued work without ticking it.** The ticker
+//!   tracks each request's wall-clock deadline and calls
+//!   [`ServeEngine::expire`] when it passes; a still-queued request is
+//!   removed from the scheduler without ever feeding the model.
+//! - **Shutdown drains.** After [`GatewayHandle::shutdown`], workers stop
+//!   accepting, the ticker refuses everything still in the submission
+//!   channel (503), but every request already admitted keeps ticking to
+//!   completion — streams in flight end with their normal terminal
+//!   event, never mid-token.
+
+use std::collections::HashMap;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mant_model::{PackedWeights, TransformerModel};
+use mant_serve::engine::EngineEvent;
+use mant_serve::{GenRequest, ServeConfig, ServeEngine, ServeReport, SubmitError};
+
+use crate::http::{self, Limits, ParseError, Request};
+use crate::json::{escape, GenerateBody};
+
+/// Everything the gateway needs to run. Construct with
+/// [`GatewayConfig::new`] and override fields as needed.
+#[derive(Clone, Debug)]
+pub struct GatewayConfig {
+    /// Bind address; use port 0 to let the OS pick (read the result from
+    /// [`GatewayHandle::addr`]).
+    pub addr: String,
+    /// Worker threads accepting and serving connections. Each streaming
+    /// response occupies its worker for the request's lifetime, so this
+    /// bounds concurrent connections.
+    pub workers: usize,
+    /// Bound on requests queued ahead of the engine (both the channel and
+    /// the scheduler queue); beyond it, submissions are shed with 429.
+    pub queue_depth: usize,
+    /// HTTP parser input limits.
+    pub limits: Limits,
+    /// The serving engine configuration.
+    pub serve: ServeConfig,
+    /// Backstop for the first per-request event after submission: if the
+    /// ticker dies between accepting a submission and answering it (the
+    /// shutdown race), the worker stops waiting after this long and
+    /// replies 503.
+    pub first_event_timeout: Duration,
+}
+
+impl GatewayConfig {
+    /// Loopback defaults around a given engine configuration.
+    pub fn new(serve: ServeConfig) -> GatewayConfig {
+        GatewayConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 32,
+            limits: Limits::default(),
+            serve,
+            first_event_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// What a request stream sheds or settles with — the ticker's reply
+/// stream to the worker that accepted the connection.
+enum SeqEvent {
+    /// Admitted into the engine; SSE streaming may begin.
+    Queued,
+    /// Refused by the engine with a typed reason (HTTP 400/422).
+    Rejected(SubmitError),
+    /// Arrived after shutdown began (HTTP 503).
+    ShuttingDown,
+    /// One generated token.
+    Token(usize),
+    /// Generation finished normally.
+    Finished,
+    /// The wall-clock (or engine-clock) deadline passed.
+    Expired,
+    /// Cancelled — in practice because the client disconnected.
+    Cancelled,
+}
+
+/// A request handed from a worker to the ticker.
+struct Submission {
+    req: GenRequest,
+    deadline: Option<Instant>,
+    events: Sender<SeqEvent>,
+}
+
+/// Worker-to-ticker control messages (never subject to backpressure).
+enum Control {
+    /// Free the request's resources now; the client is gone.
+    Cancel(u64),
+}
+
+/// State shared between workers, the ticker, and the handle.
+struct Shared {
+    shutdown: AtomicBool,
+    ticker_done: AtomicBool,
+    next_id: AtomicU64,
+    accepted: AtomicU64,
+    rejected_busy: AtomicU64,
+    rejected_shutdown: AtomicU64,
+}
+
+/// Live view of a running gateway, passed to the `body` closure of
+/// [`serve`]. Cloneable facts only — the threads themselves stay inside
+/// the scope.
+pub struct GatewayHandle<'s> {
+    addr: SocketAddr,
+    shared: &'s Shared,
+}
+
+impl GatewayHandle<'_> {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins graceful shutdown: stop accepting, shed the submission
+    /// channel, drain every admitted request to its terminal event.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+/// What a full gateway run measured, engine and transport both.
+#[derive(Clone, Debug)]
+pub struct GatewayReport {
+    /// The engine's own report; [`ServeReport::rejected_requests`] is the
+    /// sum of the transport-level sheds below.
+    pub serve: ServeReport,
+    /// Requests admitted into the engine.
+    pub accepted: u64,
+    /// Submissions shed with 429 because the queue was full.
+    pub rejected_busy: u64,
+    /// Submissions refused with 503 because shutdown had begun.
+    pub rejected_shutdown: u64,
+}
+
+/// Runs the gateway: binds, spawns the ticker and worker threads, calls
+/// `body` with a [`GatewayHandle`], then shuts down gracefully (if `body`
+/// didn't already) and returns `body`'s result plus the final report.
+///
+/// The engine borrows `model`/`packed`, so the whole server lives inside
+/// a [`thread::scope`] — when `serve` returns, every thread has exited.
+pub fn serve<R>(
+    model: &TransformerModel,
+    packed: &PackedWeights,
+    config: GatewayConfig,
+    body: impl FnOnce(&GatewayHandle<'_>) -> R,
+) -> io::Result<(R, GatewayReport)> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let shared = Shared {
+        shutdown: AtomicBool::new(false),
+        ticker_done: AtomicBool::new(false),
+        next_id: AtomicU64::new(0),
+        accepted: AtomicU64::new(0),
+        rejected_busy: AtomicU64::new(0),
+        rejected_shutdown: AtomicU64::new(0),
+    };
+    let (sub_tx, sub_rx) = mpsc::sync_channel::<Submission>(config.queue_depth);
+    let (ctl_tx, ctl_rx) = mpsc::channel::<Control>();
+    let report_slot: Mutex<Option<ServeReport>> = Mutex::new(None);
+
+    let result = thread::scope(|scope| {
+        scope.spawn(|| {
+            ticker(
+                model,
+                packed,
+                &config,
+                &shared,
+                sub_rx,
+                ctl_rx,
+                &report_slot,
+            );
+        });
+        for _ in 0..config.workers.max(1) {
+            let sub_tx = sub_tx.clone();
+            let ctl_tx = ctl_tx.clone();
+            scope.spawn(|| worker(&listener, &config, &shared, sub_tx, ctl_tx));
+        }
+        // The scope's own clones keep the channels alive until here; drop
+        // them so the ticker sees disconnection once the workers finish.
+        drop(sub_tx);
+        drop(ctl_tx);
+
+        let handle = GatewayHandle {
+            addr,
+            shared: &shared,
+        };
+        // Catch a panicking body so shutdown still happens — otherwise the
+        // scope would join worker threads that never exit, turning the
+        // caller's panic (a failing test assertion, say) into a hang.
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&handle)));
+        handle.shutdown();
+        out
+        // Scope exit joins the ticker and all workers.
+    });
+    let result = match result {
+        Ok(out) => out,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+
+    let mut serve_report = report_slot
+        .into_inner()
+        .unwrap()
+        .expect("the ticker always stores a final report");
+    let rejected_busy = shared.rejected_busy.load(Ordering::SeqCst);
+    let rejected_shutdown = shared.rejected_shutdown.load(Ordering::SeqCst);
+    serve_report.rejected_requests = (rejected_busy + rejected_shutdown) as usize;
+    Ok((
+        result,
+        GatewayReport {
+            serve: serve_report,
+            accepted: shared.accepted.load(Ordering::SeqCst),
+            rejected_busy,
+            rejected_shutdown,
+        },
+    ))
+}
+
+/// The engine loop: single-threaded ownership of the [`ServeEngine`],
+/// fed by channels, pushing per-token events back out to the workers.
+fn ticker(
+    model: &TransformerModel,
+    packed: &PackedWeights,
+    config: &GatewayConfig,
+    shared: &Shared,
+    sub_rx: Receiver<Submission>,
+    ctl_rx: Receiver<Control>,
+    report_slot: &Mutex<Option<ServeReport>>,
+) {
+    let t0 = Instant::now();
+    let mut engine = ServeEngine::new(model, packed, config.serve);
+    engine.enable_events();
+    let mut streams: HashMap<u64, Sender<SeqEvent>> = HashMap::new();
+    let mut deadlines: HashMap<u64, Instant> = HashMap::new();
+
+    loop {
+        // Client-gone cancels first: they free blocks for this tick's
+        // admissions.
+        while let Ok(Control::Cancel(id)) = ctl_rx.try_recv() {
+            if engine.cancel(id) {
+                deadlines.remove(&id);
+                // The stream entry is dropped when the Cancelled event is
+                // routed below; the send usually fails (client gone) and
+                // that is fine.
+            }
+        }
+
+        // Admit new submissions only while the engine-side queue is below
+        // the configured depth — the channel plus this gate bound the
+        // total backlog, and `try_send` failures become 429s.
+        let shutting_down = shared.shutdown.load(Ordering::SeqCst);
+        while !shutting_down && engine.queued() < config.queue_depth {
+            let Ok(mut sub) = sub_rx.try_recv() else {
+                break;
+            };
+            sub.req.arrival_iter = engine.iterations();
+            let id = sub.req.id;
+            match engine.try_submit(sub.req) {
+                Ok(()) => {
+                    shared.accepted.fetch_add(1, Ordering::SeqCst);
+                    if let Some(deadline) = sub.deadline {
+                        deadlines.insert(id, deadline);
+                    }
+                    // A send error here means the worker already gave up
+                    // (first-event timeout); expire the orphan so the
+                    // engine does not generate for nobody.
+                    if sub.events.send(SeqEvent::Queued).is_err() {
+                        engine.cancel(id);
+                        deadlines.remove(&id);
+                    } else {
+                        streams.insert(id, sub.events);
+                    }
+                }
+                Err(err) => {
+                    let _ = sub.events.send(SeqEvent::Rejected(err));
+                }
+            }
+        }
+        if shutting_down {
+            // Everything still in the channel arrived too late: refuse it
+            // rather than leaving the sender waiting on a dead queue.
+            while let Ok(sub) = sub_rx.try_recv() {
+                shared.rejected_shutdown.fetch_add(1, Ordering::SeqCst);
+                let _ = sub.events.send(SeqEvent::ShuttingDown);
+            }
+        }
+
+        // Wall-clock deadlines: expire queued requests before they are
+        // ever ticked, and running ones mid-generation.
+        if !deadlines.is_empty() {
+            let now = Instant::now();
+            let due: Vec<u64> = deadlines
+                .iter()
+                .filter(|(_, dl)| now >= **dl)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in due {
+                deadlines.remove(&id);
+                engine.expire(id);
+            }
+        }
+
+        if engine.pending() > 0 {
+            engine.tick();
+        }
+
+        // Route engine events to their streams.
+        for event in engine.drain_events() {
+            let (id, seq_event, terminal) = match event {
+                EngineEvent::Token { id, token } => (id, SeqEvent::Token(token), false),
+                EngineEvent::Finished { id } => (id, SeqEvent::Finished, true),
+                EngineEvent::Expired { id } => (id, SeqEvent::Expired, true),
+                EngineEvent::Cancelled { id } => (id, SeqEvent::Cancelled, true),
+            };
+            if terminal {
+                deadlines.remove(&id);
+                if let Some(events) = streams.remove(&id) {
+                    let _ = events.send(seq_event);
+                }
+            } else if let Some(events) = streams.get(&id) {
+                if events.send(seq_event).is_err() {
+                    // Client gone mid-stream and the worker's cancel has
+                    // not arrived yet; stop generating for it now.
+                    streams.remove(&id);
+                    deadlines.remove(&id);
+                    engine.cancel(id);
+                }
+            }
+        }
+
+        if shutting_down && engine.pending() == 0 {
+            break;
+        }
+        if engine.pending() == 0 {
+            // Idle: poll for work without spinning the CPU. The next loop
+            // iteration admits anything that arrived through the one
+            // admission path above.
+            thread::sleep(Duration::from_micros(500));
+        }
+    }
+
+    *report_slot.lock().unwrap() = Some(engine.report(t0.elapsed().as_secs_f64()));
+    shared.ticker_done.store(true, Ordering::SeqCst);
+}
+
+/// One worker: accept-poll on the shared nonblocking listener, serve each
+/// connection to completion, exit once shutdown begins.
+fn worker(
+    listener: &TcpListener,
+    config: &GatewayConfig,
+    shared: &Shared,
+    sub_tx: SyncSender<Submission>,
+    ctl_tx: Sender<Control>,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Connection-level I/O errors (client vanished mid-write)
+                // are that client's problem, not the server's.
+                let _ = handle_connection(stream, config, shared, &sub_tx, &ctl_tx);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(1));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(1)),
+        }
+    }
+}
+
+/// Serves one connection: keep-alive request loop, routing, and SSE
+/// streaming for `/v1/generate`.
+fn handle_connection(
+    stream: TcpStream,
+    config: &GatewayConfig,
+    shared: &Shared,
+    sub_tx: &SyncSender<Submission>,
+    ctl_tx: &Sender<Control>,
+) -> io::Result<()> {
+    stream.set_nonblocking(false)?;
+    // Bound how long an idle keep-alive connection can pin a worker (and
+    // delay shutdown); pipelined requests are buffered and unaffected.
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    loop {
+        let request = match http::read_request(&mut reader, &config.limits) {
+            Ok(None) => return Ok(()),
+            Ok(Some(r)) => r,
+            Err(ParseError::Io(io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut)) => {
+                return Ok(()); // idle keep-alive connection: close quietly
+            }
+            Err(e) => {
+                let (status, reason) = e.status();
+                let body = format!("{{\"error\":\"{}\"}}", escape(&e.to_string()));
+                http::write_response(
+                    &mut writer,
+                    status,
+                    reason,
+                    "application/json",
+                    body.as_bytes(),
+                    false,
+                )?;
+                return Ok(());
+            }
+        };
+        let keep_alive = request.keep_alive() && !shared.shutdown.load(Ordering::SeqCst);
+        let streamed = route(
+            &mut writer,
+            &request,
+            keep_alive,
+            config,
+            shared,
+            sub_tx,
+            ctl_tx,
+        )?;
+        // SSE responses are delimited by connection close; everything else
+        // honors keep-alive.
+        if streamed || !keep_alive {
+            return Ok(());
+        }
+    }
+}
+
+/// Dispatches one parsed request; returns whether the response was a
+/// stream (which forces connection close).
+fn route(
+    writer: &mut TcpStream,
+    request: &Request,
+    keep_alive: bool,
+    config: &GatewayConfig,
+    shared: &Shared,
+    sub_tx: &SyncSender<Submission>,
+    ctl_tx: &Sender<Control>,
+) -> io::Result<bool> {
+    let path = request.target.split('?').next().unwrap_or("");
+    match (request.method.as_str(), path) {
+        ("GET", "/healthz") => {
+            let status = if shared.shutdown.load(Ordering::SeqCst) {
+                "draining"
+            } else {
+                "ok"
+            };
+            let body = format!("{{\"status\":\"{status}\"}}");
+            http::write_response(
+                writer,
+                200,
+                "OK",
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+            )?;
+            Ok(false)
+        }
+        ("GET", "/metrics") => {
+            let body = format!(
+                "{{\"accepted\":{},\"rejected_busy\":{},\"rejected_shutdown\":{}}}",
+                shared.accepted.load(Ordering::SeqCst),
+                shared.rejected_busy.load(Ordering::SeqCst),
+                shared.rejected_shutdown.load(Ordering::SeqCst),
+            );
+            http::write_response(
+                writer,
+                200,
+                "OK",
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+            )?;
+            Ok(false)
+        }
+        ("POST", "/v1/generate") => {
+            generate(writer, request, keep_alive, config, shared, sub_tx, ctl_tx)
+        }
+        (_, "/healthz" | "/metrics" | "/v1/generate") => {
+            http::write_response(
+                writer,
+                405,
+                "Method Not Allowed",
+                "application/json",
+                b"{\"error\":\"method not allowed\"}",
+                keep_alive,
+            )?;
+            Ok(false)
+        }
+        _ => {
+            http::write_response(
+                writer,
+                404,
+                "Not Found",
+                "application/json",
+                b"{\"error\":\"no such endpoint\"}",
+                keep_alive,
+            )?;
+            Ok(false)
+        }
+    }
+}
+
+/// `POST /v1/generate`: validate, submit with backpressure, then stream
+/// tokens as SSE until the terminal event.
+fn generate(
+    writer: &mut TcpStream,
+    request: &Request,
+    keep_alive: bool,
+    config: &GatewayConfig,
+    shared: &Shared,
+    sub_tx: &SyncSender<Submission>,
+    ctl_tx: &Sender<Control>,
+) -> io::Result<bool> {
+    let body = match GenerateBody::parse(&request.body) {
+        Ok(b) => b,
+        Err(msg) => {
+            let body = format!("{{\"error\":\"{}\"}}", escape(&msg));
+            http::write_response(
+                writer,
+                400,
+                "Bad Request",
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+            )?;
+            return Ok(false);
+        }
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared.rejected_shutdown.fetch_add(1, Ordering::SeqCst);
+        http::write_response(
+            writer,
+            503,
+            "Service Unavailable",
+            "application/json",
+            b"{\"error\":\"shutting down\"}",
+            false,
+        )?;
+        return Ok(false);
+    }
+
+    let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
+    let (event_tx, event_rx) = mpsc::channel::<SeqEvent>();
+    let submission = Submission {
+        req: GenRequest {
+            id,
+            prompt: body.prompt,
+            max_new_tokens: body.max_new_tokens,
+            arrival_iter: 0, // stamped by the ticker at admission
+            deadline_iter: None,
+        },
+        deadline: body
+            .deadline_ms
+            .map(|ms| Instant::now() + Duration::from_millis(ms)),
+        events: event_tx,
+    };
+    match sub_tx.try_send(submission) {
+        Ok(()) => {}
+        Err(TrySendError::Full(_)) => {
+            shared.rejected_busy.fetch_add(1, Ordering::SeqCst);
+            http::write_response(
+                writer,
+                429,
+                "Too Many Requests",
+                "application/json",
+                b"{\"error\":\"submission queue is full\"}",
+                keep_alive,
+            )?;
+            return Ok(false);
+        }
+        Err(TrySendError::Disconnected(_)) => {
+            shared.rejected_shutdown.fetch_add(1, Ordering::SeqCst);
+            http::write_response(
+                writer,
+                503,
+                "Service Unavailable",
+                "application/json",
+                b"{\"error\":\"shutting down\"}",
+                false,
+            )?;
+            return Ok(false);
+        }
+    }
+
+    // First event decides the response shape. The timeout is the backstop
+    // for the submission lost in the shutdown race (sent after the
+    // ticker's final channel drain): the dropped sender surfaces as a
+    // recv error, and a hard timeout covers any remaining window.
+    match event_rx.recv_timeout(config.first_event_timeout) {
+        Ok(SeqEvent::Queued) => {}
+        Ok(SeqEvent::Rejected(err)) => {
+            let (status, reason) = match err {
+                SubmitError::ExceedsPool { .. } => (422, "Unprocessable Content"),
+                _ => (400, "Bad Request"),
+            };
+            let body = format!("{{\"error\":\"{}\"}}", escape(&err.to_string()));
+            http::write_response(
+                writer,
+                status,
+                reason,
+                "application/json",
+                body.as_bytes(),
+                keep_alive,
+            )?;
+            return Ok(false);
+        }
+        Ok(SeqEvent::ShuttingDown) | Err(_) => {
+            shared.rejected_shutdown.fetch_add(1, Ordering::SeqCst);
+            http::write_response(
+                writer,
+                503,
+                "Service Unavailable",
+                "application/json",
+                b"{\"error\":\"shutting down\"}",
+                false,
+            )?;
+            return Ok(false);
+        }
+        Ok(_) => unreachable!("tokens cannot precede the Queued event"),
+    }
+
+    // Admitted: stream. From here the connection closes when we are done.
+    http::write_sse_preamble(writer)?;
+    let mut tokens = 0usize;
+    loop {
+        // The engine drains admitted work even at shutdown, so every
+        // admitted stream ends with a terminal event; recv (not
+        // recv_timeout) is safe and keeps the hot path cheap.
+        let event = match event_rx.recv() {
+            Ok(ev) => ev,
+            Err(_) => {
+                // Ticker died without a terminal event — only possible on
+                // a panic; end the stream as cancelled.
+                let _ = http::write_sse_event(writer, Some("cancelled"), "{}");
+                return Ok(true);
+            }
+        };
+        let result = match event {
+            SeqEvent::Token(t) => {
+                tokens += 1;
+                http::write_sse_event(writer, None, &format!("{{\"token\":{t}}}"))
+            }
+            SeqEvent::Finished => {
+                http::write_sse_event(
+                    writer,
+                    Some("done"),
+                    &format!("{{\"id\":{id},\"tokens\":{tokens}}}"),
+                )?;
+                return Ok(true);
+            }
+            SeqEvent::Expired => {
+                http::write_sse_event(writer, Some("expired"), &format!("{{\"id\":{id}}}"))?;
+                return Ok(true);
+            }
+            SeqEvent::Cancelled => {
+                http::write_sse_event(writer, Some("cancelled"), &format!("{{\"id\":{id}}}"))?;
+                return Ok(true);
+            }
+            SeqEvent::Queued | SeqEvent::Rejected(_) | SeqEvent::ShuttingDown => {
+                unreachable!("admission events cannot follow Queued")
+            }
+        };
+        if result.is_err() {
+            // Client disconnected mid-stream: tell the ticker to free the
+            // sequence's blocks now instead of generating into the void.
+            let _ = ctl_tx.send(Control::Cancel(id));
+            return Ok(true);
+        }
+    }
+}

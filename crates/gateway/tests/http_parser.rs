@@ -1,0 +1,142 @@
+//! Hardening tests for the hand-rolled HTTP/1.1 parser: arbitrary and
+//! adversarial byte streams must come back as typed [`ParseError`]s (or
+//! parsed requests), never as panics — this parser fronts raw sockets.
+
+use std::io::Cursor;
+
+use mant_gateway::http::{read_request, Limits, ParseError};
+use proptest::prelude::*;
+
+fn parse(bytes: &[u8]) -> Result<Option<mant_gateway::Request>, ParseError> {
+    read_request(&mut Cursor::new(bytes.to_vec()), &Limits::default())
+}
+
+/// A well-formed request the mutation tests corrupt.
+fn valid_request() -> Vec<u8> {
+    b"POST /v1/generate HTTP/1.1\r\nHost: gateway\r\nContent-Type: application/json\r\n\
+      Content-Length: 33\r\n\r\n{\"prompt\":[1],\"max_new_tokens\":4}"
+        .to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Fully random byte soup: the parser returns, it never panics.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(0u8..=255, 0..600)) {
+        let _ = parse(&bytes);
+    }
+
+    /// Random single-byte corruption of a valid request: still no panic,
+    /// and the result is either a parse (the corruption hit the body or a
+    /// header value) or a typed error.
+    #[test]
+    fn corrupted_valid_request_never_panics(pos in 0usize..120, byte in 0u8..=255) {
+        let mut wire = valid_request();
+        let pos = pos % wire.len();
+        wire[pos] = byte;
+        let _ = parse(&wire);
+    }
+
+    /// Random truncation of a valid request: every prefix is a clean EOF
+    /// result, never a panic and never a bogus success with a wrong body.
+    #[test]
+    fn truncated_valid_request_is_clean(cut in 0usize..152) {
+        let wire = valid_request();
+        let cut = cut.min(wire.len());
+        match parse(&wire[..cut]) {
+            Ok(Some(req)) => prop_assert_eq!(cut, wire.len(),
+                "a full parse requires the full wire image, got one at {} (body {:?})",
+                cut, req.body),
+            Ok(None) => prop_assert_eq!(cut, 0, "Ok(None) is reserved for clean EOF"),
+            Err(_) => {}
+        }
+    }
+
+    /// Header sections of arbitrary printable junk hit a typed error or
+    /// parse; line and header-count limits hold.
+    #[test]
+    fn junk_headers_respect_limits(lines in proptest::collection::vec(
+        proptest::collection::vec(32u8..127, 0..40), 0..80,
+    )) {
+        let mut wire = b"GET / HTTP/1.1\r\n".to_vec();
+        for l in &lines {
+            wire.extend_from_slice(l);
+            wire.extend_from_slice(b"\r\n");
+        }
+        wire.extend_from_slice(b"\r\n");
+        let limits = Limits { max_headers: 16, ..Limits::default() };
+        let _ = read_request(&mut Cursor::new(wire), &limits);
+    }
+}
+
+#[test]
+fn oversized_header_line_is_431() {
+    let mut wire = b"GET / HTTP/1.1\r\nX-Big: ".to_vec();
+    wire.extend(std::iter::repeat_n(
+        b'a',
+        Limits::default().max_line_bytes + 1,
+    ));
+    wire.extend_from_slice(b"\r\n\r\n");
+    let err = parse(&wire).unwrap_err();
+    assert_eq!(err, ParseError::LineTooLong);
+    assert_eq!(err.status().0, 431);
+}
+
+#[test]
+fn malformed_request_lines_are_400() {
+    for wire in [
+        &b"\r\n\r\n"[..],
+        b"GET\r\n\r\n",
+        b"GET  / HTTP/1.1\r\n\r\n", // double space -> empty target
+        b"GET / HTTP/1.1 extra\r\n\r\n",
+        b"G@T / HTTP/1.1\r\n\r\n",
+        b"\x00\x01\x02 / HTTP/1.1\r\n\r\n",
+    ] {
+        let err = parse(wire).unwrap_err();
+        assert_eq!(err.status().0, 400, "{wire:?} -> {err:?}");
+    }
+}
+
+#[test]
+fn premature_eof_is_typed_not_a_parse() {
+    // Mid-request-line, mid-headers, mid-body: all UnexpectedEof.
+    for cut in [4usize, 30, 90] {
+        let wire = valid_request();
+        assert_eq!(
+            parse(&wire[..cut.min(wire.len() - 1)]),
+            Err(ParseError::UnexpectedEof),
+            "cut at {cut}"
+        );
+    }
+}
+
+#[test]
+fn pipelined_keep_alive_stream_parses_every_request() {
+    // Several requests back to back in one stream, then a corrupt one:
+    // the valid prefix parses request by request, the tail is a typed
+    // error, and nothing panics.
+    let mut wire = Vec::new();
+    for i in 0..5 {
+        wire.extend_from_slice(
+            format!(
+                "POST /v1/generate HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}",
+                i,
+                "x".repeat(i)
+            )
+            .as_bytes(),
+        );
+    }
+    wire.extend_from_slice(b"BROKEN\r\n\r\n");
+    let mut cursor = Cursor::new(wire);
+    let limits = Limits::default();
+    for i in 0..5 {
+        let req = read_request(&mut cursor, &limits).unwrap().unwrap();
+        assert_eq!(req.body.len(), i);
+        assert!(req.keep_alive());
+    }
+    assert!(matches!(
+        read_request(&mut cursor, &limits),
+        Err(ParseError::BadRequestLine(_))
+    ));
+}

@@ -37,8 +37,40 @@ use std::time::Instant;
 use mant_model::{ActMode, BatchRunner, KvMode, PackedWeights, SessionId, TransformerModel};
 
 use crate::metrics::ServeReport;
-use crate::request::{Completion, GenRequest};
+use crate::request::{Completion, GenRequest, SubmitError};
 use crate::scheduler::FcfsScheduler;
+
+/// Something observable a tick produced, for callers that stream results
+/// as they happen (the gateway's SSE path) instead of waiting for
+/// [`ServeEngine::run_to_completion`]. Recording is opt-in via
+/// [`ServeEngine::enable_events`]; events accumulate until
+/// [`ServeEngine::drain_events`] takes them.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineEvent {
+    /// A request produced one greedy token.
+    Token {
+        /// The request's id.
+        id: u64,
+        /// The generated token.
+        token: usize,
+    },
+    /// A request produced its last token and retired.
+    Finished {
+        /// The request's id.
+        id: u64,
+    },
+    /// A request's deadline passed: it was cancelled (queued requests
+    /// without ever being ticked) and its blocks were released.
+    Expired {
+        /// The request's id.
+        id: u64,
+    },
+    /// A request was cancelled by the caller ([`ServeEngine::cancel`]).
+    Cancelled {
+        /// The request's id.
+        id: u64,
+    },
+}
 
 /// How the scheduler decides a candidate fits the paged KV pool.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -149,11 +181,23 @@ pub struct ServeEngine<'m> {
     prefix_cached_tokens: usize,
     prefill_tokens: usize,
     preemptions: usize,
+    expired_requests: usize,
+    cancelled_requests: usize,
     busy_iterations: u64,
     occupancy_sum: u64,
     peak_running: usize,
     peak_used_blocks: usize,
     vocab: usize,
+    events_enabled: bool,
+    events: Vec<EngineEvent>,
+}
+
+/// Why [`ServeEngine::remove_request`] is pulling a request out of the
+/// engine — decides which counter and event record the removal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RemoveReason {
+    Expired,
+    Cancelled,
 }
 
 impl<'m> ServeEngine<'m> {
@@ -192,56 +236,152 @@ impl<'m> ServeEngine<'m> {
             prefix_cached_tokens: 0,
             prefill_tokens: 0,
             preemptions: 0,
+            expired_requests: 0,
+            cancelled_requests: 0,
             busy_iterations: 0,
             occupancy_sum: 0,
             peak_running: 0,
             peak_used_blocks: 0,
             vocab: model.config.vocab,
+            events_enabled: false,
+            events: Vec::new(),
         }
+    }
+
+    /// Enqueues a request, or explains why it never could run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the typed [`SubmitError`] for work that can never produce a
+    /// token: an empty prompt, `max_new_tokens == 0`, out-of-vocabulary
+    /// prompt tokens, a lifetime block demand exceeding the whole pool
+    /// (admitting it would deadlock the FCFS queue behind it), or an id
+    /// already in flight (ids key the preemption carry state, so a
+    /// duplicate would cross-wire two requests' progress).
+    pub fn try_submit(&mut self, req: GenRequest) -> Result<(), SubmitError> {
+        if let Some(&token) = req.prompt.iter().find(|&&t| t >= self.vocab) {
+            return Err(SubmitError::TokenOutOfVocab {
+                id: req.id,
+                token,
+                vocab: self.vocab,
+            });
+        }
+        let need = self.runner.blocks_for_request(req.total_tokens());
+        let capacity = self.runner.pool().total_blocks();
+        if need > capacity {
+            return Err(SubmitError::ExceedsPool {
+                id: req.id,
+                need,
+                capacity,
+            });
+        }
+        if self.active.iter().any(|s| s.req.id == req.id)
+            || self.resume.contains_key(&req.id)
+            || self.scheduler.contains(req.id)
+        {
+            return Err(SubmitError::DuplicateId { id: req.id });
+        }
+        self.scheduler.submit(req)
     }
 
     /// Enqueues a request.
     ///
     /// # Panics
     ///
-    /// Panics if the prompt is empty or holds out-of-vocabulary tokens, if
-    /// `max_new_tokens` is 0, or if the request could *never* fit the pool
-    /// (its lifetime reservation exceeds total capacity) — admitting it
-    /// would deadlock the FCFS queue.
+    /// Panics on any rejection [`ServeEngine::try_submit`] reports.
     pub fn submit(&mut self, req: GenRequest) {
-        assert!(
-            !req.prompt.is_empty(),
-            "request {} has an empty prompt",
-            req.id
-        );
-        assert!(
-            req.max_new_tokens > 0,
-            "request {} asks for zero tokens",
-            req.id
-        );
-        assert!(
-            req.prompt.iter().all(|&t| t < self.vocab),
-            "request {} holds out-of-vocabulary tokens",
-            req.id
-        );
-        let need = self.runner.blocks_for_request(req.total_tokens());
-        assert!(
-            need <= self.runner.pool().total_blocks(),
-            "request {} needs {need} blocks but the pool holds only {}; enlarge the pool \
-             or shorten the request",
-            req.id,
-            self.runner.pool().total_blocks()
-        );
-        // Ids key the preemption carry state, so an in-flight duplicate
-        // would cross-wire two requests' progress.
-        assert!(
-            !self.active.iter().any(|s| s.req.id == req.id)
-                && !self.resume.contains_key(&req.id)
-                && !self.scheduler.contains(req.id),
-            "request id {} is already in flight; ids must be unique until completion",
-            req.id
-        );
-        self.scheduler.submit(req);
+        if let Err(e) = self.try_submit(req) {
+            panic!("{e}");
+        }
+    }
+
+    /// Starts recording [`EngineEvent`]s. Off by default so
+    /// [`ServeEngine::run_to_completion`] callers — who never drain — do
+    /// not accumulate one event per generated token.
+    pub fn enable_events(&mut self) {
+        self.events_enabled = true;
+    }
+
+    /// Takes every event recorded since the last drain, in occurrence
+    /// order (empty unless [`ServeEngine::enable_events`] was called).
+    pub fn drain_events(&mut self) -> Vec<EngineEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn push_event(&mut self, ev: EngineEvent) {
+        if self.events_enabled {
+            self.events.push(ev);
+        }
+    }
+
+    /// Cancels an in-flight request: removes it from the waiting queue, or
+    /// — if it is running — ends its session so every pool block it held
+    /// (including its share of copy-on-write prefix blocks) returns to the
+    /// refcounted free list immediately. Returns `false` when no request
+    /// with this id is in flight (it may have just completed). Cancelled
+    /// requests never appear in [`ServeReport::completions`]; they count
+    /// in [`ServeReport::cancelled_requests`].
+    pub fn cancel(&mut self, id: u64) -> bool {
+        self.remove_request(id, RemoveReason::Cancelled)
+    }
+
+    /// Cancels an in-flight request because its *wall-clock* deadline
+    /// passed — same reclamation as [`ServeEngine::cancel`], but counted
+    /// in [`ServeReport::expired_requests`]. (Engine-clock deadlines,
+    /// [`GenRequest::deadline_iter`], are enforced internally every tick;
+    /// this entry point is for callers tracking deadlines in a clock the
+    /// engine cannot see, like the gateway's `deadline_ms`.)
+    pub fn expire(&mut self, id: u64) -> bool {
+        self.remove_request(id, RemoveReason::Expired)
+    }
+
+    fn remove_request(&mut self, id: u64, reason: RemoveReason) -> bool {
+        let found = if self.scheduler.remove(id).is_some() {
+            // A queued request may also carry preemption resume state.
+            self.resume.remove(&id);
+            true
+        } else if let Some(idx) = self.active.iter().position(|s| s.req.id == id) {
+            let s = self.active.remove(idx);
+            self.runner.end_session(s.sid);
+            self.reserved_blocks -= s.reserved;
+            true
+        } else {
+            false
+        };
+        if found {
+            match reason {
+                RemoveReason::Expired => {
+                    self.expired_requests += 1;
+                    self.push_event(EngineEvent::Expired { id });
+                }
+                RemoveReason::Cancelled => {
+                    self.cancelled_requests += 1;
+                    self.push_event(EngineEvent::Cancelled { id });
+                }
+            }
+        }
+        found
+    }
+
+    /// Enforces engine-clock deadlines ([`GenRequest::deadline_iter`]):
+    /// expired queued requests leave the scheduler without ever being
+    /// ticked, and expired running sequences release their blocks
+    /// mid-generation. Runs at the top of every tick.
+    fn expire_due(&mut self) {
+        for req in self.scheduler.take_expired(self.iter) {
+            self.resume.remove(&req.id);
+            self.expired_requests += 1;
+            self.push_event(EngineEvent::Expired { id: req.id });
+        }
+        let due: Vec<u64> = self
+            .active
+            .iter()
+            .filter(|s| s.req.deadline_iter.is_some_and(|d| self.iter >= d))
+            .map(|s| s.req.id)
+            .collect();
+        for id in due {
+            self.remove_request(id, RemoveReason::Expired);
+        }
     }
 
     /// Completed iterations (the engine clock).
@@ -264,11 +404,28 @@ impl<'m> ServeEngine<'m> {
         self.resume.len()
     }
 
+    /// Requests waiting in the scheduler queue (not yet admitted).
+    pub fn queued(&self) -> usize {
+        self.scheduler.waiting()
+    }
+
+    /// Free blocks in the paged KV pool right now — what cancellation
+    /// returns blocks to.
+    pub fn free_blocks(&self) -> usize {
+        self.runner.pool().free_blocks()
+    }
+
+    /// Pool blocks currently held (running sequences + prefix snapshots).
+    pub fn used_blocks(&self) -> usize {
+        self.runner.pool().used_blocks()
+    }
+
     /// One engine iteration (admit → relieve → compose → step → advance);
     /// returns the number of tokens generated this iteration. With
     /// nothing runnable, the clock still advances by one (an idle
     /// iteration).
     pub fn tick(&mut self) -> usize {
+        self.expire_due();
         self.admit();
         if let AdmissionPolicy::Watermark { .. } = self.admission {
             self.relieve_pressure();
@@ -294,6 +451,7 @@ impl<'m> ServeEngine<'m> {
 
         let mut produced = 0usize;
         let mut finished: Vec<usize> = Vec::new();
+        let mut token_events: Vec<EngineEvent> = Vec::new();
         for (i, seq_logits) in logits.iter().enumerate() {
             let s = &mut self.active[i];
             if s.pos < s.req.prompt.len() && s.pos >= s.prompt_fed {
@@ -311,15 +469,23 @@ impl<'m> ServeEngine<'m> {
                 // The logits after the last known token (prompt, or the
                 // replayed tail after a preemption) yield the next greedy
                 // token.
-                s.generated.push(argmax(seq_logits));
+                let token = argmax(seq_logits);
+                s.generated.push(token);
                 s.first_token_iter.get_or_insert(self.iter);
                 produced += 1;
                 self.generated_tokens += 1;
+                if self.events_enabled {
+                    token_events.push(EngineEvent::Token {
+                        id: s.req.id,
+                        token,
+                    });
+                }
             }
             if s.generated.len() == s.req.max_new_tokens {
                 finished.push(i);
             }
         }
+        self.events.extend(token_events);
         if self.prefix_sharing {
             // Register every block boundary prefill crosses: committed
             // blocks are immutable, so the snapshot is free to share.
@@ -335,6 +501,7 @@ impl<'m> ServeEngine<'m> {
             let s = self.active.remove(i);
             self.runner.end_session(s.sid);
             self.reserved_blocks -= s.reserved;
+            self.push_event(EngineEvent::Finished { id: s.req.id });
             self.completions.push(Completion {
                 id: s.req.id,
                 prompt_len: s.req.prompt.len(),
@@ -348,9 +515,10 @@ impl<'m> ServeEngine<'m> {
         produced
     }
 
-    /// Drives the engine until every submitted request completes, and
-    /// reports aggregate throughput and latency. Idle gaps before the next
-    /// arrival fast-forward the clock instead of spinning the model.
+    /// Drives the engine until every submitted request completes (or
+    /// expires), and reports aggregate throughput and latency. Idle gaps
+    /// before the next arrival fast-forward the clock instead of spinning
+    /// the model.
     pub fn run_to_completion(&mut self) -> ServeReport {
         let t0 = Instant::now();
         while self.pending() > 0 {
@@ -361,11 +529,21 @@ impl<'m> ServeEngine<'m> {
             }
             self.tick();
         }
+        self.report(t0.elapsed().as_secs_f64())
+    }
+
+    /// Snapshot of the run so far as a [`ServeReport`], for callers that
+    /// drive [`ServeEngine::tick`] themselves (the gateway's ticker
+    /// thread) and own the wall clock. `wall_seconds` is whatever span the
+    /// caller measured; [`ServeReport::rejected_requests`] starts at 0 —
+    /// the engine returns submit rejections to the caller instead of
+    /// counting them, so the transport layer adds its own sheds.
+    pub fn report(&self, wall_seconds: f64) -> ServeReport {
         ServeReport {
             completions: self.completions.clone(),
             iterations: self.iter,
             busy_iterations: self.busy_iterations,
-            wall_seconds: t0.elapsed().as_secs_f64(),
+            wall_seconds,
             generated_tokens: self.generated_tokens,
             prompt_tokens: self.prompt_tokens,
             mean_batch_occupancy: self.occupancy_sum as f64 / self.busy_iterations.max(1) as f64,
@@ -375,6 +553,9 @@ impl<'m> ServeEngine<'m> {
             recomputed_tokens: self.recomputed_tokens,
             prefix_cached_tokens: self.prefix_cached_tokens,
             prefill_tokens: self.prefill_tokens,
+            expired_requests: self.expired_requests,
+            cancelled_requests: self.cancelled_requests,
+            rejected_requests: 0,
             pool_blocks: self.runner.pool().total_blocks(),
             block_bits: self.runner.pool().block_bits(),
         }
@@ -540,7 +721,9 @@ impl<'m> ServeEngine<'m> {
                 admitted_iter: s.admitted_iter,
             },
         );
-        self.scheduler.submit(s.req);
+        self.scheduler
+            .submit(s.req)
+            .expect("a running request was valid at first submission");
     }
 }
 

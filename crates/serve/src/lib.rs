@@ -49,17 +49,36 @@
 //!     admission: AdmissionPolicy::Watermark { watermark_blocks: 4 },
 //!     prefix_sharing: true,
 //! });
-//! engine.submit(GenRequest { id: 0, prompt: vec![1, 2, 3], max_new_tokens: 4, arrival_iter: 0 });
+//! engine.submit(GenRequest {
+//!     id: 0,
+//!     prompt: vec![1, 2, 3],
+//!     max_new_tokens: 4,
+//!     arrival_iter: 0,
+//!     deadline_iter: None,
+//! });
 //! let report = engine.run_to_completion();
 //! assert_eq!(report.completions[0].tokens.len(), 4);
 //! ```
+//!
+//! For serving over a network edge, requests additionally carry deadlines
+//! ([`GenRequest::deadline_iter`] in the engine clock; wall-clock
+//! deadlines via [`ServeEngine::expire`]), can be cancelled mid-flight
+//! with [`ServeEngine::cancel`] (blocks return to the refcounted free
+//! list immediately), are validated at submission with typed
+//! [`SubmitError`] rejections ([`ServeEngine::try_submit`]), and stream
+//! per-token [`EngineEvent`]s — the contract `mant-gateway` builds its
+//! HTTP/SSE front-end on.
 
 pub mod engine;
 pub mod metrics;
 pub mod request;
 pub mod scheduler;
 
-pub use engine::{argmax, sequential_generate, AdmissionPolicy, ServeConfig, ServeEngine};
+pub use engine::{
+    argmax, sequential_generate, AdmissionPolicy, EngineEvent, ServeConfig, ServeEngine,
+};
 pub use metrics::{percentile, Percentiles, ServeReport};
-pub use request::{requests_from_shared_trace, requests_from_trace, Completion, GenRequest};
+pub use request::{
+    requests_from_shared_trace, requests_from_trace, Completion, GenRequest, SubmitError,
+};
 pub use scheduler::FcfsScheduler;

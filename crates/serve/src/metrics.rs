@@ -2,7 +2,9 @@
 
 use crate::request::Completion;
 
-/// Latency percentile summary (values in engine iterations).
+/// Latency percentile summary. Units are whatever the samples were in —
+/// engine iterations for the in-process summaries on [`ServeReport`],
+/// wall-clock seconds for the gateway's socket-measured latencies.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Percentiles {
     /// Median.
@@ -15,31 +17,66 @@ pub struct Percentiles {
     pub max: f64,
 }
 
+impl Percentiles {
+    /// Summarizes a sample set, or `None` when it is empty — the empty
+    /// case is a *value*, not a panic, because report paths must survive
+    /// runs where every request was rejected or expired before producing
+    /// a completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sample is not finite (NaN latencies are measurement
+    /// bugs, not data).
+    pub fn from_samples(samples: &[f64]) -> Option<Percentiles> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        Some(Percentiles {
+            p50: percentile_sorted(&sorted, 0.50),
+            p95: percentile_sorted(&sorted, 0.95),
+            p99: percentile_sorted(&sorted, 0.99),
+            // The largest sample, from the sort — not a NEG_INFINITY fold,
+            // which would silently leak -inf into reports on a bad path.
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
 /// Linear-interpolation percentile of an unsorted sample set; `q` in
-/// `[0, 1]`.
+/// `[0, 1]`. Returns `None` for an empty sample set (there is no value to
+/// report) and the sole sample for a singleton set at every `q` — the
+/// degenerate cases are explicit instead of falling through the
+/// interpolation arithmetic.
 ///
 /// # Panics
 ///
-/// Panics if `samples` is empty or `q` is outside `[0, 1]`.
-pub fn percentile(samples: &[f64], q: f64) -> f64 {
-    assert!(!samples.is_empty(), "percentile of an empty sample set");
-    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+/// Panics if `q` is NaN or outside `[0, 1]`, or if a sample is not finite.
+pub fn percentile(samples: &[f64], q: f64) -> Option<f64> {
+    if samples.is_empty() {
+        return None;
+    }
     let mut sorted = samples.to_vec();
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let rank = q * (sorted.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    let frac = rank - lo as f64;
-    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    Some(percentile_sorted(&sorted, q))
 }
 
-fn summarize(samples: &[f64]) -> Percentiles {
-    Percentiles {
-        p50: percentile(samples, 0.50),
-        p95: percentile(samples, 0.95),
-        p99: percentile(samples, 0.99),
-        max: samples.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+/// Interpolation core over an already-sorted, non-empty sample set.
+fn percentile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    if sorted.len() == 1 {
+        // n = 1: rank interpolation degenerates to the sole sample; make
+        // that explicit rather than trusting 0 * q index arithmetic.
+        return sorted[0];
     }
+    let rank = q * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    // `rank <= len - 1` by the `q` guard, but clamp so a float rounding
+    // edge can never index out of bounds.
+    let hi = (rank.ceil() as usize).min(sorted.len() - 1);
+    let frac = rank - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
 }
 
 /// The outcome of one serving run.
@@ -75,6 +112,17 @@ pub struct ServeReport {
     /// Prefill tokens all admissions needed in total (cached + stepped);
     /// the denominator of [`ServeReport::prefix_hit_rate`].
     pub prefill_tokens: usize,
+    /// Requests cancelled because their deadline passed — queued ones
+    /// removed without ever being ticked, running ones mid-generation.
+    pub expired_requests: usize,
+    /// Requests cancelled explicitly (client disconnect, shutdown), not
+    /// by deadline.
+    pub cancelled_requests: usize,
+    /// Requests refused before entering the engine. The engine itself
+    /// never counts here (its submit rejections are errors returned to
+    /// the caller); the gateway adds its 429 backpressure sheds when it
+    /// builds the final report.
+    pub rejected_requests: usize,
     /// Pool capacity in blocks.
     pub pool_blocks: usize,
     /// Packed bits per pool block (K + V codes and group metadata), from
@@ -94,48 +142,38 @@ impl ServeReport {
         (self.generated_tokens + self.prompt_tokens) as f64 / self.wall_seconds.max(1e-12)
     }
 
-    /// Time-to-first-token percentiles across completions, in iterations.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no request completed.
-    pub fn ttft_percentiles(&self) -> Percentiles {
+    /// Time-to-first-token percentiles across completions, in iterations;
+    /// `None` when nothing completed.
+    pub fn ttft_percentiles(&self) -> Option<Percentiles> {
         let samples: Vec<f64> = self
             .completions
             .iter()
             .map(|c| c.ttft_iters() as f64)
             .collect();
-        summarize(&samples)
+        Percentiles::from_samples(&samples)
     }
 
-    /// End-to-end latency percentiles across completions, in iterations.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no request completed.
-    pub fn e2e_percentiles(&self) -> Percentiles {
+    /// End-to-end latency percentiles across completions, in iterations;
+    /// `None` when nothing completed.
+    pub fn e2e_percentiles(&self) -> Option<Percentiles> {
         let samples: Vec<f64> = self
             .completions
             .iter()
             .map(|c| c.e2e_iters() as f64)
             .collect();
-        summarize(&samples)
+        Percentiles::from_samples(&samples)
     }
 
     /// Queueing-delay (submit → first admission) percentiles across
     /// completions, in iterations — how long requests waited before the
-    /// scheduler let them into the batch.
-    ///
-    /// # Panics
-    ///
-    /// Panics if no request completed.
-    pub fn queueing_percentiles(&self) -> Percentiles {
+    /// scheduler let them into the batch; `None` when nothing completed.
+    pub fn queueing_percentiles(&self) -> Option<Percentiles> {
         let samples: Vec<f64> = self
             .completions
             .iter()
             .map(|c| c.queue_iters() as f64)
             .collect();
-        summarize(&samples)
+        Percentiles::from_samples(&samples)
     }
 
     /// Fraction of required prefill tokens served from the prefix cache
@@ -156,15 +194,55 @@ mod tests {
     #[test]
     fn percentile_interpolates() {
         let samples = [4.0, 1.0, 3.0, 2.0];
-        assert_eq!(percentile(&samples, 0.0), 1.0);
-        assert_eq!(percentile(&samples, 1.0), 4.0);
-        assert_eq!(percentile(&samples, 0.5), 2.5);
-        assert!((percentile(&samples, 0.95) - 3.85).abs() < 1e-9);
+        assert_eq!(percentile(&samples, 0.0), Some(1.0));
+        assert_eq!(percentile(&samples, 1.0), Some(4.0));
+        assert_eq!(percentile(&samples, 0.5), Some(2.5));
+        assert!((percentile(&samples, 0.95).unwrap() - 3.85).abs() < 1e-9);
     }
 
     #[test]
-    #[should_panic(expected = "empty sample set")]
-    fn empty_percentile_panics() {
-        let _ = percentile(&[], 0.5);
+    fn empty_sample_set_is_a_value_not_a_panic() {
+        // n = 0 feeds every bench assertion via ServeReport; it must be
+        // representable (all requests rejected/expired), not a crash.
+        assert_eq!(percentile(&[], 0.5), None);
+        assert_eq!(percentile(&[], 0.0), None);
+        assert_eq!(percentile(&[], 1.0), None);
+        assert_eq!(Percentiles::from_samples(&[]), None);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        // n = 1: the interpolation rank is 0 at every q; the sole sample
+        // must come back exactly, with no NaN and no out-of-bounds `hi`.
+        for q in [0.0, 0.25, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile(&[7.25], q), Some(7.25), "q = {q}");
+        }
+        let p = Percentiles::from_samples(&[7.25]).unwrap();
+        assert_eq!((p.p50, p.p95, p.p99, p.max), (7.25, 7.25, 7.25, 7.25));
+    }
+
+    #[test]
+    fn summary_max_comes_from_the_samples() {
+        let p = Percentiles::from_samples(&[3.0, 9.0, 1.0]).unwrap();
+        assert_eq!(p.max, 9.0);
+        assert!(p.p50 <= p.p95 && p.p95 <= p.p99 && p.p99 <= p.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        let _ = percentile(&[1.0, 2.0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn nan_quantile_panics() {
+        let _ = percentile(&[1.0, 2.0], f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite latencies")]
+    fn nan_sample_panics() {
+        let _ = percentile(&[1.0, f64::NAN], 0.5);
     }
 }

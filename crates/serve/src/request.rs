@@ -1,4 +1,7 @@
-//! Serving requests and their completed records.
+//! Serving requests, their completed records, and typed submission
+//! rejections.
+
+use std::fmt;
 
 use mant_sim::{SharedPrefixRequest, TraceRequest};
 use mant_tensor::TensorGenerator;
@@ -16,6 +19,14 @@ pub struct GenRequest {
     /// Arrival time in engine iterations; the scheduler will not admit the
     /// request earlier.
     pub arrival_iter: u64,
+    /// Engine-clock deadline: the request must finish *before* this
+    /// iteration. Once the clock reaches it the request is cancelled —
+    /// while still queued it is removed without ever being ticked, and a
+    /// running sequence releases its pool blocks mid-generation. `None`
+    /// means no deadline. (Wall-clock deadlines — the gateway's
+    /// `deadline_ms` — are enforced by the caller via
+    /// [`ServeEngine::expire`](crate::ServeEngine::expire) instead.)
+    pub deadline_iter: Option<u64>,
 }
 
 impl GenRequest {
@@ -25,6 +36,75 @@ impl GenRequest {
         self.prompt.len() + self.max_new_tokens
     }
 }
+
+/// Why a request was refused at submission time. Work that can never
+/// produce a token is rejected here — with a reason the caller can turn
+/// into an error reply — instead of being admitted to deadlock or panic
+/// the queue later.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The prompt holds no tokens; there is nothing to prefill.
+    EmptyPrompt {
+        /// The offending request's id.
+        id: u64,
+    },
+    /// `max_new_tokens` is 0; the request could never produce a token.
+    ZeroNewTokens {
+        /// The offending request's id.
+        id: u64,
+    },
+    /// A prompt token is outside the model's vocabulary.
+    TokenOutOfVocab {
+        /// The offending request's id.
+        id: u64,
+        /// The out-of-range token.
+        token: usize,
+        /// The model's vocabulary size.
+        vocab: usize,
+    },
+    /// The request's lifetime block demand exceeds the whole pool — it
+    /// could never be admitted, and waiting for it would deadlock the
+    /// FCFS queue behind it.
+    ExceedsPool {
+        /// The offending request's id.
+        id: u64,
+        /// Blocks the request's lifetime needs.
+        need: usize,
+        /// Total blocks the pool holds.
+        capacity: usize,
+    },
+    /// A request with this id is already in flight; ids key the
+    /// preemption carry state, so a duplicate would cross-wire two
+    /// requests' progress.
+    DuplicateId {
+        /// The duplicated id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SubmitError::EmptyPrompt { id } => write!(f, "request {id} has an empty prompt"),
+            SubmitError::ZeroNewTokens { id } => write!(f, "request {id} asks for zero tokens"),
+            SubmitError::TokenOutOfVocab { id, token, vocab } => write!(
+                f,
+                "request {id} holds out-of-vocabulary token {token} (vocab {vocab})"
+            ),
+            SubmitError::ExceedsPool { id, need, capacity } => write!(
+                f,
+                "request {id} needs {need} blocks but the pool holds only {capacity}; \
+                 enlarge the pool or shorten the request"
+            ),
+            SubmitError::DuplicateId { id } => write!(
+                f,
+                "request id {id} is already in flight; ids must be unique until completion"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 /// Materializes a [`mant_sim::trace`] workload into concrete requests:
 /// prompt token ids are drawn deterministically from `seed`, so equal
@@ -39,6 +119,7 @@ pub fn requests_from_trace(trace: &[TraceRequest], vocab: usize, seed: u64) -> V
             prompt: (0..t.prompt_len).map(|_| gen.token(vocab)).collect(),
             max_new_tokens: t.output_len,
             arrival_iter: t.arrival_iter,
+            deadline_iter: None,
         })
         .collect()
 }
@@ -90,6 +171,7 @@ pub fn requests_from_shared_trace(
                 prompt,
                 max_new_tokens: r.trace.output_len,
                 arrival_iter: r.trace.arrival_iter,
+                deadline_iter: None,
             }
         })
         .collect()

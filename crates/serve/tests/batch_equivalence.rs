@@ -185,7 +185,7 @@ fn check_engine_matches_baseline(cfg: &ModelConfig, seed: u64) {
         requests.iter().map(|r| r.prompt.len()).sum::<usize>()
     );
     assert!(report.mean_batch_occupancy >= 1.0);
-    assert!(report.ttft_percentiles().p50 >= 1.0);
+    assert!(report.ttft_percentiles().unwrap().p50 >= 1.0);
 }
 
 #[test]
@@ -215,6 +215,7 @@ fn tight_pool_throttles_admission_but_stays_exact() {
                 .collect(),
             max_new_tokens: 4,
             arrival_iter: 0,
+            deadline_iter: None,
         })
         .collect();
     // Each request needs layers(2) × ⌈9/64⌉ = 2 blocks; 5 blocks admit at
@@ -333,6 +334,7 @@ fn forced_preemption_stays_byte_identical() {
                 .collect(),
             max_new_tokens: 24,
             arrival_iter: 0,
+            deadline_iter: None,
         })
         .collect();
     let mut engine = ServeEngine::new(
@@ -462,6 +464,7 @@ fn duplicate_request_id_rejected_at_submit() {
         prompt: vec![1, 2],
         max_new_tokens: 2,
         arrival_iter: 0,
+        deadline_iter: None,
     };
     engine.submit(req.clone());
     engine.submit(req);
@@ -493,5 +496,6 @@ fn impossible_request_rejected_at_submit() {
         prompt: vec![1; 200],
         max_new_tokens: 100,
         arrival_iter: 0,
+        deadline_iter: None,
     });
 }

@@ -63,9 +63,9 @@ fn main() {
     }
     let report = engine.run_to_completion();
 
-    let ttft = report.ttft_percentiles();
-    let e2e = report.e2e_percentiles();
-    let queue = report.queueing_percentiles();
+    let ttft = report.ttft_percentiles().expect("requests completed");
+    let e2e = report.e2e_percentiles().expect("requests completed");
+    let queue = report.queueing_percentiles().expect("requests completed");
     let ms_per_iter = report.wall_seconds * 1e3 / report.busy_iterations.max(1) as f64;
     println!("\ncontinuous-batching engine (max_batch 4, watermark admission, CoW MANT4 KV pool):");
     println!(

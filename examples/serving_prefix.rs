@@ -72,8 +72,8 @@ fn main() {
     }
     let report = engine.run_to_completion();
 
-    let ttft = report.ttft_percentiles();
-    let queue = report.queueing_percentiles();
+    let ttft = report.ttft_percentiles().expect("requests completed");
+    let queue = report.queueing_percentiles().expect("requests completed");
     println!("\nCoW engine (watermark admission, prefix sharing):");
     println!(
         "  aggregate throughput      : {:.1} generated tok/s ({:.1} tok/s incl. prefill)",

@@ -6,6 +6,7 @@
 
 pub use mant_baselines as baselines;
 pub use mant_core as core;
+pub use mant_gateway as gateway;
 pub use mant_model as model;
 pub use mant_numerics as numerics;
 pub use mant_quant as quant;
