@@ -16,6 +16,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
 
+use mant_numerics::kernels;
 use mant_quant::kv::{attention_dequantize, attention_incremental};
 use mant_quant::{CandidateSet, KCacheQuantizer, VCacheQuantizer, VarianceMap};
 use mant_tensor::TensorGenerator;
@@ -38,6 +39,9 @@ fn build_caches(seq: usize, seed: u64) -> (KCacheQuantizer, VCacheQuantizer, Vec
 }
 
 fn bench_decode_throughput(c: &mut Criterion) {
+    // (seq, dequantize ns, incremental ns, speedup) per sequence length,
+    // serialized to BENCH_decode.json after the sweep.
+    let mut report: Vec<(usize, f64, f64, f64)> = Vec::new();
     for &seq in &[256usize, 1024] {
         let (kc, vc, q) = build_caches(seq, 2000 + seq as u64);
         let mut g = c.benchmark_group(format!("decode_step_seq{seq}_dim{DIM}"));
@@ -112,7 +116,31 @@ fn bench_decode_throughput(c: &mut Criterion) {
             "packed incremental attention lost its speedup at seq {seq}: {:.2}x",
             t_deq / t_inc
         );
+        report.push((seq, t_deq * 1e9, t_inc * 1e9, t_deq / t_inc));
     }
+
+    let steps: Vec<String> = report
+        .iter()
+        .map(|(seq, deq_ns, inc_ns, speedup)| {
+            format!(
+                "    {{\"seq\": {seq}, \"dequantize_ns\": {deq_ns:.0}, \
+                 \"incremental_ns\": {inc_ns:.0}, \"speedup\": {speedup:.3}}}"
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"decode_throughput\",\n  \"tier\": \"{}\",\n  \
+         \"shape\": {{\"dim\": {DIM}, \"heads\": {HEADS}, \"head_dim\": {HEAD_DIM}, \
+         \"group\": {GROUP}}},\n  \"steps\": [\n{}\n  ],\n  \
+         \"speedup_threshold\": 2.0\n}}\n",
+        kernels().name(),
+        steps.join(",\n"),
+    );
+    // Same anchoring as BENCH_kernels.json: the workspace root, so the
+    // perf trajectory artifacts live side by side.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_decode.json");
+    std::fs::write(path, &json).expect("write BENCH_decode.json");
+    println!("wrote BENCH_decode.json (workspace root)");
 }
 
 criterion_group! {

@@ -63,13 +63,11 @@ pub fn int4_group_mac(xcodes: &[i8], wcodes: &[u8]) -> i64 {
 
 /// The 16-entry decoded-value table of a MANT coefficient: entry `b` is
 /// `±(a·i + 2^i)` for code bits `b` — i.e. the MAC- and SAC-lane operands
-/// already recombined. Built once per weight group, this is the
-/// "weight-group decode pass" of the batched GEMM: the group's codes are
-/// translated to integer operands a single time and then swept across
-/// every activation row in the batch with [`dot_decoded`], instead of
-/// paying the two-lane LUT walk per (group, batch row). Exact by integer
+/// already recombined. Built once per distinct dtype, this table seeds
+/// both the [`PairLut`] the packed kernels walk and the byte-shuffle
+/// tables of the SIMD tiers (`crate::simd`). Exact by integer
 /// distributivity: `Σ x·(a·(±i) + (±2^i)) = a·Σ x·(±i) + Σ x·(±2^i)`,
-/// so the result is bit-identical to [`mant_group_psums`].
+/// so any kernel built on it is bit-identical to [`mant_group_psums`].
 pub fn mant_decode_lut(mant: Mant) -> [i32; 16] {
     let mut lut = [0i32; 16];
     for (bits, entry) in lut.iter_mut().enumerate() {
@@ -82,30 +80,6 @@ pub fn mant_decode_lut(mant: Mant) -> [i32; 16] {
 /// nibbles) — the single-lane counterpart of [`mant_decode_lut`].
 pub fn int4_decode_lut() -> [i32; 16] {
     INT4_LUT
-}
-
-/// Decodes one weight group's 4-bit codes through a 16-entry decoded-value
-/// table ([`mant_decode_lut`] / [`int4_decode_lut`]) into integer operands
-/// — run once per weight group, amortized over every batch row.
-pub fn decode_group(wcodes: &[u8], lut: &[i32; 16], out: &mut [i64]) {
-    debug_assert_eq!(wcodes.len(), out.len());
-    for (o, &wc) in out.iter_mut().zip(wcodes.iter()) {
-        *o = i64::from(lut[usize::from(wc & 0x0f)]);
-    }
-}
-
-/// Integer dot of INT8 activation codes against pre-decoded weight
-/// operands (from [`decode_group`]): the batched GEMM's inner loop — one
-/// multiply-accumulate per element, no per-element nibble masking or lane
-/// split. Bit-identical to [`mant_group_psums`] / [`int4_group_mac`] on
-/// the same codes (integer arithmetic is exact).
-pub fn dot_decoded(xcodes: &[i8], wdec: &[i64]) -> i64 {
-    debug_assert_eq!(xcodes.len(), wdec.len());
-    xcodes
-        .iter()
-        .zip(wdec.iter())
-        .map(|(&x, &d)| i64::from(x) * d)
-        .sum()
 }
 
 /// A 256-entry **pair-decode table**: entry `b` holds the two pre-decoded
@@ -275,25 +249,30 @@ mod tests {
     }
 
     #[test]
-    fn decoded_dot_matches_lane_kernels() {
-        // The decode-pass kernel (decode once, plain MAC sweep) must be
-        // bit-identical to the two-lane MANT kernel and the INT4 MAC on
-        // the same codes — the exactness the batched GEMM relies on.
+    fn decode_lut_dot_matches_lane_kernels() {
+        // Decode-once exactness (the invariant the retired `decode_group`
+        // / `dot_decoded` pair carried, now owned by the LUT-seeded
+        // kernels): a plain MAC over 16-entry-table-decoded operands is
+        // bit-identical to the two-lane MANT kernel and the INT4 MAC.
         let xcodes: Vec<i8> = vec![5, -3, 127, -128, 0, 1, 77, -77];
         let wcodes: Vec<u8> = (0..8u8).map(|i| (i * 3) ^ 0x9).collect();
-        let mut wdec = vec![0i64; 8];
+        let decoded_dot = |lut16: &[i32; 16]| -> i64 {
+            xcodes
+                .iter()
+                .zip(wcodes.iter())
+                .map(|(&x, &w)| i64::from(x) * i64::from(lut16[usize::from(w & 0x0f)]))
+                .sum()
+        };
         for a in [0u32, 5, 17, 25, 60, 127] {
             let mant = Mant::new(a).unwrap();
-            decode_group(&wcodes, &mant_decode_lut(mant), &mut wdec);
             assert_eq!(
-                dot_decoded(&xcodes, &wdec),
+                decoded_dot(&mant_decode_lut(mant)),
                 mant_group_psums(&xcodes, &wcodes, mant),
                 "a={a}"
             );
         }
-        decode_group(&wcodes, &int4_decode_lut(), &mut wdec);
         assert_eq!(
-            dot_decoded(&xcodes, &wdec),
+            decoded_dot(&int4_decode_lut()),
             int4_group_mac(&xcodes, &wcodes)
         );
     }

@@ -20,6 +20,11 @@
 //! `psum1`/`psum2` decomposition that the accelerator fuses into integer
 //! arithmetic (paper Eq. (5)).
 //!
+//! The integer group-dot kernels live in [`mod@kernels`] (scalar, the
+//! bit-identity oracle) and [`simd`] (runtime-dispatched x86_64 SSSE3 /
+//! AVX2 tiers, selected once per process by [`kernels()`](simd::kernels)
+//! and bit-identical to the oracle on every input).
+//!
 //! # Example
 //!
 //! ```
@@ -33,6 +38,9 @@
 //! assert_eq!(mant.decode(code), -59);
 //! # Ok::<(), mant_numerics::NumericsError>(())
 //! ```
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(clippy::undocumented_unsafe_blocks)]
 
 pub mod abfloat;
 pub mod datatype;
@@ -48,6 +56,7 @@ pub mod nf;
 pub mod packing;
 pub mod pot;
 pub mod probit;
+pub mod simd;
 
 pub use abfloat::AbFloat;
 pub use datatype::DataType;
@@ -56,8 +65,8 @@ pub use flint::flint4_grid;
 pub use grid::Grid;
 pub use int::{int4_grid, int8_grid, uniform_symmetric_grid};
 pub use kernels::{
-    decode_group, dot_decoded, dot_packed, dot_packed_x4, int4_decode_lut, int4_group_mac,
-    int8_dot, mant_decode_lut, mant_group_psums, pair_decode_lut, PairLut, MAX_I32_GROUP,
+    dot_packed, dot_packed_x4, int4_decode_lut, int4_group_mac, int8_dot, mant_decode_lut,
+    mant_group_psums, pair_decode_lut, PairLut, MAX_I32_GROUP,
 };
 pub use mant::{Mant, MantCode};
 pub use mxfp::{e8m0_quantize_scale, fp4_e2m1_grid};
@@ -65,3 +74,4 @@ pub use nf::{nf4_paper_grid, qlora_nf4_grid};
 pub use packing::{pack_nibbles, pack_nibbles_into, unpack_nibbles, NibbleIter};
 pub use pot::pot4_grid;
 pub use probit::probit;
+pub use simd::{kernel_lut, kernels, scalar_forced, KernelDispatch, KernelLut};

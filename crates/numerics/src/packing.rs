@@ -4,7 +4,7 @@
 //! the workspace — weight matrices, the K cache, committed V windows, and
 //! the paged pool's blocks all store genuinely packed nibbles, the memory
 //! layout the accelerator's weight buffer holds. The packed kernels in
-//! [`crate::kernels`] consume a byte (a code pair) at a time through a
+//! [`mod@crate::kernels`] consume a byte (a code pair) at a time through a
 //! 256-entry pair-decode table, so nothing on the hot path ever unpacks.
 
 /// Packs 4-bit codes into bytes, first code in the low nibble. An odd

@@ -1,11 +1,33 @@
 //! Property-based tests for the numeric formats.
 
 use mant_numerics::packing::{pack_nibbles, unpack_nibbles, NibbleIter};
+use mant_numerics::simd::{scalar_abs_max, scalar_quantize_i8};
 use mant_numerics::{
-    dot_packed, dot_packed_x4, fp16, int4_decode_lut, int4_group_mac, mant_decode_lut,
-    mant_group_psums, pair_decode_lut, Grid, Mant, MantCode, MAX_I32_GROUP,
+    dot_packed, dot_packed_x4, fp16, int4_decode_lut, int4_group_mac, int8_dot, kernel_lut,
+    mant_decode_lut, mant_group_psums, pair_decode_lut, Grid, KernelDispatch, KernelLut, Mant,
+    MantCode, MAX_I32_GROUP,
 };
 use proptest::prelude::*;
+
+/// Every kernel tier available on this machine, scalar always included.
+/// On AVX2 CI hardware this exercises all three tiers differentially.
+fn tiers() -> Vec<KernelDispatch> {
+    let mut t = vec![KernelDispatch::Scalar];
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("ssse3") {
+            t.push(KernelDispatch::Ssse3);
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            t.push(KernelDispatch::Avx2);
+        }
+    }
+    t
+}
+
+fn mant_kernel_lut(a: u32) -> KernelLut {
+    kernel_lut(&mant_decode_lut(Mant::new(a).unwrap()))
+}
 
 proptest! {
     /// Nearest-point encoding is optimal: no other grid point is closer.
@@ -230,4 +252,119 @@ proptest! {
 fn packing_rejects_malformed_length() {
     let packed = pack_nibbles(&[1, 2, 3]);
     let _ = NibbleIter::new(&packed, 5);
+}
+
+proptest! {
+    /// Every SIMD tier's packed dot is bit-identical to the scalar oracle
+    /// for any MANT coefficient, any length (odd tails, lengths that are
+    /// not multiples of the 16/32-code vector blocks), any codes.
+    #[test]
+    fn simd_dot_packed_bit_identical_mant(a in 0u32..128,
+                                          wcodes in proptest::collection::vec(0u8..16, 1..300),
+                                          xseed in proptest::collection::vec(-128i64..=127, 300)) {
+        let xcodes: Vec<i8> = xseed[..wcodes.len()].iter().map(|&v| v as i8).collect();
+        let packed = pack_nibbles(&wcodes);
+        let lut = mant_kernel_lut(a);
+        let oracle = dot_packed(&xcodes, &packed, &lut.pair);
+        for d in tiers() {
+            prop_assert_eq!(d.dot_packed(&xcodes, &packed, &lut), oracle, "tier {}", d.name());
+        }
+    }
+
+    /// Same differential property through the INT4 table.
+    #[test]
+    fn simd_dot_packed_bit_identical_int4(wcodes in proptest::collection::vec(0u8..16, 1..300),
+                                          xseed in proptest::collection::vec(-128i64..=127, 300)) {
+        let xcodes: Vec<i8> = xseed[..wcodes.len()].iter().map(|&v| v as i8).collect();
+        let packed = pack_nibbles(&wcodes);
+        let lut = kernel_lut(&int4_decode_lut());
+        let oracle = int4_group_mac(&xcodes, &wcodes);
+        for d in tiers() {
+            prop_assert_eq!(d.dot_packed(&xcodes, &packed, &lut), oracle, "tier {}", d.name());
+        }
+    }
+
+    /// The SIMD 4-row tile equals four scalar packed dots for any mix of
+    /// coefficients and any tail parity.
+    #[test]
+    fn simd_dot_packed_x4_bit_identical(coeffs in (0u32..128, 0u32..128, 0u32..128, 0u32..128),
+                                        wcodes in proptest::collection::vec(0u8..16, 4..280),
+                                        xseed in proptest::collection::vec(-128i64..=127, 70)) {
+        let len = wcodes.len() / 4;
+        let xcodes: Vec<i8> = xseed[..len].iter().map(|&v| v as i8).collect();
+        let rows: Vec<&[u8]> = wcodes.chunks_exact(len).take(4).collect();
+        let packed: Vec<Vec<u8>> = rows.iter().map(|r| pack_nibbles(r)).collect();
+        let luts: Vec<KernelLut> = [coeffs.0, coeffs.1, coeffs.2, coeffs.3]
+            .iter()
+            .map(|&a| mant_kernel_lut(a))
+            .collect();
+        let w = [&packed[0][..], &packed[1][..], &packed[2][..], &packed[3][..]];
+        let lr = [&luts[0], &luts[1], &luts[2], &luts[3]];
+        let oracle = dot_packed_x4(&xcodes, w, lr.map(|l| &l.pair));
+        for d in tiers() {
+            prop_assert_eq!(d.dot_packed_x4(&xcodes, w, lr), oracle, "tier {}", d.name());
+        }
+    }
+
+    /// Worst-case magnitudes at the `MAX_I32_GROUP` bound: every tier's
+    /// partial-sum arrangement stays exact (no lane overflow) right up to
+    /// the admissible cap.
+    #[test]
+    fn simd_dot_packed_exact_at_extremes(len in 1usize..600) {
+        let len = if len > 550 { MAX_I32_GROUP } else { len };
+        let lut = mant_kernel_lut(127);
+        let xcodes = vec![-128i8; len];
+        let packed = pack_nibbles(&vec![0xfu8; len]);
+        let expect = len as i64 * 128 * (127 * 7 + 128);
+        for d in tiers() {
+            prop_assert_eq!(d.dot_packed(&xcodes, &packed, &lut), expect, "tier {}", d.name());
+        }
+    }
+
+    /// The SIMD INT8 dot equals the scalar i64 accumulation for any
+    /// length and contents (the vector tiers chunk-drain their i32 lanes).
+    #[test]
+    fn simd_int8_dot_bit_identical(aseed in proptest::collection::vec(-128i64..=127, 0..300),
+                                   bseed in proptest::collection::vec(-128i64..=127, 300)) {
+        let a: Vec<i8> = aseed.iter().map(|&v| v as i8).collect();
+        let b: Vec<i8> = bseed[..a.len()].iter().map(|&v| v as i8).collect();
+        let oracle = int8_dot(&a, &b);
+        for d in tiers() {
+            prop_assert_eq!(d.int8_dot(&a, &b), oracle, "tier {}", d.name());
+        }
+    }
+
+    /// `abs_max` through every tier matches the scalar NaN-skipping fold
+    /// bit for bit, NaN positions included.
+    #[test]
+    fn simd_abs_max_bit_identical(mut xs in proptest::collection::vec(-1e30f32..1e30, 0..120),
+                                  nan_at in 0usize..120) {
+        if nan_at < xs.len() {
+            xs[nan_at] = f32::NAN;
+        }
+        let oracle = scalar_abs_max(&xs);
+        for d in tiers() {
+            prop_assert_eq!(d.abs_max(&xs).to_bits(), oracle.to_bits(), "tier {}", d.name());
+        }
+    }
+
+    /// INT8 quantization through every tier is bit-identical to the
+    /// scalar round-half-away / clamp / NaN→0 loop — including inputs at
+    /// rounding boundaries, saturation, and non-finite values.
+    #[test]
+    fn simd_quantize_i8_bit_identical(mut xs in proptest::collection::vec(-300.0f32..300.0, 0..120),
+                                      scale in 0.001f32..10.0,
+                                      special_at in 0usize..120,
+                                      special in 0usize..4) {
+        if special_at < xs.len() {
+            xs[special_at] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, 63.5 * 0.125][special];
+        }
+        let mut oracle = vec![0i8; xs.len()];
+        scalar_quantize_i8(&xs, scale, &mut oracle);
+        for d in tiers() {
+            let mut got = vec![0i8; xs.len()];
+            d.quantize_i8(&xs, scale, &mut got);
+            prop_assert_eq!(&got, &oracle, "tier {}", d.name());
+        }
+    }
 }

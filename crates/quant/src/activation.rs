@@ -7,8 +7,8 @@
 //! is a per-group `max |x|` → scale → round.
 
 use mant_numerics::fp16::quantize_fp16;
-use mant_numerics::int::quantize_symmetric_int;
-use mant_tensor::{abs_max, Matrix};
+use mant_numerics::kernels;
+use mant_tensor::Matrix;
 
 use crate::error::QuantError;
 
@@ -56,12 +56,17 @@ pub fn quantize_activations_int8(
     let gpr = x.cols() / group_size;
     let mut codes = vec![0i8; x.rows() * x.cols()];
     let mut scales = Vec::with_capacity(x.rows() * gpr);
+    // Per group: a vectorized max-|x| sweep, then a vectorized
+    // divide-round-clamp pass through the process kernel tier —
+    // bit-identical to the scalar fold + `quantize_symmetric_int` loop
+    // (see `mant_numerics::simd` for the exactness argument).
+    let d = kernels();
     for r in 0..x.rows() {
         let row = x.row(r);
         for g in 0..gpr {
             let lo = g * group_size;
             let group = &row[lo..lo + group_size];
-            let amax = abs_max(group);
+            let amax = d.abs_max(group);
             let scale = if amax == 0.0 {
                 1.0
             } else {
@@ -69,9 +74,7 @@ pub fn quantize_activations_int8(
             };
             scales.push(scale);
             let base = r * x.cols() + lo;
-            for (j, &v) in group.iter().enumerate() {
-                codes[base + j] = quantize_symmetric_int(v / scale, 127) as i8;
-            }
+            d.quantize_i8(group, scale, &mut codes[base..base + group_size]);
         }
     }
     Ok(ActivationTensor {
@@ -123,6 +126,16 @@ impl ActivationTensor {
         self.scales[r * self.groups_per_row() + g]
     }
 
+    /// All INT8 codes of row `r`, groups consecutive — the operand of the
+    /// grouped row-tile kernel sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row_codes(&self, r: usize) -> &[i8] {
+        &self.codes[r * self.cols..(r + 1) * self.cols]
+    }
+
     /// Dequantizes to f32.
     pub fn dequantize(&self) -> Matrix {
         let gpr = self.groups_per_row();
@@ -172,19 +185,22 @@ pub fn quantize_vector_int8(x: &[f32], group_size: usize) -> Result<QuantizedVec
             inner_dim: x.len(),
         });
     }
-    let mut codes = Vec::with_capacity(x.len());
+    let mut codes = vec![0i8; x.len()];
     let mut scales = Vec::with_capacity(x.len() / group_size);
-    for group in x.chunks_exact(group_size) {
-        let amax = abs_max(group);
+    // Same vectorized two-pass group quantization as the matrix path.
+    let d = kernels();
+    for (group, out) in x
+        .chunks_exact(group_size)
+        .zip(codes.chunks_exact_mut(group_size))
+    {
+        let amax = d.abs_max(group);
         let scale = if amax == 0.0 {
             1.0
         } else {
             quantize_fp16(amax / 127.0).max(f32::MIN_POSITIVE)
         };
         scales.push(scale);
-        for &v in group {
-            codes.push(quantize_symmetric_int(v / scale, 127) as i8);
-        }
+        d.quantize_i8(group, scale, out);
     }
     Ok(QuantizedVector {
         group_size,
@@ -222,6 +238,12 @@ impl QuantizedVector {
     pub fn group_codes(&self, g: usize) -> &[i8] {
         let lo = g * self.group_size;
         &self.codes[lo..lo + self.group_size]
+    }
+
+    /// All INT8 codes, groups consecutive — the operand of the grouped
+    /// row-tile kernel sweep.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
     }
 
     /// Scale of group `g`.

@@ -15,13 +15,13 @@
 //! INT option instead run a single plain MAC lane. The group scales
 //! `s_X · s_W` multiply the integer result afterwards, outside the array.
 
-use mant_numerics::{dot_packed, dot_packed_x4, int4_group_mac, mant_group_psums, unpack_nibbles};
+use mant_numerics::{int4_group_mac, kernels, mant_group_psums, unpack_nibbles, KernelDispatch};
 use mant_tensor::{gemm, matvec, Matrix};
 
 use crate::activation::{ActivationTensor, QuantizedVector};
 use crate::error::QuantError;
 use crate::mantq::{GroupDtype, GroupMeta, MantQuantizedMatrix};
-use crate::plan::pair_table;
+use crate::plan::kernel_table;
 
 /// Dispatches one group's integer dot product over **unpacked** (one code
 /// per byte) weights to the matching lane kernel: two-psum MANT
@@ -35,12 +35,14 @@ pub fn group_dot(meta: GroupMeta, xcodes: &[i8], wcodes: &[u8]) -> i64 {
     }
 }
 
-/// One group's integer dot product over **packed** nibble codes: a single
-/// pair-LUT walk with i32 in-group accumulation, bit-identical to
-/// [`group_dot`] on the unpacked codes. The primitive the K/V caches and
-/// the paged pool consume their storage with.
+/// One group's integer dot product over **packed** nibble codes through
+/// the process-wide kernel tier ([`fn@mant_numerics::kernels`]): a pair-LUT
+/// walk on the scalar tier, `pshufb`-decoded `pmaddwd` lanes on the SIMD
+/// tiers — bit-identical to [`group_dot`] on the unpacked codes either
+/// way. The primitive the K/V caches and the paged pool consume their
+/// storage with.
 pub fn group_dot_packed(meta: GroupMeta, xcodes: &[i8], wpacked: &[u8]) -> i64 {
-    dot_packed(xcodes, wpacked, pair_table(meta.dtype))
+    kernels().dot_packed(xcodes, wpacked, kernel_table(meta.dtype))
 }
 
 /// Computes `X · Wᵀ` entirely in integer arithmetic plus one scale multiply
@@ -69,6 +71,21 @@ pub fn group_dot_packed(meta: GroupMeta, xcodes: &[i8], wpacked: &[u8]) -> i64 {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn mant_gemm(x: &ActivationTensor, w: &MantQuantizedMatrix) -> Result<Matrix, QuantError> {
+    mant_gemm_with(kernels(), x, w)
+}
+
+/// [`mant_gemm`] through an explicit kernel tier — bit-identical across
+/// tiers; benches and differential tests use it to time or compare the
+/// scalar oracle against the detected SIMD tier in one process.
+///
+/// # Errors
+///
+/// As [`mant_gemm`].
+pub fn mant_gemm_with(
+    d: KernelDispatch,
+    x: &ActivationTensor,
+    w: &MantQuantizedMatrix,
+) -> Result<Matrix, QuantError> {
     if x.cols() != w.cols() {
         return Err(QuantError::ShapeMismatch {
             context: "activation inner dim vs weight inner dim",
@@ -90,29 +107,40 @@ pub fn mant_gemm(x: &ActivationTensor, w: &MantQuantizedMatrix) -> Result<Matrix
     // packed kernel. Each output element still accumulates its groups in
     // ascending order with the identical f64 expression, so the result is
     // bit-identical to the row-at-a-time GEMV.
+    // Resolve every activation row's per-group f64 scale once up front —
+    // they are re-swept for each of the n/4 weight tiles.
+    let xscales: Vec<Vec<f64>> = (0..m)
+        .map(|mi| (0..groups).map(|g| f64::from(x.scale(mi, g))).collect())
+        .collect();
+    let gs = w.group_size();
+    let mut gout = vec![[0i64; 4]; groups];
     let mut accs = vec![[0.0f64; 4]; m];
     let mut tile_lo = 0usize;
     while tile_lo < n {
         let tile = (n - tile_lo).min(4);
         accs.iter_mut().for_each(|a| *a = [0.0; 4]);
-        for g in 0..groups {
-            if tile == 4 {
-                let (wrows, luts, wscales) = w.tile4(tile_lo, g);
-                for (mi, acc) in accs.iter_mut().enumerate() {
-                    let ints = dot_packed_x4(x.group_codes(mi, g), wrows, luts);
-                    let xs = f64::from(x.scale(mi, g));
+        if tile == 4 {
+            let wrows = [0, 1, 2, 3].map(|lane| w.packed_row(tile_lo + lane));
+            let lrows = [0, 1, 2, 3].map(|lane| w.plan_row(tile_lo + lane));
+            let mrows = [0, 1, 2, 3].map(|lane| w.meta_row(tile_lo + lane));
+            for (mi, acc) in accs.iter_mut().enumerate() {
+                d.dot_packed_x4_groups(x.row_codes(mi), wrows, gs, lrows, &mut gout);
+                for (g, ints) in gout.iter().enumerate() {
+                    let xs = xscales[mi][g];
                     for lane in 0..4 {
-                        acc[lane] += xs * wscales[lane] * ints[lane] as f64;
+                        acc[lane] += xs * f64::from(mrows[lane][g].scale) * ints[lane] as f64;
                     }
                 }
-            } else {
+            }
+        } else {
+            for g in 0..groups {
                 for lane in 0..tile {
                     let ni = tile_lo + lane;
                     let wrow = w.packed_group_codes(ni, g);
                     let lut = w.plan_table(ni, g);
                     let ws = f64::from(w.meta(ni, g).scale);
                     for (mi, acc) in accs.iter_mut().enumerate() {
-                        let int_result = dot_packed(x.group_codes(mi, g), wrow, lut);
+                        let int_result = d.dot_packed(x.group_codes(mi, g), wrow, lut);
                         acc[lane] += f64::from(x.scale(mi, g)) * ws * int_result as f64;
                     }
                 }
@@ -145,6 +173,20 @@ pub fn mant_gemv_batch(
     xs: &[QuantizedVector],
     w: &MantQuantizedMatrix,
 ) -> Result<Vec<Vec<f32>>, QuantError> {
+    mant_gemv_batch_with(kernels(), xs, w)
+}
+
+/// [`mant_gemv_batch`] through an explicit kernel tier — bit-identical
+/// across tiers (see [`mant_gemm_with`]).
+///
+/// # Errors
+///
+/// As [`mant_gemv_batch`].
+pub fn mant_gemv_batch_with(
+    d: KernelDispatch,
+    xs: &[QuantizedVector],
+    w: &MantQuantizedMatrix,
+) -> Result<Vec<Vec<f32>>, QuantError> {
     for x in xs {
         if x.len() != w.cols() {
             return Err(QuantError::ShapeMismatch {
@@ -162,29 +204,41 @@ pub fn mant_gemv_batch(
     let mut out: Vec<Vec<f32>> = xs.iter().map(|_| vec![0.0f32; n]).collect();
     // Same cache-blocked tiling as [`mant_gemm`]: four weight rows per
     // sweep, each batch member's group codes loaded once per tile.
+    // Resolve every batch member's per-group f64 scale once up front —
+    // they are re-swept for each of the n/4 weight tiles.
+    let xscales: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|x| (0..groups).map(|g| f64::from(x.scale(g))).collect())
+        .collect();
+    let gs = w.group_size();
+    let mut gout = vec![[0i64; 4]; groups];
     let mut accs = vec![[0.0f64; 4]; xs.len()];
     let mut tile_lo = 0usize;
     while tile_lo < n {
         let tile = (n - tile_lo).min(4);
         accs.iter_mut().for_each(|a| *a = [0.0; 4]);
-        for g in 0..groups {
-            if tile == 4 {
-                let (wrows, luts, wscales) = w.tile4(tile_lo, g);
-                for (acc, x) in accs.iter_mut().zip(xs.iter()) {
-                    let ints = dot_packed_x4(x.group_codes(g), wrows, luts);
-                    let xs_scale = f64::from(x.scale(g));
+        if tile == 4 {
+            let wrows = [0, 1, 2, 3].map(|lane| w.packed_row(tile_lo + lane));
+            let lrows = [0, 1, 2, 3].map(|lane| w.plan_row(tile_lo + lane));
+            let mrows = [0, 1, 2, 3].map(|lane| w.meta_row(tile_lo + lane));
+            for ((acc, x), xsc) in accs.iter_mut().zip(xs.iter()).zip(xscales.iter()) {
+                d.dot_packed_x4_groups(x.codes(), wrows, gs, lrows, &mut gout);
+                for (g, ints) in gout.iter().enumerate() {
+                    let xs_scale = xsc[g];
                     for lane in 0..4 {
-                        acc[lane] += xs_scale * wscales[lane] * ints[lane] as f64;
+                        acc[lane] += xs_scale * f64::from(mrows[lane][g].scale) * ints[lane] as f64;
                     }
                 }
-            } else {
+            }
+        } else {
+            for g in 0..groups {
                 for lane in 0..tile {
                     let ni = tile_lo + lane;
                     let wrow = w.packed_group_codes(ni, g);
                     let lut = w.plan_table(ni, g);
                     let ws = f64::from(w.meta(ni, g).scale);
                     for (acc, x) in accs.iter_mut().zip(xs.iter()) {
-                        let int_result = dot_packed(x.group_codes(g), wrow, lut);
+                        let int_result = d.dot_packed(x.group_codes(g), wrow, lut);
                         acc[lane] += f64::from(x.scale(g)) * ws * int_result as f64;
                     }
                 }
@@ -226,6 +280,21 @@ pub fn mant_gemv_batch(
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn mant_gemv(x: &QuantizedVector, w: &MantQuantizedMatrix) -> Result<Vec<f32>, QuantError> {
+    mant_gemv_with(kernels(), x, w)
+}
+
+/// [`mant_gemv`] through an explicit kernel tier — bit-identical across
+/// tiers (see [`mant_gemm_with`]); the bench's SIMD-vs-scalar GEMV
+/// comparison runs both tiers through this entry in one process.
+///
+/// # Errors
+///
+/// As [`mant_gemv`].
+pub fn mant_gemv_with(
+    d: KernelDispatch,
+    x: &QuantizedVector,
+    w: &MantQuantizedMatrix,
+) -> Result<Vec<f32>, QuantError> {
     if x.len() != w.cols() {
         return Err(QuantError::ShapeMismatch {
             context: "activation vector length vs weight inner dim",
@@ -245,17 +314,24 @@ pub fn mant_gemv(x: &QuantizedVector, w: &MantQuantizedMatrix) -> Result<Vec<f32
     // accumulation inside the group, the decode plan's interned table per
     // group. Per-element accumulation order matches the row-at-a-time
     // formulation, so tiling changes no bit.
+    // The activation side is identical for every output row: resolve each
+    // group's f64 scale once, not once per 4-row tile; `gout` is the
+    // reused per-tile buffer of raw group dots from the grouped sweep.
+    let xscales: Vec<f64> = (0..groups).map(|g| f64::from(x.scale(g))).collect();
+    let mut gout = vec![[0i64; 4]; groups];
+    let gs = w.group_size();
     let mut tile_lo = 0usize;
     while tile_lo < n {
         let tile = (n - tile_lo).min(4);
         if tile == 4 {
+            let wrows = [0, 1, 2, 3].map(|lane| w.packed_row(tile_lo + lane));
+            let lrows = [0, 1, 2, 3].map(|lane| w.plan_row(tile_lo + lane));
+            let mrows = [0, 1, 2, 3].map(|lane| w.meta_row(tile_lo + lane));
+            d.dot_packed_x4_groups(x.codes(), wrows, gs, lrows, &mut gout);
             let mut acc = [0.0f64; 4];
-            for g in 0..groups {
-                let (wrows, luts, wscales) = w.tile4(tile_lo, g);
-                let ints = dot_packed_x4(x.group_codes(g), wrows, luts);
-                let xs = f64::from(x.scale(g));
+            for (g, (ints, &xs)) in gout.iter().zip(xscales.iter()).enumerate() {
                 for lane in 0..4 {
-                    acc[lane] += xs * wscales[lane] * ints[lane] as f64;
+                    acc[lane] += xs * f64::from(mrows[lane][g].scale) * ints[lane] as f64;
                 }
             }
             for lane in 0..4 {
@@ -265,7 +341,7 @@ pub fn mant_gemv(x: &QuantizedVector, w: &MantQuantizedMatrix) -> Result<Vec<f32
             for (ni, o) in out.iter_mut().enumerate().skip(tile_lo).take(tile) {
                 let mut acc = 0.0f64;
                 for g in 0..groups {
-                    let int_result = dot_packed(
+                    let int_result = d.dot_packed(
                         x.group_codes(g),
                         w.packed_group_codes(ni, g),
                         w.plan_table(ni, g),

@@ -16,7 +16,7 @@
 
 use mant_numerics::fp16::quantize_fp16;
 use mant_numerics::int::quantize_symmetric_int;
-use mant_numerics::int8_dot;
+use mant_numerics::kernels;
 use mant_tensor::ops::softmax_inplace;
 use mant_tensor::{abs_max, Matrix, RunningGroupStats};
 
@@ -442,7 +442,7 @@ impl VStaging {
             col8.clear();
             col8.extend(self.window.iter().map(|row| row[c]));
             let s8 = self.channel_scales[c].max(f32::MIN_POSITIVE);
-            let int_result = int8_dot(&pcodes, &col8);
+            let int_result = kernels().int8_dot(&pcodes, &col8);
             *o += (f64::from(pscale) * f64::from(s8) * int_result as f64) as f32;
         }
     }
@@ -813,18 +813,17 @@ fn validate_attention_shapes(
 /// single FP16-rounded scale; `None` when every probability is zero (the
 /// whole window then contributes nothing).
 pub(crate) fn quantize_probs_int8(probs: &[f32]) -> Option<(Vec<i8>, f32)> {
-    let amax = abs_max(probs);
+    // Vectorized through the process kernel tier, bit-identical to the
+    // scalar fold + per-element `quantize_symmetric_int` loop.
+    let d = kernels();
+    let amax = d.abs_max(probs);
     if amax == 0.0 {
         return None;
     }
     let scale = int8_scale(amax).max(f32::MIN_POSITIVE);
-    Some((
-        probs
-            .iter()
-            .map(|&p| quantize_symmetric_int(p / scale, 127) as i8)
-            .collect(),
-        scale,
-    ))
+    let mut codes = vec![0i8; probs.len()];
+    d.quantize_i8(probs, scale, &mut codes);
+    Some((codes, scale))
 }
 
 /// FP16-rounded INT8 scale for a given max magnitude.

@@ -55,8 +55,9 @@ pub use activation::{
 };
 pub use error::QuantError;
 pub use fused::{
-    dequant_then_gemm, dequant_then_gemv, group_dot, group_dot_packed, mant_gemm, mant_gemv,
-    mant_gemv_batch, mant_gemv_scalar, UnpackedWeights,
+    dequant_then_gemm, dequant_then_gemv, group_dot, group_dot_packed, mant_gemm, mant_gemm_with,
+    mant_gemv, mant_gemv_batch, mant_gemv_batch_with, mant_gemv_scalar, mant_gemv_with,
+    UnpackedWeights,
 };
 pub use kv::{KCacheQuantizer, VCacheQuantizer};
 pub use mantq::{GroupDtype, MantQuantizedMatrix, MantWeightQuantizer};

@@ -5,10 +5,10 @@ use mant_numerics::{int4_grid, Grid, Mant, MantCode, NumericsError};
 use mant_tensor::par::par_map_indexed;
 use mant_tensor::{abs_max, Matrix};
 
-use mant_numerics::PairLut;
+use mant_numerics::KernelLut;
 
 use crate::error::QuantError;
-use crate::plan::pair_table;
+use crate::plan::kernel_table;
 use crate::quantizer::FakeQuantizer;
 use crate::search::{select_group_dtype_weighted, CandidateSet};
 
@@ -190,8 +190,9 @@ impl GroupMeta {
 /// group padded to a byte boundary — which is the working representation
 /// the packed kernels consume directly; nothing unpacks on the forward
 /// path. Alongside the codes lives the matrix's **decode plan**: one
-/// interned `&'static` 256-entry pair-decode table per group
-/// ([`crate::plan::pair_table`]), resolved once at quantization and
+/// interned `&'static` kernel decode table per group
+/// ([`crate::plan::kernel_table`]: the 256-entry pair table plus the
+/// SIMD tiers' shuffle tables), resolved once at quantization and
 /// reused across every token and batch row.
 #[derive(Clone, Debug)]
 pub struct MantQuantizedMatrix {
@@ -201,8 +202,8 @@ pub struct MantQuantizedMatrix {
     /// Packed codes, `rows × groups_per_row × group_bytes` bytes.
     codes: Vec<u8>,
     meta: Vec<GroupMeta>,
-    /// The decode plan: `meta[i]`'s interned pair table, same indexing.
-    plan: Vec<&'static PairLut>,
+    /// The decode plan: `meta[i]`'s interned kernel table, same indexing.
+    plan: Vec<&'static KernelLut>,
 }
 
 impl MantQuantizedMatrix {
@@ -245,7 +246,7 @@ impl MantQuantizedMatrix {
 
     /// Finishes construction: resolves the decode plan from the metadata.
     fn assemble(w: &Matrix, group_size: usize, codes: Vec<u8>, meta: Vec<GroupMeta>) -> Self {
-        let plan = meta.iter().map(|m| pair_table(m.dtype)).collect();
+        let plan = meta.iter().map(|m| kernel_table(m.dtype)).collect();
         MantQuantizedMatrix {
             rows: w.rows(),
             cols: w.cols(),
@@ -373,34 +374,46 @@ impl MantQuantizedMatrix {
         &self.codes[base..base + gb]
     }
 
-    /// The interned pair-decode table of group `g` in row `r` — the
+    /// The interned kernel decode table of group `g` in row `r` — the
     /// matrix's decode plan, resolved once at quantization.
     ///
     /// # Panics
     ///
     /// Panics if out of bounds.
-    pub fn plan_table(&self, r: usize, g: usize) -> &'static PairLut {
+    pub fn plan_table(&self, r: usize, g: usize) -> &'static KernelLut {
         self.plan[r * self.groups_per_row() + g]
     }
 
-    /// Gathers group `g`'s packed codes, decode-plan tables, and f64
-    /// scales for the four consecutive rows starting at `tile_lo` — the
-    /// per-(tile, group) setup shared by every cache-blocked sweep in
-    /// `crate::fused`.
+    /// The full packed codes of row `r`, groups consecutive
+    /// (`groups_per_row() · group_bytes()` bytes) — the operand of the
+    /// grouped row-tile kernel sweep.
     ///
     /// # Panics
     ///
-    /// Panics if `tile_lo + 3` or `g` is out of bounds.
-    pub(crate) fn tile4(
-        &self,
-        tile_lo: usize,
-        g: usize,
-    ) -> ([&[u8]; 4], [&'static PairLut; 4], [f64; 4]) {
-        (
-            [0, 1, 2, 3].map(|lane| self.packed_group_codes(tile_lo + lane, g)),
-            [0, 1, 2, 3].map(|lane| self.plan_table(tile_lo + lane, g)),
-            [0, 1, 2, 3].map(|lane| f64::from(self.meta(tile_lo + lane, g).scale)),
-        )
+    /// Panics if out of bounds.
+    pub fn packed_row(&self, r: usize) -> &[u8] {
+        let rb = self.groups_per_row() * self.group_bytes();
+        &self.codes[r * rb..(r + 1) * rb]
+    }
+
+    /// Row `r`'s interned decode tables, one per group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn plan_row(&self, r: usize) -> &[&'static KernelLut] {
+        let gpr = self.groups_per_row();
+        &self.plan[r * gpr..(r + 1) * gpr]
+    }
+
+    /// Row `r`'s group metadata, one entry per group.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn meta_row(&self, r: usize) -> &[GroupMeta] {
+        let gpr = self.groups_per_row();
+        &self.meta[r * gpr..(r + 1) * gpr]
     }
 
     /// Dequantizes to an f32 matrix.
@@ -682,11 +695,11 @@ mod tests {
         assert!(m.scale > 0.0);
         assert_eq!(q.groups_per_row(), 2);
         // The decode plan resolves each group's dtype to its interned
-        // pair table.
+        // kernel table.
         let t = q.plan_table(1, 1);
         for b in 0..=255u8 {
-            assert_eq!(t[b as usize][0], m.dtype.decode(b & 0x0f) as i32);
-            assert_eq!(t[b as usize][1], m.dtype.decode(b >> 4) as i32);
+            assert_eq!(t.pair[b as usize][0], m.dtype.decode(b & 0x0f) as i32);
+            assert_eq!(t.pair[b as usize][1], m.dtype.decode(b >> 4) as i32);
         }
     }
 
