@@ -43,6 +43,7 @@ use std::time::{Duration, Instant};
 use mant_model::{PackedWeights, TransformerModel};
 use mant_serve::engine::EngineEvent;
 use mant_serve::{GenRequest, ServeConfig, ServeEngine, ServeReport, SubmitError};
+use mant_trace::{Aggregate, Collector, GaugeValue, ThreadEvents};
 
 use crate::http::{self, Limits, ParseError, Request};
 use crate::json::{escape, GenerateBody};
@@ -70,10 +71,21 @@ pub struct GatewayConfig {
     /// shutdown race), the worker stops waiting after this long and
     /// replies 503.
     pub first_event_timeout: Duration,
+    /// Enable `mant_trace` recording for this run: request/tick/kernel
+    /// spans feed the `/metrics` histograms, retained events feed the
+    /// Chrome dump (`MANT_TRACE_OUT=path`), and [`GatewayReport::metrics`]
+    /// carries the final aggregate. Off, `/metrics` still serves the
+    /// transport counters and live gauges, which are tracked in plain
+    /// atomics. Note the trace flag is process-global: two gateways in one
+    /// process share it (and the event registry), so keep traced gateways
+    /// one-per-process.
+    pub trace: bool,
 }
 
 impl GatewayConfig {
-    /// Loopback defaults around a given engine configuration.
+    /// Loopback defaults around a given engine configuration. Tracing
+    /// honors `MANT_TRACE=1` so examples and CI can switch it on without a
+    /// code change.
     pub fn new(serve: ServeConfig) -> GatewayConfig {
         GatewayConfig {
             addr: "127.0.0.1:0".to_owned(),
@@ -82,6 +94,7 @@ impl GatewayConfig {
             limits: Limits::default(),
             serve,
             first_event_timeout: Duration::from_secs(5),
+            trace: std::env::var("MANT_TRACE").is_ok_and(|v| v == "1"),
         }
     }
 }
@@ -126,6 +139,20 @@ struct Shared {
     accepted: AtomicU64,
     rejected_busy: AtomicU64,
     rejected_shutdown: AtomicU64,
+    /// Requests refused with 400 before submission (unparseable body).
+    rejected_parse: AtomicU64,
+    /// Requests the engine itself refused (typed [`SubmitError`] → 400/422).
+    rejected_submit: AtomicU64,
+    /// Live occupancy facts, stored by the ticker every loop so `/healthz`
+    /// and `/metrics` read them without touching the engine.
+    queued: AtomicU64,
+    active: AtomicU64,
+    used_blocks: AtomicU64,
+    free_blocks: AtomicU64,
+    /// Accumulates drained trace events across `/metrics` scrapes and the
+    /// final report. Locked only while scraping/collecting — never on a
+    /// recording hot path.
+    collector: Mutex<Collector>,
 }
 
 /// Live view of a running gateway, passed to the `body` closure of
@@ -162,6 +189,18 @@ pub struct GatewayReport {
     pub rejected_busy: u64,
     /// Submissions refused with 503 because shutdown had begun.
     pub rejected_shutdown: u64,
+    /// Requests refused with 400 because the body did not parse.
+    pub rejected_parse: u64,
+    /// Requests the engine refused at submission (400/422).
+    pub rejected_submit: u64,
+    /// Final metrics aggregate: every trace counter/gauge/histogram the
+    /// run produced, plus the authoritative transport counters. The same
+    /// data `/metrics` served, as values instead of text.
+    pub metrics: Aggregate,
+    /// Raw per-thread span events retained for the run (empty unless
+    /// [`GatewayConfig::trace`]); render with
+    /// [`mant_trace::chrome_trace_json`].
+    pub trace_events: Vec<ThreadEvents>,
 }
 
 /// Runs the gateway: binds, spawns the ticker and worker threads, calls
@@ -180,6 +219,9 @@ pub fn serve<R>(
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
 
+    if config.trace {
+        mant_trace::set_enabled(true);
+    }
     let shared = Shared {
         shutdown: AtomicBool::new(false),
         ticker_done: AtomicBool::new(false),
@@ -187,27 +229,44 @@ pub fn serve<R>(
         accepted: AtomicU64::new(0),
         rejected_busy: AtomicU64::new(0),
         rejected_shutdown: AtomicU64::new(0),
+        rejected_parse: AtomicU64::new(0),
+        rejected_submit: AtomicU64::new(0),
+        queued: AtomicU64::new(0),
+        active: AtomicU64::new(0),
+        used_blocks: AtomicU64::new(0),
+        free_blocks: AtomicU64::new(0),
+        collector: Mutex::new(Collector::new(config.trace)),
     };
     let (sub_tx, sub_rx) = mpsc::sync_channel::<Submission>(config.queue_depth);
     let (ctl_tx, ctl_rx) = mpsc::channel::<Control>();
     let report_slot: Mutex<Option<ServeReport>> = Mutex::new(None);
 
     let result = thread::scope(|scope| {
-        scope.spawn(|| {
-            ticker(
-                model,
-                packed,
-                &config,
-                &shared,
-                sub_rx,
-                ctl_rx,
-                &report_slot,
-            );
-        });
-        for _ in 0..config.workers.max(1) {
+        // Threads are named so the Chrome trace's tracks read as
+        // `ticker` / `worker-N`, not `thread-N`.
+        thread::Builder::new()
+            .name("ticker".to_owned())
+            .spawn_scoped(scope, || {
+                ticker(
+                    model,
+                    packed,
+                    &config,
+                    &shared,
+                    sub_rx,
+                    ctl_rx,
+                    &report_slot,
+                );
+            })
+            .expect("spawn ticker thread");
+        for i in 0..config.workers.max(1) {
             let sub_tx = sub_tx.clone();
             let ctl_tx = ctl_tx.clone();
-            scope.spawn(|| worker(&listener, &config, &shared, sub_tx, ctl_tx));
+            thread::Builder::new()
+                .name(format!("worker-{i}"))
+                .spawn_scoped(scope, || {
+                    worker(&listener, &config, &shared, sub_tx, ctl_tx)
+                })
+                .expect("spawn worker thread");
         }
         // The scope's own clones keep the channels alive until here; drop
         // them so the ticker sees disconnection once the workers finish.
@@ -237,7 +296,34 @@ pub fn serve<R>(
         .expect("the ticker always stores a final report");
     let rejected_busy = shared.rejected_busy.load(Ordering::SeqCst);
     let rejected_shutdown = shared.rejected_shutdown.load(Ordering::SeqCst);
-    serve_report.rejected_requests = (rejected_busy + rejected_shutdown) as usize;
+    let rejected_parse = shared.rejected_parse.load(Ordering::SeqCst);
+    let rejected_submit = shared.rejected_submit.load(Ordering::SeqCst);
+    // Every request refused before producing a token, whatever the layer:
+    // queue sheds, shutdown refusals, parse failures, engine rejections.
+    serve_report.rejected_requests =
+        (rejected_busy + rejected_shutdown + rejected_parse + rejected_submit) as usize;
+
+    // Final trace sweep: whatever the threads recorded after the last
+    // scrape, folded in before the registry goes quiet.
+    let (metrics, trace_events) = {
+        let mut collector = shared.collector.lock().unwrap_or_else(|e| e.into_inner());
+        collector.collect();
+        (
+            merged_aggregate(&collector.agg, &shared),
+            std::mem::take(&mut collector.threads),
+        )
+    };
+    if config.trace {
+        mant_trace::set_enabled(false);
+        if let Ok(path) = std::env::var("MANT_TRACE_OUT") {
+            if !path.is_empty() {
+                if let Err(e) = std::fs::write(&path, mant_trace::chrome_trace_json(&trace_events))
+                {
+                    eprintln!("gateway: could not write MANT_TRACE_OUT={path}: {e}");
+                }
+            }
+        }
+    }
     Ok((
         result,
         GatewayReport {
@@ -245,8 +331,56 @@ pub fn serve<R>(
             accepted: shared.accepted.load(Ordering::SeqCst),
             rejected_busy,
             rejected_shutdown,
+            rejected_parse,
+            rejected_submit,
+            metrics,
+            trace_events,
         },
     ))
+}
+
+/// An aggregate snapshot with the transport-level counters and live
+/// occupancy gauges overlaid from `shared`'s atomics — authoritative even
+/// when tracing is off, and free of double counting when it is on (the
+/// atomics *are* the source; the trace stream never records these labels).
+fn merged_aggregate(agg: &Aggregate, shared: &Shared) -> Aggregate {
+    let mut agg = agg.clone();
+    let counters: [(&'static str, u64); 5] = [
+        ("requests.shed", shared.rejected_busy.load(Ordering::SeqCst)),
+        ("gateway.accepted", shared.accepted.load(Ordering::SeqCst)),
+        (
+            "gateway.rejected_parse",
+            shared.rejected_parse.load(Ordering::SeqCst),
+        ),
+        (
+            "gateway.rejected_submit",
+            shared.rejected_submit.load(Ordering::SeqCst),
+        ),
+        (
+            "gateway.rejected_shutdown",
+            shared.rejected_shutdown.load(Ordering::SeqCst),
+        ),
+    ];
+    for (label, v) in counters {
+        agg.counters.insert(label, v);
+    }
+    let now = mant_trace::now_ns();
+    let gauges: [(&'static str, u64); 4] = [
+        ("queue.depth", shared.queued.load(Ordering::SeqCst)),
+        ("sequences.active", shared.active.load(Ordering::SeqCst)),
+        (
+            "pool.used_blocks",
+            shared.used_blocks.load(Ordering::SeqCst),
+        ),
+        (
+            "pool.free_blocks",
+            shared.free_blocks.load(Ordering::SeqCst),
+        ),
+    ];
+    for (label, value) in gauges {
+        agg.gauges.insert(label, GaugeValue { at_ns: now, value });
+    }
+    agg
 }
 
 /// The engine loop: single-threaded ownership of the [`ServeEngine`],
@@ -360,6 +494,21 @@ fn ticker(
                 }
             }
         }
+
+        // Publish live occupancy for `/healthz` and `/metrics` — workers
+        // read atomics, never the engine.
+        shared
+            .queued
+            .store(engine.queued() as u64, Ordering::SeqCst);
+        shared
+            .active
+            .store(engine.running() as u64, Ordering::SeqCst);
+        shared
+            .used_blocks
+            .store(engine.used_blocks() as u64, Ordering::SeqCst);
+        shared
+            .free_blocks
+            .store(engine.free_blocks() as u64, Ordering::SeqCst);
 
         if shutting_down && engine.pending() == 0 {
             break;
@@ -477,7 +626,19 @@ fn route(
             } else {
                 "ok"
             };
-            let body = format!("{{\"status\":\"{status}\"}}");
+            // Operational facts a probe wants in one read: the dispatched
+            // kernel tier, pool capacity/occupancy, and queue depth.
+            let body = format!(
+                "{{\"status\":\"{status}\",\"kernel\":\"{}\",\"pool_blocks\":{},\
+                 \"used_blocks\":{},\"free_blocks\":{},\"queue_depth\":{},\
+                 \"active_sequences\":{}}}",
+                mant_numerics::kernels().name(),
+                config.serve.pool_blocks,
+                shared.used_blocks.load(Ordering::SeqCst),
+                shared.free_blocks.load(Ordering::SeqCst),
+                shared.queued.load(Ordering::SeqCst),
+                shared.active.load(Ordering::SeqCst),
+            );
             http::write_response(
                 writer,
                 200,
@@ -489,17 +650,21 @@ fn route(
             Ok(false)
         }
         ("GET", "/metrics") => {
-            let body = format!(
-                "{{\"accepted\":{},\"rejected_busy\":{},\"rejected_shutdown\":{}}}",
-                shared.accepted.load(Ordering::SeqCst),
-                shared.rejected_busy.load(Ordering::SeqCst),
-                shared.rejected_shutdown.load(Ordering::SeqCst),
-            );
+            // Drain the trace registry into the shared collector, overlay
+            // the authoritative transport counters and live gauges, and
+            // render Prometheus text. Works — minus trace-fed histograms —
+            // with tracing off.
+            let agg = {
+                let mut c = shared.collector.lock().unwrap_or_else(|e| e.into_inner());
+                c.collect();
+                merged_aggregate(&c.agg, shared)
+            };
+            let body = mant_trace::prometheus_text(&agg);
             http::write_response(
                 writer,
                 200,
                 "OK",
-                "application/json",
+                "text/plain; version=0.0.4",
                 body.as_bytes(),
                 keep_alive,
             )?;
@@ -544,9 +709,18 @@ fn generate(
     sub_tx: &SyncSender<Submission>,
     ctl_tx: &Sender<Control>,
 ) -> io::Result<bool> {
-    let body = match GenerateBody::parse(&request.body) {
+    // Declared first so it drops last: the whole request lifecycle is one
+    // span, with parse / queue-wait / stream phases nested inside it on
+    // this worker's track.
+    let _req_span = mant_trace::span("request");
+    let parsed = {
+        let _parse_span = mant_trace::span("request.parse");
+        GenerateBody::parse(&request.body)
+    };
+    let body = match parsed {
         Ok(b) => b,
         Err(msg) => {
+            shared.rejected_parse.fetch_add(1, Ordering::SeqCst);
             let body = format!("{{\"error\":\"{}\"}}", escape(&msg));
             http::write_response(
                 writer,
@@ -587,6 +761,9 @@ fn generate(
             .map(|ms| Instant::now() + Duration::from_millis(ms)),
         events: event_tx,
     };
+    // Spans the client-visible admission wait: submission channel +
+    // engine queue, ending when `Queued` arrives (or at the refusal).
+    let queue_span = mant_trace::span("request.queue_wait");
     match sub_tx.try_send(submission) {
         Ok(()) => {}
         Err(TrySendError::Full(_)) => {
@@ -620,8 +797,9 @@ fn generate(
     // ticker's final channel drain): the dropped sender surfaces as a
     // recv error, and a hard timeout covers any remaining window.
     match event_rx.recv_timeout(config.first_event_timeout) {
-        Ok(SeqEvent::Queued) => {}
+        Ok(SeqEvent::Queued) => drop(queue_span),
         Ok(SeqEvent::Rejected(err)) => {
+            shared.rejected_submit.fetch_add(1, Ordering::SeqCst);
             let (status, reason) = match err {
                 SubmitError::ExceedsPool { .. } => (422, "Unprocessable Content"),
                 _ => (400, "Bad Request"),
@@ -653,6 +831,7 @@ fn generate(
     }
 
     // Admitted: stream. From here the connection closes when we are done.
+    let _stream_span = mant_trace::span("request.stream");
     http::write_sse_preamble(writer)?;
     let mut tokens = 0usize;
     loop {

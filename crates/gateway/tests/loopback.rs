@@ -49,7 +49,7 @@ fn wait_accepted(addr: SocketAddr, n: u64) {
     loop {
         let (status, metrics) = client::get(addr, "/metrics").unwrap();
         assert_eq!(status, 200);
-        if metrics.contains(&format!("\"accepted\":{n},")) {
+        if metrics.contains(&format!("mant_gateway_accepted_total {n}\n")) {
             return;
         }
         assert!(
@@ -182,7 +182,7 @@ fn overload_sheds_429_without_stalling() {
             let deadline = Instant::now() + Duration::from_secs(10);
             loop {
                 let (_, metrics) = client::get(addr, "/metrics").unwrap();
-                if metrics.contains("\"rejected_busy\":1,") {
+                if metrics.contains("mant_requests_total{outcome=\"shed\"} 1\n") {
                     break;
                 }
                 assert!(Instant::now() < deadline, "no shed observed: {metrics}");
@@ -243,11 +243,13 @@ fn wall_deadline_expires_queued_request_unticked() {
     let (outcomes, report) =
         mant_gateway::serve(&model, &packed, GatewayConfig::new(serve_cfg(1)), |gw| {
             let addr = gw.addr();
-            let long_body = body(&long, 40, None);
+            let long_body = body(&long, 160, None);
             let t_long = thread::spawn(move || client::generate(addr, &long_body).unwrap());
             wait_accepted(addr, 1);
-            // Queued behind a ~40-iteration generation with a 30 ms
-            // deadline: expires in the scheduler.
+            // Queued behind a ~160-iteration generation with a 30 ms
+            // deadline: expires in the scheduler. The long run must
+            // comfortably outlast the deadline even on a host where the
+            // SIMD kernels decode a token in ~0.5 ms.
             let doomed = client::generate(addr, &body(&prompt(1, 6), 8, Some(30))).unwrap();
             vec![t_long.join().unwrap(), doomed]
         })
@@ -255,7 +257,7 @@ fn wall_deadline_expires_queued_request_unticked() {
 
     let (long_out, doomed) = (&outcomes[0], &outcomes[1]);
     assert_eq!(long_out.terminal, Terminal::Done);
-    assert_eq!(long_out.tokens.len(), 40);
+    assert_eq!(long_out.tokens.len(), 160);
     assert_eq!(doomed.terminal, Terminal::Expired);
     assert!(doomed.tokens.is_empty(), "expired before any token");
     assert_eq!(report.serve.expired_requests, 1);

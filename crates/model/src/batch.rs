@@ -426,6 +426,13 @@ impl BatchRunner<'_> {
         let w = &self.model.weights;
         let g = self.packed.group_size();
 
+        // Per-tick aggregate kernel buckets: when tracing is on, each
+        // kernel family accumulates nanoseconds across all layers and one
+        // span per bucket is emitted at the end of the step — never one
+        // per call.
+        let prof = mant_trace::enabled();
+        let (mut t_gemm, mut t_attn, mut t_kv, mut t_gemv) = (0u64, 0u64, 0u64, 0u64);
+
         let mut xs: Vec<Vec<f32>> = batch
             .iter()
             .map(|&(_, token)| w.embedding.row(token).to_vec())
@@ -436,35 +443,40 @@ impl BatchRunner<'_> {
 
             // --- Attention block ---
             let xqs = quantize_batch(xs.iter().map(|x| rmsnorm(x, &layer.attn_norm, 1e-5)), g);
-            let qs = pl.wq.matmul(&xqs);
-            let ks = pl.wk.matmul(&xqs);
-            let vs = pl.wv.matmul(&xqs);
+            let (qs, ks, vs) = timed(prof, &mut t_gemm, || {
+                (pl.wq.matmul(&xqs), pl.wk.matmul(&xqs), pl.wv.matmul(&xqs))
+            });
             let (slots, pool) = (&mut self.slots, &mut self.pool);
-            for (i, &(id, _)) in batch.iter().enumerate() {
-                let session = slots[id.slot].as_mut().expect("validated above");
-                if let Err(e) = session.caches[li].push(pool, &ks[i], &vs[i]) {
-                    panic!(
-                        "{e} during a batch step; admission control must reserve \
-                         blocks_for_request() blocks before scheduling a sequence"
-                    );
+            timed(prof, &mut t_kv, || {
+                for (i, &(id, _)) in batch.iter().enumerate() {
+                    let session = slots[id.slot].as_mut().expect("validated above");
+                    if let Err(e) = session.caches[li].push(pool, &ks[i], &vs[i]) {
+                        panic!(
+                            "{e} during a batch step; admission control must reserve \
+                             blocks_for_request() blocks before scheduling a sequence"
+                        );
+                    }
                 }
-            }
-            let attns: Vec<Vec<f32>> = batch
-                .iter()
-                .zip(qs.iter())
-                .map(|(&(id, _), q)| {
-                    let session = self.slots[id.slot].as_ref().expect("validated above");
-                    attention_incremental_paged(
-                        q,
-                        &session.caches[li],
-                        &self.pool,
-                        cfg.heads,
-                        cfg.kv_heads,
-                        cfg.head_dim(),
-                    )
-                })
-                .collect();
-            let os = pl.wo.matmul(&quantize_batch(attns.into_iter(), g));
+            });
+            let attns: Vec<Vec<f32>> = timed(prof, &mut t_attn, || {
+                batch
+                    .iter()
+                    .zip(qs.iter())
+                    .map(|(&(id, _), q)| {
+                        let session = self.slots[id.slot].as_ref().expect("validated above");
+                        attention_incremental_paged(
+                            q,
+                            &session.caches[li],
+                            &self.pool,
+                            cfg.heads,
+                            cfg.kv_heads,
+                            cfg.head_dim(),
+                        )
+                    })
+                    .collect()
+            });
+            let attns_q = quantize_batch(attns.into_iter(), g);
+            let os = timed(prof, &mut t_gemm, || pl.wo.matmul(&attns_q));
             for (x, o) in xs.iter_mut().zip(os.iter()) {
                 for (xi, oi) in x.iter_mut().zip(o.iter()) {
                     *xi += oi;
@@ -476,8 +488,9 @@ impl BatchRunner<'_> {
             let hs: Vec<Vec<f32>> = match cfg.ffn_kind {
                 FfnKind::GatedSilu => {
                     let gate_w = pl.w_gate.as_ref().expect("gated model packs a gate");
-                    let gates = gate_w.matmul(&xnq);
-                    let ups = pl.w_up.matmul(&xnq);
+                    let (gates, ups) = timed(prof, &mut t_gemm, || {
+                        (gate_w.matmul(&xnq), pl.w_up.matmul(&xnq))
+                    });
                     gates
                         .iter()
                         .zip(ups.iter())
@@ -490,13 +503,14 @@ impl BatchRunner<'_> {
                         .collect()
                 }
                 FfnKind::PlainGelu => {
-                    let ups = pl.w_up.matmul(&xnq);
+                    let ups = timed(prof, &mut t_gemm, || pl.w_up.matmul(&xnq));
                     ups.iter()
                         .map(|up| up.iter().map(|&u| gelu(u)).collect())
                         .collect()
                 }
             };
-            let ffs = pl.w_down.matmul(&quantize_batch(hs.into_iter(), g));
+            let hs_q = quantize_batch(hs.into_iter(), g);
+            let ffs = timed(prof, &mut t_gemm, || pl.w_down.matmul(&hs_q));
             for (x, ff) in xs.iter_mut().zip(ffs.iter()) {
                 for (xi, fi) in x.iter_mut().zip(ff.iter()) {
                     *xi += fi;
@@ -512,7 +526,18 @@ impl BatchRunner<'_> {
         }
         let finals: Vec<Vec<f32>> = xs.iter().map(|x| rmsnorm(x, &w.final_norm, 1e-5)).collect();
         let final_refs: Vec<&[f32]> = finals.iter().map(Vec::as_slice).collect();
-        matvec_batch(&w.lm_head, &final_refs)
+        let logits = timed(prof, &mut t_gemv, || matvec_batch(&w.lm_head, &final_refs));
+        if prof {
+            // Laid end-to-end ending now, so the buckets nest inside the
+            // caller's enclosing step span.
+            mant_trace::tail_spans(&[
+                ("kernel.gemm", t_gemm),
+                ("kernel.attn", t_attn),
+                ("kernel.kv_quant", t_kv),
+                ("kernel.gemv", t_gemv),
+            ]);
+        }
+        logits
     }
 
     /// The KV quantization group size.
@@ -536,6 +561,20 @@ impl BatchRunner<'_> {
 fn quantize_batch(xs: impl Iterator<Item = Vec<f32>>, group: usize) -> Vec<QuantizedVector> {
     xs.map(|x| quantize_vector_int8(&x, group).expect("group size divides the activation length"))
         .collect()
+}
+
+/// Runs `f`, adding its wall nanoseconds into `acc` when `prof` is on —
+/// the accumulator behind the per-tick kernel buckets. With profiling off
+/// this is a plain call: no clock reads.
+#[inline]
+fn timed<T>(prof: bool, acc: &mut u64, f: impl FnOnce() -> T) -> T {
+    if !prof {
+        return f();
+    }
+    let t0 = std::time::Instant::now();
+    let out = f();
+    *acc += t0.elapsed().as_nanos() as u64;
+    out
 }
 
 #[cfg(test)]

@@ -225,6 +225,7 @@ impl KvCachePool {
         let id = self.free.pop()?;
         debug_assert_eq!(self.refs[id as usize], 0, "free block with live refs");
         self.refs[id as usize] = 1;
+        mant_trace::counter("pool.block_allocs", 1);
         Some(id)
     }
 
@@ -435,6 +436,7 @@ impl PagedKvCache {
         pool.copy_block(b, nb);
         pool.release_block(b);
         self.blocks[idx] = nb;
+        mant_trace::counter("pool.cow_copies", 1);
     }
 
     /// Quantizes and appends one decode step's key and value vectors,

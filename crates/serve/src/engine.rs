@@ -35,8 +35,9 @@ use std::collections::HashMap;
 use std::time::Instant;
 
 use mant_model::{ActMode, BatchRunner, KvMode, PackedWeights, SessionId, TransformerModel};
+use mant_trace::Hist;
 
-use crate::metrics::ServeReport;
+use crate::metrics::{LatencyBreakdown, ServeReport};
 use crate::request::{Completion, GenRequest, SubmitError};
 use crate::scheduler::FcfsScheduler;
 
@@ -190,6 +191,13 @@ pub struct ServeEngine<'m> {
     vocab: usize,
     events_enabled: bool,
     events: Vec<EngineEvent>,
+    /// Always-on wall-clock latency histograms (tick phases + request
+    /// latencies); cloned into every [`ServeReport`].
+    breakdown: LatencyBreakdown,
+    /// Wall-clock submission instants of in-flight requests, for
+    /// queue-wait / TTFT / E2E samples. Entries leave on completion,
+    /// cancellation, and expiry.
+    submit_times: HashMap<u64, Instant>,
 }
 
 /// Why [`ServeEngine::remove_request`] is pulling a request out of the
@@ -245,6 +253,8 @@ impl<'m> ServeEngine<'m> {
             vocab: model.config.vocab,
             events_enabled: false,
             events: Vec::new(),
+            breakdown: LatencyBreakdown::default(),
+            submit_times: HashMap::new(),
         }
     }
 
@@ -281,7 +291,10 @@ impl<'m> ServeEngine<'m> {
         {
             return Err(SubmitError::DuplicateId { id: req.id });
         }
-        self.scheduler.submit(req)
+        let id = req.id;
+        self.scheduler.submit(req)?;
+        self.submit_times.insert(id, Instant::now());
+        Ok(())
     }
 
     /// Enqueues a request.
@@ -349,13 +362,16 @@ impl<'m> ServeEngine<'m> {
             false
         };
         if found {
+            self.submit_times.remove(&id);
             match reason {
                 RemoveReason::Expired => {
                     self.expired_requests += 1;
+                    mant_trace::counter("requests.expired", 1);
                     self.push_event(EngineEvent::Expired { id });
                 }
                 RemoveReason::Cancelled => {
                     self.cancelled_requests += 1;
+                    mant_trace::counter("requests.cancelled", 1);
                     self.push_event(EngineEvent::Cancelled { id });
                 }
             }
@@ -370,7 +386,9 @@ impl<'m> ServeEngine<'m> {
     fn expire_due(&mut self) {
         for req in self.scheduler.take_expired(self.iter) {
             self.resume.remove(&req.id);
+            self.submit_times.remove(&req.id);
             self.expired_requests += 1;
+            mant_trace::counter("requests.expired", 1);
             self.push_event(EngineEvent::Expired { id: req.id });
         }
         let due: Vec<u64> = self
@@ -423,13 +441,18 @@ impl<'m> ServeEngine<'m> {
     /// One engine iteration (admit → relieve → compose → step → advance);
     /// returns the number of tokens generated this iteration. With
     /// nothing runnable, the clock still advances by one (an idle
-    /// iteration).
+    /// iteration). Busy ticks record their phase timings into the
+    /// always-on [`LatencyBreakdown`] and, when global tracing is enabled,
+    /// emit the matching `tick.*` spans.
     pub fn tick(&mut self) -> usize {
+        let t_tick = Instant::now();
         self.expire_due();
+        let t_expired = Instant::now();
         self.admit();
         if let AdmissionPolicy::Watermark { .. } = self.admission {
             self.relieve_pressure();
         }
+        let t_admitted = Instant::now();
         // Sampled after the pressure valve, so a sequence admitted and
         // preempted in the same tick (which never ran a step) does not
         // inflate the concurrency peak.
@@ -443,7 +466,9 @@ impl<'m> ServeEngine<'m> {
             .iter()
             .map(|s| (s.sid, s.feed_token()))
             .collect();
+        let t_composed = Instant::now();
         let logits = self.runner.step(&batch);
+        let t_stepped = Instant::now();
         self.iter += 1;
         self.busy_iterations += 1;
         self.occupancy_sum += batch.len() as u64;
@@ -451,6 +476,7 @@ impl<'m> ServeEngine<'m> {
 
         let mut produced = 0usize;
         let mut finished: Vec<usize> = Vec::new();
+        let mut first_tokens: Vec<u64> = Vec::new();
         let mut token_events: Vec<EngineEvent> = Vec::new();
         for (i, seq_logits) in logits.iter().enumerate() {
             let s = &mut self.active[i];
@@ -471,7 +497,10 @@ impl<'m> ServeEngine<'m> {
                 // token.
                 let token = argmax(seq_logits);
                 s.generated.push(token);
-                s.first_token_iter.get_or_insert(self.iter);
+                if s.first_token_iter.is_none() {
+                    s.first_token_iter = Some(self.iter);
+                    first_tokens.push(s.req.id);
+                }
                 produced += 1;
                 self.generated_tokens += 1;
                 if self.events_enabled {
@@ -486,6 +515,13 @@ impl<'m> ServeEngine<'m> {
             }
         }
         self.events.extend(token_events);
+        for id in first_tokens {
+            if let Some(t0) = self.submit_times.get(&id) {
+                let ns = t0.elapsed().as_nanos() as u64;
+                self.breakdown.ttft.record(ns);
+                mant_trace::sample("ttft", ns);
+            }
+        }
         if self.prefix_sharing {
             // Register every block boundary prefill crosses: committed
             // blocks are immutable, so the snapshot is free to share.
@@ -501,6 +537,12 @@ impl<'m> ServeEngine<'m> {
             let s = self.active.remove(i);
             self.runner.end_session(s.sid);
             self.reserved_blocks -= s.reserved;
+            if let Some(t0) = self.submit_times.remove(&s.req.id) {
+                let ns = t0.elapsed().as_nanos() as u64;
+                self.breakdown.e2e.record(ns);
+                mant_trace::sample("e2e", ns);
+            }
+            mant_trace::counter("requests.done", 1);
             self.push_event(EngineEvent::Finished { id: s.req.id });
             self.completions.push(Completion {
                 id: s.req.id,
@@ -512,6 +554,35 @@ impl<'m> ServeEngine<'m> {
                 finish_iter: self.iter,
             });
         }
+        let t_advanced = Instant::now();
+        note_phase(&mut self.breakdown.expire, "tick.expire", t_tick, t_expired);
+        note_phase(
+            &mut self.breakdown.admit,
+            "tick.admit",
+            t_expired,
+            t_admitted,
+        );
+        note_phase(
+            &mut self.breakdown.compose,
+            "tick.compose",
+            t_admitted,
+            t_composed,
+        );
+        note_phase(&mut self.breakdown.step, "tick.step", t_composed, t_stepped);
+        note_phase(
+            &mut self.breakdown.advance,
+            "tick.advance",
+            t_stepped,
+            t_advanced,
+        );
+        note_phase(&mut self.breakdown.tick, "tick", t_tick, t_advanced);
+        if produced > 0 {
+            mant_trace::counter("tokens.generated", produced as u64);
+        }
+        mant_trace::gauge("queue.depth", self.scheduler.waiting() as u64);
+        mant_trace::gauge("sequences.active", self.active.len() as u64);
+        mant_trace::gauge("pool.used_blocks", self.runner.pool().used_blocks() as u64);
+        mant_trace::gauge("pool.free_blocks", self.runner.pool().free_blocks() as u64);
         produced
     }
 
@@ -558,6 +629,18 @@ impl<'m> ServeEngine<'m> {
             rejected_requests: 0,
             pool_blocks: self.runner.pool().total_blocks(),
             block_bits: self.runner.pool().block_bits(),
+            breakdown: self.breakdown.clone(),
+        }
+    }
+
+    /// Records the submit → first-admission wait for `id` into the
+    /// breakdown (no-op when the submit instant is unknown, e.g. a request
+    /// injected by tests around `try_submit`).
+    fn note_queue_wait(&mut self, id: u64) {
+        if let Some(t0) = self.submit_times.get(&id) {
+            let ns = t0.elapsed().as_nanos() as u64;
+            self.breakdown.queue_wait.record(ns);
+            mant_trace::sample("queue_wait", ns);
         }
     }
 
@@ -575,6 +658,7 @@ impl<'m> ServeEngine<'m> {
                         break; // wait for blocks, never skip ahead
                     }
                     let req = self.scheduler.pop().expect("peeked above");
+                    self.note_queue_wait(req.id);
                     let sid = self.runner.create_session();
                     self.reserved_blocks += need;
                     self.prefill_tokens += req.prompt.len();
@@ -640,6 +724,11 @@ impl<'m> ServeEngine<'m> {
                         break;
                     }
                     let req = self.scheduler.pop().expect("peeked above");
+                    if !self.resume.contains_key(&req.id) {
+                        // First admission only: a readmission after
+                        // preemption is not queueing delay.
+                        self.note_queue_wait(req.id);
+                    }
                     let (sid, cached) = if self.prefix_sharing {
                         self.runner.create_session_with_prefix(&lookup)
                     } else {
@@ -712,6 +801,7 @@ impl<'m> ServeEngine<'m> {
         let s = self.active.remove(idx);
         self.runner.end_session(s.sid);
         self.preemptions += 1;
+        mant_trace::counter("preemptions", 1);
         self.resume.insert(
             s.req.id,
             ResumeState {
@@ -725,6 +815,14 @@ impl<'m> ServeEngine<'m> {
             .submit(s.req)
             .expect("a running request was valid at first submission");
     }
+}
+
+/// Records one tick phase: the duration lands in the always-on breakdown
+/// histogram and, when tracing is enabled, as a wall-positioned span.
+fn note_phase(hist: &mut Hist, label: &'static str, start: Instant, end: Instant) {
+    let ns = end.duration_since(start).as_nanos() as u64;
+    hist.record(ns);
+    mant_trace::span_at(label, start, ns);
 }
 
 /// Greedy sampling: index of the largest logit (first wins ties) — shared

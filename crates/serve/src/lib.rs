@@ -77,7 +77,7 @@ pub mod scheduler;
 pub use engine::{
     argmax, sequential_generate, AdmissionPolicy, EngineEvent, ServeConfig, ServeEngine,
 };
-pub use metrics::{percentile, Percentiles, ServeReport};
+pub use metrics::{percentile, LatencyBreakdown, Percentiles, ServeReport};
 pub use request::{
     requests_from_shared_trace, requests_from_trace, Completion, GenRequest, SubmitError,
 };

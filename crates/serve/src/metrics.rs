@@ -1,6 +1,40 @@
 //! Serving metrics: throughput, latency percentiles, batch occupancy.
 
+use mant_trace::Hist;
+
 use crate::request::Completion;
+
+/// Histogram-backed wall-clock latency breakdown, recorded by the engine
+/// on every tick regardless of whether global tracing is enabled — the
+/// per-tick cost is a handful of `Instant` reads against a multi-
+/// millisecond model step. All histograms are log₂-bucketed
+/// ([`mant_trace::Hist`]) over **nanoseconds**; idle ticks (nothing
+/// runnable) are not recorded, so the tick-phase histograms describe real
+/// work, not spin.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyBreakdown {
+    /// Submission → first generated token, per completed request.
+    pub ttft: Hist,
+    /// Submission → retirement, per completed request.
+    pub e2e: Hist,
+    /// Submission → *first* admission into the batch, per request
+    /// (readmissions after preemption do not re-record).
+    pub queue_wait: Hist,
+    /// Whole busy tick (expire + admit + compose + step + advance).
+    pub tick: Hist,
+    /// Deadline-expiry sweep at the top of the tick.
+    pub expire: Hist,
+    /// Admission + pool-pressure relief.
+    pub admit: Hist,
+    /// Batch composition (one feed token per active sequence).
+    pub compose: Hist,
+    /// The model step ([`BatchRunner::step`]).
+    ///
+    /// [`BatchRunner::step`]: ../mant_model/batch/struct.BatchRunner.html#method.step
+    pub step: Hist,
+    /// Argmax, retirement, prefix registration after the step.
+    pub advance: Hist,
+}
 
 /// Latency percentile summary. Units are whatever the samples were in —
 /// engine iterations for the in-process summaries on [`ServeReport`],
@@ -129,6 +163,10 @@ pub struct ServeReport {
     /// [`mant_quant::KvCachePool::block_bits`] — so reports account cache
     /// memory in real packed bits without re-deriving the layout.
     pub block_bits: usize,
+    /// Wall-clock latency histograms (always recorded; see
+    /// [`LatencyBreakdown`]). The iteration-clock percentiles above remain
+    /// the deterministic, schedule-level view; this is the wall view.
+    pub breakdown: LatencyBreakdown,
 }
 
 impl ServeReport {

@@ -1,0 +1,236 @@
+//! Aggregation: folding drained events into counters, gauges, and
+//! histograms, and the [`Collector`] that accumulates across drains.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Hist;
+use crate::{Event, EventKind, ThreadEvents};
+
+/// A gauge's most recent observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GaugeValue {
+    /// When it was observed (ns since the trace epoch).
+    pub at_ns: u64,
+    /// The observed level.
+    pub value: u64,
+}
+
+/// Metrics folded out of drained events. Spans and samples become
+/// duration histograms keyed by label; counters sum; gauges keep the
+/// newest observation (by timestamp, so cross-thread drain order does not
+/// matter). `BTreeMap`s keep export order deterministic.
+#[derive(Clone, Debug, Default)]
+pub struct Aggregate {
+    /// Counter totals by label.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Latest gauge observation by label.
+    pub gauges: BTreeMap<&'static str, GaugeValue>,
+    /// Span/sample duration histograms by label (nanoseconds).
+    pub hists: BTreeMap<&'static str, Hist>,
+    /// Ring-overflow drops attributed across every absorbed drain.
+    pub dropped: u64,
+}
+
+impl Aggregate {
+    /// An empty aggregate.
+    pub fn new() -> Aggregate {
+        Aggregate::default()
+    }
+
+    /// Folds one drain's worth of per-thread events in.
+    pub fn absorb(&mut self, threads: &[ThreadEvents]) {
+        for t in threads {
+            self.dropped += t.dropped;
+            for ev in &t.events {
+                self.absorb_event(ev);
+            }
+        }
+    }
+
+    fn absorb_event(&mut self, ev: &Event) {
+        match ev.kind {
+            EventKind::Span | EventKind::Sample => {
+                self.hists.entry(ev.label).or_default().record(ev.value);
+            }
+            EventKind::Counter => {
+                *self.counters.entry(ev.label).or_insert(0) += ev.value;
+            }
+            EventKind::Gauge => {
+                let g = GaugeValue {
+                    at_ns: ev.start_ns,
+                    value: ev.value,
+                };
+                self.gauges
+                    .entry(ev.label)
+                    .and_modify(|cur| {
+                        if g.at_ns >= cur.at_ns {
+                            *cur = g;
+                        }
+                    })
+                    .or_insert(g);
+            }
+        }
+    }
+
+    /// Total events folded into histograms and counters (histogram sample
+    /// counts plus counter-increment events are not distinguishable here,
+    /// so this reports histogram samples only — the consistency quantity
+    /// the concurrency tests pin).
+    pub fn hist_samples(&self) -> u64 {
+        self.hists.values().map(|h| h.count).sum()
+    }
+}
+
+/// Accumulates the global registry's events across repeated drains: an
+/// ever-growing [`Aggregate`] for metrics export, plus (optionally) the
+/// raw per-thread event log for a Chrome trace dump. The retained log is
+/// capped; events beyond the cap are counted in
+/// [`Collector::log_dropped`] rather than growing without bound.
+#[derive(Debug)]
+pub struct Collector {
+    /// Metrics folded from every drain so far.
+    pub agg: Aggregate,
+    /// Retained raw events per thread (empty unless `keep_events`).
+    pub threads: Vec<ThreadEvents>,
+    /// Events discarded from the retained log after the cap was reached
+    /// (they still reached `agg`).
+    pub log_dropped: u64,
+    keep_events: bool,
+    cap: usize,
+}
+
+/// Default cap on retained raw events (~40 MB of `Event`s at the
+/// extreme); far beyond any example run, small enough to bound a
+/// long-lived server.
+const DEFAULT_LOG_CAP: usize = 1 << 20;
+
+impl Collector {
+    /// A fresh collector; `keep_events` retains raw events for a Chrome
+    /// dump in addition to aggregating.
+    pub fn new(keep_events: bool) -> Collector {
+        Collector {
+            agg: Aggregate::new(),
+            threads: Vec::new(),
+            log_dropped: 0,
+            keep_events,
+            cap: DEFAULT_LOG_CAP,
+        }
+    }
+
+    /// Overrides the retained-event cap (still aggregates everything).
+    pub fn with_log_cap(mut self, cap: usize) -> Collector {
+        self.cap = cap;
+        self
+    }
+
+    /// Drains the global registry ([`crate::drain`]) into this collector.
+    pub fn collect(&mut self) {
+        self.absorb(crate::drain());
+    }
+
+    /// Folds an already-drained batch in (useful for tests that drain
+    /// explicitly).
+    pub fn absorb(&mut self, drained: Vec<ThreadEvents>) {
+        self.agg.absorb(&drained);
+        if !self.keep_events {
+            return;
+        }
+        let mut retained: usize = self.threads.iter().map(|t| t.events.len()).sum();
+        for t in drained {
+            let slot = match self.threads.iter_mut().find(|x| x.tid == t.tid) {
+                Some(slot) => slot,
+                None => {
+                    self.threads.push(ThreadEvents {
+                        tid: t.tid,
+                        name: t.name.clone(),
+                        events: Vec::new(),
+                        dropped: 0,
+                    });
+                    self.threads.last_mut().expect("just pushed")
+                }
+            };
+            slot.dropped += t.dropped;
+            let room = self.cap.saturating_sub(retained);
+            let take = t.events.len().min(room);
+            self.log_dropped += (t.events.len() - take) as u64;
+            slot.events.extend(t.events.into_iter().take(take));
+            retained += take;
+        }
+    }
+
+    /// Raw events currently retained across all threads.
+    pub fn retained_events(&self) -> usize {
+        self.threads.iter().map(|t| t.events.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn thread_with(events: Vec<Event>, tid: u32, dropped: u64) -> ThreadEvents {
+        ThreadEvents {
+            tid,
+            name: format!("t{tid}"),
+            events,
+            dropped,
+        }
+    }
+
+    fn ev(kind: EventKind, label: &'static str, start_ns: u64, value: u64) -> Event {
+        Event {
+            kind,
+            label,
+            start_ns,
+            value,
+        }
+    }
+
+    #[test]
+    fn absorb_folds_all_kinds() {
+        let mut agg = Aggregate::new();
+        agg.absorb(&[
+            thread_with(
+                vec![
+                    ev(EventKind::Span, "a", 0, 100),
+                    ev(EventKind::Sample, "a", 5, 300),
+                    ev(EventKind::Counter, "c", 1, 2),
+                    ev(EventKind::Gauge, "g", 10, 7),
+                ],
+                0,
+                3,
+            ),
+            thread_with(
+                vec![
+                    ev(EventKind::Counter, "c", 2, 5),
+                    // An *older* gauge observation from another thread
+                    // must not clobber the newer one.
+                    ev(EventKind::Gauge, "g", 4, 99),
+                ],
+                1,
+                0,
+            ),
+        ]);
+        assert_eq!(agg.counters["c"], 7);
+        assert_eq!(agg.gauges["g"].value, 7);
+        assert_eq!(agg.hists["a"].count, 2);
+        assert_eq!(agg.hists["a"].sum, 400);
+        assert_eq!(agg.dropped, 3);
+        assert_eq!(agg.hist_samples(), 2);
+    }
+
+    #[test]
+    fn collector_caps_the_log_but_not_the_metrics() {
+        let mut c = Collector::new(true).with_log_cap(3);
+        c.absorb(vec![thread_with(
+            (0..5)
+                .map(|i| ev(EventKind::Span, "s", i, 10))
+                .collect::<Vec<_>>(),
+            0,
+            0,
+        )]);
+        assert_eq!(c.retained_events(), 3, "log capped");
+        assert_eq!(c.log_dropped, 2);
+        assert_eq!(c.agg.hists["s"].count, 5, "metrics see everything");
+    }
+}

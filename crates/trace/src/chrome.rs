@@ -1,0 +1,189 @@
+//! Chrome trace-event JSON export (`chrome://tracing` / Perfetto), plus a
+//! nesting validator used by tests and CI.
+//!
+//! Only [`EventKind::Span`] events are exported: spans are recorded per
+//! thread with the thread's own clock, so within a track they nest
+//! strictly. Samples (cross-thread durations like TTFT) are histogram
+//! fodder only — including them would draw meaningless slices and break
+//! the nesting invariant the validator checks.
+
+use crate::{EventKind, ThreadEvents};
+
+/// Formats nanoseconds as microseconds with three decimals — exact, since
+/// 1 µs = 1000 ns.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders retained events as a Chrome trace-event JSON document: one
+/// `"M"` (metadata) event naming each thread track, then one `"X"`
+/// (complete) event per span, with `ts`/`dur` in microseconds.
+pub fn chrome_trace_json(threads: &[ThreadEvents]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+        } else {
+            out.push(',');
+        }
+        out.push('\n');
+    };
+    for t in threads {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\
+             \"args\":{{\"name\":\"{}\"}}}}",
+            t.tid,
+            escape(&t.name)
+        );
+        for ev in &t.events {
+            if ev.kind != EventKind::Span {
+                continue;
+            }
+            sep(&mut out);
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\
+                 \"ts\":{},\"dur\":{}}}",
+                escape(ev.label),
+                t.tid,
+                us(ev.start_ns),
+                us(ev.value)
+            );
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Checks that every thread's spans nest properly — each pair of spans on
+/// a track is either disjoint or one contains the other — and returns the
+/// number of spans checked. This is the structural invariant a Chrome
+/// trace viewer needs to lay out slices without overlap.
+pub fn validate_spans(threads: &[ThreadEvents]) -> Result<usize, String> {
+    let mut checked = 0usize;
+    for t in threads {
+        let mut spans: Vec<(u64, u64, &'static str)> = t
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::Span)
+            .map(|e| (e.start_ns, e.start_ns.saturating_add(e.value), e.label))
+            .collect();
+        // Sorting by (start asc, end desc) puts each enclosing span before
+        // everything it contains; a stack of open ends then catches any
+        // partial overlap.
+        spans.sort_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)));
+        let mut open: Vec<(u64, &'static str)> = Vec::new();
+        for (start, end, label) in spans {
+            while open.last().is_some_and(|&(e, _)| e <= start) {
+                open.pop();
+            }
+            if let Some(&(open_end, open_label)) = open.last() {
+                if end > open_end {
+                    return Err(format!(
+                        "thread {} ({}): span `{label}` [{start}, {end}) overlaps \
+                         `{open_label}` ending at {open_end}",
+                        t.tid, t.name
+                    ));
+                }
+            }
+            open.push((end, label));
+            checked += 1;
+        }
+    }
+    Ok(checked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Event;
+
+    fn span(label: &'static str, start_ns: u64, dur: u64) -> Event {
+        Event {
+            kind: EventKind::Span,
+            label,
+            start_ns,
+            value: dur,
+        }
+    }
+
+    fn thread(events: Vec<Event>) -> ThreadEvents {
+        ThreadEvents {
+            tid: 3,
+            name: "ticker".into(),
+            events,
+            dropped: 0,
+        }
+    }
+
+    #[test]
+    fn exports_metadata_and_complete_events_in_microseconds() {
+        let t = thread(vec![
+            span("tick", 1_000, 2_500_000),
+            Event {
+                kind: EventKind::Sample,
+                label: "ttft",
+                start_ns: 5,
+                value: 9,
+            },
+        ]);
+        let json = chrome_trace_json(&[t]);
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"args\":{\"name\":\"ticker\"}"));
+        // 1000 ns = 1.000 µs start, 2.5 ms = 2500.000 µs duration.
+        assert!(json.contains("\"ts\":1.000,\"dur\":2500.000"), "{json}");
+        assert!(!json.contains("ttft"), "samples must not be exported");
+    }
+
+    #[test]
+    fn validates_nested_and_disjoint_spans() {
+        let t = thread(vec![
+            span("outer", 0, 100),
+            span("inner", 10, 20),
+            span("inner2", 40, 60), // shares outer's end exactly
+            span("later", 200, 50),
+        ]);
+        assert_eq!(validate_spans(&[t]), Ok(4));
+    }
+
+    #[test]
+    fn rejects_partial_overlap() {
+        let t = thread(vec![span("a", 0, 100), span("b", 50, 100)]);
+        let err = validate_spans(&[t]).unwrap_err();
+        assert!(err.contains('`'), "{err}");
+        assert!(err.contains('b'), "{err}");
+    }
+
+    #[test]
+    fn tail_span_shapes_validate() {
+        // The layout tail_spans produces: buckets abutting inside an
+        // enclosing step span.
+        let t = thread(vec![
+            span("tick.step", 0, 1_000),
+            span("kernel.gemm", 100, 300),
+            span("kernel.attn", 400, 250),
+            span("kernel.gemv", 650, 350),
+        ]);
+        assert_eq!(validate_spans(&[t]), Ok(4));
+    }
+}

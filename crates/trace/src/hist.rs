@@ -1,0 +1,217 @@
+//! Log₂-bucketed latency histograms.
+//!
+//! Durations land in power-of-two buckets: bucket 0 holds values `< 2`,
+//! bucket `i` (for `1 ≤ i < `[`HIST_BUCKETS`]` - 1`) holds
+//! `[2^i, 2^(i+1))`, and the last bucket is the overflow catch-all
+//! `[2^(HIST_BUCKETS-1), ∞)`. With nanosecond samples the finite range
+//! tops out at 2³⁹ ns ≈ 9 minutes — far beyond any per-tick or
+//! per-request latency this stack produces. Log₂ buckets cost one
+//! `leading_zeros` on record, merge by addition, and bound quantile
+//! estimation error to a factor of 2 (one octave) — the right trade for
+//! an always-on recorder where exact percentiles still exist offline via
+//! `mant_serve::percentile` over raw samples.
+
+/// Number of buckets, the last being the unbounded overflow bucket.
+pub const HIST_BUCKETS: usize = 40;
+
+/// A fixed-size log₂ histogram of `u64` samples (by convention,
+/// nanoseconds). Merging and recording never allocate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hist {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Per-bucket sample counts; see the module docs for boundaries.
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Hist::new()
+    }
+}
+
+/// The bucket a value lands in: 0 for `v < 2`, else
+/// `min(floor(log2 v), HIST_BUCKETS - 1)`.
+pub fn bucket_index(value: u64) -> usize {
+    if value < 2 {
+        0
+    } else {
+        ((63 - value.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// The inclusive lower bound of bucket `i`.
+pub fn bucket_lower(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << i
+    }
+}
+
+/// The exclusive upper bound of bucket `i` (`u64::MAX` for the overflow
+/// bucket, whose true bound is infinite).
+pub fn bucket_upper(i: usize) -> u64 {
+    if i >= HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+impl Hist {
+    /// An empty histogram.
+    pub fn new() -> Hist {
+        Hist {
+            count: 0,
+            sum: 0,
+            buckets: [0; HIST_BUCKETS],
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.buckets[bucket_index(value)] += 1;
+    }
+
+    /// Whether no sample was ever recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Adds another histogram's samples into this one.
+    pub fn merge(&mut self, other: &Hist) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Mean sample value, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Estimated `q`-quantile (`q ∈ [0, 1]`): finds the bucket holding
+    /// the interpolation rank `q · (count - 1)` and interpolates linearly
+    /// inside it. The estimate is always within the true value's bucket
+    /// or the rank's bucket — off by at most one octave. `None` when
+    /// empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is NaN or outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = q * (self.count - 1) as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (cum + c - 1) as f64 >= target {
+                let lo = bucket_lower(i) as f64;
+                // Interpolate toward the bucket's width; the overflow
+                // bucket has no finite width, so report its lower bound.
+                let hi = if i >= HIST_BUCKETS - 1 {
+                    lo
+                } else {
+                    bucket_upper(i) as f64
+                };
+                let within = (target - cum as f64 + 0.5) / c as f64;
+                return Some(lo + (hi - lo) * within.clamp(0.0, 1.0));
+            }
+            cum += c;
+        }
+        unreachable!("count > 0 means some bucket holds the target rank");
+    }
+
+    /// `quantile(1.0)`: an upper estimate of the largest sample.
+    pub fn max_estimate(&self) -> Option<f64> {
+        self.quantile(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Exhaustive around every boundary: 2^i - 1 / 2^i / 2^i + 1.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        for i in 1..HIST_BUCKETS - 1 {
+            let lo = 1u64 << i;
+            assert_eq!(bucket_index(lo - 1), i - 1, "below 2^{i}");
+            assert_eq!(bucket_index(lo), i, "at 2^{i}");
+            assert_eq!(bucket_index(lo + 1), i, "above 2^{i}");
+            assert_eq!(bucket_index(2 * lo - 1), i, "top of bucket {i}");
+        }
+        // Everything at or past the last boundary lands in the overflow
+        // bucket, up to u64::MAX.
+        let top = 1u64 << (HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(top - 1), HIST_BUCKETS - 2);
+        assert_eq!(bucket_index(top), HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn record_updates_count_sum_bucket() {
+        let mut h = Hist::new();
+        h.record(0);
+        h.record(3);
+        h.record(1024);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 1027);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[1], 1);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.buckets.iter().sum::<u64>(), h.count);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        let mut all = Hist::new();
+        for v in [1u64, 7, 130, 5000, 1 << 20] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [2u64, 9, 130, 1 << 35, u64::MAX] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all, "merge must equal recording the union");
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_singleton() {
+        let h = Hist::new();
+        assert_eq!(h.quantile(0.5), None);
+        let mut h = Hist::new();
+        h.record(100);
+        // The sole sample sits in [64, 128); every quantile estimate must
+        // stay inside that bucket.
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            let est = h.quantile(q).unwrap();
+            assert!((64.0..128.0).contains(&est), "q={q} est={est}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_quantile_panics() {
+        let _ = Hist::new().quantile(1.5);
+    }
+}

@@ -1,0 +1,413 @@
+//! `mant-trace`: zero-dependency structured tracing, metrics, and
+//! per-tick profiling for the serving stack.
+//!
+//! Every layer of the stack (gateway workers, the engine ticker,
+//! [`BatchRunner::step`]'s kernel buckets, the KV pool) records fixed-size
+//! events into **per-thread bounded ring buffers**; an aggregation pass
+//! ([`Aggregate`]) turns drained events into counters, gauges, and
+//! log₂-bucketed latency histograms ([`Hist`]), and two exporters render
+//! them: Prometheus text format ([`prometheus_text`]) and Chrome
+//! trace-event JSON ([`chrome_trace_json`], loadable in `chrome://tracing`
+//! or Perfetto).
+//!
+//! # Overhead discipline
+//!
+//! The recorder must be cheap enough to leave on in production paths and
+//! *free* when off:
+//!
+//! - **Disabled cost is one branch.** Every recording entry point loads
+//!   one process-global relaxed [`AtomicBool`] and returns. No clock
+//!   read, no TLS access, no allocation.
+//! - **The enabled hot path is lock-free.** A recording thread writes
+//!   into its own SPSC [`Ring`]; the only atomics are the ring's own
+//!   head/tail (single-producer, so uncontended). No mutex is ever taken
+//!   while recording — locks exist only on the drain side.
+//! - **Overflow drops, never blocks.** A full ring counts the event into
+//!   a drop counter and returns; a stalled scraper can cost events, never
+//!   latency. Drops are reported as `mant_trace_dropped_events_total`.
+//! - **Fixed-size events.** An [`Event`] is `Copy` — a kind, a
+//!   `&'static str` label, and two `u64`s. Labels are static so the hot
+//!   path never formats or allocates.
+//!
+//! # Event kinds
+//!
+//! - [`EventKind::Span`]: a wall-positioned interval (start + duration).
+//!   Spans nest per thread and become Chrome trace slices *and* duration
+//!   histograms. Emit via the RAII [`span`] guard, [`span_at`] for
+//!   explicitly timed sections, or [`tail_spans`] for per-tick aggregate
+//!   buckets laid end-to-end (the kernel-bucket trick: one span per
+//!   bucket per tick instead of one per call).
+//! - [`EventKind::Sample`]: a duration with no meaningful wall position
+//!   (TTFT, queue wait — intervals spanning threads). Histogram fodder
+//!   only; excluded from the Chrome dump so per-thread nesting stays
+//!   exact.
+//! - [`EventKind::Counter`]: a monotone increment.
+//! - [`EventKind::Gauge`]: a level; the newest observation wins.
+//!
+//! [`BatchRunner::step`]: ../mant_model/batch/struct.BatchRunner.html#method.step
+//! [`Ring`]: ring::Ring
+
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(clippy::undocumented_unsafe_blocks)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+pub mod agg;
+pub mod chrome;
+pub mod hist;
+pub mod prom;
+pub mod ring;
+
+pub use agg::{Aggregate, Collector, GaugeValue};
+pub use chrome::{chrome_trace_json, validate_spans};
+pub use hist::{Hist, HIST_BUCKETS};
+pub use prom::{parse_text, prometheus_text, Series};
+pub use ring::Ring;
+
+/// What one recorded event means. See the module docs for the contract of
+/// each kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A wall-positioned interval: `start_ns` + `value` (duration ns).
+    Span,
+    /// A duration sample without a wall position: `value` is ns.
+    Sample,
+    /// A monotone counter increment of `value`.
+    Counter,
+    /// A gauge observation: the level was `value` at `start_ns`.
+    Gauge,
+}
+
+/// One fixed-size recorded event. `Copy` on purpose: the ring stores these
+/// by value and the hot path never allocates.
+#[derive(Clone, Copy, Debug)]
+pub struct Event {
+    /// How to interpret the payload.
+    pub kind: EventKind,
+    /// Static label; also the metric key after aggregation (see
+    /// [`prom::metric_name`] for the Prometheus mapping).
+    pub label: &'static str,
+    /// Nanoseconds since the process trace epoch: a span's start, or the
+    /// emission instant for samples/counters/gauges.
+    pub start_ns: u64,
+    /// Span/sample duration in ns, counter increment, or gauge level.
+    pub value: u64,
+}
+
+/// Everything one thread's ring yielded in a drain.
+#[derive(Clone, Debug)]
+pub struct ThreadEvents {
+    /// Small dense id assigned at first record (registration order).
+    pub tid: u32,
+    /// The OS thread's name at registration, or `thread-<tid>`.
+    pub name: String,
+    /// Drained events, in record order.
+    pub events: Vec<Event>,
+    /// Events this thread's ring dropped to overflow since the previous
+    /// drain.
+    pub dropped: u64,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// The process trace epoch: all event timestamps are nanoseconds since
+/// this instant. Initialized the first time it is needed — and eagerly by
+/// [`set_enabled`]`(true)`, so no recorded span can start before it.
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn instant_ns(t: Instant) -> u64 {
+    t.saturating_duration_since(epoch()).as_nanos() as u64
+}
+
+/// Nanoseconds since the trace epoch, right now.
+pub fn now_ns() -> u64 {
+    instant_ns(Instant::now())
+}
+
+/// Turns recording on or off process-wide. Off is the default; when off,
+/// every recording entry point is a single relaxed load and a branch.
+pub fn set_enabled(on: bool) {
+    if on {
+        // Pin the epoch before the first event can be recorded so every
+        // timestamp is non-negative relative to it.
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is on — the one-branch disabled check.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One registered per-thread ring.
+struct Registered {
+    ring: Arc<Ring>,
+    tid: u32,
+    name: String,
+}
+
+/// All per-thread rings ever registered. The mutex serializes
+/// registration (once per thread) and draining (the single consumer);
+/// recording threads never touch it.
+static REGISTRY: Mutex<Vec<Registered>> = Mutex::new(Vec::new());
+
+fn registry() -> std::sync::MutexGuard<'static, Vec<Registered>> {
+    // A panicking drainer (a failing test assertion mid-drain) must not
+    // poison tracing for the rest of the process.
+    REGISTRY.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn ring_capacity() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| {
+        std::env::var("MANT_TRACE_RING")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&c| c >= 2)
+            .unwrap_or(16_384)
+    })
+}
+
+thread_local! {
+    static LOCAL: OnceLock<Arc<Ring>> = const { OnceLock::new() };
+}
+
+/// Records into the calling thread's ring, registering it on first use.
+fn record(ev: Event) {
+    LOCAL.with(|cell| {
+        let ring = cell.get_or_init(|| {
+            let ring = Arc::new(Ring::new(ring_capacity()));
+            let mut reg = registry();
+            let tid = reg.len() as u32;
+            let name = std::thread::current()
+                .name()
+                .map_or_else(|| format!("thread-{tid}"), str::to_owned);
+            reg.push(Registered {
+                ring: Arc::clone(&ring),
+                tid,
+                name,
+            });
+            ring
+        });
+        ring.push(ev);
+    });
+}
+
+/// RAII span guard: created by [`span`], records one [`EventKind::Span`]
+/// event covering its lifetime when dropped. Does nothing at all when
+/// tracing was disabled at creation.
+#[must_use = "a span guard measures its lifetime; dropping it immediately records nothing useful"]
+pub struct SpanGuard {
+    label: &'static str,
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let value = start.elapsed().as_nanos() as u64;
+            record(Event {
+                kind: EventKind::Span,
+                label: self.label,
+                start_ns: instant_ns(start),
+                value,
+            });
+        }
+    }
+}
+
+/// Opens a span covering the guard's lifetime. When tracing is disabled
+/// this costs one branch and the guard's drop is a no-op.
+#[inline]
+pub fn span(label: &'static str) -> SpanGuard {
+    SpanGuard {
+        label,
+        start: enabled().then(Instant::now),
+    }
+}
+
+/// Records a span whose bounds the caller measured itself — for code that
+/// needs the duration anyway (histogram updates) and should not pay for a
+/// second clock read.
+pub fn span_at(label: &'static str, start: Instant, dur_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        kind: EventKind::Span,
+        label,
+        start_ns: instant_ns(start),
+        value: dur_ns,
+    });
+}
+
+/// Records per-tick aggregate buckets as spans laid **end-to-end, ending
+/// now**: the last bucket ends at the current instant and each earlier one
+/// abuts the next. Because the buckets were accumulated inside the
+/// enclosing interval, their sum cannot exceed it — so the emitted spans
+/// sit inside the enclosing span and never overlap each other, keeping
+/// Chrome nesting exact while costing one event per bucket per tick
+/// instead of one per call. Zero-duration buckets are skipped.
+pub fn tail_spans(parts: &[(&'static str, u64)]) {
+    if !enabled() {
+        return;
+    }
+    let end = now_ns();
+    let total: u64 = parts.iter().map(|&(_, d)| d).sum();
+    let mut cursor = end.saturating_sub(total);
+    for &(label, dur) in parts {
+        if dur == 0 {
+            continue;
+        }
+        record(Event {
+            kind: EventKind::Span,
+            label,
+            start_ns: cursor,
+            value: dur,
+        });
+        cursor += dur;
+    }
+}
+
+/// Records a duration sample (histogram only, no wall position).
+pub fn sample(label: &'static str, dur_ns: u64) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        kind: EventKind::Sample,
+        label,
+        start_ns: now_ns(),
+        value: dur_ns,
+    });
+}
+
+/// Increments a counter by `delta`.
+pub fn counter(label: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        kind: EventKind::Counter,
+        label,
+        start_ns: now_ns(),
+        value: delta,
+    });
+}
+
+/// Records a gauge observation; aggregation keeps the newest per label.
+pub fn gauge(label: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    record(Event {
+        kind: EventKind::Gauge,
+        label,
+        start_ns: now_ns(),
+        value,
+    });
+}
+
+/// Drains every registered thread ring: each thread's pending events (in
+/// record order) plus its overflow-drop count since the last drain.
+/// Threads with nothing new are omitted. Holding the registry lock for
+/// the whole sweep makes this the single consumer the rings require;
+/// recording threads are never blocked by it.
+pub fn drain() -> Vec<ThreadEvents> {
+    let reg = registry();
+    reg.iter()
+        .filter_map(|r| {
+            let mut events = Vec::new();
+            let dropped = r.ring.drain_into(&mut events);
+            (!events.is_empty() || dropped > 0).then(|| ThreadEvents {
+                tid: r.tid,
+                name: r.name.clone(),
+                events,
+                dropped,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Global-state tests share the process-wide registry; serialize them.
+    static GLOBAL: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_recording_is_invisible() {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(false);
+        let _ = drain(); // flush anything a prior test left behind
+        counter("test.invisible", 1);
+        gauge("test.invisible", 2);
+        sample("test.invisible", 3);
+        let _s = span("test.invisible");
+        drop(_s);
+        tail_spans(&[("test.invisible", 4)]);
+        let drained = drain();
+        assert!(
+            drained
+                .iter()
+                .all(|t| t.events.iter().all(|e| e.label != "test.invisible")),
+            "disabled recording must produce no events"
+        );
+    }
+
+    #[test]
+    fn span_guard_records_its_lifetime() {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        let _ = drain();
+        {
+            let _outer = span("test.outer");
+            let _inner = span("test.inner");
+        }
+        set_enabled(false);
+        let drained = drain();
+        let mine: Vec<&Event> = drained
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.label.starts_with("test."))
+            .collect();
+        // Guards drop inner-first, so the inner span is recorded first.
+        assert_eq!(mine.len(), 2);
+        assert_eq!(mine[0].label, "test.inner");
+        assert_eq!(mine[1].label, "test.outer");
+        // The outer interval contains the inner one.
+        let (i, o) = (mine[0], mine[1]);
+        assert!(o.start_ns <= i.start_ns);
+        assert!(i.start_ns + i.value <= o.start_ns + o.value);
+    }
+
+    #[test]
+    fn tail_spans_abut_and_end_now() {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        set_enabled(true);
+        let _ = drain();
+        tail_spans(&[("test.a", 100), ("test.zero", 0), ("test.b", 50)]);
+        let after = now_ns();
+        set_enabled(false);
+        let drained = drain();
+        let mine: Vec<&Event> = drained
+            .iter()
+            .flat_map(|t| &t.events)
+            .filter(|e| e.label.starts_with("test."))
+            .collect();
+        assert_eq!(mine.len(), 2, "zero-duration buckets are skipped");
+        let (a, b) = (mine[0], mine[1]);
+        assert_eq!(a.label, "test.a");
+        assert_eq!(b.label, "test.b");
+        assert_eq!(a.start_ns + a.value, b.start_ns, "buckets abut");
+        assert!(b.start_ns + b.value <= after, "the last bucket ends 'now'");
+    }
+}

@@ -1,0 +1,397 @@
+//! Prometheus text-format export (and a validating parser for tests).
+//!
+//! The mapping from trace labels to metric names is deliberately small:
+//!
+//! - Counters named `requests.<outcome>` fold into one family,
+//!   `mant_requests_total{outcome="<outcome>"}` — the shape PromQL wants
+//!   for rate-by-outcome queries.
+//! - Every other counter becomes `mant_<label>_total`.
+//! - Gauges become `mant_<label>`.
+//! - Histograms (recorded in nanoseconds) become `mant_<label>_seconds`
+//!   with the classic cumulative `_bucket{le=...}` / `_sum` / `_count`
+//!   triple; `le` bounds are the log₂ bucket uppers converted to seconds.
+//! - Ring-overflow drops are always exported as
+//!   `mant_trace_dropped_events_total`, so a scraper can tell "no data"
+//!   from "data lost".
+//!
+//! Label characters outside `[a-zA-Z0-9_:]` are rewritten to `_` (so
+//! `tick.step` exports as `mant_tick_step_seconds`).
+
+use crate::agg::Aggregate;
+use crate::hist::{bucket_upper, HIST_BUCKETS};
+
+/// Rewrites a trace label into Prometheus-legal metric-name characters.
+pub fn sanitize(label: &str) -> String {
+    let mut out = String::with_capacity(label.len());
+    for (i, c) in label.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        out.push(if ok { c } else { '_' });
+    }
+    out
+}
+
+/// The Prometheus base name for a trace label: `mant_<sanitized label>`.
+/// Exporters append the conventional suffix (`_total` for counters,
+/// `_seconds` for duration histograms).
+pub fn metric_name(label: &str) -> String {
+    format!("mant_{}", sanitize(label))
+}
+
+/// Escapes a label *value* for the text format.
+fn escape_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prefix of counter labels folded into the `mant_requests_total` family.
+const REQUESTS_PREFIX: &str = "requests.";
+
+/// Renders an aggregate as Prometheus text exposition format.
+pub fn prometheus_text(agg: &Aggregate) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+
+    // The requests-by-outcome family first: one TYPE line, one sample per
+    // outcome.
+    let outcomes: Vec<(&str, u64)> = agg
+        .counters
+        .iter()
+        .filter_map(|(&label, &v)| label.strip_prefix(REQUESTS_PREFIX).map(|o| (o, v)))
+        .collect();
+    if !outcomes.is_empty() {
+        out.push_str("# HELP mant_requests_total Requests by terminal outcome.\n");
+        out.push_str("# TYPE mant_requests_total counter\n");
+        for (outcome, v) in outcomes {
+            let _ = writeln!(
+                out,
+                "mant_requests_total{{outcome=\"{}\"}} {v}",
+                escape_value(outcome)
+            );
+        }
+    }
+
+    for (&label, &v) in &agg.counters {
+        if label.starts_with(REQUESTS_PREFIX) {
+            continue;
+        }
+        let name = metric_name(label);
+        let _ = writeln!(out, "# HELP {name}_total Trace counter `{label}`.");
+        let _ = writeln!(out, "# TYPE {name}_total counter");
+        let _ = writeln!(out, "{name}_total {v}");
+    }
+
+    // Always present, even at zero: "no data" and "data lost" must be
+    // distinguishable on the scrape side.
+    out.push_str(
+        "# HELP mant_trace_dropped_events_total Events dropped to ring-buffer overflow.\n",
+    );
+    out.push_str("# TYPE mant_trace_dropped_events_total counter\n");
+    let _ = writeln!(out, "mant_trace_dropped_events_total {}", agg.dropped);
+
+    for (&label, g) in &agg.gauges {
+        let name = metric_name(label);
+        let _ = writeln!(out, "# HELP {name} Trace gauge `{label}`.");
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", g.value);
+    }
+
+    for (&label, h) in &agg.hists {
+        let name = format!("{}_seconds", metric_name(label));
+        let _ = writeln!(out, "# HELP {name} Trace duration histogram `{label}`.");
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            cum += c;
+            if i == HIST_BUCKETS - 1 {
+                let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}");
+            } else {
+                let le = bucket_upper(i) as f64 / 1e9;
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cum}");
+            }
+        }
+        let _ = writeln!(out, "{name}_sum {}", h.sum as f64 / 1e9);
+        let _ = writeln!(out, "{name}_count {}", h.count);
+    }
+
+    out
+}
+
+/// One parsed sample line from the text format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Series {
+    /// Metric name (for histograms, including the `_bucket`/`_sum`/
+    /// `_count` suffix).
+    pub name: String,
+    /// Label pairs, in source order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Series {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn parse_value(s: &str) -> Result<f64, String> {
+    match s {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        _ => s
+            .parse::<f64>()
+            .map_err(|e| format!("bad value {s:?}: {e}")),
+    }
+}
+
+/// Parses (and thereby validates) Prometheus text exposition format,
+/// returning every sample line. Errors carry the offending line number.
+pub fn parse_text(text: &str) -> Result<Vec<Series>, String> {
+    let mut series = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            let mut parts = comment.trim_start().splitn(3, ' ');
+            match parts.next() {
+                Some("TYPE") => {
+                    let name = parts.next().unwrap_or("");
+                    let kind = parts.next().unwrap_or("");
+                    if !valid_name(name) {
+                        return Err(format!("line {lineno}: bad TYPE metric name {name:?}"));
+                    }
+                    if !matches!(
+                        kind,
+                        "counter" | "gauge" | "histogram" | "summary" | "untyped"
+                    ) {
+                        return Err(format!("line {lineno}: bad TYPE kind {kind:?}"));
+                    }
+                }
+                Some("HELP") => {}
+                // Any other comment is legal and ignored.
+                _ => {}
+            }
+            continue;
+        }
+        series.push(parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?);
+    }
+    Ok(series)
+}
+
+fn parse_sample(line: &str) -> Result<Series, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line[brace..]
+                .find('}')
+                .map(|i| brace + i)
+                .ok_or_else(|| format!("unterminated label set in {line:?}"))?;
+            (
+                &line[..brace],
+                Some((&line[brace + 1..close], &line[close + 1..])),
+            )
+        }
+        None => (line, None),
+    };
+    let (name, labels, value_part) = match rest {
+        Some((label_src, tail)) => (name_part, parse_labels(label_src)?, tail.trim()),
+        None => {
+            let mut it = name_part.split_whitespace();
+            let name = it.next().ok_or("empty sample line")?;
+            let value = it
+                .next()
+                .ok_or_else(|| format!("missing value in {line:?}"))?;
+            if it.next().is_some() {
+                return Err(format!("trailing tokens in {line:?}"));
+            }
+            (name, Vec::new(), value)
+        }
+    };
+    if !valid_name(name) {
+        return Err(format!("bad metric name {name:?}"));
+    }
+    // A timestamp after the value is legal in the format; we don't emit
+    // one, so reject it to keep the validator strict about our output.
+    if value_part.split_whitespace().count() != 1 {
+        return Err(format!("expected a single value, got {value_part:?}"));
+    }
+    Ok(Series {
+        name: name.to_owned(),
+        labels,
+        value: parse_value(value_part.trim())?,
+    })
+}
+
+fn parse_labels(src: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = src.trim();
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without '=' in {src:?}"))?;
+        let key = rest[..eq].trim();
+        if !valid_name(key) {
+            return Err(format!("bad label name {key:?}"));
+        }
+        rest = rest[eq + 1..].trim_start();
+        let mut chars = rest.char_indices();
+        if chars.next().map(|(_, c)| c) != Some('"') {
+            return Err(format!("label value must be quoted in {src:?}"));
+        }
+        let mut value = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                value.push(match c {
+                    'n' => '\n',
+                    other => other,
+                });
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated label value in {src:?}"))?;
+        labels.push((key.to_owned(), value));
+        rest = rest[end + 1..].trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels in {src:?}"));
+        }
+    }
+    Ok(labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg::GaugeValue;
+    use crate::hist::Hist;
+
+    fn sample_agg() -> Aggregate {
+        let mut agg = Aggregate::new();
+        agg.counters.insert("requests.done", 5);
+        agg.counters.insert("requests.shed", 2);
+        agg.counters.insert("tokens.generated", 123);
+        agg.gauges.insert(
+            "queue.depth",
+            GaugeValue {
+                at_ns: 10,
+                value: 4,
+            },
+        );
+        let mut h = Hist::new();
+        for v in [900_000u64, 1_500_000, 40_000_000] {
+            h.record(v);
+        }
+        agg.hists.insert("tick.step", h);
+        agg.dropped = 7;
+        agg
+    }
+
+    #[test]
+    fn export_parses_and_round_trips_values() {
+        let text = prometheus_text(&sample_agg());
+        let series = parse_text(&text).expect("our own output must parse");
+
+        let find = |name: &str, label: Option<(&str, &str)>| -> f64 {
+            series
+                .iter()
+                .find(|s| s.name == name && label.is_none_or(|(k, v)| s.label(k) == Some(v)))
+                .unwrap_or_else(|| panic!("missing series {name} {label:?}"))
+                .value
+        };
+
+        assert_eq!(find("mant_requests_total", Some(("outcome", "done"))), 5.0);
+        assert_eq!(find("mant_requests_total", Some(("outcome", "shed"))), 2.0);
+        assert_eq!(find("mant_tokens_generated_total", None), 123.0);
+        assert_eq!(find("mant_queue_depth", None), 4.0);
+        assert_eq!(find("mant_trace_dropped_events_total", None), 7.0);
+        assert_eq!(find("mant_tick_step_seconds_count", None), 3.0);
+        let sum = find("mant_tick_step_seconds_sum", None);
+        assert!((sum - 0.0424).abs() < 1e-9, "sum {sum}");
+        assert_eq!(
+            find("mant_tick_step_seconds_bucket", Some(("le", "+Inf"))),
+            3.0
+        );
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_bounded_in_seconds() {
+        let text = prometheus_text(&sample_agg());
+        let series = parse_text(&text).unwrap();
+        let buckets: Vec<&Series> = series
+            .iter()
+            .filter(|s| s.name == "mant_tick_step_seconds_bucket")
+            .collect();
+        assert_eq!(buckets.len(), crate::HIST_BUCKETS);
+        let mut prev = 0.0;
+        let mut prev_le = 0.0;
+        for b in &buckets {
+            assert!(b.value >= prev, "bucket counts must be cumulative");
+            prev = b.value;
+            let le = parse_value(b.label("le").unwrap()).unwrap();
+            assert!(le > prev_le, "le bounds must increase");
+            prev_le = le;
+        }
+        assert_eq!(buckets.last().unwrap().label("le"), Some("+Inf"));
+        // 0.9 ms and 1.5 ms sit at or below the 2^21 ns ≈ 2.097 ms bound;
+        // 40 ms does not.
+        let le_2ms: f64 = (1u64 << 21) as f64 / 1e9;
+        let at_2ms = buckets
+            .iter()
+            .find(|b| parse_value(b.label("le").unwrap()).unwrap() == le_2ms)
+            .expect("2^21 ns bucket exists");
+        assert_eq!(at_2ms.value, 2.0);
+    }
+
+    #[test]
+    fn sanitize_and_metric_name() {
+        assert_eq!(sanitize("tick.step"), "tick_step");
+        assert_eq!(sanitize("9lives"), "_lives");
+        assert_eq!(sanitize("a-b c9"), "a_b_c9");
+        assert_eq!(metric_name("pool.used_blocks"), "mant_pool_used_blocks");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_text("ok_metric 1\n").is_ok());
+        assert!(parse_text("9bad_name 1\n").is_err());
+        assert!(parse_text("no_value\n").is_err());
+        assert!(parse_text("unterminated{a=\"b\" 1\n").is_err());
+        assert!(parse_text("bad_type_kind 1\n# TYPE bad_type_kind banana\n").is_err());
+        assert!(parse_text("m{le=\"0.5\"} not_a_number\n").is_err());
+        let esc = parse_text("m{v=\"a\\\"b\\\\c\"} 1\n").unwrap();
+        assert_eq!(esc[0].label("v"), Some("a\"b\\c"));
+    }
+}

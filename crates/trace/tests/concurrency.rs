@@ -1,0 +1,260 @@
+//! Concurrency and conservation properties of the global recorder, in a
+//! dedicated binary so the process-wide registry, enable flag, and ring
+//! capacity are this file's alone (in-crate unit tests share a different
+//! process).
+//!
+//! The pinned property: however producer threads interleave with each
+//! other and with a concurrent drainer, the final [`Aggregate`] is exactly
+//! the schedule-independent fold of what was recorded — counter totals are
+//! sums, histogram counts/sums match the emitted events, nothing is lost
+//! below ring capacity, and overflow is *accounted*, never silent.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use mant_trace::{Aggregate, Collector};
+use proptest::prelude::*;
+
+/// Every test here mutates process-global state (the enable flag, the
+/// shared registry); serialize them.
+static GLOBAL: Mutex<()> = Mutex::new(());
+
+/// Pins the per-thread ring capacity for this whole process *before* any
+/// event is recorded (the capacity env var is read once, lazily). Every
+/// test calls this first so whichever runs first sets the same value.
+const RING_CAP: usize = 512;
+fn pin_ring_capacity() {
+    // Edition-2021 safe API; called only while holding GLOBAL, before the
+    // current test's worker threads exist.
+    std::env::set_var("MANT_TRACE_RING", RING_CAP.to_string());
+}
+
+/// Fixed label universe: labels must be `&'static str` on the hot path.
+const LABELS: [&str; 3] = ["prop.alpha", "prop.beta", "prop.gamma"];
+
+/// One generated recorder operation: `sel` picks the kind and label,
+/// `payload` the delta / duration / level.
+#[derive(Clone, Copy, Debug)]
+struct Op {
+    sel: u8,
+    payload: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Kind {
+    Counter,
+    Sample,
+    SpanAt,
+    Gauge,
+}
+
+impl Op {
+    fn kind(self) -> Kind {
+        match self.sel % 4 {
+            0 => Kind::Counter,
+            1 => Kind::Sample,
+            2 => Kind::SpanAt,
+            _ => Kind::Gauge,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        LABELS[(self.sel as usize / 4) % LABELS.len()]
+    }
+
+    /// Executes the operation against the global recorder.
+    fn run(self) {
+        match self.kind() {
+            Kind::Counter => mant_trace::counter(self.label(), self.payload),
+            Kind::Sample => mant_trace::sample(self.label(), self.payload),
+            // `span_at` with a caller-supplied duration: exact, unlike the
+            // RAII guard whose duration is wall-clock noise.
+            Kind::SpanAt => mant_trace::span_at(self.label(), Instant::now(), self.payload),
+            Kind::Gauge => mant_trace::gauge(self.label(), self.payload),
+        }
+    }
+}
+
+/// The schedule-independent expectation for a set of op lists.
+#[derive(Default)]
+struct Expected {
+    counters: std::collections::BTreeMap<&'static str, u64>,
+    hist_count: std::collections::BTreeMap<&'static str, u64>,
+    hist_sum: std::collections::BTreeMap<&'static str, u64>,
+    gauge_values: std::collections::BTreeMap<&'static str, Vec<u64>>,
+}
+
+impl Expected {
+    fn fold(threads: &[Vec<Op>]) -> Expected {
+        let mut e = Expected::default();
+        for ops in threads {
+            for op in ops {
+                match op.kind() {
+                    Kind::Counter => *e.counters.entry(op.label()).or_insert(0) += op.payload,
+                    Kind::Sample | Kind::SpanAt => {
+                        *e.hist_count.entry(op.label()).or_insert(0) += 1;
+                        *e.hist_sum.entry(op.label()).or_insert(0) += op.payload;
+                    }
+                    Kind::Gauge => e
+                        .gauge_values
+                        .entry(op.label())
+                        .or_default()
+                        .push(op.payload),
+                }
+            }
+        }
+        e
+    }
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..12, 0u64..1_000_000).prop_map(|(sel, payload)| Op { sel, payload })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any interleaving of producer threads — racing each other *and* a
+    /// concurrent drainer — folds to the same aggregate as a sequential
+    /// replay of the ops. No event is lost (op counts stay below ring
+    /// capacity), no event is double-counted across drains.
+    #[test]
+    fn interleaved_threads_drain_to_consistent_aggregate(
+        threads in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 0..200), 1..5)
+    ) {
+        let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+        pin_ring_capacity();
+        mant_trace::set_enabled(true);
+        let _ = mant_trace::drain(); // flush prior tests' leftovers
+
+        let expected = Expected::fold(&threads);
+        let done = AtomicBool::new(false);
+        let mut collector = Collector::new(false);
+        std::thread::scope(|scope| {
+            // A drainer racing the producers: events must land exactly
+            // once whether swept mid-production or in the final drain.
+            let drainer = scope.spawn(|| {
+                let mut mid = Collector::new(false);
+                while !done.load(Ordering::SeqCst) {
+                    mid.collect();
+                    std::thread::yield_now();
+                }
+                mid
+            });
+            let producers: Vec<_> = threads
+                .iter()
+                .map(|ops| scope.spawn(move || ops.iter().for_each(|op| op.run())))
+                .collect();
+            for p in producers {
+                p.join().expect("producer");
+            }
+            done.store(true, Ordering::SeqCst);
+            collector = drainer.join().expect("drainer");
+        });
+        mant_trace::set_enabled(false);
+        collector.collect(); // final sweep after the last producer
+
+        let agg = &collector.agg;
+        prop_assert_eq!(agg.dropped, 0, "below ring capacity nothing drops");
+        for (label, total) in &expected.counters {
+            prop_assert_eq!(agg.counters.get(label).copied().unwrap_or(0), *total);
+        }
+        for (label, count) in &expected.hist_count {
+            let hist = &agg.hists[label];
+            prop_assert_eq!(hist.count, *count, "histogram count for {}", label);
+            prop_assert_eq!(hist.sum, expected.hist_sum[label], "histogram sum for {}", label);
+            prop_assert_eq!(hist.buckets.iter().sum::<u64>(), *count);
+        }
+        // Gauge resolution races are real (newest-by-timestamp wins), but
+        // the survivor must be a value some thread actually wrote.
+        for (label, written) in &expected.gauge_values {
+            let got = agg.gauges[label].value;
+            prop_assert!(written.contains(&got),
+                "gauge {} resolved to {} which no thread wrote", label, got);
+        }
+        // No labels appear from nowhere.
+        for label in agg.counters.keys().chain(agg.hists.keys()) {
+            prop_assert!(LABELS.contains(label), "phantom label {}", label);
+        }
+    }
+
+    /// The histogram quantile estimate is within one octave of the exact
+    /// rank-order statistic: both live in the same log₂ bucket, so the
+    /// estimate is in `(exact/2, 2*exact]` for in-range samples.
+    #[test]
+    fn quantile_estimate_within_one_octave_of_exact(
+        samples in proptest::collection::vec(2u64..(1 << 38), 1..300),
+        q in 0.0f64..1.0
+    ) {
+        let mut hist = mant_trace::Hist::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        let exact = sorted[(q * (sorted.len() - 1) as f64).floor() as usize] as f64;
+        let est = hist.quantile(q).expect("non-empty");
+        prop_assert!(est > exact / 2.0 && est <= 2.0 * exact,
+            "estimate {} vs exact {} at q={} (n={})", est, exact, q, samples.len());
+    }
+}
+
+/// Overflow conservation through the whole public pipeline: push far more
+/// events than the ring holds without draining; every event is either
+/// delivered to the aggregate or counted in `dropped` — none vanish.
+#[test]
+fn overflow_is_counted_never_silent() {
+    let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    pin_ring_capacity();
+    mant_trace::set_enabled(true);
+    let _ = mant_trace::drain();
+
+    const PUSHED: u64 = 10_000;
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for i in 0..PUSHED {
+                mant_trace::sample("prop.overflow", i);
+            }
+        });
+    });
+    mant_trace::set_enabled(false);
+    let mut agg = Aggregate::new();
+    agg.absorb(&mant_trace::drain());
+    let delivered = agg.hists.get("prop.overflow").map_or(0, |h| h.count);
+    assert!(delivered > 0, "the ring must deliver up to its capacity");
+    assert!(
+        delivered < PUSHED,
+        "the test must actually overflow (ring cap {RING_CAP})"
+    );
+    assert_eq!(
+        delivered + agg.dropped,
+        PUSHED,
+        "every event is delivered or counted as dropped"
+    );
+}
+
+/// The drop counter resets per drain: after an overflow is reported once,
+/// a quiet follow-up drain reports nothing — drops are attributed to the
+/// drain that observed them, not re-reported forever.
+#[test]
+fn drops_are_attributed_to_one_drain() {
+    let _g = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    pin_ring_capacity();
+    mant_trace::set_enabled(true);
+    let _ = mant_trace::drain();
+
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for i in 0..(RING_CAP as u64 * 4) {
+                mant_trace::counter("prop.dropcount", 1 + (i % 3));
+            }
+        });
+    });
+    mant_trace::set_enabled(false);
+    let first: u64 = mant_trace::drain().iter().map(|t| t.dropped).sum();
+    assert!(first > 0, "the burst must overflow the ring");
+    let second: u64 = mant_trace::drain().iter().map(|t| t.dropped).sum();
+    assert_eq!(second, 0, "drops already reported must not repeat");
+}

@@ -42,7 +42,7 @@ fn wait_accepted(addr: SocketAddr, n: u64) {
     let deadline = Instant::now() + Duration::from_secs(30);
     while Instant::now() < deadline {
         let (_, metrics) = client::get(addr, "/metrics").expect("metrics endpoint");
-        if metrics.contains(&format!("\"accepted\":{n},")) {
+        if metrics.contains(&format!("mant_gateway_accepted_total {n}\n")) {
             return;
         }
         thread::sleep(Duration::from_millis(2));
@@ -98,7 +98,7 @@ fn main() {
     }
     let in_process = engine.run_to_completion();
 
-    let (outcomes, report) =
+    let ((outcomes, prom), report) =
         mant::gateway::serve(&model, &packed, GatewayConfig::new(serve_cfg), |gw| {
             let addr = gw.addr();
             // Replay the trace's arrival offsets in wall time (2 ms per
@@ -114,10 +114,12 @@ fn main() {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap())
-                .collect::<Vec<_>>()
+            let outcomes: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            // Scrape Prometheus text while the gateway is still up — this
+            // is exactly what a `curl :port/metrics` scrape would see.
+            let (status, prom) = client::get(addr, "/metrics").expect("metrics scrape");
+            assert_eq!(status, 200);
+            (outcomes, prom)
         })
         .expect("gateway run");
 
@@ -167,6 +169,55 @@ fn main() {
         e2e.p50, e2e.p95, e2e.max
     );
     println!("  streams byte-identical to in-process engine and sequential oracle: true");
+
+    // The live scrape must be well-formed Prometheus exposition text — run
+    // it through the same parser the tests use, then show a few series.
+    let series = mant::trace::parse_text(&prom).expect("well-formed Prometheus text");
+    println!(
+        "\n/metrics scrape ({} series parsed cleanly):",
+        series.len()
+    );
+    for line in prom.lines().filter(|l| {
+        l.starts_with("mant_requests_total")
+            || l.starts_with("mant_ttft_seconds_count")
+            || l.starts_with("mant_e2e_seconds_count")
+            || l.starts_with("mant_tokens_generated_total")
+    }) {
+        println!("  {line}");
+    }
+
+    // The engine-side wall-clock breakdown rides on the report whether or
+    // not tracing was on: histogram-backed TTFT and tick-phase medians.
+    let bd = &report.serve.breakdown;
+    let ms = |h: &mant::trace::Hist| h.quantile(0.5).map_or(0.0, |ns| ns / 1e6);
+    println!("\nengine latency breakdown (histogram p50, ms):");
+    println!(
+        "  ttft {:.2} | e2e {:.2} | queue_wait {:.3}",
+        ms(&bd.ttft),
+        ms(&bd.e2e),
+        ms(&bd.queue_wait)
+    );
+    println!(
+        "  tick {:.2} = expire {:.3} + admit {:.3} + compose {:.3} + step {:.2} + advance {:.3}",
+        ms(&bd.tick),
+        ms(&bd.expire),
+        ms(&bd.admit),
+        ms(&bd.compose),
+        ms(&bd.step),
+        ms(&bd.advance)
+    );
+
+    // With MANT_TRACE=1 the run also captured structured trace events;
+    // prove they nest correctly (and, with MANT_TRACE_OUT set, a Chrome
+    // trace JSON was written by the gateway on shutdown).
+    if !report.trace_events.is_empty() {
+        let spans =
+            mant::trace::validate_spans(&report.trace_events).expect("spans nest correctly");
+        println!("\ntracing: {spans} spans captured and validated across threads");
+        if let Ok(path) = std::env::var("MANT_TRACE_OUT") {
+            println!("  chrome trace written to {path} (load in about://tracing)");
+        }
+    }
 
     // ---- Phase 2: forced overload — shedding and deadline expiry ----
     let mk = |id: u64, plen: usize, max_new: usize| GenRequest {

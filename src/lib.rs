@@ -13,6 +13,7 @@ pub use mant_quant as quant;
 pub use mant_serve as serve;
 pub use mant_sim as sim;
 pub use mant_tensor as tensor;
+pub use mant_trace as trace;
 
 /// Convenience re-exports of the types used in almost every program.
 pub mod prelude {
