@@ -52,6 +52,7 @@ fn serve(
             kv: KvMode::Mant4 { group: GROUP },
             admission,
             prefix_sharing,
+            speculative: None,
         },
     );
     for r in requests {
@@ -179,6 +180,7 @@ fn shared_prefix_serving(_c: &mut Criterion) {
                     watermark_blocks: 4,
                 },
                 prefix_sharing: true,
+                speculative: None,
             },
         );
         for r in &burst {

@@ -177,6 +177,7 @@ fn serve_trace_smoke(_c: &mut Criterion) {
             kv,
             admission: AdmissionPolicy::Reserve,
             prefix_sharing: false,
+            speculative: None,
         },
     );
     for r in &requests {

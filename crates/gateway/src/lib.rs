@@ -47,6 +47,7 @@
 //!     kv: KvMode::Mant4 { group: 64 },
 //!     admission: AdmissionPolicy::Watermark { watermark_blocks: 4 },
 //!     prefix_sharing: true,
+//!     speculative: None,
 //! };
 //! let ((), report) = serve(&model, &packed, GatewayConfig::new(serve_cfg), |gw| {
 //!     let out = client::generate(

@@ -25,6 +25,7 @@ fn serve_cfg(max_batch: usize) -> ServeConfig {
             watermark_blocks: 2,
         },
         prefix_sharing: false,
+        speculative: None,
     }
 }
 

@@ -37,6 +37,7 @@
 //! block.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use mant_quant::pool::{attention_incremental_paged, KvCachePool, PagedKvCache, PoolConfig};
 use mant_quant::{quantize_vector_int8, QuantizedVector, VarianceMap};
@@ -45,6 +46,7 @@ use mant_tensor::ops::{gelu, rmsnorm, silu};
 
 use crate::backend::PackedWeights;
 use crate::config::FfnKind;
+use crate::eval::argmax;
 use crate::layers::{ActMode, KvMode, TransformerModel};
 
 /// Handle to one generation session inside a [`BatchRunner`]. Carries a
@@ -62,6 +64,34 @@ struct Session {
     caches: Vec<PagedKvCache>,
     seq_len: usize,
 }
+
+/// Outcome of one [`BatchRunner::speculate_step`].
+#[derive(Clone, Debug)]
+pub struct SpecOutcome {
+    /// Tokens appended to the canonical greedy stream, in order: the
+    /// draft candidates the target confirmed, then the target's own
+    /// argmax at the first divergence (or at the bonus position after a
+    /// full acceptance). Never empty. The **last** entry has not been
+    /// fed through either model yet — it is the next pending input,
+    /// exactly like the latest argmax a sequential greedy loop holds.
+    pub tokens: Vec<usize>,
+    /// Draft candidates proposed this step (the `k` passed in).
+    pub drafted: usize,
+    /// Leading draft candidates the target's own argmax confirmed.
+    pub accepted: usize,
+    /// Wall nanoseconds spent in the `k` single-token draft passes.
+    pub draft_ns: u64,
+    /// Wall nanoseconds spent in the one batched k-token verify pass.
+    pub verify_ns: u64,
+    /// Wall nanoseconds spent rolling both caches back past the
+    /// divergence.
+    pub rollback_ns: u64,
+}
+
+/// Per-layer f32 rows captured during a speculative span for checkpoint
+/// rollback: `capture[layer]` accumulates one `(k_row, v_row)` pair per
+/// processed token.
+type KvCapture = Vec<Vec<(Vec<f32>, Vec<f32>)>>;
 
 /// One registered prompt prefix: the exact token chain (hash collisions
 /// are verified away) plus per-layer cache snapshots holding the shared
@@ -540,6 +570,382 @@ impl BatchRunner<'_> {
         logits
     }
 
+    /// Processes `tokens` consecutive tokens for **one** session in a
+    /// single fused pass — the prefill-shaped run speculative
+    /// verification uses to turn k decode GEMVs into k-column GEMMs —
+    /// and returns one logit row per token, bit-identical to feeding the
+    /// same tokens through [`BatchRunner::step`] one at a time.
+    ///
+    /// Within each layer the cache interleaves push and attend per
+    /// token, so token `i` attends over exactly the rows a sequential
+    /// run would hold and every V-window commit fires at the same row
+    /// count; layer-major order changes nothing a causal transformer can
+    /// observe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale/unknown, `tokens` is empty or holds an
+    /// out-of-vocabulary token, or the pool runs out of blocks — the
+    /// caller budgets via [`BatchRunner::blocks_needed_for_spec_step`].
+    pub fn step_multi(&mut self, id: SessionId, tokens: &[usize]) -> Vec<Vec<f32>> {
+        self.step_multi_impl(id, tokens, None)
+    }
+
+    fn step_multi_impl(
+        &mut self,
+        id: SessionId,
+        tokens: &[usize],
+        mut capture: Option<&mut KvCapture>,
+    ) -> Vec<Vec<f32>> {
+        assert!(!tokens.is_empty(), "empty token run");
+        self.check(id);
+        let cfg = &self.model.config;
+        for &t in tokens {
+            assert!(t < cfg.vocab, "token {t} out of vocabulary");
+        }
+        let w = &self.model.weights;
+        let g = self.packed.group_size();
+        if let Some(cap) = capture.as_deref_mut() {
+            if cap.is_empty() {
+                cap.resize(w.layers.len(), Vec::new());
+            }
+        }
+
+        let prof = mant_trace::enabled();
+        let (mut t_gemm, mut t_attn, mut t_kv, mut t_gemv) = (0u64, 0u64, 0u64, 0u64);
+
+        let mut xs: Vec<Vec<f32>> = tokens
+            .iter()
+            .map(|&t| w.embedding.row(t).to_vec())
+            .collect();
+
+        for (li, layer) in w.layers.iter().enumerate() {
+            let pl = &self.packed.layers()[li];
+
+            // --- Attention block ---
+            let xqs = quantize_batch(xs.iter().map(|x| rmsnorm(x, &layer.attn_norm, 1e-5)), g);
+            let (qs, ks, vs) = timed(prof, &mut t_gemm, || {
+                (pl.wq.matmul(&xqs), pl.wk.matmul(&xqs), pl.wv.matmul(&xqs))
+            });
+            if let Some(cap) = capture.as_deref_mut() {
+                cap[li].extend(
+                    ks.iter()
+                        .zip(vs.iter())
+                        .map(|(k, v)| (k.clone(), v.clone())),
+                );
+            }
+            let mut attns: Vec<Vec<f32>> = Vec::with_capacity(tokens.len());
+            let (slots, pool) = (&mut self.slots, &mut self.pool);
+            for i in 0..tokens.len() {
+                timed(prof, &mut t_kv, || {
+                    let session = slots[id.slot].as_mut().expect("validated above");
+                    if let Err(e) = session.caches[li].push(pool, &ks[i], &vs[i]) {
+                        panic!(
+                            "{e} during a multi-token step; the caller must budget \
+                             blocks_needed_for_spec_step() free blocks before speculating"
+                        );
+                    }
+                });
+                attns.push(timed(prof, &mut t_attn, || {
+                    let session = slots[id.slot].as_ref().expect("validated above");
+                    attention_incremental_paged(
+                        &qs[i],
+                        &session.caches[li],
+                        pool,
+                        cfg.heads,
+                        cfg.kv_heads,
+                        cfg.head_dim(),
+                    )
+                }));
+            }
+            let attns_q = quantize_batch(attns.into_iter(), g);
+            let os = timed(prof, &mut t_gemm, || pl.wo.matmul(&attns_q));
+            for (x, o) in xs.iter_mut().zip(os.iter()) {
+                for (xi, oi) in x.iter_mut().zip(o.iter()) {
+                    *xi += oi;
+                }
+            }
+
+            // --- FFN block ---
+            let xnq = quantize_batch(xs.iter().map(|x| rmsnorm(x, &layer.ffn_norm, 1e-5)), g);
+            let hs: Vec<Vec<f32>> = match cfg.ffn_kind {
+                FfnKind::GatedSilu => {
+                    let gate_w = pl.w_gate.as_ref().expect("gated model packs a gate");
+                    let (gates, ups) = timed(prof, &mut t_gemm, || {
+                        (gate_w.matmul(&xnq), pl.w_up.matmul(&xnq))
+                    });
+                    gates
+                        .iter()
+                        .zip(ups.iter())
+                        .map(|(gate, up)| {
+                            gate.iter()
+                                .zip(up.iter())
+                                .map(|(&gv, &uv)| silu(gv) * uv)
+                                .collect()
+                        })
+                        .collect()
+                }
+                FfnKind::PlainGelu => {
+                    let ups = timed(prof, &mut t_gemm, || pl.w_up.matmul(&xnq));
+                    ups.iter()
+                        .map(|up| up.iter().map(|&u| gelu(u)).collect())
+                        .collect()
+                }
+            };
+            let hs_q = quantize_batch(hs.into_iter(), g);
+            let ffs = timed(prof, &mut t_gemm, || pl.w_down.matmul(&hs_q));
+            for (x, ff) in xs.iter_mut().zip(ffs.iter()) {
+                for (xi, fi) in x.iter_mut().zip(ff.iter()) {
+                    *xi += fi;
+                }
+            }
+        }
+
+        self.slots[id.slot]
+            .as_mut()
+            .expect("validated above")
+            .seq_len += tokens.len();
+        let finals: Vec<Vec<f32>> = xs.iter().map(|x| rmsnorm(x, &w.final_norm, 1e-5)).collect();
+        let final_refs: Vec<&[f32]> = finals.iter().map(Vec::as_slice).collect();
+        let logits = timed(prof, &mut t_gemv, || matvec_batch(&w.lm_head, &final_refs));
+        if prof {
+            mant_trace::tail_spans(&[
+                ("kernel.gemm", t_gemm),
+                ("kernel.attn", t_attn),
+                ("kernel.kv_quant", t_kv),
+                ("kernel.gemv", t_gemv),
+            ]);
+        }
+        logits
+    }
+
+    /// Rolls one session back to its first `len` tokens — every layer
+    /// cache (CoW-aware, staging replayed bit-exactly per
+    /// [`PagedKvCache::truncate`]) plus the session length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale/unknown, `len` exceeds the session
+    /// length, or the cut lands strictly inside a committed V window.
+    pub fn truncate_session(&mut self, id: SessionId, len: usize) {
+        self.check(id);
+        let (slots, pool) = (&mut self.slots, &mut self.pool);
+        let session = slots[id.slot].as_mut().expect("checked above");
+        assert!(
+            len <= session.seq_len,
+            "truncate length {len} exceeds session length {}",
+            session.seq_len
+        );
+        for cache in &mut session.caches {
+            cache.truncate(pool, len);
+        }
+        session.seq_len = len;
+    }
+
+    /// Free blocks a [`BatchRunner::speculate_step`] of `k` candidates
+    /// may consume **in this runner** for session `id`: the k-push burst
+    /// per layer, with the copy-on-write charge forced whenever the step
+    /// will fork a rollback checkpoint (the fork shares the trailing
+    /// partial block, so the span's first push must copy it). The
+    /// serving engine budgets this against the target and the draft
+    /// pool separately before scheduling speculation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is stale or unknown.
+    pub fn blocks_needed_for_spec_step(&self, id: SessionId, k: usize) -> usize {
+        self.check(id);
+        let session = self.slots[id.slot].as_ref().expect("checked above");
+        let ckpt = Self::needs_checkpoint(session.seq_len, k, self.kv_group);
+        session
+            .caches
+            .iter()
+            .map(|c| c.blocks_needed_for_pushes(&self.pool, k, ckpt))
+            .sum()
+    }
+
+    /// Whether a k-candidate speculative span starting at length `n` can
+    /// demand a rollback below a V window committed *during* the span —
+    /// the condition under which [`BatchRunner::speculate_step`] forks
+    /// checkpoint caches before touching the pool. At least one token is
+    /// always emitted, so a cut below `n + 1` never happens.
+    fn needs_checkpoint(n: usize, k: usize, group: usize) -> bool {
+        (n + k) / group * group > n + 1
+    }
+
+    /// One draft-and-verify round for session `id` (the target) against
+    /// `draft_id` in `draft` (the cheap model, kept in token lockstep):
+    ///
+    /// 1. **Draft**: feed the pending token `cur` and then each greedy
+    ///    draft prediction through the draft model, `k` single-token
+    ///    passes, yielding candidates `d_1..d_k`.
+    /// 2. **Verify**: feed `[cur, d_1..d_{k-1}]` through the target in
+    ///    one [`BatchRunner::step_multi`] pass — a k-column GEMM where
+    ///    sequential decode would pay k GEMVs. Row `i`'s argmax is the
+    ///    target's own next token after the true greedy prefix, because
+    ///    every earlier candidate in the run was confirmed before row
+    ///    `i` is consumed (accept-longest-prefix).
+    /// 3. **Rollback**: both caches hold `n + k` rows but the canonical
+    ///    stream keeps `n + tokens.len()`; the rejected tail is
+    ///    discarded via [`PagedKvCache::truncate`], or — when the cut
+    ///    would land under a V window committed during the span, which
+    ///    quantized state cannot replay — by reinstalling checkpoint
+    ///    caches forked at `n` and re-pushing the captured f32 rows.
+    ///
+    /// Greedy byte-identity: every emitted token is the argmax of target
+    /// logits computed over exactly the true greedy prefix, so the
+    /// emitted stream equals sequential target-only greedy decode
+    /// bit-for-bit regardless of what the draft proposes; the draft only
+    /// decides how many tokens each round yields (1 to `k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either session is stale/unknown, the sessions are not
+    /// at the same length, `k` is zero, `cur` is out of vocabulary, or
+    /// either pool runs out of blocks
+    /// ([`BatchRunner::blocks_needed_for_spec_step`] on both runners is
+    /// the budget).
+    pub fn speculate_step(
+        &mut self,
+        id: SessionId,
+        cur: usize,
+        draft: &mut BatchRunner<'_>,
+        draft_id: SessionId,
+        k: usize,
+    ) -> SpecOutcome {
+        assert!(k >= 1, "speculation needs at least one draft candidate");
+        self.check(id);
+        draft.check(draft_id);
+        let n = self.slots[id.slot].as_ref().expect("checked above").seq_len;
+        let dn = draft.slots[draft_id.slot]
+            .as_ref()
+            .expect("checked above")
+            .seq_len;
+        assert_eq!(n, dn, "draft session out of lockstep with the target");
+        let ckpt_t = Self::needs_checkpoint(n, k, self.kv_group);
+        let ckpt_d = Self::needs_checkpoint(n, k, draft.kv_group);
+
+        // Draft phase: greedy self-feeding. inputs[i] is what gets fed
+        // (cur, then every candidate but the last); drafts[i] is the
+        // candidate argmax'd out of pass i.
+        let t0 = Instant::now();
+        let draft_ckpt = ckpt_d.then(|| draft.fork_caches(draft_id));
+        let mut draft_cap: KvCapture = Vec::new();
+        let mut inputs = Vec::with_capacity(k);
+        let mut drafts = Vec::with_capacity(k);
+        let mut fed = cur;
+        for _ in 0..k {
+            inputs.push(fed);
+            let cap = if ckpt_d { Some(&mut draft_cap) } else { None };
+            let logits = draft.step_multi_impl(draft_id, &[fed], cap);
+            fed = argmax(&logits[0]);
+            drafts.push(fed);
+        }
+        let draft_ns = t0.elapsed().as_nanos() as u64;
+
+        // Verify: all k candidate positions in one batched target pass.
+        let t1 = Instant::now();
+        let target_ckpt = ckpt_t.then(|| self.fork_caches(id));
+        let mut target_cap: KvCapture = Vec::new();
+        let cap = if ckpt_t { Some(&mut target_cap) } else { None };
+        let rows = self.step_multi_impl(id, &inputs, cap);
+        let mut tokens = Vec::with_capacity(k);
+        let mut accepted = 0usize;
+        for (row, &d) in rows.iter().zip(drafts.iter()) {
+            let y = argmax(row);
+            tokens.push(y);
+            if y != d {
+                break;
+            }
+            accepted += 1;
+        }
+        let verify_ns = t1.elapsed().as_nanos() as u64;
+
+        // Rollback: keep the accepted prefix plus the pending token's
+        // fed predecessors; the last emitted token is pending, not fed.
+        let t2 = Instant::now();
+        let keep = n + tokens.len();
+        self.settle(id, n, keep, k, target_ckpt, &target_cap);
+        draft.settle(draft_id, n, keep, k, draft_ckpt, &draft_cap);
+        let rollback_ns = t2.elapsed().as_nanos() as u64;
+
+        SpecOutcome {
+            tokens,
+            drafted: k,
+            accepted,
+            draft_ns,
+            verify_ns,
+            rollback_ns,
+        }
+    }
+
+    /// Forks every layer cache of `id` in place (refcount bumps only) —
+    /// the rollback checkpoint a speculative span takes before it may
+    /// cut below a committed V window.
+    fn fork_caches(&mut self, id: SessionId) -> Vec<PagedKvCache> {
+        let (slots, pool) = (&mut self.slots, &mut self.pool);
+        let session = slots[id.slot].as_ref().expect("checked above");
+        session.caches.iter().map(|c| c.fork(pool)).collect()
+    }
+
+    /// Finishes a speculative span at `keep` rows. While the cut stays
+    /// at or above every window committed during the span,
+    /// [`PagedKvCache::truncate`]'s staging replay is bit-exact and any
+    /// checkpoint is simply released. A deeper cut cannot be replayed
+    /// from quantized state (committing a V window re-encodes it
+    /// lossily), so the checkpoint caches — forked at `n`, untouched
+    /// since — are reinstalled and fed the captured f32 rows up to
+    /// `keep`: exactly the push sequence a sequential run performs, and
+    /// therefore bit-identical to one.
+    fn settle(
+        &mut self,
+        id: SessionId,
+        n: usize,
+        keep: usize,
+        k: usize,
+        ckpt: Option<Vec<PagedKvCache>>,
+        cap: &KvCapture,
+    ) {
+        let g = self.kv_group;
+        let (slots, pool) = (&mut self.slots, &mut self.pool);
+        let session = slots[id.slot].as_mut().expect("checked above");
+        let committed_after = (n + k) / g * g;
+        if keep >= committed_after {
+            if keep < n + k {
+                for cache in &mut session.caches {
+                    cache.truncate(pool, keep);
+                }
+                session.seq_len = keep;
+            }
+            if let Some(mut caches) = ckpt {
+                for c in &mut caches {
+                    c.release(pool);
+                }
+            }
+            return;
+        }
+        let fresh = ckpt.expect("a checkpoint is always forked when an interior cut is possible");
+        debug_assert_eq!(
+            cap.len(),
+            session.caches.len(),
+            "capture covers every layer"
+        );
+        for (slot_cache, (mut cache, rows)) in session
+            .caches
+            .iter_mut()
+            .zip(fresh.into_iter().zip(cap.iter()))
+        {
+            slot_cache.release(pool);
+            for (k_row, v_row) in &rows[..keep - n] {
+                cache
+                    .push(pool, k_row, v_row)
+                    .expect("re-pushing rows the span already held cannot exhaust the pool");
+            }
+            *slot_cache = cache;
+        }
+        session.seq_len = keep;
+    }
+
     /// The KV quantization group size.
     pub fn kv_group(&self) -> usize {
         self.kv_group
@@ -828,6 +1234,151 @@ mod tests {
             2,
             "boundary: one per layer again"
         );
+    }
+
+    #[test]
+    fn step_multi_bit_identical_to_sequential_steps() {
+        // A 5-token run from row 14 crosses the 16-row V window boundary,
+        // so a commit fires mid-run; the fused pass must still match
+        // token-by-token stepping bit for bit.
+        let m = TransformerModel::synthesize(&ModelConfig::sim_llama(), 50);
+        let packed = m.pack_weights(64).unwrap();
+        let kv = KvMode::Int4 { group: 16 };
+        let mut br = m.batch_runner(&packed, ActMode::None, kv, 64, 16);
+        let a = br.create_session();
+        let b = br.create_session();
+        let prefix: Vec<usize> = (0..14).map(|i| (i * 23 + 1) % 512).collect();
+        let run: Vec<usize> = (0..5).map(|i| (i * 61 + 4) % 512).collect();
+        for &t in &prefix {
+            br.step(&[(a, t), (b, t)]);
+        }
+        let multi = br.step_multi(a, &run);
+        assert_eq!(multi.len(), run.len());
+        for (t, &tok) in run.iter().enumerate() {
+            let solo = br.step(&[(b, tok)]);
+            assert_eq!(
+                bits(&multi[t]),
+                bits(&solo[0]),
+                "step_multi diverged at token {t}"
+            );
+        }
+        assert_eq!(br.seq_len(a), prefix.len() + run.len());
+        // Both sessions continue identically afterwards.
+        let am = br.step(&[(a, 9)]);
+        let bm = br.step(&[(b, 9)]);
+        assert_eq!(bits(&am[0]), bits(&bm[0]));
+    }
+
+    #[test]
+    fn speculate_step_stream_matches_sequential_greedy() {
+        // A 3-layer target with its 1-layer draft truncation; a live tail
+        // keeps agreement partial so both the accept and reject paths
+        // run, and the sweep over prompt lengths and k moves the
+        // speculative span across 16-row V window boundaries — covering
+        // the staging-truncate rollback and the checkpoint rollback.
+        let mut cfg = ModelConfig::sim_llama();
+        cfg.layers = 3;
+        let spec = crate::synth::DraftConfig {
+            layers: 1,
+            tail_block_ratio: 0.25,
+        };
+        let (target, draft) = crate::synth::synthesize_speculative_pair(&cfg, 60, &spec);
+        let t_packed = target.pack_weights(64).unwrap();
+        let d_packed = draft.pack_weights(64).unwrap();
+        let kv = KvMode::Int4 { group: 16 };
+        for (prompt_len, k) in [(5usize, 2usize), (9, 3), (14, 5), (16, 4)] {
+            let prompt: Vec<usize> = (0..prompt_len).map(|i| (i * 29 + 11) % 512).collect();
+            let gen_len = 24;
+
+            // Sequential greedy reference on the target alone.
+            let mut seq = target.batch_runner(&t_packed, ActMode::None, kv, 96, 16);
+            let s = seq.create_session();
+            let mut logits = Vec::new();
+            for &t in &prompt {
+                logits = seq.step(&[(s, t)]);
+            }
+            let mut expect = vec![argmax(&logits[0])];
+            while expect.len() < gen_len {
+                let l = seq.step(&[(s, *expect.last().unwrap())]);
+                expect.push(argmax(&l[0]));
+            }
+
+            // Speculative decode over the same prompt.
+            let mut tr = target.batch_runner(&t_packed, ActMode::None, kv, 96, 16);
+            let mut dr = draft.batch_runner(&d_packed, ActMode::None, kv, 96, 16);
+            let tid = tr.create_session();
+            let did = dr.create_session();
+            let mut logits = Vec::new();
+            for &t in &prompt {
+                logits = tr.step(&[(tid, t)]);
+                dr.step(&[(did, t)]);
+            }
+            let mut got = vec![argmax(&logits[0])];
+            while got.len() < gen_len {
+                let cur = *got.last().unwrap();
+                let out = tr.speculate_step(tid, cur, &mut dr, did, k);
+                assert!(!out.tokens.is_empty());
+                assert!(out.accepted <= out.drafted);
+                got.extend(out.tokens);
+                assert_eq!(tr.seq_len(tid), dr.seq_len(did), "lockstep broken");
+            }
+            got.truncate(gen_len);
+            assert_eq!(
+                got, expect,
+                "speculative stream diverged (prompt {prompt_len}, k {k})"
+            );
+            // No block may leak through checkpoint forks or rollbacks.
+            tr.end_session(tid);
+            dr.end_session(did);
+            assert_eq!(tr.pool().used_blocks(), 0);
+            assert_eq!(dr.pool().used_blocks(), 0);
+        }
+    }
+
+    #[test]
+    fn speculate_step_high_agreement_accepts_most_candidates() {
+        // A near-inert tail makes the draft track the target closely
+        // under Int4 KV (shared fixed variance map), so acceptance must
+        // stay high. (An exactly-zero tail ratio cannot be used here:
+        // the MANT W4 grid has no zero code, so packed zeroed tail
+        // projections are *not* inert — see `DraftConfig`.)
+        let mut cfg = ModelConfig::sim_llama();
+        cfg.layers = 2;
+        let spec = crate::synth::DraftConfig {
+            layers: 1,
+            tail_block_ratio: 0.02,
+        };
+        let (target, draft) = crate::synth::synthesize_speculative_pair(&cfg, 61, &spec);
+        let t_packed = target.pack_weights(64).unwrap();
+        let d_packed = draft.pack_weights(64).unwrap();
+        let kv = KvMode::Int4 { group: 16 };
+        let mut tr = target.batch_runner(&t_packed, ActMode::None, kv, 96, 16);
+        let mut dr = draft.batch_runner(&d_packed, ActMode::None, kv, 96, 16);
+        let tid = tr.create_session();
+        let did = dr.create_session();
+        let prompt: Vec<usize> = (0..6).map(|i| (i * 17 + 2) % 512).collect();
+        let mut logits = Vec::new();
+        for &t in &prompt {
+            logits = tr.step(&[(tid, t)]);
+            dr.step(&[(did, t)]);
+        }
+        let mut cur = argmax(&logits[0]);
+        let (mut drafted, mut accepted) = (0usize, 0usize);
+        for _ in 0..6 {
+            let out = tr.speculate_step(tid, cur, &mut dr, did, 4);
+            drafted += out.drafted;
+            accepted += out.accepted;
+            cur = *out.tokens.last().unwrap();
+        }
+        assert_eq!(drafted, 24);
+        assert!(
+            accepted * 2 >= drafted,
+            "near-inert tail must keep acceptance high: {accepted}/{drafted}"
+        );
+        tr.end_session(tid);
+        dr.end_session(did);
+        assert_eq!(tr.pool().used_blocks(), 0);
+        assert_eq!(dr.pool().used_blocks(), 0);
     }
 
     #[test]

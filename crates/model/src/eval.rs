@@ -150,7 +150,15 @@ pub fn generation_fidelity(
     matches as f64 / gen_len as f64
 }
 
-fn argmax(v: &[f32]) -> usize {
+/// Greedy token choice over a logit vector. Ties break toward the
+/// **lowest index** (the first maximum wins, via a strict `>` sweep).
+///
+/// This is the one argmax every greedy consumer shares — the serving
+/// engine, the sequential baseline, the fidelity proxy, and the
+/// speculative verifier ([`crate::BatchRunner::speculate_step`]). A
+/// private copy with a different tie rule would silently break the
+/// byte-identity contracts between them.
+pub fn argmax(v: &[f32]) -> usize {
     let mut best = 0usize;
     let mut best_v = f32::NEG_INFINITY;
     for (i, &x) in v.iter().enumerate() {

@@ -32,11 +32,12 @@ pub mod layers;
 pub mod synth;
 
 pub use backend::{ExecutionBackend, PackedLayer, PackedWeights, QuantizedLinear};
-pub use batch::{BatchRunner, SessionId};
+pub use batch::{BatchRunner, SessionId, SpecOutcome};
 pub use calib::{calibrate, Calibration};
 pub use config::{FfnKind, ModelConfig};
-pub use eval::{generation_fidelity, perplexity_proxy, perplexity_proxy_packed, PplReport};
+pub use eval::{argmax, generation_fidelity, perplexity_proxy, perplexity_proxy_packed, PplReport};
 pub use layers::{
     run_sequence, run_sequence_packed, ActMode, ForwardObserver, KvMode, LayerWeights, ModelRunner,
     Proj, TransformerModel, TransformerWeights,
 };
+pub use synth::{synthesize_speculative_pair, DraftConfig};

@@ -31,6 +31,87 @@ const NORM_OUTLIER_GAIN: f32 = 8.0;
 
 /// Synthesizes a model with LLM-like tensor statistics from a seed.
 pub fn synthesize(config: &ModelConfig, seed: u64) -> TransformerModel {
+    let mut model = synthesize_raw(config, seed);
+    normalize_dynamics(&mut model, seed ^ 0x5eed, &vec![BLOCK_RATIO; config.layers]);
+    model
+}
+
+/// Shape of the cheap draft model carved out of a target synthesis by
+/// [`synthesize_speculative_pair`].
+#[derive(Clone, Copy, Debug)]
+pub struct DraftConfig {
+    /// Leading transformer layers the draft keeps (`1..=config.layers`).
+    pub layers: usize,
+    /// Block-contribution ratio assigned to the target's *tail* layers —
+    /// the layers the draft does not see. `0.0` makes the tail exactly
+    /// inert (its output projections are zeroed), so on the FP32
+    /// reference path draft and target logits coincide bit-for-bit;
+    /// raising it makes the tail matter and lowers greedy agreement. The
+    /// leading layers keep the standard ratio, so the knob tunes
+    /// *agreement* without degrading the draft itself.
+    ///
+    /// Note the `0.0` endpoint is FP32-only: the MANT W4 grid has no zero
+    /// code (and an all-zero group still gets a unit scale), so *packed*
+    /// tail layers cannot be exactly inert — a zeroed projection packs to
+    /// small nonzero weights. Packed/speculative workloads should use a
+    /// small positive ratio (e.g. `0.02`–`0.05`) and expect high-but-
+    /// imperfect agreement.
+    pub tail_block_ratio: f32,
+}
+
+/// Synthesizes a deterministic (target, draft) pair for speculative
+/// decoding: one target synthesis whose tail layers carry
+/// [`DraftConfig::tail_block_ratio`] of the stream, and a draft that is
+/// its exact truncation — shared embedding, the first
+/// [`DraftConfig::layers`] transformer layers, final norm, and LM head,
+/// in the same vocabulary. Draft agreement with the target is therefore
+/// tunable (and reproducible from the seed) through the tail ratio alone.
+///
+/// # Panics
+///
+/// Panics if `draft.layers` is zero or not strictly smaller than
+/// `config.layers`, or if the tail ratio is negative or non-finite.
+pub fn synthesize_speculative_pair(
+    config: &ModelConfig,
+    seed: u64,
+    draft: &DraftConfig,
+) -> (TransformerModel, TransformerModel) {
+    assert!(
+        draft.layers >= 1 && draft.layers < config.layers,
+        "draft must keep between 1 and layers-1 leading layers, got {} of {}",
+        draft.layers,
+        config.layers
+    );
+    assert!(
+        draft.tail_block_ratio >= 0.0 && draft.tail_block_ratio.is_finite(),
+        "tail block ratio must be finite and non-negative"
+    );
+    let mut target = synthesize_raw(config, seed);
+    let mut ratios = vec![BLOCK_RATIO; config.layers];
+    for r in ratios.iter_mut().skip(draft.layers) {
+        *r = draft.tail_block_ratio;
+    }
+    normalize_dynamics_sequential(&mut target, seed ^ 0x5eed, &ratios);
+
+    let mut draft_config = config.clone();
+    draft_config.layers = draft.layers;
+    let draft_model = TransformerModel {
+        config: draft_config,
+        weights: TransformerWeights {
+            embedding: target.weights.embedding.clone(),
+            layers: target.weights.layers[..draft.layers].to_vec(),
+            final_norm: target.weights.final_norm.clone(),
+            lm_head: target.weights.lm_head.clone(),
+        },
+        kv_map_cache: Default::default(),
+    };
+    (target, draft_model)
+}
+
+/// Raw weight synthesis — everything except the dynamics normalization
+/// pass, which the public entry points run with their own per-layer
+/// block-ratio profile.
+fn synthesize_raw(config: &ModelConfig, seed: u64) -> TransformerModel {
     let mut gen = TensorGenerator::new(seed);
     let hidden = config.hidden;
     let group = 64.min(hidden);
@@ -111,7 +192,7 @@ pub fn synthesize(config: &ModelConfig, seed: u64) -> TransformerModel {
     );
     let final_norm = norm_gain(&mut gen, &outlier);
 
-    let mut model = TransformerModel {
+    TransformerModel {
         config: config.clone(),
         weights: TransformerWeights {
             embedding,
@@ -120,9 +201,7 @@ pub fn synthesize(config: &ModelConfig, seed: u64) -> TransformerModel {
             lm_head,
         },
         kv_map_cache: Default::default(),
-    };
-    normalize_dynamics(&mut model, seed ^ 0x5eed);
-    model
+    }
 }
 
 /// Target ratio of block-contribution norm to residual norm. Kept small
@@ -134,76 +213,32 @@ const BLOCK_RATIO: f32 = 0.15;
 const LOGIT_STD: f32 = 2.0;
 
 /// Rescales output projections and the LM head so the synthetic model has
-/// transformer-like dynamics: a residual-dominated stream (each block adds
-/// ~[`BLOCK_RATIO`] of the stream's norm) and logits whose softmax is
-/// neither uniform nor one-hot. Without this, a random network amplifies
-/// quantization error into decorrelated outputs, which no trained LLM does.
-fn normalize_dynamics(model: &mut TransformerModel, probe_seed: u64) {
-    use crate::layers::{ActMode, ForwardObserver, KvMode, Proj};
-
-    #[derive(Default)]
-    struct Probe {
-        /// Per (layer, is_ffn): sums of block/residual ratios and counts.
-        ratios: Vec<(f64, usize)>,
-        logit_sq: f64,
-        logit_count: usize,
-    }
-    impl ForwardObserver for Probe {
-        fn on_block_contribution(
-            &mut self,
-            layer: usize,
-            proj: Proj,
-            residual_norm: f32,
-            block_norm: f32,
-        ) {
-            let idx = layer * 2 + usize::from(proj == Proj::Down);
-            if idx >= self.ratios.len() {
-                self.ratios.resize(idx + 1, (0.0, 0));
-            }
-            if residual_norm > 0.0 {
-                self.ratios[idx].0 += f64::from(block_norm / residual_norm);
-                self.ratios[idx].1 += 1;
-            }
-        }
-    }
-
-    let probe_tokens: Vec<usize> = {
-        let mut gen = TensorGenerator::new(probe_seed);
-        (0..6).map(|_| gen.token(model.config.vocab)).collect()
-    };
-    let run_probe = |model: &TransformerModel| -> Probe {
-        let mut p = Probe::default();
-        let mut runner = model.runner(ActMode::None, KvMode::Fp16);
-        for &t in &probe_tokens {
-            let logits = runner.step_observed(t, &mut p);
-            let mean: f64 = logits.iter().map(|&v| f64::from(v)).sum::<f64>() / logits.len() as f64;
-            p.logit_sq += logits
-                .iter()
-                .map(|&v| (f64::from(v) - mean) * (f64::from(v) - mean))
-                .sum::<f64>()
-                / logits.len() as f64;
-            p.logit_count += 1;
-        }
-        p
-    };
-
+/// transformer-like dynamics: a residual-dominated stream (layer `li`'s
+/// blocks each add ~`block_ratios[li]` of the stream's norm) and logits
+/// whose softmax is neither uniform nor one-hot. Without this, a random
+/// network amplifies quantization error into decorrelated outputs, which
+/// no trained LLM does. A ratio of exactly `0.0` zeroes the layer's output
+/// projections outright — a measured-ratio rescale can only approach zero,
+/// and [`synthesize_speculative_pair`] needs the tail *exactly* inert for
+/// its FP32 bit-identity endpoint.
+fn normalize_dynamics(model: &mut TransformerModel, probe_seed: u64, block_ratios: &[f32]) {
+    let probe_tokens = dynamics_probe_tokens(model, probe_seed);
     // Two passes: the first pass changes downstream statistics, the second
-    // converges the ratios.
+    // converges the ratios. (Exact only for uniform profiles — see
+    // `normalize_dynamics_sequential`.)
     for _ in 0..2 {
-        let probe = run_probe(model);
+        let probe = run_probe(model, &probe_tokens);
         for (li, layer) in model.weights.layers.iter_mut().enumerate() {
+            let target = block_ratios[li];
+            if target <= 0.0 {
+                layer.wo = layer.wo.map(|_| 0.0);
+                layer.w_down = layer.w_down.map(|_| 0.0);
+                continue;
+            }
             for (slot, is_ffn) in [(2 * li, false), (2 * li + 1, true)] {
-                let Some(&(sum, n)) = probe.ratios.get(slot) else {
+                let Some(s) = probe.rescale_for(slot, target) else {
                     continue;
                 };
-                if n == 0 {
-                    continue;
-                }
-                let ratio = (sum / n as f64) as f32;
-                if ratio <= 0.0 {
-                    continue;
-                }
-                let s = BLOCK_RATIO / ratio;
                 if is_ffn {
                     layer.w_down = layer.w_down.map(|v| v * s);
                 } else {
@@ -212,7 +247,122 @@ fn normalize_dynamics(model: &mut TransformerModel, probe_seed: u64) {
             }
         }
     }
-    let probe = run_probe(model);
+    scale_lm_head(model, &probe_tokens);
+}
+
+/// Per-slot exact variant of [`normalize_dynamics`] for **non-uniform**
+/// block-ratio profiles ([`synthesize_speculative_pair`]'s tail profile).
+///
+/// The two-pass scheme measures every block under one probe and rescales
+/// them simultaneously; because RMSNorm makes each block's output
+/// magnitude-invariant to its input, rescaling any upstream block shifts
+/// every downstream residual norm — and therefore every downstream
+/// measured ratio — by the same large factor, so simultaneous updates
+/// only settle when all targets are equal. Here each slot is probed and
+/// rescaled with every upstream slot already final: a block's
+/// contribution is linear in its own output projection and its incoming
+/// residual does not depend on it, so a single update per slot (in
+/// stream order) lands each measured ratio exactly on target.
+/// (`synthesize` keeps the legacy two-pass scheme so existing
+/// synthesized models stay bit-identical.)
+fn normalize_dynamics_sequential(
+    model: &mut TransformerModel,
+    probe_seed: u64,
+    block_ratios: &[f32],
+) {
+    let probe_tokens = dynamics_probe_tokens(model, probe_seed);
+    debug_assert_eq!(block_ratios.len(), model.weights.layers.len());
+    for (li, &target) in block_ratios.iter().enumerate() {
+        if target <= 0.0 {
+            let layer = &mut model.weights.layers[li];
+            layer.wo = layer.wo.map(|_| 0.0);
+            layer.w_down = layer.w_down.map(|_| 0.0);
+            continue;
+        }
+        for is_ffn in [false, true] {
+            let probe = run_probe(model, &probe_tokens);
+            let Some(s) = probe.rescale_for(2 * li + usize::from(is_ffn), target) else {
+                continue;
+            };
+            let layer = &mut model.weights.layers[li];
+            if is_ffn {
+                layer.w_down = layer.w_down.map(|v| v * s);
+            } else {
+                layer.wo = layer.wo.map(|v| v * s);
+            }
+        }
+    }
+    scale_lm_head(model, &probe_tokens);
+}
+
+/// Probe statistics gathered over a short FP32 forward run.
+#[derive(Default)]
+struct Probe {
+    /// Per (layer, is_ffn): sums of block/residual ratios and counts.
+    ratios: Vec<(f64, usize)>,
+    logit_sq: f64,
+    logit_count: usize,
+}
+
+impl Probe {
+    /// The multiplicative rescale that moves `slot`'s measured block ratio
+    /// onto `target`, or `None` if the slot was never (usefully) observed.
+    fn rescale_for(&self, slot: usize, target: f32) -> Option<f32> {
+        let &(sum, n) = self.ratios.get(slot)?;
+        if n == 0 {
+            return None;
+        }
+        let ratio = (sum / n as f64) as f32;
+        if ratio <= 0.0 {
+            return None;
+        }
+        Some(target / ratio)
+    }
+}
+
+impl crate::layers::ForwardObserver for Probe {
+    fn on_block_contribution(
+        &mut self,
+        layer: usize,
+        proj: crate::layers::Proj,
+        residual_norm: f32,
+        block_norm: f32,
+    ) {
+        let idx = layer * 2 + usize::from(proj == crate::layers::Proj::Down);
+        if idx >= self.ratios.len() {
+            self.ratios.resize(idx + 1, (0.0, 0));
+        }
+        if residual_norm > 0.0 {
+            self.ratios[idx].0 += f64::from(block_norm / residual_norm);
+            self.ratios[idx].1 += 1;
+        }
+    }
+}
+
+fn dynamics_probe_tokens(model: &TransformerModel, probe_seed: u64) -> Vec<usize> {
+    let mut gen = TensorGenerator::new(probe_seed);
+    (0..6).map(|_| gen.token(model.config.vocab)).collect()
+}
+
+fn run_probe(model: &TransformerModel, probe_tokens: &[usize]) -> Probe {
+    use crate::layers::{ActMode, KvMode};
+    let mut p = Probe::default();
+    let mut runner = model.runner(ActMode::None, KvMode::Fp16);
+    for &t in probe_tokens {
+        let logits = runner.step_observed(t, &mut p);
+        let mean: f64 = logits.iter().map(|&v| f64::from(v)).sum::<f64>() / logits.len() as f64;
+        p.logit_sq += logits
+            .iter()
+            .map(|&v| (f64::from(v) - mean) * (f64::from(v) - mean))
+            .sum::<f64>()
+            / logits.len() as f64;
+        p.logit_count += 1;
+    }
+    p
+}
+
+fn scale_lm_head(model: &mut TransformerModel, probe_tokens: &[usize]) {
+    let probe = run_probe(model, probe_tokens);
     if probe.logit_count > 0 {
         let std = (probe.logit_sq / probe.logit_count as f64).sqrt() as f32;
         if std > 0.0 {
@@ -270,6 +420,69 @@ mod tests {
         assert_eq!(l.w_down.shape(), (cfg.hidden, cfg.ffn));
         assert_eq!(m.weights.embedding.shape(), (cfg.vocab, cfg.hidden));
         assert_eq!(m.weights.lm_head.shape(), (cfg.vocab, cfg.hidden));
+    }
+
+    #[test]
+    fn speculative_pair_tail_ratio_tunes_agreement() {
+        use crate::layers::{run_sequence, ActMode, KvMode};
+        let mut cfg = ModelConfig::sim_llama();
+        cfg.layers = 3;
+        let tokens: Vec<usize> = (0..10).map(|i| (i * 37 + 3) % cfg.vocab).collect();
+
+        // Inert tail: the draft is an exact functional copy of the target.
+        let inert = DraftConfig {
+            layers: 1,
+            tail_block_ratio: 0.0,
+        };
+        let (target, draft) = synthesize_speculative_pair(&cfg, 11, &inert);
+        assert_eq!(target.config.layers, 3);
+        assert_eq!(draft.config.layers, 1);
+        let t_logits = run_sequence(&target, ActMode::None, KvMode::Fp16, &tokens);
+        let d_logits = run_sequence(&draft, ActMode::None, KvMode::Fp16, &tokens);
+        assert_eq!(
+            t_logits.as_slice(),
+            d_logits.as_slice(),
+            "a zero tail ratio must make target and draft logits coincide"
+        );
+
+        // A live tail makes the target's extra layers matter.
+        let live = DraftConfig {
+            layers: 1,
+            tail_block_ratio: 0.3,
+        };
+        let (target, draft) = synthesize_speculative_pair(&cfg, 11, &live);
+        let t_logits = run_sequence(&target, ActMode::None, KvMode::Fp16, &tokens);
+        let d_logits = run_sequence(&draft, ActMode::None, KvMode::Fp16, &tokens);
+        assert_ne!(
+            t_logits.as_slice(),
+            d_logits.as_slice(),
+            "a live tail must separate target and draft"
+        );
+
+        // Determinism of the pair construction.
+        let (t2, d2) = synthesize_speculative_pair(&cfg, 11, &live);
+        assert_eq!(
+            target.weights.layers[2].wo.as_slice(),
+            t2.weights.layers[2].wo.as_slice()
+        );
+        assert_eq!(
+            draft.weights.lm_head.as_slice(),
+            d2.weights.lm_head.as_slice()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "draft must keep")]
+    fn speculative_pair_rejects_full_depth_draft() {
+        let cfg = ModelConfig::sim_llama();
+        let _ = synthesize_speculative_pair(
+            &cfg,
+            1,
+            &DraftConfig {
+                layers: cfg.layers,
+                tail_block_ratio: 0.0,
+            },
+        );
     }
 
     #[test]

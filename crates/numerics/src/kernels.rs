@@ -173,6 +173,57 @@ pub fn dot_packed_x4(xcodes: &[i8], w: [&[u8]; 4], luts: [&PairLut; 4]) -> [i64;
     acc.map(i64::from)
 }
 
+/// Decodes a nibble-packed weight group into its integer operands in
+/// natural code order — the amortization step of the decode-once GEMM:
+/// for a batch of activations, each weight group is decoded to i16
+/// **once** and every batch member then sweeps the decoded operands with
+/// the plain [`dot_i8_i16`] MAC, instead of paying the pair-table walk
+/// per member. Entry `i` of `out` is exactly `lut`'s decoded value for
+/// code `i` (decoded MANT operands span ±1017, comfortably inside i16 —
+/// see [`MAX_I32_GROUP`]'s derivation), so any dot over the decoded
+/// operands is bit-identical to the fused packed kernels.
+///
+/// `len` is the number of codes; an odd `len` consumes only the final
+/// byte's low nibble, mirroring [`dot_packed`].
+///
+/// # Panics
+///
+/// Debug-asserts `wpacked` holds `len.div_ceil(2)` bytes and `out` holds
+/// exactly `len` entries.
+pub fn decode_packed_i16(wpacked: &[u8], len: usize, lut: &PairLut, out: &mut [i16]) {
+    debug_assert_eq!(wpacked.len(), len.div_ceil(2));
+    debug_assert_eq!(out.len(), len);
+    let mut pairs = out.chunks_exact_mut(2);
+    for (op, &b) in pairs.by_ref().zip(wpacked.iter()) {
+        let ops = &lut[usize::from(b)];
+        op[0] = ops[0] as i16;
+        op[1] = ops[1] as i16;
+    }
+    if let [o] = pairs.into_remainder() {
+        *o = lut[usize::from(wpacked[len / 2])][0] as i16;
+    }
+}
+
+/// Integer dot of INT8 activation codes against a group's **pre-decoded**
+/// i16 operands ([`decode_packed_i16`]) — the per-member inner loop of
+/// the decode-once GEMM. Bit-identical to [`dot_packed`] on the packed
+/// codes: the decoded operands are the identical integers and the i32
+/// accumulation is exact under the [`MAX_I32_GROUP`] bound, so any
+/// summation order gives the same total.
+///
+/// # Panics
+///
+/// Debug-asserts equal lengths within [`MAX_I32_GROUP`].
+pub fn dot_i8_i16(xcodes: &[i8], w: &[i16]) -> i64 {
+    debug_assert_eq!(xcodes.len(), w.len());
+    debug_assert!(xcodes.len() <= MAX_I32_GROUP, "i32 group bound exceeded");
+    let mut acc = 0i32;
+    for (&x, &wv) in xcodes.iter().zip(w.iter()) {
+        acc += i32::from(x) * i32::from(wv);
+    }
+    i64::from(acc)
+}
+
 /// Plain INT8 × INT8 dot product — the staging-window lane of the V-cache
 /// attention path (`P·V` against rows still held in the INT8 process
 /// window).
@@ -358,6 +409,44 @@ mod tests {
         assert!(expect > i64::from(i32::MAX) * 99 / 100, "bound is tight");
         assert_eq!(dot_packed(&xcodes, &packed, &lut), expect);
         assert_eq!(mant_group_psums(&xcodes, &wcodes, mant), expect);
+    }
+
+    #[test]
+    fn decode_then_dot_matches_packed_dot() {
+        use crate::packing::pack_nibbles;
+        // The decode-once pair must be bit-identical to the fused packed
+        // kernel on every length, including odd tails.
+        for len in [1usize, 2, 7, 8, 63, 64, 65] {
+            let xcodes: Vec<i8> = (0..len).map(|i| ((i * 53) % 255) as u8 as i8).collect();
+            let wcodes: Vec<u8> = (0..len).map(|i| ((i * 11) % 16) as u8).collect();
+            let packed = pack_nibbles(&wcodes);
+            for a in [0u32, 5, 17, 60, 127] {
+                let mant = Mant::new(a).unwrap();
+                let lut = pair_decode_lut(&mant_decode_lut(mant));
+                let mut dec = vec![0i16; len];
+                decode_packed_i16(&packed, len, &lut, &mut dec);
+                for (i, (&d, &w)) in dec.iter().zip(wcodes.iter()).enumerate() {
+                    assert_eq!(i32::from(d), lut[usize::from(w)][0], "a={a} code {i}");
+                }
+                assert_eq!(
+                    dot_i8_i16(&xcodes, &dec),
+                    dot_packed(&xcodes, &packed, &lut),
+                    "a={a} len={len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dot_i8_i16_exact_at_i32_bound() {
+        // Worst-case magnitudes at the maximum admissible group length —
+        // the decoded-operand MAC must sum exactly like the packed kernel.
+        let xcodes = vec![-128i8; MAX_I32_GROUP];
+        let dec = vec![-(127i16 * 7 + 128); MAX_I32_GROUP];
+        assert_eq!(
+            dot_i8_i16(&xcodes, &dec),
+            MAX_I32_GROUP as i64 * 128 * (127 * 7 + 128)
+        );
     }
 
     #[test]

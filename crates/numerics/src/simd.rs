@@ -259,6 +259,74 @@ impl KernelDispatch {
         }
     }
 
+    /// [`crate::kernels::decode_packed_i16`] through this tier — decodes
+    /// a nibble-packed weight group to its i16 integer operands in
+    /// natural code order, the once-per-tile amortization step of the
+    /// decode-once GEMM. Every tier emits the identical operand values
+    /// (the SIMD path reassembles them from the same `lo8`/`hi8` shuffle
+    /// tables the fused kernels use), so downstream dots are
+    /// bit-identical regardless of tier.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the same contract as the scalar kernel.
+    pub fn decode_packed_i16(self, wpacked: &[u8], len: usize, lut: &KernelLut, out: &mut [i16]) {
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            KernelDispatch::Avx2 if std::arch::is_x86_feature_detected!("avx2") => {
+                // SAFETY: the match guard just confirmed AVX2 on this CPU.
+                unsafe { x86::decode_packed_i16_avx2(wpacked, len, lut, out) }
+            }
+            _ => kernels::decode_packed_i16(wpacked, len, &lut.pair, out),
+        }
+    }
+
+    /// Grouped four-row sweep of [`crate::kernels::dot_i8_i16`]: group
+    /// `g` of `out` holds the dots of the `g`-th `group_size`-code slice
+    /// of `xcodes` against each row's `g`-th decoded-operand slice. The
+    /// per-member inner loop of the decode-once GEMM — with the weight
+    /// tile already decoded ([`KernelDispatch::decode_packed_i16`]), each
+    /// batch member pays only sign-extended loads and `pmaddwd`
+    /// multiply-accumulates, no per-member nibble decode. Bit-identical
+    /// to the scalar kernel on every input: the products are exact i32s
+    /// under the [`MAX_I32_GROUP`](crate::kernels::MAX_I32_GROUP) bound,
+    /// so any lane arrangement sums to the same total.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the slice lengths agree and `group_size` respects
+    /// [`MAX_I32_GROUP`](crate::kernels::MAX_I32_GROUP).
+    pub fn dot_i16_x4_groups(
+        self,
+        xcodes: &[i8],
+        w16: [&[i16]; 4],
+        group_size: usize,
+        out: &mut [[i64; 4]],
+    ) {
+        let groups = out.len();
+        debug_assert_eq!(xcodes.len(), groups * group_size);
+        debug_assert!(w16.iter().all(|r| r.len() == groups * group_size));
+        debug_assert!(group_size <= kernels::MAX_I32_GROUP, "i32 group bound");
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            KernelDispatch::Avx2 if std::arch::is_x86_feature_detected!("avx2") => {
+                // SAFETY: the match guard just confirmed AVX2 on this CPU.
+                unsafe { x86::dot_i16_x4_groups_avx2(xcodes, w16, group_size, out) }
+            }
+            _ => {
+                for (g, o) in out.iter_mut().enumerate() {
+                    let xg = &xcodes[g * group_size..(g + 1) * group_size];
+                    for lane in 0..4 {
+                        o[lane] = kernels::dot_i8_i16(
+                            xg,
+                            &w16[lane][g * group_size..(g + 1) * group_size],
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// [`crate::kernels::int8_dot`] through this tier. Unlike the group
     /// dots there is no length bound here (the scalar kernel accumulates
     /// in i64), so the vector tiers drain their i32 lane accumulators to
@@ -280,6 +348,45 @@ impl KernelDispatch {
                 unsafe { x86::int8_dot_ssse3(a, b) }
             }
             _ => kernels::int8_dot(a, b),
+        }
+    }
+
+    /// Two batch members through [`KernelDispatch::dot_i16_x4_groups`] in
+    /// one pass over the decoded weight tile: each 32-operand row block
+    /// is loaded **once** and multiply-accumulated against both members'
+    /// sign-extended activations. The sweep is load-bound, and weight
+    /// loads dominate (eight per block against two activation loads), so
+    /// pairing nearly halves the traffic that gates GEMM throughput.
+    /// Each member's accumulation chain is instruction-for-instruction
+    /// the chain of the single-member sweep, so both results stay
+    /// bit-identical to the scalar kernel.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the same per-member contract as
+    /// [`KernelDispatch::dot_i16_x4_groups`].
+    #[allow(clippy::similar_names)]
+    pub fn dot_i16_x4_groups_x2(
+        self,
+        xa: &[i8],
+        xb: &[i8],
+        w16: [&[i16]; 4],
+        group_size: usize,
+        out_a: &mut [[i64; 4]],
+        out_b: &mut [[i64; 4]],
+    ) {
+        debug_assert_eq!(xa.len(), xb.len());
+        debug_assert_eq!(out_a.len(), out_b.len());
+        match self {
+            #[cfg(target_arch = "x86_64")]
+            KernelDispatch::Avx2 if std::arch::is_x86_feature_detected!("avx2") => {
+                // SAFETY: the match guard just confirmed AVX2 on this CPU.
+                unsafe { x86::dot_i16_x4_groups_x2_avx2(xa, xb, w16, group_size, out_a, out_b) }
+            }
+            _ => {
+                self.dot_i16_x4_groups(xa, w16, group_size, out_a);
+                self.dot_i16_x4_groups(xb, w16, group_size, out_b);
+            }
         }
     }
 
@@ -724,6 +831,208 @@ mod x86 {
         out
     }
 
+    /// AVX2 [`kernels::decode_packed_i16`]: 16 packed bytes (32 codes)
+    /// per iteration. The shuffle-table reassembly is the same
+    /// [`decode16_avx2`] the fused dot kernels use — identical operand
+    /// values — but here the even/odd lane vectors are re-interleaved
+    /// into natural code order and stored, so a whole batch can sweep
+    /// them afterwards without re-decoding. `punpcklwd`/`punpckhwd`
+    /// interleave within 128-bit halves, so one `vperm2i128` pair
+    /// restores cross-lane order.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn decode_packed_i16_avx2(
+        wpacked: &[u8],
+        len: usize,
+        lut: &KernelLut,
+        out: &mut [i16],
+    ) {
+        debug_assert_eq!(wpacked.len(), len.div_ceil(2));
+        debug_assert_eq!(out.len(), len);
+        let blocks = len / 32;
+        // SAFETY: `lo8`/`hi8` are 16-byte arrays; unaligned 16-byte loads.
+        let (tlo, thi) = unsafe {
+            (
+                _mm_loadu_si128(lut.lo8.as_ptr().cast()),
+                _mm_loadu_si128(lut.hi8.as_ptr().cast()),
+            )
+        };
+        let tlo = _mm256_broadcastsi128_si256(tlo);
+        let thi = _mm256_broadcastsi128_si256(thi);
+        let m0f = _mm256_set1_epi16(0x0f);
+        let m00ff = _mm256_set1_epi16(0x00ff);
+        for i in 0..blocks {
+            // SAFETY: `i < blocks = len / 32`, so the 16-byte load at
+            // `i*16` is within `wpacked`'s `ceil(len/2)` bytes.
+            let wb = unsafe { _mm_loadu_si128(wpacked.as_ptr().add(i * 16).cast()) };
+            let w16 = _mm256_cvtepu8_epi16(wb);
+            // Lane k holds packed byte k: low nibble = code 2k (even),
+            // high nibble = code 2k+1 (odd).
+            let we = decode16_avx2(_mm256_and_si256(w16, m0f), tlo, thi, m00ff);
+            let wo = decode16_avx2(_mm256_srli_epi16::<4>(w16), tlo, thi, m00ff);
+            let lo = _mm256_unpacklo_epi16(we, wo);
+            let hi = _mm256_unpackhi_epi16(we, wo);
+            let first = _mm256_permute2x128_si256::<0x20>(lo, hi);
+            let second = _mm256_permute2x128_si256::<0x31>(lo, hi);
+            // SAFETY: `i*32 + 32 <= blocks*32 <= len = out.len()`, so both
+            // 32-byte stores stay inside `out`.
+            unsafe {
+                _mm256_storeu_si256(out.as_mut_ptr().add(i * 32).cast(), first);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i * 32 + 16).cast(), second);
+            }
+        }
+        kernels::decode_packed_i16(
+            &wpacked[blocks * 16..],
+            len - blocks * 32,
+            &lut.pair,
+            &mut out[blocks * 32..],
+        );
+    }
+
+    /// AVX2 grouped four-row sweep over **pre-decoded** i16 weight
+    /// operands (see [`super::KernelDispatch::dot_i16_x4_groups`]): per
+    /// 32 codes, the activation is sign-extended once and swept across
+    /// all four rows with plain loads and `pmaddwd` — the nibble decode
+    /// the fused kernels pay per call was already hoisted into
+    /// [`decode_packed_i16_avx2`]. Exactness: every `pmaddwd` lane sum
+    /// is a subset of one group's products, bounded by
+    /// [`MAX_I32_GROUP`], so i32 addition is associative and the hadd
+    /// reduction matches the scalar kernel bit for bit.
+    #[target_feature(enable = "avx2")]
+    pub(super) fn dot_i16_x4_groups_avx2(
+        xcodes: &[i8],
+        w16: [&[i16]; 4],
+        group_size: usize,
+        out: &mut [[i64; 4]],
+    ) {
+        let blocks = group_size / 32;
+        for (g, o) in out.iter_mut().enumerate() {
+            let xg = &xcodes[g * group_size..(g + 1) * group_size];
+            let mut acc = [_mm256_setzero_si256(); 4];
+            for i in 0..blocks {
+                // SAFETY: `i < blocks = group_size / 32`: the 32-byte load
+                // stays inside this group's slice of `xcodes`.
+                let x = unsafe { _mm256_loadu_si256(xg.as_ptr().add(i * 32).cast()) };
+                let xlo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(x));
+                let xhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(x));
+                for lane in 0..4 {
+                    // SAFETY: every row holds `groups * group_size`
+                    // operands, so the two 16-operand loads at
+                    // `g*group_size + i*32` are in bounds.
+                    let (wlo, whi) = unsafe {
+                        let base = w16[lane].as_ptr().add(g * group_size + i * 32);
+                        (
+                            _mm256_loadu_si256(base.cast()),
+                            _mm256_loadu_si256(base.add(16).cast()),
+                        )
+                    };
+                    acc[lane] = _mm256_add_epi32(acc[lane], _mm256_madd_epi16(xlo, wlo));
+                    acc[lane] = _mm256_add_epi32(acc[lane], _mm256_madd_epi16(xhi, whi));
+                }
+            }
+            let mut tail = [0i64; 4];
+            if blocks * 32 < group_size {
+                for (lane, t) in tail.iter_mut().enumerate() {
+                    *t = kernels::dot_i8_i16(
+                        &xg[blocks * 32..],
+                        &w16[lane][g * group_size + blocks * 32..(g + 1) * group_size],
+                    );
+                }
+            }
+            // Same hadd tree as [`dot_packed_x4_groups_avx2`]; exact under
+            // the group bound.
+            let s01 = _mm256_hadd_epi32(acc[0], acc[1]);
+            let s23 = _mm256_hadd_epi32(acc[2], acc[3]);
+            let s = _mm256_hadd_epi32(s01, s23);
+            let quad = _mm_add_epi32(_mm256_castsi256_si128(s), _mm256_extracti128_si256::<1>(s));
+            let mut sums = [0i32; 4];
+            // SAFETY: `sums` is a writable 16-byte buffer.
+            unsafe { _mm_storeu_si128(sums.as_mut_ptr().cast(), quad) };
+            for lane in 0..4 {
+                o[lane] = i64::from(sums[lane]) + tail[lane];
+            }
+        }
+    }
+
+    /// AVX2 paired sweep (see
+    /// [`super::KernelDispatch::dot_i16_x4_groups_x2`]): per 32-code
+    /// block each row's two operand vectors are loaded once and fed to
+    /// `pmaddwd` against both members. Eight accumulators (four rows ×
+    /// two members), four extended activations and two weight temporaries
+    /// stay within the sixteen ymm registers. Per member the accumulator
+    /// updates are exactly those of [`dot_i16_x4_groups_avx2`], so the
+    /// reduction is bit-identical to running the single-member sweep
+    /// twice.
+    #[target_feature(enable = "avx2")]
+    #[allow(clippy::similar_names)]
+    pub(super) fn dot_i16_x4_groups_x2_avx2(
+        xa: &[i8],
+        xb: &[i8],
+        w16: [&[i16]; 4],
+        group_size: usize,
+        out_a: &mut [[i64; 4]],
+        out_b: &mut [[i64; 4]],
+    ) {
+        let blocks = group_size / 32;
+        for (g, (oa, ob)) in out_a.iter_mut().zip(out_b.iter_mut()).enumerate() {
+            let xga = &xa[g * group_size..(g + 1) * group_size];
+            let xgb = &xb[g * group_size..(g + 1) * group_size];
+            let mut acc_a = [_mm256_setzero_si256(); 4];
+            let mut acc_b = [_mm256_setzero_si256(); 4];
+            for i in 0..blocks {
+                // SAFETY: `i < blocks = group_size / 32`: both 32-byte
+                // loads stay inside this group's activation slices.
+                let (va, vb) = unsafe {
+                    (
+                        _mm256_loadu_si256(xga.as_ptr().add(i * 32).cast()),
+                        _mm256_loadu_si256(xgb.as_ptr().add(i * 32).cast()),
+                    )
+                };
+                let alo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(va));
+                let ahi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(va));
+                let blo = _mm256_cvtepi8_epi16(_mm256_castsi256_si128(vb));
+                let bhi = _mm256_cvtepi8_epi16(_mm256_extracti128_si256::<1>(vb));
+                for lane in 0..4 {
+                    // SAFETY: every row holds `groups * group_size`
+                    // operands, so the two 16-operand loads at
+                    // `g*group_size + i*32` are in bounds.
+                    let (wlo, whi) = unsafe {
+                        let base = w16[lane].as_ptr().add(g * group_size + i * 32);
+                        (
+                            _mm256_loadu_si256(base.cast()),
+                            _mm256_loadu_si256(base.add(16).cast()),
+                        )
+                    };
+                    acc_a[lane] = _mm256_add_epi32(acc_a[lane], _mm256_madd_epi16(alo, wlo));
+                    acc_a[lane] = _mm256_add_epi32(acc_a[lane], _mm256_madd_epi16(ahi, whi));
+                    acc_b[lane] = _mm256_add_epi32(acc_b[lane], _mm256_madd_epi16(blo, wlo));
+                    acc_b[lane] = _mm256_add_epi32(acc_b[lane], _mm256_madd_epi16(bhi, whi));
+                }
+            }
+            for (acc, xg, o) in [(acc_a, xga, oa), (acc_b, xgb, ob)] {
+                let mut tail = [0i64; 4];
+                if blocks * 32 < group_size {
+                    for (lane, t) in tail.iter_mut().enumerate() {
+                        *t = kernels::dot_i8_i16(
+                            &xg[blocks * 32..],
+                            &w16[lane][g * group_size + blocks * 32..(g + 1) * group_size],
+                        );
+                    }
+                }
+                let s01 = _mm256_hadd_epi32(acc[0], acc[1]);
+                let s23 = _mm256_hadd_epi32(acc[2], acc[3]);
+                let s = _mm256_hadd_epi32(s01, s23);
+                let quad =
+                    _mm_add_epi32(_mm256_castsi256_si128(s), _mm256_extracti128_si256::<1>(s));
+                let mut sums = [0i32; 4];
+                // SAFETY: `sums` is a writable 16-byte buffer.
+                unsafe { _mm_storeu_si128(sums.as_mut_ptr().cast(), quad) };
+                for lane in 0..4 {
+                    o[lane] = i64::from(sums[lane]) + tail[lane];
+                }
+            }
+        }
+    }
+
     /// AVX2 [`kernels::int8_dot`]: 32 elements per iteration, i32 lanes
     /// drained to the i64 total every [`INT8_CHUNK`] elements (the scalar
     /// kernel has no length bound, so the vector path must chunk).
@@ -988,6 +1297,111 @@ mod tests {
                     "{} len {len}",
                     d.name()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_packed_i16_matches_scalar_all_tiers() {
+        for len in [0usize, 1, 2, 15, 16, 31, 32, 33, 63, 64, 65, 129] {
+            let wcodes: Vec<u8> = (0..len).map(|i| ((i * 7 + 5) % 16) as u8).collect();
+            let packed = pack_nibbles(&wcodes);
+            for lut in luts_under_test() {
+                let mut oracle = vec![0i16; len];
+                kernels::decode_packed_i16(&packed, len, &lut.pair, &mut oracle);
+                for d in tiers() {
+                    let mut got = vec![0i16; len];
+                    d.decode_packed_i16(&packed, len, &lut, &mut got);
+                    assert_eq!(got, oracle, "tier {} len {len}", d.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dot_i16_x4_groups_matches_scalar_and_packed_all_tiers() {
+        // Cross-check the whole decode-once pair against the fused packed
+        // grouped kernel on every tier: decode each row, sweep the decoded
+        // operands, and require bit-identity with dot_packed_x4_groups.
+        for (groups, gs) in [(1usize, 16usize), (2, 32), (3, 64), (2, 33)] {
+            let len = groups * gs;
+            let xcodes: Vec<i8> = (0..len).map(|i| ((i * 73 + 9) % 255) as u8 as i8).collect();
+            let rows: Vec<Vec<u8>> = (0..4)
+                .map(|r| (0..len).map(|i| ((i * 5 + r * 3) % 16) as u8).collect())
+                .collect();
+            let luts: Vec<KernelLut> = [0u32, 17, 60, 127]
+                .iter()
+                .map(|&a| kernel_lut(&mant_decode_lut(Mant::new(a).unwrap())))
+                .collect();
+            // Per-row packed codes (groups packed independently, as the
+            // quantized matrix stores them) and per-group LUT slices.
+            let gb = gs.div_ceil(2);
+            let packed: Vec<Vec<u8>> = rows
+                .iter()
+                .map(|r| {
+                    let mut p = Vec::with_capacity(groups * gb);
+                    for g in 0..groups {
+                        p.extend(pack_nibbles(&r[g * gs..(g + 1) * gs]));
+                    }
+                    p
+                })
+                .collect();
+            let lut_rows: Vec<Vec<&KernelLut>> =
+                (0..4).map(|lane| vec![&luts[lane]; groups]).collect();
+            let mut expect = vec![[0i64; 4]; groups];
+            KernelDispatch::Scalar.dot_packed_x4_groups(
+                &xcodes,
+                [&packed[0], &packed[1], &packed[2], &packed[3]],
+                gs,
+                [&lut_rows[0], &lut_rows[1], &lut_rows[2], &lut_rows[3]],
+                &mut expect,
+            );
+            for d in tiers() {
+                let mut dec: Vec<Vec<i16>> = vec![vec![0i16; len]; 4];
+                for lane in 0..4 {
+                    for g in 0..groups {
+                        d.decode_packed_i16(
+                            &packed[lane][g * gb..(g + 1) * gb],
+                            gs,
+                            &luts[lane],
+                            &mut dec[lane][g * gs..(g + 1) * gs],
+                        );
+                    }
+                }
+                let mut got = vec![[0i64; 4]; groups];
+                d.dot_i16_x4_groups(&xcodes, [&dec[0], &dec[1], &dec[2], &dec[3]], gs, &mut got);
+                assert_eq!(got, expect, "tier {} groups {groups} gs {gs}", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn dot_i16_x4_groups_x2_matches_single_member_all_tiers() {
+        // The paired two-member sweep must equal two single-member sweeps
+        // bit for bit on every tier, including odd group sizes that force
+        // the scalar tail.
+        for (groups, gs) in [(1usize, 16usize), (2, 32), (3, 64), (2, 33)] {
+            let len = groups * gs;
+            let xa: Vec<i8> = (0..len).map(|i| ((i * 73 + 9) % 255) as u8 as i8).collect();
+            let xb: Vec<i8> = (0..len).map(|i| ((i * 41 + 5) % 255) as u8 as i8).collect();
+            let dec: Vec<Vec<i16>> = (0..4)
+                .map(|r| {
+                    (0..len)
+                        .map(|i| ((i * 29 + r * 13) % 2035) as i16 - 1017)
+                        .collect()
+                })
+                .collect();
+            let w16 = [&dec[0][..], &dec[1][..], &dec[2][..], &dec[3][..]];
+            let mut expect_a = vec![[0i64; 4]; groups];
+            let mut expect_b = vec![[0i64; 4]; groups];
+            KernelDispatch::Scalar.dot_i16_x4_groups(&xa, w16, gs, &mut expect_a);
+            KernelDispatch::Scalar.dot_i16_x4_groups(&xb, w16, gs, &mut expect_b);
+            for d in tiers() {
+                let mut got_a = vec![[0i64; 4]; groups];
+                let mut got_b = vec![[0i64; 4]; groups];
+                d.dot_i16_x4_groups_x2(&xa, &xb, w16, gs, &mut got_a, &mut got_b);
+                assert_eq!(got_a, expect_a, "tier {} groups {groups} gs {gs}", d.name());
+                assert_eq!(got_b, expect_b, "tier {} groups {groups} gs {gs}", d.name());
             }
         }
     }

@@ -158,17 +158,30 @@ pub fn mant_gemm_with(
 
 /// Batched [`mant_gemv`]: one weight matrix against a whole batch of
 /// independently quantized activation vectors (a continuous-batching
-/// decode iteration's ragged batch). Runs the multi-query decode-pass
-/// loop: per weight group, the 4-bit codes are decoded to integer operands
-/// once, then every batch member's codes sweep them with a single MAC
-/// lane — amortizing the per-group constant overhead that makes the
-/// software GEMV lose to f32 at batch 1. Output `[i][n]` is
-/// **bit-identical** to `mant_gemv(&xs[i], w)[n]`.
+/// decode iteration's ragged batch, or a speculative verify pass's token
+/// run). Output `[i][n]` is **bit-identical** to `mant_gemv(&xs[i], w)[n]`.
+///
+/// From [`DECODE_ONCE_MIN_BATCH`] members up, each 4-row weight tile is
+/// **decoded once** to i16 operands and every member sweeps the decoded
+/// tile with plain sign-extend-and-`pmaddwd` dots — the nibble-decode
+/// work that dominates the fused kernels is paid once per tile instead of
+/// once per member, which is what makes the k-token GEMM shapes of
+/// speculative verification materially cheaper per row than k GEMVs.
+/// Below the threshold the decode cost has nothing to amortize against,
+/// so small batches keep the fused per-member kernels. Both paths produce
+/// identical bits: the decoded operands are the same integers the pair
+/// tables hold, and the integer group dots are exact.
 ///
 /// # Errors
 ///
 /// Returns [`QuantError::ShapeMismatch`] if any vector's length or group
 /// size disagrees with the weights.
+/// Batch size from which [`mant_gemv_batch`] decodes each weight tile
+/// once instead of running the fused per-member kernels: the tile decode
+/// costs about one member's fused sweep, so it starts paying for itself
+/// once three or more members reuse it.
+pub const DECODE_ONCE_MIN_BATCH: usize = 3;
+
 pub fn mant_gemv_batch(
     xs: &[QuantizedVector],
     w: &MantQuantizedMatrix,
@@ -211,7 +224,17 @@ pub fn mant_gemv_batch_with(
         .map(|x| (0..groups).map(|g| f64::from(x.scale(g))).collect())
         .collect();
     let gs = w.group_size();
+    let gb = gs.div_ceil(2);
+    let decode_once = xs.len() >= DECODE_ONCE_MIN_BATCH;
+    // The decode-once scratch: one 4-row tile's decoded i16 operands,
+    // reused across tiles (at most `4 · cols` i16s live at a time).
+    let mut wdec: Vec<Vec<i16>> = if decode_once {
+        (0..4).map(|_| vec![0i16; groups * gs]).collect()
+    } else {
+        Vec::new()
+    };
     let mut gout = vec![[0i64; 4]; groups];
+    let mut gout_b = vec![[0i64; 4]; groups];
     let mut accs = vec![[0.0f64; 4]; xs.len()];
     let mut tile_lo = 0usize;
     while tile_lo < n {
@@ -221,12 +244,72 @@ pub fn mant_gemv_batch_with(
             let wrows = [0, 1, 2, 3].map(|lane| w.packed_row(tile_lo + lane));
             let lrows = [0, 1, 2, 3].map(|lane| w.plan_row(tile_lo + lane));
             let mrows = [0, 1, 2, 3].map(|lane| w.meta_row(tile_lo + lane));
-            for ((acc, x), xsc) in accs.iter_mut().zip(xs.iter()).zip(xscales.iter()) {
-                d.dot_packed_x4_groups(x.codes(), wrows, gs, lrows, &mut gout);
-                for (g, ints) in gout.iter().enumerate() {
-                    let xs_scale = xsc[g];
-                    for lane in 0..4 {
-                        acc[lane] += xs_scale * f64::from(mrows[lane][g].scale) * ints[lane] as f64;
+            if decode_once {
+                for lane in 0..4 {
+                    for g in 0..groups {
+                        d.decode_packed_i16(
+                            &wrows[lane][g * gb..(g + 1) * gb],
+                            gs,
+                            lrows[lane][g],
+                            &mut wdec[lane][g * gs..(g + 1) * gs],
+                        );
+                    }
+                }
+                let wdecs = [&wdec[0][..], &wdec[1][..], &wdec[2][..], &wdec[3][..]];
+                // Members sweep the decoded tile in pairs: the paired
+                // kernel loads each row block once for both members,
+                // halving the weight-load traffic that gates the sweep.
+                let mut members = accs
+                    .iter_mut()
+                    .zip(xs.iter())
+                    .zip(xscales.iter())
+                    .map(|((acc, x), xsc)| (acc, x, xsc));
+                while let Some((acc_a, x_a, xsc_a)) = members.next() {
+                    match members.next() {
+                        Some((acc_b, x_b, xsc_b)) => {
+                            d.dot_i16_x4_groups_x2(
+                                x_a.codes(),
+                                x_b.codes(),
+                                wdecs,
+                                gs,
+                                &mut gout,
+                                &mut gout_b,
+                            );
+                            for (member_acc, member_xsc, member_gout) in
+                                [(acc_a, xsc_a, &gout), (acc_b, xsc_b, &gout_b)]
+                            {
+                                for (g, ints) in member_gout.iter().enumerate() {
+                                    let xs_scale = member_xsc[g];
+                                    for lane in 0..4 {
+                                        member_acc[lane] += xs_scale
+                                            * f64::from(mrows[lane][g].scale)
+                                            * ints[lane] as f64;
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            d.dot_i16_x4_groups(x_a.codes(), wdecs, gs, &mut gout);
+                            for (g, ints) in gout.iter().enumerate() {
+                                let xs_scale = xsc_a[g];
+                                for lane in 0..4 {
+                                    acc_a[lane] += xs_scale
+                                        * f64::from(mrows[lane][g].scale)
+                                        * ints[lane] as f64;
+                                }
+                            }
+                        }
+                    }
+                }
+            } else {
+                for ((acc, x), xsc) in accs.iter_mut().zip(xs.iter()).zip(xscales.iter()) {
+                    d.dot_packed_x4_groups(x.codes(), wrows, gs, lrows, &mut gout);
+                    for (g, ints) in gout.iter().enumerate() {
+                        let xs_scale = xsc[g];
+                        for lane in 0..4 {
+                            acc[lane] +=
+                                xs_scale * f64::from(mrows[lane][g].scale) * ints[lane] as f64;
+                        }
                     }
                 }
             }
@@ -693,6 +776,37 @@ mod tests {
                 let y_bits: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
                 let s_bits: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
                 assert_eq!(y_bits, s_bits, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn gemv_batch_decode_once_threshold_bit_identical() {
+        // Batch sizes straddling DECODE_ONCE_MIN_BATCH take different
+        // paths (fused per-member kernels vs decode-once tile sweep); all
+        // must match the one-vector GEMV bit for bit on every tier, and an
+        // odd group size exercises the decode tail's pad-nibble handling.
+        use crate::activation::quantize_vector_int8;
+        let mut gen = TensorGenerator::new(76);
+        for (k, g) in [(128usize, 64usize), (15, 5)] {
+            let w = gen.group_diverse_matrix(9, k, g, 0.02);
+            let wq = MantWeightQuantizer::new(g).quantize(&w).unwrap();
+            for m in [1usize, 2, 3, 4, 8] {
+                let xs: Vec<_> = (0..m)
+                    .map(|_| {
+                        let x: Vec<f32> = (0..k).map(|_| gen.standard_normal()).collect();
+                        quantize_vector_int8(&x, g).unwrap()
+                    })
+                    .collect();
+                for d in [KernelDispatch::Scalar, kernels()] {
+                    let batched = mant_gemv_batch_with(d, &xs, &wq).unwrap();
+                    for (x, y) in xs.iter().zip(batched.iter()) {
+                        let single = mant_gemv_with(d, x, &wq).unwrap();
+                        let y_bits: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+                        let s_bits: Vec<u32> = single.iter().map(|v| v.to_bits()).collect();
+                        assert_eq!(y_bits, s_bits, "tier {} m={m} k={k} g={g}", d.name());
+                    }
+                }
             }
         }
     }

@@ -324,6 +324,13 @@ pub(crate) struct VStaging {
     /// Per-channel INT8 scales for the staging window (from prefill, or
     /// bootstrapped from the first vectors seen).
     pub(crate) channel_scales: Vec<f32>,
+    /// Snapshot of `channel_scales` as of the current window's first row —
+    /// refreshed on construction, reset, prefill-scale derivation, and
+    /// every commit. [`VStaging::truncate`] restores these before
+    /// re-pushing the kept rows, so a widening triggered by a *dropped*
+    /// row is undone and the rebuilt window is bit-identical to one that
+    /// never staged the dropped rows.
+    pub(crate) window_start_scales: Vec<f32>,
     /// Phase-1 staging buffer: INT8 rows, at most `group_size` of them.
     pub(crate) window: Vec<Vec<i8>>,
     /// The staged rows' original f32 values in arrival order — what
@@ -343,6 +350,7 @@ impl VStaging {
             group_size,
             vmap,
             channel_scales: vec![0.0; dim],
+            window_start_scales: vec![0.0; dim],
             window: Vec::new(),
             window_f32: Vec::new(),
             stats: vec![RunningGroupStats::new(); dim],
@@ -356,6 +364,8 @@ impl VStaging {
             let amax = abs_max(&v.col(c));
             self.channel_scales[c] = int8_scale(amax);
         }
+        self.window_start_scales
+            .copy_from_slice(&self.channel_scales);
     }
 
     /// Phase 1 of Fig. 8: quantizes one value vector to INT8 into the
@@ -424,6 +434,8 @@ impl VStaging {
         }
         self.window.clear();
         self.window_f32.clear();
+        self.window_start_scales
+            .copy_from_slice(&self.channel_scales);
         CommittedWindow { meta, codes }
     }
 
@@ -447,22 +459,29 @@ impl VStaging {
         }
     }
 
-    /// Keeps only the first `keep` staged rows, rebuilding the RQU
-    /// accumulators exactly by re-pushing the retained rows' original f32
-    /// values in arrival order. Channel scales keep their current
-    /// (possibly widened) values — the staged codes were rescaled in place
-    /// when widening happened, so the kept rows stay consistent.
+    /// Keeps only the first `keep` staged rows by **replaying** them:
+    /// channel scales are restored to their window-start snapshot, the
+    /// window and RQU accumulators are cleared, and the retained rows'
+    /// original f32 values are re-pushed in arrival order through the
+    /// normal [`VStaging::push`] path. Scale bootstraps and widenings
+    /// caused by kept rows re-trigger identically; those caused only by
+    /// dropped rows are undone — the result is bit-identical to a staging
+    /// buffer that never saw the dropped rows.
     pub(crate) fn truncate(&mut self, keep: usize) {
         debug_assert!(keep <= self.window.len());
-        self.window.truncate(keep);
-        self.window_f32.truncate(keep);
+        let kept: Vec<Vec<f32>> = self.window_f32.drain(..).take(keep).collect();
+        self.window.clear();
+        self.channel_scales
+            .copy_from_slice(&self.window_start_scales);
         for s in &mut self.stats {
             s.reset();
         }
-        for row in &self.window_f32 {
-            for (c, &x) in row.iter().enumerate() {
-                self.stats[c].push(x);
-            }
+        for row in &kept {
+            let committed = self.push(row);
+            debug_assert!(
+                committed.is_none(),
+                "re-staging fewer rows than a full window cannot commit"
+            );
         }
     }
 
@@ -476,6 +495,7 @@ impl VStaging {
             s.reset();
         }
         self.channel_scales.iter_mut().for_each(|s| *s = 0.0);
+        self.window_start_scales.iter_mut().for_each(|s| *s = 0.0);
     }
 }
 
@@ -568,12 +588,19 @@ impl VCacheQuantizer {
     /// Drops every cached value vector beyond the first `len` — the
     /// rollback primitive for speculative decode and prefix reuse.
     ///
-    /// A cut inside the staging window re-stages exactly (the RQU
-    /// accumulators are rebuilt from the retained rows' original values;
-    /// channel scales keep their current, possibly widened, values). A cut
-    /// inside a *committed* window is rejected: commitment discards the
-    /// INT8 staging data, so such a cut cannot be represented — truncate
-    /// at a window boundary instead.
+    /// A cut inside the staging window **replays** exactly: channel scales
+    /// revert to their window-start snapshot and the kept rows' original
+    /// f32 values are re-pushed, so the result is bit-identical to a cache
+    /// that never saw the dropped rows (scale widenings triggered only by
+    /// dropped rows are undone). A cut at a committed-window boundary
+    /// keeps the committed prefix and empties the staging window; scales
+    /// revert to the *latest* window-start snapshot, which still reflects
+    /// widenings from dropped committed windows (their INT8 history is
+    /// gone, so exact replay is impossible there — acceptable for prefix
+    /// reuse, where scales only ever widen). A cut strictly inside a
+    /// committed window is rejected: commitment discards the INT8 staging
+    /// data, so such a cut cannot be represented — truncate at a window
+    /// boundary instead.
     ///
     /// # Panics
     ///
@@ -1208,6 +1235,37 @@ mod tests {
         vq.truncate(8);
         assert_eq!((vq.committed_windows(), vq.window_len()), (1, 0));
         assert_eq!(vq.len(), 8);
+    }
+
+    #[test]
+    fn v_truncate_undoes_widening_from_dropped_rows() {
+        // A dropped staged row widened a channel scale; after truncation
+        // the cache must be bit-identical to a twin that never saw it —
+        // including the staged INT8 codes, whose widening-time re-encode
+        // is lossy and must be undone by replay, not kept.
+        let (dim, g) = (4usize, 8usize);
+        let mut vq = VCacheQuantizer::new(dim, g, vmap()).unwrap();
+        let mut twin = VCacheQuantizer::new(dim, g, vmap()).unwrap();
+        let quiet = vec![0.25f32, -0.5, 0.125, 0.75];
+        for _ in 0..3 {
+            vq.push(&quiet);
+            twin.push(&quiet);
+        }
+        // The spike bootstraps channel 0 far wider than `quiet` needs.
+        vq.push(&[100.0, -0.5, 0.125, 0.75]);
+        vq.truncate(3);
+        assert_eq!(vq.dequantize().as_slice(), twin.dequantize().as_slice());
+        // Continuing after the rollback matches the twin bit for bit,
+        // through the next commit and beyond.
+        for i in 0..g {
+            let row: Vec<f32> = (0..dim)
+                .map(|c| 0.3 * (i as f32 + 1.0) - c as f32 * 0.1)
+                .collect();
+            vq.push(&row);
+            twin.push(&row);
+        }
+        assert_eq!(vq.committed_windows(), twin.committed_windows());
+        assert_eq!(vq.dequantize().as_slice(), twin.dequantize().as_slice());
     }
 
     #[test]

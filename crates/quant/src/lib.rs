@@ -57,7 +57,7 @@ pub use error::QuantError;
 pub use fused::{
     dequant_then_gemm, dequant_then_gemv, group_dot, group_dot_packed, mant_gemm, mant_gemm_with,
     mant_gemv, mant_gemv_batch, mant_gemv_batch_with, mant_gemv_scalar, mant_gemv_with,
-    UnpackedWeights,
+    UnpackedWeights, DECODE_ONCE_MIN_BATCH,
 };
 pub use kv::{KCacheQuantizer, VCacheQuantizer};
 pub use mantq::{GroupDtype, MantQuantizedMatrix, MantWeightQuantizer};

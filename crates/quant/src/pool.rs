@@ -425,6 +425,86 @@ impl PagedKvCache {
         usize::from(new_block) + usize::from(cow_k)
     }
 
+    /// Free blocks the next `n` consecutive pushes will demand together:
+    /// a fresh block for every block boundary crossed in
+    /// `(rows, rows + n]`, plus one copy-on-write block when the current
+    /// partial block is (or is about to be) shared. Nothing else can be
+    /// charged: pushes only ever write the trailing block, and a freshly
+    /// allocated block is born private. The multi-push generalization of
+    /// [`PagedKvCache::blocks_needed_for_push`] that speculative decode's
+    /// k-token verify burst budgets against.
+    ///
+    /// `assume_shared_tail` charges the CoW copy whenever a partial block
+    /// exists, regardless of its current refcount — the budget for a step
+    /// that will fork a rollback checkpoint *before* pushing (the fork
+    /// shares the partial block, so the first push must copy it).
+    pub fn blocks_needed_for_pushes(
+        &self,
+        pool: &KvCachePool,
+        n: usize,
+        assume_shared_tail: bool,
+    ) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        let bt = pool.cfg.block_tokens;
+        let new_blocks = (self.rows + n).div_ceil(bt) - self.blocks.len();
+        let cow_k = self.rows < self.blocks.len() * bt
+            && (assume_shared_tail || pool.refcount(self.blocks[self.rows / bt]) > 1);
+        new_blocks + usize::from(cow_k)
+    }
+
+    /// Rolls the cache back to its first `len` tokens — the paged,
+    /// CoW-aware rollback primitive speculative decode uses to discard
+    /// rejected draft tokens.
+    ///
+    /// Cut semantics match [`VCacheQuantizer::truncate`]: a cut in the V
+    /// staging region **replays** the kept staged rows from their original
+    /// f32 values (scale widenings triggered only by dropped rows are
+    /// undone), so the cache is bit-identical to one that never saw the
+    /// dropped tokens; a cut at a committed-window boundary drops whole
+    /// windows; a cut strictly inside a committed window panics. K rows
+    /// need no erasure — they are encoded independently and slots past
+    /// `len` are never read again.
+    ///
+    /// Block accounting is CoW-sound: tail blocks the kept prefix no
+    /// longer touches are *released*, which only drops this view's
+    /// refcount — a block still referenced by a forked sibling is never
+    /// mutated or freed by the rollback, and a kept trailing block that is
+    /// still shared gets copy-on-write-copied by the next push as usual.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()` or if `len` falls strictly inside a
+    /// committed V window.
+    pub fn truncate(&mut self, pool: &mut KvCachePool, len: usize) {
+        assert!(
+            len <= self.rows,
+            "truncate length {len} exceeds cached rows {}",
+            self.rows
+        );
+        if len == self.rows {
+            return;
+        }
+        let g = self.staging.group_size;
+        let committed_len = self.committed_windows * g;
+        if len >= committed_len {
+            self.staging.truncate(len - committed_len);
+        } else {
+            assert!(
+                len.is_multiple_of(g),
+                "cannot truncate inside a committed V window (len {len}, window {g})"
+            );
+            self.committed_windows = len / g;
+            self.staging.truncate(0);
+        }
+        let keep_blocks = len.div_ceil(pool.cfg.block_tokens);
+        for b in self.blocks.drain(keep_blocks..) {
+            pool.release_block(b);
+        }
+        self.rows = len;
+    }
+
     /// Replaces a still-shared block with a private copy (copy-on-write).
     /// The caller must have verified a free block exists.
     fn make_private(&mut self, pool: &mut KvCachePool, idx: usize) {
@@ -984,6 +1064,168 @@ mod tests {
         a.push(&mut pool, data.row(16), data.row(16)).unwrap();
         a.release(&mut pool);
         assert_eq!(pool.free_blocks(), 2);
+    }
+
+    #[test]
+    fn truncate_matches_fresh_replay_and_releases_tail_blocks() {
+        // 37 rows over 32-token blocks (2 blocks, 2 committed V windows,
+        // 5 staged rows). A staging-region cut must be bit-identical to a
+        // fresh cache fed only the kept prefix — including after further
+        // pushes — and tail blocks must come back to the free list.
+        let mut gen = TensorGenerator::new(96);
+        let mut pool = pool(4, 32);
+        let data = gen.group_diverse_matrix(48, 64, 16, 0.5);
+        let mut view = PagedKvCache::new(&pool, vmap(), vmap());
+        for t in 0..37 {
+            view.push(&mut pool, data.row(t), data.row(t)).unwrap();
+        }
+        assert_eq!(view.reserved_blocks(), 2);
+        view.truncate(&mut pool, 34);
+        assert_eq!(
+            (view.len(), view.committed_windows(), view.window_len()),
+            (34, 2, 2)
+        );
+        assert_eq!(view.reserved_blocks(), 2, "row 33 still lives in block 1");
+
+        let mut fresh = PagedKvCache::new(&pool, vmap(), vmap());
+        for t in 0..34 {
+            fresh.push(&mut pool, data.row(t), data.row(t)).unwrap();
+        }
+        // Continue both past the next commit: the replayed staging state
+        // (scales, stats, INT8 codes) must drive identical commits.
+        for t in 34..48 {
+            view.push(&mut pool, data.row(t), data.row(t)).unwrap();
+            fresh.push(&mut pool, data.row(t), data.row(t)).unwrap();
+        }
+        assert_eq!(
+            view.dequantize_k(&pool).as_slice(),
+            fresh.dequantize_k(&pool).as_slice()
+        );
+        assert_eq!(
+            view.dequantize_v(&pool).as_slice(),
+            fresh.dequantize_v(&pool).as_slice()
+        );
+
+        // A cut to a block boundary releases the tail block.
+        let free_before = pool.free_blocks();
+        view.truncate(&mut pool, 32);
+        assert_eq!(view.reserved_blocks(), 1);
+        assert_eq!(pool.free_blocks(), free_before + 1);
+        // Committed-window-boundary cut into the committed region.
+        view.truncate(&mut pool, 16);
+        assert_eq!(
+            (view.len(), view.committed_windows(), view.window_len()),
+            (16, 1, 0)
+        );
+        view.truncate(&mut pool, 0);
+        assert!(view.is_empty());
+        assert_eq!(view.reserved_blocks(), 0);
+        fresh.release(&mut pool);
+        assert_eq!(pool.free_blocks(), 4);
+    }
+
+    #[test]
+    fn truncate_on_fork_never_touches_shared_blocks() {
+        // Fork at 37 rows, push the child forward (CoW copies the partial
+        // block), truncate the child back into its staging window: the
+        // parent's bytes must be untouched and the child must equal a
+        // fresh replay of its kept stream. Releasing a shared tail block
+        // only drops a refcount.
+        let mut gen = TensorGenerator::new(97);
+        let mut pool = pool(8, 32);
+        let data = gen.group_diverse_matrix(44, 64, 16, 0.5);
+        let mut parent = PagedKvCache::new(&pool, vmap(), vmap());
+        for t in 0..37 {
+            parent.push(&mut pool, data.row(t), data.row(t)).unwrap();
+        }
+        let mut child = parent.fork(&mut pool);
+        let parent_k = parent.dequantize_k(&pool);
+        let parent_v = parent.dequantize_v(&pool);
+
+        // Child truncates while every block is still shared: pure
+        // refcount drop, no mutation, no CoW.
+        child.truncate(&mut pool, 33);
+        assert_eq!(pool.shared_blocks(), 2, "both blocks still shared");
+        assert_eq!(parent.dequantize_k(&pool).as_slice(), parent_k.as_slice());
+        // Child diverges (CoW of the kept trailing block), then rolls
+        // back again past its divergence point.
+        for t in 33..44 {
+            child.push(&mut pool, data.row(t), data.row(t)).unwrap();
+        }
+        child.truncate(&mut pool, 35);
+        assert_eq!(parent.dequantize_k(&pool).as_slice(), parent_k.as_slice());
+        assert_eq!(parent.dequantize_v(&pool).as_slice(), parent_v.as_slice());
+        let mut fresh = PagedKvCache::new(&pool, vmap(), vmap());
+        for t in 0..35 {
+            fresh.push(&mut pool, data.row(t), data.row(t)).unwrap();
+        }
+        assert_eq!(
+            child.dequantize_k(&pool).as_slice(),
+            fresh.dequantize_k(&pool).as_slice()
+        );
+        assert_eq!(
+            child.dequantize_v(&pool).as_slice(),
+            fresh.dequantize_v(&pool).as_slice()
+        );
+        // Truncating the child below the fork point drops its hold on the
+        // shared tail block without freeing it out from under the parent.
+        child.truncate(&mut pool, 32);
+        assert_eq!(child.reserved_blocks(), 1);
+        assert_eq!(parent.dequantize_k(&pool).as_slice(), parent_k.as_slice());
+        parent.release(&mut pool);
+        child.release(&mut pool);
+        fresh.release(&mut pool);
+        assert_eq!(pool.free_blocks(), 8);
+    }
+
+    #[test]
+    fn blocks_needed_for_pushes_budgets_bursts() {
+        let mut gen = TensorGenerator::new(98);
+        let mut pool = pool(8, 32);
+        let data = gen.group_diverse_matrix(40, 64, 16, 0.5);
+        let mut view = PagedKvCache::new(&pool, vmap(), vmap());
+        assert_eq!(view.blocks_needed_for_pushes(&pool, 0, false), 0);
+        assert_eq!(view.blocks_needed_for_pushes(&pool, 1, false), 1);
+        assert_eq!(view.blocks_needed_for_pushes(&pool, 33, false), 2);
+        for t in 0..30 {
+            view.push(&mut pool, data.row(t), data.row(t)).unwrap();
+        }
+        // 2 slots left in the current block: a 3-push burst crosses one
+        // boundary.
+        assert_eq!(view.blocks_needed_for_pushes(&pool, 2, false), 0);
+        assert_eq!(view.blocks_needed_for_pushes(&pool, 3, false), 1);
+        // Multi-push budget agrees with the single-push primitive.
+        assert_eq!(
+            view.blocks_needed_for_pushes(&pool, 1, false),
+            view.blocks_needed_for_push(&pool)
+        );
+        // An upcoming checkpoint fork charges the CoW copy up front.
+        assert_eq!(view.blocks_needed_for_pushes(&pool, 3, true), 2);
+        // A fork makes the partial block shared: one CoW charge on top.
+        let mut child = view.fork(&mut pool);
+        assert_eq!(view.blocks_needed_for_pushes(&pool, 3, false), 2);
+        child.release(&mut pool);
+        assert_eq!(view.blocks_needed_for_pushes(&pool, 3, false), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "inside a committed V window")]
+    fn truncate_inside_committed_window_rejected() {
+        let mut pool = pool(4, 32);
+        let mut view = PagedKvCache::new(&pool, vmap(), vmap());
+        for _ in 0..37 {
+            view.push(&mut pool, &[0.5; 64], &[0.5; 64]).unwrap();
+        }
+        view.truncate(&mut pool, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds cached rows")]
+    fn truncate_beyond_len_rejected() {
+        let mut pool = pool(4, 32);
+        let mut view = PagedKvCache::new(&pool, vmap(), vmap());
+        view.push(&mut pool, &[0.5; 64], &[0.5; 64]).unwrap();
+        view.truncate(&mut pool, 2);
     }
 
     #[test]

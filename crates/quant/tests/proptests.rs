@@ -304,4 +304,76 @@ proptest! {
         b.release(&mut pool);
         prop_assert_eq!(pool.free_blocks(), pool.total_blocks());
     }
+
+    /// Speculative-rollback soundness: truncating a forked/CoW paged cache
+    /// is bit-identical to replaying a fresh cache to the same length —
+    /// for cuts landing inside a shared block, inside the V staging
+    /// window, and at committed-window boundaries — and stays identical
+    /// as both caches keep pushing (the replayed staging scales/stats
+    /// drive the next commit exactly). The surviving parent is never
+    /// perturbed, and no block leaks.
+    #[test]
+    fn truncate_on_forked_cache_matches_fresh_replay(
+        prefix_rows in 1usize..40,
+        extra_rows in 0usize..24,
+        cut_back in 0usize..24,
+        continue_rows in 0usize..20,
+        seed in 0u64..500,
+    ) {
+        let vmap = VarianceMap::analytic(&CandidateSet::paper()).unwrap();
+        let mut gen = mant_tensor::TensorGenerator::new(seed ^ 0xa11);
+        let pool_cfg = PoolConfig { kv_dim: 32, group_size: 8, block_tokens: 16, blocks: 24 };
+        let mut pool = KvCachePool::new(pool_cfg).unwrap();
+        let g = pool_cfg.group_size;
+        let total = prefix_rows + extra_rows + continue_rows;
+        let data = gen.group_diverse_matrix(total.max(1), 32, 8, 0.5);
+
+        let mut parent = PagedKvCache::new(&pool, vmap.clone(), vmap.clone());
+        for t in 0..prefix_rows {
+            parent.push(&mut pool, data.row(t), data.row(t)).unwrap();
+        }
+        let mut child = parent.fork(&mut pool);
+        for t in prefix_rows..prefix_rows + extra_rows {
+            child.push(&mut pool, data.row(t), data.row(t)).unwrap();
+        }
+        // Clamp the cut to a representable length: anywhere in the child's
+        // staging region, or a committed-window boundary below it.
+        let rows = prefix_rows + extra_rows;
+        let committed_len = (rows / g) * g;
+        let want = rows.saturating_sub(cut_back);
+        let len = if want >= committed_len { want } else { (want / g) * g };
+        child.truncate(&mut pool, len);
+
+        let parent_k = parent.dequantize_k(&pool);
+        let mut fresh = PagedKvCache::new(&pool, vmap.clone(), vmap.clone());
+        for t in 0..len {
+            fresh.push(&mut pool, data.row(t), data.row(t)).unwrap();
+        }
+        prop_assert_eq!(child.len(), fresh.len());
+        prop_assert_eq!(child.committed_windows(), fresh.committed_windows());
+        let (child_k, fresh_k) = (child.dequantize_k(&pool), fresh.dequantize_k(&pool));
+        let (child_v, fresh_v) = (child.dequantize_v(&pool), fresh.dequantize_v(&pool));
+        prop_assert_eq!(child_k.as_slice(), fresh_k.as_slice());
+        prop_assert_eq!(child_v.as_slice(), fresh_v.as_slice());
+        // Staging-region cuts replay exactly: continuing both caches on
+        // identical rows (through further commits) stays bit-identical.
+        if len >= committed_len {
+            for t in 0..continue_rows {
+                let row = data.row(prefix_rows + extra_rows + t);
+                child.push(&mut pool, row, row).unwrap();
+                fresh.push(&mut pool, row, row).unwrap();
+            }
+            let (child_k, fresh_k) = (child.dequantize_k(&pool), fresh.dequantize_k(&pool));
+            let (child_v, fresh_v) = (child.dequantize_v(&pool), fresh.dequantize_v(&pool));
+            prop_assert_eq!(child_k.as_slice(), fresh_k.as_slice());
+            prop_assert_eq!(child_v.as_slice(), fresh_v.as_slice());
+        }
+        // The parent never moved.
+        let parent_k_after = parent.dequantize_k(&pool);
+        prop_assert_eq!(parent_k_after.as_slice(), parent_k.as_slice());
+        child.release(&mut pool);
+        fresh.release(&mut pool);
+        parent.release(&mut pool);
+        prop_assert_eq!(pool.free_blocks(), pool.total_blocks());
+    }
 }

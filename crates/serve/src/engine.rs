@@ -19,7 +19,12 @@
 //!    batching).
 //! 4. **Step** — one [`BatchRunner::step`] over the quantized backend:
 //!    multi-query packed GEMMs for the linear layers, per-sequence paged
-//!    incremental attention.
+//!    incremental attention. With speculation enabled, decode-phase
+//!    sequences instead run a [`BatchRunner::speculate_step`]
+//!    draft-and-verify round (draft k candidates cheaply, verify them in
+//!    one k-token batched target pass, keep the longest agreeing prefix
+//!    plus a bonus token), while the draft runner shadows every plain
+//!    step so its KV caches stay in lockstep.
 //! 5. **Advance** — greedy argmax over each sequence's logits; sequences
 //!    that produced their last token retire, releasing their block holds.
 //!    Block-aligned prompt prefixes are registered in the runner's prefix
@@ -37,7 +42,9 @@ use std::time::Instant;
 use mant_model::{ActMode, BatchRunner, KvMode, PackedWeights, SessionId, TransformerModel};
 use mant_trace::Hist;
 
-use crate::metrics::{LatencyBreakdown, ServeReport};
+pub use mant_model::argmax;
+
+use crate::metrics::{LatencyBreakdown, ServeReport, SpeculationStats};
 use crate::request::{Completion, GenRequest, SubmitError};
 use crate::scheduler::FcfsScheduler;
 
@@ -93,6 +100,15 @@ pub enum AdmissionPolicy {
     },
 }
 
+/// Speculative-decoding knobs ([`ServeConfig::speculative`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpeculativeConfig {
+    /// Draft tokens proposed per draft-and-verify round (`>= 1`). The
+    /// verify pass is one `draft_k`-token batched target step, so this is
+    /// also the GEMM row count speculation recovers for decode.
+    pub draft_k: usize,
+}
+
 /// Engine shape: batch lane count, pool geometry, execution modes,
 /// scheduling policy.
 #[derive(Clone, Copy, Debug)]
@@ -113,11 +129,30 @@ pub struct ServeConfig {
     /// the runner's copy-on-write prefix cache. Requires the watermark
     /// policy (reservation would double-count shared blocks).
     pub prefix_sharing: bool,
+    /// Speculative decoding: decode-phase sequences run draft-and-verify
+    /// rounds against a cheap draft model instead of one-token steps.
+    /// Requires [`ServeEngine::new_with_draft`] (the engine needs the
+    /// draft's packed weights) and the watermark policy. `None` keeps
+    /// plain one-token decode.
+    pub speculative: Option<SpeculativeConfig>,
+}
+
+/// The draft side of speculative decoding: a second [`BatchRunner`] over
+/// the draft model's packed weights with its own paged KV pool (same
+/// geometry as the target's), kept in per-sequence lockstep with the
+/// target runner.
+struct DraftState<'m> {
+    runner: BatchRunner<'m>,
+    /// Candidates per draft-and-verify round ([`SpeculativeConfig::draft_k`]).
+    k: usize,
 }
 
 /// One running sequence.
 struct ActiveSeq {
     sid: SessionId,
+    /// The sequence's session in the draft runner (speculation only),
+    /// fed every token the target session is fed.
+    draft_sid: Option<SessionId>,
     req: GenRequest,
     /// Tokens fed so far (prompt + generated feedback); starts at the
     /// prefix-cache hit length, not 0, when admission shared blocks.
@@ -165,6 +200,10 @@ struct ResumeState {
 /// weights. See the module docs for the iteration contract.
 pub struct ServeEngine<'m> {
     runner: BatchRunner<'m>,
+    /// Draft model runner + round size when speculation is on.
+    draft: Option<DraftState<'m>>,
+    /// Draft-and-verify outcome counters (all zero without speculation).
+    spec: SpeculationStats,
     scheduler: FcfsScheduler,
     active: Vec<ActiveSeq>,
     max_batch: usize,
@@ -214,11 +253,77 @@ impl<'m> ServeEngine<'m> {
     /// # Panics
     ///
     /// Panics on the shape/mode mismatches
-    /// [`TransformerModel::batch_runner`] rejects, if `max_batch` is 0, or
-    /// if `prefix_sharing` is requested under the reservation policy
+    /// [`TransformerModel::batch_runner`] rejects, if `max_batch` is 0, if
+    /// `prefix_sharing` is requested under the reservation policy
     /// (whole-lifetime reservation double-counts shared blocks; sharing
-    /// needs the watermark discipline).
+    /// needs the watermark discipline), or if `cfg.speculative` is set —
+    /// speculation needs a draft model, so it goes through
+    /// [`ServeEngine::new_with_draft`].
     pub fn new(model: &'m TransformerModel, packed: &'m PackedWeights, cfg: ServeConfig) -> Self {
+        assert!(
+            cfg.speculative.is_none(),
+            "ServeConfig::speculative requires ServeEngine::new_with_draft (the engine needs \
+             the draft model's packed weights)"
+        );
+        Self::build(model, packed, None, cfg)
+    }
+
+    /// [`ServeEngine::new`] with speculative decoding: decode-phase
+    /// sequences run draft-and-verify rounds — `draft_k` cheap draft
+    /// steps, one `draft_k`-token batched target verify, accept the
+    /// longest agreeing prefix — instead of one-token target steps. The
+    /// draft runner gets its own KV pool of the same geometry and is kept
+    /// in per-sequence lockstep (same sessions, same fed tokens, mirrored
+    /// prefix registrations), so greedy outputs stay byte-identical to
+    /// non-speculative serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics on everything [`ServeEngine::new`] rejects, plus: a missing
+    /// `cfg.speculative`, `draft_k == 0`, a draft/target vocabulary
+    /// mismatch, or a non-watermark admission policy (whole-lifetime
+    /// reservation cannot account the transient blocks a rolled-back
+    /// verify round holds).
+    pub fn new_with_draft(
+        model: &'m TransformerModel,
+        packed: &'m PackedWeights,
+        draft_model: &'m TransformerModel,
+        draft_packed: &'m PackedWeights,
+        cfg: ServeConfig,
+    ) -> Self {
+        let spec = cfg
+            .speculative
+            .expect("ServeEngine::new_with_draft requires cfg.speculative");
+        assert!(spec.draft_k >= 1, "draft_k must be at least 1");
+        assert_eq!(
+            model.config.vocab, draft_model.config.vocab,
+            "draft and target models must share a vocabulary"
+        );
+        assert!(
+            matches!(cfg.admission, AdmissionPolicy::Watermark { .. }),
+            "speculative decoding requires AdmissionPolicy::Watermark; whole-lifetime \
+             reservation cannot account the transient blocks a rolled-back verify round holds"
+        );
+        let draft_runner = draft_model.batch_runner(
+            draft_packed,
+            cfg.act,
+            cfg.kv,
+            cfg.pool_blocks,
+            cfg.block_tokens,
+        );
+        let draft = DraftState {
+            runner: draft_runner,
+            k: spec.draft_k,
+        };
+        Self::build(model, packed, Some(draft), cfg)
+    }
+
+    fn build(
+        model: &'m TransformerModel,
+        packed: &'m PackedWeights,
+        draft: Option<DraftState<'m>>,
+        cfg: ServeConfig,
+    ) -> Self {
         assert!(cfg.max_batch > 0, "max_batch must be at least 1");
         assert!(
             !(cfg.prefix_sharing && cfg.admission == AdmissionPolicy::Reserve),
@@ -228,6 +333,8 @@ impl<'m> ServeEngine<'m> {
         let runner = model.batch_runner(packed, cfg.act, cfg.kv, cfg.pool_blocks, cfg.block_tokens);
         ServeEngine {
             runner,
+            draft,
+            spec: SpeculationStats::default(),
             scheduler: FcfsScheduler::new(),
             active: Vec::new(),
             max_batch: cfg.max_batch,
@@ -356,6 +463,9 @@ impl<'m> ServeEngine<'m> {
         } else if let Some(idx) = self.active.iter().position(|s| s.req.id == id) {
             let s = self.active.remove(idx);
             self.runner.end_session(s.sid);
+            if let (Some(d), Some(dsid)) = (self.draft.as_mut(), s.draft_sid) {
+                d.runner.end_session(dsid);
+            }
             self.reserved_blocks -= s.reserved;
             true
         } else {
@@ -461,24 +571,73 @@ impl<'m> ServeEngine<'m> {
             self.iter += 1;
             return 0;
         }
-        let batch: Vec<(SessionId, usize)> = self
-            .active
+        // Partition: decode-phase sequences with at least two tokens left
+        // run a draft-and-verify round; everything else (prefill, replay,
+        // the final token, or no speculation) takes the plain batched
+        // step. The draft runner is fed the same plain-step tokens so its
+        // sessions stay in lockstep for later speculative rounds.
+        let spec_idx: Vec<usize> = (0..self.active.len())
+            .filter(|&i| self.spec_k(&self.active[i]).is_some())
+            .collect();
+        let step_idx: Vec<usize> = (0..self.active.len())
+            .filter(|i| !spec_idx.contains(i))
+            .collect();
+        let batch: Vec<(SessionId, usize)> = step_idx
             .iter()
-            .map(|s| (s.sid, s.feed_token()))
+            .map(|&i| {
+                let s = &self.active[i];
+                (s.sid, s.feed_token())
+            })
             .collect();
         let t_composed = Instant::now();
-        let logits = self.runner.step(&batch);
+        let logits = if batch.is_empty() {
+            Vec::new()
+        } else {
+            self.runner.step(&batch)
+        };
+        if let Some(d) = self.draft.as_mut() {
+            let dbatch: Vec<(SessionId, usize)> = step_idx
+                .iter()
+                .map(|&i| {
+                    let s = &self.active[i];
+                    (
+                        s.draft_sid.expect("speculation opens draft sessions"),
+                        s.feed_token(),
+                    )
+                })
+                .collect();
+            if !dbatch.is_empty() {
+                // Logits discarded: this step only advances the draft KV.
+                d.runner.step(&dbatch);
+            }
+        }
+        let mut spec_out: Vec<(usize, mant_model::SpecOutcome)> =
+            Vec::with_capacity(spec_idx.len());
+        for &i in &spec_idx {
+            let (sid, dsid, cur, k) = {
+                let s = &self.active[i];
+                (
+                    s.sid,
+                    s.draft_sid.expect("spec_k requires a draft session"),
+                    s.feed_token(),
+                    self.spec_k(s).expect("filtered on spec_k"),
+                )
+            };
+            let d = self.draft.as_mut().expect("spec_k requires a draft");
+            let out = self.runner.speculate_step(sid, cur, &mut d.runner, dsid, k);
+            spec_out.push((i, out));
+        }
         let t_stepped = Instant::now();
         self.iter += 1;
         self.busy_iterations += 1;
-        self.occupancy_sum += batch.len() as u64;
+        self.occupancy_sum += self.active.len() as u64;
         self.peak_used_blocks = self.peak_used_blocks.max(self.runner.pool().used_blocks());
 
         let mut produced = 0usize;
         let mut finished: Vec<usize> = Vec::new();
         let mut first_tokens: Vec<u64> = Vec::new();
         let mut token_events: Vec<EngineEvent> = Vec::new();
-        for (i, seq_logits) in logits.iter().enumerate() {
+        for (&i, seq_logits) in step_idx.iter().zip(logits.iter()) {
             let s = &mut self.active[i];
             if s.pos < s.req.prompt.len() && s.pos >= s.prompt_fed {
                 // A prompt position stepped for the first time (positions
@@ -514,6 +673,38 @@ impl<'m> ServeEngine<'m> {
                 finished.push(i);
             }
         }
+        // Speculative rounds: every emitted token is a decode token that
+        // the verify pass confirmed equals plain greedy decode.
+        for (i, out) in &spec_out {
+            let s = &mut self.active[*i];
+            s.pos += out.tokens.len();
+            for &token in &out.tokens {
+                s.generated.push(token);
+                produced += 1;
+                self.generated_tokens += 1;
+                if self.events_enabled {
+                    token_events.push(EngineEvent::Token {
+                        id: s.req.id,
+                        token,
+                    });
+                }
+            }
+            if s.generated.len() == s.req.max_new_tokens {
+                finished.push(*i);
+            }
+            self.spec.rounds += 1;
+            self.spec.drafted += out.drafted as u64;
+            self.spec.accepted += out.accepted as u64;
+            self.spec.draft_ns.record(out.draft_ns);
+            self.spec.verify_ns.record(out.verify_ns);
+            self.spec.rollback_ns.record(out.rollback_ns);
+            mant_trace::counter("spec.drafted", out.drafted as u64);
+            mant_trace::counter("spec.accepted", out.accepted as u64);
+            mant_trace::sample("spec.draft_ns", out.draft_ns);
+            mant_trace::sample("spec.verify_ns", out.verify_ns);
+            mant_trace::sample("spec.rollback_ns", out.rollback_ns);
+        }
+        finished.sort_unstable();
         self.events.extend(token_events);
         for id in first_tokens {
             if let Some(t0) = self.submit_times.get(&id) {
@@ -529,6 +720,12 @@ impl<'m> ServeEngine<'m> {
             for s in &self.active {
                 if s.pos <= s.req.prompt.len() && s.pos % bt == 0 && s.pos > 0 {
                     self.runner.register_prefix(s.sid, &s.req.prompt[..s.pos]);
+                    // Mirror on the draft runner: its prefix cache must see
+                    // the same registration sequence so shared admissions
+                    // hit both caches at the same length.
+                    if let (Some(d), Some(dsid)) = (self.draft.as_mut(), s.draft_sid) {
+                        d.runner.register_prefix(dsid, &s.req.prompt[..s.pos]);
+                    }
                 }
             }
         }
@@ -536,6 +733,9 @@ impl<'m> ServeEngine<'m> {
         for &i in finished.iter().rev() {
             let s = self.active.remove(i);
             self.runner.end_session(s.sid);
+            if let (Some(d), Some(dsid)) = (self.draft.as_mut(), s.draft_sid) {
+                d.runner.end_session(dsid);
+            }
             self.reserved_blocks -= s.reserved;
             if let Some(t0) = self.submit_times.remove(&s.req.id) {
                 let ns = t0.elapsed().as_nanos() as u64;
@@ -630,6 +830,7 @@ impl<'m> ServeEngine<'m> {
             pool_blocks: self.runner.pool().total_blocks(),
             block_bits: self.runner.pool().block_bits(),
             breakdown: self.breakdown.clone(),
+            speculation: self.draft.as_ref().map(|_| self.spec.clone()),
         }
     }
 
@@ -665,6 +866,9 @@ impl<'m> ServeEngine<'m> {
                     self.admit_counter += 1;
                     self.active.push(ActiveSeq {
                         sid,
+                        // Speculation requires the watermark policy, so a
+                        // reservation-policy engine never has a draft.
+                        draft_sid: None,
                         pos: 0,
                         generated: Vec::new(),
                         replay_until: req.prompt.len(),
@@ -707,15 +911,26 @@ impl<'m> ServeEngine<'m> {
                     let need = self.runner.blocks_for_request(feed_len)
                         - self.runner.blocks_for_request(shared);
                     let free = self.runner.pool().free_blocks();
-                    let admissible =
-                        free >= need + watermark_blocks || (self.active.is_empty() && free >= need);
+                    // With speculation, the draft pool must clear the same
+                    // discipline (its per-request demand is smaller — fewer
+                    // layers — but it is a separate pool).
+                    let draft_fits = self.draft.as_ref().is_none_or(|d| {
+                        let d_need = d.runner.blocks_for_request(feed_len)
+                            - d.runner.blocks_for_request(shared);
+                        let d_free = d.runner.pool().free_blocks();
+                        d_free >= d_need + watermark_blocks
+                            || (self.active.is_empty() && d_free >= d_need)
+                    });
+                    let admissible = (free >= need + watermark_blocks
+                        || (self.active.is_empty() && free >= need))
+                        && draft_fits;
                     if !admissible {
                         // With nothing running, snapshots are the only
                         // holders: drop them until the head fits (the
                         // submit-time sizing check guarantees it will).
                         if self.active.is_empty() {
                             assert!(
-                                self.runner.evict_lru_prefix(),
+                                self.evict_lru_prefix_everywhere(),
                                 "head request needs {need} blocks but only {free} exist and \
                                  nothing holds the rest; submit-time sizing should prevent this"
                             );
@@ -729,18 +944,32 @@ impl<'m> ServeEngine<'m> {
                         // preemption is not queueing delay.
                         self.note_queue_wait(req.id);
                     }
-                    let (sid, cached) = if self.prefix_sharing {
+                    let prefix_sharing = self.prefix_sharing;
+                    let (sid, cached) = if prefix_sharing {
                         self.runner.create_session_with_prefix(&lookup)
                     } else {
                         (self.runner.create_session(), 0)
                     };
                     debug_assert_eq!(cached, shared);
+                    let draft_sid = self.draft.as_mut().map(|d| {
+                        if prefix_sharing {
+                            let (dsid, d_cached) = d.runner.create_session_with_prefix(&lookup);
+                            debug_assert_eq!(
+                                d_cached, cached,
+                                "draft prefix cache diverged from the target's"
+                            );
+                            dsid
+                        } else {
+                            d.runner.create_session()
+                        }
+                    });
                     let carry = self.resume.remove(&req.id);
                     self.prefill_tokens += feed_len;
                     self.prefix_cached_tokens += cached;
                     self.admit_counter += 1;
                     self.active.push(ActiveSeq {
                         sid,
+                        draft_sid,
                         pos: cached,
                         generated: carry
                             .as_ref()
@@ -767,15 +996,36 @@ impl<'m> ServeEngine<'m> {
     /// is never preempted, so the engine always makes progress.
     fn relieve_pressure(&mut self) {
         loop {
-            let needed: usize = self
-                .active
-                .iter()
-                .map(|s| self.runner.blocks_needed_for_step(s.sid))
-                .sum();
-            if self.runner.pool().free_blocks() >= needed {
+            // Per-sequence demand for the step each will actually take
+            // this tick: a speculative round may push up to `k` tokens and
+            // fork checkpoint blocks on *both* pools before rolling back.
+            let mut need_target = 0usize;
+            let mut need_draft = 0usize;
+            for s in &self.active {
+                match self.spec_k(s) {
+                    Some(k) => {
+                        need_target += self.runner.blocks_needed_for_spec_step(s.sid, k);
+                        if let (Some(d), Some(dsid)) = (self.draft.as_ref(), s.draft_sid) {
+                            need_draft += d.runner.blocks_needed_for_spec_step(dsid, k);
+                        }
+                    }
+                    None => {
+                        need_target += self.runner.blocks_needed_for_step(s.sid);
+                        if let (Some(d), Some(dsid)) = (self.draft.as_ref(), s.draft_sid) {
+                            need_draft += d.runner.blocks_needed_for_step(dsid);
+                        }
+                    }
+                }
+            }
+            let target_ok = self.runner.pool().free_blocks() >= need_target;
+            let draft_ok = self
+                .draft
+                .as_ref()
+                .is_none_or(|d| d.runner.pool().free_blocks() >= need_draft);
+            if target_ok && draft_ok {
                 return;
             }
-            if self.runner.evict_lru_prefix() {
+            if self.evict_lru_prefix_everywhere() {
                 continue;
             }
             assert!(
@@ -785,6 +1035,39 @@ impl<'m> ServeEngine<'m> {
             );
             self.preempt_youngest();
         }
+    }
+
+    /// The draft-and-verify round size sequence `s` would run this tick,
+    /// or `None` when it takes a plain step: speculation off, still in
+    /// prefill/replay, or fewer than two tokens left to generate (a round
+    /// always emits at least one bonus token, so the last token is never
+    /// worth drafting for).
+    fn spec_k(&self, s: &ActiveSeq) -> Option<usize> {
+        let d = self.draft.as_ref()?;
+        s.draft_sid?;
+        if s.pos < s.replay_until {
+            return None;
+        }
+        let remaining = s.req.max_new_tokens - s.generated.len();
+        if remaining < 2 {
+            return None;
+        }
+        // A round emits at most `accepted + 1 <= k + 1` tokens; capping k
+        // at `remaining - 1` keeps it from overshooting max_new_tokens.
+        Some(d.k.min(remaining - 1))
+    }
+
+    /// Evicts the LRU prefix snapshot from the target runner and, in
+    /// lockstep, from the draft runner. The two prefix caches see the
+    /// identical registration/hit/eviction sequence, so their LRU orders
+    /// coincide and the same prefix leaves both.
+    fn evict_lru_prefix_everywhere(&mut self) -> bool {
+        let evicted = self.runner.evict_lru_prefix();
+        if let Some(d) = self.draft.as_mut() {
+            let d_evicted = d.runner.evict_lru_prefix();
+            debug_assert_eq!(d_evicted, evicted, "draft prefix cache diverged");
+        }
+        evicted
     }
 
     /// Evicts the most recently admitted sequence and requeues its
@@ -800,6 +1083,9 @@ impl<'m> ServeEngine<'m> {
             .expect("caller checked active is non-empty");
         let s = self.active.remove(idx);
         self.runner.end_session(s.sid);
+        if let (Some(d), Some(dsid)) = (self.draft.as_mut(), s.draft_sid) {
+            d.runner.end_session(dsid);
+        }
         self.preemptions += 1;
         mant_trace::counter("preemptions", 1);
         self.resume.insert(
@@ -823,21 +1109,6 @@ fn note_phase(hist: &mut Hist, label: &'static str, start: Instant, end: Instant
     let ns = end.duration_since(start).as_nanos() as u64;
     hist.record(ns);
     mant_trace::span_at(label, start, ns);
-}
-
-/// Greedy sampling: index of the largest logit (first wins ties) — shared
-/// by the engine and the sequential baseline so identical logits always
-/// yield identical tokens.
-pub fn argmax(logits: &[f32]) -> usize {
-    let mut best = 0usize;
-    let mut best_v = f32::NEG_INFINITY;
-    for (i, &x) in logits.iter().enumerate() {
-        if x > best_v {
-            best_v = x;
-            best = i;
-        }
-    }
-    best
 }
 
 /// The one-request-at-a-time baseline the serving runtime is measured

@@ -21,6 +21,13 @@
 //! - **prefix sharing**: with [`ServeConfig::prefix_sharing`], requests
 //!   whose prompts share a block-aligned prefix (a common system prompt)
 //!   map it onto the *same* physical packed blocks and skip that prefill;
+//! - **speculative decoding**: with [`ServeConfig::speculative`] and
+//!   [`ServeEngine::new_with_draft`], decode-phase sequences run
+//!   draft-and-verify rounds — `draft_k` cheap draft-model steps, one
+//!   `draft_k`-token batched target verify (the GEMM shape the SIMD
+//!   kernels are best at), accept the longest agreeing prefix plus a
+//!   bonus token. Outputs stay byte-identical to plain decode; the
+//!   outcome lands in [`ServeReport::speculation`];
 //! - [`FcfsScheduler`]: arrival-ordered admission, O(log n) inserts;
 //! - [`ServeReport`] / [`Percentiles`]: aggregate tokens/s, TTFT /
 //!   end-to-end / queueing-delay percentiles, batch occupancy, prefix
@@ -48,6 +55,7 @@
 //!     kv: KvMode::Mant4 { group: 64 },
 //!     admission: AdmissionPolicy::Watermark { watermark_blocks: 4 },
 //!     prefix_sharing: true,
+//!     speculative: None,
 //! });
 //! engine.submit(GenRequest {
 //!     id: 0,
@@ -76,8 +84,9 @@ pub mod scheduler;
 
 pub use engine::{
     argmax, sequential_generate, AdmissionPolicy, EngineEvent, ServeConfig, ServeEngine,
+    SpeculativeConfig,
 };
-pub use metrics::{percentile, LatencyBreakdown, Percentiles, ServeReport};
+pub use metrics::{percentile, LatencyBreakdown, Percentiles, ServeReport, SpeculationStats};
 pub use request::{
     requests_from_shared_trace, requests_from_trace, Completion, GenRequest, SubmitError,
 };

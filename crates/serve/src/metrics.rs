@@ -36,6 +36,46 @@ pub struct LatencyBreakdown {
     pub advance: Hist,
 }
 
+/// Speculative-decoding outcome counters ([`ServeReport::speculation`]),
+/// accumulated over every draft-and-verify round the engine ran. The
+/// time histograms are per-round wall-clock nanoseconds, log₂-bucketed
+/// like the rest of [`LatencyBreakdown`].
+#[derive(Clone, Debug, Default)]
+pub struct SpeculationStats {
+    /// Draft-and-verify rounds executed.
+    pub rounds: u64,
+    /// Draft candidate tokens proposed across all rounds.
+    pub drafted: u64,
+    /// Candidates the batched verify pass confirmed (always followed by
+    /// one bonus token per round, so emitted tokens = `accepted + rounds`).
+    pub accepted: u64,
+    /// Per-round draft-phase time (k single-token draft steps), ns.
+    pub draft_ns: Hist,
+    /// Per-round verify time (one k-token batched target step), ns.
+    pub verify_ns: Hist,
+    /// Per-round cache-settle time (truncate or checkpoint restore on
+    /// both runners), ns.
+    pub rollback_ns: Hist,
+}
+
+impl SpeculationStats {
+    /// Fraction of drafted candidates the verifier accepted (0 when no
+    /// round ever ran).
+    pub fn acceptance_rate(&self) -> f64 {
+        if self.drafted == 0 {
+            0.0
+        } else {
+            self.accepted as f64 / self.drafted as f64
+        }
+    }
+
+    /// Decode tokens emitted by speculative rounds (accepted candidates
+    /// plus one bonus target token per round).
+    pub fn emitted_tokens(&self) -> u64 {
+        self.accepted + self.rounds
+    }
+}
+
 /// Latency percentile summary. Units are whatever the samples were in —
 /// engine iterations for the in-process summaries on [`ServeReport`],
 /// wall-clock seconds for the gateway's socket-measured latencies.
@@ -167,6 +207,11 @@ pub struct ServeReport {
     /// [`LatencyBreakdown`]). The iteration-clock percentiles above remain
     /// the deterministic, schedule-level view; this is the wall view.
     pub breakdown: LatencyBreakdown,
+    /// Draft-and-verify outcome counters; `Some` exactly when the engine
+    /// was built with [`new_with_draft`], even if no round ran yet.
+    ///
+    /// [`new_with_draft`]: crate::ServeEngine::new_with_draft
+    pub speculation: Option<SpeculationStats>,
 }
 
 impl ServeReport {

@@ -158,6 +158,7 @@ fn check_engine_matches_baseline(cfg: &ModelConfig, seed: u64) {
             kv,
             admission: AdmissionPolicy::Reserve,
             prefix_sharing: false,
+            speculative: None,
         },
     );
     for r in &requests {
@@ -231,6 +232,7 @@ fn tight_pool_throttles_admission_but_stays_exact() {
             kv,
             admission: AdmissionPolicy::Reserve,
             prefix_sharing: false,
+            speculative: None,
         },
     );
     for r in &requests {
@@ -287,6 +289,7 @@ fn prefix_sharing_stays_byte_identical_and_hits() {
                 watermark_blocks: 4,
             },
             prefix_sharing: true,
+            speculative: None,
         },
     );
     for r in &requests {
@@ -350,6 +353,7 @@ fn forced_preemption_stays_byte_identical() {
                 watermark_blocks: 1,
             },
             prefix_sharing: false,
+            speculative: None,
         },
     );
     for r in &requests {
@@ -417,6 +421,7 @@ fn sharing_plus_preemption_stays_byte_identical() {
                 watermark_blocks: 2,
             },
             prefix_sharing: true,
+            speculative: None,
         },
     );
     for r in &requests {
@@ -433,6 +438,236 @@ fn sharing_plus_preemption_stays_byte_identical() {
         );
     }
     assert!(report.preemptions > 0 || report.prefix_cached_tokens > 0);
+}
+
+/// Speculative decoding must change *when* tokens are computed, never
+/// which: the engine's greedy streams with draft-and-verify rounds equal
+/// the sequential target-only baseline byte for byte, at every `draft_k`.
+fn check_speculative_matches_baseline(draft_k: usize, seed: u64) {
+    use mant_model::{synthesize_speculative_pair, DraftConfig};
+    let cfg = ModelConfig::sim_llama();
+    let (target, draft) = synthesize_speculative_pair(
+        &cfg,
+        seed,
+        &DraftConfig {
+            layers: 1,
+            tail_block_ratio: 0.02,
+        },
+    );
+    let packed = target.pack_weights(64).unwrap();
+    let draft_packed = draft.pack_weights(64).unwrap();
+    let act = ActMode::None;
+    let kv = KvMode::Int4 { group: 16 };
+    let trace = poisson_trace(&TraceConfig {
+        requests: 6,
+        arrivals_per_iter: 0.4,
+        prompt: LengthDist::Uniform { lo: 3, hi: 10 },
+        output: LengthDist::Uniform { lo: 2, hi: 9 },
+        seed: seed ^ 0x5e2,
+    });
+    let requests = requests_from_trace(&trace, cfg.vocab, seed ^ 0x7a11);
+
+    let mut engine = ServeEngine::new_with_draft(
+        &target,
+        &packed,
+        &draft,
+        &draft_packed,
+        ServeConfig {
+            max_batch: 3,
+            pool_blocks: 64,
+            block_tokens: 16,
+            act,
+            kv,
+            admission: AdmissionPolicy::Watermark {
+                watermark_blocks: 4,
+            },
+            prefix_sharing: false,
+            speculative: Some(mant_serve::SpeculativeConfig { draft_k }),
+        },
+    );
+    for r in &requests {
+        engine.submit(r.clone());
+    }
+    let report = engine.run_to_completion();
+    assert_eq!(report.completions.len(), requests.len());
+
+    let (baseline, _) = sequential_generate(&target, &packed, act, kv, &requests);
+    for c in &report.completions {
+        assert_eq!(
+            c.tokens, baseline[c.id as usize],
+            "speculative decode at draft_k={draft_k} changed request {}'s tokens",
+            c.id
+        );
+    }
+    let spec = report
+        .speculation
+        .expect("speculative engine reports stats");
+    assert!(spec.rounds > 0, "decode-phase sequences must speculate");
+    // Each round drafts k_eff ∈ [1, draft_k] candidates (capped near a
+    // sequence's token budget).
+    assert!(spec.drafted >= spec.rounds);
+    assert!(spec.drafted <= spec.rounds * draft_k as u64);
+    assert!(spec.accepted <= spec.drafted);
+    assert!(!spec.draft_ns.is_empty() && !spec.verify_ns.is_empty());
+}
+
+#[test]
+fn speculative_decoding_stays_byte_identical_across_draft_k() {
+    for (draft_k, seed) in [(1, 101u64), (2, 102), (4, 103), (8, 104)] {
+        check_speculative_matches_baseline(draft_k, seed);
+    }
+}
+
+/// Speculation composes with prefix sharing: shared-prompt traffic over
+/// CoW blocks, draft sessions mirroring every registration, and the
+/// streams still match the baseline exactly.
+#[test]
+fn speculative_plus_prefix_sharing_stays_byte_identical() {
+    use mant_model::{synthesize_speculative_pair, DraftConfig};
+    use mant_serve::requests_from_shared_trace;
+    use mant_sim::{shared_prefix_trace, SharedPrefixConfig};
+    let cfg = ModelConfig::sim_llama();
+    let (target, draft) = synthesize_speculative_pair(
+        &cfg,
+        95,
+        &DraftConfig {
+            layers: 1,
+            tail_block_ratio: 0.02,
+        },
+    );
+    let packed = target.pack_weights(64).unwrap();
+    let draft_packed = draft.pack_weights(64).unwrap();
+    let act = ActMode::None;
+    let kv = KvMode::Int4 { group: 16 };
+    let shared_cfg = SharedPrefixConfig {
+        personas: 2,
+        requests_per_persona: 2,
+        system_prompt_len: 16,
+        persona_prompt_len: 16,
+        unique_prompt_len: LengthDist::Uniform { lo: 2, hi: 7 },
+        output: LengthDist::Uniform { lo: 3, hi: 8 },
+        arrivals_per_iter: 0.05,
+        seed: 27,
+    };
+    let trace = shared_prefix_trace(&shared_cfg);
+    let requests = requests_from_shared_trace(&shared_cfg, &trace, cfg.vocab, 28);
+
+    let mut engine = ServeEngine::new_with_draft(
+        &target,
+        &packed,
+        &draft,
+        &draft_packed,
+        ServeConfig {
+            max_batch: 4,
+            pool_blocks: 96,
+            block_tokens: 16,
+            act,
+            kv,
+            admission: AdmissionPolicy::Watermark {
+                watermark_blocks: 4,
+            },
+            prefix_sharing: true,
+            speculative: Some(mant_serve::SpeculativeConfig { draft_k: 4 }),
+        },
+    );
+    for r in &requests {
+        engine.submit(r.clone());
+    }
+    let report = engine.run_to_completion();
+    assert_eq!(report.completions.len(), requests.len());
+    assert!(
+        report.prefix_cached_tokens > 0,
+        "staggered same-prefix requests must hit the prefix cache"
+    );
+    let spec = report
+        .speculation
+        .expect("speculative engine reports stats");
+    assert!(spec.rounds > 0);
+
+    let (baseline, _) = sequential_generate(&target, &packed, act, kv, &requests);
+    for c in &report.completions {
+        assert_eq!(
+            c.tokens, baseline[c.id as usize],
+            "speculation + prefix sharing changed request {}'s tokens",
+            c.id
+        );
+    }
+}
+
+/// Speculation composes with forced preemption: a pool too small for the
+/// grown caches preempts mid-speculation (both runners' sessions end and
+/// replay), and the recomputed streams still match the baseline.
+#[test]
+fn speculative_under_forced_preemption_stays_byte_identical() {
+    use mant_model::{synthesize_speculative_pair, DraftConfig};
+    let cfg = ModelConfig::sim_llama();
+    let (target, draft) = synthesize_speculative_pair(
+        &cfg,
+        96,
+        &DraftConfig {
+            layers: 1,
+            tail_block_ratio: 0.02,
+        },
+    );
+    let packed = target.pack_weights(64).unwrap();
+    let draft_packed = draft.pack_weights(64).unwrap();
+    let act = ActMode::None;
+    let kv = KvMode::Int4 { group: 16 };
+    // Same geometry as `forced_preemption_stays_byte_identical`: three
+    // 4-block lifetimes against a 9-block target pool force preemption
+    // during decode — now while rounds hold transient checkpoint blocks.
+    let requests: Vec<GenRequest> = (0..3)
+        .map(|i| GenRequest {
+            id: i,
+            prompt: (0..8)
+                .map(|t| ((i as usize) * 101 + t * 17 + 3) % cfg.vocab)
+                .collect(),
+            max_new_tokens: 24,
+            arrival_iter: 0,
+            deadline_iter: None,
+        })
+        .collect();
+    let mut engine = ServeEngine::new_with_draft(
+        &target,
+        &packed,
+        &draft,
+        &draft_packed,
+        ServeConfig {
+            max_batch: 3,
+            pool_blocks: 9,
+            block_tokens: 16,
+            act,
+            kv,
+            admission: AdmissionPolicy::Watermark {
+                watermark_blocks: 1,
+            },
+            prefix_sharing: false,
+            speculative: Some(mant_serve::SpeculativeConfig { draft_k: 3 }),
+        },
+    );
+    for r in &requests {
+        engine.submit(r.clone());
+    }
+    let report = engine.run_to_completion();
+    assert_eq!(report.completions.len(), 3);
+    assert!(
+        report.preemptions > 0,
+        "a 9-block pool cannot hold three 4-block lifetimes without preempting"
+    );
+    let spec = report
+        .speculation
+        .expect("speculative engine reports stats");
+    assert!(spec.rounds > 0);
+
+    let (baseline, _) = sequential_generate(&target, &packed, act, kv, &requests);
+    for c in &report.completions {
+        assert_eq!(
+            c.tokens, baseline[c.id as usize],
+            "speculation + preemption changed request {}'s tokens",
+            c.id
+        );
+        assert_eq!(c.tokens.len(), 24);
+    }
 }
 
 /// In-flight duplicate request ids are rejected at submit: ids key the
@@ -457,6 +692,7 @@ fn duplicate_request_id_rejected_at_submit() {
                 watermark_blocks: 2,
             },
             prefix_sharing: false,
+            speculative: None,
         },
     );
     let req = GenRequest {
@@ -489,6 +725,7 @@ fn impossible_request_rejected_at_submit() {
             kv: KvMode::Mant4 { group: 64 },
             admission: AdmissionPolicy::Reserve,
             prefix_sharing: false,
+            speculative: None,
         },
     );
     engine.submit(GenRequest {

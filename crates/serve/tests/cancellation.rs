@@ -33,6 +33,7 @@ fn engine_cfg(prefix_sharing: bool, pool_blocks: usize) -> ServeConfig {
             watermark_blocks: 2,
         },
         prefix_sharing,
+        speculative: None,
     }
 }
 

@@ -44,6 +44,7 @@ fn engine_streams() -> Vec<(u64, Vec<usize>)> {
             kv,
             admission: AdmissionPolicy::Reserve,
             prefix_sharing: false,
+            speculative: None,
         },
     );
     for r in &requests {

@@ -66,6 +66,7 @@ fn main() {
             watermark_blocks: 4,
         },
         prefix_sharing: false,
+        speculative: None,
     };
     println!(
         "model: {} ({} hidden, {} layers, vocab {})",

@@ -65,6 +65,7 @@ fn main() {
                 watermark_blocks: 8,
             },
             prefix_sharing: true,
+            speculative: None,
         },
     );
     for r in &requests {
@@ -118,6 +119,7 @@ fn main() {
             kv,
             admission: AdmissionPolicy::Reserve,
             prefix_sharing: false,
+            speculative: None,
         },
     );
     for r in &requests {
