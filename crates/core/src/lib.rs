@@ -22,6 +22,13 @@ pub mod pipeline;
 
 pub use pipeline::Pipeline;
 
+/// Seeded deterministic fault injection (the canonical path for the
+/// subsystem; it physically lives in `mant-trace`, the one crate every
+/// injection site already depends on). Only present with the
+/// `fault-inject` feature.
+#[cfg(feature = "fault-inject")]
+pub use mant_trace::fault;
+
 // The workspace's public surface, re-exported for single-dependency users.
 pub use mant_baselines as baselines;
 pub use mant_model as model;

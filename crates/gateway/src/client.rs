@@ -17,6 +17,9 @@ pub enum Terminal {
     Expired,
     /// `event: cancelled` — the server dropped the sequence.
     Cancelled,
+    /// `event: error` — the sequence was poisoned by an internal fault
+    /// or the engine stalled mid-stream; blocks were released server-side.
+    Error,
     /// No SSE stream: the server answered with an HTTP error.
     Rejected {
         /// HTTP status code (400/422/429/503/...).
@@ -116,6 +119,10 @@ pub fn generate(addr: SocketAddr, body: &str) -> std::io::Result<StreamOutcome> 
                 }
                 Some("cancelled") => {
                     terminal = Terminal::Cancelled;
+                    break;
+                }
+                Some("error") => {
+                    terminal = Terminal::Error;
                     break;
                 }
                 Some(_) => {} // unknown event type: skip

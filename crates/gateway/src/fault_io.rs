@@ -1,0 +1,74 @@
+//! Socket-fault wrapper for chaos testing (`fault-inject` builds only).
+//!
+//! [`FaultStream`] sits between the gateway's connection handling and the
+//! real `TcpStream`, consulting the installed
+//! [`mant_trace::fault::FaultPlan`] on every read and write:
+//!
+//! - `gateway.read_short` — cap the next read at one byte, exercising
+//!   every resume-from-partial-line path in the HTTP parser;
+//! - `gateway.read_wouldblock` — surface a spurious
+//!   [`io::ErrorKind::WouldBlock`], the same error an idle read timeout
+//!   produces;
+//! - `gateway.write_short` — cap the next write at one byte (callers use
+//!   `write_all`/`write!`, which must loop);
+//! - `gateway.disconnect` — fail the call with `ConnectionReset`, the
+//!   mid-stream client-vanished case.
+//!
+//! The wrapper exists only under the feature flag; default builds hand
+//! the raw stream straight to the parser.
+
+use std::io::{self, Read, Write};
+
+use mant_trace::fault::{self, site};
+
+/// A `Read + Write` transport that injects the gateway's socket faults.
+pub struct FaultStream<S> {
+    inner: S,
+}
+
+impl<S> FaultStream<S> {
+    /// Wraps a transport; faults fire per the installed plan.
+    pub fn new(inner: S) -> Self {
+        FaultStream { inner }
+    }
+}
+
+impl<S: Read> Read for FaultStream<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if fault::fire(site::GW_DISCONNECT) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected fault: gateway.disconnect",
+            ));
+        }
+        if fault::fire(site::GW_READ_WOULDBLOCK) {
+            return Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "injected fault: gateway.read_wouldblock",
+            ));
+        }
+        if fault::fire(site::GW_READ_SHORT) && buf.len() > 1 {
+            return self.inner.read(&mut buf[..1]);
+        }
+        self.inner.read(buf)
+    }
+}
+
+impl<S: Write> Write for FaultStream<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if fault::fire(site::GW_DISCONNECT) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionReset,
+                "injected fault: gateway.disconnect",
+            ));
+        }
+        if fault::fire(site::GW_WRITE_SHORT) && buf.len() > 1 {
+            return self.inner.write(&buf[..1]);
+        }
+        self.inner.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.inner.flush()
+    }
+}

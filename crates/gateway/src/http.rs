@@ -287,11 +287,32 @@ pub fn write_response(
     body: &[u8],
     keep_alive: bool,
 ) -> io::Result<()> {
+    write_response_with(w, status, reason, content_type, &[], body, keep_alive)
+}
+
+/// [`write_response`] with extra response headers (name, value) — the
+/// shed path uses it for `Retry-After`. Names and values must already be
+/// valid header text; nothing is escaped here.
+pub fn write_response_with(
+    w: &mut impl Write,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, &str)],
+    body: &[u8],
+    keep_alive: bool,
+) -> io::Result<()> {
     let connection = if keep_alive { "keep-alive" } else { "close" };
     write!(
         w,
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n"
+    )?;
+    for (name, value) in extra_headers {
+        write!(w, "{name}: {value}\r\n")?;
+    }
+    write!(
+        w,
+        "Content-Length: {}\r\nConnection: {connection}\r\n\r\n",
         body.len()
     )?;
     w.write_all(body)?;

@@ -65,6 +65,8 @@
 //! [`ServeEngine::expire`]: mant_serve::ServeEngine::expire
 
 pub mod client;
+#[cfg(feature = "fault-inject")]
+pub mod fault_io;
 pub mod http;
 pub mod json;
 pub mod server;

@@ -71,6 +71,11 @@ pub struct GatewayConfig {
     /// shutdown race), the worker stops waiting after this long and
     /// replies 503.
     pub first_event_timeout: Duration,
+    /// How long the ticker may go without completing a loop before the
+    /// watchdog declares the engine stalled: new requests are refused with
+    /// 503 and in-flight streams are ended with an `error` event. The
+    /// flag self-heals — the ticker clears it on its next loop.
+    pub stall_timeout: Duration,
     /// Enable `mant_trace` recording for this run: request/tick/kernel
     /// spans feed the `/metrics` histograms, retained events feed the
     /// Chrome dump (`MANT_TRACE_OUT=path`), and [`GatewayReport::metrics`]
@@ -94,6 +99,7 @@ impl GatewayConfig {
             limits: Limits::default(),
             serve,
             first_event_timeout: Duration::from_secs(5),
+            stall_timeout: Duration::from_secs(5),
             trace: std::env::var("MANT_TRACE").is_ok_and(|v| v == "1"),
         }
     }
@@ -116,6 +122,10 @@ enum SeqEvent {
     Expired,
     /// Cancelled — in practice because the client disconnected.
     Cancelled,
+    /// The sequence was quarantined after a panic inside the engine's
+    /// isolation boundary; its blocks were released. Streams end with an
+    /// `error` SSE event.
+    Poisoned,
 }
 
 /// A request handed from a worker to the ticker.
@@ -149,6 +159,20 @@ struct Shared {
     active: AtomicU64,
     used_blocks: AtomicU64,
     free_blocks: AtomicU64,
+    /// The engine's graceful-degradation rung, stored by the ticker every
+    /// loop; at the shed rung workers refuse new work with 429 +
+    /// `Retry-After` before even touching the submission channel.
+    degradation_rung: AtomicU64,
+    /// `mant_trace::now_ns()` at the end of the ticker's last loop — the
+    /// watchdog's heartbeat.
+    last_tick_ns: AtomicU64,
+    /// Set by the watchdog when the heartbeat goes quiet past
+    /// [`GatewayConfig::stall_timeout`]; cleared by the ticker itself on
+    /// its next loop (self-healing). While set, workers answer 503 and
+    /// drain in-flight streams.
+    stalled: AtomicBool,
+    /// Times the watchdog saw the heartbeat go quiet.
+    stalls: AtomicU64,
     /// Accumulates drained trace events across `/metrics` scrapes and the
     /// final report. Locked only while scraping/collecting — never on a
     /// recording hot path.
@@ -187,7 +211,8 @@ pub struct GatewayReport {
     pub accepted: u64,
     /// Submissions shed with 429 because the queue was full.
     pub rejected_busy: u64,
-    /// Submissions refused with 503 because shutdown had begun.
+    /// Submissions refused with 503 — shutdown had begun, or the
+    /// watchdog had flagged the engine stalled.
     pub rejected_shutdown: u64,
     /// Requests refused with 400 because the body did not parse.
     pub rejected_parse: u64,
@@ -235,6 +260,10 @@ pub fn serve<R>(
         active: AtomicU64::new(0),
         used_blocks: AtomicU64::new(0),
         free_blocks: AtomicU64::new(0),
+        degradation_rung: AtomicU64::new(0),
+        last_tick_ns: AtomicU64::new(mant_trace::now_ns()),
+        stalled: AtomicBool::new(false),
+        stalls: AtomicU64::new(0),
         collector: Mutex::new(Collector::new(config.trace)),
     };
     let (sub_tx, sub_rx) = mpsc::sync_channel::<Submission>(config.queue_depth);
@@ -244,34 +273,51 @@ pub fn serve<R>(
     let result = thread::scope(|scope| {
         // Threads are named so the Chrome trace's tracks read as
         // `ticker` / `worker-N`, not `thread-N`.
-        thread::Builder::new()
-            .name("ticker".to_owned())
-            .spawn_scoped(scope, || {
-                ticker(
-                    model,
-                    packed,
-                    &config,
-                    &shared,
-                    sub_rx,
-                    ctl_rx,
-                    &report_slot,
-                );
-            })
-            .expect("spawn ticker thread");
-        for i in 0..config.workers.max(1) {
-            let sub_tx = sub_tx.clone();
-            let ctl_tx = ctl_tx.clone();
+        let mut sub_rx = Some(sub_rx);
+        let mut ctl_rx = Some(ctl_rx);
+        let spawned = (|| -> io::Result<()> {
+            let (sub_rx, ctl_rx) = (
+                sub_rx.take().expect("taken once"),
+                ctl_rx.take().expect("taken once"),
+            );
             thread::Builder::new()
-                .name(format!("worker-{i}"))
+                .name("ticker".to_owned())
                 .spawn_scoped(scope, || {
-                    worker(&listener, &config, &shared, sub_tx, ctl_tx)
-                })
-                .expect("spawn worker thread");
-        }
+                    ticker(
+                        model,
+                        packed,
+                        &config,
+                        &shared,
+                        sub_rx,
+                        ctl_rx,
+                        &report_slot,
+                    );
+                })?;
+            thread::Builder::new()
+                .name("watchdog".to_owned())
+                .spawn_scoped(scope, || watchdog(&config, &shared))?;
+            for i in 0..config.workers.max(1) {
+                let sub_tx = sub_tx.clone();
+                let ctl_tx = ctl_tx.clone();
+                thread::Builder::new()
+                    .name(format!("worker-{i}"))
+                    .spawn_scoped(scope, || {
+                        worker(&listener, &config, &shared, sub_tx, ctl_tx)
+                    })?;
+            }
+            Ok(())
+        })();
         // The scope's own clones keep the channels alive until here; drop
         // them so the ticker sees disconnection once the workers finish.
         drop(sub_tx);
         drop(ctl_tx);
+        if let Err(e) = spawned {
+            // A failed thread spawn at startup is unrecoverable: flag
+            // shutdown so whatever did spawn exits, and surface the OS
+            // error instead of panicking.
+            shared.shutdown.store(true, Ordering::SeqCst);
+            return Err(e);
+        }
 
         let handle = GatewayHandle {
             addr,
@@ -282,17 +328,21 @@ pub fn serve<R>(
         // caller's panic (a failing test assertion, say) into a hang.
         let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&handle)));
         handle.shutdown();
-        out
+        Ok(out)
         // Scope exit joins the ticker and all workers.
     });
-    let result = match result {
+    let result = match result? {
         Ok(out) => out,
         Err(payload) => std::panic::resume_unwind(payload),
     };
 
     let mut serve_report = report_slot
         .into_inner()
-        .unwrap()
+        // A thread that panicked while holding the slot poisoned the
+        // mutex, but the stored report (if any) is still intact.
+        .unwrap_or_else(|e| e.into_inner())
+        // The ticker stores a report on every exit path; if it panicked
+        // instead, the scope join above has already propagated that panic.
         .expect("the ticker always stores a final report");
     let rejected_busy = shared.rejected_busy.load(Ordering::SeqCst);
     let rejected_shutdown = shared.rejected_shutdown.load(Ordering::SeqCst);
@@ -345,8 +395,9 @@ pub fn serve<R>(
 /// atomics *are* the source; the trace stream never records these labels).
 fn merged_aggregate(agg: &Aggregate, shared: &Shared) -> Aggregate {
     let mut agg = agg.clone();
-    let counters: [(&'static str, u64); 5] = [
+    let counters: [(&'static str, u64); 6] = [
         ("requests.shed", shared.rejected_busy.load(Ordering::SeqCst)),
+        ("gateway.stalls", shared.stalls.load(Ordering::SeqCst)),
         ("gateway.accepted", shared.accepted.load(Ordering::SeqCst)),
         (
             "gateway.rejected_parse",
@@ -365,9 +416,13 @@ fn merged_aggregate(agg: &Aggregate, shared: &Shared) -> Aggregate {
         agg.counters.insert(label, v);
     }
     let now = mant_trace::now_ns();
-    let gauges: [(&'static str, u64); 4] = [
+    let gauges: [(&'static str, u64); 5] = [
         ("queue.depth", shared.queued.load(Ordering::SeqCst)),
         ("sequences.active", shared.active.load(Ordering::SeqCst)),
+        (
+            "ladder.rung",
+            shared.degradation_rung.load(Ordering::SeqCst),
+        ),
         (
             "pool.used_blocks",
             shared.used_blocks.load(Ordering::SeqCst),
@@ -401,6 +456,13 @@ fn ticker(
     let mut deadlines: HashMap<u64, Instant> = HashMap::new();
 
     loop {
+        // Chaos seam: freeze the ticker mid-loop (payload × 100 ms) so the
+        // watchdog's stall detection and the workers' drain paths can be
+        // exercised deterministically.
+        #[cfg(feature = "fault-inject")]
+        if let Some(units) = mant_trace::fault::payload(mant_trace::fault::site::TICKER_STALL) {
+            thread::sleep(Duration::from_millis(units * 100));
+        }
         // Client-gone cancels first: they free blocks for this tick's
         // admissions.
         while let Ok(Control::Cancel(id)) = ctl_rx.try_recv() {
@@ -478,6 +540,7 @@ fn ticker(
                 EngineEvent::Finished { id } => (id, SeqEvent::Finished, true),
                 EngineEvent::Expired { id } => (id, SeqEvent::Expired, true),
                 EngineEvent::Cancelled { id } => (id, SeqEvent::Cancelled, true),
+                EngineEvent::Poisoned { id } => (id, SeqEvent::Poisoned, true),
             };
             if terminal {
                 deadlines.remove(&id);
@@ -509,6 +572,15 @@ fn ticker(
         shared
             .free_blocks
             .store(engine.free_blocks() as u64, Ordering::SeqCst);
+        shared
+            .degradation_rung
+            .store(u64::from(engine.degradation_rung()), Ordering::SeqCst);
+        // Heartbeat for the watchdog; a stall verdict self-heals here the
+        // moment the ticker gets moving again.
+        shared
+            .last_tick_ns
+            .store(mant_trace::now_ns(), Ordering::SeqCst);
+        shared.stalled.store(false, Ordering::SeqCst);
 
         if shutting_down && engine.pending() == 0 {
             break;
@@ -521,8 +593,41 @@ fn ticker(
         }
     }
 
-    *report_slot.lock().unwrap() = Some(engine.report(t0.elapsed().as_secs_f64()));
+    // A poisoned slot would mean a worker panicked mid-collection; the
+    // store must still happen or `serve` has no final report.
+    *report_slot.lock().unwrap_or_else(|e| e.into_inner()) =
+        Some(engine.report(t0.elapsed().as_secs_f64()));
     shared.ticker_done.store(true, Ordering::SeqCst);
+}
+
+/// Watches the ticker's heartbeat: if no loop completes within
+/// [`GatewayConfig::stall_timeout`], flags the engine as stalled (workers
+/// answer 503 and end in-flight streams) and counts the detection. The
+/// flag is cleared by the ticker itself, so a recovered engine resumes
+/// service with no operator action.
+fn watchdog(config: &GatewayConfig, shared: &Shared) {
+    // Responsive to both stall onset and shutdown without busy-waiting.
+    let poll =
+        (config.stall_timeout / 4).clamp(Duration::from_millis(5), Duration::from_millis(50));
+    loop {
+        if shared.ticker_done.load(Ordering::SeqCst) {
+            return;
+        }
+        let idle_ns =
+            mant_trace::now_ns().saturating_sub(shared.last_tick_ns.load(Ordering::SeqCst));
+        if Duration::from_nanos(idle_ns) > config.stall_timeout {
+            if !shared.stalled.swap(true, Ordering::SeqCst) {
+                shared.stalls.fetch_add(1, Ordering::SeqCst);
+                mant_trace::counter("gateway.stalls", 1);
+            }
+            // A ticker that died (rather than stalled) during shutdown
+            // will never heal the flag; stop watching a corpse.
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+        }
+        thread::sleep(poll);
+    }
 }
 
 /// One worker: accept-poll on the shared nonblocking listener, serve each
@@ -552,8 +657,11 @@ fn worker(
     }
 }
 
-/// Serves one connection: keep-alive request loop, routing, and SSE
-/// streaming for `/v1/generate`.
+/// Serves one connection: socket setup, then the transport-generic
+/// request loop. Under `fault-inject`, the socket is wrapped in a
+/// [`crate::fault_io::FaultStream`] so the installed plan can inject
+/// short reads/writes, `WouldBlock` storms, and mid-stream disconnects
+/// between the parser and the wire.
 fn handle_connection(
     stream: TcpStream,
     config: &GatewayConfig,
@@ -565,9 +673,29 @@ fn handle_connection(
     // Bound how long an idle keep-alive connection can pin a worker (and
     // delay shutdown); pipelined requests are buffered and unaffected.
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
+    #[cfg(feature = "fault-inject")]
+    {
+        let reader = BufReader::new(crate::fault_io::FaultStream::new(stream.try_clone()?));
+        let writer = crate::fault_io::FaultStream::new(stream);
+        serve_requests(reader, writer, config, shared, sub_tx, ctl_tx)
+    }
+    #[cfg(not(feature = "fault-inject"))]
+    {
+        let reader = BufReader::new(stream.try_clone()?);
+        serve_requests(reader, stream, config, shared, sub_tx, ctl_tx)
+    }
+}
 
+/// The keep-alive request loop over any buffered transport — the real
+/// socket in production, a fault-wrapped one in chaos tests.
+fn serve_requests<R: io::BufRead, W: io::Write>(
+    mut reader: R,
+    mut writer: W,
+    config: &GatewayConfig,
+    shared: &Shared,
+    sub_tx: &SyncSender<Submission>,
+    ctl_tx: &Sender<Control>,
+) -> io::Result<()> {
     loop {
         let request = match http::read_request(&mut reader, &config.limits) {
             Ok(None) => return Ok(()),
@@ -609,8 +737,8 @@ fn handle_connection(
 
 /// Dispatches one parsed request; returns whether the response was a
 /// stream (which forces connection close).
-fn route(
-    writer: &mut TcpStream,
+fn route<W: io::Write>(
+    writer: &mut W,
     request: &Request,
     keep_alive: bool,
     config: &GatewayConfig,
@@ -621,23 +749,28 @@ fn route(
     let path = request.target.split('?').next().unwrap_or("");
     match (request.method.as_str(), path) {
         ("GET", "/healthz") => {
-            let status = if shared.shutdown.load(Ordering::SeqCst) {
+            let status = if shared.stalled.load(Ordering::SeqCst) {
+                "stalled"
+            } else if shared.shutdown.load(Ordering::SeqCst) {
                 "draining"
             } else {
                 "ok"
             };
             // Operational facts a probe wants in one read: the dispatched
-            // kernel tier, pool capacity/occupancy, and queue depth.
+            // kernel tier, pool capacity/occupancy, queue depth, and the
+            // failure-domain view (degradation rung, stall count).
             let body = format!(
                 "{{\"status\":\"{status}\",\"kernel\":\"{}\",\"pool_blocks\":{},\
                  \"used_blocks\":{},\"free_blocks\":{},\"queue_depth\":{},\
-                 \"active_sequences\":{}}}",
+                 \"active_sequences\":{},\"degradation_rung\":{},\"stalls\":{}}}",
                 mant_numerics::kernels().name(),
                 config.serve.pool_blocks,
                 shared.used_blocks.load(Ordering::SeqCst),
                 shared.free_blocks.load(Ordering::SeqCst),
                 shared.queued.load(Ordering::SeqCst),
                 shared.active.load(Ordering::SeqCst),
+                shared.degradation_rung.load(Ordering::SeqCst),
+                shared.stalls.load(Ordering::SeqCst),
             );
             http::write_response(
                 writer,
@@ -698,10 +831,11 @@ fn route(
     }
 }
 
-/// `POST /v1/generate`: validate, submit with backpressure, then stream
+/// `POST /v1/generate`: validate, submit with backpressure (bounded
+/// jittered retries for transient queue-full verdicts), then stream
 /// tokens as SSE until the terminal event.
-fn generate(
-    writer: &mut TcpStream,
+fn generate<W: io::Write>(
+    writer: &mut W,
     request: &Request,
     keep_alive: bool,
     config: &GatewayConfig,
@@ -745,6 +879,27 @@ fn generate(
         )?;
         return Ok(false);
     }
+    if shared.stalled.load(Ordering::SeqCst) {
+        // The watchdog flagged a quiet engine: admitting more work would
+        // only grow a queue nothing is draining. 503 until the ticker
+        // heartbeats again (the flag self-heals).
+        shared.rejected_shutdown.fetch_add(1, Ordering::SeqCst);
+        http::write_response_with(
+            writer,
+            503,
+            "Service Unavailable",
+            "application/json",
+            &[("Retry-After", "1")],
+            b"{\"error\":\"engine stalled\"}",
+            false,
+        )?;
+        return Ok(false);
+    }
+    // Ladder rung 4 (see `mant_serve::DegradationStats`): the engine asked
+    // the transport to shed new work while it recovers pool headroom.
+    if shared.degradation_rung.load(Ordering::SeqCst) >= 4 {
+        return shed_busy(writer, shared, keep_alive).map(|()| false);
+    }
 
     let id = shared.next_id.fetch_add(1, Ordering::SeqCst);
     let (event_tx, event_rx) = mpsc::channel::<SeqEvent>();
@@ -764,31 +919,54 @@ fn generate(
     // Spans the client-visible admission wait: submission channel +
     // engine queue, ending when `Queued` arrives (or at the refusal).
     let queue_span = mant_trace::span("request.queue_wait");
-    match sub_tx.try_send(submission) {
-        Ok(()) => {}
-        Err(TrySendError::Full(_)) => {
-            shared.rejected_busy.fetch_add(1, Ordering::SeqCst);
-            http::write_response(
-                writer,
-                429,
-                "Too Many Requests",
-                "application/json",
-                b"{\"error\":\"submission queue is full\"}",
-                keep_alive,
-            )?;
-            return Ok(false);
-        }
-        Err(TrySendError::Disconnected(_)) => {
-            shared.rejected_shutdown.fetch_add(1, Ordering::SeqCst);
-            http::write_response(
-                writer,
-                503,
-                "Service Unavailable",
-                "application/json",
-                b"{\"error\":\"shutting down\"}",
-                false,
-            )?;
-            return Ok(false);
+    // A full channel is often transient (the ticker drains it every
+    // loop), so retry with doubling jittered backoff while the request's
+    // own deadline (capped at ~50 ms) has room; only then shed with 429 +
+    // `Retry-After`. The jitter keeps concurrent retriers from
+    // re-colliding in lockstep.
+    let mut submission = submission;
+    let retry_until = {
+        let cap = Instant::now() + Duration::from_millis(50);
+        submission.deadline.map_or(cap, |d| cap.min(d))
+    };
+    let mut backoff = Duration::from_millis(2);
+    loop {
+        // Chaos seam: a fired `gateway.submit_transient` makes this
+        // attempt report Full without touching the channel — the retry
+        // path must absorb it invisibly.
+        #[cfg(feature = "fault-inject")]
+        let injected_full = mant_trace::fault::fire(mant_trace::fault::site::SUBMIT_TRANSIENT);
+        #[cfg(not(feature = "fault-inject"))]
+        let injected_full = false;
+        let verdict = if injected_full {
+            Err(TrySendError::Full(submission))
+        } else {
+            sub_tx.try_send(submission)
+        };
+        match verdict {
+            Ok(()) => break,
+            Err(TrySendError::Full(s)) => {
+                let jitter = Duration::from_micros(mant_trace::now_ns() % 1024);
+                let wait = backoff + jitter;
+                if Instant::now() + wait > retry_until {
+                    return shed_busy(writer, shared, keep_alive).map(|()| false);
+                }
+                thread::sleep(wait);
+                backoff *= 2;
+                submission = s;
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                shared.rejected_shutdown.fetch_add(1, Ordering::SeqCst);
+                http::write_response(
+                    writer,
+                    503,
+                    "Service Unavailable",
+                    "application/json",
+                    b"{\"error\":\"shutting down\"}",
+                    false,
+                )?;
+                return Ok(false);
+            }
         }
     }
 
@@ -827,7 +1005,20 @@ fn generate(
             )?;
             return Ok(false);
         }
-        Ok(_) => unreachable!("tokens cannot precede the Queued event"),
+        Ok(_) => {
+            // Tokens cannot precede the Queued event; a protocol break
+            // here is a server bug — answer 500 instead of panicking the
+            // worker and taking its whole accept loop down.
+            http::write_response(
+                writer,
+                500,
+                "Internal Server Error",
+                "application/json",
+                b"{\"error\":\"internal event-order error\"}",
+                false,
+            )?;
+            return Ok(false);
+        }
     }
 
     // Admitted: stream. From here the connection closes when we are done.
@@ -836,11 +1027,27 @@ fn generate(
     let mut tokens = 0usize;
     loop {
         // The engine drains admitted work even at shutdown, so every
-        // admitted stream ends with a terminal event; recv (not
-        // recv_timeout) is safe and keeps the hot path cheap.
-        let event = match event_rx.recv() {
+        // admitted stream normally ends with a terminal event; the
+        // timeout exists only to notice a watchdog-flagged stall and
+        // stop pinning the connection on a quiet engine.
+        let event = match event_rx.recv_timeout(Duration::from_millis(250)) {
             Ok(ev) => ev,
-            Err(_) => {
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.stalled.load(Ordering::SeqCst) {
+                    // Drain: end the stream with an error event and hand
+                    // the sequence back (the cancel is a no-op if the
+                    // ticker is truly dead).
+                    let _ = http::write_sse_event(
+                        writer,
+                        Some("error"),
+                        &format!("{{\"id\":{id},\"error\":\"engine stalled\"}}"),
+                    );
+                    let _ = ctl_tx.send(Control::Cancel(id));
+                    return Ok(true);
+                }
+                continue;
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
                 // Ticker died without a terminal event — only possible on
                 // a panic; end the stream as cancelled.
                 let _ = http::write_sse_event(writer, Some("cancelled"), "{}");
@@ -868,8 +1075,24 @@ fn generate(
                 http::write_sse_event(writer, Some("cancelled"), &format!("{{\"id\":{id}}}"))?;
                 return Ok(true);
             }
+            SeqEvent::Poisoned => {
+                http::write_sse_event(
+                    writer,
+                    Some("error"),
+                    &format!("{{\"id\":{id},\"error\":\"sequence poisoned\"}}"),
+                )?;
+                return Ok(true);
+            }
             SeqEvent::Queued | SeqEvent::Rejected(_) | SeqEvent::ShuttingDown => {
-                unreachable!("admission events cannot follow Queued")
+                // Admission events cannot follow Queued; treat a protocol
+                // break as a server error instead of panicking the worker.
+                let _ = http::write_sse_event(
+                    writer,
+                    Some("error"),
+                    &format!("{{\"id\":{id},\"error\":\"internal event-order error\"}}"),
+                );
+                let _ = ctl_tx.send(Control::Cancel(id));
+                return Ok(true);
             }
         };
         if result.is_err() {
@@ -879,4 +1102,24 @@ fn generate(
             return Ok(true);
         }
     }
+}
+
+/// Sheds one submission with `429 Too Many Requests`, a `Retry-After`
+/// hint, and the current queue depth in the JSON body so clients can
+/// pace themselves.
+fn shed_busy<W: io::Write>(writer: &mut W, shared: &Shared, keep_alive: bool) -> io::Result<()> {
+    shared.rejected_busy.fetch_add(1, Ordering::SeqCst);
+    let body = format!(
+        "{{\"error\":\"submission queue is full\",\"queue_depth\":{}}}",
+        shared.queued.load(Ordering::SeqCst)
+    );
+    http::write_response_with(
+        writer,
+        429,
+        "Too Many Requests",
+        "application/json",
+        &[("Retry-After", "1")],
+        body.as_bytes(),
+        keep_alive,
+    )
 }

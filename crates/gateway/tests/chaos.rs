@@ -1,0 +1,280 @@
+//! Gateway-side chaos: socket-level faults (short reads/writes,
+//! `WouldBlock` storms, mid-stream disconnects), a frozen ticker caught
+//! by the watchdog, and transient submission failures absorbed by the
+//! retry path — all injected deterministically through the installed
+//! fault plan, all survivable without changing a single correct byte.
+//!
+//! Only compiled with `--features fault-inject`.
+#![cfg(feature = "fault-inject")]
+
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use mant_gateway::{client, GatewayConfig, Terminal};
+use mant_model::{ActMode, KvMode, ModelConfig, TransformerModel};
+use mant_serve::{sequential_generate, AdmissionPolicy, GenRequest, ServeConfig};
+use mant_trace::fault::{self, site, FaultPlan, SiteRule};
+
+/// The fault plan is process-global; tests in this binary take turns.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        max_batch: 4,
+        pool_blocks: 64,
+        block_tokens: 16,
+        act: ActMode::None,
+        kv: KvMode::Int4 { group: 16 },
+        admission: AdmissionPolicy::Watermark {
+            watermark_blocks: 2,
+        },
+        prefix_sharing: false,
+        speculative: None,
+    }
+}
+
+fn prompt(seed: usize, len: usize) -> Vec<usize> {
+    (0..len).map(|t| (seed * 131 + t * 29 + 1) % 512).collect()
+}
+
+fn body(prompt: &[usize], max_new: usize) -> String {
+    let toks: Vec<String> = prompt.iter().map(|t| t.to_string()).collect();
+    format!(
+        "{{\"prompt\":[{}],\"max_new_tokens\":{max_new}}}",
+        toks.join(",")
+    )
+}
+
+/// The greedy oracle for `requests` — what every intact stream must carry.
+fn oracle(
+    model: &TransformerModel,
+    packed: &mant_model::PackedWeights,
+    requests: &[GenRequest],
+) -> Vec<Vec<usize>> {
+    sequential_generate(
+        model,
+        packed,
+        ActMode::None,
+        KvMode::Int4 { group: 16 },
+        requests,
+    )
+    .0
+}
+
+fn requests(n: usize) -> Vec<GenRequest> {
+    (0..n)
+        .map(|i| GenRequest {
+            id: i as u64,
+            prompt: prompt(i, 6 + i * 2),
+            max_new_tokens: 5 + i,
+            arrival_iter: 0,
+            deadline_iter: None,
+        })
+        .collect()
+}
+
+/// Polls `/healthz` until `pred(body)` holds or `timeout` passes.
+fn wait_healthz(addr: SocketAddr, timeout: Duration, pred: impl Fn(&str) -> bool) -> String {
+    let deadline = Instant::now() + timeout;
+    loop {
+        if let Ok((_, body)) = client::get(addr, "/healthz") {
+            if pred(&body) {
+                return body;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "healthz never reached the wanted state; last body: {body}"
+            );
+        } else {
+            assert!(Instant::now() < deadline, "healthz stopped answering");
+        }
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// Short reads and short writes on every other socket operation: the
+/// request parser and the SSE writer must handle 1-byte progress without
+/// dropping, duplicating, or reordering a single byte.
+#[test]
+fn short_reads_and_writes_never_corrupt_streams() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let model = TransformerModel::synthesize(&ModelConfig::sim_llama(), 61);
+    let packed = model.pack_weights(64).unwrap();
+    let reqs = requests(3);
+    let expect = oracle(&model, &packed, &reqs);
+
+    fault::install(
+        FaultPlan::new()
+            .with_site(site::GW_READ_SHORT, SiteRule::every(2))
+            .with_site(site::GW_WRITE_SHORT, SiteRule::every(2)),
+    );
+    let (outcomes, report) =
+        mant_gateway::serve(&model, &packed, GatewayConfig::new(serve_cfg()), |gw| {
+            reqs.iter()
+                .map(|r| client::generate(gw.addr(), &body(&r.prompt, r.max_new_tokens)).unwrap())
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+    let read_fires = fault::fires(site::GW_READ_SHORT);
+    let write_fires = fault::fires(site::GW_WRITE_SHORT);
+    fault::clear();
+
+    assert!(
+        read_fires > 0 && write_fires > 0,
+        "short-op sites never fired"
+    );
+    for (i, out) in outcomes.iter().enumerate() {
+        assert_eq!(out.terminal, Terminal::Done, "request {i}");
+        assert_eq!(out.tokens, expect[i], "request {i} corrupted by short I/O");
+    }
+    assert_eq!(report.accepted, reqs.len() as u64);
+}
+
+/// A `WouldBlock` storm on one connection's reads and a forced mid-stream
+/// disconnect on another: both connections die quietly (no worker panic,
+/// no poisoned server state) and the very next request is served clean.
+#[test]
+fn wouldblock_and_disconnect_close_quietly() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let model = TransformerModel::synthesize(&ModelConfig::sim_llama(), 62);
+    let packed = model.pack_weights(64).unwrap();
+    let reqs = requests(2);
+    let expect = oracle(&model, &packed, &reqs);
+
+    fault::clear();
+    let ((), report) =
+        mant_gateway::serve(&model, &packed, GatewayConfig::new(serve_cfg()), |gw| {
+            let addr = gw.addr();
+            // Phase 1: the next connection's first read reports WouldBlock;
+            // the worker must drop the connection without a reply and
+            // without taking the gateway down.
+            fault::install(FaultPlan::new().with_site(site::GW_READ_WOULDBLOCK, SiteRule::nth(1)));
+            let hit = client::generate(addr, &body(&reqs[0].prompt, reqs[0].max_new_tokens));
+            assert!(
+                match &hit {
+                    Ok(out) => out.terminal == Terminal::Truncated,
+                    Err(_) => true,
+                },
+                "a WouldBlock-storm connection must die quietly, got {hit:?}"
+            );
+
+            // Phase 2: a connection reset partway through socket traffic —
+            // the stream just ends; the engine side is cancelled, not
+            // wedged.
+            fault::install(FaultPlan::new().with_site(site::GW_DISCONNECT, SiteRule::nth(4)));
+            let hit = client::generate(addr, &body(&reqs[0].prompt, reqs[0].max_new_tokens));
+            assert!(
+                match &hit {
+                    Ok(out) => out.terminal != Terminal::Done || out.tokens == expect[0],
+                    Err(_) => true,
+                },
+                "a reset connection may end early but never corrupt, got {hit:?}"
+            );
+            fault::clear();
+
+            // Aftermath: the gateway serves the next request perfectly.
+            let out =
+                client::generate(addr, &body(&reqs[1].prompt, reqs[1].max_new_tokens)).unwrap();
+            assert_eq!(out.terminal, Terminal::Done);
+            assert_eq!(out.tokens, expect[1], "post-fault request corrupted");
+        })
+        .unwrap();
+    fault::clear();
+    assert!(report.accepted >= 1);
+}
+
+/// Freeze the ticker long enough for the watchdog to flag a stall:
+/// `/healthz` turns `"stalled"`, new work is refused with 503, and once
+/// the ticker thaws the flag self-heals and service resumes exactly.
+#[test]
+fn watchdog_flags_stall_sheds_and_recovers() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let model = TransformerModel::synthesize(&ModelConfig::sim_llama(), 63);
+    let packed = model.pack_weights(64).unwrap();
+    let reqs = requests(1);
+    let expect = oracle(&model, &packed, &reqs);
+    let mut config = GatewayConfig::new(serve_cfg());
+    config.stall_timeout = Duration::from_millis(100);
+
+    // First ticker loop sleeps payload×100 ms = 800 ms — far past the
+    // 100 ms stall budget.
+    fault::install(
+        FaultPlan::new().with_site(site::TICKER_STALL, SiteRule::nth(1).with_payload(8)),
+    );
+    let ((), report) = mant_gateway::serve(&model, &packed, config, |gw| {
+        let addr = gw.addr();
+        let stalled = wait_healthz(addr, Duration::from_secs(2), |b| b.contains("\"stalled\""));
+        assert!(
+            stalled.contains("\"status\":\"stalled\""),
+            "healthz must name the stall: {stalled}"
+        );
+
+        // While stalled, new submissions are refused with 503.
+        let out = client::generate(addr, &body(&reqs[0].prompt, reqs[0].max_new_tokens)).unwrap();
+        assert_eq!(
+            out.terminal,
+            Terminal::Rejected {
+                status: 503,
+                message: "engine stalled".to_owned()
+            },
+            "a stalled engine must shed, not queue"
+        );
+
+        // The flag self-heals when the ticker completes its next loop.
+        let healed = wait_healthz(addr, Duration::from_secs(3), |b| {
+            b.contains("\"status\":\"ok\"")
+        });
+        assert!(
+            healed.contains("\"stalls\":1"),
+            "stall count survives: {healed}"
+        );
+        let out = client::generate(addr, &body(&reqs[0].prompt, reqs[0].max_new_tokens)).unwrap();
+        assert_eq!(
+            out.terminal,
+            Terminal::Done,
+            "service must resume after thaw"
+        );
+        assert_eq!(out.tokens, expect[0], "post-stall stream corrupted");
+    })
+    .unwrap();
+    let fired = fault::fires(site::TICKER_STALL);
+    fault::clear();
+    assert_eq!(fired, 1, "the stall must have come from the plan");
+    assert_eq!(
+        report.rejected_shutdown, 1,
+        "exactly the stalled-window shed"
+    );
+}
+
+/// Transient submission-queue failures (injected `Full` verdicts) are
+/// absorbed by the worker's jittered retry: every request still lands,
+/// nothing is shed, and the streams are byte-identical.
+#[test]
+fn transient_submit_failures_are_invisible() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let model = TransformerModel::synthesize(&ModelConfig::sim_llama(), 64);
+    let packed = model.pack_weights(64).unwrap();
+    let reqs = requests(4);
+    let expect = oracle(&model, &packed, &reqs);
+
+    fault::install(FaultPlan::new().with_site(site::SUBMIT_TRANSIENT, SiteRule::every(2)));
+    let (outcomes, report) =
+        mant_gateway::serve(&model, &packed, GatewayConfig::new(serve_cfg()), |gw| {
+            reqs.iter()
+                .map(|r| client::generate(gw.addr(), &body(&r.prompt, r.max_new_tokens)).unwrap())
+                .collect::<Vec<_>>()
+        })
+        .unwrap();
+    let fired = fault::fires(site::SUBMIT_TRANSIENT);
+    fault::clear();
+
+    assert!(fired > 0, "the transient-failure site never fired");
+    for (i, out) in outcomes.iter().enumerate() {
+        assert_eq!(out.terminal, Terminal::Done, "request {i}");
+        assert_eq!(out.tokens, expect[i], "request {i} corrupted by retry");
+    }
+    assert_eq!(report.accepted, reqs.len() as u64);
+    assert_eq!(report.rejected_busy, 0, "retries must absorb, not shed");
+}

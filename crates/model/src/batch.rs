@@ -443,6 +443,12 @@ impl BatchRunner<'_> {
     /// ([`BatchRunner::blocks_for_request`] against
     /// [`KvCachePool::free_blocks`]) must prevent.
     pub fn step(&mut self, batch: &[(SessionId, usize)]) -> Vec<Vec<f32>> {
+        // Chaos seam: the induced panic lands before any session or pool
+        // mutation, so a catch_unwind caller sees fully consistent state.
+        #[cfg(feature = "fault-inject")]
+        if mant_trace::fault::fire(mant_trace::fault::site::BATCH_STEP) {
+            panic!("injected fault: batch.step");
+        }
         assert!(!batch.is_empty(), "empty batch");
         let cfg = &self.model.config;
         for (i, &(id, token)) in batch.iter().enumerate() {
@@ -813,6 +819,12 @@ impl BatchRunner<'_> {
         draft_id: SessionId,
         k: usize,
     ) -> SpecOutcome {
+        // Chaos seam: as in [`BatchRunner::step`], the induced panic
+        // precedes every mutation of either runner.
+        #[cfg(feature = "fault-inject")]
+        if mant_trace::fault::fire(mant_trace::fault::site::SPEC_STEP) {
+            panic!("injected fault: batch.spec_step");
+        }
         assert!(k >= 1, "speculation needs at least one draft candidate");
         self.check(id);
         draft.check(draft_id);
@@ -839,6 +851,17 @@ impl BatchRunner<'_> {
             let cap = if ckpt_d { Some(&mut draft_cap) } else { None };
             let logits = draft.step_multi_impl(draft_id, &[fed], cap);
             fed = argmax(&logits[0]);
+            // Chaos seam: corrupt the candidate *after* the draft argmax.
+            // Safe by construction — verification compares target argmax
+            // against the candidate, so a corrupted draft can only shrink
+            // the accepted prefix, never change emitted tokens.
+            #[cfg(feature = "fault-inject")]
+            if let Some(off) =
+                mant_trace::fault::payload(mant_trace::fault::site::SPEC_DRAFT_CORRUPT)
+            {
+                let vocab = self.model.config.vocab;
+                fed = (fed + 1 + off as usize % (vocab - 1)) % vocab;
+            }
             drafts.push(fed);
         }
         let draft_ns = t0.elapsed().as_nanos() as u64;

@@ -538,6 +538,15 @@ impl PagedKvCache {
         assert_eq!(k.len(), self.staging.dim, "key vector length mismatch");
         assert_eq!(v.len(), self.staging.dim, "value vector length mismatch");
         let bt = pool.cfg.block_tokens;
+        // Chaos seam: a forced exhaustion reports exactly like the real
+        // preflight failure below — before any mutation — so callers see
+        // the same atomic error surface either way.
+        #[cfg(feature = "fault-inject")]
+        if mant_trace::fault::fire(mant_trace::fault::site::POOL_ALLOC) {
+            return Err(QuantError::PoolExhausted {
+                blocks: pool.cfg.blocks,
+            });
+        }
         // Preflight: the push mutates nothing unless every block it needs
         // (fresh or copy-on-write) is available, keeping failure atomic.
         if pool.free_blocks() < self.blocks_needed_for_push(pool) {

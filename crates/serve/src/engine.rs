@@ -37,6 +37,7 @@
 //! is computed.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 use mant_model::{ActMode, BatchRunner, KvMode, PackedWeights, SessionId, TransformerModel};
@@ -44,7 +45,7 @@ use mant_trace::Hist;
 
 pub use mant_model::argmax;
 
-use crate::metrics::{LatencyBreakdown, ServeReport, SpeculationStats};
+use crate::metrics::{DegradationStats, LatencyBreakdown, ServeReport, SpeculationStats};
 use crate::request::{Completion, GenRequest, SubmitError};
 use crate::scheduler::FcfsScheduler;
 
@@ -75,6 +76,14 @@ pub enum EngineEvent {
     },
     /// A request was cancelled by the caller ([`ServeEngine::cancel`]).
     Cancelled {
+        /// The request's id.
+        id: u64,
+    },
+    /// A request's sequence was quarantined after a panic inside its own
+    /// step isolation boundary (see the module docs on failure domains):
+    /// its sessions were torn down and every pool block it held was
+    /// released. The rest of the batch is unaffected.
+    Poisoned {
         /// The request's id.
         id: u64,
     },
@@ -223,6 +232,12 @@ pub struct ServeEngine<'m> {
     preemptions: usize,
     expired_requests: usize,
     cancelled_requests: usize,
+    poisoned_requests: usize,
+    step_rollbacks: usize,
+    /// Consecutive ticks whose batched step panicked; crossing
+    /// [`STEP_PANIC_QUARANTINE_AFTER`] escalates rollback to quarantine.
+    consecutive_step_panics: u32,
+    ladder: Ladder,
     busy_iterations: u64,
     occupancy_sum: u64,
     peak_running: usize,
@@ -245,6 +260,86 @@ pub struct ServeEngine<'m> {
 enum RemoveReason {
     Expired,
     Cancelled,
+}
+
+/// Ladder rung at which `draft_k` is halved.
+const RUNG_HALVE_DRAFT: u8 = 1;
+/// Ladder rung at which speculation is disabled entirely.
+const RUNG_NO_SPEC: u8 = 2;
+/// Ladder rung at which the effective batch width is halved.
+const RUNG_HALVE_BATCH: u8 = 3;
+/// Ladder rung at which new admissions are shed (the gateway answers
+/// 429 + `Retry-After` while the engine reports this rung).
+const RUNG_SHED: u8 = 4;
+/// Consecutive pressured ticks before the ladder climbs one rung.
+const LADDER_ENGAGE_TICKS: u32 = 2;
+/// Consecutive relaxed ticks before the ladder descends one rung (the
+/// hysteresis gap keeps it from flapping around the threshold).
+const LADDER_RELEASE_TICKS: u32 = 6;
+/// Free-block fraction below which a tick counts as pressured.
+const LADDER_ENGAGE_FRAC: f64 = 0.20;
+/// Free-block fraction above which a tick counts as relaxed; between the
+/// two thresholds the ladder holds its rung.
+const LADDER_RELEASE_FRAC: f64 = 0.40;
+/// Consecutive batched-step panics tolerated (each one rolls the whole
+/// batch back to the queue for byte-identical recompute) before the
+/// batch is quarantined instead — the persistent-fault backstop that
+/// turns a livelock into bounded poisonings.
+const STEP_PANIC_QUARANTINE_AFTER: u32 = 3;
+
+/// Graceful-degradation ladder state (see [`DegradationStats`] for the
+/// reported view). `update` is called once per tick with the tick's
+/// pressure verdict; transitions are counted and traced.
+#[derive(Default)]
+struct Ladder {
+    rung: u8,
+    /// Consecutive pressured ticks (reset by any non-pressured tick).
+    over: u32,
+    /// Consecutive relaxed ticks (reset by any non-relaxed tick).
+    under: u32,
+    stats: DegradationStats,
+}
+
+impl Ladder {
+    /// Advances the hysteresis counters with this tick's verdict and
+    /// walks the rung when either threshold is crossed.
+    fn update(&mut self, pressured: bool, relaxed: bool) {
+        if pressured {
+            self.over += 1;
+            self.under = 0;
+            if self.over >= LADDER_ENGAGE_TICKS && self.rung < RUNG_SHED {
+                self.rung += 1;
+                self.over = 0;
+                self.stats.engaged[usize::from(self.rung) - 1] += 1;
+                mant_trace::counter("ladder.engage", 1);
+            }
+        } else if relaxed {
+            self.under += 1;
+            self.over = 0;
+            if self.under >= LADDER_RELEASE_TICKS && self.rung > 0 {
+                self.stats.released[usize::from(self.rung) - 1] += 1;
+                self.rung -= 1;
+                self.under = 0;
+                mant_trace::counter("ladder.release", 1);
+            }
+        } else {
+            // Between thresholds: hold the rung, restart both streaks.
+            self.over = 0;
+            self.under = 0;
+        }
+        if self.rung >= RUNG_SHED {
+            self.stats.shed_ticks += 1;
+        }
+        mant_trace::gauge("ladder.rung", u64::from(self.rung));
+    }
+
+    /// The reported view of the ladder.
+    fn stats(&self) -> DegradationStats {
+        DegradationStats {
+            rung: self.rung,
+            ..self.stats.clone()
+        }
+    }
 }
 
 impl<'m> ServeEngine<'m> {
@@ -353,6 +448,10 @@ impl<'m> ServeEngine<'m> {
             preemptions: 0,
             expired_requests: 0,
             cancelled_requests: 0,
+            poisoned_requests: 0,
+            step_rollbacks: 0,
+            consecutive_step_panics: 0,
+            ladder: Ladder::default(),
             busy_iterations: 0,
             occupancy_sum: 0,
             peak_running: 0,
@@ -494,7 +593,16 @@ impl<'m> ServeEngine<'m> {
     /// ticked, and expired running sequences release their blocks
     /// mid-generation. Runs at the top of every tick.
     fn expire_due(&mut self) {
-        for req in self.scheduler.take_expired(self.iter) {
+        // Chaos seam: the deadline sweep may see a clock skewed forward
+        // by the plan's payload, expiring requests early. The rest of the
+        // engine keeps the true clock, so only deadline enforcement —
+        // the thing this fault exercises — is perturbed.
+        #[cfg(feature = "fault-inject")]
+        let sweep_iter = self.iter
+            + mant_trace::fault::payload(mant_trace::fault::site::ENGINE_CLOCK_SKEW).unwrap_or(0);
+        #[cfg(not(feature = "fault-inject"))]
+        let sweep_iter = self.iter;
+        for req in self.scheduler.take_expired(sweep_iter) {
             self.resume.remove(&req.id);
             self.submit_times.remove(&req.id);
             self.expired_requests += 1;
@@ -504,7 +612,7 @@ impl<'m> ServeEngine<'m> {
         let due: Vec<u64> = self
             .active
             .iter()
-            .filter(|s| s.req.deadline_iter.is_some_and(|d| self.iter >= d))
+            .filter(|s| s.req.deadline_iter.is_some_and(|d| sweep_iter >= d))
             .map(|s| s.req.id)
             .collect();
         for id in due {
@@ -548,6 +656,36 @@ impl<'m> ServeEngine<'m> {
         self.runner.pool().used_blocks()
     }
 
+    /// Free blocks in the draft runner's pool, when speculation is
+    /// configured — lets tests assert the draft pool drains to baseline
+    /// after cancellations mid-round.
+    pub fn draft_free_blocks(&self) -> Option<usize> {
+        self.draft.as_ref().map(|d| d.runner.pool().free_blocks())
+    }
+
+    /// The graceful-degradation rung currently engaged (0 = full service,
+    /// 4 = shedding new work). See [`DegradationStats`] for the rungs.
+    pub fn degradation_rung(&self) -> u8 {
+        self.ladder.rung
+    }
+
+    /// True while the ladder sits at its top rung: the engine wants the
+    /// transport to shed new submissions (429 + `Retry-After`) until
+    /// pressure clears. Admission from the already-accepted queue
+    /// continues — shedding protects the pool from *new* work only.
+    pub fn shedding(&self) -> bool {
+        self.ladder.rung >= RUNG_SHED
+    }
+
+    /// Batch-width cap after ladder effects (rung 3+ halves it).
+    fn effective_max_batch(&self) -> usize {
+        if self.ladder.rung >= RUNG_HALVE_BATCH {
+            (self.max_batch / 2).max(1)
+        } else {
+            self.max_batch
+        }
+    }
+
     /// One engine iteration (admit → relieve → compose → step → advance);
     /// returns the number of tokens generated this iteration. With
     /// nothing runnable, the clock still advances by one (an idle
@@ -559,9 +697,21 @@ impl<'m> ServeEngine<'m> {
         self.expire_due();
         let t_expired = Instant::now();
         self.admit();
+        let preempted_before = self.preemptions;
         if let AdmissionPolicy::Watermark { .. } = self.admission {
             self.relieve_pressure();
         }
+        // Degradation-ladder verdict for this tick: pressured when the
+        // pool just had to preempt or the free list is nearly drained,
+        // relaxed only once it has clearly recovered. Updated before the
+        // idle early-exit so a drained engine walks back down the ladder.
+        let free_frac = self.runner.pool().free_blocks() as f64
+            / self.runner.pool().total_blocks().max(1) as f64;
+        let preempted_now = self.preemptions > preempted_before;
+        self.ladder.update(
+            preempted_now || free_frac < LADDER_ENGAGE_FRAC,
+            !preempted_now && free_frac > LADDER_RELEASE_FRAC,
+        );
         let t_admitted = Instant::now();
         // Sampled after the pressure valve, so a sequence admitted and
         // preempted in the same tick (which never ran a step) does not
@@ -590,13 +740,15 @@ impl<'m> ServeEngine<'m> {
             })
             .collect();
         let t_composed = Instant::now();
-        let logits = if batch.is_empty() {
-            Vec::new()
-        } else {
-            self.runner.step(&batch)
-        };
-        if let Some(d) = self.draft.as_mut() {
-            let dbatch: Vec<(SessionId, usize)> = step_idx
+        // Sequences leaving the batch this tick for a reason other than
+        // finishing: quarantined after a panic (blocks released, request
+        // dead) or rolled back to the queue (blocks released, request
+        // requeued for byte-identical recompute). Collected here, removed
+        // back-to-front at tick end so indices stay valid throughout.
+        let mut poisoned: Vec<usize> = Vec::new();
+        let mut rolled_back: Vec<usize> = Vec::new();
+        let dbatch: Vec<(SessionId, usize)> = if self.draft.is_some() {
+            step_idx
                 .iter()
                 .map(|&i| {
                     let s = &self.active[i];
@@ -605,12 +757,59 @@ impl<'m> ServeEngine<'m> {
                         s.feed_token(),
                     )
                 })
-                .collect();
-            if !dbatch.is_empty() {
-                // Logits discarded: this step only advances the draft KV.
-                d.runner.step(&dbatch);
+                .collect()
+        } else {
+            Vec::new()
+        };
+        // The batched step mutates every session in `batch` as it goes, so
+        // a panic inside it cannot be retried per-sequence: recovery is a
+        // whole-batch rollback through the proven preemption machinery
+        // (sessions torn down, requests requeued, tokens recomputed
+        // byte-identically on readmission). A *persistent* panic would
+        // turn that into a livelock, so after a few consecutive failures
+        // the batch is quarantined instead. The reservation policy cannot
+        // requeue with carried progress, so it quarantines immediately.
+        let step_result = {
+            let runner = &mut self.runner;
+            let draft = self.draft.as_mut();
+            catch_unwind(AssertUnwindSafe(|| {
+                let logits = if batch.is_empty() {
+                    Vec::new()
+                } else {
+                    runner.step(&batch)
+                };
+                if let Some(d) = draft {
+                    if !dbatch.is_empty() {
+                        // Logits discarded: this step only advances the
+                        // draft KV in lockstep with the target.
+                        d.runner.step(&dbatch);
+                    }
+                }
+                logits
+            }))
+        };
+        let logits = match step_result {
+            Ok(logits) => {
+                if !batch.is_empty() {
+                    self.consecutive_step_panics = 0;
+                }
+                logits
             }
-        }
+            Err(_) => {
+                self.consecutive_step_panics += 1;
+                mant_trace::counter("step.panics", 1);
+                let can_roll_back = matches!(self.admission, AdmissionPolicy::Watermark { .. });
+                if can_roll_back && self.consecutive_step_panics < STEP_PANIC_QUARANTINE_AFTER {
+                    rolled_back.extend(step_idx.iter().copied());
+                } else {
+                    poisoned.extend(step_idx.iter().copied());
+                    self.consecutive_step_panics = 0;
+                }
+                // No logits: the advance loop below sees an empty zip and
+                // the batch's sequences neither emit nor finish this tick.
+                Vec::new()
+            }
+        };
         let mut spec_out: Vec<(usize, mant_model::SpecOutcome)> =
             Vec::with_capacity(spec_idx.len());
         for &i in &spec_idx {
@@ -624,8 +823,22 @@ impl<'m> ServeEngine<'m> {
                 )
             };
             let d = self.draft.as_mut().expect("spec_k requires a draft");
-            let out = self.runner.speculate_step(sid, cur, &mut d.runner, dsid, k);
-            spec_out.push((i, out));
+            // A speculative round touches only its own pair of sessions,
+            // so a panic here quarantines exactly one sequence; the rest
+            // of the batch is untouched and stays byte-identical.
+            let out = {
+                let runner = &mut self.runner;
+                catch_unwind(AssertUnwindSafe(|| {
+                    runner.speculate_step(sid, cur, &mut d.runner, dsid, k)
+                }))
+            };
+            match out {
+                Ok(out) => spec_out.push((i, out)),
+                Err(_) => {
+                    mant_trace::counter("step.panics", 1);
+                    poisoned.push(i);
+                }
+            }
         }
         let t_stepped = Instant::now();
         self.iter += 1;
@@ -716,8 +929,13 @@ impl<'m> ServeEngine<'m> {
         if self.prefix_sharing {
             // Register every block boundary prefill crosses: committed
             // blocks are immutable, so the snapshot is free to share.
+            // Sequences leaving under quarantine or rollback are skipped —
+            // their sessions may hold a partially-written step.
             let bt = self.runner.pool().block_tokens();
-            for s in &self.active {
+            for (i, s) in self.active.iter().enumerate() {
+                if poisoned.contains(&i) || rolled_back.contains(&i) {
+                    continue;
+                }
                 if s.pos <= s.req.prompt.len() && s.pos % bt == 0 && s.pos > 0 {
                     self.runner.register_prefix(s.sid, &s.req.prompt[..s.pos]);
                     // Mirror on the draft runner: its prefix cache must see
@@ -729,30 +947,76 @@ impl<'m> ServeEngine<'m> {
                 }
             }
         }
-        // Retire back-to-front so indices stay valid.
-        for &i in finished.iter().rev() {
+        // Retire back-to-front so indices stay valid. Finished, poisoned,
+        // and rolled-back sequences are disjoint (a panicked step emits no
+        // tokens, so its sequences cannot have finished) and all release
+        // their sessions' blocks on both pools here.
+        #[derive(Clone, Copy, PartialEq, Eq)]
+        enum Leave {
+            Finish,
+            Poison,
+            RollBack,
+        }
+        let mut leaving: Vec<(usize, Leave)> = finished
+            .iter()
+            .map(|&i| (i, Leave::Finish))
+            .chain(poisoned.iter().map(|&i| (i, Leave::Poison)))
+            .chain(rolled_back.iter().map(|&i| (i, Leave::RollBack)))
+            .collect();
+        leaving.sort_unstable_by_key(|&(i, _)| i);
+        for &(i, how) in leaving.iter().rev() {
             let s = self.active.remove(i);
             self.runner.end_session(s.sid);
             if let (Some(d), Some(dsid)) = (self.draft.as_mut(), s.draft_sid) {
                 d.runner.end_session(dsid);
             }
             self.reserved_blocks -= s.reserved;
-            if let Some(t0) = self.submit_times.remove(&s.req.id) {
-                let ns = t0.elapsed().as_nanos() as u64;
-                self.breakdown.e2e.record(ns);
-                mant_trace::sample("e2e", ns);
+            match how {
+                Leave::Finish => {
+                    if let Some(t0) = self.submit_times.remove(&s.req.id) {
+                        let ns = t0.elapsed().as_nanos() as u64;
+                        self.breakdown.e2e.record(ns);
+                        mant_trace::sample("e2e", ns);
+                    }
+                    mant_trace::counter("requests.done", 1);
+                    self.push_event(EngineEvent::Finished { id: s.req.id });
+                    self.completions.push(Completion {
+                        id: s.req.id,
+                        prompt_len: s.req.prompt.len(),
+                        tokens: s.generated,
+                        arrival_iter: s.req.arrival_iter,
+                        admitted_iter: s.admitted_iter,
+                        first_token_iter: s.first_token_iter.expect("finished implies first token"),
+                        finish_iter: self.iter,
+                    });
+                }
+                Leave::Poison => {
+                    self.submit_times.remove(&s.req.id);
+                    self.resume.remove(&s.req.id);
+                    self.poisoned_requests += 1;
+                    mant_trace::counter("requests.poisoned", 1);
+                    self.push_event(EngineEvent::Poisoned { id: s.req.id });
+                }
+                Leave::RollBack => {
+                    // The preemption path: carry progress so readmission
+                    // replays (not re-emits) every token produced so far,
+                    // keeping the stream byte-identical.
+                    self.step_rollbacks += 1;
+                    mant_trace::counter("step.rollbacks", 1);
+                    self.resume.insert(
+                        s.req.id,
+                        ResumeState {
+                            generated: s.generated,
+                            prompt_fed: s.prompt_fed,
+                            first_token_iter: s.first_token_iter,
+                            admitted_iter: s.admitted_iter,
+                        },
+                    );
+                    self.scheduler
+                        .submit(s.req)
+                        .expect("a running request was valid at first submission");
+                }
             }
-            mant_trace::counter("requests.done", 1);
-            self.push_event(EngineEvent::Finished { id: s.req.id });
-            self.completions.push(Completion {
-                id: s.req.id,
-                prompt_len: s.req.prompt.len(),
-                tokens: s.generated,
-                arrival_iter: s.req.arrival_iter,
-                admitted_iter: s.admitted_iter,
-                first_token_iter: s.first_token_iter.expect("finished implies first token"),
-                finish_iter: self.iter,
-            });
         }
         let t_advanced = Instant::now();
         note_phase(&mut self.breakdown.expire, "tick.expire", t_tick, t_expired);
@@ -826,6 +1090,9 @@ impl<'m> ServeEngine<'m> {
             prefill_tokens: self.prefill_tokens,
             expired_requests: self.expired_requests,
             cancelled_requests: self.cancelled_requests,
+            poisoned_requests: self.poisoned_requests,
+            step_rollbacks: self.step_rollbacks,
+            degradation: self.ladder.stats(),
             rejected_requests: 0,
             pool_blocks: self.runner.pool().total_blocks(),
             block_bits: self.runner.pool().block_bits(),
@@ -848,7 +1115,7 @@ impl<'m> ServeEngine<'m> {
     /// FCFS admission under the configured policy (head-of-line: a
     /// request that does not fit yet is waited for, never skipped).
     fn admit(&mut self) {
-        while self.active.len() < self.max_batch {
+        while self.active.len() < self.effective_max_batch() {
             let Some(candidate) = self.scheduler.peek_ready(self.iter) else {
                 break;
             };
@@ -1044,6 +1311,13 @@ impl<'m> ServeEngine<'m> {
     /// worth drafting for).
     fn spec_k(&self, s: &ActiveSeq) -> Option<usize> {
         let d = self.draft.as_ref()?;
+        // Ladder rung 2+ turns speculation off entirely; rung 1 halves the
+        // round size. Both only change how many drafts are attempted, and
+        // verification guarantees emitted tokens equal plain greedy decode
+        // — so degradation never changes any sequence's output bytes.
+        if self.ladder.rung >= RUNG_NO_SPEC {
+            return None;
+        }
         s.draft_sid?;
         if s.pos < s.replay_until {
             return None;
@@ -1052,9 +1326,14 @@ impl<'m> ServeEngine<'m> {
         if remaining < 2 {
             return None;
         }
+        let k = if self.ladder.rung >= RUNG_HALVE_DRAFT {
+            d.k.div_ceil(2)
+        } else {
+            d.k
+        };
         // A round emits at most `accepted + 1 <= k + 1` tokens; capping k
         // at `remaining - 1` keeps it from overshooting max_new_tokens.
-        Some(d.k.min(remaining - 1))
+        Some(k.min(remaining - 1))
     }
 
     /// Evicts the LRU prefix snapshot from the target runner and, in

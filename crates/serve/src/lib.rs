@@ -86,7 +86,9 @@ pub use engine::{
     argmax, sequential_generate, AdmissionPolicy, EngineEvent, ServeConfig, ServeEngine,
     SpeculativeConfig,
 };
-pub use metrics::{percentile, LatencyBreakdown, Percentiles, ServeReport, SpeculationStats};
+pub use metrics::{
+    percentile, DegradationStats, LatencyBreakdown, Percentiles, ServeReport, SpeculationStats,
+};
 pub use request::{
     requests_from_shared_trace, requests_from_trace, Completion, GenRequest, SubmitError,
 };

@@ -76,6 +76,33 @@ impl SpeculationStats {
     }
 }
 
+/// Graceful-degradation ladder counters ([`ServeReport::degradation`]).
+///
+/// Under sustained pool pressure the engine climbs a four-rung ladder —
+/// halve `draft_k` → disable speculation → halve `max_batch` → shed new
+/// admissions — and descends it with hysteresis once pressure clears.
+/// None of the rungs changes *what* is computed (greedy outputs stay
+/// byte-identical); they only trade throughput for headroom.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DegradationStats {
+    /// The rung the engine ended the run on (0 = fully healthy).
+    pub rung: u8,
+    /// Times each rung was engaged (index 0 = rung 1, ... index 3 =
+    /// rung 4/shed).
+    pub engaged: [u64; 4],
+    /// Times each rung was released (same indexing as `engaged`).
+    pub released: [u64; 4],
+    /// Ticks spent at the shed rung (admissions refused to the gateway).
+    pub shed_ticks: u64,
+}
+
+impl DegradationStats {
+    /// Whether the ladder ever left rung 0 during the run.
+    pub fn ever_engaged(&self) -> bool {
+        self.engaged.iter().any(|&n| n > 0)
+    }
+}
+
 /// Latency percentile summary. Units are whatever the samples were in —
 /// engine iterations for the in-process summaries on [`ServeReport`],
 /// wall-clock seconds for the gateway's socket-measured latencies.
@@ -192,6 +219,16 @@ pub struct ServeReport {
     /// Requests cancelled explicitly (client disconnect, shutdown), not
     /// by deadline.
     pub cancelled_requests: usize,
+    /// Requests quarantined after a panic inside their step isolation
+    /// boundary (sessions torn down, blocks released,
+    /// [`EngineEvent::Poisoned`] emitted).
+    ///
+    /// [`EngineEvent::Poisoned`]: crate::engine::EngineEvent::Poisoned
+    pub poisoned_requests: usize,
+    /// Whole-batch rollbacks after a batched-step panic: every sequence
+    /// in the batch was requeued with its progress carried and recomputed
+    /// on readmission (byte-identical, like preemption recovery).
+    pub step_rollbacks: usize,
     /// Requests refused before entering the engine. The engine itself
     /// never counts here (its submit rejections are errors returned to
     /// the caller); the gateway adds its 429 backpressure sheds when it
@@ -212,6 +249,8 @@ pub struct ServeReport {
     ///
     /// [`new_with_draft`]: crate::ServeEngine::new_with_draft
     pub speculation: Option<SpeculationStats>,
+    /// Graceful-degradation ladder state and rung-transition counters.
+    pub degradation: DegradationStats,
 }
 
 impl ServeReport {

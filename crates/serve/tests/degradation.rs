@@ -1,0 +1,104 @@
+//! The graceful-degradation ladder: under sustained pool pressure the
+//! engine sheds capability one rung at a time (halve draft_k → disable
+//! speculation → halve batch → shed), and walks back down with hysteresis
+//! once pressure clears — all without changing a single output byte.
+
+use mant_model::{ActMode, KvMode, ModelConfig, TransformerModel};
+use mant_serve::{sequential_generate, AdmissionPolicy, GenRequest, ServeConfig, ServeEngine};
+
+fn req(id: u64, prompt_len: usize, max_new: usize) -> GenRequest {
+    GenRequest {
+        id,
+        prompt: (0..prompt_len)
+            .map(|t| ((id as usize) * 131 + t * 29 + 1) % 512)
+            .collect(),
+        max_new_tokens: max_new,
+        arrival_iter: 0,
+        deadline_iter: None,
+    }
+}
+
+/// A pressure burst (many long requests on a deliberately small pool)
+/// must climb the ladder — engaged counters land in the report and the
+/// rung gauge moves — and a drained engine must release every rung back
+/// to full service. Throughout, outputs stay byte-identical to the
+/// sequential baseline: degradation changes scheduling, never results.
+#[test]
+fn ladder_engages_under_pressure_and_releases_after() {
+    let cfg = ModelConfig::sim_llama();
+    let model = TransformerModel::synthesize(&cfg, 53);
+    let packed = model.pack_weights(64).unwrap();
+    // 20 blocks × 16 tokens against 6 requests that each want ~44 tokens
+    // of KV: perpetual watermark pressure, constant preemption.
+    let requests: Vec<GenRequest> = (0..6).map(|id| req(id, 12, 32)).collect();
+    let mut engine = ServeEngine::new(
+        &model,
+        &packed,
+        ServeConfig {
+            max_batch: 4,
+            pool_blocks: 20,
+            block_tokens: 16,
+            act: ActMode::None,
+            kv: KvMode::Int4 { group: 16 },
+            admission: AdmissionPolicy::Watermark {
+                watermark_blocks: 2,
+            },
+            prefix_sharing: false,
+            speculative: None,
+        },
+    );
+    for r in &requests {
+        engine.submit(r.clone());
+    }
+    let mut peak_rung = 0u8;
+    while engine.pending() > 0 {
+        engine.tick();
+        peak_rung = peak_rung.max(engine.degradation_rung());
+    }
+    let report = engine.report(0.0);
+    assert!(report.preemptions > 0, "the pool must actually be squeezed");
+    assert!(
+        peak_rung >= 3,
+        "sustained pressure should climb at least to the batch-halving rung, got {peak_rung}"
+    );
+    assert!(report.degradation.ever_engaged());
+    assert!(
+        report.degradation.engaged.iter().sum::<u64>() >= u64::from(peak_rung),
+        "each rung climbed must be counted"
+    );
+
+    // Pressure is gone; idle ticks walk the ladder back down (6-tick
+    // hysteresis per rung, so give it room).
+    for _ in 0..40 {
+        engine.tick();
+    }
+    assert_eq!(
+        engine.degradation_rung(),
+        0,
+        "a drained engine must return to full service"
+    );
+    let report = engine.report(0.0);
+    assert_eq!(report.degradation.rung, 0);
+    assert_eq!(
+        report.degradation.engaged.iter().sum::<u64>(),
+        report.degradation.released.iter().sum::<u64>(),
+        "every engage must eventually release"
+    );
+
+    // Degradation never changed what was computed.
+    let (baseline, _) = sequential_generate(
+        &model,
+        &packed,
+        ActMode::None,
+        KvMode::Int4 { group: 16 },
+        &requests,
+    );
+    assert_eq!(report.completions.len(), requests.len());
+    for c in &report.completions {
+        assert_eq!(
+            c.tokens, baseline[c.id as usize],
+            "ladder perturbed request {}'s tokens",
+            c.id
+        );
+    }
+}

@@ -56,6 +56,8 @@ use std::time::Instant;
 
 pub mod agg;
 pub mod chrome;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod hist;
 pub mod prom;
 pub mod ring;
